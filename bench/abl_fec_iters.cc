@@ -1,0 +1,75 @@
+// Ablation: LDPC decoding success rate vs SNR and iteration budget.
+//
+// This is the physical mechanism behind the paper's live-upgrade
+// experiment (§8.3, Fig 11): a PHY build with more FEC iterations
+// decodes at SNRs where the old build fails. The sweep also documents
+// the decode thresholds that the MCS table's link-adaptation entries
+// assume.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "channel/channel.h"
+#include "common/rng.h"
+#include "phy/mcs.h"
+#include "phy/tb_codec.h"
+
+namespace slingshot {
+namespace {
+
+double success_rate(Modulation mod, double snr_db, int iters, int trials,
+                    RngStream& payload_rng, std::uint64_t chan_idx) {
+  FadingConfig fading;
+  fading.mean_snr_db = snr_db;
+  fading.ar1_sigma_db = 0.0;
+  fading.amp_sigma_db = 0.0;
+  UeChannel chan{fading, RngRegistry{42}.stream("fec.chan", chan_idx)};
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::uint8_t> payload(300);
+    for (auto& b : payload) {
+      b = std::uint8_t(payload_rng.next_u64());
+    }
+    const auto enc = encode_tb(payload, mod);
+    chan.step_slot();
+    const auto rx = chan.apply(enc.iq);
+    ok += decode_tb(rx, mod, payload, iters).crc_ok ? 1 : 0;
+  }
+  return double(ok) / double(trials);
+}
+
+}  // namespace
+}  // namespace slingshot
+
+int main() {
+  using namespace slingshot;
+  using namespace slingshot::bench;
+  print_banner("Ablation", "FEC iteration budget vs decode success (Fig 11 mechanism)");
+
+  auto payload_rng = RngRegistry{42}.stream("fec.payload");
+  const int trials = 60;
+  std::uint64_t chan_idx = 0;
+
+  for (const auto mod : {Modulation::kQpsk, Modulation::kQam16,
+                         Modulation::kQam64}) {
+    std::printf("\n%s, rate-1/2 LDPC (n=648): decode success rate\n",
+                modulation_name(mod));
+    print_row({"SNR (dB)", "2 iters", "4 iters", "8 iters", "16 iters",
+               "32 iters"});
+    const double base = mod == Modulation::kQpsk   ? 1.0
+                        : mod == Modulation::kQam16 ? 8.0
+                                                     : 14.0;
+    for (double snr = base; snr <= base + 5.0; snr += 1.0) {
+      std::vector<std::string> cells{fmt(snr, 1)};
+      for (const int iters : {2, 4, 8, 16, 32}) {
+        cells.push_back(fmt(
+            success_rate(mod, snr, iters, trials, payload_rng, chan_idx++),
+            2));
+      }
+      print_row(cells);
+    }
+  }
+  std::printf(
+      "\nTakeaway: more BP iterations move the decoding threshold left —\n"
+      "an upgraded PHY build genuinely decodes UEs the old build cannot.\n");
+  return 0;
+}

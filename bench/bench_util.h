@@ -1,0 +1,39 @@
+// Shared helpers for the reproduction benches: consistent headers and
+// table formatting so each binary's output reads like the paper's
+// corresponding table/figure.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+
+namespace slingshot::bench {
+
+inline void print_banner(const char* experiment_id, const char* title) {
+  // Benches print structured tables; component logs (including the
+  // floods some ablations intentionally provoke) stay out of the way.
+  Logger::instance().set_level(LogLevel::kError);
+  std::printf("\n=============================================================\n");
+  std::printf("%s — %s\n", experiment_id, title);
+  std::printf("=============================================================\n");
+}
+
+inline void print_note(const char* note) { std::printf("note: %s\n", note); }
+
+// Prints a row of right-aligned columns.
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) {
+    std::printf("%*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace slingshot::bench

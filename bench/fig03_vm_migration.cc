@@ -1,0 +1,58 @@
+// Figure 3: distribution of VM pause time while migrating a FlexRAN-
+// class PHY VM with QEMU/KVM pre-copy, over TCP and RDMA transports.
+// The paper performs 80 live migrations per transport and measures a
+// median pause of 244 ms — large enough to expire the 50 ms Radio Link
+// Failure timer — with FlexRAN crashing in every run.
+#include <cstdio>
+
+#include "baseline/precopy.h"
+#include "bench_util.h"
+#include "common/stats.h"
+
+int main() {
+  using namespace slingshot;
+  using namespace slingshot::bench;
+  print_banner("Figure 3", "VM pause time for pre-copy migration of a PHY VM");
+  print_note(
+      "model: QEMU-style iterative pre-copy; pause ends when the dirty "
+      "set fits the downtime budget (see DESIGN.md)");
+
+  const int kRuns = 80;
+  PrecopyMigrationModel model{PrecopyConfig{},
+                              RngRegistry{2023}.stream("precopy")};
+
+  auto report = [&](const char* label, MigrationTransport transport) {
+    const auto results = model.run_many(transport, kRuns);
+    PercentileTracker pause;
+    RunningStats rounds;
+    int crashes = 0;
+    for (const auto& r : results) {
+      pause.add(to_millis(r.pause_time));
+      rounds.add(double(r.rounds));
+      crashes += r.phy_crashed ? 1 : 0;
+    }
+    std::printf("\n%s (%d runs):\n", label, kRuns);
+    print_row({"p10 (ms)", "p25", "median", "p75", "p90", "max"});
+    print_row({fmt(pause.quantile(0.10)), fmt(pause.quantile(0.25)),
+               fmt(pause.quantile(0.50)), fmt(pause.quantile(0.75)),
+               fmt(pause.quantile(0.90)), fmt(pause.quantile(1.0))});
+    std::printf("pre-copy rounds: mean %.1f;  PHY crashed in %d/%d runs\n",
+                rounds.mean(), crashes, kRuns);
+    // CDF points for plotting.
+    std::printf("CDF: ");
+    for (double q = 0.1; q <= 1.001; q += 0.1) {
+      std::printf("(%.0fms, %.1f) ", pause.quantile(q), q);
+    }
+    std::printf("\n");
+  };
+
+  report("TCP transport", MigrationTransport::kTcp);
+  report("RDMA transport", MigrationTransport::kRdma);
+
+  std::printf(
+      "\nPaper: median pause 244 ms; all runs crash FlexRAN; every pause\n"
+      "far exceeds the 50 ms RLF timer and the sub-10us realtime budget.\n"
+      "Slingshot's PHY migration instead drops at most 3 TTIs (1.5 ms) —\n"
+      "see tab02_stress / fig10_throughput.\n");
+  return 0;
+}

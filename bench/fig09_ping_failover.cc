@@ -1,0 +1,87 @@
+// Figure 9: ping latency of three concurrent UEs (10 ms interval)
+// across a primary-PHY failover. Paper result: at most a single ~15 ms
+// spike on one UE; the transient resembles natural wireless
+// fluctuations visible elsewhere in the trace.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "testbed/testbed.h"
+#include "transport/apps.h"
+
+int main() {
+  using namespace slingshot;
+  using namespace slingshot::bench;
+  print_banner("Figure 9", "ping latency of 3 UEs across PHY failover");
+
+  constexpr Nanos kFailureTime = 3'000_ms;
+  TestbedConfig cfg;
+  cfg.seed = 9;
+  cfg.num_ues = 3;
+  cfg.ue_mean_snr_db = {22.0, 18.0, 24.0};  // OnePlus / Samsung / RPi
+  Testbed tb{cfg};
+
+  std::vector<std::unique_ptr<PingApp>> pings;
+  std::vector<std::unique_ptr<PingResponder>> responders;
+  for (int i = 0; i < 3; ++i) {
+    pings.push_back(
+        std::make_unique<PingApp>(tb.sim(), tb.server_pipe(i), PingConfig{}));
+    responders.push_back(std::make_unique<PingResponder>(tb.ue_pipe(i)));
+  }
+
+  tb.start();
+  tb.run_until(100_ms);
+  for (auto& p : pings) {
+    p->start();
+  }
+  tb.sim().at(kFailureTime, [&tb] { tb.kill_primary_phy(); });
+  tb.run_until(5'000_ms);
+
+  static const char* kNames[] = {"OnePlus-like", "Samsung-like", "RPi-like"};
+  std::printf("\nfailure at t=%.3f s; detection at t=%.6f s\n",
+              to_seconds(kFailureTime),
+              to_seconds(tb.last_failover_notification()));
+
+  // RTT timeline around the failure, 100 ms steps (nearest sample).
+  print_row({"t (s)", kNames[0], kNames[1], kNames[2]});
+  for (Nanos t = 2'000_ms; t <= 4'000_ms; t += 100_ms) {
+    std::vector<std::string> cells{fmt(to_seconds(t), 1)};
+    for (int i = 0; i < 3; ++i) {
+      double rtt = -1;
+      for (const auto& s : pings[std::size_t(i)]->samples()) {
+        if (s.sent_at <= t && s.sent_at > t - 100_ms) {
+          rtt = to_millis(s.rtt);
+        }
+      }
+      cells.push_back(rtt < 0 ? "lost" : fmt(rtt, 1) + " ms");
+    }
+    print_row(cells);
+  }
+
+  // Statistics: fluctuation during normal operation vs around failover.
+  std::printf("\n");
+  for (int i = 0; i < 3; ++i) {
+    RunningStats normal;
+    double worst_around_failure = 0;
+    for (const auto& s : pings[std::size_t(i)]->samples()) {
+      const double rtt = to_millis(s.rtt);
+      if (s.sent_at < kFailureTime - 100_ms ||
+          s.sent_at > kFailureTime + 300_ms) {
+        normal.add(rtt);
+      } else {
+        worst_around_failure = std::max(worst_around_failure, rtt);
+      }
+    }
+    std::printf(
+        "%-14s normal RTT: mean %.1f ms (min %.1f, max %.1f); worst RTT "
+        "within 300 ms of failover: %.1f ms; lost pings: %llu\n",
+        kNames[i], normal.mean(), normal.min(), normal.max(),
+        worst_around_failure,
+        static_cast<unsigned long long>(
+            pings[std::size_t(i)]->timeouts(1'000_ms)));
+  }
+  std::printf(
+      "\nPaper: one UE shows a ~15 ms spike at failover; the others are\n"
+      "unaffected; the spike resembles routine wireless fluctuation.\n");
+  return 0;
+}

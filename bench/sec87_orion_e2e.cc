@@ -1,0 +1,69 @@
+// §8.7: Orion's FAPI transformations and SHM-to-UDP translation add no
+// UE-visible latency: median ping through the decoupled (Orion) stack
+// matches the coupled (direct SHM) stack. Paper: 22.8 ms median with a
+// 0.8 ms standard deviation in both configurations.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "testbed/testbed.h"
+#include "transport/apps.h"
+
+namespace slingshot {
+namespace {
+
+struct PingResult {
+  double median_ms = 0;
+  double stddev_ms = 0;
+  std::size_t samples = 0;
+};
+
+PingResult run_mode(TestbedMode mode) {
+  TestbedConfig cfg;
+  cfg.seed = 29;
+  cfg.mode = mode;
+  cfg.num_ues = 1;
+  cfg.ue_mean_snr_db = {20.0};
+  Testbed tb{cfg};
+  PingApp ping{tb.sim(), tb.server_pipe(0), PingConfig{}};
+  PingResponder responder{tb.ue_pipe(0)};
+  tb.start();
+  tb.run_until(100_ms);
+  ping.start();
+  tb.run_until(5'100_ms);
+
+  PercentileTracker rtt;
+  RunningStats stats;
+  for (const auto& s : ping.samples()) {
+    rtt.add(to_millis(s.rtt));
+    stats.add(to_millis(s.rtt));
+  }
+  return PingResult{rtt.quantile(0.5), stats.stddev(), ping.samples().size()};
+}
+
+}  // namespace
+}  // namespace slingshot
+
+int main() {
+  using namespace slingshot;
+  using namespace slingshot::bench;
+  print_banner("Section 8.7",
+               "UE ping latency with and without Orion interposed");
+
+  const auto with_orion = run_mode(TestbedMode::kSlingshot);
+  const auto without = run_mode(TestbedMode::kCoupledNoOrion);
+
+  print_row({"configuration", "median RTT", "stddev", "samples"}, 18);
+  print_row({"with Orion", fmt(with_orion.median_ms, 1) + " ms",
+             fmt(with_orion.stddev_ms, 2) + " ms",
+             std::to_string(with_orion.samples)}, 18);
+  print_row({"without Orion", fmt(without.median_ms, 1) + " ms",
+             fmt(without.stddev_ms, 2) + " ms",
+             std::to_string(without.samples)}, 18);
+  std::printf(
+      "\ndelta: %.2f ms — Orion's microsecond-scale transport vanishes\n"
+      "inside millisecond-scale cellular latency (paper: 22.8 ms median,\n"
+      "0.8 ms stddev, identical in both configurations).\n",
+      with_orion.median_ms - without.median_ms);
+  return 0;
+}

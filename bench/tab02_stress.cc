@@ -1,0 +1,145 @@
+// Table 2 (§8.4): stress test for discarding PHY state. PHY processing
+// migrates back and forth between the two PHY servers at rates from
+// 1/s to 50/s for 60 s while an uplink UDP flow runs. The paper's
+// claim: even at 20 migrations/s — with over a hundred HARQ sequences
+// interrupted mid-flight — the network never goes dark for a full
+// 10 ms interval; at 50/s blackouts finally appear.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "testbed/testbed.h"
+#include "transport/apps.h"
+
+namespace slingshot {
+namespace {
+
+constexpr Nanos kWarmup = 500_ms;
+constexpr Nanos kMeasure = 60'000_ms;
+
+struct StressResult {
+  int blackout_bins = 0;
+  double min_tput_mbps = 1e9;
+  double max_tput_mbps = 0;
+  double max_bin_loss = 0;
+  int interrupted_harq = 0;
+  double avg_loss = 0;
+  std::int64_t dropped_ttis = 0;
+  int migrations = 0;
+};
+
+StressResult run_rate(double migrations_per_s) {
+  TestbedConfig cfg;
+  cfg.seed = 21;
+  cfg.num_ues = 1;
+  // A UE near the 16QAM decoding threshold with a moderate FEC budget:
+  // fading dips genuinely fail CRC, so HARQ sequences are plentiful —
+  // the state the stress test is about discarding.
+  cfg.ue_mean_snr_db = {13.5};
+  cfg.phy.ldpc_max_iters = 4;
+  Testbed tb{cfg};
+
+  UdpFlowConfig flow_cfg;
+  flow_cfg.rate_bps = 8e6;  // ~70% of the cell uplink capacity here
+  UdpFlow flow{tb.sim(), tb.ue_pipe(0), tb.server_pipe(0), flow_cfg};
+
+  tb.start();
+  tb.run_until(kWarmup);
+  flow.start();
+
+  EventHandle migrate_task;
+  if (migrations_per_s > 0) {
+    const auto period = Nanos(1e9 / migrations_per_s);
+    migrate_task = tb.sim().every(tb.sim().now() + period, period, [&tb] {
+      tb.planned_migration();
+    });
+  }
+  tb.run_until(kWarmup + kMeasure);
+  migrate_task.cancel();
+
+  StressResult r;
+  const auto first_bin = std::size_t((kWarmup + 500_ms) / 10_ms);
+  const auto last_bin = std::size_t((kWarmup + kMeasure) / 10_ms);
+  for (std::size_t b = first_bin; b < last_bin; ++b) {
+    const double mbps = flow.goodput().bin_rate_bps(b) / 1e6;
+    r.min_tput_mbps = std::min(r.min_tput_mbps, mbps);
+    r.max_tput_mbps = std::max(r.max_tput_mbps, mbps);
+    if (mbps < 0.2) {
+      ++r.blackout_bins;
+    }
+  }
+  r.max_bin_loss = flow.max_bin_loss(kWarmup + 500_ms, kWarmup + kMeasure);
+  r.avg_loss = flow.loss_rate();
+  r.dropped_ttis = tb.ru().stats().dropped_ttis;
+
+  // Interrupted HARQ sequences: active sequences whose lifetime spans a
+  // migration boundary.
+  const auto& migrations = tb.orion().migration_log();
+  r.migrations = int(migrations.size());
+  for (const auto& rec : tb.l2().harq_log()) {
+    for (const auto& mig : migrations) {
+      if (rec.start_slot < mig.boundary_slot &&
+          rec.end_slot >= mig.boundary_slot && rec.transmissions > 1) {
+        ++r.interrupted_harq;
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace slingshot
+
+int main() {
+  using namespace slingshot;
+  using namespace slingshot::bench;
+  print_banner("Table 2",
+               "uplink UDP during PHY-migration stress (60 s per rate)");
+  print_note("planned migrations alternate between the two PHY servers; "
+             "all inter-TTI PHY state (SNR filter, HARQ buffers) is "
+             "discarded at every migration");
+
+  // The 0/s column is a control: this cell operates near the decoding
+  // threshold, so some 10 ms intervals stall from fading alone.
+  // Migration-attributable disruption is the delta against it.
+  const double rates[] = {0, 1, 10, 20, 50};
+  std::vector<StressResult> results;
+  for (const double rate : rates) {
+    std::printf("running %.0f migrations/s ...\n", rate);
+    std::fflush(stdout);
+    results.push_back(run_rate(rate));
+  }
+
+  std::printf("\n");
+  print_row({"metric", "0/s (ctrl)", "1/s", "10/s", "20/s", "50/s"}, 15);
+  auto row = [&](const char* name, auto getter, int precision) {
+    std::vector<std::string> cells{name};
+    for (const auto& r : results) {
+      cells.push_back(fmt(getter(r), precision));
+    }
+    print_row(cells, 15);
+  };
+  row("#10ms blackouts", [](const StressResult& r) {
+    return double(r.blackout_bins); }, 0);
+  row("min tput (Mbps)", [](const StressResult& r) {
+    return r.min_tput_mbps; }, 1);
+  row("max tput (Mbps)", [](const StressResult& r) {
+    return r.max_tput_mbps; }, 1);
+  row("max loss /10ms (%)", [](const StressResult& r) {
+    return r.max_bin_loss * 100; }, 0);
+  row("intr. HARQ seqs", [](const StressResult& r) {
+    return double(r.interrupted_harq); }, 0);
+  row("avg UDP loss (%)", [](const StressResult& r) {
+    return r.avg_loss * 100; }, 2);
+  row("dropped TTIs", [](const StressResult& r) {
+    return double(r.dropped_ttis); }, 0);
+  row("migrations", [](const StressResult& r) {
+    return double(r.migrations); }, 0);
+
+  std::printf(
+      "\nPaper: 0 blackouts up to 20/s (min tput 4.2/3.2/2.1 Mbps), 11\n"
+      "blackouts at 50/s; 67/118/315 interrupted HARQ sequences at\n"
+      "10/20/50 per s; avg loss 0.1%% -> 3.9%%. Discarding inter-TTI PHY\n"
+      "state is safe even under extreme migration rates.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Stress: migrate the PHY back and forth many times per second while a
+// UDP flow runs (the §8.4 experiment in miniature), demonstrating that
+// discarding all inter-TTI PHY state at every migration never takes the
+// network down.
+#include <cstdio>
+
+#include "testbed/testbed.h"
+#include "transport/apps.h"
+
+using namespace slingshot;
+
+int main() {
+  constexpr double kMigrationsPerSecond = 10.0;
+  constexpr Nanos kDuration = 10'000_ms;
+
+  TestbedConfig config;
+  config.seed = 8;
+  config.num_ues = 1;
+  config.ue_mean_snr_db = {18.0};
+  Testbed testbed{config};
+
+  UdpFlowConfig flow_cfg;
+  flow_cfg.rate_bps = 10e6;
+  UdpFlow uplink{testbed.sim(), testbed.ue_pipe(0), testbed.server_pipe(0),
+                 flow_cfg};
+
+  testbed.start();
+  testbed.run_until(100_ms);
+  uplink.start();
+
+  const auto period = Nanos(1e9 / kMigrationsPerSecond);
+  testbed.sim().every(500_ms, period,
+                      [&testbed] { testbed.planned_migration(); });
+
+  std::printf("migrating the PHY %g times per second for %.0f s ...\n\n",
+              kMigrationsPerSecond, to_seconds(kDuration));
+  testbed.run_until(kDuration);
+
+  double min_mbps = 1e9;
+  int blackouts = 0;
+  for (std::size_t b = 100; b < std::size_t(kDuration / 10_ms); ++b) {
+    const double mbps = uplink.goodput().bin_rate_bps(b) / 1e6;
+    min_mbps = std::min(min_mbps, mbps);
+    blackouts += mbps < 0.1 ? 1 : 0;
+  }
+
+  std::printf("migrations executed: %llu\n",
+              static_cast<unsigned long long>(
+                  testbed.mbox().stats().migrations_executed));
+  std::printf("10 ms blackout intervals: %d\n", blackouts);
+  std::printf("min throughput per 10 ms: %.1f Mbps\n", min_mbps);
+  std::printf("overall UDP loss: %.2f%%\n", uplink.loss_rate() * 100);
+  std::printf("UE radio-link failures: %lld (still %s)\n",
+              static_cast<long long>(testbed.ue(0).stats().rlf_events),
+              testbed.ue(0).connected() ? "connected" : "DETACHED");
+  std::printf("HARQ soft-buffer state discarded at every single migration "
+              "— and nobody noticed.\n");
+  return 0;
+}

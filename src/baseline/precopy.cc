@@ -1,0 +1,59 @@
+#include "baseline/precopy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slingshot {
+
+PrecopyResult PrecopyMigrationModel::run_once(MigrationTransport transport) {
+  PrecopyResult result;
+  const double bw = transport == MigrationTransport::kTcp
+                        ? config_.tcp_bandwidth_bytes_per_s
+                        : config_.rdma_bandwidth_bytes_per_s;
+  // Per-run dirty rate: the PHY's dirtying varies with load/placement.
+  // Capped below the link bandwidth, as QEMU's auto-converge throttling
+  // guarantees forward progress.
+  const double dirty = std::clamp(
+      config_.dirty_rate_bytes_per_s *
+          (1.0 + rng_.gaussian(0.0, config_.dirty_rate_rel_stddev)),
+      0.1 * config_.dirty_rate_bytes_per_s, 0.85 * bw);
+
+  double remaining = config_.vm_memory_bytes;
+  double elapsed_s = 0.0;
+  while (result.rounds < config_.max_rounds) {
+    // Stop condition: the remaining dirty set fits in the downtime
+    // budget.
+    if (remaining <= bw * config_.downtime_limit_s) {
+      break;
+    }
+    const double round_s = remaining / bw;
+    result.bytes_transferred += remaining;
+    elapsed_s += round_s;
+    remaining = dirty * round_s;  // pages dirtied while copying
+    ++result.rounds;
+  }
+
+  const double final_copy_s = remaining / bw;
+  const Nanos overhead = std::max<Nanos>(
+      Nanos(rng_.gaussian(double(config_.mgmt_overhead_mean),
+                          double(config_.mgmt_overhead_stddev))),
+      5_ms);
+  result.bytes_transferred += remaining;
+  result.pause_time = Nanos(final_copy_s * 1e9) + overhead;
+  result.total_migration_time =
+      Nanos((elapsed_s + final_copy_s) * 1e9) + overhead;
+  result.phy_crashed = result.pause_time > config_.realtime_tolerance;
+  return result;
+}
+
+std::vector<PrecopyResult> PrecopyMigrationModel::run_many(
+    MigrationTransport transport, int runs) {
+  std::vector<PrecopyResult> results;
+  results.reserve(std::size_t(runs));
+  for (int i = 0; i < runs; ++i) {
+    results.push_back(run_once(transport));
+  }
+  return results;
+}
+
+}  // namespace slingshot

@@ -1,0 +1,62 @@
+// Pre-copy VM live-migration model — the baseline of the paper's Fig 3.
+//
+// QEMU/KVM pre-copy iteratively transfers dirty memory pages; the VM is
+// paused when the remaining dirty set can be shipped within the
+// configured downtime limit (or the round budget runs out), so the
+// pause time is governed by the fixed point of the dirty-rate /
+// bandwidth ratio and by the downtime limit. A PHY like FlexRAN
+// dirties memory continuously (per-TTI signal-processing buffers),
+// which keeps the remaining set large — the paper measures a median
+// 244 ms pause and observes FlexRAN crashes in every run, since vRAN
+// platforms budget sub-10 µs thread interruptions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace slingshot {
+
+enum class MigrationTransport { kTcp, kRdma };
+
+struct PrecopyConfig {
+  double vm_memory_bytes = 8e9;       // FlexRAN VM working set
+  double dirty_rate_bytes_per_s = 2.0e9;   // mean; per-run lognormal-ish
+  double dirty_rate_rel_stddev = 0.25;
+  double tcp_bandwidth_bytes_per_s = 2.8e9;   // ~22 Gbps effective
+  double rdma_bandwidth_bytes_per_s = 5.5e9;  // ~44 Gbps effective [1]
+  double downtime_limit_s = 0.30;  // QEMU default migrate_downtime knob
+  int max_rounds = 30;
+  Nanos mgmt_overhead_mean = 25_ms;  // stop/resume + device state
+  Nanos mgmt_overhead_stddev = 10_ms;
+  // Real-time tolerance: FlexRAN crashes if interrupted longer than
+  // this (vRAN platform requirement, §2.4).
+  Nanos realtime_tolerance = 10'000;  // 10 µs
+};
+
+struct PrecopyResult {
+  Nanos pause_time = 0;        // VM blackout (dropped TTIs span)
+  Nanos total_migration_time = 0;
+  int rounds = 0;
+  double bytes_transferred = 0;
+  bool phy_crashed = false;    // pause exceeded the realtime tolerance
+};
+
+class PrecopyMigrationModel {
+ public:
+  PrecopyMigrationModel(PrecopyConfig config, RngStream rng)
+      : config_(config), rng_(std::move(rng)) {}
+
+  [[nodiscard]] PrecopyResult run_once(MigrationTransport transport);
+  // N independent migration runs (the paper performs 80).
+  [[nodiscard]] std::vector<PrecopyResult> run_many(
+      MigrationTransport transport, int runs);
+
+ private:
+  PrecopyConfig config_;
+  RngStream rng_;
+};
+
+}  // namespace slingshot

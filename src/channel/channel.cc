@@ -1,0 +1,32 @@
+#include "channel/channel.h"
+
+namespace slingshot {
+
+void UeChannel::step_slot() {
+  // AR(1) SNR in dB around the configured mean.
+  snr_db_ = config_.mean_snr_db +
+            config_.ar1_rho * (snr_db_ - config_.mean_snr_db) +
+            rng_.gaussian(0.0, config_.ar1_sigma_db);
+  // Slow phase random walk and mild amplitude fading.
+  phase_ += rng_.gaussian(0.0, config_.phase_walk_rad);
+  amp_db_ = 0.9 * amp_db_ + rng_.gaussian(0.0, config_.amp_sigma_db * 0.2);
+  const auto amp = float(std::pow(10.0, amp_db_ / 20.0));
+  h_ = Cf{amp * float(std::cos(phase_)), amp * float(std::sin(phase_))};
+}
+
+std::vector<Cf> UeChannel::apply(std::span<const Cf> x) {
+  const double sigma2 = noise_variance();
+  // Per-dimension noise stddev: total noise power sigma2 split across
+  // real and imaginary components.
+  const double sigma = std::sqrt(sigma2 / 2.0);
+  std::vector<Cf> y;
+  y.reserve(x.size());
+  for (const auto& s : x) {
+    const Cf noise{float(rng_.gaussian(0.0, sigma)),
+                   float(rng_.gaussian(0.0, sigma))};
+    y.push_back(h_ * s + noise);
+  }
+  return y;
+}
+
+}  // namespace slingshot

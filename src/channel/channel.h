@@ -1,0 +1,67 @@
+// Wireless channel model: per-UE block-fading AWGN.
+//
+// Each UE's link is a single complex tap h (unit-ish magnitude with slow
+// log-normal fading and a random-walk phase) plus AWGN whose variance is
+// set by the instantaneous SNR. SNR follows an AR(1) process in dB — a
+// standard model for the "routine wireless signal quality degradation"
+// that Slingshot's whole design leans on (§4): even stationary 5G UEs
+// see multi-dB swings (the paper cites up to 4x throughput variation).
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace slingshot {
+
+using Cf = std::complex<float>;
+
+struct FadingConfig {
+  double mean_snr_db = 20.0;
+  double ar1_rho = 0.98;      // per-slot correlation of the SNR process
+  double ar1_sigma_db = 0.6;  // innovation stddev per slot (dB)
+  double phase_walk_rad = 0.05;  // phase random-walk step per slot
+  double amp_sigma_db = 0.3;     // amplitude fading around 0 dB
+};
+
+// Evolves per slot; applies the channel to a symbol block.
+class UeChannel {
+ public:
+  UeChannel(FadingConfig config, RngStream rng)
+      : config_(config),
+        rng_(std::move(rng)),
+        snr_db_(config.mean_snr_db) {}
+
+  // Advance the fading processes by one slot.
+  void step_slot();
+
+  [[nodiscard]] double snr_db() const { return snr_db_; }
+  void set_mean_snr_db(double snr) { config_.mean_snr_db = snr; }
+  [[nodiscard]] double mean_snr_db() const { return config_.mean_snr_db; }
+  // Force an immediate SNR excursion (models shadowing events).
+  void shock_snr_db(double delta) { snr_db_ += delta; }
+
+  [[nodiscard]] Cf tap() const { return h_; }
+
+  // y = h*x + n over the block; noise power from the current SNR
+  // (signal normalized to unit average power).
+  [[nodiscard]] std::vector<Cf> apply(std::span<const Cf> x);
+
+  // Noise variance implied by the current SNR.
+  [[nodiscard]] double noise_variance() const {
+    return std::pow(10.0, -snr_db_ / 10.0);
+  }
+
+ private:
+  FadingConfig config_;
+  RngStream rng_;
+  double snr_db_;
+  double phase_ = 0.0;
+  double amp_db_ = 0.0;
+  Cf h_{1.0F, 0.0F};
+};
+
+}  // namespace slingshot

@@ -1,0 +1,26 @@
+#include "common/bits.h"
+
+namespace slingshot {
+
+std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(bytes.size() * 8);
+  for (const auto byte : bytes) {
+    for (int b = 7; b >= 0; --b) {
+      bits.push_back((byte >> b) & 1U);
+    }
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] & 1U) {
+      bytes[i / 8] |= std::uint8_t(1U << (7 - (i % 8)));
+    }
+  }
+  return bytes;
+}
+
+}  // namespace slingshot

@@ -1,0 +1,178 @@
+// Byte-order-aware buffer readers/writers and a packed bit vector.
+//
+// All wire formats in this codebase (fronthaul, FAPI, transport) are
+// serialized through ByteWriter/ByteReader in network byte order, so
+// packets are real byte strings rather than in-memory structs — the same
+// property the in-switch middlebox depends on when it parses header
+// fields out of fronthaul packets.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace slingshot {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(std::uint8_t(v >> 8));
+    out_.push_back(std::uint8_t(v));
+  }
+  void u24(std::uint32_t v) {
+    out_.push_back(std::uint8_t(v >> 16));
+    out_.push_back(std::uint8_t(v >> 8));
+    out_.push_back(std::uint8_t(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(std::uint16_t(v >> 16));
+    u16(std::uint16_t(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(std::uint32_t(v >> 32));
+    u32(std::uint32_t(v));
+  }
+  void f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u32(bits);
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+  // Patch a previously written big-endian u16 at `offset`.
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    out_.at(offset) = std::uint8_t(v >> 8);
+    out_.at(offset + 1) = std::uint8_t(v);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() { return next(); }
+  [[nodiscard]] std::uint16_t u16() {
+    const auto hi = next();
+    return std::uint16_t((std::uint16_t(hi) << 8) | next());
+  }
+  [[nodiscard]] std::uint32_t u24() {
+    const std::uint32_t hi = u16();
+    return (hi << 8) | next();
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  [[nodiscard]] float f32() {
+    const auto bits = u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> bytes(std::size_t n) {
+    require(n);
+    std::vector<std::uint8_t> out(data_.begin() + long(pos_),
+                                  data_.begin() + long(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool ok() const { return !failed_; }
+
+ private:
+  std::uint8_t next() {
+    if (pos_ >= data_.size()) {
+      failed_ = true;
+      return 0;
+    }
+    return data_[pos_++];
+  }
+  void require(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      failed_ = true;
+      throw std::out_of_range{"ByteReader: truncated buffer"};
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// Dense bit vector backed by 64-bit words; used by the LDPC encoder's
+// GF(2) linear algebra.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t n_bits)
+      : n_(n_bits), words_((n_bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1U;
+  }
+  void set(std::size_t i, bool v) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+  void flip(std::size_t i) { words_[i >> 6] ^= 1ULL << (i & 63); }
+
+  BitVector& operator^=(const BitVector& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] ^= other.words_[w];
+    }
+    return *this;
+  }
+
+  // Parity (XOR-reduction) of this AND other — a GF(2) dot product.
+  [[nodiscard]] bool dot(const BitVector& other) const {
+    std::uint64_t acc = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      acc ^= words_[w] & other.words_[w];
+    }
+    return __builtin_parityll(acc);
+  }
+
+  [[nodiscard]] std::span<const std::uint64_t> words() const { return words_; }
+
+  bool operator==(const BitVector&) const = default;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+// Unpack bytes into bits, MSB first. Used when running a byte payload
+// through the bit-level PHY chain.
+[[nodiscard]] std::vector<std::uint8_t> bytes_to_bits(
+    std::span<const std::uint8_t> bytes);
+// Pack bits (values 0/1) MSB-first into bytes; partial trailing byte is
+// zero-padded.
+[[nodiscard]] std::vector<std::uint8_t> bits_to_bytes(
+    std::span<const std::uint8_t> bits);
+
+}  // namespace slingshot

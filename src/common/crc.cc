@@ -1,0 +1,68 @@
+#include "common/crc.h"
+
+#include <array>
+
+namespace slingshot {
+namespace {
+
+constexpr std::uint32_t kCrc24Poly = 0x864CFB;
+constexpr std::uint16_t kCrc16Poly = 0x1021;
+
+std::array<std::uint32_t, 256> make_crc24_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i << 16;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x800000) ? (crc << 1) ^ kCrc24Poly : (crc << 1);
+    }
+    table[i] = crc & 0xFFFFFF;
+  }
+  return table;
+}
+
+std::array<std::uint16_t, 256> make_crc16_table() {
+  std::array<std::uint16_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint16_t crc = std::uint16_t(i << 8);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x8000) ? std::uint16_t((crc << 1) ^ kCrc16Poly)
+                           : std::uint16_t(crc << 1);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const auto kCrc24Table = make_crc24_table();
+const auto kCrc16Table = make_crc16_table();
+
+}  // namespace
+
+std::uint32_t crc24a(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0;
+  for (const auto byte : data) {
+    crc = ((crc << 8) ^ kCrc24Table[((crc >> 16) ^ byte) & 0xFF]) & 0xFFFFFF;
+  }
+  return crc;
+}
+
+std::uint16_t crc16(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0;
+  for (const auto byte : data) {
+    crc = std::uint16_t((crc << 8) ^ kCrc16Table[((crc >> 8) ^ byte) & 0xFF]);
+  }
+  return crc;
+}
+
+std::uint32_t crc24a_bits(std::span<const std::uint8_t> bits) {
+  std::uint32_t crc = 0;
+  for (const auto bit : bits) {
+    const std::uint32_t in = (bit & 1U) << 23;
+    crc ^= in;
+    crc = (crc & 0x800000) ? ((crc << 1) ^ kCrc24Poly) & 0xFFFFFF
+                           : (crc << 1) & 0xFFFFFF;
+  }
+  return crc;
+}
+
+}  // namespace slingshot

@@ -1,0 +1,23 @@
+// CRC generators used by the 5G transport-block chain.
+//
+// 3GPP TS 38.212 attaches CRC24A to transport blocks and CRC16 to small
+// blocks. The PHY's forward-error-correction output is CRC-checked; a
+// mismatch triggers HARQ retransmission (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace slingshot {
+
+// CRC-24A, polynomial 0x864CFB (3GPP TS 38.212 §5.1).
+[[nodiscard]] std::uint32_t crc24a(std::span<const std::uint8_t> data);
+
+// CRC-16-CCITT, polynomial 0x1021.
+[[nodiscard]] std::uint16_t crc16(std::span<const std::uint8_t> data);
+
+// CRC over a bit sequence (one bit per byte entry, values 0/1), as used
+// on codeword payloads before segmentation. Returns 24-bit CRC.
+[[nodiscard]] std::uint32_t crc24a_bits(std::span<const std::uint8_t> bits);
+
+}  // namespace slingshot

@@ -1,0 +1,44 @@
+#include "common/log.h"
+
+#include <cstdarg>
+
+namespace slingshot {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const char* component,
+                 const std::string& message) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
+                                           "WARN", "ERROR", "OFF"};
+  if (time_source_) {
+    std::fprintf(stderr, "[%12.6f ms] %-5s %-12s %s\n",
+                 to_millis(time_source_()), kNames[int(level)], component,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[     t=?    ] %-5s %-12s %s\n", kNames[int(level)],
+                 component, message.c_str());
+  }
+}
+
+namespace detail {
+
+std::string format_args(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(std::size_t(needed > 0 ? needed : 0), '\0');
+  if (needed > 0) {
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace detail
+}  // namespace slingshot

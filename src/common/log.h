@@ -1,0 +1,67 @@
+// Minimal leveled logger. The simulator installs a time source so log
+// lines carry virtual time; default is wall-clock-free "t=?".
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/time.h"
+
+namespace slingshot {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  // Install a virtual-time source (e.g. the simulator clock).
+  void set_time_source(std::function<Nanos()> source) {
+    time_source_ = std::move(source);
+  }
+  void clear_time_source() { time_source_ = nullptr; }
+
+  void log(LogLevel level, const char* component, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::function<Nanos()> time_source_;
+};
+
+namespace detail {
+std::string format_args(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define SLOG(level, component, ...)                                       \
+  do {                                                                    \
+    auto& logger_ = ::slingshot::Logger::instance();                      \
+    if (logger_.enabled(level)) {                                         \
+      logger_.log(level, component,                                       \
+                  ::slingshot::detail::format_args(__VA_ARGS__));         \
+    }                                                                     \
+  } while (0)
+
+#define SLOG_DEBUG(component, ...) \
+  SLOG(::slingshot::LogLevel::kDebug, component, __VA_ARGS__)
+#define SLOG_INFO(component, ...) \
+  SLOG(::slingshot::LogLevel::kInfo, component, __VA_ARGS__)
+#define SLOG_WARN(component, ...) \
+  SLOG(::slingshot::LogLevel::kWarn, component, __VA_ARGS__)
+#define SLOG_ERROR(component, ...) \
+  SLOG(::slingshot::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace slingshot

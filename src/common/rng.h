@@ -1,0 +1,80 @@
+// Deterministic random-number streams.
+//
+// Every stochastic element of the simulation (channel noise, fading,
+// jitter, loss) draws from its own named stream derived from the global
+// experiment seed, so experiments are exactly reproducible and
+// independent components don't perturb each other's draws.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace slingshot {
+
+// splitmix64 — used to whiten (seed, name-hash) pairs into stream seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h = (h ^ std::uint8_t(c)) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// One independent random stream. Thin wrapper over mt19937_64 with the
+// distributions the simulator needs.
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed) : engine_(seed) {}
+
+  [[nodiscard]] double uniform() { return uniform_(engine_); }
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+  [[nodiscard]] double gaussian(double mean = 0.0, double stddev = 1.0) {
+    return mean + stddev * normal_(engine_);
+  }
+  [[nodiscard]] double exponential(double mean) {
+    return -mean * std::log(1.0 - uniform());
+  }
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+  [[nodiscard]] int uniform_int(int lo, int hi) {  // inclusive range
+    return int(lo + std::int64_t(next_u64() % std::uint64_t(hi - lo + 1)));
+  }
+  [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+// Factory for named streams derived from a single experiment seed.
+class RngRegistry {
+ public:
+  explicit RngRegistry(std::uint64_t experiment_seed)
+      : seed_(experiment_seed) {}
+
+  [[nodiscard]] RngStream stream(std::string_view name) const {
+    return RngStream{splitmix64(seed_ ^ fnv1a(name))};
+  }
+  [[nodiscard]] RngStream stream(std::string_view name,
+                                 std::uint64_t index) const {
+    return RngStream{splitmix64(splitmix64(seed_ ^ fnv1a(name)) + index)};
+  }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace slingshot

@@ -1,0 +1,40 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace slingshot {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double PercentileTracker::quantile(double q) {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  const auto& s = sorted_samples();
+  const double pos = q * double(s.size() - 1);
+  const auto lo = std::size_t(pos);
+  const auto hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - double(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+const std::vector<double>& PercentileTracker::sorted_samples() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  return samples_;
+}
+
+void TimeBinnedCounter::add(Nanos t, double amount) {
+  if (t < start_) {
+    return;
+  }
+  const auto idx = std::size_t((t - start_) / bin_width_);
+  if (idx >= bins_.size()) {
+    bins_.resize(idx + 1, 0.0);
+  }
+  bins_[idx] += amount;
+}
+
+}  // namespace slingshot

@@ -1,0 +1,144 @@
+// Statistics collectors used by benchmarks and metrics pipelines:
+// running moments, exact percentiles, time-binned series, and the
+// exponentially-weighted moving average the PHY uses for its per-UE SNR
+// filter (§4.2).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/time.h"
+
+namespace slingshot {
+
+// Running mean / min / max / stddev without storing samples.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Stores samples; computes exact quantiles on demand.
+class PercentileTracker {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  // q in [0, 1]; q=0.5 is the median.
+  [[nodiscard]] double quantile(double q);
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+  // Empirical CDF points (sorted samples), for CDF plots like Fig 3.
+  [[nodiscard]] const std::vector<double>& sorted_samples();
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+// Accumulates (time, value) events into fixed-width time bins; used for
+// "throughput every 10 ms" style plots (Figs 8-11).
+class TimeBinnedCounter {
+ public:
+  TimeBinnedCounter(Nanos bin_width, Nanos start = 0)
+      : bin_width_(bin_width), start_(start) {}
+
+  void add(Nanos t, double amount);
+
+  // Value of bin i (0 if never touched).
+  [[nodiscard]] double bin(std::size_t i) const {
+    return i < bins_.size() ? bins_[i] : 0.0;
+  }
+  [[nodiscard]] std::size_t num_bins() const { return bins_.size(); }
+  [[nodiscard]] Nanos bin_width() const { return bin_width_; }
+  [[nodiscard]] Nanos bin_start_time(std::size_t i) const {
+    return start_ + Nanos(i) * bin_width_;
+  }
+  // Bits-per-second style rate if `amount` was bytes.
+  [[nodiscard]] double bin_rate_bps(std::size_t i) const {
+    return bin(i) * 8.0 / to_seconds(bin_width_);
+  }
+
+ private:
+  Nanos bin_width_;
+  Nanos start_;
+  std::vector<double> bins_;
+};
+
+// Exponentially-weighted moving average. The PHY's per-UE SNR filter is
+// an EWMA whose reconvergence after a reset takes ~25 ms of slots (§4.2).
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+  void reset() { initialized_ = false; }
+  void reset_to(double v) {
+    value_ = v;
+    initialized_ = true;
+  }
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Max-gap tracker: feeds timestamps, reports the largest gap seen.
+// Used to reproduce the paper's §8.6 inter-packet-gap measurement that
+// justifies the 450 µs failure-detector timeout.
+class GapTracker {
+ public:
+  void observe(Nanos t) {
+    if (have_last_) {
+      max_gap_ = std::max(max_gap_, t - last_);
+      ++gaps_;
+    }
+    last_ = t;
+    have_last_ = true;
+  }
+  [[nodiscard]] Nanos max_gap() const { return max_gap_; }
+  [[nodiscard]] std::int64_t num_gaps() const { return gaps_; }
+
+ private:
+  Nanos last_ = 0;
+  Nanos max_gap_ = 0;
+  std::int64_t gaps_ = 0;
+  bool have_last_ = false;
+};
+
+}  // namespace slingshot

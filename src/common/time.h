@@ -1,0 +1,131 @@
+// Virtual-time and 5G slot-timing primitives.
+//
+// The cell configuration mirrors the paper's testbed (§8): numerology
+// µ=1 (30 kHz subcarrier spacing), i.e. a 500 µs TTI ("slot"), TDD with
+// the "DDDSU" slot format — three downlink slots, a shared/guard slot,
+// then one uplink slot.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace slingshot {
+
+// Simulation time in nanoseconds. Signed so durations subtract cleanly.
+using Nanos = std::int64_t;
+
+constexpr Nanos operator""_ns(unsigned long long v) { return Nanos(v); }
+constexpr Nanos operator""_us(unsigned long long v) { return Nanos(v) * 1000; }
+constexpr Nanos operator""_ms(unsigned long long v) {
+  return Nanos(v) * 1'000'000;
+}
+constexpr Nanos operator""_s(unsigned long long v) {
+  return Nanos(v) * 1'000'000'000;
+}
+
+constexpr double to_seconds(Nanos t) { return double(t) * 1e-9; }
+constexpr double to_millis(Nanos t) { return double(t) * 1e-6; }
+constexpr double to_micros(Nanos t) { return double(t) * 1e-3; }
+
+// Kind of work a TDD slot carries.
+enum class SlotKind : std::uint8_t {
+  kDownlink,  // 'D'
+  kSpecial,   // 'S' — guard/control; carries DL control but no user data
+  kUplink,    // 'U'
+};
+
+// 5G slot timing for numerology µ=1. A "slot" here is synonymous with a
+// TTI. A radio frame is 10 ms (20 slots); a subframe is 1 ms (2 slots).
+struct SlotConfig {
+  Nanos slot_duration = 500'000_ns;  // 500 µs
+  int slots_per_frame = 20;
+  int slots_per_subframe = 2;
+  // DDDSU repeating pattern, as in the paper's testbed.
+  static constexpr int kTddPeriod = 5;
+
+  [[nodiscard]] constexpr SlotKind kind(std::int64_t slot_index) const {
+    switch (slot_index % kTddPeriod) {
+      case 3:
+        return SlotKind::kSpecial;
+      case 4:
+        return SlotKind::kUplink;
+      default:
+        return SlotKind::kDownlink;
+    }
+  }
+  [[nodiscard]] constexpr bool is_uplink(std::int64_t s) const {
+    return kind(s) == SlotKind::kUplink;
+  }
+  [[nodiscard]] constexpr bool is_downlink(std::int64_t s) const {
+    return kind(s) == SlotKind::kDownlink;
+  }
+
+  [[nodiscard]] constexpr std::int64_t slot_at(Nanos t) const {
+    return t / slot_duration;
+  }
+  [[nodiscard]] constexpr Nanos slot_start(std::int64_t slot) const {
+    return slot * slot_duration;
+  }
+  // First slot boundary strictly after time t.
+  [[nodiscard]] constexpr std::int64_t next_slot_after(Nanos t) const {
+    return t / slot_duration + 1;
+  }
+};
+
+// A (frame, subframe, slot) triple as carried in O-RAN fronthaul packet
+// headers. The switch middlebox parses these fields to detect TTI
+// boundaries (§5.1 "Using packet header fields for timing").
+struct SlotPoint {
+  std::uint16_t frame = 0;    // SFN, 0..1023
+  std::uint8_t subframe = 0;  // 0..9
+  std::uint8_t slot = 0;      // 0..1 for µ=1
+
+  static constexpr int kFrames = 1024;
+
+  [[nodiscard]] static SlotPoint from_index(std::int64_t slot_index,
+                                            const SlotConfig& cfg) {
+    SlotPoint p;
+    const auto frame_len = cfg.slots_per_frame;
+    const auto in_frame = slot_index % frame_len;
+    p.frame = std::uint16_t((slot_index / frame_len) % kFrames);
+    p.subframe = std::uint8_t(in_frame / cfg.slots_per_subframe);
+    p.slot = std::uint8_t(in_frame % cfg.slots_per_subframe);
+    return p;
+  }
+
+  // Index within the 1024-frame wrap window.
+  [[nodiscard]] std::int64_t wrapped_index(const SlotConfig& cfg) const {
+    return (std::int64_t(frame) * 10 + subframe) * cfg.slots_per_subframe +
+           slot;
+  }
+
+  auto operator<=>(const SlotPoint&) const = default;
+
+  // Reconstruct the absolute slot index from a wrapped SlotPoint, given
+  // a nearby absolute slot (e.g. "now"). Picks the unwrapping closest to
+  // `near_slot`; valid as long as the true slot is within half a wrap
+  // period (~5.1 s) of `near_slot`.
+  [[nodiscard]] std::int64_t unwrap(std::int64_t near_slot,
+                                    const SlotConfig& cfg) const {
+    const std::int64_t period =
+        std::int64_t(kFrames) * cfg.slots_per_frame;  // 20480 slots
+    const std::int64_t w = wrapped_index(cfg);
+    std::int64_t candidate = near_slot - ((near_slot - w) % period);
+    // candidate ≡ w (mod period); adjust into the window nearest near_slot.
+    while (candidate - near_slot > period / 2) {
+      candidate -= period;
+    }
+    while (near_slot - candidate > period / 2) {
+      candidate += period;
+    }
+    return candidate;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return "f" + std::to_string(frame) + ".sf" + std::to_string(subframe) +
+           ".s" + std::to_string(slot);
+  }
+};
+
+}  // namespace slingshot

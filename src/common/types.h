@@ -1,0 +1,93 @@
+// Strong identifier types used across the Slingshot codebase.
+//
+// Slingshot's fronthaul middlebox relies on small, operator-assigned
+// logical IDs for RUs and PHYs (§5.1 of the paper): they form a
+// collision-free keyspace that the switch data plane can index directly.
+// We mirror that here with 8-bit logical IDs wrapped in strong types so
+// an RuId can never be passed where a PhyId is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace slingshot {
+
+// CRTP-free strong ID: tag disambiguates, Rep is the wire representation.
+template <typename Tag, typename Rep = std::uint8_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+ private:
+  Rep value_{0};
+};
+
+struct RuIdTag {};
+struct PhyIdTag {};
+struct UeIdTag {};
+struct ServerIdTag {};
+struct HarqIdTag {};
+
+// Logical radio-unit ID assigned by the operator at installation time.
+using RuId = StrongId<RuIdTag>;
+// Logical PHY-process ID; the switch's RU-to-PHY map stores these.
+using PhyId = StrongId<PhyIdTag>;
+// RNTI-like UE identifier, scoped to a cell.
+using UeId = StrongId<UeIdTag, std::uint16_t>;
+// Identifies a vRAN server in the edge datacenter.
+using ServerId = StrongId<ServerIdTag>;
+// HARQ process number (5G allows up to 16; we use 8).
+using HarqId = StrongId<HarqIdTag>;
+
+// 48-bit Ethernet MAC address stored in the low bits of a uint64.
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  constexpr explicit MacAddr(std::uint64_t bits) : bits_(bits & kMask) {}
+
+  [[nodiscard]] constexpr std::uint64_t bits() const { return bits_; }
+  [[nodiscard]] constexpr bool is_broadcast() const { return bits_ == kMask; }
+  constexpr auto operator<=>(const MacAddr&) const = default;
+
+  [[nodiscard]] static constexpr MacAddr broadcast() { return MacAddr{kMask}; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static constexpr std::uint64_t kMask = 0xFFFF'FFFF'FFFFULL;
+  std::uint64_t bits_{0};
+};
+
+inline std::string MacAddr::to_string() const {
+  char buf[18];
+  const auto b = bits_;
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                unsigned((b >> 40) & 0xFF), unsigned((b >> 32) & 0xFF),
+                unsigned((b >> 24) & 0xFF), unsigned((b >> 16) & 0xFF),
+                unsigned((b >> 8) & 0xFF), unsigned(b & 0xFF));
+  return std::string{buf};
+}
+
+}  // namespace slingshot
+
+template <typename Tag, typename Rep>
+struct std::hash<slingshot::StrongId<Tag, Rep>> {
+  std::size_t operator()(const slingshot::StrongId<Tag, Rep>& id) const {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<slingshot::MacAddr> {
+  std::size_t operator()(const slingshot::MacAddr& mac) const {
+    return std::hash<std::uint64_t>{}(mac.bits());
+  }
+};

@@ -1,0 +1,226 @@
+#include "core/fh_mbox.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/log.h"
+
+namespace slingshot {
+namespace {
+constexpr std::int64_t kWrapWindow = 20480;  // 1024 frames x 20 slots
+}
+
+std::vector<std::uint8_t> serialize_migrate_cmd(const MigrateOnSlotCmd& cmd) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w{out};
+  w.u8(cmd.ru.value());
+  w.u8(cmd.dest_phy.value());
+  w.u16(cmd.slot.frame);
+  w.u8(cmd.slot.subframe);
+  w.u8(cmd.slot.slot);
+  return out;
+}
+
+MigrateOnSlotCmd parse_migrate_cmd(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  MigrateOnSlotCmd cmd;
+  cmd.ru = RuId{r.u8()};
+  cmd.dest_phy = PhyId{r.u8()};
+  cmd.slot.frame = r.u16();
+  cmd.slot.subframe = r.u8();
+  cmd.slot.slot = r.u8();
+  return cmd;
+}
+
+SwitchResourceEstimate estimate_switch_resources(int num_rus, int num_phys) {
+  // Calibrated to the paper's §8.6 measurement at 256 RUs + 256 PHYs:
+  // crossbar 5.2%, ALU 10.4%, gateway 14.1%, SRAM 5.3%, hash 9.5%.
+  // Logic resources (crossbar/ALU/gateway/hash) are dominated by the
+  // fixed program structure; "supporting more RUs/PHYs increases only
+  // SRAM usage" — SRAM scales with table/register entries.
+  SwitchResourceEstimate est;
+  est.crossbar_pct = 5.2;
+  est.alu_pct = 10.4;
+  est.gateway_pct = 14.1;
+  est.hash_bits_pct = 9.5;
+  const double entries = double(num_rus) * 2.0 + double(num_phys) * 2.0 +
+                         double(num_rus) + double(num_phys);  // tables + regs
+  const double calib_entries = 256.0 * 2 + 256.0 * 2 + 256.0 + 256.0;
+  est.sram_pct = 1.0 + 4.3 * entries / calib_entries;  // 5.3% at calibration
+  return est;
+}
+
+FronthaulMiddlebox::FronthaulMiddlebox(Simulator& sim, FhMboxConfig config)
+    : sim_(sim),
+      config_(config),
+      ru_id_directory_(sim, sim.rng().stream("mbox.cp", 0)),
+      phy_id_directory_(sim, sim.rng().stream("mbox.cp", 1)),
+      phy_addr_directory_(sim, sim.rng().stream("mbox.cp", 2)),
+      ru_addr_directory_(sim, sim.rng().stream("mbox.cp", 3)),
+      ru_to_phy_(std::size_t(config.max_ids), 0),
+      migration_store_(std::size_t(config.max_ids)),
+      failure_counters_(std::size_t(config.max_ids), 0),
+      watches_(std::size_t(config.max_ids)) {}
+
+void FronthaulMiddlebox::register_ru(RuId id, MacAddr mac) {
+  ru_id_directory_.bootstrap_insert(mac, id.value());
+  ru_addr_directory_.bootstrap_insert(id.value(), mac);
+}
+
+void FronthaulMiddlebox::register_phy(PhyId id, MacAddr mac) {
+  phy_id_directory_.bootstrap_insert(mac, id.value());
+  phy_addr_directory_.bootstrap_insert(id.value(), mac);
+}
+
+void FronthaulMiddlebox::bind_ru_to_phy(RuId ru, PhyId phy) {
+  ru_to_phy_.write(ru.value(), phy.value());
+}
+
+void FronthaulMiddlebox::watch_phy(PhyId phy, MacAddr orion_mac) {
+  watches_[phy.value()] = WatchEntry{/*armed=*/true, orion_mac};
+  failure_counters_.write(phy.value(), 0);
+  if (std::find(tracked_phys_.begin(), tracked_phys_.end(), phy.value()) ==
+      tracked_phys_.end()) {
+    tracked_phys_.push_back(phy.value());
+  }
+}
+
+void FronthaulMiddlebox::unwatch_phy(PhyId phy) {
+  watches_[phy.value()].armed = false;
+  std::erase(tracked_phys_, phy.value());
+}
+
+bool FronthaulMiddlebox::slot_reached(std::int64_t pkt_wrapped,
+                                      std::int64_t boundary_wrapped) const {
+  const std::int64_t diff =
+      ((pkt_wrapped - boundary_wrapped) % kWrapWindow + kWrapWindow) %
+      kWrapWindow;
+  return diff < kWrapWindow / 2;
+}
+
+void FronthaulMiddlebox::maybe_execute_migration(RuId ru,
+                                                 std::int64_t pkt_wrapped) {
+  const auto& entry = migration_store_.read(ru.value());
+  if (entry.valid && slot_reached(pkt_wrapped, entry.wrapped_slot)) {
+    ru_to_phy_.write(ru.value(), entry.dest_phy);
+    auto cleared = entry;
+    cleared.valid = false;
+    migration_store_.write(ru.value(), cleared);
+    ++stats_.migrations_executed;
+    SLOG_INFO("fh_mbox", "migration executed: ru=%u -> phy=%u at slot %lld",
+              ru.value(), entry.dest_phy,
+              static_cast<long long>(pkt_wrapped));
+  }
+}
+
+PipelineVerdict FronthaulMiddlebox::process(Packet& packet, int /*port*/,
+                                            PipelineContext& ctx) {
+  switch (packet.eth.ethertype) {
+    case EtherType::kSlingshotCmd: {
+      // migrate_on_slot from Orion: absorbed in the data plane.
+      if (packet.payload.size() < 6) {
+        ++stats_.unknown_dropped;
+        return PipelineVerdict::kHandled;
+      }
+      const auto cmd = parse_migrate_cmd(packet.payload);
+      MigrationEntry entry;
+      entry.valid = true;
+      entry.dest_phy = cmd.dest_phy.value();
+      entry.wrapped_slot = cmd.slot.wrapped_index(slots_);
+      migration_store_.write(cmd.ru.value(), entry);
+      ++stats_.commands_received;
+      return PipelineVerdict::kHandled;
+    }
+    case EtherType::kEcpri:
+      break;  // fronthaul handling below
+    default:
+      return PipelineVerdict::kDefaultForward;  // FAPI/user-plane traffic
+  }
+
+  const auto header = peek_fronthaul_header(packet.payload);
+  if (!header.has_value()) {
+    ++stats_.unknown_dropped;
+    return PipelineVerdict::kHandled;
+  }
+  const std::int64_t pkt_wrapped = header->slot.wrapped_index(slots_);
+
+  if (header->direction == FhDirection::kUplink) {
+    // RU -> virtual PHY address: resolve RU, run migration trigger,
+    // translate to the active PHY's MAC.
+    const auto* ru_id = ru_id_directory_.lookup(packet.eth.src);
+    if (ru_id == nullptr) {
+      ++stats_.unknown_dropped;
+      return PipelineVerdict::kHandled;
+    }
+    const RuId ru{*ru_id};
+    maybe_execute_migration(ru, pkt_wrapped);
+    const auto phy = ru_to_phy_.read(ru.value());
+    const auto* phy_mac = phy_addr_directory_.lookup(phy);
+    if (phy_mac == nullptr) {
+      ++stats_.unknown_dropped;
+      return PipelineVerdict::kHandled;
+    }
+    packet.eth.dst = *phy_mac;
+    ++stats_.ul_forwarded;
+    ctx.emit_to_mac(*phy_mac, std::move(packet));
+    return PipelineVerdict::kHandled;
+  }
+
+  // Downlink: PHY -> RU.
+  const auto* src_phy = phy_id_directory_.lookup(packet.eth.src);
+  if (src_phy == nullptr) {
+    ++stats_.unknown_dropped;
+    return PipelineVerdict::kHandled;
+  }
+  // Natural heartbeat: any DL fronthaul packet proves the PHY alive.
+  failure_counters_.write(*src_phy, 0);
+  watches_[*src_phy].armed = watches_[*src_phy].notify_mac.bits() != 0;
+
+  const RuId ru = header->ru;
+  maybe_execute_migration(ru, pkt_wrapped);
+  if (dl_filter_ && ru_to_phy_.read(ru.value()) != *src_phy) {
+    // Not the active PHY for this RU: block (standby heartbeats, or a
+    // stale primary after migration).
+    ++stats_.dl_blocked;
+    return PipelineVerdict::kHandled;
+  }
+  const auto* ru_mac = ru_addr_directory_.lookup(ru.value());
+  if (ru_mac == nullptr) {
+    ++stats_.unknown_dropped;
+    return PipelineVerdict::kHandled;
+  }
+  packet.eth.dst = *ru_mac;
+  ++stats_.dl_forwarded;
+  ctx.emit_to_mac(*ru_mac, std::move(packet));
+  return PipelineVerdict::kHandled;
+}
+
+void FronthaulMiddlebox::on_generator_packet(Packet& /*packet*/,
+                                             PipelineContext& ctx) {
+  // Each generator tick increments every tracked PHY's counter; a
+  // saturated counter (n ticks without a downlink packet) means the
+  // timeout T elapsed with no heartbeat -> the PHY failed.
+  for (const auto phy : tracked_phys_) {
+    auto& watch = watches_[phy];
+    if (!watch.armed) {
+      continue;
+    }
+    const auto count = failure_counters_.read(phy);
+    if (count + 1 >= config_.detector_ticks) {
+      watch.armed = false;  // one notification per failure episode
+      failure_counters_.write(phy, 0);
+      ++stats_.failures_detected;
+      SLOG_WARN("fh_mbox", "PHY %u failure detected (timeout)", unsigned(phy));
+      // Re-format the timer packet into a failure notification.
+      Packet notify;
+      notify.eth.dst = watch.notify_mac;
+      notify.eth.ethertype = EtherType::kFailureNotify;
+      notify.payload = {phy};
+      ctx.emit_to_mac(watch.notify_mac, std::move(notify));
+    } else {
+      failure_counters_.write(phy, std::uint16_t(count + 1));
+    }
+  }
+}
+
+}  // namespace slingshot

@@ -1,0 +1,161 @@
+// Slingshot's in-switch fronthaul middlebox (§5) + realtime PHY failure
+// detector (§5.2), expressed as a dataplane program over the
+// programmable-switch primitives (match-action tables, registers,
+// packet generator) — structurally the paper's P4 implementation (§7).
+//
+// Data structures (Fig 5):
+//  * ID directory        — match-action table: RU MAC -> RU id, and
+//                          PHY MAC -> PHY id (control-plane populated at
+//                          installation time).
+//  * Address directory   — match-action table: PHY id -> PHY MAC and
+//                          RU id -> RU MAC.
+//  * RU-to-PHY mapping   — data-plane register array indexed by RU id
+//                          (match-action tables can't be updated at
+//                          line rate; registers can).
+//  * Migration request store — register array of pending
+//                          migrate_on_slot commands per RU.
+//  * Failure counters    — per-PHY registers driven by the switch
+//                          packet generator (n ticks per timeout T).
+//
+// Per-packet logic:
+//  * Uplink fronthaul (RU -> virtual PHY address): resolve the RU id,
+//    execute any matured migration request at the TTI boundary, then
+//    rewrite the destination to the *current* primary PHY's MAC.
+//  * Downlink fronthaul (PHY -> RU): reset the source PHY's failure
+//    counter (natural heartbeat), execute matured migration requests,
+//    and forward only if the source is the RU's active PHY — blocking
+//    the hot standby's control plane from reaching the RU.
+//  * migrate_on_slot command packets from Orion are absorbed into the
+//    migration request store entirely in the data plane (no
+//    millisecond-scale control-plane rule update on the critical path).
+//  * Generator packets increment every tracked PHY's counter; a counter
+//    reaching n re-formats the packet into a failure notification sent
+//    to that PHY's L2-side Orion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "fronthaul/oran.h"
+#include "switchsim/pswitch.h"
+#include "switchsim/tables.h"
+
+namespace slingshot {
+
+// migrate_on_slot command payload (EtherType kSlingshotCmd).
+struct MigrateOnSlotCmd {
+  RuId ru;
+  PhyId dest_phy;
+  SlotPoint slot;  // first slot served by dest_phy
+};
+[[nodiscard]] std::vector<std::uint8_t> serialize_migrate_cmd(
+    const MigrateOnSlotCmd& cmd);
+[[nodiscard]] MigrateOnSlotCmd parse_migrate_cmd(
+    std::span<const std::uint8_t> bytes);
+
+// Failure notification payload (EtherType kFailureNotify).
+struct FailureNotification {
+  PhyId phy;
+};
+
+struct FhMboxConfig {
+  // Failure detector: timeout T split into n generator ticks (§5.2.2).
+  Nanos detector_timeout = 450'000;  // 450 µs, chosen from the measured
+                                     // 393 µs max inter-packet gap
+  int detector_ticks = 50;           // n = 50 -> 9 µs precision
+  int max_ids = 256;                 // operator-assigned 8-bit id space
+};
+
+struct FhMboxStats {
+  std::uint64_t ul_forwarded = 0;
+  std::uint64_t dl_forwarded = 0;
+  std::uint64_t dl_blocked = 0;        // standby/stale-PHY DL packets
+  std::uint64_t migrations_executed = 0;
+  std::uint64_t commands_received = 0;
+  std::uint64_t failures_detected = 0;
+  std::uint64_t unknown_dropped = 0;
+};
+
+// Estimated switch ASIC resource usage for a given deployment size —
+// reproduces the paper's §8.6 resource table (calibrated at 256 RUs /
+// 256 PHYs).
+struct SwitchResourceEstimate {
+  double crossbar_pct = 0.0;
+  double alu_pct = 0.0;
+  double gateway_pct = 0.0;
+  double sram_pct = 0.0;
+  double hash_bits_pct = 0.0;
+};
+[[nodiscard]] SwitchResourceEstimate estimate_switch_resources(int num_rus,
+                                                               int num_phys);
+
+class FronthaulMiddlebox final : public DataplaneProgram {
+ public:
+  FronthaulMiddlebox(Simulator& sim, FhMboxConfig config);
+
+  // ---- Installation-time configuration (operator-assigned IDs) ----
+  void register_ru(RuId id, MacAddr mac);
+  void register_phy(PhyId id, MacAddr mac);
+  void bind_ru_to_phy(RuId ru, PhyId phy);  // initial mapping
+  // Failure detection: watch `phy`; notifications go to `orion_mac`.
+  void watch_phy(PhyId phy, MacAddr orion_mac);
+  void unwatch_phy(PhyId phy);
+
+  // ABLATION: disable the downlink source filter (the check that only
+  // the RU's active PHY may reach it). The naive no-filter design lets
+  // the hot standby's control plane hit the RU in every slot.
+  void set_dl_source_filter(bool enabled) { dl_filter_ = enabled; }
+
+  // ---- DataplaneProgram ----
+  PipelineVerdict process(Packet& packet, int ingress_port,
+                          PipelineContext& ctx) override;
+  void on_generator_packet(Packet& packet, PipelineContext& ctx) override;
+
+  // Generator period implied by the config (switch owner starts it).
+  [[nodiscard]] Nanos generator_period() const {
+    return config_.detector_timeout / config_.detector_ticks;
+  }
+
+  [[nodiscard]] PhyId active_phy(RuId ru) const {
+    return PhyId{ru_to_phy_.read(ru.value())};
+  }
+  [[nodiscard]] const FhMboxStats& stats() const { return stats_; }
+
+ private:
+  struct MigrationEntry {
+    bool valid = false;
+    std::uint8_t dest_phy = 0;
+    std::int64_t wrapped_slot = 0;  // within the 20480-slot wrap window
+  };
+  struct WatchEntry {
+    bool armed = false;
+    MacAddr notify_mac;
+  };
+
+  // Has this packet's slot reached the migration boundary (wrap-aware)?
+  [[nodiscard]] bool slot_reached(std::int64_t pkt_wrapped,
+                                  std::int64_t boundary_wrapped) const;
+  void maybe_execute_migration(RuId ru, std::int64_t pkt_wrapped);
+
+  Simulator& sim_;
+  FhMboxConfig config_;
+  SlotConfig slots_;
+  // Match-action tables (control-plane populated, data-plane read).
+  MatchActionTable<MacAddr, std::uint8_t> ru_id_directory_;
+  MatchActionTable<MacAddr, std::uint8_t> phy_id_directory_;
+  MatchActionTable<std::uint8_t, MacAddr> phy_addr_directory_;
+  MatchActionTable<std::uint8_t, MacAddr> ru_addr_directory_;
+  // Data-plane registers.
+  RegisterArray<std::uint8_t> ru_to_phy_;
+  RegisterArray<MigrationEntry> migration_store_;
+  RegisterArray<std::uint16_t> failure_counters_;
+  std::vector<WatchEntry> watches_;
+  std::vector<std::uint8_t> tracked_phys_;  // ids with an active watch
+  bool dl_filter_ = true;
+  FhMboxStats stats_;
+};
+
+}  // namespace slingshot

@@ -1,0 +1,408 @@
+#include "core/orion.h"
+
+#include "common/log.h"
+
+namespace slingshot {
+
+// ---------------------------------------------------------------------
+// OrionPhySide
+// ---------------------------------------------------------------------
+
+OrionPhySide::OrionPhySide(Simulator& sim, std::string name, Nic& nic,
+                           OrionCostModel costs)
+    : sim_(sim),
+      name_(std::move(name)),
+      nic_(nic),
+      costs_(costs),
+      jitter_rng_(sim.rng().stream("orion.phy." + name_)) {
+  nic_.set_rx_handler([this](Packet&& f) { handle_frame(std::move(f)); });
+}
+
+void OrionPhySide::handle_frame(Packet&& frame) {
+  if (frame.eth.ethertype != EtherType::kFapiTransport || to_phy_ == nullptr) {
+    return;
+  }
+  // Network -> SHM relay toward the local PHY, with forwarding cost.
+  const auto delay = costs_.sample(frame.payload.size(), jitter_rng_);
+  sim_.after(delay, [this, payload = std::move(frame.payload)] {
+    if (to_phy_ == nullptr) {
+      return;
+    }
+    try {
+      deliver_to_phy(parse_fapi(payload));
+    } catch (const std::exception&) {
+      // Corrupt datagram: drop; the loss watchdog plugs any hole.
+    }
+  });
+}
+
+void OrionPhySide::deliver_to_phy(FapiMessage&& msg) {
+  // Track the request stream per RU for §6.1 loss compensation, and arm
+  // the per-slot watchdog once real traffic starts.
+  const auto type = msg.type();
+  if (type == FapiMsgType::kDlTtiRequest ||
+      type == FapiMsgType::kUlTtiRequest) {
+    auto [it, inserted] = last_request_slot_.try_emplace(msg.ru.value(), -1);
+    // A request that leapfrogs the expected slot reveals a hole right
+    // away (the lost datagram carried the slots in between): plug it
+    // now rather than waiting for the watchdog.
+    if (null_on_loss_ && it->second >= 0 && msg.slot > it->second + 1) {
+      int plugged = 0;
+      for (std::int64_t s = it->second + 1; s < msg.slot && plugged < 8;
+           ++s, ++plugged) {
+        nulls_injected_ += 2;
+        to_phy_count_ += 2;
+        to_phy_->send(make_null_dl_tti(msg.ru, s));
+        to_phy_->send(make_null_ul_tti(msg.ru, s));
+      }
+    }
+    it->second = std::max(it->second, msg.slot);
+    auto& real = last_real_request_slot_[msg.ru.value()];
+    real = std::max(real, slots_.slot_at(sim_.now()));
+    if (null_on_loss_ && !watchdog_.valid()) {
+      const Nanos first =
+          slots_.slot_start(slots_.next_slot_after(sim_.now()));
+      watchdog_ = sim_.every(first, slots_.slot_duration,
+                             [this] { on_slot_watchdog(); });
+    }
+  }
+  ++to_phy_count_;
+  to_phy_->send(std::move(msg));
+}
+
+void OrionPhySide::on_slot_watchdog() {
+  if (!null_on_loss_ || to_phy_ == nullptr) {
+    return;
+  }
+  // At the start of slot s, requests for s (sent by the L2 a couple of
+  // slots ago) must already have arrived. If the stream has a hole —
+  // a lost datagram — plug it with null requests so the PHY keeps its
+  // every-slot contract.
+  const auto current = slots_.slot_at(sim_.now());
+  for (auto& [ru, last_slot] : last_request_slot_) {
+    if (last_slot < 0) {
+      continue;
+    }
+    // Plug at most a handful of consecutive slots, and only while real
+    // requests keep arriving: this compensates for rare datagram loss,
+    // not for a dead L2 (whose failure is detected by its own missing
+    // per-TTI packet stream and handled elsewhere).
+    if (current - last_real_request_slot_[ru] > 16) {
+      continue;
+    }
+    int plugged = 0;
+    while (last_slot < current && plugged < 8) {
+      ++last_slot;
+      ++plugged;
+      nulls_injected_ += 2;
+      to_phy_count_ += 2;
+      to_phy_->send(make_null_dl_tti(RuId{ru}, last_slot));
+      to_phy_->send(make_null_ul_tti(RuId{ru}, last_slot));
+    }
+  }
+}
+
+void OrionPhySide::on_fapi(FapiMessage&& msg) {
+  // SHM -> network relay of PHY indications toward the L2-side Orion.
+  if (l2_orion_mac_.bits() == 0) {
+    return;
+  }
+  auto payload = serialize_fapi(msg);
+  const auto delay = costs_.sample(payload.size(), jitter_rng_);
+  sim_.after(delay, [this, p = std::move(payload)]() mutable {
+    Packet frame;
+    frame.eth.dst = l2_orion_mac_;
+    frame.eth.ethertype = EtherType::kFapiTransport;
+    frame.payload = std::move(p);
+    ++to_l2_count_;
+    nic_.send(std::move(frame));
+  });
+}
+
+// ---------------------------------------------------------------------
+// OrionL2Side
+// ---------------------------------------------------------------------
+
+OrionL2Side::OrionL2Side(Simulator& sim, std::string name, Nic& nic,
+                         OrionL2Config config)
+    : sim_(sim),
+      name_(std::move(name)),
+      nic_(nic),
+      config_(config),
+      jitter_rng_(sim.rng().stream("orion.l2." + name_)) {
+  nic_.set_rx_handler([this](Packet&& f) { handle_frame(std::move(f)); });
+}
+
+void OrionL2Side::add_phy_peer(PhyId phy, MacAddr orion_mac) {
+  phy_peers_[phy.value()] = orion_mac;
+}
+
+void OrionL2Side::set_ru_phys(RuId ru, PhyId primary, PhyId secondary) {
+  auto& state = rus_[ru.value()];
+  state.primary = primary;
+  state.secondary = secondary;
+  state.previous_until_slot = -1;
+}
+
+PhyId OrionL2Side::active_phy(RuId ru) const {
+  const auto it = rus_.find(ru.value());
+  return it == rus_.end() ? PhyId{} : it->second.primary;
+}
+
+PhyId OrionL2Side::standby_phy(RuId ru) const {
+  const auto it = rus_.find(ru.value());
+  return it == rus_.end() ? PhyId{} : it->second.secondary;
+}
+
+std::pair<PhyId, PhyId> OrionL2Side::route_for_slot(RuState& state,
+                                                    std::int64_t slot) {
+  if (state.boundary.has_value() && slot >= *state.boundary) {
+    // The migration boundary is reached by the request stream: finalize
+    // the swap. The old active keeps draining pipelined responses for
+    // pre-boundary slots (Fig 7).
+    state.previous = state.primary;
+    state.previous_until_slot = *state.boundary;
+    std::swap(state.primary, state.secondary);
+    state.boundary.reset();
+    SLOG_INFO("orion", "%s FAPI switched to phy=%u from slot %lld",
+              name_.c_str(), state.primary.value(),
+              static_cast<long long>(slot));
+  }
+  return {state.primary, state.secondary};
+}
+
+void OrionL2Side::on_fapi(FapiMessage&& msg) {
+  auto it = rus_.find(msg.ru.value());
+  if (it == rus_.end()) {
+    return;  // RU not managed by this Orion
+  }
+  auto& state = it->second;
+
+  switch (msg.type()) {
+    case FapiMsgType::kConfigRequest:
+    case FapiMsgType::kStartRequest: {
+      // Intercept and store initialization messages (§6.3); send to
+      // both the primary and the hot standby.
+      state.init_messages.push_back(msg);
+      send_to_phy(state.primary, msg);
+      send_to_phy(state.secondary, msg);
+      return;
+    }
+    case FapiMsgType::kStopRequest: {
+      send_to_phy(state.primary, msg);
+      send_to_phy(state.secondary, msg);
+      return;
+    }
+    case FapiMsgType::kDlTtiRequest: {
+      const auto [real, standby] = route_for_slot(state, msg.slot);
+      ++stats_.real_requests_forwarded;
+      send_to_phy(real, msg);
+      if (config_.standby_mode == StandbyMode::kDuplicate) {
+        send_to_phy(standby, msg);  // strawman: standby does real work
+      } else {
+        const auto null_msg = make_null_dl_tti(msg.ru, msg.slot);
+        ++stats_.null_requests_sent;
+        stats_.fapi_bytes_to_standby += serialize_fapi(null_msg).size();
+        send_to_phy(standby, null_msg);
+      }
+      return;
+    }
+    case FapiMsgType::kUlTtiRequest: {
+      const auto [real, standby] = route_for_slot(state, msg.slot);
+      ++stats_.real_requests_forwarded;
+      send_to_phy(real, msg);
+      if (config_.standby_mode == StandbyMode::kDuplicate) {
+        send_to_phy(standby, msg);
+      } else {
+        const auto null_msg = make_null_ul_tti(msg.ru, msg.slot);
+        ++stats_.null_requests_sent;
+        stats_.fapi_bytes_to_standby += serialize_fapi(null_msg).size();
+        send_to_phy(standby, null_msg);
+      }
+      return;
+    }
+    case FapiMsgType::kTxDataRequest: {
+      const auto [real, standby] = route_for_slot(state, msg.slot);
+      ++stats_.real_requests_forwarded;
+      send_to_phy(real, msg);
+      if (config_.standby_mode == StandbyMode::kDuplicate) {
+        send_to_phy(standby, msg);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void OrionL2Side::send_to_phy(PhyId phy, const FapiMessage& msg) {
+  const auto peer = phy_peers_.find(phy.value());
+  if (peer == phy_peers_.end()) {
+    return;
+  }
+  auto payload = serialize_fapi(msg);
+  const auto delay = config_.costs.sample(payload.size(), jitter_rng_);
+  const MacAddr dst = peer->second;
+  sim_.after(delay, [this, dst, p = std::move(payload)]() mutable {
+    Packet frame;
+    frame.eth.dst = dst;
+    frame.eth.ethertype = EtherType::kFapiTransport;
+    frame.payload = std::move(p);
+    nic_.send(std::move(frame));
+  });
+}
+
+void OrionL2Side::handle_frame(Packet&& frame) {
+  switch (frame.eth.ethertype) {
+    case EtherType::kFapiTransport: {
+      // Identify the sending PHY by its Orion peer MAC.
+      PhyId from;
+      bool known = false;
+      for (const auto& [phy, mac] : phy_peers_) {
+        if (mac == frame.eth.src) {
+          from = PhyId{phy};
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return;
+      }
+      try {
+        handle_phy_indication(from, parse_fapi(frame.payload));
+      } catch (const std::exception&) {
+        // Corrupt datagram: drop.
+      }
+      return;
+    }
+    case EtherType::kFailureNotify: {
+      if (!frame.payload.empty()) {
+        ++stats_.failure_notifications;
+        handle_failure_notification(PhyId{frame.payload[0]});
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void OrionL2Side::handle_phy_indication(PhyId from, FapiMessage&& msg) {
+  const auto it = rus_.find(msg.ru.value());
+  if (it == rus_.end() || to_l2_ == nullptr) {
+    return;
+  }
+  auto& state = it->second;
+
+  bool forward = false;
+  bool drained = false;
+  if (from == state.primary) {
+    forward = true;
+  } else if (from == state.previous && state.previous_until_slot >= 0 &&
+             msg.slot < state.previous_until_slot) {
+    // Pipelined uplink results from the pre-migration primary (Fig 7).
+    forward = true;
+    drained = true;
+  }
+
+  if (!forward) {
+    ++stats_.standby_responses_dropped;
+    return;
+  }
+  if (drained) {
+    ++stats_.drained_responses_accepted;
+  }
+  ++stats_.responses_forwarded;
+  to_l2_->send(std::move(msg));
+}
+
+void OrionL2Side::migrate(RuId ru, std::int64_t boundary_slot) {
+  auto it = rus_.find(ru.value());
+  if (it == rus_.end()) {
+    return;
+  }
+  auto& state = it->second;
+  state.boundary = boundary_slot;
+  send_migrate_cmd(ru, state.secondary, boundary_slot);
+  MigrationEvent event;
+  event.kind = MigrationEvent::Kind::kPlanned;
+  event.ru = ru;
+  event.from = state.primary;
+  event.to = state.secondary;
+  event.boundary_slot = boundary_slot;
+  event.initiated_at = sim_.now();
+  migration_log_.push_back(event);
+  SLOG_INFO("orion", "%s planned migration ru=%u phy %u -> %u at slot %lld",
+            name_.c_str(), ru.value(), state.primary.value(),
+            state.secondary.value(), static_cast<long long>(boundary_slot));
+}
+
+void OrionL2Side::handle_failure_notification(PhyId failed) {
+  const Nanos notified_at = sim_.now();
+  for (auto& [ru_value, state] : rus_) {
+    if (state.primary != failed) {
+      continue;
+    }
+    // Pick the earliest boundary that the request stream has not yet
+    // passed, and steer both the FAPI and the fronthaul there.
+    const auto current = config_.slots.slot_at(sim_.now());
+    const std::int64_t boundary = current + config_.failover_margin_slots;
+    state.boundary = boundary;
+    send_migrate_cmd(RuId{ru_value}, state.secondary, boundary);
+    MigrationEvent event;
+    event.kind = MigrationEvent::Kind::kFailover;
+    event.ru = RuId{ru_value};
+    event.from = state.primary;
+    event.to = state.secondary;
+    event.boundary_slot = boundary;
+    event.initiated_at = sim_.now();
+    event.notification_at = notified_at;
+    migration_log_.push_back(event);
+    SLOG_WARN("orion",
+              "%s FAILOVER ru=%u phy %u -> %u at slot %lld (notified %.3f ms)",
+              name_.c_str(), unsigned(ru_value), state.primary.value(),
+              state.secondary.value(), static_cast<long long>(boundary),
+              to_millis(notified_at));
+    if (on_failover_) {
+      on_failover_(event);
+    }
+  }
+}
+
+void OrionL2Side::send_migrate_cmd(RuId ru, PhyId dest,
+                                   std::int64_t boundary_slot) {
+  MigrateOnSlotCmd cmd;
+  cmd.ru = ru;
+  cmd.dest_phy = dest;
+  cmd.slot = SlotPoint::from_index(boundary_slot, config_.slots);
+  Packet frame;
+  frame.eth.dst = config_.switch_cmd_mac;
+  frame.eth.ethertype = EtherType::kSlingshotCmd;
+  frame.payload = serialize_migrate_cmd(cmd);
+  if (config_.cmd_extra_delay > 0) {
+    sim_.after(config_.cmd_extra_delay, [this, f = std::move(frame)]() mutable {
+      nic_.send(std::move(f));
+    });
+  } else {
+    nic_.send(std::move(frame));
+  }
+}
+
+void OrionL2Side::adopt_standby(RuId ru, PhyId phy, MacAddr orion_mac) {
+  auto it = rus_.find(ru.value());
+  if (it == rus_.end()) {
+    return;
+  }
+  add_phy_peer(phy, orion_mac);
+  auto& state = it->second;
+  state.secondary = phy;
+  // Replay the stored initialization sequence so the new standby brings
+  // up PHY processing for this RU (§6.3).
+  for (const auto& msg : state.init_messages) {
+    send_to_phy(phy, msg);
+  }
+  SLOG_INFO("orion", "%s adopted new standby phy=%u for ru=%u", name_.c_str(),
+            phy.value(), ru.value());
+}
+
+}  // namespace slingshot

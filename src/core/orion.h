@@ -1,0 +1,230 @@
+// Orion: Slingshot's software middlebox between the L2 and PHY (§6).
+//
+// Orion comes in two halves. The *PHY-side* Orion pairs with a PHY
+// process over SHM and relays FAPI to/from the datacenter network using
+// a lean stateless UDP-like transport (§6.1). The *L2-side* Orion pairs
+// with the L2, and is where all the intelligence lives:
+//
+//  * Hot standby via null FAPI (§6.2): every real UL_TTI/DL_TTI the L2
+//    emits is forwarded unmodified to the active PHY, while a *null*
+//    request for the same slot keeps the standby PHY alive at
+//    negligible compute cost. Standby responses are filtered out.
+//  * Initialization interception (§6.3): CONFIG/START requests are
+//    stored and replayed to both PHYs (and to any future replacement
+//    standby).
+//  * Migration: swapping which PHY receives real vs null FAPI at a slot
+//    boundary B, plus a migrate_on_slot command to the fronthaul
+//    middlebox so the RU's traffic moves at exactly the same boundary.
+//  * Pipelined-slot draining (§7, Fig 7): indications from the old
+//    primary for slots before B are still accepted and forwarded to the
+//    L2 after migration, so in-flight uplink work is not wasted.
+//  * Failover: a failure notification from the in-switch detector
+//    triggers the same migration path with the standby as the target.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/fh_mbox.h"
+#include "fapi/channel.h"
+#include "fapi/fapi.h"
+#include "net/nic.h"
+#include "sim/simulator.h"
+
+namespace slingshot {
+
+// Forwarding-cost model for Orion's transport (DPDK busy-polling in the
+// paper): a fixed per-message cost plus a per-byte copy/serialize cost
+// and an exponential tail. Reproduces the Fig 12 latency-vs-load shape.
+struct OrionCostModel {
+  Nanos base = 3'000;            // 3 µs fixed
+  double per_byte_ns = 0.08;     // ~12 GB/s copy + serialize
+  Nanos tail_mean = 1'500;       // exponential jitter tail
+  double tail_per_byte_ns = 0.04;
+
+  [[nodiscard]] Nanos sample(std::size_t bytes, RngStream& rng) const {
+    const double mean =
+        double(tail_mean) + tail_per_byte_ns * double(bytes);
+    return base + Nanos(per_byte_ns * double(bytes)) +
+           Nanos(rng.exponential(mean));
+  }
+};
+
+// ---------------------------------------------------------------------
+// PHY-side Orion: SHM <-> network relay.
+// ---------------------------------------------------------------------
+class OrionPhySide final : public FapiSink {
+ public:
+  OrionPhySide(Simulator& sim, std::string name, Nic& nic,
+               OrionCostModel costs = {});
+
+  // SHM pipe toward the local PHY (requests travel through it).
+  void connect_phy(ShmFapiPipe* to_phy) { to_phy_ = to_phy; }
+  // Where PHY indications are sent on the network (the L2-side Orion).
+  void set_l2_orion_mac(MacAddr mac) { l2_orion_mac_ = mac; }
+
+  // §6.1 loss compensation: Orion's transport is stateless and
+  // unacknowledged, so when a rare datacenter packet loss swallows a
+  // slot's TTI requests, this side injects null requests for the slot —
+  // keeping the FAPI every-slot contract intact so the PHY does not
+  // crash. On by default.
+  void enable_loss_compensation(bool enabled) { null_on_loss_ = enabled; }
+
+  // FapiSink: indications arriving from the local PHY over SHM.
+  void on_fapi(FapiMessage&& msg) override;
+
+  [[nodiscard]] MacAddr mac() const { return nic_.mac(); }
+  [[nodiscard]] std::uint64_t relayed_to_phy() const { return to_phy_count_; }
+  [[nodiscard]] std::uint64_t relayed_to_l2() const { return to_l2_count_; }
+  [[nodiscard]] std::uint64_t nulls_injected() const {
+    return nulls_injected_;
+  }
+
+ private:
+  void handle_frame(Packet&& frame);
+  void deliver_to_phy(FapiMessage&& msg);
+  void on_slot_watchdog();
+
+  Simulator& sim_;
+  std::string name_;
+  Nic& nic_;
+  OrionCostModel costs_;
+  RngStream jitter_rng_;
+  ShmFapiPipe* to_phy_ = nullptr;
+  MacAddr l2_orion_mac_;
+  std::uint64_t to_phy_count_ = 0;
+  std::uint64_t to_l2_count_ = 0;
+
+  // Loss compensation (§6.1).
+  bool null_on_loss_ = true;
+  SlotConfig slots_{};
+  EventHandle watchdog_;
+  std::map<std::uint8_t, std::int64_t> last_request_slot_;
+  std::map<std::uint8_t, std::int64_t> last_real_request_slot_;
+  std::uint64_t nulls_injected_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// L2-side Orion.
+// ---------------------------------------------------------------------
+// How the standby PHY is kept alive. kNullFapi is Slingshot's design
+// (§6.2); kDuplicate is the strawman the paper rejects — it doubles the
+// PHY compute bill (quantified in bench/abl_standby_modes).
+enum class StandbyMode : std::uint8_t { kNullFapi, kDuplicate };
+
+struct OrionL2Config {
+  SlotConfig slots{};
+  StandbyMode standby_mode = StandbyMode::kNullFapi;
+  // Failover migration boundary margin: B = current_slot + margin.
+  int failover_margin_slots = 2;
+  OrionCostModel costs{};
+  MacAddr switch_cmd_mac = MacAddr::broadcast();  // migrate_on_slot dst
+  // ABLATION: artificial delay before the migrate_on_slot command takes
+  // effect — models the naive design where the RU-to-PHY remap is a
+  // switch *control-plane* rule update (milliseconds, §5.1) instead of
+  // a data-plane register write.
+  Nanos cmd_extra_delay = 0;
+};
+
+struct MigrationEvent {
+  enum class Kind { kPlanned, kFailover };
+  Kind kind = Kind::kPlanned;
+  RuId ru;
+  PhyId from;
+  PhyId to;
+  std::int64_t boundary_slot = 0;
+  Nanos initiated_at = 0;       // when Orion decided to migrate
+  Nanos notification_at = 0;    // failure notification arrival (failover)
+};
+
+struct OrionL2Stats {
+  std::uint64_t real_requests_forwarded = 0;
+  std::uint64_t null_requests_sent = 0;
+  std::uint64_t responses_forwarded = 0;
+  std::uint64_t standby_responses_dropped = 0;
+  std::uint64_t drained_responses_accepted = 0;  // Fig 7 pipeline drain
+  std::uint64_t failure_notifications = 0;
+  std::uint64_t fapi_bytes_to_standby = 0;  // §8.5 network overhead
+};
+
+class OrionL2Side final : public FapiSink {
+ public:
+  OrionL2Side(Simulator& sim, std::string name, Nic& nic,
+              OrionL2Config config);
+
+  // ---- Wiring ----
+  // SHM pipe toward the local L2 (indications travel through it).
+  void connect_l2(ShmFapiPipe* to_l2) { to_l2_ = to_l2; }
+  // Register a PHY-side Orion peer.
+  void add_phy_peer(PhyId phy, MacAddr orion_mac);
+  // Configure which PHYs serve an RU.
+  void set_ru_phys(RuId ru, PhyId primary, PhyId secondary);
+
+  // ---- FapiSink: requests arriving from the local L2 over SHM ----
+  void on_fapi(FapiMessage&& msg) override;
+
+  // ---- Migration control (§6.3) ----
+  // Planned migration of `ru` to its standby at slot `boundary`.
+  void migrate(RuId ru, std::int64_t boundary_slot);
+  // Replay stored init messages to a (new) standby PHY peer — used to
+  // bring up a replacement secondary after a failover consumed the old
+  // one.
+  void adopt_standby(RuId ru, PhyId phy, MacAddr orion_mac);
+
+  // Notification hook for experiments (called on failover initiation).
+  void set_on_failover(std::function<void(const MigrationEvent&)> callback) {
+    on_failover_ = std::move(callback);
+  }
+
+  [[nodiscard]] PhyId active_phy(RuId ru) const;
+  [[nodiscard]] PhyId standby_phy(RuId ru) const;
+  [[nodiscard]] const OrionL2Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<MigrationEvent>& migration_log() const {
+    return migration_log_;
+  }
+  [[nodiscard]] MacAddr mac() const { return nic_.mac(); }
+
+ private:
+  struct RuState {
+    PhyId primary;
+    PhyId secondary;
+    // Pending migration: requests for slots >= boundary go to `target`.
+    std::optional<std::int64_t> boundary;
+    PhyId target;
+    // Previous primary (accepts drained responses for slots < boundary
+    // for a short window after migration).
+    PhyId previous;
+    std::int64_t previous_until_slot = -1;
+    // Stored initialization messages for standby replay (§6.3).
+    std::vector<FapiMessage> init_messages;
+  };
+
+  void handle_frame(Packet&& frame);
+  void handle_failure_notification(PhyId failed);
+  void handle_phy_indication(PhyId from, FapiMessage&& msg);
+  void send_to_phy(PhyId phy, const FapiMessage& msg);
+  void send_migrate_cmd(RuId ru, PhyId dest, std::int64_t boundary_slot);
+  // Resolve who is real/standby for a request targeting `slot`,
+  // finalizing the swap once the boundary has passed.
+  [[nodiscard]] std::pair<PhyId, PhyId> route_for_slot(RuState& state,
+                                                       std::int64_t slot);
+
+  Simulator& sim_;
+  std::string name_;
+  Nic& nic_;
+  OrionL2Config config_;
+  RngStream jitter_rng_;
+  ShmFapiPipe* to_l2_ = nullptr;
+  std::map<std::uint8_t, MacAddr> phy_peers_;
+  std::map<std::uint8_t, RuState> rus_;
+  std::function<void(const MigrationEvent&)> on_failover_;
+  OrionL2Stats stats_;
+  std::vector<MigrationEvent> migration_log_;
+};
+
+}  // namespace slingshot

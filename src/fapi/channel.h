@@ -1,0 +1,49 @@
+// FAPI delivery channels.
+//
+// In tightly-coupled deployments the L2 and PHY exchange FAPI messages
+// over shared memory (§2.2). ShmFapiPipe models that path: a one-way
+// queue with sub-microsecond latency. Orion is "agnostic to the
+// physical FAPI channel" (§6.1); both the PHY and L2 in this codebase
+// talk to whatever FapiSink they're handed — which is either the peer
+// directly (coupled deployment) or an Orion middlebox (Slingshot).
+#pragma once
+
+#include <utility>
+
+#include "fapi/fapi.h"
+#include "sim/simulator.h"
+
+namespace slingshot {
+
+class FapiSink {
+ public:
+  virtual ~FapiSink() = default;
+  virtual void on_fapi(FapiMessage&& msg) = 0;
+};
+
+// One-way SHM-like pipe: delivers to `sink` after a small fixed latency.
+class ShmFapiPipe {
+ public:
+  ShmFapiPipe(Simulator& sim, Nanos latency = 200)
+      : sim_(&sim), latency_(latency) {}
+
+  void connect(FapiSink* sink) { sink_ = sink; }
+  [[nodiscard]] bool connected() const { return sink_ != nullptr; }
+
+  void send(FapiMessage&& msg) {
+    if (sink_ == nullptr) {
+      return;
+    }
+    FapiSink* sink = sink_;
+    sim_->after(latency_, [sink, m = std::move(msg)]() mutable {
+      sink->on_fapi(std::move(m));
+    });
+  }
+
+ private:
+  Simulator* sim_;
+  Nanos latency_;
+  FapiSink* sink_ = nullptr;
+};
+
+}  // namespace slingshot

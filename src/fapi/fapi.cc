@@ -1,0 +1,273 @@
+#include "fapi/fapi.h"
+
+#include <stdexcept>
+
+#include "common/bits.h"
+
+namespace slingshot {
+namespace {
+
+void write_tti_pdus(ByteWriter& w, const std::vector<TtiPdu>& pdus) {
+  w.u16(std::uint16_t(pdus.size()));
+  for (const auto& p : pdus) {
+    w.u16(p.ue.value());
+    w.u8(p.mcs);
+    w.u32(p.tb_bytes);
+    w.u8(p.harq.value());
+    w.u8(p.new_data ? 1 : 0);
+  }
+}
+
+std::vector<TtiPdu> read_tti_pdus(ByteReader& r) {
+  std::vector<TtiPdu> pdus;
+  const auto n = r.u16();
+  pdus.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    TtiPdu p;
+    p.ue = UeId{r.u16()};
+    p.mcs = r.u8();
+    p.tb_bytes = r.u32();
+    p.harq = HarqId{r.u8()};
+    p.new_data = r.u8() != 0;
+    pdus.push_back(p);
+  }
+  return pdus;
+}
+
+void write_payload(ByteWriter& w, const std::vector<std::uint8_t>& bytes) {
+  w.u32(std::uint32_t(bytes.size()));
+  w.bytes(bytes);
+}
+
+std::vector<std::uint8_t> read_payload(ByteReader& r) {
+  const auto n = r.u32();
+  return r.bytes(n);
+}
+
+struct BodyWriter {
+  ByteWriter& w;
+
+  void operator()(const ConfigRequest& b) const {
+    w.u8(b.carrier.ru.value());
+    w.u8(b.carrier.numerology);
+    w.u16(b.carrier.num_prbs);
+    w.u8(b.carrier.num_antennas);
+    w.u8(std::uint8_t(b.carrier.tdd_pattern.size()));
+    for (const char c : b.carrier.tdd_pattern) {
+      w.u8(std::uint8_t(c));
+    }
+  }
+  void operator()(const ConfigResponse& b) const {
+    w.u8(b.ru.value());
+    w.u8(b.ok ? 1 : 0);
+  }
+  void operator()(const StartRequest& b) const { w.u8(b.ru.value()); }
+  void operator()(const StopRequest& b) const { w.u8(b.ru.value()); }
+  void operator()(const SlotIndication&) const {}
+  void operator()(const DlTtiRequest& b) const {
+    write_tti_pdus(w, b.pdus);
+    w.u16(std::uint16_t(b.ul_dci.size()));
+    for (const auto& dci : b.ul_dci) {
+      w.u16(dci.pdu.ue.value());
+      w.u8(dci.pdu.mcs);
+      w.u32(dci.pdu.tb_bytes);
+      w.u8(dci.pdu.harq.value());
+      w.u8(dci.pdu.new_data ? 1 : 0);
+      w.u64(std::uint64_t(dci.target_slot));
+    }
+  }
+  void operator()(const UlTtiRequest& b) const { write_tti_pdus(w, b.pdus); }
+  void operator()(const TxDataRequest& b) const {
+    w.u16(std::uint16_t(b.payloads.size()));
+    for (const auto& p : b.payloads) {
+      write_payload(w, p);
+    }
+  }
+  void operator()(const RxDataIndication& b) const {
+    w.u16(std::uint16_t(b.pdus.size()));
+    for (const auto& p : b.pdus) {
+      w.u16(p.ue.value());
+      w.u8(p.harq.value());
+      write_payload(w, p.payload);
+    }
+  }
+  void operator()(const CrcIndication& b) const {
+    w.u16(std::uint16_t(b.entries.size()));
+    for (const auto& e : b.entries) {
+      w.u16(e.ue.value());
+      w.u8(e.harq.value());
+      w.u8(e.ok ? 1 : 0);
+      w.f32(e.snr_db);
+    }
+  }
+  void operator()(const UciIndication& b) const {
+    w.u16(std::uint16_t(b.entries.size()));
+    for (const auto& e : b.entries) {
+      w.u16(e.ue.value());
+      w.u8(e.harq.value());
+      w.u8(e.ack ? 1 : 0);
+    }
+  }
+  void operator()(const ErrorIndication& b) const {
+    w.u16(b.code);
+    w.u8(std::uint8_t(b.offending));
+  }
+};
+
+FapiBody read_body(FapiMsgType type, ByteReader& r) {
+  switch (type) {
+    case FapiMsgType::kConfigRequest: {
+      ConfigRequest b;
+      b.carrier.ru = RuId{r.u8()};
+      b.carrier.numerology = r.u8();
+      b.carrier.num_prbs = r.u16();
+      b.carrier.num_antennas = r.u8();
+      const auto len = r.u8();
+      b.carrier.tdd_pattern.clear();
+      for (std::uint8_t i = 0; i < len; ++i) {
+        b.carrier.tdd_pattern.push_back(char(r.u8()));
+      }
+      return b;
+    }
+    case FapiMsgType::kConfigResponse: {
+      ConfigResponse b;
+      b.ru = RuId{r.u8()};
+      b.ok = r.u8() != 0;
+      return b;
+    }
+    case FapiMsgType::kStartRequest:
+      return StartRequest{RuId{r.u8()}};
+    case FapiMsgType::kStopRequest:
+      return StopRequest{RuId{r.u8()}};
+    case FapiMsgType::kSlotIndication:
+      return SlotIndication{};
+    case FapiMsgType::kDlTtiRequest: {
+      DlTtiRequest b;
+      b.pdus = read_tti_pdus(r);
+      const auto n = r.u16();
+      b.ul_dci.reserve(n);
+      for (std::uint16_t i = 0; i < n; ++i) {
+        UlDci dci;
+        dci.pdu.ue = UeId{r.u16()};
+        dci.pdu.mcs = r.u8();
+        dci.pdu.tb_bytes = r.u32();
+        dci.pdu.harq = HarqId{r.u8()};
+        dci.pdu.new_data = r.u8() != 0;
+        dci.target_slot = std::int64_t(r.u64());
+        b.ul_dci.push_back(dci);
+      }
+      return b;
+    }
+    case FapiMsgType::kUlTtiRequest:
+      return UlTtiRequest{read_tti_pdus(r)};
+    case FapiMsgType::kTxDataRequest: {
+      TxDataRequest b;
+      const auto n = r.u16();
+      b.payloads.reserve(n);
+      for (std::uint16_t i = 0; i < n; ++i) {
+        b.payloads.push_back(read_payload(r));
+      }
+      return b;
+    }
+    case FapiMsgType::kRxDataIndication: {
+      RxDataIndication b;
+      const auto n = r.u16();
+      b.pdus.reserve(n);
+      for (std::uint16_t i = 0; i < n; ++i) {
+        RxPdu p;
+        p.ue = UeId{r.u16()};
+        p.harq = HarqId{r.u8()};
+        p.payload = read_payload(r);
+        b.pdus.push_back(std::move(p));
+      }
+      return b;
+    }
+    case FapiMsgType::kCrcIndication: {
+      CrcIndication b;
+      const auto n = r.u16();
+      b.entries.reserve(n);
+      for (std::uint16_t i = 0; i < n; ++i) {
+        CrcEntry e;
+        e.ue = UeId{r.u16()};
+        e.harq = HarqId{r.u8()};
+        e.ok = r.u8() != 0;
+        e.snr_db = r.f32();
+        b.entries.push_back(e);
+      }
+      return b;
+    }
+    case FapiMsgType::kUciIndication: {
+      UciIndication b;
+      const auto n = r.u16();
+      b.entries.reserve(n);
+      for (std::uint16_t i = 0; i < n; ++i) {
+        UciEntry e;
+        e.ue = UeId{r.u16()};
+        e.harq = HarqId{r.u8()};
+        e.ack = r.u8() != 0;
+        b.entries.push_back(e);
+      }
+      return b;
+    }
+    case FapiMsgType::kErrorIndication: {
+      ErrorIndication b;
+      b.code = r.u16();
+      b.offending = FapiMsgType(r.u8());
+      return b;
+    }
+  }
+  throw std::invalid_argument{"parse_fapi: unknown message type"};
+}
+
+}  // namespace
+
+const char* fapi_msg_name(FapiMsgType type) {
+  switch (type) {
+    case FapiMsgType::kConfigRequest: return "CONFIG.request";
+    case FapiMsgType::kConfigResponse: return "CONFIG.response";
+    case FapiMsgType::kStartRequest: return "START.request";
+    case FapiMsgType::kStopRequest: return "STOP.request";
+    case FapiMsgType::kSlotIndication: return "SLOT.indication";
+    case FapiMsgType::kDlTtiRequest: return "DL_TTI.request";
+    case FapiMsgType::kUlTtiRequest: return "UL_TTI.request";
+    case FapiMsgType::kTxDataRequest: return "TX_Data.request";
+    case FapiMsgType::kRxDataIndication: return "RX_Data.indication";
+    case FapiMsgType::kCrcIndication: return "CRC.indication";
+    case FapiMsgType::kUciIndication: return "UCI.indication";
+    case FapiMsgType::kErrorIndication: return "ERROR.indication";
+  }
+  return "UNKNOWN";
+}
+
+FapiMessage make_null_dl_tti(RuId ru, std::int64_t slot) {
+  return FapiMessage{ru, slot, DlTtiRequest{}};
+}
+
+FapiMessage make_null_ul_tti(RuId ru, std::int64_t slot) {
+  return FapiMessage{ru, slot, UlTtiRequest{}};
+}
+
+std::vector<std::uint8_t> serialize_fapi(const FapiMessage& msg) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w{out};
+  w.u8(std::uint8_t(msg.type()));
+  w.u8(msg.ru.value());
+  w.u64(std::uint64_t(msg.slot));
+  std::visit(BodyWriter{w}, msg.body);
+  return out;
+}
+
+FapiMessage parse_fapi(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  const auto type = FapiMsgType(r.u8());
+  FapiMessage msg;
+  msg.ru = RuId{r.u8()};
+  msg.slot = std::int64_t(r.u64());
+  msg.body = read_body(type, r);
+  if (!r.ok()) {
+    throw std::out_of_range{"parse_fapi: truncated message"};
+  }
+  return msg;
+}
+
+}  // namespace slingshot

@@ -1,0 +1,171 @@
+// FAPI (Small Cell Forum PHY API) message set — the L2<->PHY interface
+// (split option 6) that Orion interposes on.
+//
+// This is a faithful subset of 5G FAPI: per-slot UL_TTI/DL_TTI requests
+// describing the slot's signal-processing work, TX_DATA carrying DL
+// payloads, and RX_DATA/CRC/UCI indications flowing back up. Per the
+// FAPI contract the PHY *must* receive valid UL_TTI and DL_TTI requests
+// in every slot — FlexRAN crashes otherwise — which is exactly why
+// Slingshot invented null requests (§6.2): a request with zero PDU
+// entries is valid input that generates no signal-processing work.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace slingshot {
+
+enum class FapiMsgType : std::uint8_t {
+  kConfigRequest = 0,
+  kConfigResponse = 1,
+  kStartRequest = 2,
+  kStopRequest = 3,
+  kSlotIndication = 4,
+  kDlTtiRequest = 5,
+  kUlTtiRequest = 6,
+  kTxDataRequest = 7,
+  kRxDataIndication = 8,
+  kCrcIndication = 9,
+  kUciIndication = 10,
+  kErrorIndication = 11,
+};
+
+[[nodiscard]] const char* fapi_msg_name(FapiMsgType type);
+
+// Carrier configuration for one RU/cell (CONFIG.request body).
+struct CarrierConfig {
+  RuId ru;
+  std::uint8_t numerology = 1;       // µ=1: 30 kHz SCS, 500 µs slots
+  std::uint16_t num_prbs = 273;      // 100 MHz carrier
+  std::uint8_t num_antennas = 4;
+  std::string tdd_pattern = "DDDSU";
+
+  bool operator==(const CarrierConfig&) const = default;
+};
+
+// One PDSCH/PUSCH PDU in a TTI request.
+struct TtiPdu {
+  UeId ue;
+  std::uint8_t mcs = 0;
+  std::uint32_t tb_bytes = 0;
+  HarqId harq;
+  bool new_data = true;
+
+  bool operator==(const TtiPdu&) const = default;
+};
+
+struct ConfigRequest {
+  CarrierConfig carrier;
+};
+struct ConfigResponse {
+  RuId ru;
+  bool ok = true;
+};
+struct StartRequest {
+  RuId ru;
+};
+struct StopRequest {
+  RuId ru;
+};
+// PHY -> L2, announcing it advanced to `slot`.
+struct SlotIndication {};
+
+// An uplink grant (DCI format 0-like) carried on the PDCCH of this DL
+// slot, scheduling a PUSCH transmission `target_slot` (k2 slots later).
+// Riding in DL_TTI — rather than UL_TTI — matters for migration
+// correctness: the grant is radiated by whichever PHY is active for the
+// *announcing* slot, while the PUSCH is processed by whichever PHY is
+// active for the *target* slot.
+struct UlDci {
+  TtiPdu pdu;
+  std::int64_t target_slot = 0;
+
+  bool operator==(const UlDci&) const = default;
+};
+
+struct DlTtiRequest {
+  std::vector<TtiPdu> pdus;  // empty == null request
+  std::vector<UlDci> ul_dci;
+};
+struct UlTtiRequest {
+  std::vector<TtiPdu> pdus;  // empty == null request
+};
+// DL MAC PDUs for the DL_TTI request of the same slot, matched by index.
+struct TxDataRequest {
+  std::vector<std::vector<std::uint8_t>> payloads;
+};
+
+struct RxPdu {
+  UeId ue;
+  HarqId harq;
+  std::vector<std::uint8_t> payload;
+};
+struct RxDataIndication {
+  std::vector<RxPdu> pdus;
+};
+
+struct CrcEntry {
+  UeId ue;
+  HarqId harq;
+  bool ok = false;
+  float snr_db = 0.0F;  // PHY's post-equalization SNR estimate
+
+  bool operator==(const CrcEntry&) const = default;
+};
+struct CrcIndication {
+  std::vector<CrcEntry> entries;
+};
+
+struct UciEntry {
+  UeId ue;
+  HarqId harq;
+  bool ack = false;
+
+  bool operator==(const UciEntry&) const = default;
+};
+struct UciIndication {
+  std::vector<UciEntry> entries;
+};
+
+// FAPI error codes (subset of SCF 222's table).
+inline constexpr std::uint16_t kFapiMsgOk = 0x0;
+inline constexpr std::uint16_t kFapiMsgInvalidState = 0x1;
+inline constexpr std::uint16_t kFapiMsgSlotErr = 0x2;  // late request
+
+struct ErrorIndication {
+  std::uint16_t code = 0;
+  FapiMsgType offending = FapiMsgType::kErrorIndication;
+};
+
+using FapiBody =
+    std::variant<ConfigRequest, ConfigResponse, StartRequest, StopRequest,
+                 SlotIndication, DlTtiRequest, UlTtiRequest, TxDataRequest,
+                 RxDataIndication, CrcIndication, UciIndication,
+                 ErrorIndication>;
+
+struct FapiMessage {
+  RuId ru;                   // carrier this message concerns
+  std::int64_t slot = 0;     // absolute slot index
+  FapiBody body;
+
+  [[nodiscard]] FapiMsgType type() const {
+    return FapiMsgType(body.index());
+  }
+};
+
+// Null TTI requests: valid per the FAPI spec, zero signal-processing
+// work. These keep the hot-standby secondary PHY alive (§6.2).
+[[nodiscard]] FapiMessage make_null_dl_tti(RuId ru, std::int64_t slot);
+[[nodiscard]] FapiMessage make_null_ul_tti(RuId ru, std::int64_t slot);
+
+// Wire codec (used by Orion's inter-server UDP transport).
+[[nodiscard]] std::vector<std::uint8_t> serialize_fapi(const FapiMessage& msg);
+[[nodiscard]] FapiMessage parse_fapi(std::span<const std::uint8_t> bytes);
+
+}  // namespace slingshot

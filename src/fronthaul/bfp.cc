@@ -1,0 +1,142 @@
+#include "fronthaul/bfp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace slingshot {
+namespace {
+
+// MSB-first bit packing.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void put(std::uint32_t value, int bits) {
+    for (int b = bits - 1; b >= 0; --b) {
+      if (bit_pos_ == 0) {
+        out_.push_back(0);
+      }
+      out_.back() |= std::uint8_t(((value >> b) & 1U) << (7 - bit_pos_));
+      bit_pos_ = (bit_pos_ + 1) % 8;
+    }
+  }
+  void align() { bit_pos_ = 0; }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  int bit_pos_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint32_t get(int bits) {
+    std::uint32_t value = 0;
+    for (int b = 0; b < bits; ++b) {
+      const std::size_t byte = pos_ / 8;
+      if (byte >= data_.size()) {
+        throw std::out_of_range{"bfp: truncated stream"};
+      }
+      value = (value << 1) | ((data_[byte] >> (7 - pos_ % 8)) & 1U);
+      ++pos_;
+    }
+    return value;
+  }
+  void align() { pos_ = (pos_ + 7) / 8 * 8; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+void check_mantissa(int mantissa_bits) {
+  if (mantissa_bits < 2 || mantissa_bits > 16) {
+    throw std::invalid_argument{"bfp: mantissa_bits must be in [2, 16]"};
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> bfp_compress(
+    std::span<const std::complex<float>> iq, int mantissa_bits) {
+  check_mantissa(mantissa_bits);
+  std::vector<std::uint8_t> out;
+  out.reserve(bfp_compressed_size(iq.size(), mantissa_bits));
+  BitWriter writer{out};
+  const int max_mantissa = (1 << (mantissa_bits - 1)) - 1;
+
+  for (std::size_t base = 0; base < iq.size(); base += kBfpBlockSamples) {
+    const std::size_t n =
+        std::min<std::size_t>(kBfpBlockSamples, iq.size() - base);
+    // Shared exponent: smallest e with max|component| / 2^e <= max_m.
+    float peak = 0.0F;
+    for (std::size_t s = 0; s < n; ++s) {
+      peak = std::max({peak, std::fabs(iq[base + s].real()),
+                       std::fabs(iq[base + s].imag())});
+    }
+    int exponent = -20;  // generous floor for near-silent blocks
+    if (peak > 0.0F) {
+      exponent = int(std::ceil(std::log2(double(peak) / max_mantissa)));
+      exponent = std::clamp(exponent, -64, 63);
+    }
+    const double scale = std::exp2(double(exponent));
+    writer.align();
+    writer.put(std::uint32_t(std::uint8_t(std::int8_t(exponent))), 8);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (const float component : {iq[base + s].real(), iq[base + s].imag()}) {
+        const long q = std::lround(double(component) / scale);
+        const long clamped =
+            std::clamp<long>(q, -max_mantissa, max_mantissa);
+        // Two's complement in mantissa_bits.
+        const auto mask = std::uint32_t((1U << mantissa_bits) - 1U);
+        writer.put(std::uint32_t(clamped) & mask, mantissa_bits);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::complex<float>> bfp_decompress(
+    std::span<const std::uint8_t> bytes, std::size_t n_samples,
+    int mantissa_bits) {
+  check_mantissa(mantissa_bits);
+  std::vector<std::complex<float>> iq;
+  iq.reserve(n_samples);
+  BitReader reader{bytes};
+  const std::uint32_t sign_bit = 1U << (mantissa_bits - 1);
+  const std::uint32_t sign_extend = ~((1U << mantissa_bits) - 1U);
+
+  for (std::size_t base = 0; base < n_samples; base += kBfpBlockSamples) {
+    const std::size_t n =
+        std::min<std::size_t>(kBfpBlockSamples, n_samples - base);
+    reader.align();
+    const auto exponent = std::int8_t(reader.get(8));
+    const double scale = std::exp2(double(exponent));
+    for (std::size_t s = 0; s < n; ++s) {
+      float components[2];
+      for (auto& component : components) {
+        auto raw = reader.get(mantissa_bits);
+        if (raw & sign_bit) {
+          raw |= sign_extend;
+        }
+        component = float(double(std::int32_t(raw)) * scale);
+      }
+      iq.emplace_back(components[0], components[1]);
+    }
+  }
+  return iq;
+}
+
+std::size_t bfp_compressed_size(std::size_t n_samples, int mantissa_bits) {
+  std::size_t total = 0;
+  for (std::size_t base = 0; base < n_samples; base += kBfpBlockSamples) {
+    const std::size_t n =
+        std::min<std::size_t>(kBfpBlockSamples, n_samples - base);
+    total += 1 + (2 * n * std::size_t(mantissa_bits) + 7) / 8;
+  }
+  return total;
+}
+
+}  // namespace slingshot

@@ -1,0 +1,35 @@
+// Block floating-point (BFP) IQ compression, as used on O-RAN 7.2x
+// fronthaul links to cut the dominant cost of a vRAN deployment: raw IQ
+// bandwidth. Samples are grouped into blocks of 12 complex values (one
+// PRB's worth); each block stores one shared exponent and fixed-width
+// signed mantissas for the 24 real components.
+//
+// Compression is lossy: the quantization noise floor sits roughly
+// 6 dB per mantissa bit below the block's peak, so the mantissa width
+// decides which modulation orders survive (see bench/abl_bfp).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace slingshot {
+
+inline constexpr int kBfpBlockSamples = 12;  // one PRB of subcarriers
+
+// Compress to a byte stream: per block, [s8 exponent][24 x m-bit
+// mantissas, MSB-first packed]. mantissa_bits must be in [2, 16].
+[[nodiscard]] std::vector<std::uint8_t> bfp_compress(
+    std::span<const std::complex<float>> iq, int mantissa_bits);
+
+// Inverse of bfp_compress; `n_samples` is the original sample count.
+[[nodiscard]] std::vector<std::complex<float>> bfp_decompress(
+    std::span<const std::uint8_t> bytes, std::size_t n_samples,
+    int mantissa_bits);
+
+// Wire size of a compressed block stream (for bandwidth accounting).
+[[nodiscard]] std::size_t bfp_compressed_size(std::size_t n_samples,
+                                              int mantissa_bits);
+
+}  // namespace slingshot

@@ -1,0 +1,215 @@
+#include "fronthaul/oran.h"
+
+#include "common/bits.h"
+#include "fronthaul/bfp.h"
+
+namespace slingshot {
+namespace {
+
+// eCPRI common header: version/reserved byte, message type, payload size.
+constexpr std::uint8_t kEcpriVersion = 0x10;  // version 1, no concat
+constexpr std::uint8_t kEcpriMsgIqData = 0x00;
+constexpr std::uint8_t kEcpriMsgRtCtrl = 0x02;
+constexpr std::size_t kEcpriHeaderSize = 4;
+
+void write_header(ByteWriter& w, const FronthaulHeader& h) {
+  w.u8(std::uint8_t(h.direction));
+  w.u8(std::uint8_t(h.plane));
+  w.u16(h.slot.frame);
+  w.u8(h.slot.subframe);
+  w.u8(h.slot.slot);
+  w.u8(h.symbol);
+  w.u8(h.ru.value());
+}
+
+FronthaulHeader read_header(ByteReader& r) {
+  FronthaulHeader h;
+  h.direction = FhDirection(r.u8());
+  h.plane = FhPlane(r.u8());
+  h.slot.frame = r.u16();
+  h.slot.subframe = r.u8();
+  h.slot.slot = r.u8();
+  h.symbol = r.u8();
+  h.ru = RuId{r.u8()};
+  return h;
+}
+
+void write_cplane(ByteWriter& w, const CPlaneMsg& msg) {
+  w.u16(std::uint16_t(msg.dl_assignments.size()));
+  for (const auto& a : msg.dl_assignments) {
+    w.u16(a.ue.value());
+    w.u8(a.mcs);
+    w.u32(a.tb_bytes);
+    w.u8(a.harq.value());
+    w.u8(a.new_data ? 1 : 0);
+  }
+  w.u16(std::uint16_t(msg.ul_grants.size()));
+  for (const auto& g : msg.ul_grants) {
+    w.u16(g.ue.value());
+    w.u64(std::uint64_t(g.target_slot));
+    w.u8(g.mcs);
+    w.u32(g.tb_bytes);
+    w.u8(g.harq.value());
+    w.u8(g.new_data ? 1 : 0);
+  }
+  w.u16(std::uint16_t(msg.uci.size()));
+  for (const auto& u : msg.uci) {
+    w.u16(u.ue.value());
+    w.u8(u.harq.value());
+    w.u8(u.ack ? 1 : 0);
+  }
+}
+
+CPlaneMsg read_cplane(ByteReader& r) {
+  CPlaneMsg msg;
+  const auto n_dl = r.u16();
+  msg.dl_assignments.reserve(n_dl);
+  for (std::uint16_t i = 0; i < n_dl; ++i) {
+    DlAssignment a;
+    a.ue = UeId{r.u16()};
+    a.mcs = r.u8();
+    a.tb_bytes = r.u32();
+    a.harq = HarqId{r.u8()};
+    a.new_data = r.u8() != 0;
+    msg.dl_assignments.push_back(a);
+  }
+  const auto n_ul = r.u16();
+  msg.ul_grants.reserve(n_ul);
+  for (std::uint16_t i = 0; i < n_ul; ++i) {
+    UlGrant g;
+    g.ue = UeId{r.u16()};
+    g.target_slot = std::int64_t(r.u64());
+    g.mcs = r.u8();
+    g.tb_bytes = r.u32();
+    g.harq = HarqId{r.u8()};
+    g.new_data = r.u8() != 0;
+    msg.ul_grants.push_back(g);
+  }
+  const auto n_uci = r.u16();
+  msg.uci.reserve(n_uci);
+  for (std::uint16_t i = 0; i < n_uci; ++i) {
+    UciFeedback u;
+    u.ue = UeId{r.u16()};
+    u.harq = HarqId{r.u8()};
+    u.ack = r.u8() != 0;
+    msg.uci.push_back(u);
+  }
+  return msg;
+}
+
+void write_uplane(ByteWriter& w, const UPlaneMsg& msg) {
+  w.u16(std::uint16_t(msg.sections.size()));
+  for (const auto& s : msg.sections) {
+    w.u16(s.ue.value());
+    w.u8(s.harq.value());
+    w.u8(s.new_data ? 1 : 0);
+    w.u8(s.mcs);
+    w.u32(s.tb_bytes);
+    w.u32(s.codeword_bits);
+    w.u8(s.bfp_mantissa_bits);
+    w.u32(std::uint32_t(s.iq.size()));
+    if (s.bfp_mantissa_bits > 0) {
+      w.bytes(bfp_compress(s.iq, s.bfp_mantissa_bits));
+    } else {
+      for (const auto& sample : s.iq) {
+        w.f32(sample.real());
+        w.f32(sample.imag());
+      }
+    }
+    w.u32(std::uint32_t(s.shadow_payload.size()));
+    w.bytes(s.shadow_payload);
+  }
+}
+
+UPlaneMsg read_uplane(ByteReader& r) {
+  UPlaneMsg msg;
+  const auto n = r.u16();
+  msg.sections.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    UPlaneSection s;
+    s.ue = UeId{r.u16()};
+    s.harq = HarqId{r.u8()};
+    s.new_data = r.u8() != 0;
+    s.mcs = r.u8();
+    s.tb_bytes = r.u32();
+    s.codeword_bits = r.u32();
+    s.bfp_mantissa_bits = r.u8();
+    const auto n_iq = r.u32();
+    if (s.bfp_mantissa_bits > 0) {
+      const auto compressed =
+          r.bytes(bfp_compressed_size(n_iq, s.bfp_mantissa_bits));
+      s.iq = bfp_decompress(compressed, n_iq, s.bfp_mantissa_bits);
+    } else {
+      s.iq.reserve(n_iq);
+      for (std::uint32_t k = 0; k < n_iq; ++k) {
+        const float re = r.f32();
+        const float im = r.f32();
+        s.iq.emplace_back(re, im);
+      }
+    }
+    const auto n_shadow = r.u32();
+    s.shadow_payload = r.bytes(n_shadow);
+    msg.sections.push_back(std::move(s));
+  }
+  return msg;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_fronthaul(const FronthaulPacket& packet) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w{out};
+  w.u8(kEcpriVersion);
+  w.u8(packet.header.plane == FhPlane::kUser ? kEcpriMsgIqData
+                                             : kEcpriMsgRtCtrl);
+  w.u16(0);  // payload size, patched below
+  write_header(w, packet.header);
+  if (packet.header.plane == FhPlane::kControl) {
+    write_cplane(w, packet.cplane);
+  } else {
+    write_uplane(w, packet.uplane);
+  }
+  w.patch_u16(2, std::uint16_t(out.size() - kEcpriHeaderSize));
+  return out;
+}
+
+FronthaulPacket parse_fronthaul(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  r.skip(kEcpriHeaderSize);
+  FronthaulPacket packet;
+  packet.header = read_header(r);
+  if (packet.header.plane == FhPlane::kControl) {
+    packet.cplane = read_cplane(r);
+  } else {
+    packet.uplane = read_uplane(r);
+  }
+  if (!r.ok()) {
+    throw std::out_of_range{"parse_fronthaul: truncated packet"};
+  }
+  return packet;
+}
+
+std::optional<FronthaulHeader> peek_fronthaul_header(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kEcpriHeaderSize + FronthaulHeader::kWireSize) {
+    return std::nullopt;
+  }
+  if ((bytes[0] & 0xF0) != kEcpriVersion) {
+    return std::nullopt;
+  }
+  ByteReader r{bytes};
+  r.skip(kEcpriHeaderSize);
+  return read_header(r);
+}
+
+Packet make_fronthaul_frame(const MacAddr& src, const MacAddr& dst,
+                            const FronthaulPacket& packet) {
+  Packet frame;
+  frame.eth.src = src;
+  frame.eth.dst = dst;
+  frame.eth.ethertype = EtherType::kEcpri;
+  frame.payload = serialize_fronthaul(packet);
+  return frame;
+}
+
+}  // namespace slingshot

@@ -1,0 +1,129 @@
+// O-RAN split-7.2x style fronthaul packet formats (eCPRI framing).
+//
+// Fronthaul packets carry a (frame, subframe, slot) triple in their
+// header — exactly the fields Slingshot's in-switch middlebox parses to
+// align PHY migration to TTI boundaries (§5.1) — plus a direction, a
+// plane (control vs user), and the logical RU port.
+//
+// Fidelity note (see DESIGN.md): rather than shipping the full 100 MHz
+// carrier's IQ (tens of thousands of subcarriers per slot), each
+// transport block travels as one *representative codeword* of really
+// modulated IQ samples plus the TB's "shadow payload" bytes. Decoding
+// the codeword (channel estimation, equalization, soft demapping, LDPC,
+// CRC) decides the fate of the whole TB. This preserves every behaviour
+// Slingshot depends on — per-TTI packet streams, header timing fields,
+// decode failures under impairment, HARQ combining — at laptop scale.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "net/packet.h"
+
+namespace slingshot {
+
+enum class FhDirection : std::uint8_t { kUplink = 0, kDownlink = 1 };
+enum class FhPlane : std::uint8_t { kControl = 0, kUser = 1 };
+
+// Fixed-size fronthaul header, at the very start of the eCPRI payload so
+// a switch pipeline can parse it with static offsets.
+struct FronthaulHeader {
+  FhDirection direction = FhDirection::kDownlink;
+  FhPlane plane = FhPlane::kControl;
+  SlotPoint slot;
+  std::uint8_t symbol = 0;
+  RuId ru;
+
+  static constexpr std::size_t kWireSize = 1 + 1 + 2 + 1 + 1 + 1 + 1;
+};
+
+// An uplink grant scheduled by the L2, broadcast to UEs via the RU as
+// part of the DL control plane (PDCCH-like).
+struct UlGrant {
+  UeId ue;
+  std::int64_t target_slot = 0;  // absolute slot index the UE transmits in
+  std::uint8_t mcs = 0;
+  std::uint32_t tb_bytes = 0;
+  HarqId harq;
+  bool new_data = true;
+};
+
+// A downlink assignment: tells the UE a TB addressed to it rides in this
+// slot's user plane.
+struct DlAssignment {
+  UeId ue;
+  std::uint8_t mcs = 0;
+  std::uint32_t tb_bytes = 0;
+  HarqId harq;
+  bool new_data = true;
+};
+
+// HARQ ACK/NACK feedback from a UE, carried uplink via the RU.
+struct UciFeedback {
+  UeId ue;
+  HarqId harq;
+  bool ack = false;
+};
+
+// Control-plane body. Downlink: a healthy PHY emits C-plane packets in
+// every slot (even when empty) — the packet stream the failure detector
+// uses as a natural heartbeat (§5.2.1). Uplink: the RU forwards UE UCI
+// (HARQ feedback) in a C-plane packet.
+struct CPlaneMsg {
+  std::vector<DlAssignment> dl_assignments;
+  std::vector<UlGrant> ul_grants;
+  std::vector<UciFeedback> uci;
+};
+
+// One transport block's worth of radio data: the representative
+// codeword's IQ samples plus the TB's payload bytes.
+struct UPlaneSection {
+  UeId ue;
+  HarqId harq;
+  bool new_data = true;
+  std::uint8_t mcs = 0;
+  std::uint32_t tb_bytes = 0;
+  std::uint32_t codeword_bits = 0;  // modulated bits in `iq`
+  // IQ compression applied on the wire: 0 = uncompressed float32,
+  // otherwise O-RAN-style block floating point with this mantissa
+  // width. Compression is lossy; the parse side sees quantized samples.
+  std::uint8_t bfp_mantissa_bits = 0;
+  std::vector<std::complex<float>> iq;
+  std::vector<std::uint8_t> shadow_payload;  // the TB's bytes
+};
+
+struct UPlaneMsg {
+  std::vector<UPlaneSection> sections;
+};
+
+struct FronthaulPacket {
+  FronthaulHeader header;
+  // Exactly one of these is meaningful, selected by header.plane.
+  CPlaneMsg cplane;
+  UPlaneMsg uplane;
+};
+
+// Serialize into an Ethernet frame payload (eCPRI + fronthaul header +
+// body) and parse back. Parsing throws std::out_of_range on truncation.
+[[nodiscard]] std::vector<std::uint8_t> serialize_fronthaul(
+    const FronthaulPacket& packet);
+[[nodiscard]] FronthaulPacket parse_fronthaul(
+    std::span<const std::uint8_t> bytes);
+
+// Parse only the fixed header — what the switch pipeline does per packet
+// without touching the body. Returns nullopt if not a valid fronthaul
+// packet.
+[[nodiscard]] std::optional<FronthaulHeader> peek_fronthaul_header(
+    std::span<const std::uint8_t> bytes);
+
+// Convenience: build the Ethernet frame around a fronthaul packet.
+[[nodiscard]] Packet make_fronthaul_frame(const MacAddr& src,
+                                          const MacAddr& dst,
+                                          const FronthaulPacket& packet);
+
+}  // namespace slingshot

@@ -1,0 +1,191 @@
+// RLC-UM data plane: SDU framing with sequence numbers and a
+// t-Reordering receive window.
+//
+// Transport blocks carry whole SDUs as [SN u32][len u16][bytes] records,
+// zero-length-terminated. Sequence numbers matter because HARQ
+// retransmissions deliver TBs out of order (a TB that fails CRC lands
+// several slots after its successors); without RLC reordering, TCP above
+// would see packet reordering and trigger spurious fast retransmits.
+// The receiver therefore buffers out-of-sequence SDUs and releases them
+// in order, skipping real losses only after the t-Reordering timer
+// (as 3GPP RLC-UM does).
+//
+// Segmentation is intentionally not implemented: the scheduler never
+// allocates a TB smaller than the configured MTU, so SDUs always fit
+// whole. Reliability above HARQ comes from RLC-AM-style requeueing on
+// the DL and the transport layer (TCP) on the UL, matching the paper's
+// observed asymmetry (§8.2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace slingshot {
+
+inline constexpr std::uint32_t kRlcSnUnassigned = 0xFFFFFFFF;
+
+struct RlcSdu {
+  std::uint32_t sn = kRlcSnUnassigned;
+  std::vector<std::uint8_t> bytes;
+};
+
+// Transmit side: stamps each SDU with the next sequence number. SDUs
+// re-queued by RLC-AM retransmission keep their original SN, so the
+// receiver's gap *fills* (in-order delivery resumes seamlessly) rather
+// than being skipped.
+class RlcTx {
+ public:
+  // Pops SDUs from `queue` while they fit in `tb_bytes` and serializes
+  // them (assigning fresh SNs where unassigned), zero-padded to exactly
+  // tb_bytes.
+  [[nodiscard]] std::vector<std::uint8_t> pack(std::deque<RlcSdu>& queue,
+                                               std::size_t tb_bytes) {
+    std::vector<std::uint8_t> out;
+    out.reserve(tb_bytes);
+    while (!queue.empty()) {
+      auto& sdu = queue.front();
+      const std::size_t need = 6 + sdu.bytes.size();
+      if (out.size() + need > tb_bytes || sdu.bytes.empty()) {
+        break;
+      }
+      const std::uint32_t sn =
+          sdu.sn == kRlcSnUnassigned ? next_sn_++ : sdu.sn;
+      out.push_back(std::uint8_t(sn >> 24));
+      out.push_back(std::uint8_t(sn >> 16));
+      out.push_back(std::uint8_t(sn >> 8));
+      out.push_back(std::uint8_t(sn));
+      out.push_back(std::uint8_t(sdu.bytes.size() >> 8));
+      out.push_back(std::uint8_t(sdu.bytes.size() & 0xFF));
+      out.insert(out.end(), sdu.bytes.begin(), sdu.bytes.end());
+      queue.pop_front();
+    }
+    out.resize(tb_bytes, 0);  // [sn][len=0] terminates on the receive side
+    return out;
+  }
+
+  void reset() { next_sn_ = 0; }
+  [[nodiscard]] std::uint32_t next_sn() const { return next_sn_; }
+
+ private:
+  std::uint32_t next_sn_ = 0;
+};
+
+// Unpacks a TB payload into (SN, SDU) records.
+[[nodiscard]] inline std::vector<RlcSdu> rlc_unpack(
+    std::span<const std::uint8_t> tb) {
+  std::vector<RlcSdu> sdus;
+  std::size_t pos = 0;
+  while (pos + 6 <= tb.size()) {
+    RlcSdu sdu;
+    sdu.sn = (std::uint32_t(tb[pos]) << 24) | (std::uint32_t(tb[pos + 1]) << 16) |
+             (std::uint32_t(tb[pos + 2]) << 8) | std::uint32_t(tb[pos + 3]);
+    const std::size_t len =
+        (std::size_t(tb[pos + 4]) << 8) | std::size_t(tb[pos + 5]);
+    pos += 6;
+    if (len == 0 || pos + len > tb.size()) {
+      break;
+    }
+    sdu.bytes.assign(tb.begin() + long(pos), tb.begin() + long(pos + len));
+    pos += len;
+    sdus.push_back(std::move(sdu));
+  }
+  return sdus;
+}
+
+// Receive side: in-order release with a t-Reordering timer.
+class RlcRx {
+ public:
+  using DeliverFn = std::function<void(std::vector<std::uint8_t>)>;
+
+  RlcRx(Simulator& sim, Nanos t_reordering, DeliverFn deliver)
+      : sim_(&sim), t_reordering_(t_reordering), deliver_(std::move(deliver)) {}
+
+  void on_sdu(RlcSdu&& sdu) {
+    if (sdu.sn < expected_) {
+      ++duplicates_;
+      return;  // duplicate or already skipped
+    }
+    if (sdu.sn == expected_) {
+      deliver_(std::move(sdu.bytes));
+      ++expected_;
+      drain_contiguous();
+    } else {
+      buffer_.emplace(sdu.sn, std::move(sdu.bytes));
+    }
+    manage_timer();
+  }
+
+  void reset() {
+    expected_ = 0;
+    buffer_.clear();
+    timer_.cancel();
+  }
+
+  [[nodiscard]] std::uint32_t expected_sn() const { return expected_; }
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+  [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+
+ private:
+  void drain_contiguous() {
+    auto it = buffer_.find(expected_);
+    while (it != buffer_.end()) {
+      deliver_(std::move(it->second));
+      buffer_.erase(it);
+      ++expected_;
+      it = buffer_.find(expected_);
+    }
+  }
+
+  void manage_timer() {
+    if (buffer_.empty()) {
+      timer_.cancel();
+      timer_armed_ = false;
+      return;
+    }
+    if (!timer_armed_) {
+      timer_armed_ = true;
+      timer_ = sim_->after(t_reordering_, [this] { on_timer(); });
+    }
+  }
+
+  void on_timer() {
+    timer_armed_ = false;
+    if (buffer_.empty()) {
+      return;
+    }
+    // Give up on the gap: skip to the first buffered SN.
+    skipped_ += buffer_.begin()->first - expected_;
+    expected_ = buffer_.begin()->first;
+    drain_contiguous();
+    manage_timer();
+  }
+
+  Simulator* sim_;
+  Nanos t_reordering_;
+  DeliverFn deliver_;
+  std::uint32_t expected_ = 0;
+  std::map<std::uint32_t, std::vector<std::uint8_t>> buffer_;
+  EventHandle timer_;
+  bool timer_armed_ = false;
+  std::uint64_t skipped_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+// Bytes currently queued (SDU payloads only).
+[[nodiscard]] inline std::size_t queued_bytes(
+    const std::deque<RlcSdu>& queue) {
+  std::size_t total = 0;
+  for (const auto& sdu : queue) {
+    total += sdu.bytes.size();
+  }
+  return total;
+}
+
+}  // namespace slingshot

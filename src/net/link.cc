@@ -1,0 +1,30 @@
+#include "net/link.h"
+
+#include <cmath>
+
+namespace slingshot {
+
+void Link::send(Packet&& packet, bool a_to_b) {
+  FrameSink* receiver = a_to_b ? side_b_ : side_a_;
+  if (receiver == nullptr) {
+    ++dropped_;
+    return;
+  }
+  if (config_.loss_probability > 0.0 &&
+      loss_rng_.bernoulli(config_.loss_probability)) {
+    ++dropped_;
+    return;
+  }
+  Nanos& busy_until = a_to_b ? busy_until_ab_ : busy_until_ba_;
+  const Nanos start = std::max(sim_.now(), busy_until);
+  const auto bits = double(packet.wire_size()) * 8.0;
+  const auto tx_time = Nanos(std::llround(bits / config_.bandwidth_bps * 1e9));
+  busy_until = start + tx_time;
+  const Nanos arrival = busy_until + config_.propagation_delay;
+  ++delivered_;
+  sim_.at(arrival, [receiver, p = std::move(packet)]() mutable {
+    receiver->handle_frame(std::move(p));
+  });
+}
+
+}  // namespace slingshot

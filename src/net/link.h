@@ -1,0 +1,53 @@
+// Point-to-point full-duplex link with serialization delay, propagation
+// latency, and optional random loss. Connects an endpoint ("station") to
+// a switch port, or two stations back-to-back.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace slingshot {
+
+struct LinkConfig {
+  double bandwidth_bps = 100e9;  // 100 GbE by default, as in the testbed
+  Nanos propagation_delay = 1'000;  // 1 µs intra-rack fiber + transceivers
+  double loss_probability = 0.0;    // rare in provisioned vRAN datacenters
+};
+
+class Link {
+ public:
+  Link(Simulator& sim, LinkConfig config, RngStream loss_rng)
+      : sim_(sim), config_(config), loss_rng_(std::move(loss_rng)) {}
+
+  void attach_a(FrameSink* a) { side_a_ = a; }
+  void attach_b(FrameSink* b) { side_b_ = b; }
+
+  // Send from side A toward side B (and vice versa). The frame is
+  // serialized onto the wire after any frames already queued in that
+  // direction, then arrives propagation_delay later.
+  void send_from_a(Packet&& packet) { send(std::move(packet), /*a_to_b=*/true); }
+  void send_from_b(Packet&& packet) { send(std::move(packet), /*a_to_b=*/false); }
+
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t frames_delivered() const { return delivered_; }
+
+ private:
+  void send(Packet&& packet, bool a_to_b);
+
+  Simulator& sim_;
+  LinkConfig config_;
+  RngStream loss_rng_;
+  FrameSink* side_a_ = nullptr;
+  FrameSink* side_b_ = nullptr;
+  Nanos busy_until_ab_ = 0;
+  Nanos busy_until_ba_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace slingshot

@@ -1,0 +1,66 @@
+// Host NIC: couples a station (PHY server, L2 server, RU, app server) to
+// one side of a Link and dispatches received frames to a handler.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace slingshot {
+
+class Nic final : public FrameSink {
+ public:
+  Nic(Simulator& sim, MacAddr mac) : sim_(&sim), mac_(mac) {}
+
+  // Attach this NIC as side A of `link` (side B is typically a switch
+  // port).
+  void attach(Link& link) {
+    link_ = &link;
+    link.attach_a(this);
+  }
+
+  void set_rx_handler(std::function<void(Packet&&)> handler) {
+    rx_ = std::move(handler);
+  }
+
+  [[nodiscard]] MacAddr mac() const { return mac_; }
+
+  void send(Packet&& packet) {
+    if (link_ == nullptr) {
+      return;
+    }
+    packet.eth.src = mac_;
+    packet.created_at = sim_->now();
+    ++tx_frames_;
+    tx_bytes_ += packet.wire_size();
+    link_->send_from_a(std::move(packet));
+  }
+
+  void handle_frame(Packet&& packet) override {
+    ++rx_frames_;
+    rx_bytes_ += packet.wire_size();
+    if (rx_) {
+      rx_(std::move(packet));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t tx_frames() const { return tx_frames_; }
+  [[nodiscard]] std::uint64_t rx_frames() const { return rx_frames_; }
+  [[nodiscard]] std::uint64_t tx_bytes() const { return tx_bytes_; }
+  [[nodiscard]] std::uint64_t rx_bytes() const { return rx_bytes_; }
+
+ private:
+  Simulator* sim_;
+  MacAddr mac_;
+  Link* link_ = nullptr;
+  std::function<void(Packet&&)> rx_;
+  std::uint64_t tx_frames_ = 0;
+  std::uint64_t rx_frames_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+};
+
+}  // namespace slingshot

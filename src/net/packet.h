@@ -1,0 +1,58 @@
+// Ethernet-style frames carried by the simulated edge-datacenter fabric.
+//
+// Everything that crosses a wire in this testbed is one of these frames
+// with a serialized byte payload: O-RAN fronthaul packets, FAPI-over-UDP
+// messages between Orion processes, Slingshot command/notification
+// packets, and user-plane traffic between the L2 and the app server.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace slingshot {
+
+// EtherType values. Fronthaul uses the real eCPRI EtherType; the rest
+// are from the experimental/local range.
+enum class EtherType : std::uint16_t {
+  kEcpri = 0xAEFE,          // O-RAN fronthaul (eCPRI)
+  kFapiTransport = 0x88B5,  // Orion's lean FAPI-over-UDP transport
+  kSlingshotCmd = 0x88B6,   // migrate_on_slot and other mbox commands
+  kFailureNotify = 0x88B7,  // switch -> Orion failure notifications
+  kUserPlane = 0x88B8,      // app-server <-> L2 user traffic
+  kControl = 0x88B9,        // misc control (PTP-like, mgmt)
+};
+
+struct EthernetHeader {
+  MacAddr dst;
+  MacAddr src;
+  EtherType ethertype = EtherType::kControl;
+
+  static constexpr std::size_t kWireSize = 14;
+};
+
+struct Packet {
+  EthernetHeader eth;
+  std::vector<std::uint8_t> payload;
+
+  // Bookkeeping (not on the wire).
+  Nanos created_at = 0;      // when the sender handed it to its NIC
+  std::uint64_t id = 0;      // unique per simulation, for tracing
+
+  [[nodiscard]] std::size_t wire_size() const {
+    // Ethernet header + payload + FCS; ignore preamble/IPG.
+    return EthernetHeader::kWireSize + payload.size() + 4;
+  }
+};
+
+// Where an endpoint receives frames from the fabric.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void handle_frame(Packet&& packet) = 0;
+};
+
+}  // namespace slingshot

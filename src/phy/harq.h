@@ -1,0 +1,67 @@
+// HARQ soft-combining buffers — the inter-TTI PHY state that Slingshot
+// deliberately discards at migration (§4.2).
+//
+// The store keeps accumulated channel LLRs per (UE, HARQ process). On a
+// retransmission the receiver chase-combines the new LLRs with the
+// buffer, raising the odds of successful decoding. Losing the buffer
+// (as a freshly-promoted secondary PHY does) just means the combining
+// gain is gone for in-flight processes — decoding fails, CRC catches
+// it, and higher layers retransmit, exactly like a burst of bad signal.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace slingshot {
+
+class HarqSoftBufferStore {
+ public:
+  struct Entry {
+    std::vector<float> llrs;
+    int transmissions = 0;
+  };
+
+  static constexpr int kMaxRetransmissions = 3;  // 1 initial + 3 retx
+
+  [[nodiscard]] Entry* find(UeId ue, HarqId harq) {
+    const auto it = buffers_.find(key(ue, harq));
+    return it == buffers_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const Entry* find(UeId ue, HarqId harq) const {
+    const auto it = buffers_.find(key(ue, harq));
+    return it == buffers_.end() ? nullptr : &it->second;
+  }
+
+  // Begin a fresh HARQ sequence (new_data = true): drop any old soft
+  // bits for the process.
+  void start_new(UeId ue, HarqId harq) { buffers_.erase(key(ue, harq)); }
+
+  void store(UeId ue, HarqId harq, std::vector<float> llrs) {
+    auto& entry = buffers_[key(ue, harq)];
+    entry.llrs = std::move(llrs);
+    ++entry.transmissions;
+  }
+
+  void release(UeId ue, HarqId harq) { buffers_.erase(key(ue, harq)); }
+
+  // Discard everything — what PHY migration implies for the destination
+  // PHY (it starts with empty buffers) and what a crash does to the
+  // primary's.
+  void clear() { buffers_.clear(); }
+
+  [[nodiscard]] std::size_t active_processes() const {
+    return buffers_.size();
+  }
+
+ private:
+  [[nodiscard]] static std::uint32_t key(UeId ue, HarqId harq) {
+    return (std::uint32_t(ue.value()) << 8) | harq.value();
+  }
+
+  std::unordered_map<std::uint32_t, Entry> buffers_;
+};
+
+}  // namespace slingshot

@@ -1,0 +1,275 @@
+#include "phy/ldpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace slingshot {
+namespace {
+constexpr float kMinSumScale = 0.8F;  // normalized min-sum correction
+}
+
+LdpcCode::LdpcCode(int n, int m, std::uint64_t seed, int wc)
+    : n_(n), m_(m), k_(0) {
+  if (n <= 0 || m <= 0 || m >= n || wc < 2) {
+    throw std::invalid_argument{"LdpcCode: bad parameters"};
+  }
+  std::mt19937_64 rng{seed};
+
+  // --- Build a (near-)regular parity-check matrix via the permutation
+  // construction: each of the n*wc column sockets is matched to a check
+  // socket; checks get degree ~ n*wc/m.
+  const int total_edges = n * wc;
+  std::vector<int> sockets;
+  sockets.reserve(std::size_t(total_edges));
+  for (int e = 0; e < total_edges; ++e) {
+    sockets.push_back(e % m);
+  }
+  std::shuffle(sockets.begin(), sockets.end(), rng);
+
+  std::vector<std::vector<int>> col_rows{std::size_t(n)};
+  int cursor = 0;
+  for (int c = 0; c < n; ++c) {
+    auto& rows = col_rows[std::size_t(c)];
+    for (int j = 0; j < wc; ++j) {
+      int row = sockets[std::size_t(cursor + j)];
+      // Resolve duplicates within a column by swapping with a random
+      // later socket (keeps the degree distribution intact).
+      int guard = 0;
+      while (std::find(rows.begin(), rows.end(), row) != rows.end() &&
+             guard < 64) {
+        const auto swap_with =
+            cursor + wc +
+            int(rng() % std::uint64_t(std::max(1, total_edges - cursor - wc)));
+        if (swap_with < total_edges) {
+          std::swap(sockets[std::size_t(cursor + j)],
+                    sockets[std::size_t(swap_with)]);
+          row = sockets[std::size_t(cursor + j)];
+        }
+        ++guard;
+      }
+      rows.push_back(row);
+    }
+    cursor += wc;
+  }
+
+  check_vars_.assign(std::size_t(m), {});
+  for (int c = 0; c < n; ++c) {
+    for (const int row : col_rows[std::size_t(c)]) {
+      check_vars_[std::size_t(row)].push_back(c);
+    }
+  }
+
+  // Flatten edges and build per-variable adjacency.
+  check_edge_offset_.assign(std::size_t(m) + 1, 0);
+  for (int c = 0; c < m; ++c) {
+    check_edge_offset_[std::size_t(c) + 1] =
+        check_edge_offset_[std::size_t(c)] +
+        int(check_vars_[std::size_t(c)].size());
+  }
+  num_edges_ = check_edge_offset_[std::size_t(m)];
+  var_edges_.assign(std::size_t(n), {});
+  for (int c = 0; c < m; ++c) {
+    const auto& vars = check_vars_[std::size_t(c)];
+    for (std::size_t j = 0; j < vars.size(); ++j) {
+      var_edges_[std::size_t(vars[j])].push_back(
+          check_edge_offset_[std::size_t(c)] + int(j));
+    }
+  }
+
+  // --- Derive a systematic encoder by Gaussian elimination (RREF) on a
+  // dense copy of H. Pivot columns become parity positions.
+  std::vector<BitVector> rows(static_cast<std::size_t>(m),
+                              BitVector(static_cast<std::size_t>(n)));
+  for (int c = 0; c < m; ++c) {
+    for (const int v : check_vars_[std::size_t(c)]) {
+      rows[std::size_t(c)].flip(std::size_t(v));  // flip handles dup edges
+    }
+  }
+
+  std::vector<bool> is_pivot_col(std::size_t(n), false);
+  std::vector<int> pivot_col_of_row;
+  int rank = 0;
+  for (int col = n - 1; col >= 0 && rank < m; --col) {
+    // Pivot from the high columns so low columns stay as info positions.
+    int pivot_row = -1;
+    for (int r = rank; r < m; ++r) {
+      if (rows[std::size_t(r)].get(std::size_t(col))) {
+        pivot_row = r;
+        break;
+      }
+    }
+    if (pivot_row < 0) {
+      continue;
+    }
+    std::swap(rows[std::size_t(rank)], rows[std::size_t(pivot_row)]);
+    for (int r = 0; r < m; ++r) {
+      if (r != rank && rows[std::size_t(r)].get(std::size_t(col))) {
+        rows[std::size_t(r)] ^= rows[std::size_t(rank)];
+      }
+    }
+    is_pivot_col[std::size_t(col)] = true;
+    pivot_col_of_row.push_back(col);
+    ++rank;
+  }
+
+  info_cols_.clear();
+  for (int c = 0; c < n; ++c) {
+    if (!is_pivot_col[std::size_t(c)]) {
+      info_cols_.push_back(c);
+    }
+  }
+  k_ = int(info_cols_.size());
+
+  // Map each kept row to a parity equation over info-bit indices.
+  std::vector<int> info_index_of_col(std::size_t(n), -1);
+  for (std::size_t i = 0; i < info_cols_.size(); ++i) {
+    info_index_of_col[std::size_t(info_cols_[i])] = int(i);
+  }
+  parity_cols_ = pivot_col_of_row;
+  parity_masks_.clear();
+  parity_masks_.reserve(std::size_t(rank));
+  for (int r = 0; r < rank; ++r) {
+    BitVector mask(static_cast<std::size_t>(k_));
+    for (int c = 0; c < n; ++c) {
+      if (c != parity_cols_[std::size_t(r)] &&
+          rows[std::size_t(r)].get(std::size_t(c))) {
+        const int idx = info_index_of_col[std::size_t(c)];
+        if (idx < 0) {
+          throw std::logic_error{"LdpcCode: non-pivot RREF residue"};
+        }
+        mask.flip(std::size_t(idx));
+      }
+    }
+    parity_masks_.push_back(std::move(mask));
+  }
+}
+
+std::vector<std::uint8_t> LdpcCode::encode(
+    std::span<const std::uint8_t> info_bits) const {
+  if (int(info_bits.size()) != k_) {
+    throw std::invalid_argument{"LdpcCode::encode: wrong info length"};
+  }
+  BitVector u(static_cast<std::size_t>(k_));
+  for (int i = 0; i < k_; ++i) {
+    if (info_bits[std::size_t(i)] & 1U) {
+      u.set(std::size_t(i), true);
+    }
+  }
+  std::vector<std::uint8_t> cw(std::size_t(n_), 0);
+  for (int i = 0; i < k_; ++i) {
+    cw[std::size_t(info_cols_[std::size_t(i)])] = info_bits[std::size_t(i)] & 1U;
+  }
+  for (std::size_t r = 0; r < parity_masks_.size(); ++r) {
+    cw[std::size_t(parity_cols_[r])] =
+        parity_masks_[r].dot(u) ? 1 : 0;
+  }
+  return cw;
+}
+
+std::vector<std::uint8_t> LdpcCode::extract_info(
+    std::span<const std::uint8_t> codeword) const {
+  std::vector<std::uint8_t> info(static_cast<std::size_t>(k_));
+  for (int i = 0; i < k_; ++i) {
+    info[std::size_t(i)] = codeword[std::size_t(info_cols_[std::size_t(i)])] & 1U;
+  }
+  return info;
+}
+
+bool LdpcCode::check_parity(std::span<const std::uint8_t> cw) const {
+  for (const auto& vars : check_vars_) {
+    unsigned parity = 0;
+    for (const int v : vars) {
+      parity ^= cw[std::size_t(v)] & 1U;
+    }
+    if (parity != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LdpcCode::DecodeResult LdpcCode::decode(std::span<const float> llr,
+                                        int max_iterations) const {
+  if (int(llr.size()) != n_) {
+    throw std::invalid_argument{"LdpcCode::decode: wrong LLR length"};
+  }
+  DecodeResult result;
+  result.codeword.assign(std::size_t(n_), 0);
+
+  // Messages indexed by global edge id.
+  std::vector<float> var_to_check(static_cast<std::size_t>(num_edges_));
+  std::vector<float> check_to_var(std::size_t(num_edges_), 0.0F);
+
+  // Init var->check with channel LLRs.
+  for (int v = 0; v < n_; ++v) {
+    for (const int e : var_edges_[std::size_t(v)]) {
+      var_to_check[std::size_t(e)] = llr[std::size_t(v)];
+    }
+  }
+
+  std::vector<float> posterior(static_cast<std::size_t>(n_));
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    // Check-node update (normalized min-sum with exclusion).
+    for (int c = 0; c < m_; ++c) {
+      const auto& vars = check_vars_[std::size_t(c)];
+      const int base = check_edge_offset_[std::size_t(c)];
+      float min1 = 1e30F;
+      float min2 = 1e30F;
+      int min_pos = -1;
+      unsigned sign_all = 0;
+      for (std::size_t j = 0; j < vars.size(); ++j) {
+        const float q = var_to_check[std::size_t(base) + j];
+        const float mag = std::fabs(q);
+        if (q < 0.0F) {
+          sign_all ^= 1U;
+        }
+        if (mag < min1) {
+          min2 = min1;
+          min1 = mag;
+          min_pos = int(j);
+        } else if (mag < min2) {
+          min2 = mag;
+        }
+      }
+      for (std::size_t j = 0; j < vars.size(); ++j) {
+        const float q = var_to_check[std::size_t(base) + j];
+        const unsigned sign_excl = sign_all ^ (q < 0.0F ? 1U : 0U);
+        const float mag = (int(j) == min_pos) ? min2 : min1;
+        check_to_var[std::size_t(base) + j] =
+            (sign_excl ? -1.0F : 1.0F) * kMinSumScale * mag;
+      }
+    }
+
+    // Variable-node update + posterior.
+    for (int v = 0; v < n_; ++v) {
+      float total = llr[std::size_t(v)];
+      for (const int e : var_edges_[std::size_t(v)]) {
+        total += check_to_var[std::size_t(e)];
+      }
+      posterior[std::size_t(v)] = total;
+      for (const int e : var_edges_[std::size_t(v)]) {
+        var_to_check[std::size_t(e)] = total - check_to_var[std::size_t(e)];
+      }
+      result.codeword[std::size_t(v)] = total < 0.0F ? 1 : 0;
+    }
+
+    result.iterations_used = iter;
+    if (check_parity(result.codeword)) {
+      result.parity_ok = true;
+      return result;
+    }
+  }
+  result.parity_ok = check_parity(result.codeword);
+  return result;
+}
+
+const LdpcCode& LdpcCode::standard() {
+  // n = 648, m = 324, rate ~1/2 (like the 802.11n short code size).
+  static const LdpcCode code{648, 324, /*seed=*/0x5D1A9C0DEULL};
+  return code;
+}
+
+}  // namespace slingshot

@@ -1,0 +1,71 @@
+// LDPC forward error correction.
+//
+// A regular Gallager LDPC code (column weight 3, rate ~1/2) with a
+// systematic GF(2) encoder derived by Gaussian elimination and a
+// normalized min-sum belief-propagation decoder. The decoder's maximum
+// iteration count is a runtime knob — the paper's live-upgrade
+// experiment (§8.3, Fig 11) upgrades the PHY to "more FEC iterations for
+// decoding the signal", and with a real BP decoder iteration count
+// genuinely moves the decoding threshold.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace slingshot {
+
+class LdpcCode {
+ public:
+  // Build a pseudo-random regular code: n coded bits, m = n - k checks,
+  // column weight `wc`. Deterministic for a given seed.
+  LdpcCode(int n, int m, std::uint64_t seed, int wc = 3);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int num_checks() const { return m_; }
+
+  // Encode k info bits into an n-bit codeword (values 0/1).
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> info_bits) const;
+
+  // Extract the k info bits from a (decoded) codeword.
+  [[nodiscard]] std::vector<std::uint8_t> extract_info(
+      std::span<const std::uint8_t> codeword) const;
+
+  struct DecodeResult {
+    std::vector<std::uint8_t> codeword;  // hard decisions, n bits
+    bool parity_ok = false;              // all checks satisfied
+    int iterations_used = 0;
+  };
+
+  // Normalized min-sum BP decode from channel LLRs (positive = bit 0).
+  [[nodiscard]] DecodeResult decode(std::span<const float> llr,
+                                    int max_iterations) const;
+
+  [[nodiscard]] bool check_parity(std::span<const std::uint8_t> cw) const;
+
+  // The codebase-wide default code: n = 648, rate 1/2 — one
+  // representative codeword per transport block.
+  static const LdpcCode& standard();
+
+ private:
+  int n_;
+  int m_;
+  int k_;
+  // Sparse structure: per-check variable lists (flattened), and per-var
+  // global edge-id lists, for the flooding min-sum schedule.
+  std::vector<std::vector<int>> check_vars_;
+  std::vector<int> check_edge_offset_;      // global edge id of check's 1st edge
+  std::vector<std::vector<int>> var_edges_; // global edge ids touching var
+  int num_edges_ = 0;
+  // Systematic encoder: after RREF, pivot (parity) columns and the
+  // info columns, plus per-parity-row masks over info bits.
+  std::vector<int> info_cols_;
+  std::vector<int> parity_cols_;           // pivot column of each kept row
+  std::vector<BitVector> parity_masks_;    // over info-bit indices
+};
+
+}  // namespace slingshot

@@ -1,0 +1,70 @@
+// Modulation-and-coding-scheme table and transport-block sizing.
+//
+// Our LDPC code is fixed at rate ~1/2, so the MCS ladder varies the
+// modulation order (like the upper half of the 5G NR MCS tables).
+// `snr_threshold_db` is the approximate decoding threshold the L2's link
+// adaptation uses; the *actual* decode outcome is always computed by the
+// real receive chain, so a UE scheduled too aggressively genuinely fails
+// CRC and goes through HARQ.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "phy/modulation.h"
+
+namespace slingshot {
+
+struct McsEntry {
+  Modulation modulation = Modulation::kQpsk;
+  double code_rate = 0.5;
+  double snr_threshold_db = 0.0;  // link-adaptation threshold
+
+  [[nodiscard]] double spectral_efficiency() const {
+    return bits_per_symbol(modulation) * code_rate;
+  }
+};
+
+inline constexpr int kNumMcs = 4;
+
+[[nodiscard]] inline const McsEntry& mcs_entry(std::uint8_t mcs) {
+  static const std::array<McsEntry, kNumMcs> kTable{{
+      {Modulation::kQpsk, 0.5, 2.0},
+      {Modulation::kQam16, 0.5, 9.5},
+      {Modulation::kQam64, 0.5, 16.0},
+      {Modulation::kQam256, 0.5, 22.5},
+  }};
+  return kTable[mcs < kNumMcs ? mcs : kNumMcs - 1];
+}
+
+// Highest MCS whose threshold (plus margin) the SNR clears.
+[[nodiscard]] inline std::uint8_t select_mcs(double snr_db,
+                                             double margin_db = 1.0) {
+  std::uint8_t best = 0;
+  for (std::uint8_t m = 0; m < kNumMcs; ++m) {
+    if (snr_db >= mcs_entry(m).snr_threshold_db + margin_db) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+// Cell-level dimensioning for TB sizing. A 100 MHz µ=1 carrier has 273
+// PRBs; a PRB-slot carries ~156 data resource elements (12 subcarriers
+// x 13 data symbols).
+struct CellDimensions {
+  int num_prbs = 273;
+  int data_res_per_prb = 156;
+};
+
+// Transport-block size in bytes for an allocation of `prbs` PRBs.
+[[nodiscard]] inline std::uint32_t tb_size_bytes(std::uint8_t mcs, int prbs,
+                                                 const CellDimensions& dims = {}) {
+  const auto& entry = mcs_entry(mcs);
+  const double bits =
+      entry.spectral_efficiency() * double(dims.data_res_per_prb) * prbs;
+  const auto bytes = std::uint32_t(bits / 8.0);
+  return bytes > 0 ? bytes : 1;
+}
+
+}  // namespace slingshot

@@ -1,0 +1,95 @@
+#include "phy/modulation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace slingshot {
+
+const char* modulation_name(Modulation mod) {
+  switch (mod) {
+    case Modulation::kQpsk: return "QPSK";
+    case Modulation::kQam16: return "16QAM";
+    case Modulation::kQam64: return "64QAM";
+    case Modulation::kQam256: return "256QAM";
+  }
+  return "?";
+}
+
+Modulator::Modulator(Modulation mod)
+    : mod_(mod), bits_per_dim_(bits_per_symbol(mod) / 2) {
+  const int levels = 1 << bits_per_dim_;
+  // Unit average symbol energy: each dimension carries half the energy.
+  // E[level^2] over uniform levels {±1, ±3, ...} * scale is
+  // scale^2 * (L^2 - 1) / 3; two dimensions double it.
+  const double scale = std::sqrt(3.0 / (2.0 * (levels * levels - 1)));
+  levels_.assign(std::size_t(levels), 0.0F);
+  for (int i = 0; i < levels; ++i) {
+    const int gray = i ^ (i >> 1);
+    // PAM amplitude for natural index i; stored at the Gray pattern so
+    // that looking up by bit pattern yields the level.
+    levels_[std::size_t(gray)] = float((2 * i - (levels - 1)) * scale);
+  }
+}
+
+std::vector<std::complex<float>> Modulator::modulate(
+    std::span<const std::uint8_t> bits) const {
+  const int bps = bits_per_symbol(mod_);
+  if (bits.size() % std::size_t(bps) != 0) {
+    throw std::invalid_argument{"Modulator::modulate: bit count"};
+  }
+  std::vector<std::complex<float>> symbols;
+  symbols.reserve(bits.size() / std::size_t(bps));
+  for (std::size_t i = 0; i < bits.size(); i += std::size_t(bps)) {
+    unsigned i_pattern = 0;
+    unsigned q_pattern = 0;
+    // First half of the symbol's bits -> I dimension, second half -> Q.
+    for (int b = 0; b < bits_per_dim_; ++b) {
+      i_pattern = (i_pattern << 1) | (bits[i + std::size_t(b)] & 1U);
+      q_pattern =
+          (q_pattern << 1) |
+          (bits[i + std::size_t(bits_per_dim_ + b)] & 1U);
+    }
+    symbols.emplace_back(levels_[i_pattern], levels_[q_pattern]);
+  }
+  return symbols;
+}
+
+std::vector<float> Modulator::demap(
+    std::span<const std::complex<float>> symbols,
+    double noise_variance) const {
+  const int bps = bits_per_symbol(mod_);
+  const int levels = 1 << bits_per_dim_;
+  // Per-dimension noise variance.
+  const double sigma2 = std::max(noise_variance / 2.0, 1e-9);
+  std::vector<float> llrs(symbols.size() * std::size_t(bps));
+
+  auto demap_dim = [&](float y, float* out) {
+    // For each bit position in this dimension, max-log LLR:
+    // min distance^2 over levels with bit=1 minus min over bit=0,
+    // scaled by 1/(2 sigma^2)  (positive => bit 0).
+    for (int b = 0; b < bits_per_dim_; ++b) {
+      float best0 = 1e30F;
+      float best1 = 1e30F;
+      for (int pattern = 0; pattern < levels; ++pattern) {
+        const float d = y - levels_[std::size_t(pattern)];
+        const float metric = d * d;
+        const bool bit = (pattern >> (bits_per_dim_ - 1 - b)) & 1;
+        if (bit) {
+          best1 = std::min(best1, metric);
+        } else {
+          best0 = std::min(best0, metric);
+        }
+      }
+      out[b] = float((best1 - best0) / (2.0 * sigma2));
+    }
+  };
+
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    float* out = llrs.data() + s * std::size_t(bps);
+    demap_dim(symbols[s].real(), out);
+    demap_dim(symbols[s].imag(), out + bits_per_dim_);
+  }
+  return llrs;
+}
+
+}  // namespace slingshot

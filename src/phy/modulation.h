@@ -1,0 +1,53 @@
+// Gray-mapped square QAM modulation and soft (max-log LLR) demapping.
+//
+// 5G NR data channels use QPSK, 16-QAM, 64-QAM and 256-QAM; all are
+// separable into two Gray-coded PAM dimensions, which is how the
+// demapper computes per-bit LLRs cheaply.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace slingshot {
+
+enum class Modulation : std::uint8_t {
+  kQpsk = 2,    // 2 bits/symbol
+  kQam16 = 4,
+  kQam64 = 6,
+  kQam256 = 8,
+};
+
+[[nodiscard]] constexpr int bits_per_symbol(Modulation mod) {
+  return int(mod);
+}
+[[nodiscard]] const char* modulation_name(Modulation mod);
+
+class Modulator {
+ public:
+  explicit Modulator(Modulation mod);
+
+  [[nodiscard]] Modulation modulation() const { return mod_; }
+
+  // Map bits (0/1 values, length must be a multiple of bits_per_symbol)
+  // to unit-average-energy symbols.
+  [[nodiscard]] std::vector<std::complex<float>> modulate(
+      std::span<const std::uint8_t> bits) const;
+
+  // Max-log LLRs for each transmitted bit given received symbols and the
+  // per-symbol complex-noise variance (total across both dimensions).
+  // Positive LLR means "bit 0 more likely".
+  [[nodiscard]] std::vector<float> demap(
+      std::span<const std::complex<float>> symbols,
+      double noise_variance) const;
+
+ private:
+  Modulation mod_;
+  int bits_per_dim_;                 // bits per PAM dimension
+  std::vector<float> levels_;        // PAM level for each bit pattern
+  // levels_[pattern] where pattern is the bits of one dimension packed
+  // MSB-first; Gray mapping is baked into the table.
+};
+
+}  // namespace slingshot

@@ -1,0 +1,137 @@
+#include "ru/ru.h"
+
+#include "common/log.h"
+
+namespace slingshot {
+
+RadioUnit::RadioUnit(Simulator& sim, std::string name, RuConfig config,
+                     Nic& nic)
+    : sim_(sim), name_(std::move(name)), config_(config), nic_(nic) {
+  nic_.set_rx_handler([this](Packet&& f) { handle_frame(std::move(f)); });
+}
+
+void RadioUnit::power_on() {
+  const Nanos first =
+      config_.slots.slot_start(config_.slots.next_slot_after(sim_.now()));
+  slot_task_ = sim_.every(first, config_.slots.slot_duration, [this] {
+    on_slot(config_.slots.slot_at(sim_.now()));
+  });
+  SLOG_INFO("ru", "%s powered on", name_.c_str());
+}
+
+void RadioUnit::handle_frame(Packet&& frame) {
+  if (frame.eth.ethertype != EtherType::kEcpri) {
+    return;
+  }
+  FronthaulPacket packet;
+  try {
+    packet = parse_fronthaul(frame.payload);
+  } catch (const std::exception&) {
+    return;  // corrupt fronthaul packet: drop
+  }
+  if (packet.header.direction != FhDirection::kDownlink ||
+      packet.header.ru != config_.id) {
+    return;
+  }
+  const auto current = config_.slots.slot_at(sim_.now());
+  const auto abs_slot = packet.header.slot.unwrap(current, config_.slots);
+
+  // Protocol-compliance check: two PHYs feeding the same TTI.
+  const auto [it, inserted] =
+      dl_source_by_slot_.emplace(abs_slot, frame.eth.src);
+  if (!inserted && it->second != frame.eth.src) {
+    ++stats_.conflicting_sources;
+    SLOG_WARN("ru", "%s received slot %lld DL from two PHYs", name_.c_str(),
+              static_cast<long long>(abs_slot));
+  }
+  // Bound the tracking map.
+  while (!dl_source_by_slot_.empty() &&
+         dl_source_by_slot_.begin()->first < abs_slot - 16) {
+    dl_source_by_slot_.erase(dl_source_by_slot_.begin());
+  }
+
+  if (packet.header.plane == FhPlane::kControl) {
+    ++stats_.dl_cplane_rx;
+    // Broadcast over the air: all attached UEs hear the control channel.
+    for (auto* ue : ues_) {
+      ue->on_dl_control(abs_slot, packet.cplane);
+    }
+  } else {
+    ++stats_.dl_uplane_rx;
+    for (auto& section : packet.uplane.sections) {
+      for (auto* ue : ues_) {
+        if (ue->id() == section.ue) {
+          // Apply this UE's wireless channel to the radiated symbols.
+          auto impaired = section.iq;
+          impaired = ue->channel().apply(impaired);
+          UPlaneSection rx = section;
+          rx.iq = std::move(impaired);
+          ue->on_dl_section(abs_slot, rx);
+        }
+      }
+    }
+  }
+}
+
+void RadioUnit::on_slot(std::int64_t slot) {
+  // Dropped-TTI accounting: once any DL fronthaul has been seen, every
+  // slot should carry at least one DL packet from the active PHY.
+  if (!dl_source_by_slot_.empty() &&
+      dl_source_by_slot_.rbegin()->first < slot - 1 &&
+      slot - 1 > dl_source_by_slot_.begin()->first) {
+    ++stats_.dropped_ttis;
+  }
+
+  // Advance every attached UE's fading process once per slot (channel
+  // reciprocity: the same tap serves DL and UL within the slot).
+  for (auto* ue : ues_) {
+    ue->channel().step_slot();
+  }
+
+  if (!config_.slots.is_uplink(slot)) {
+    return;
+  }
+
+  // Collect granted uplink transmissions and UCI feedback; emit at a
+  // fixed offset into the slot.
+  sim_.after(config_.ul_tx_offset, [this, slot] {
+    FronthaulPacket uplane;
+    uplane.header.direction = FhDirection::kUplink;
+    uplane.header.plane = FhPlane::kUser;
+    uplane.header.slot = SlotPoint::from_index(slot, config_.slots);
+    uplane.header.ru = config_.id;
+
+    CPlaneMsg uci_msg;
+    for (auto* ue : ues_) {
+      for (auto& section : ue->pull_uplink(slot)) {
+        // The uplink signal traverses the UE's channel to the RU; the
+        // RU then BFP-compresses what it sampled for the fronthaul.
+        section.iq = ue->channel().apply(section.iq);
+        section.bfp_mantissa_bits = config_.ul_bfp_mantissa_bits;
+        uplane.uplane.sections.push_back(std::move(section));
+      }
+      for (const auto& uci : ue->pull_uci()) {
+        uci_msg.uci.push_back(uci);
+      }
+    }
+
+    if (!uplane.uplane.sections.empty()) {
+      ++stats_.ul_uplane_tx;
+      nic_.send(make_fronthaul_frame(nic_.mac(), config_.virtual_phy_mac,
+                                     uplane));
+    }
+    if (!uci_msg.uci.empty()) {
+      FronthaulPacket cplane;
+      cplane.header.direction = FhDirection::kUplink;
+      cplane.header.plane = FhPlane::kControl;
+      cplane.header.slot = SlotPoint::from_index(slot, config_.slots);
+      cplane.header.ru = config_.id;
+      cplane.cplane = std::move(uci_msg);
+      ++stats_.ul_uci_tx;
+      nic_.send(make_fronthaul_frame(nic_.mac(), config_.virtual_phy_mac,
+                                     cplane));
+    }
+  });
+}
+
+}  // namespace slingshot

@@ -1,0 +1,82 @@
+// Radio unit (RU) simulator — the O-RAN split-7.2x radio.
+//
+// Downlink: receives fronthaul packets from the switch, broadcasts the
+// control plane over the air (radio-link supervision + grants for the
+// UEs) and delivers user-plane transport blocks through each UE's
+// wireless channel.
+//
+// Uplink: on each UL slot it collects the attached UEs' granted
+// transmissions, applies their channels, and emits U-plane packets —
+// addressed to the *virtual PHY MAC* (§5.1), so the in-switch middlebox
+// can steer them to whichever PHY is currently active. UE HARQ feedback
+// rides in an UL C-plane packet.
+//
+// The RU also performs the protocol-compliance check the paper warns
+// about: receiving packets for the same TTI from two different PHYs
+// "can cause the RU to malfunction" — counted here and asserted zero in
+// TTI-boundary migration tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "fronthaul/oran.h"
+#include "net/nic.h"
+#include "sim/simulator.h"
+#include "ue/ue.h"
+
+namespace slingshot {
+
+struct RuConfig {
+  RuId id;
+  SlotConfig slots{};
+  MacAddr virtual_phy_mac;  // where UL fronthaul is addressed
+  Nanos ul_tx_offset = 150'000;  // UL U-plane emission offset within slot
+  // O-RAN BFP compression applied to uplink U-plane IQ (0 = off).
+  std::uint8_t ul_bfp_mantissa_bits = 9;
+};
+
+struct RuStats {
+  std::int64_t dl_cplane_rx = 0;
+  std::int64_t dl_uplane_rx = 0;
+  std::int64_t ul_uplane_tx = 0;
+  std::int64_t ul_uci_tx = 0;
+  // Same-slot DL packets from two different source MACs — protocol
+  // violations that a real RU may not survive.
+  std::int64_t conflicting_sources = 0;
+  // Slots with no DL fronthaul at all (dropped TTIs, §8.2). Counted
+  // once DL traffic has been seen.
+  std::int64_t dropped_ttis = 0;
+};
+
+class RadioUnit {
+ public:
+  RadioUnit(Simulator& sim, std::string name, RuConfig config, Nic& nic);
+
+  void attach_ue(UserEquipment* ue) { ues_.push_back(ue); }
+  void power_on();
+
+  [[nodiscard]] const RuStats& stats() const { return stats_; }
+  [[nodiscard]] MacAddr mac() const { return nic_.mac(); }
+  [[nodiscard]] const RuConfig& config() const { return config_; }
+
+ private:
+  void handle_frame(Packet&& frame);
+  void on_slot(std::int64_t slot);
+
+  Simulator& sim_;
+  std::string name_;
+  RuConfig config_;
+  Nic& nic_;
+  std::vector<UserEquipment*> ues_;
+  EventHandle slot_task_;
+  // DL source tracking per slot for the conflicting-sources check.
+  std::map<std::int64_t, MacAddr> dl_source_by_slot_;
+  RuStats stats_;
+};
+
+}  // namespace slingshot

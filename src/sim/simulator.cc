@@ -1,0 +1,77 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace slingshot {
+
+EventHandle Simulator::at(Nanos t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::invalid_argument{"Simulator::at: time in the past"};
+  }
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{t, next_seq_++, std::move(fn), flag});
+  return EventHandle{std::move(flag)};
+}
+
+EventHandle Simulator::every(Nanos start, Nanos period,
+                             std::function<void()> fn) {
+  if (period <= 0) {
+    throw std::invalid_argument{"Simulator::every: non-positive period"};
+  }
+  auto flag = std::make_shared<bool>(false);
+  // Self-rescheduling closure; shares the same cancellation flag so that
+  // cancelling the returned handle stops all future firings.
+  auto tick = std::make_shared<std::function<void(Nanos)>>();
+  *tick = [this, period, fn = std::move(fn), flag, tick](Nanos when) {
+    if (*flag) {
+      return;
+    }
+    fn();
+    if (*flag) {
+      return;  // fn may have cancelled the series
+    }
+    const Nanos next = when + period;
+    queue_.push(Event{next, next_seq_++,
+                      [tick, next] { (*tick)(next); }, flag});
+  };
+  queue_.push(Event{start, next_seq_++, [tick, start] { (*tick)(start); },
+                    flag});
+  return EventHandle{std::move(flag)};
+}
+
+void Simulator::run_until(Nanos t_end) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    const auto& top = queue_.top();
+    if (top.time > t_end) {
+      break;
+    }
+    Event ev = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    if (!*ev.cancelled) {
+      ++executed_;
+      ev.fn();
+    }
+  }
+  if (now_ < t_end) {
+    now_ = t_end;
+  }
+}
+
+void Simulator::run_all() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    if (!*ev.cancelled) {
+      ++executed_;
+      ev.fn();
+    }
+  }
+}
+
+}  // namespace slingshot

@@ -1,0 +1,99 @@
+#include "switchsim/pswitch.h"
+
+#include <stdexcept>
+
+namespace slingshot {
+
+void PipelineContext::emit(int egress_port, Packet&& packet) {
+  sw_.emit_on_port(egress_port, std::move(packet));
+}
+
+void PipelineContext::emit_to_mac(const MacAddr& dst, Packet&& packet) {
+  sw_.emit_via_l2(dst, std::move(packet));
+}
+
+ProgrammableSwitch::ProgrammableSwitch(Simulator& sim, int num_ports,
+                                       Nanos pipeline_latency)
+    : sim_(sim),
+      num_ports_(num_ports),
+      pipeline_latency_(pipeline_latency),
+      port_links_(std::size_t(num_ports), nullptr) {
+  sinks_.reserve(std::size_t(num_ports));
+  for (int p = 0; p < num_ports; ++p) {
+    auto sink = std::make_unique<PortSink>();
+    sink->owner = this;
+    sink->port = p;
+    sinks_.push_back(std::move(sink));
+  }
+}
+
+void ProgrammableSwitch::attach_link(int port, Link& link) {
+  port_links_.at(std::size_t(port)) = &link;
+  link.attach_b(sinks_.at(std::size_t(port)).get());
+}
+
+void ProgrammableSwitch::add_l2_route(const MacAddr& mac, int port) {
+  l2_table_[mac] = port;
+}
+
+void ProgrammableSwitch::start_packet_generator(Nanos period) {
+  stop_packet_generator();
+  generator_ = sim_.every(sim_.now() + period, period, [this] {
+    if (program_ == nullptr) {
+      return;
+    }
+    ++gen_count_;
+    Packet tick;
+    tick.eth.ethertype = EtherType::kControl;
+    tick.created_at = sim_.now();
+    tick.id = next_packet_id_++;
+    PipelineContext ctx{*this, sim_.now()};
+    program_->on_generator_packet(tick, ctx);
+  });
+}
+
+void ProgrammableSwitch::stop_packet_generator() {
+  if (generator_.valid()) {
+    generator_.cancel();
+  }
+}
+
+void ProgrammableSwitch::emit_on_port(int port, Packet&& packet) {
+  Link* link = port_links_.at(std::size_t(port));
+  if (link == nullptr) {
+    return;  // unwired port: frame silently dropped
+  }
+  link->send_from_b(std::move(packet));
+}
+
+void ProgrammableSwitch::emit_via_l2(const MacAddr& dst, Packet&& packet) {
+  const auto it = l2_table_.find(dst);
+  if (it == l2_table_.end()) {
+    return;  // unknown destination: drop (no flooding in this fabric)
+  }
+  emit_on_port(it->second, std::move(packet));
+}
+
+void ProgrammableSwitch::ingress(Packet&& packet, int port) {
+  ++processed_;
+  if (packet.id == 0) {
+    packet.id = next_packet_id_++;
+  }
+  if (tap_) {
+    tap_(packet, port, sim_.now());
+  }
+  // Model the ASIC pipeline traversal latency, then run the program and
+  // forward.
+  sim_.after(pipeline_latency_, [this, port, p = std::move(packet)]() mutable {
+    PipelineContext ctx{*this, sim_.now()};
+    PipelineVerdict verdict = PipelineVerdict::kDefaultForward;
+    if (program_ != nullptr) {
+      verdict = program_->process(p, port, ctx);
+    }
+    if (verdict == PipelineVerdict::kDefaultForward) {
+      emit_via_l2(p.eth.dst, std::move(p));
+    }
+  });
+}
+
+}  // namespace slingshot

@@ -1,0 +1,121 @@
+// Programmable switch model (Tofino-style).
+//
+// Frames arriving on any port traverse an optional DataplaneProgram
+// (Slingshot's fronthaul middlebox installs one); the program can
+// forward, drop, rewrite, or emit additional packets at data-plane
+// latency. Frames the program declines are forwarded by the switch's
+// plain static L2 table. A built-in packet generator injects periodic
+// "timer" packets into the pipeline, which is how the failure detector
+// emulates timeouts on hardware that has no timers (§5.2.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace slingshot {
+
+class ProgrammableSwitch;
+
+// What the dataplane program decided for the frame it was handed.
+enum class PipelineVerdict : std::uint8_t {
+  kDefaultForward,  // not mine: use the switch's static L2 table
+  kHandled,         // program consumed it (forwarded via ctx or dropped)
+};
+
+// Execution context handed to the program for each packet.
+class PipelineContext {
+ public:
+  PipelineContext(ProgrammableSwitch& sw, Nanos now) : sw_(sw), now_(now) {}
+
+  [[nodiscard]] Nanos now() const { return now_; }
+  // Emit a frame out of a specific egress port.
+  void emit(int egress_port, Packet&& packet);
+  // Emit a frame toward a MAC address via the static L2 table.
+  void emit_to_mac(const MacAddr& dst, Packet&& packet);
+
+ private:
+  ProgrammableSwitch& sw_;
+  Nanos now_;
+};
+
+class DataplaneProgram {
+ public:
+  virtual ~DataplaneProgram() = default;
+  // Process a frame that arrived on `ingress_port`. May mutate it.
+  virtual PipelineVerdict process(Packet& packet, int ingress_port,
+                                  PipelineContext& ctx) = 0;
+  // Called for each packet injected by the switch's packet generator.
+  virtual void on_generator_packet(Packet& packet, PipelineContext& ctx) = 0;
+};
+
+// Observes every ingress frame — models the paper's timestamping mirror
+// (§8.6) used to measure fronthaul inter-packet gaps.
+using IngressTap =
+    std::function<void(const Packet&, int ingress_port, Nanos now)>;
+
+class ProgrammableSwitch {
+ public:
+  ProgrammableSwitch(Simulator& sim, int num_ports,
+                     Nanos pipeline_latency = 400);
+
+  // Wire up `link`'s B side to `port`; frames from the link enter the
+  // pipeline, frames emitted on the port go to the link's A side.
+  void attach_link(int port, Link& link);
+
+  // Static L2 forwarding entry (set up at installation time).
+  void add_l2_route(const MacAddr& mac, int port);
+
+  void install_program(std::shared_ptr<DataplaneProgram> program) {
+    program_ = std::move(program);
+  }
+  [[nodiscard]] DataplaneProgram* program() const { return program_.get(); }
+
+  // Start injecting generator packets every `period`. Tofino's packet
+  // generator is configured by the control plane (§7); each injected
+  // packet runs through the installed program's generator hook.
+  void start_packet_generator(Nanos period);
+  void stop_packet_generator();
+
+  void set_ingress_tap(IngressTap tap) { tap_ = std::move(tap); }
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] int num_ports() const { return num_ports_; }
+  [[nodiscard]] std::uint64_t frames_processed() const { return processed_; }
+  [[nodiscard]] std::uint64_t generator_packets() const { return gen_count_; }
+
+  // Internal use by PipelineContext and port sinks.
+  void emit_on_port(int port, Packet&& packet);
+  void emit_via_l2(const MacAddr& dst, Packet&& packet);
+  void ingress(Packet&& packet, int port);
+
+ private:
+  struct PortSink final : FrameSink {
+    ProgrammableSwitch* owner = nullptr;
+    int port = -1;
+    void handle_frame(Packet&& packet) override {
+      owner->ingress(std::move(packet), port);
+    }
+  };
+
+  Simulator& sim_;
+  int num_ports_;
+  Nanos pipeline_latency_;
+  std::vector<Link*> port_links_;
+  std::vector<std::unique_ptr<PortSink>> sinks_;
+  std::unordered_map<MacAddr, int> l2_table_;
+  std::shared_ptr<DataplaneProgram> program_;
+  EventHandle generator_;
+  IngressTap tap_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t gen_count_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace slingshot

@@ -1,0 +1,88 @@
+// Programmable-switch state primitives, mirroring what P4 on Tofino
+// offers and what Slingshot's fronthaul middlebox is built from (§7):
+//
+//  * MatchActionTable — exact-match tables (the RU-ID and PHY-address
+//    directories). Only the *control plane* can insert/modify entries,
+//    and a rule update takes milliseconds to land (the paper measures a
+//    29 ms 99.9th-percentile update latency on their testbed), which is
+//    exactly why Slingshot keeps the RU-to-PHY mapping in registers.
+//  * RegisterArray — data-plane-updatable registers (the RU-to-PHY map,
+//    the migration request store, the failure-detector counters).
+//    Updates are immediate, at packet-processing time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace slingshot {
+
+// Latency model for switch control-plane rule updates. Defaults are
+// calibrated to the paper's measurement: ~29 ms at the 99.9th pct.
+struct ControlPlaneLatencyModel {
+  Nanos base = 5'000'000;        // 5 ms fixed gRPC/driver cost
+  Nanos exp_mean = 3'500'000;    // exponential tail, mean 3.5 ms
+  // base + Exp(mean): p99.9 = base + mean*ln(1000) ~= 29.2 ms.
+
+  [[nodiscard]] Nanos sample(RngStream& rng) const {
+    return base + Nanos(rng.exponential(double(exp_mean)));
+  }
+};
+
+template <typename Key, typename Value>
+class MatchActionTable {
+ public:
+  MatchActionTable(Simulator& sim, RngStream rng,
+                   ControlPlaneLatencyModel latency = {})
+      : sim_(&sim), rng_(std::move(rng)), latency_(latency) {}
+
+  // Control-plane insert: takes effect after a sampled rule-update
+  // latency. Returns the virtual time at which the rule lands.
+  Nanos control_plane_insert(const Key& key, const Value& value) {
+    const Nanos delay = latency_.sample(rng_);
+    sim_->after(delay, [this, key, value] { entries_[key] = value; });
+    return sim_->now() + delay;
+  }
+
+  // Instant insert for initialization time (before traffic starts) —
+  // corresponds to pre-populating tables when the datacenter is set up.
+  void bootstrap_insert(const Key& key, const Value& value) {
+    entries_[key] = value;
+  }
+
+  // Data-plane lookup: immediate, read-only.
+  [[nodiscard]] const Value* lookup(const Key& key) const {
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  Simulator* sim_;
+  RngStream rng_;
+  ControlPlaneLatencyModel latency_;
+  std::unordered_map<Key, Value> entries_;
+};
+
+// Fixed-size register array, readable and writable from the data plane
+// at line rate (the property match-action tables lack).
+template <typename T>
+class RegisterArray {
+ public:
+  explicit RegisterArray(std::size_t size, T initial = T{})
+      : regs_(size, initial) {}
+
+  [[nodiscard]] const T& read(std::size_t i) const { return regs_.at(i); }
+  void write(std::size_t i, const T& v) { regs_.at(i) = v; }
+  [[nodiscard]] std::size_t size() const { return regs_.size(); }
+
+ private:
+  std::vector<T> regs_;
+};
+
+}  // namespace slingshot

@@ -1,0 +1,387 @@
+#include "testbed/testbed.h"
+
+#include "common/log.h"
+
+namespace slingshot {
+namespace {
+
+// Station MAC plan for the edge datacenter.
+constexpr std::uint64_t kRuMac = 0x0A01;
+constexpr std::uint64_t kRu2Mac = 0x0A02;
+constexpr std::uint64_t kPhyAMac = 0x1A01;
+constexpr std::uint64_t kPhyBMac = 0x1B01;
+constexpr std::uint64_t kVirtualPhyMac = 0x1F00;  // RUs address this (§5.1)
+constexpr std::uint64_t kOrionAMac = 0x2A01;
+constexpr std::uint64_t kOrionBMac = 0x2B01;
+constexpr std::uint64_t kOrionL2Mac = 0x2C01;
+constexpr std::uint64_t kAppServerMac = 0x3A01;
+constexpr std::uint64_t kL2GwMac = 0x3B01;
+constexpr std::uint64_t kL2bGwMac = 0x3B02;
+constexpr std::uint64_t kBaselineCtlMac = 0x3C01;
+
+}  // namespace
+
+Testbed::Testbed(TestbedConfig config) : config_(config), sim_(config.seed) {
+  if (config_.ue.grant_starvation_timeout == 0) {
+    config_.ue.grant_starvation_timeout = 300_ms;
+  }
+  Logger::instance().set_time_source([this] { return sim_.now(); });
+  build_fabric();
+  build_vran();
+  switch (config_.mode) {
+    case TestbedMode::kSlingshot:
+      wire_slingshot();
+      break;
+    case TestbedMode::kCoupledNoOrion:
+      wire_coupled();
+      break;
+    case TestbedMode::kBaselineFailover:
+      wire_baseline();
+      break;
+  }
+}
+
+void Testbed::build_fabric() {
+  switch_ = std::make_unique<ProgrammableSwitch>(sim_, 12);
+  auto add_station = [&](int port, std::uint64_t mac) -> Nic* {
+    links_.push_back(std::make_unique<Link>(
+        sim_, config_.link, sim_.rng().stream("link.loss", std::uint64_t(port))));
+    nics_.push_back(std::make_unique<Nic>(sim_, MacAddr{mac}));
+    nics_.back()->attach(*links_.back());
+    switch_->attach_link(port, *links_.back());
+    switch_->add_l2_route(MacAddr{mac}, port);
+    return nics_.back().get();
+  };
+  ru_nic_ = add_station(0, kRuMac);
+  phy_a_nic_ = add_station(1, kPhyAMac);
+  phy_b_nic_ = add_station(2, kPhyBMac);
+  orion_a_nic_ = add_station(3, kOrionAMac);
+  orion_b_nic_ = add_station(4, kOrionBMac);
+  orion_l2_nic_ = add_station(5, kOrionL2Mac);
+  app_nic_ = add_station(6, kAppServerMac);
+  l2_gw_nic_ = add_station(7, kL2GwMac);
+  l2b_gw_nic_ = add_station(8, kL2bGwMac);
+  baseline_ctl_nic_ = add_station(9, kBaselineCtlMac);
+  if (config_.num_ues_ru2 > 0) {
+    ru2_nic_ = add_station(10, kRu2Mac);
+  }
+
+  mbox_ = std::make_shared<FronthaulMiddlebox>(sim_, config_.mbox);
+  mbox_->register_ru(kRu, MacAddr{kRuMac});
+  mbox_->register_phy(kPhyA, MacAddr{kPhyAMac});
+  mbox_->register_phy(kPhyB, MacAddr{kPhyBMac});
+  mbox_->bind_ru_to_phy(kRu, kPhyA);
+  if (config_.num_ues_ru2 > 0) {
+    mbox_->register_ru(kRu2, MacAddr{kRu2Mac});
+    mbox_->bind_ru_to_phy(kRu2, kPhyB);  // cross-assigned primary
+  }
+  mbox_->set_dl_source_filter(config_.dl_source_filter);
+  switch_->install_program(mbox_);
+}
+
+void Testbed::build_vran() {
+  PhyConfig phy_cfg = config_.phy;
+  phy_cfg.slots = config_.slots;
+  phy_a_ = std::make_unique<PhyProcess>(sim_, "phy-a", phy_cfg, *phy_a_nic_);
+  PhyConfig phy_b_cfg = phy_cfg;
+  if (config_.secondary_ldpc_iters > 0) {
+    phy_b_cfg.ldpc_max_iters = config_.secondary_ldpc_iters;
+  }
+  phy_b_ = std::make_unique<PhyProcess>(sim_, "phy-b", phy_b_cfg, *phy_b_nic_);
+  phy_a_->add_ru_binding(kRu, MacAddr{kRuMac});
+  phy_b_->add_ru_binding(kRu, MacAddr{kRuMac});
+  if (config_.num_ues_ru2 > 0) {
+    phy_a_->add_ru_binding(kRu2, MacAddr{kRu2Mac});
+    phy_b_->add_ru_binding(kRu2, MacAddr{kRu2Mac});
+  }
+
+  L2Config l2_cfg = config_.l2;
+  l2_cfg.slots = config_.slots;
+  l2_ = std::make_unique<L2Process>(sim_, "l2", l2_cfg);
+
+  RuConfig ru_cfg;
+  ru_cfg.id = kRu;
+  ru_cfg.slots = config_.slots;
+  ru_cfg.virtual_phy_mac = MacAddr{kVirtualPhyMac};
+  ru_ = std::make_unique<RadioUnit>(sim_, "ru", ru_cfg, *ru_nic_);
+  if (config_.num_ues_ru2 > 0) {
+    RuConfig ru2_cfg = ru_cfg;
+    ru2_cfg.id = kRu2;
+    ru2_ = std::make_unique<RadioUnit>(sim_, "ru2", ru2_cfg, *ru2_nic_);
+  }
+
+  auto make_ue = [&](int index, std::uint16_t id, RadioUnit& serving_ru) {
+    UeConfig ue_cfg = config_.ue;
+    ue_cfg.id = UeId{id};
+    ue_cfg.slots = config_.slots;
+    FadingConfig fading = config_.fading;
+    if (index < int(config_.ue_mean_snr_db.size())) {
+      fading.mean_snr_db = config_.ue_mean_snr_db[std::size_t(index)];
+    }
+    auto ue = std::make_unique<UserEquipment>(
+        sim_, "ue-" + std::to_string(id), ue_cfg, fading,
+        sim_.rng().stream("ue.chan", std::uint64_t(id)));
+    serving_ru.attach_ue(ue.get());
+    ue_pipes_.push_back(make_ue_modem_pipe(*ue));
+    ues_.push_back(std::move(ue));
+  };
+  for (int i = 0; i < config_.num_ues; ++i) {
+    make_ue(i, std::uint16_t(i + 1), *ru_);
+  }
+  for (int i = 0; i < config_.num_ues_ru2; ++i) {
+    make_ue(config_.num_ues + i, std::uint16_t(101 + i), *ru2_);
+  }
+
+  app_server_ =
+      std::make_unique<AppServer>(sim_, *app_nic_, MacAddr{kL2GwMac});
+  l2_gw_ = std::make_unique<L2UserGateway>(*l2_gw_nic_, *l2_,
+                                           MacAddr{kAppServerMac});
+}
+
+void Testbed::wire_slingshot() {
+  orion_a_ = std::make_unique<OrionPhySide>(sim_, "orion-a", *orion_a_nic_,
+                                            config_.orion_costs);
+  orion_b_ = std::make_unique<OrionPhySide>(sim_, "orion-b", *orion_b_nic_,
+                                            config_.orion_costs);
+  OrionL2Config ol2;
+  ol2.slots = config_.slots;
+  ol2.standby_mode = config_.standby_mode;
+  ol2.failover_margin_slots = config_.failover_margin_slots;
+  ol2.cmd_extra_delay = config_.orion_cmd_extra_delay;
+  ol2.costs = config_.orion_costs;
+  orion_l2_ = std::make_unique<OrionL2Side>(sim_, "orion-l2", *orion_l2_nic_,
+                                            ol2);
+
+  // L2 <-> L2-side Orion over SHM.
+  l2_to_mbx_ = std::make_unique<ShmFapiPipe>(sim_);
+  l2_to_mbx_->connect(orion_l2_.get());
+  l2_->connect_fapi_out(l2_to_mbx_.get());
+  mbx_to_l2_ = std::make_unique<ShmFapiPipe>(sim_);
+  mbx_to_l2_->connect(l2_.get());
+  orion_l2_->connect_l2(mbx_to_l2_.get());
+
+  // PHY-side Orions <-> PHYs over SHM.
+  to_phy_a_ = std::make_unique<ShmFapiPipe>(sim_);
+  to_phy_a_->connect(phy_a_.get());
+  orion_a_->connect_phy(to_phy_a_.get());
+  phy_a_out_ = std::make_unique<ShmFapiPipe>(sim_);
+  phy_a_out_->connect(orion_a_.get());
+  phy_a_->connect_fapi_out(phy_a_out_.get());
+
+  to_phy_b_ = std::make_unique<ShmFapiPipe>(sim_);
+  to_phy_b_->connect(phy_b_.get());
+  orion_b_->connect_phy(to_phy_b_.get());
+  phy_b_out_ = std::make_unique<ShmFapiPipe>(sim_);
+  phy_b_out_->connect(orion_b_.get());
+  phy_b_->connect_fapi_out(phy_b_out_.get());
+
+  orion_a_->set_l2_orion_mac(MacAddr{kOrionL2Mac});
+  orion_b_->set_l2_orion_mac(MacAddr{kOrionL2Mac});
+  orion_l2_->add_phy_peer(kPhyA, MacAddr{kOrionAMac});
+  orion_l2_->add_phy_peer(kPhyB, MacAddr{kOrionBMac});
+  orion_l2_->set_ru_phys(kRu, kPhyA, kPhyB);
+  if (config_.num_ues_ru2 > 0) {
+    orion_l2_->set_ru_phys(kRu2, kPhyB, kPhyA);  // cross-assigned
+  }
+}
+
+void Testbed::wire_coupled() {
+  // Tightly-coupled deployment: the L2 and PHY exchange FAPI directly
+  // over SHM (§2.2); the standby PHY is left idle.
+  l2_to_mbx_ = std::make_unique<ShmFapiPipe>(sim_);
+  l2_to_mbx_->connect(phy_a_.get());
+  l2_->connect_fapi_out(l2_to_mbx_.get());
+  phy_a_out_ = std::make_unique<ShmFapiPipe>(sim_);
+  phy_a_out_->connect(l2_.get());
+  phy_a_->connect_fapi_out(phy_a_out_.get());
+}
+
+void Testbed::wire_baseline() {
+  // Two independent full vRAN stacks (§8.1's baseline). Primary:
+  // l2 + phy-a; hot backup: l2b + phy-b with identical configuration
+  // but no UE contexts.
+  l2_to_mbx_ = std::make_unique<ShmFapiPipe>(sim_);
+  l2_to_mbx_->connect(phy_a_.get());
+  l2_->connect_fapi_out(l2_to_mbx_.get());
+  phy_a_out_ = std::make_unique<ShmFapiPipe>(sim_);
+  phy_a_out_->connect(l2_.get());
+  phy_a_->connect_fapi_out(phy_a_out_.get());
+
+  L2Config l2b_cfg = config_.l2;
+  l2b_cfg.slots = config_.slots;
+  l2b_ = std::make_unique<L2Process>(sim_, "l2-backup", l2b_cfg);
+  l2b_to_phy_b_ = std::make_unique<ShmFapiPipe>(sim_);
+  l2b_to_phy_b_->connect(phy_b_.get());
+  l2b_->connect_fapi_out(l2b_to_phy_b_.get());
+  phy_b_to_l2b_ = std::make_unique<ShmFapiPipe>(sim_);
+  phy_b_to_l2b_->connect(l2b_.get());
+  phy_b_->connect_fapi_out(phy_b_to_l2b_.get());
+
+  l2b_gw_ = std::make_unique<L2UserGateway>(*l2b_gw_nic_, *l2b_,
+                                            MacAddr{kAppServerMac});
+
+  // A minimal failover controller: on the switch's failure
+  // notification, re-route the fronthaul to the backup stack's PHY.
+  // The UEs' RRC contexts do not exist there, so they must re-attach.
+  baseline_ctl_nic_->set_rx_handler([this](Packet&& frame) {
+    if (frame.eth.ethertype != EtherType::kFailureNotify ||
+        baseline_failed_over_) {
+      return;
+    }
+    baseline_failed_over_ = true;
+    baseline_notify_time_ = sim_.now();
+    SLOG_WARN("baseline", "re-routing fronthaul to backup vRAN");
+    MigrateOnSlotCmd cmd;
+    cmd.ru = kRu;
+    cmd.dest_phy = kPhyB;
+    cmd.slot = SlotPoint::from_index(config_.slots.slot_at(sim_.now()) + 2,
+                                     config_.slots);
+    Packet packet;
+    packet.eth.dst = MacAddr::broadcast();
+    packet.eth.ethertype = EtherType::kSlingshotCmd;
+    packet.payload = serialize_migrate_cmd(cmd);
+    baseline_ctl_nic_->send(std::move(packet));
+    // The core network re-routes user traffic to the backup stack.
+    app_server_->set_gateway_mac(MacAddr{kL2bGwMac});
+  });
+}
+
+void Testbed::start() {
+  phy_a_->power_on();
+  phy_b_->power_on();
+  l2_->power_on();
+  l2_->start_carrier(CarrierConfig{kRu});
+  if (config_.num_ues_ru2 > 0) {
+    l2_->start_carrier(CarrierConfig{kRu2});
+  }
+  if (l2b_) {
+    l2b_->power_on();
+    l2b_->start_carrier(CarrierConfig{kRu});
+  }
+  ru_->power_on();
+  if (ru2_) {
+    ru2_->power_on();
+  }
+
+  for (auto& ue : ues_) {
+    const RuId serving = ue->id().value() >= 101 ? kRu2 : kRu;
+    ue->power_on();
+    l2_->add_ue(ue->id(), serving);
+    UserEquipment* raw = ue.get();
+    ue->set_on_reattached([this, raw] {
+      L2Process* active =
+          (config_.mode == TestbedMode::kBaselineFailover &&
+           baseline_failed_over_)
+              ? l2b_.get()
+              : l2_.get();
+      active->add_ue(raw->id(), raw->id().value() >= 101 ? kRu2 : kRu);
+    });
+    // Server-side pipes exist from the start (apps bind to them).
+    (void)app_server_->pipe_for(ue->id());
+  }
+
+  // Failure detection: the packet generator emulates the timeout; arm
+  // watches after a short grace period so the detector does not fire
+  // before the PHYs' first heartbeats.
+  switch_->start_packet_generator(mbox_->generator_period());
+  const MacAddr notify_mac = config_.mode == TestbedMode::kSlingshot
+                                 ? MacAddr{kOrionL2Mac}
+                                 : MacAddr{kBaselineCtlMac};
+  if (config_.mode != TestbedMode::kCoupledNoOrion) {
+    sim_.after(5_ms, [this, notify_mac] {
+      mbox_->watch_phy(kPhyA, notify_mac);
+      mbox_->watch_phy(kPhyB, notify_mac);
+    });
+  }
+}
+
+void Testbed::kill_primary_phy() { phy_a_->kill(); }
+
+void Testbed::planned_migration(int lead_slots) {
+  planned_migration_of(kRu, lead_slots);
+}
+
+void Testbed::planned_migration_of(RuId ru, int lead_slots) {
+  if (orion_l2_ == nullptr) {
+    return;
+  }
+  const auto boundary = config_.slots.slot_at(sim_.now()) + lead_slots;
+  orion_l2_->migrate(ru, boundary);
+}
+
+void Testbed::misaligned_migration(int lead_slots, int fronthaul_skew_slots) {
+  if (orion_l2_ == nullptr) {
+    return;
+  }
+  const auto boundary = config_.slots.slot_at(sim_.now()) + lead_slots;
+  orion_l2_->migrate(kRu, boundary);
+  // Overwrite the fronthaul boundary with a skewed one, as a buggy or
+  // non-TTI-aligned implementation would.
+  MigrateOnSlotCmd cmd;
+  cmd.ru = kRu;
+  cmd.dest_phy = orion_l2_->standby_phy(kRu);
+  cmd.slot = SlotPoint::from_index(boundary + fronthaul_skew_slots,
+                                   config_.slots);
+  Packet packet;
+  packet.eth.dst = MacAddr::broadcast();
+  packet.eth.ethertype = EtherType::kSlingshotCmd;
+  packet.payload = serialize_migrate_cmd(cmd);
+  baseline_ctl_nic_->send(std::move(packet));
+}
+
+void Testbed::planned_migration_with_state_transfer(int lead_slots) {
+  if (orion_l2_ == nullptr) {
+    return;
+  }
+  const auto boundary = config_.slots.slot_at(sim_.now()) + lead_slots;
+  PhyProcess* from = orion_l2_->active_phy(kRu) == kPhyA ? phy_a_.get()
+                                                         : phy_b_.get();
+  PhyProcess* to = from == phy_a_.get() ? phy_b_.get() : phy_a_.get();
+  orion_l2_->migrate(kRu, boundary);
+  // Oracle: hand the destination the source's soft state at the
+  // boundary instant.
+  sim_.at(config_.slots.slot_start(boundary),
+          [from, to] { to->transfer_soft_state_from(*from); });
+}
+
+void Testbed::revive_dead_phy_as_standby() {
+  if (orion_l2_ == nullptr) {
+    return;
+  }
+  PhyProcess* dead = !phy_a_->alive() ? phy_a_.get()
+                     : !phy_b_->alive() ? phy_b_.get()
+                                        : nullptr;
+  if (dead == nullptr) {
+    return;
+  }
+  const bool is_a = dead == phy_a_.get();
+  dead->restart();
+  orion_l2_->adopt_standby(kRu, is_a ? kPhyA : kPhyB,
+                           MacAddr{is_a ? kOrionAMac : kOrionBMac});
+  // Re-arm the failure detector once the revived PHY's heartbeats flow.
+  sim_.after(5_ms, [this, is_a] {
+    mbox_->watch_phy(is_a ? kPhyA : kPhyB, MacAddr{kOrionL2Mac});
+  });
+}
+
+DatagramPipe& Testbed::server_pipe(int i) {
+  return app_server_->pipe_for(ues_.at(std::size_t(i))->id());
+}
+
+Nanos Testbed::last_failover_notification() const {
+  if (config_.mode == TestbedMode::kBaselineFailover) {
+    return baseline_notify_time_;
+  }
+  if (orion_l2_ == nullptr) {
+    return 0;
+  }
+  for (auto it = orion_l2_->migration_log().rbegin();
+       it != orion_l2_->migration_log().rend(); ++it) {
+    if (it->kind == MigrationEvent::Kind::kFailover) {
+      return it->notification_at;
+    }
+  }
+  return 0;
+}
+
+}  // namespace slingshot

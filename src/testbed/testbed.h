@@ -1,0 +1,194 @@
+// The full vRAN testbed, mirroring the paper's §8 setup: one RU with
+// attached UEs, two PHY servers (primary + hot standby), a separate L2
+// server, an application server behind the core, and a programmable
+// edge switch connecting everything — with Slingshot's fronthaul
+// middlebox and Orion deployed (or not, for the baselines).
+//
+// Modes:
+//  * kSlingshot        — fully decoupled (L2 and PHYs on different
+//                        servers), Orion + in-switch middlebox active.
+//  * kCoupledNoOrion   — L2 talks SHM directly to the primary PHY; no
+//                        middlebox intelligence needed (the "without
+//                        Orion" comparison of §8.7).
+//  * kBaselineFailover — two independent full vRAN stacks (L2+PHY);
+//                        on primary-PHY failure the fronthaul is
+//                        re-routed to the backup stack, but the UE must
+//                        re-attach from scratch (§8.1's 6.2 s outage).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baseline/precopy.h"
+#include "channel/channel.h"
+#include "core/fh_mbox.h"
+#include "core/orion.h"
+#include "fapi/channel.h"
+#include "l2/l2.h"
+#include "net/nic.h"
+#include "phy/phy.h"
+#include "ru/ru.h"
+#include "sim/simulator.h"
+#include "switchsim/pswitch.h"
+#include "transport/gateway.h"
+#include "transport/pipe.h"
+#include "ue/ue.h"
+
+namespace slingshot {
+
+enum class TestbedMode { kSlingshot, kCoupledNoOrion, kBaselineFailover };
+
+struct TestbedConfig {
+  std::uint64_t seed = 1;
+  TestbedMode mode = TestbedMode::kSlingshot;
+  int num_ues = 1;
+  std::vector<double> ue_mean_snr_db;  // per-UE; default 20 dB
+  // Second radio unit (kSlingshot mode only). Its UEs get ids starting
+  // at 101. Per the paper's deployment note, primaries and secondaries
+  // for different RUs are co-located within the PHY processes: RU 1 is
+  // primary on PHY-A / standby on PHY-B, RU 2 the other way around.
+  int num_ues_ru2 = 0;
+
+  SlotConfig slots{};
+  PhyConfig phy{};
+  int secondary_ldpc_iters = 0;  // 0: same as primary (set >0 to model
+                                 // an upgraded PHY build, §8.3)
+  L2Config l2{};
+  UeConfig ue{};
+  FadingConfig fading{};
+  FhMboxConfig mbox{};
+  OrionCostModel orion_costs{};
+  StandbyMode standby_mode = StandbyMode::kNullFapi;
+  int failover_margin_slots = 2;
+  Nanos orion_cmd_extra_delay = 0;   // ablation: control-plane remap
+  bool dl_source_filter = true;      // ablation: naive no-filter design
+  LinkConfig link{};
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+
+  // Power on all components, start the carrier, attach UEs. After
+  // start(), run the simulator for ~50 ms before measuring to let SNR
+  // filters and MCS selection settle.
+  void start();
+
+  void run_until(Nanos t) { sim_.run_until(t); }
+  void run_for(Nanos dt) { sim_.run_until(sim_.now() + dt); }
+
+  // ---- Scenario controls ----
+  // Fail-stop the primary PHY (the SIGKILL of §8.2).
+  void kill_primary_phy();
+  // Planned migration of the RU to the standby at the slot boundary
+  // `lead` slots from now.
+  void planned_migration(int lead_slots = 4);
+  // Planned migration of a specific RU (multi-RU deployments).
+  void planned_migration_of(RuId ru, int lead_slots = 4);
+  // ABLATION: planned migration that (incorrectly) moves the fronthaul
+  // at a different slot than the FAPI stream — violating the paper's
+  // TTI-boundary alignment requirement (§5.1). `skew` of 0 is correct.
+  void misaligned_migration(int lead_slots, int fronthaul_skew_slots);
+  // ABLATION: migration that oracle-transfers the PHY's soft state
+  // (HARQ buffers + SNR filters) instead of discarding it.
+  void planned_migration_with_state_transfer(int lead_slots = 4);
+  // After a failover consumed the standby, restart the dead PHY process
+  // and adopt it as the new standby: Orion replays the stored
+  // initialization sequence (§6.3) and the failure detector re-arms.
+  void revive_dead_phy_as_standby();
+
+  // ---- Component access ----
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const TestbedConfig& config() const { return config_; }
+  [[nodiscard]] PhyProcess& phy_a() { return *phy_a_; }
+  [[nodiscard]] PhyProcess& phy_b() { return *phy_b_; }
+  [[nodiscard]] L2Process& l2() { return *l2_; }
+  [[nodiscard]] L2Process& l2_backup() { return *l2b_; }
+  [[nodiscard]] OrionL2Side& orion() { return *orion_l2_; }
+  [[nodiscard]] FronthaulMiddlebox& mbox() { return *mbox_; }
+  [[nodiscard]] RadioUnit& ru() { return *ru_; }
+  [[nodiscard]] RadioUnit& ru2() { return *ru2_; }
+  // UE i of RU 1; RU 2's UEs follow (index num_ues..num_ues+num_ues_ru2-1).
+  [[nodiscard]] UserEquipment& ue(int i) { return *ues_.at(std::size_t(i)); }
+  [[nodiscard]] ProgrammableSwitch& fabric() { return *switch_; }
+
+  // ---- Traffic endpoints ----
+  // Server-side pipe (app server) and UE-side pipe for UE i.
+  [[nodiscard]] DatagramPipe& server_pipe(int i);
+  [[nodiscard]] DatagramPipe& ue_pipe(int i) {
+    return *ue_pipes_.at(std::size_t(i));
+  }
+
+  // Time the L2-side Orion learned about the last failover (for §8.2
+  // detection-latency measurements); 0 if none.
+  [[nodiscard]] Nanos last_failover_notification() const;
+
+  static constexpr RuId kRu{1};
+  static constexpr RuId kRu2{2};
+  static constexpr PhyId kPhyA{1};
+  static constexpr PhyId kPhyB{2};
+
+ private:
+  void build_fabric();
+  void build_vran();
+  void wire_slingshot();
+  void wire_coupled();
+  void wire_baseline();
+
+  TestbedConfig config_;
+  Simulator sim_;
+
+  // Fabric.
+  std::unique_ptr<ProgrammableSwitch> switch_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  Nic* ru_nic_ = nullptr;
+  Nic* phy_a_nic_ = nullptr;
+  Nic* phy_b_nic_ = nullptr;
+  Nic* orion_a_nic_ = nullptr;
+  Nic* orion_b_nic_ = nullptr;
+  Nic* orion_l2_nic_ = nullptr;
+  Nic* app_nic_ = nullptr;
+  Nic* l2_gw_nic_ = nullptr;
+  Nic* l2b_gw_nic_ = nullptr;
+  Nic* baseline_ctl_nic_ = nullptr;
+
+  std::shared_ptr<FronthaulMiddlebox> mbox_;
+
+  // vRAN processes.
+  std::unique_ptr<PhyProcess> phy_a_;
+  std::unique_ptr<PhyProcess> phy_b_;
+  std::unique_ptr<L2Process> l2_;
+  std::unique_ptr<L2Process> l2b_;  // baseline backup stack
+  std::unique_ptr<OrionPhySide> orion_a_;
+  std::unique_ptr<OrionPhySide> orion_b_;
+  std::unique_ptr<OrionL2Side> orion_l2_;
+
+  // FAPI pipes.
+  std::unique_ptr<ShmFapiPipe> l2_to_mbx_;     // L2 -> Orion/PHY
+  std::unique_ptr<ShmFapiPipe> mbx_to_l2_;     // Orion/PHY -> L2
+  std::unique_ptr<ShmFapiPipe> to_phy_a_;      // Orion-A -> PHY-A
+  std::unique_ptr<ShmFapiPipe> phy_a_out_;     // PHY-A -> Orion-A
+  std::unique_ptr<ShmFapiPipe> to_phy_b_;
+  std::unique_ptr<ShmFapiPipe> phy_b_out_;
+  std::unique_ptr<ShmFapiPipe> l2b_to_phy_b_;  // baseline backup stack
+  std::unique_ptr<ShmFapiPipe> phy_b_to_l2b_;
+
+  // Radio side.
+  std::unique_ptr<RadioUnit> ru_;
+  std::unique_ptr<RadioUnit> ru2_;
+  Nic* ru2_nic_ = nullptr;
+  std::vector<std::unique_ptr<UserEquipment>> ues_;
+  std::vector<std::unique_ptr<FunctionPipe>> ue_pipes_;
+
+  // User plane.
+  std::unique_ptr<AppServer> app_server_;
+  std::unique_ptr<L2UserGateway> l2_gw_;
+  std::unique_ptr<L2UserGateway> l2b_gw_;
+
+  // Baseline failover controller state.
+  bool baseline_failed_over_ = false;
+  Nanos baseline_notify_time_ = 0;
+};
+
+}  // namespace slingshot

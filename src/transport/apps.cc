@@ -1,0 +1,184 @@
+#include "transport/apps.h"
+
+#include <optional>
+
+#include "common/bits.h"
+
+namespace slingshot {
+namespace {
+// Datagram headers for the measurement apps: [kind u8][seq u64][t u64].
+enum class AppKind : std::uint8_t {
+  kUdpData = 1,
+  kPingRequest = 2,
+  kPingReply = 3,
+  kVideoFrame = 4,
+};
+
+std::vector<std::uint8_t> make_header(AppKind kind, std::uint64_t seq,
+                                      Nanos timestamp, std::size_t total) {
+  std::vector<std::uint8_t> out;
+  out.reserve(total);
+  ByteWriter w{out};
+  w.u8(std::uint8_t(kind));
+  w.u64(seq);
+  w.u64(std::uint64_t(timestamp));
+  out.resize(total, 0xA5);  // filler payload
+  return out;
+}
+
+struct ParsedHeader {
+  AppKind kind;
+  std::uint64_t seq;
+  Nanos timestamp;
+};
+
+std::optional<ParsedHeader> parse_header(
+    std::span<const std::uint8_t> datagram) {
+  if (datagram.size() < 17) {
+    return std::nullopt;
+  }
+  ByteReader r{datagram};
+  ParsedHeader h;
+  h.kind = AppKind(r.u8());
+  h.seq = r.u64();
+  h.timestamp = Nanos(r.u64());
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+UdpFlow::UdpFlow(Simulator& sim, DatagramPipe& tx_pipe, DatagramPipe& rx_pipe,
+                 UdpFlowConfig config)
+    : sim_(sim),
+      tx_pipe_(tx_pipe),
+      config_(config),
+      rx_bytes_(config.bin_width),
+      tx_bytes_(config.bin_width),
+      rx_packets_(config.bin_width),
+      tx_packets_(config.bin_width) {
+  rx_pipe.set_receive_handler([this](std::vector<std::uint8_t> datagram) {
+    const auto header = parse_header(datagram);
+    if (!header || header->kind != AppKind::kUdpData) {
+      return;
+    }
+    ++received_;
+    rx_bytes_.add(sim_.now(), double(datagram.size()));
+    rx_packets_.add(sim_.now(), 1.0);
+  });
+}
+
+void UdpFlow::start() {
+  const double pps = config_.rate_bps / (double(config_.packet_bytes) * 8.0);
+  const auto interval = Nanos(1e9 / pps);
+  task_ = sim_.every(sim_.now() + interval, interval, [this] { send_one(); });
+}
+
+void UdpFlow::stop() { task_.cancel(); }
+
+void UdpFlow::send_one() {
+  tx_bytes_.add(sim_.now(), double(config_.packet_bytes));
+  tx_packets_.add(sim_.now(), 1.0);
+  tx_pipe_.send(make_header(AppKind::kUdpData, next_seq_++, sim_.now(),
+                            config_.packet_bytes));
+}
+
+double UdpFlow::max_bin_loss(Nanos from, Nanos to) const {
+  double worst = 0.0;
+  const auto first = std::size_t(from / config_.bin_width);
+  const auto last = std::size_t(to / config_.bin_width);
+  for (std::size_t bin = first; bin <= last; ++bin) {
+    const double sent = tx_packets_.bin(bin);
+    if (sent < 1.0) {
+      continue;
+    }
+    const double got = rx_packets_.bin(bin);
+    worst = std::max(worst, 1.0 - std::min(got / sent, 1.0));
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------------
+PingApp::PingApp(Simulator& sim, DatagramPipe& pipe, PingConfig config)
+    : sim_(sim), pipe_(pipe), config_(config) {
+  pipe_.set_receive_handler([this](std::vector<std::uint8_t> datagram) {
+    const auto header = parse_header(datagram);
+    if (!header || header->kind != AppKind::kPingReply) {
+      return;
+    }
+    if (header->seq < outstanding_.size() &&
+        outstanding_[header->seq] >= 0) {
+      samples_.push_back(Sample{outstanding_[header->seq],
+                                sim_.now() - outstanding_[header->seq]});
+      outstanding_[header->seq] = -1;
+    }
+  });
+}
+
+void PingApp::start() {
+  task_ = sim_.every(sim_.now() + config_.interval, config_.interval, [this] {
+    outstanding_.push_back(sim_.now());
+    pipe_.send(make_header(AppKind::kPingRequest, next_seq_++, sim_.now(),
+                           config_.payload_bytes));
+  });
+}
+
+void PingApp::stop() { task_.cancel(); }
+
+std::uint64_t PingApp::timeouts(Nanos horizon) const {
+  std::uint64_t lost = 0;
+  for (const auto sent_at : outstanding_) {
+    if (sent_at >= 0 && sim_.now() - sent_at > horizon) {
+      ++lost;
+    }
+  }
+  return lost;
+}
+
+PingResponder::PingResponder(DatagramPipe& pipe) {
+  pipe.set_receive_handler([&pipe](std::vector<std::uint8_t> datagram) {
+    if (datagram.empty() || datagram[0] != std::uint8_t(AppKind::kPingRequest)) {
+      return;
+    }
+    datagram[0] = std::uint8_t(AppKind::kPingReply);
+    pipe.send(std::move(datagram));
+  });
+}
+
+// ---------------------------------------------------------------------
+VideoApp::VideoApp(Simulator& sim, DatagramPipe& tx_pipe,
+                   DatagramPipe& rx_pipe, VideoConfig config)
+    : sim_(sim),
+      tx_pipe_(tx_pipe),
+      config_(config),
+      rx_bytes_(config.bitrate_window) {
+  rx_pipe.set_receive_handler([this](std::vector<std::uint8_t> datagram) {
+    const auto header = parse_header(datagram);
+    if (!header || header->kind != AppKind::kVideoFrame) {
+      return;
+    }
+    rx_bytes_.add(sim_.now(), double(datagram.size()));
+  });
+}
+
+void VideoApp::start() {
+  task_ = sim_.every(sim_.now() + config_.frame_interval,
+                     config_.frame_interval, [this] {
+                       const auto frame_bytes = std::size_t(
+                           config_.bitrate_bps *
+                           to_seconds(config_.frame_interval) / 8.0);
+                       tx_pipe_.send(make_header(AppKind::kVideoFrame,
+                                                 next_seq_++, sim_.now(),
+                                                 std::max<std::size_t>(
+                                                     frame_bytes, 17)));
+                     });
+}
+
+void VideoApp::stop() { task_.cancel(); }
+
+double VideoApp::bitrate_kbps_at(Nanos t) const {
+  const auto bin = std::size_t(t / config_.bitrate_window);
+  return rx_bytes_.bin_rate_bps(bin) / 1e3;
+}
+
+}  // namespace slingshot

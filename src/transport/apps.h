@@ -1,0 +1,130 @@
+// Traffic applications used by the paper's end-to-end experiments:
+//
+//  * UdpFlow   — iperf-style constant-bit-rate UDP with sequence
+//                numbers; the sink measures goodput per time bin and
+//                loss (Fig 10, Fig 11, Table 2).
+//  * PingApp   — 10 ms-interval echo, RTT time series (Fig 9, §8.7).
+//  * VideoApp  — 500 kbps talking-head stream; receiver-side average
+//                bitrate, the QoE proxy of Fig 8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+#include "transport/pipe.h"
+
+namespace slingshot {
+
+// ---------------------------------------------------------------------
+struct UdpFlowConfig {
+  double rate_bps = 15.8e6;
+  std::size_t packet_bytes = 1200;
+  Nanos bin_width = 10_ms;  // measurement granularity (paper uses 10 ms)
+};
+
+class UdpFlow {
+ public:
+  UdpFlow(Simulator& sim, DatagramPipe& tx_pipe, DatagramPipe& rx_pipe,
+          UdpFlowConfig config);
+
+  void start();
+  void stop();
+
+  // Receiver-side metrics.
+  [[nodiscard]] const TimeBinnedCounter& goodput() const { return rx_bytes_; }
+  [[nodiscard]] const TimeBinnedCounter& tx_rate() const { return tx_bytes_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return next_seq_; }
+  [[nodiscard]] std::uint64_t packets_received() const { return received_; }
+  [[nodiscard]] double loss_rate() const {
+    return next_seq_ == 0
+               ? 0.0
+               : 1.0 - double(received_) / double(next_seq_);
+  }
+  // Per-bin packet loss: highest loss fraction across bins in
+  // [from, to) — Table 2's "max pkt loss rate per 10 ms".
+  [[nodiscard]] double max_bin_loss(Nanos from, Nanos to) const;
+
+ private:
+  void send_one();
+
+  Simulator& sim_;
+  DatagramPipe& tx_pipe_;
+  UdpFlowConfig config_;
+  EventHandle task_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t received_ = 0;
+  TimeBinnedCounter rx_bytes_;
+  TimeBinnedCounter tx_bytes_;
+  TimeBinnedCounter rx_packets_;
+  TimeBinnedCounter tx_packets_;
+};
+
+// ---------------------------------------------------------------------
+struct PingConfig {
+  Nanos interval = 10_ms;
+  std::size_t payload_bytes = 64;
+};
+
+// Echo client. The matching `PingResponder` reflects requests on the
+// other pipe end.
+class PingApp {
+ public:
+  PingApp(Simulator& sim, DatagramPipe& pipe, PingConfig config);
+
+  void start();
+  void stop();
+
+  struct Sample {
+    Nanos sent_at;
+    Nanos rtt;
+  };
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] std::uint64_t timeouts(Nanos horizon) const;
+
+ private:
+  Simulator& sim_;
+  DatagramPipe& pipe_;
+  PingConfig config_;
+  EventHandle task_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Nanos> outstanding_;  // sent_at by seq
+  std::vector<Sample> samples_;
+};
+
+class PingResponder {
+ public:
+  explicit PingResponder(DatagramPipe& pipe);
+};
+
+// ---------------------------------------------------------------------
+struct VideoConfig {
+  double bitrate_bps = 500e3;
+  Nanos frame_interval = 33_ms;   // ~30 fps
+  Nanos bitrate_window = 1'000_ms;  // receiver-side averaging window
+};
+
+class VideoApp {
+ public:
+  VideoApp(Simulator& sim, DatagramPipe& tx_pipe, DatagramPipe& rx_pipe,
+           VideoConfig config);
+
+  void start();
+  void stop();
+
+  // Receiver-side average bitrate series, one point per window.
+  [[nodiscard]] const TimeBinnedCounter& rx_bytes() const { return rx_bytes_; }
+  [[nodiscard]] double bitrate_kbps_at(Nanos t) const;
+
+ private:
+  Simulator& sim_;
+  DatagramPipe& tx_pipe_;
+  VideoConfig config_;
+  EventHandle task_;
+  std::uint64_t next_seq_ = 0;
+  TimeBinnedCounter rx_bytes_;
+};
+
+}  // namespace slingshot

@@ -1,0 +1,126 @@
+// User-plane gateways: glue between traffic apps and the cellular data
+// path.
+//
+//  * AppServer    — the application server behind the core network. One
+//                   DatagramPipe per UE; datagrams travel over the edge
+//                   fabric to the L2 server tagged with the UE id.
+//  * L2UserGateway — terminates those frames on the L2 server and feeds
+//                   the L2's per-UE RLC queues (and the reverse).
+//  * UeModemPipe  — binds a pipe to a UE's modem interface.
+//
+// Frame format (EtherType kUserPlane): [ue id u16][datagram bytes].
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "l2/l2.h"
+#include "net/nic.h"
+#include "sim/simulator.h"
+#include "transport/pipe.h"
+#include "ue/ue.h"
+
+namespace slingshot {
+
+class AppServer {
+ public:
+  AppServer(Simulator& sim, Nic& nic, MacAddr l2_gateway_mac)
+      : nic_(nic), l2_gateway_mac_(l2_gateway_mac) {
+    (void)sim;
+    nic_.set_rx_handler([this](Packet&& f) { handle_frame(std::move(f)); });
+  }
+
+  // Core-network re-route: point future downlink at a different vRAN
+  // stack's gateway (used by the no-Slingshot failover baseline).
+  void set_gateway_mac(MacAddr mac) { l2_gateway_mac_ = mac; }
+
+  // The server-side pipe for a UE's traffic.
+  DatagramPipe& pipe_for(UeId ue) {
+    auto& slot = pipes_[ue.value()];
+    if (!slot) {
+      slot = std::make_unique<FunctionPipe>();
+      slot->set_sender([this, ue](std::vector<std::uint8_t> datagram) {
+        Packet frame;
+        frame.eth.dst = l2_gateway_mac_;
+        frame.eth.ethertype = EtherType::kUserPlane;
+        frame.payload.reserve(2 + datagram.size());
+        frame.payload.push_back(std::uint8_t(ue.value() >> 8));
+        frame.payload.push_back(std::uint8_t(ue.value() & 0xFF));
+        frame.payload.insert(frame.payload.end(), datagram.begin(),
+                             datagram.end());
+        nic_.send(std::move(frame));
+      });
+    }
+    return *slot;
+  }
+
+ private:
+  void handle_frame(Packet&& frame) {
+    if (frame.eth.ethertype != EtherType::kUserPlane ||
+        frame.payload.size() < 2) {
+      return;
+    }
+    const std::uint16_t ue =
+        std::uint16_t((frame.payload[0] << 8) | frame.payload[1]);
+    const auto it = pipes_.find(ue);
+    if (it == pipes_.end() || !it->second) {
+      return;
+    }
+    it->second->inject(std::vector<std::uint8_t>(frame.payload.begin() + 2,
+                                                 frame.payload.end()));
+  }
+
+  Nic& nic_;
+  MacAddr l2_gateway_mac_;
+  std::map<std::uint16_t, std::unique_ptr<FunctionPipe>> pipes_;
+};
+
+class L2UserGateway {
+ public:
+  L2UserGateway(Nic& nic, L2Process& l2, MacAddr app_server_mac)
+      : nic_(nic), l2_(l2), app_server_mac_(app_server_mac) {
+    nic_.set_rx_handler([this](Packet&& f) { handle_frame(std::move(f)); });
+    l2_.set_uplink_sink([this](UeId ue, std::vector<std::uint8_t> sdu) {
+      Packet frame;
+      frame.eth.dst = app_server_mac_;
+      frame.eth.ethertype = EtherType::kUserPlane;
+      frame.payload.reserve(2 + sdu.size());
+      frame.payload.push_back(std::uint8_t(ue.value() >> 8));
+      frame.payload.push_back(std::uint8_t(ue.value() & 0xFF));
+      frame.payload.insert(frame.payload.end(), sdu.begin(), sdu.end());
+      nic_.send(std::move(frame));
+    });
+  }
+
+ private:
+  void handle_frame(Packet&& frame) {
+    if (frame.eth.ethertype != EtherType::kUserPlane ||
+        frame.payload.size() < 2) {
+      return;
+    }
+    const UeId ue{
+        std::uint16_t((frame.payload[0] << 8) | frame.payload[1])};
+    l2_.send_downlink(ue, std::vector<std::uint8_t>(
+                              frame.payload.begin() + 2, frame.payload.end()));
+  }
+
+  Nic& nic_;
+  L2Process& l2_;
+  MacAddr app_server_mac_;
+};
+
+// Binds a FunctionPipe to a UE's modem: pipe.send() enqueues uplink,
+// downlink SDUs pop out of the pipe's receive handler.
+inline std::unique_ptr<FunctionPipe> make_ue_modem_pipe(UserEquipment& ue) {
+  auto pipe = std::make_unique<FunctionPipe>();
+  pipe->set_sender([&ue](std::vector<std::uint8_t> datagram) {
+    ue.send_uplink(std::move(datagram));
+  });
+  ue.set_downlink_sink([raw = pipe.get()](std::vector<std::uint8_t> sdu) {
+    raw->inject(std::move(sdu));
+  });
+  return pipe;
+}
+
+}  // namespace slingshot

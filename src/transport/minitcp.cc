@@ -1,0 +1,235 @@
+#include "transport/minitcp.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+
+namespace slingshot {
+namespace {
+constexpr std::uint8_t kDataMagic = 0xD1;
+constexpr std::uint8_t kAckMagic = 0xA1;
+
+std::vector<std::uint8_t> make_data_segment(std::uint64_t seq,
+                                            std::size_t len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(11 + len);
+  ByteWriter w{out};
+  w.u8(kDataMagic);
+  w.u64(seq);
+  w.u16(std::uint16_t(len));
+  out.resize(11 + len, 0x5A);
+  return out;
+}
+
+std::vector<std::uint8_t> make_ack(std::uint64_t cum_ack) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w{out};
+  w.u8(kAckMagic);
+  w.u64(cum_ack);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+MiniTcpSender::MiniTcpSender(Simulator& sim, DatagramPipe& pipe,
+                             MiniTcpConfig config)
+    : sim_(sim), pipe_(pipe), config_(config) {
+  pipe_.set_receive_handler([this](std::vector<std::uint8_t> datagram) {
+    if (datagram.size() < 9 || datagram[0] != kAckMagic) {
+      return;
+    }
+    ByteReader r{datagram};
+    (void)r.u8();
+    on_ack(r.u64());
+  });
+}
+
+void MiniTcpSender::start() {
+  running_ = true;
+  ssthresh_ = config_.initial_ssthresh_segments;
+  pump();
+}
+
+void MiniTcpSender::stop() {
+  running_ = false;
+  rto_timer_.cancel();
+  pump_timer_.cancel();
+}
+
+void MiniTcpSender::pump() {
+  if (!running_) {
+    return;
+  }
+  const auto window_bytes =
+      std::uint64_t(cwnd_ * double(config_.mss));
+  int sent_this_round = 0;
+  while (snd_nxt_ - snd_una_ + config_.mss <= window_bytes &&
+         sent_this_round < 64) {
+    send_segment(snd_nxt_, /*is_retx=*/false);
+    snd_nxt_ += config_.mss;
+    ++sent_this_round;
+  }
+  if (sent_this_round > 0) {
+    arm_rto();
+  }
+  // If the window is still open (large cwnd), continue pumping shortly —
+  // acts as pacing and bounds per-event burst size.
+  if (snd_nxt_ - snd_una_ + config_.mss <= window_bytes) {
+    pump_timer_ = sim_.after(
+        Nanos(1e9 * 64.0 / config_.pacing_max_pps), [this] { pump(); });
+  }
+}
+
+void MiniTcpSender::send_segment(std::uint64_t seq, bool is_retx) {
+  ++stats_.segments_sent;
+  if (is_retx) {
+    ++stats_.retransmits;
+    send_times_.erase(seq);  // Karn's algorithm: no RTT sample from retx
+  } else {
+    send_times_[seq] = sim_.now();
+  }
+  pipe_.send(make_data_segment(seq, config_.mss));
+}
+
+void MiniTcpSender::update_rtt(Nanos sample) {
+  if (srtt_ == 0) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    const Nanos err = std::abs(sample - srtt_);
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+  }
+}
+
+Nanos MiniTcpSender::current_rto() const {
+  Nanos rto = srtt_ == 0 ? config_.initial_rto
+                         : std::max(srtt_ + 4 * rttvar_, config_.min_rto);
+  for (int i = 0; i < backoff_; ++i) {
+    rto *= 2;
+  }
+  return std::min<Nanos>(rto, 10_s);
+}
+
+void MiniTcpSender::arm_rto() {
+  rto_timer_.cancel();
+  rto_timer_ = sim_.after(current_rto(), [this] { on_rto(); });
+}
+
+void MiniTcpSender::on_rto() {
+  if (!running_ || snd_una_ == snd_nxt_) {
+    return;
+  }
+  ++stats_.rto_fires;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 2.0;
+  backoff_ = std::min(backoff_ + 1, 6);
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  send_segment(snd_una_, /*is_retx=*/true);
+  arm_rto();
+}
+
+void MiniTcpSender::on_ack(std::uint64_t cum_ack) {
+  if (!running_) {
+    return;
+  }
+  ++stats_.acks_received;
+  if (cum_ack > snd_una_) {
+    // RTT sample from the highest newly-acked first-transmission.
+    const auto it = send_times_.find(cum_ack - config_.mss);
+    if (it != send_times_.end()) {
+      update_rtt(sim_.now() - it->second);
+    }
+    send_times_.erase(send_times_.begin(),
+                      send_times_.lower_bound(cum_ack));
+    snd_una_ = cum_ack;
+    dup_acks_ = 0;
+    backoff_ = 0;
+    if (in_recovery_) {
+      if (cum_ack >= recovery_end_) {
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;
+      } else {
+        // NewReno partial ACK: the cumulative ACK advanced but stopped
+        // at the next hole — retransmit it immediately (one hole per
+        // RTT until the whole loss burst is repaired).
+        send_segment(snd_una_, /*is_retx=*/true);
+        arm_rto();
+      }
+    }
+    if (!in_recovery_) {
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += 1.0;  // slow start
+      } else {
+        cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+      }
+      cwnd_ = std::min(cwnd_, double(config_.max_cwnd_segments));
+    }
+    if (snd_una_ == snd_nxt_) {
+      rto_timer_.cancel();
+    } else {
+      arm_rto();
+    }
+    pump();
+  } else if (cum_ack == snd_una_ && snd_nxt_ > snd_una_) {
+    ++dup_acks_;
+    if (dup_acks_ == 3 && !in_recovery_) {
+      // Fast retransmit + fast recovery.
+      ++stats_.fast_retransmits;
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+      cwnd_ = ssthresh_;
+      in_recovery_ = true;
+      recovery_end_ = snd_nxt_;
+      send_segment(snd_una_, /*is_retx=*/true);
+      arm_rto();
+    } else if (in_recovery_ && dup_acks_ > 3 && dup_acks_ % 8 == 0) {
+      // Partial progress signal: keep the hole plugged while recovering.
+      send_segment(snd_una_, /*is_retx=*/true);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+MiniTcpReceiver::MiniTcpReceiver(Simulator& sim, DatagramPipe& pipe,
+                                 MiniTcpConfig config)
+    : sim_(sim),
+      pipe_(pipe),
+      config_(config),
+      delivered_(config.bin_width),
+      arrived_(config.bin_width) {
+  pipe_.set_receive_handler(
+      [this](std::vector<std::uint8_t> d) { on_data(std::move(d)); });
+}
+
+void MiniTcpReceiver::on_data(std::vector<std::uint8_t> datagram) {
+  if (datagram.size() < 11 || datagram[0] != kDataMagic) {
+    return;
+  }
+  ByteReader r{datagram};
+  (void)r.u8();
+  const std::uint64_t seq = r.u64();
+  const std::size_t len = r.u16();
+  arrived_.add(sim_.now(), double(len));
+
+  if (seq == rcv_nxt_) {
+    std::uint64_t advanced = len;
+    rcv_nxt_ += len;
+    // Fill from the out-of-order store.
+    auto it = out_of_order_.find(rcv_nxt_);
+    while (it != out_of_order_.end()) {
+      rcv_nxt_ += it->second;
+      advanced += it->second;
+      out_of_order_.erase(it);
+      it = out_of_order_.find(rcv_nxt_);
+    }
+    delivered_.add(sim_.now(), double(advanced));
+  } else if (seq > rcv_nxt_) {
+    out_of_order_.emplace(seq, len);
+  }
+  // Cumulative ACK (duplicate if nothing advanced).
+  pipe_.send(make_ack(rcv_nxt_));
+}
+
+}  // namespace slingshot

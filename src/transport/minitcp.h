@@ -1,0 +1,114 @@
+// MiniTcp: a Reno-style reliable byte stream over a DatagramPipe pair,
+// enough TCP to reproduce the paper's Fig 10 dynamics: in-order
+// delivery stalls on loss, duplicate-ACK fast retransmit, RTO with
+// exponential backoff, slow start and AIMD congestion control.
+//
+// One MiniTcpSender pumps an unbounded (iperf-like) byte stream to one
+// MiniTcpReceiver; the receiver measures in-order goodput in time bins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+#include "transport/pipe.h"
+
+namespace slingshot {
+
+struct MiniTcpConfig {
+  std::size_t mss = 1200;
+  std::size_t max_cwnd_segments = 256;
+  // Initial slow-start threshold (hystart-like); caps the slow-start
+  // overshoot that would otherwise dump a full window into the RAN's
+  // buffers at startup.
+  double initial_ssthresh_segments = 1e9;
+  Nanos min_rto = 200_ms;   // Linux-like minimum RTO
+  Nanos initial_rto = 300_ms;
+  Nanos bin_width = 10_ms;
+  double pacing_max_pps = 40'000;  // safety valve on event volume
+};
+
+struct MiniTcpStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t rto_fires = 0;
+  std::uint64_t acks_received = 0;
+};
+
+class MiniTcpSender {
+ public:
+  // The sender owns its pipe end entirely: data segments go out through
+  // it and ACKs come back through its receive handler.
+  MiniTcpSender(Simulator& sim, DatagramPipe& pipe, MiniTcpConfig config);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const MiniTcpStats& stats() const { return stats_; }
+  [[nodiscard]] double cwnd_segments() const { return cwnd_; }
+  [[nodiscard]] Nanos srtt() const { return srtt_; }
+
+ private:
+  void pump();                 // send while cwnd allows
+  void send_segment(std::uint64_t seq, bool is_retx);
+  void on_ack(std::uint64_t cum_ack);
+  void arm_rto();
+  void on_rto();
+  void update_rtt(Nanos sample);
+  [[nodiscard]] Nanos current_rto() const;
+
+  Simulator& sim_;
+  DatagramPipe& pipe_;
+  MiniTcpConfig config_;
+  bool running_ = false;
+
+  std::uint64_t snd_nxt_ = 0;  // next byte to send
+  std::uint64_t snd_una_ = 0;  // lowest unacked byte
+  double cwnd_ = 2.0;          // segments
+  double ssthresh_ = 1e9;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recovery_end_ = 0;
+
+  // RTT estimation.
+  Nanos srtt_ = 0;
+  Nanos rttvar_ = 0;
+  int backoff_ = 0;
+  std::map<std::uint64_t, Nanos> send_times_;  // seq -> first-send time
+
+  EventHandle rto_timer_;
+  EventHandle pump_timer_;
+  MiniTcpStats stats_;
+};
+
+class MiniTcpReceiver {
+ public:
+  // The receiver owns the other pipe end: data arrives through the
+  // receive handler, ACKs go back out through the pipe.
+  MiniTcpReceiver(Simulator& sim, DatagramPipe& pipe, MiniTcpConfig config);
+
+  // In-order delivered bytes per bin — what iperf reports (Fig 10).
+  [[nodiscard]] const TimeBinnedCounter& goodput() const { return delivered_; }
+  // Raw arrivals (including out-of-order) — the paper notes the server
+  // keeps receiving packets during much of the TCP "zero" period.
+  [[nodiscard]] const TimeBinnedCounter& arrivals() const { return arrived_; }
+  [[nodiscard]] std::uint64_t bytes_delivered() const { return rcv_nxt_; }
+
+ private:
+  void on_data(std::vector<std::uint8_t> datagram);
+
+  Simulator& sim_;
+  DatagramPipe& pipe_;
+  MiniTcpConfig config_;
+  std::uint64_t rcv_nxt_ = 0;
+  std::map<std::uint64_t, std::size_t> out_of_order_;  // seq -> len
+  TimeBinnedCounter delivered_;
+  TimeBinnedCounter arrived_;
+};
+
+}  // namespace slingshot

@@ -1,0 +1,60 @@
+// Datagram pipe abstraction connecting traffic apps to the cellular
+// user plane. One side is bound to a UE's modem interface, the other to
+// the application server behind the core network; the testbed provides
+// the concrete wiring.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace slingshot {
+
+class DatagramPipe {
+ public:
+  virtual ~DatagramPipe() = default;
+  virtual void send(std::vector<std::uint8_t> datagram) = 0;
+
+  void set_receive_handler(
+      std::function<void(std::vector<std::uint8_t>)> handler) {
+    receive_ = std::move(handler);
+  }
+
+ protected:
+  void deliver(std::vector<std::uint8_t> datagram) {
+    if (receive_) {
+      receive_(std::move(datagram));
+    }
+  }
+
+ private:
+  std::function<void(std::vector<std::uint8_t>)> receive_;
+};
+
+// Pipe backed by a plain function (used for UE modem binding and in
+// unit tests).
+class FunctionPipe final : public DatagramPipe {
+ public:
+  explicit FunctionPipe(
+      std::function<void(std::vector<std::uint8_t>)> sender = nullptr)
+      : sender_(std::move(sender)) {}
+
+  void set_sender(std::function<void(std::vector<std::uint8_t>)> sender) {
+    sender_ = std::move(sender);
+  }
+  void send(std::vector<std::uint8_t> datagram) override {
+    if (sender_) {
+      sender_(std::move(datagram));
+    }
+  }
+  // Called by the owner when a datagram arrives from the network.
+  void inject(std::vector<std::uint8_t> datagram) {
+    deliver(std::move(datagram));
+  }
+
+ private:
+  std::function<void(std::vector<std::uint8_t>)> sender_;
+};
+
+}  // namespace slingshot

@@ -1,0 +1,208 @@
+#include "ue/ue.h"
+
+#include "common/log.h"
+#include "phy/mcs.h"
+#include "phy/tb_codec.h"
+
+namespace slingshot {
+
+UserEquipment::UserEquipment(Simulator& sim, std::string name, UeConfig config,
+                             FadingConfig fading, RngStream channel_rng)
+    : sim_(sim),
+      name_(std::move(name)),
+      config_(config),
+      channel_(fading, std::move(channel_rng)),
+      jitter_rng_(sim.rng().stream("ue.jitter." + name_)) {
+  // Downlink RLC receive entity: in-order release, then the modem
+  // processing-delay stage, then the app sink.
+  dl_rlc_rx_ = std::make_unique<RlcRx>(
+      sim_, config.rlc_t_reordering, [this](std::vector<std::uint8_t> sdu) {
+        ++stats_.dl_sdus_delivered;
+        sim_.at(release_time(config_.dl_processing_delay, dl_release_),
+                [this, s = std::move(sdu)]() mutable {
+                  if (downlink_sink_) {
+                    downlink_sink_(std::move(s));
+                  }
+                });
+      });
+}
+
+Nanos UserEquipment::release_time(Nanos base, Nanos& last_release) {
+  Nanos delay = base;
+  if (config_.processing_jitter > 0) {
+    delay +=
+        Nanos(jitter_rng_.uniform(0.0, double(config_.processing_jitter)));
+  }
+  const Nanos release = std::max(sim_.now() + delay, last_release + 1);
+  last_release = release;
+  return release;
+}
+
+void UserEquipment::power_on() {
+  last_dl_control_ = sim_.now();
+  last_grant_ = sim_.now();
+  // Radio-link supervision: sample every 5 ms, well below the 50 ms RLF
+  // timeout.
+  supervision_task_ =
+      sim_.every(sim_.now() + 5_ms, 5_ms, [this] { check_radio_link(); });
+}
+
+void UserEquipment::check_radio_link() {
+  if (state_ != UeState::kConnected) {
+    return;
+  }
+  if (sim_.now() - last_dl_control_ > config_.rlf_timeout) {
+    ++stats_.rlf_events;
+    SLOG_WARN("ue", "%s radio link failure (no DL control for %.1f ms)",
+              name_.c_str(), to_millis(sim_.now() - last_dl_control_));
+    begin_reattach();
+    return;
+  }
+  if (config_.grant_starvation_timeout > 0 &&
+      sim_.now() - last_grant_ > config_.grant_starvation_timeout) {
+    SLOG_WARN("ue", "%s grant starvation: stale RRC context, re-establishing",
+              name_.c_str());
+    begin_reattach();
+  }
+}
+
+void UserEquipment::force_reattach(const char* reason) {
+  if (state_ != UeState::kConnected) {
+    return;
+  }
+  SLOG_WARN("ue", "%s forced reattach: %s", name_.c_str(), reason);
+  begin_reattach();
+}
+
+void UserEquipment::begin_reattach() {
+  state_ = UeState::kReattaching;
+  // All radio-layer state is lost across the re-attach.
+  grants_.clear();
+  ul_inflight_.clear();
+  dl_harq_.clear();
+  pending_uci_.clear();
+  ul_rlc_tx_.reset();
+  dl_rlc_rx_->reset();
+  sim_.after(config_.reattach_delay, [this] {
+    state_ = UeState::kConnected;
+    last_dl_control_ = sim_.now();
+    last_grant_ = sim_.now();
+    ++stats_.reattach_events;
+    SLOG_INFO("ue", "%s reattached", name_.c_str());
+    if (on_reattached_) {
+      on_reattached_();
+    }
+  });
+}
+
+void UserEquipment::on_dl_control(std::int64_t /*slot*/, const CPlaneMsg& msg) {
+  if (state_ != UeState::kConnected) {
+    return;
+  }
+  last_dl_control_ = sim_.now();
+  for (const auto& grant : msg.ul_grants) {
+    if (grant.ue == config_.id) {
+      last_grant_ = sim_.now();
+      grants_[grant.target_slot].push_back(grant);
+    }
+  }
+}
+
+void UserEquipment::on_dl_section(std::int64_t /*slot*/,
+                                  const UPlaneSection& section) {
+  if (state_ != UeState::kConnected || section.ue != config_.id) {
+    return;
+  }
+  if (section.new_data) {
+    dl_harq_.start_new(config_.id, section.harq);
+  }
+  const auto* buffer = dl_harq_.find(config_.id, section.harq);
+  const std::vector<float>* prior = buffer != nullptr ? &buffer->llrs : nullptr;
+  if (prior != nullptr) {
+    ++stats_.dl_harq_combines;
+  }
+  const auto mod = mcs_entry(section.mcs).modulation;
+  auto result = decode_tb(section.iq, mod, section.shadow_payload,
+                          config_.ldpc_max_iters, prior);
+  if (result.crc_ok) {
+    ++stats_.dl_tbs_ok;
+    dl_harq_.release(config_.id, section.harq);
+    pending_uci_.push_back(UciFeedback{config_.id, section.harq, true});
+    // Hand the TB's SDUs to the RLC receive entity (in-order release).
+    for (auto& sdu : rlc_unpack(section.shadow_payload)) {
+      dl_rlc_rx_->on_sdu(std::move(sdu));
+    }
+  } else {
+    ++stats_.dl_tbs_failed;
+    dl_harq_.store(config_.id, section.harq, std::move(result.combined_llrs));
+    pending_uci_.push_back(UciFeedback{config_.id, section.harq, false});
+  }
+}
+
+std::vector<UPlaneSection> UserEquipment::pull_uplink(std::int64_t slot) {
+  std::vector<UPlaneSection> sections;
+  if (state_ != UeState::kConnected) {
+    return sections;
+  }
+  const auto it = grants_.find(slot);
+  if (it != grants_.end()) {
+    for (const auto& grant : it->second) {
+      std::vector<std::uint8_t> payload;
+      if (grant.new_data) {
+        payload = ul_rlc_tx_.pack(ul_queue_, grant.tb_bytes);
+        ul_inflight_[grant.harq.value()] = payload;
+        ++stats_.ul_transmissions;
+      } else {
+        // Retransmission: resend the retained payload; if it was lost
+        // (e.g. reattach cleared it), send padding.
+        const auto inflight = ul_inflight_.find(grant.harq.value());
+        if (inflight != ul_inflight_.end()) {
+          payload = inflight->second;
+        } else {
+          payload.assign(grant.tb_bytes, 0);
+        }
+        ++stats_.ul_retransmissions;
+      }
+      const auto mod = mcs_entry(grant.mcs).modulation;
+      auto encoded = encode_tb(payload, mod);
+      UPlaneSection section;
+      section.ue = config_.id;
+      section.harq = grant.harq;
+      section.new_data = grant.new_data;
+      section.mcs = grant.mcs;
+      section.tb_bytes = grant.tb_bytes;
+      section.codeword_bits = encoded.codeword_bits;
+      section.iq = std::move(encoded.iq);
+      section.shadow_payload = std::move(payload);
+      sections.push_back(std::move(section));
+    }
+  }
+  // Garbage-collect grants at or before this slot.
+  grants_.erase(grants_.begin(), grants_.upper_bound(slot));
+  return sections;
+}
+
+std::vector<UciFeedback> UserEquipment::pull_uci() {
+  auto out = std::move(pending_uci_);
+  pending_uci_.clear();
+  return out;
+}
+
+void UserEquipment::send_uplink(std::vector<std::uint8_t> sdu) {
+  if (sdu.empty()) {
+    return;  // zero-length SDUs are not representable in RLC framing
+  }
+  if (ul_queue_bytes() + sdu.size() > config_.max_ul_queue_bytes) {
+    ++stats_.ul_sdus_dropped_overflow;
+    return;
+  }
+  // Model uplink stack processing latency by delaying enqueue.
+  ul_pending_bytes_ += sdu.size();
+  sim_.at(release_time(config_.ul_processing_delay, ul_release_),
+          [this, s = std::move(sdu)]() mutable {
+            ul_pending_bytes_ -= s.size();
+            ul_queue_.push_back(RlcSdu{kRlcSnUnassigned, std::move(s)});
+          });
+}
+
+}  // namespace slingshot

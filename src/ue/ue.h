@@ -1,0 +1,163 @@
+// User equipment model.
+//
+// Models the UE behaviours that matter for Slingshot's evaluation:
+//
+//  * Real receive/transmit chains (the UE decodes DL transport blocks
+//    with the same LDPC/QAM pipeline the PHY uses, and soft-combines DL
+//    HARQ retransmissions in its own buffer — the paper notes DL HARQ
+//    state lives at the UE, not the vRAN PHY, §8.4).
+//  * Radio-link supervision: if no DL control is seen for the RLF
+//    timeout (50 ms in the paper's setup), the UE declares radio link
+//    failure, disconnects, and takes ~6.2 s to re-attach through the
+//    core network (§8.1) — the baseline outage Slingshot eliminates.
+//  * Uplink transmission against PDCCH-like grants, with per-HARQ
+//    payload retention for retransmissions.
+//  * A datagram interface for traffic apps (ping/iperf/video).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/channel.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "fronthaul/oran.h"
+#include "l2/rlc.h"
+#include "phy/harq.h"
+#include "sim/simulator.h"
+
+namespace slingshot {
+
+enum class UeState : std::uint8_t {
+  kConnected,
+  kReattaching,  // after radio link failure
+};
+
+struct UeConfig {
+  UeId id;
+  SlotConfig slots{};
+  Nanos rlf_timeout = 50_ms;       // Radio Link Failure timer (§2.4)
+  Nanos reattach_delay = 6'200_ms;  // measured reattach time (§8.1)
+  // Service supervision: a connected UE that stops receiving any UL
+  // grants for this long concludes its RRC connection is stale (the
+  // serving vRAN lost its context) and re-establishes. 0 disables.
+  // This is what strands a UE for ~6 s when a whole vRAN stack fails
+  // over without Slingshot (§8.1).
+  Nanos grant_starvation_timeout = 0;
+  int ldpc_max_iters = 8;
+  // One-way modem/stack processing latency applied to app datagrams in
+  // each direction (calibrated so end-to-end ping matches the paper's
+  // ~23 ms median, §8.7), plus per-datagram jitter — the "routine
+  // performance fluctuations" visible in the paper's ping traces.
+  Nanos dl_processing_delay = 6_ms;
+  Nanos ul_processing_delay = 6_ms;
+  Nanos processing_jitter = 4_ms;  // uniform [0, jitter) per datagram
+  std::size_t max_ul_queue_bytes = 3'000'000;
+  // DL receive reordering window: long enough for the L2's RLC-AM
+  // retransmission (HARQ-reap + reschedule, ~25 ms) to fill gaps.
+  Nanos rlc_t_reordering = 50_ms;
+};
+
+struct UeStats {
+  std::int64_t dl_tbs_ok = 0;
+  std::int64_t dl_tbs_failed = 0;
+  std::int64_t dl_harq_combines = 0;
+  std::int64_t ul_transmissions = 0;
+  std::int64_t ul_retransmissions = 0;
+  std::int64_t rlf_events = 0;
+  std::int64_t reattach_events = 0;
+  std::int64_t dl_sdus_delivered = 0;
+  std::int64_t ul_sdus_dropped_overflow = 0;
+};
+
+class UserEquipment {
+ public:
+  UserEquipment(Simulator& sim, std::string name, UeConfig config,
+                FadingConfig fading, RngStream channel_rng);
+
+  [[nodiscard]] UeId id() const { return config_.id; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] UeChannel& channel() { return channel_; }
+  [[nodiscard]] UeState state() const { return state_; }
+  [[nodiscard]] bool connected() const { return state_ == UeState::kConnected; }
+
+  void power_on();  // starts radio-link supervision
+
+  // ---- Over-the-air interface (called by the RU) ----
+  // DL control broadcast (PDCCH-like): keeps radio-link supervision fed
+  // and delivers UL grants.
+  void on_dl_control(std::int64_t slot, const CPlaneMsg& msg);
+  // DL user-plane section addressed to this UE, already channel-impaired.
+  void on_dl_section(std::int64_t slot, const UPlaneSection& section);
+  // Uplink transmissions for `slot` per stored grants (clean IQ; the RU
+  // applies the channel). Empty when disconnected.
+  [[nodiscard]] std::vector<UPlaneSection> pull_uplink(std::int64_t slot);
+  // Pending HARQ feedback, drained each UL opportunity by the RU.
+  [[nodiscard]] std::vector<UciFeedback> pull_uci();
+
+  // ---- App-layer datagram interface ----
+  void set_downlink_sink(
+      std::function<void(std::vector<std::uint8_t>)> sink) {
+    downlink_sink_ = std::move(sink);
+  }
+  void send_uplink(std::vector<std::uint8_t> sdu);
+  [[nodiscard]] std::size_t ul_queue_bytes() const {
+    return queued_bytes(ul_queue_) + ul_pending_bytes_;
+  }
+
+  // Force the UE through the full disconnect/re-attach procedure — what
+  // happens in the no-Slingshot baseline when the whole vRAN stack
+  // fails over and the UE's RRC context is gone (§8.1).
+  void force_reattach(const char* reason);
+
+  // Reattach notification (the testbed uses it to re-create the UE
+  // context at the serving L2).
+  void set_on_reattached(std::function<void()> callback) {
+    on_reattached_ = std::move(callback);
+  }
+
+  [[nodiscard]] const UeStats& stats() const { return stats_; }
+  [[nodiscard]] Nanos last_dl_control_time() const { return last_dl_control_; }
+
+ private:
+  void check_radio_link();
+  void begin_reattach();
+
+  // FIFO-preserving jittered release time for a datagram entering the
+  // modem stack in the given direction (reordering inside the modem
+  // would look like packet reordering to TCP, which real stacks avoid).
+  [[nodiscard]] Nanos release_time(Nanos base, Nanos& last_release);
+
+  Simulator& sim_;
+  std::string name_;
+  UeConfig config_;
+  UeChannel channel_;
+  RngStream jitter_rng_;
+  UeState state_ = UeState::kConnected;
+  Nanos last_dl_control_ = 0;
+  Nanos last_grant_ = 0;
+  Nanos dl_release_ = 0;
+  Nanos ul_release_ = 0;
+  std::size_t ul_pending_bytes_ = 0;  // in the modem delay stage
+  EventHandle supervision_task_;
+
+  // UL grants keyed by target slot.
+  std::map<std::int64_t, std::vector<UlGrant>> grants_;
+  // Per-HARQ retained UL payloads for retransmission.
+  std::map<std::uint8_t, std::vector<std::uint8_t>> ul_inflight_;
+  std::deque<RlcSdu> ul_queue_;
+  RlcTx ul_rlc_tx_;
+  std::unique_ptr<RlcRx> dl_rlc_rx_;  // in-order release to the app
+  HarqSoftBufferStore dl_harq_;  // DL soft-combining lives at the UE
+  std::vector<UciFeedback> pending_uci_;
+  std::function<void(std::vector<std::uint8_t>)> downlink_sink_;
+  std::function<void()> on_reattached_;
+  UeStats stats_;
+};
+
+}  // namespace slingshot

@@ -1,0 +1,72 @@
+#include "baseline/precopy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace slingshot {
+namespace {
+
+PrecopyMigrationModel make_model() {
+  return PrecopyMigrationModel{PrecopyConfig{},
+                               RngRegistry{7}.stream("precopy")};
+}
+
+TEST(Precopy, PauseInHundredsOfMilliseconds) {
+  auto model = make_model();
+  const auto results = model.run_many(MigrationTransport::kTcp, 80);
+  PercentileTracker pause;
+  for (const auto& r : results) {
+    pause.add(to_millis(r.pause_time));
+  }
+  // Fig 3 territory: median in the low hundreds of ms.
+  EXPECT_GT(pause.quantile(0.5), 100.0);
+  EXPECT_LT(pause.quantile(0.5), 450.0);
+  EXPECT_LT(pause.quantile(1.0), 1'000.0);
+}
+
+TEST(Precopy, PhyAlwaysCrashes) {
+  // The realtime budget is sub-10 us; every pre-copy pause exceeds it.
+  auto model = make_model();
+  for (const auto& r : model.run_many(MigrationTransport::kTcp, 40)) {
+    EXPECT_TRUE(r.phy_crashed);
+    EXPECT_GT(r.pause_time, 50_ms);  // also expires the RLF timer
+  }
+}
+
+TEST(Precopy, RdmaFasterThanTcp) {
+  auto model = make_model();
+  RunningStats tcp;
+  RunningStats rdma;
+  for (const auto& r : model.run_many(MigrationTransport::kTcp, 60)) {
+    tcp.add(to_millis(r.pause_time));
+  }
+  for (const auto& r : model.run_many(MigrationTransport::kRdma, 60)) {
+    rdma.add(to_millis(r.pause_time));
+  }
+  EXPECT_LT(rdma.mean(), tcp.mean());
+}
+
+TEST(Precopy, TransfersMoreThanVmMemory) {
+  // Iterative pre-copy re-sends dirtied pages.
+  auto model = make_model();
+  const auto r = model.run_once(MigrationTransport::kTcp);
+  EXPECT_GT(r.bytes_transferred, PrecopyConfig{}.vm_memory_bytes);
+  EXPECT_GT(r.rounds, 1);
+}
+
+TEST(Precopy, LowerDirtyRateShortensPause) {
+  PrecopyConfig calm;
+  calm.dirty_rate_bytes_per_s = 0.2e9;
+  calm.dirty_rate_rel_stddev = 0.0;
+  PrecopyConfig busy;
+  busy.dirty_rate_bytes_per_s = 2.4e9;
+  busy.dirty_rate_rel_stddev = 0.0;
+  PrecopyMigrationModel calm_model{calm, RngRegistry{8}.stream("a")};
+  PrecopyMigrationModel busy_model{busy, RngRegistry{8}.stream("a")};
+  EXPECT_LT(calm_model.run_once(MigrationTransport::kTcp).pause_time,
+            busy_model.run_once(MigrationTransport::kTcp).pause_time);
+}
+
+}  // namespace
+}  // namespace slingshot

@@ -1,0 +1,100 @@
+#include "channel/channel.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "sim/simulator.h"
+
+namespace slingshot {
+namespace {
+
+RngStream make_rng(std::uint64_t idx = 0) {
+  return RngRegistry{99}.stream("chan", idx);
+}
+
+TEST(UeChannel, SnrStaysNearMean) {
+  FadingConfig cfg;
+  cfg.mean_snr_db = 20.0;
+  UeChannel chan{cfg, make_rng()};
+  RunningStats snr;
+  for (int i = 0; i < 5000; ++i) {
+    chan.step_slot();
+    snr.add(chan.snr_db());
+  }
+  EXPECT_NEAR(snr.mean(), 20.0, 1.0);
+  // AR(1) stationary stddev = sigma / sqrt(1 - rho^2) ~= 3 dB.
+  EXPECT_GT(snr.stddev(), 1.0);
+  EXPECT_LT(snr.stddev(), 6.0);
+}
+
+TEST(UeChannel, SnrVariesOverTime) {
+  UeChannel chan{{}, make_rng()};
+  double min_snr = 1e9;
+  double max_snr = -1e9;
+  for (int i = 0; i < 2000; ++i) {
+    chan.step_slot();
+    min_snr = std::min(min_snr, chan.snr_db());
+    max_snr = std::max(max_snr, chan.snr_db());
+  }
+  // Routine wireless variation (§4): several dB of swing.
+  EXPECT_GT(max_snr - min_snr, 5.0);
+}
+
+TEST(UeChannel, NoiseVarianceMatchesSnr) {
+  FadingConfig cfg;
+  cfg.mean_snr_db = 10.0;
+  cfg.ar1_sigma_db = 0.0;  // freeze the SNR
+  UeChannel chan{cfg, make_rng()};
+  EXPECT_NEAR(chan.noise_variance(), 0.1, 1e-9);
+}
+
+TEST(UeChannel, ApplyAddsCalibratedNoise) {
+  FadingConfig cfg;
+  cfg.mean_snr_db = 15.0;
+  cfg.ar1_sigma_db = 0.0;
+  cfg.amp_sigma_db = 0.0;
+  cfg.phase_walk_rad = 0.0;
+  UeChannel chan{cfg, make_rng(1)};
+  // Unit-power input block.
+  std::vector<Cf> x(20000, Cf{1.0F, 0.0F});
+  const auto y = chan.apply(x);
+  ASSERT_EQ(y.size(), x.size());
+  const auto h = chan.tap();
+  RunningStats noise_power;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const auto n = y[i] - h * x[i];
+    noise_power.add(std::norm(n));
+  }
+  EXPECT_NEAR(noise_power.mean(), chan.noise_variance(),
+              chan.noise_variance() * 0.05);
+}
+
+TEST(UeChannel, ShockMovesSnr) {
+  UeChannel chan{{}, make_rng(2)};
+  const double before = chan.snr_db();
+  chan.shock_snr_db(-10.0);
+  EXPECT_NEAR(chan.snr_db(), before - 10.0, 1e-9);
+}
+
+TEST(UeChannel, TapMagnitudeNearUnity) {
+  UeChannel chan{{}, make_rng(3)};
+  RunningStats mags;
+  for (int i = 0; i < 3000; ++i) {
+    chan.step_slot();
+    mags.add(std::abs(chan.tap()));
+  }
+  EXPECT_NEAR(mags.mean(), 1.0, 0.15);
+}
+
+TEST(UeChannel, DeterministicForSameStream) {
+  UeChannel a{{}, make_rng(7)};
+  UeChannel b{{}, make_rng(7)};
+  for (int i = 0; i < 100; ++i) {
+    a.step_slot();
+    b.step_slot();
+    EXPECT_DOUBLE_EQ(a.snr_db(), b.snr_db());
+  }
+}
+
+}  // namespace
+}  // namespace slingshot

@@ -1,0 +1,96 @@
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace slingshot {
+namespace {
+
+TEST(ByteWriterReader, ScalarRoundtrip) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w{buf};
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u24(0xABCDEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f32(3.25F);
+
+  ByteReader r{buf};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u24(), 0xABCDEFU);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFU);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_FLOAT_EQ(r.f32(), 3.25F);
+  EXPECT_EQ(r.remaining(), 0U);
+}
+
+TEST(ByteWriterReader, NetworkByteOrder) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w{buf};
+  w.u16(0x0102);
+  ASSERT_EQ(buf.size(), 2U);
+  EXPECT_EQ(buf[0], 0x01);  // big-endian on the wire
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(ByteWriterReader, PatchU16) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w{buf};
+  w.u16(0);
+  w.u32(42);
+  w.patch_u16(0, 0xBEEF);
+  ByteReader r{buf};
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 42U);
+}
+
+TEST(ByteReader, TruncationThrows) {
+  const std::vector<std::uint8_t> buf{1, 2};
+  ByteReader r{buf};
+  EXPECT_THROW((void)r.bytes(3), std::out_of_range);
+}
+
+TEST(BitVector, SetGetFlip) {
+  BitVector v{130};
+  EXPECT_FALSE(v.get(0));
+  v.set(0, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(129));
+  v.flip(129);
+  EXPECT_FALSE(v.get(129));
+}
+
+TEST(BitVector, XorAndDot) {
+  BitVector a{64};
+  BitVector b{64};
+  a.set(3, true);
+  a.set(10, true);
+  b.set(10, true);
+  b.set(20, true);
+  EXPECT_TRUE(a.dot(b));  // overlap at bit 10 -> parity 1
+  a ^= b;
+  EXPECT_TRUE(a.get(3));
+  EXPECT_FALSE(a.get(10));
+  EXPECT_TRUE(a.get(20));
+}
+
+TEST(BitsBytes, RoundtripExact) {
+  const std::vector<std::uint8_t> bytes{0xF0, 0x0F, 0xAA};
+  const auto bits = bytes_to_bits(bytes);
+  ASSERT_EQ(bits.size(), 24U);
+  EXPECT_EQ(bits[0], 1);
+  EXPECT_EQ(bits[4], 0);
+  EXPECT_EQ(bits_to_bytes(bits), bytes);
+}
+
+TEST(BitsBytes, PartialTrailingByteZeroPadded) {
+  const std::vector<std::uint8_t> bits{1, 0, 1};
+  const auto bytes = bits_to_bytes(bits);
+  ASSERT_EQ(bytes.size(), 1U);
+  EXPECT_EQ(bytes[0], 0xA0);
+}
+
+}  // namespace
+}  // namespace slingshot

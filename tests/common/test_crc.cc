@@ -1,0 +1,66 @@
+#include "common/crc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+
+namespace slingshot {
+namespace {
+
+TEST(Crc24, EmptyIsZero) {
+  EXPECT_EQ(crc24a({}), 0U);
+}
+
+TEST(Crc24, KnownStability) {
+  const std::vector<std::uint8_t> data{0xDE, 0xAD, 0xBE, 0xEF};
+  const auto a = crc24a(data);
+  const auto b = crc24a(data);
+  EXPECT_EQ(a, b);
+  EXPECT_LE(a, 0xFFFFFFU);
+}
+
+TEST(Crc24, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::uint8_t(i * 37 + 11);
+  }
+  const auto reference = crc24a(data);
+  for (std::size_t byte = 0; byte < data.size(); byte += 7) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      auto corrupted = data;
+      corrupted[byte] ^= std::uint8_t(1U << bit);
+      EXPECT_NE(crc24a(corrupted), reference)
+          << "undetected flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc24, DetectsSwappedBytes) {
+  std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6};
+  const auto reference = crc24a(data);
+  std::swap(data[1], data[4]);
+  EXPECT_NE(crc24a(data), reference);
+}
+
+TEST(Crc24, BitLevelMatchesByteLevel) {
+  const std::vector<std::uint8_t> data{0x12, 0x34, 0x56, 0x78, 0x9A};
+  const auto bits = bytes_to_bits(data);
+  EXPECT_EQ(crc24a_bits(bits), crc24a(data));
+}
+
+TEST(Crc16, DetectsCorruption) {
+  const std::vector<std::uint8_t> data{10, 20, 30, 40};
+  const auto reference = crc16(data);
+  auto corrupted = data;
+  corrupted[2] ^= 0x40;
+  EXPECT_NE(crc16(corrupted), reference);
+}
+
+TEST(Crc16, DifferentLengthsDiffer) {
+  const std::vector<std::uint8_t> a{1, 2, 3};
+  const std::vector<std::uint8_t> b{1, 2, 3, 0};
+  EXPECT_NE(crc16(a), crc16(b));
+}
+
+}  // namespace
+}  // namespace slingshot

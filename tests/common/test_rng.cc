@@ -1,0 +1,89 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace slingshot {
+namespace {
+
+TEST(RngRegistry, SameNameSameStream) {
+  const RngRegistry reg{42};
+  auto a = reg.stream("channel");
+  auto b = reg.stream("channel");
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngRegistry, DifferentNamesIndependent) {
+  const RngRegistry reg{42};
+  auto a = reg.stream("channel");
+  auto b = reg.stream("jitter");
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngRegistry, IndexedStreamsDiffer) {
+  const RngRegistry reg{7};
+  auto a = reg.stream("ue", 0);
+  auto b = reg.stream("ue", 1);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RngRegistry, SeedChangesStreams) {
+  auto a = RngRegistry{1}.stream("x");
+  auto b = RngRegistry{2}.stream("x");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RngStream, UniformInRange) {
+  auto s = RngRegistry{3}.stream("u");
+  for (int i = 0; i < 1000; ++i) {
+    const double v = s.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngStream, GaussianMoments) {
+  auto s = RngRegistry{4}.stream("g");
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(s.gaussian(3.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngStream, BernoulliFrequency) {
+  auto s = RngRegistry{5}.stream("b");
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += s.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(double(hits) / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngStream, UniformIntInclusive) {
+  auto s = RngRegistry{6}.stream("i");
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = s.uniform_int(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    saw_lo |= v == 1;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+}  // namespace
+}  // namespace slingshot

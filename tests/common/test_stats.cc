@@ -1,0 +1,112 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace slingshot {
+namespace {
+
+TEST(RunningStats, MomentsMatchClosedForm) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(PercentileTracker, QuantilesInterpolate) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) {
+    t.add(double(i));
+  }
+  EXPECT_NEAR(t.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(t.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(t.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(t.quantile(0.99), 99.01, 1e-6);
+}
+
+TEST(PercentileTracker, SortedSamplesAreSorted) {
+  PercentileTracker t;
+  t.add(5.0);
+  t.add(1.0);
+  t.add(3.0);
+  const auto& sorted = t.sorted_samples();
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(TimeBinnedCounter, BinsAccumulate) {
+  TimeBinnedCounter c{10_ms};
+  c.add(1_ms, 100.0);
+  c.add(9_ms, 50.0);
+  c.add(10_ms, 7.0);
+  c.add(35_ms, 1.0);
+  EXPECT_DOUBLE_EQ(c.bin(0), 150.0);
+  EXPECT_DOUBLE_EQ(c.bin(1), 7.0);
+  EXPECT_DOUBLE_EQ(c.bin(2), 0.0);
+  EXPECT_DOUBLE_EQ(c.bin(3), 1.0);
+  EXPECT_EQ(c.num_bins(), 4U);
+}
+
+TEST(TimeBinnedCounter, RateConversion) {
+  TimeBinnedCounter c{10_ms};
+  c.add(0, 1250.0);  // 1250 bytes in 10 ms = 1 Mbps
+  EXPECT_DOUBLE_EQ(c.bin_rate_bps(0), 1e6);
+}
+
+TEST(TimeBinnedCounter, IgnoresBeforeStart) {
+  TimeBinnedCounter c{10_ms, /*start=*/100_ms};
+  c.add(50_ms, 99.0);
+  c.add(105_ms, 1.0);
+  EXPECT_DOUBLE_EQ(c.bin(0), 1.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma f{0.25};
+  EXPECT_FALSE(f.initialized());
+  for (int i = 0; i < 40; ++i) {
+    f.add(10.0);
+  }
+  EXPECT_NEAR(f.value(), 10.0, 1e-9);
+}
+
+TEST(Ewma, ReconvergenceTakesExpectedSamples) {
+  // The PHY SNR filter scenario: converged at 20 dB, reset (migration),
+  // then fed 20 dB again — should be within 1 dB of truth after ~10
+  // samples (≈25 ms of UL slots), matching §4.2.
+  Ewma f{0.25};
+  for (int i = 0; i < 50; ++i) {
+    f.add(20.0);
+  }
+  f.reset();
+  f.reset_to(5.0);  // default SNR after migration
+  int samples = 0;
+  while (std::abs(f.value() - 20.0) > 1.0 && samples < 100) {
+    f.add(20.0);
+    ++samples;
+  }
+  EXPECT_GT(samples, 2);
+  EXPECT_LE(samples, 12);
+}
+
+TEST(GapTracker, TracksMaxGap) {
+  GapTracker g;
+  g.observe(0);
+  g.observe(100);
+  g.observe(450);
+  g.observe(500);
+  EXPECT_EQ(g.max_gap(), 350);
+  EXPECT_EQ(g.num_gaps(), 3);
+}
+
+}  // namespace
+}  // namespace slingshot

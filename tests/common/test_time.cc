@@ -1,0 +1,81 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace slingshot {
+namespace {
+
+TEST(SlotConfig, TddPatternIsDDDSU) {
+  const SlotConfig cfg;
+  EXPECT_EQ(cfg.kind(0), SlotKind::kDownlink);
+  EXPECT_EQ(cfg.kind(1), SlotKind::kDownlink);
+  EXPECT_EQ(cfg.kind(2), SlotKind::kDownlink);
+  EXPECT_EQ(cfg.kind(3), SlotKind::kSpecial);
+  EXPECT_EQ(cfg.kind(4), SlotKind::kUplink);
+  EXPECT_EQ(cfg.kind(5), SlotKind::kDownlink);  // pattern repeats
+  EXPECT_TRUE(cfg.is_uplink(9));
+  EXPECT_FALSE(cfg.is_downlink(8));
+}
+
+TEST(SlotConfig, SlotTiming) {
+  const SlotConfig cfg;
+  EXPECT_EQ(cfg.slot_duration, 500'000);
+  EXPECT_EQ(cfg.slot_at(0), 0);
+  EXPECT_EQ(cfg.slot_at(499'999), 0);
+  EXPECT_EQ(cfg.slot_at(500'000), 1);
+  EXPECT_EQ(cfg.slot_start(3), 1'500'000);
+  EXPECT_EQ(cfg.next_slot_after(0), 1);
+  EXPECT_EQ(cfg.next_slot_after(500'000), 2);
+}
+
+TEST(SlotPoint, FromIndexBasics) {
+  const SlotConfig cfg;
+  const auto p0 = SlotPoint::from_index(0, cfg);
+  EXPECT_EQ(p0.frame, 0);
+  EXPECT_EQ(p0.subframe, 0);
+  EXPECT_EQ(p0.slot, 0);
+
+  // Slot 21 = frame 1, subframe 0, slot 1.
+  const auto p = SlotPoint::from_index(21, cfg);
+  EXPECT_EQ(p.frame, 1);
+  EXPECT_EQ(p.subframe, 0);
+  EXPECT_EQ(p.slot, 1);
+}
+
+TEST(SlotPoint, FrameWrapsAt1024) {
+  const SlotConfig cfg;
+  const auto p = SlotPoint::from_index(1024 * 20 + 7, cfg);
+  EXPECT_EQ(p.frame, 0);  // wrapped
+  EXPECT_EQ(p.subframe, 3);
+  EXPECT_EQ(p.slot, 1);
+}
+
+TEST(SlotPoint, UnwrapRecoversAbsoluteIndex) {
+  const SlotConfig cfg;
+  for (const std::int64_t abs : {0L, 5L, 20479L, 20480L, 123456L, 999999L}) {
+    const auto p = SlotPoint::from_index(abs, cfg);
+    // Unwrap near the true value and near slightly off values.
+    EXPECT_EQ(p.unwrap(abs, cfg), abs);
+    EXPECT_EQ(p.unwrap(abs + 3, cfg), abs);
+    EXPECT_EQ(p.unwrap(abs - 2 >= 0 ? abs - 2 : 0, cfg), abs);
+  }
+}
+
+TEST(SlotPoint, UnwrapAcrossWrapBoundary) {
+  const SlotConfig cfg;
+  const std::int64_t abs = 20480 * 3 - 1;  // last slot before a wrap
+  const auto p = SlotPoint::from_index(abs, cfg);
+  EXPECT_EQ(p.unwrap(20480 * 3 + 2, cfg), abs);
+}
+
+TEST(TimeLiterals, Conversions) {
+  EXPECT_EQ(1_us, 1'000);
+  EXPECT_EQ(1_ms, 1'000'000);
+  EXPECT_EQ(1_s, 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_millis(1'500'000), 1.5);
+  EXPECT_DOUBLE_EQ(to_seconds(2_s), 2.0);
+  EXPECT_DOUBLE_EQ(to_micros(450'000), 450.0);
+}
+
+}  // namespace
+}  // namespace slingshot

@@ -1,0 +1,297 @@
+#include "core/fh_mbox.h"
+
+#include <gtest/gtest.h>
+
+#include "net/nic.h"
+
+namespace slingshot {
+namespace {
+
+constexpr std::uint64_t kRuMac = 0xA1;
+constexpr std::uint64_t kPhy1Mac = 0xB1;
+constexpr std::uint64_t kPhy2Mac = 0xB2;
+constexpr std::uint64_t kVirtualMac = 0xBF;
+constexpr std::uint64_t kOrionMac = 0xC1;
+
+struct MboxFixture {
+  Simulator sim;
+  ProgrammableSwitch sw{sim, 8};
+  std::shared_ptr<FronthaulMiddlebox> mbox;
+  std::vector<std::unique_ptr<Link>> links;
+  std::vector<std::unique_ptr<Nic>> nics;
+  Nic* ru = nullptr;
+  Nic* phy1 = nullptr;
+  Nic* phy2 = nullptr;
+  Nic* orion = nullptr;
+  SlotConfig slots;
+
+  MboxFixture() {
+    auto add = [&](int port, std::uint64_t mac) -> Nic* {
+      links.push_back(std::make_unique<Link>(
+          sim, LinkConfig{}, sim.rng().stream("loss", std::uint64_t(port))));
+      nics.push_back(std::make_unique<Nic>(sim, MacAddr{mac}));
+      nics.back()->attach(*links.back());
+      sw.attach_link(port, *links.back());
+      sw.add_l2_route(MacAddr{mac}, port);
+      return nics.back().get();
+    };
+    ru = add(0, kRuMac);
+    phy1 = add(1, kPhy1Mac);
+    phy2 = add(2, kPhy2Mac);
+    orion = add(3, kOrionMac);
+
+    mbox = std::make_shared<FronthaulMiddlebox>(sim, FhMboxConfig{});
+    mbox->register_ru(RuId{1}, MacAddr{kRuMac});
+    mbox->register_phy(PhyId{1}, MacAddr{kPhy1Mac});
+    mbox->register_phy(PhyId{2}, MacAddr{kPhy2Mac});
+    mbox->bind_ru_to_phy(RuId{1}, PhyId{1});
+    sw.install_program(mbox);
+  }
+
+  [[nodiscard]] Packet fronthaul_frame(FhDirection direction,
+                                       std::int64_t slot_index,
+                                       std::uint64_t dst) const {
+    FronthaulPacket p;
+    p.header.direction = direction;
+    p.header.plane = FhPlane::kControl;
+    p.header.slot = SlotPoint::from_index(slot_index, slots);
+    p.header.ru = RuId{1};
+    Packet frame;
+    frame.eth.dst = MacAddr{dst};
+    frame.eth.ethertype = EtherType::kEcpri;
+    frame.payload = serialize_fronthaul(p);
+    return frame;
+  }
+
+  void send_migrate_cmd(std::int64_t boundary, PhyId dest) {
+    MigrateOnSlotCmd cmd;
+    cmd.ru = RuId{1};
+    cmd.dest_phy = dest;
+    cmd.slot = SlotPoint::from_index(boundary, slots);
+    Packet frame;
+    frame.eth.dst = MacAddr::broadcast();
+    frame.eth.ethertype = EtherType::kSlingshotCmd;
+    frame.payload = serialize_migrate_cmd(cmd);
+    orion->send(std::move(frame));
+  }
+};
+
+TEST(FronthaulMiddlebox, UplinkTranslatedToActivePhy) {
+  MboxFixture f;
+  int phy1_got = 0;
+  f.phy1->set_rx_handler([&](Packet&& p) {
+    EXPECT_EQ(p.eth.dst, MacAddr{kPhy1Mac});  // rewritten from virtual
+    ++phy1_got;
+  });
+  f.ru->send(f.fronthaul_frame(FhDirection::kUplink, 10, kVirtualMac));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(phy1_got, 1);
+  EXPECT_EQ(f.mbox->stats().ul_forwarded, 1U);
+}
+
+TEST(FronthaulMiddlebox, DownlinkFromActiveForwardedToRu) {
+  MboxFixture f;
+  int ru_got = 0;
+  f.ru->set_rx_handler([&](Packet&&) { ++ru_got; });
+  f.phy1->send(f.fronthaul_frame(FhDirection::kDownlink, 10, kRuMac));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(ru_got, 1);
+}
+
+TEST(FronthaulMiddlebox, DownlinkFromStandbyBlocked) {
+  MboxFixture f;
+  int ru_got = 0;
+  f.ru->set_rx_handler([&](Packet&&) { ++ru_got; });
+  f.phy2->send(f.fronthaul_frame(FhDirection::kDownlink, 10, kRuMac));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(ru_got, 0);
+  EXPECT_EQ(f.mbox->stats().dl_blocked, 1U);
+}
+
+TEST(FronthaulMiddlebox, MigrationExecutesExactlyAtBoundary) {
+  MboxFixture f;
+  f.send_migrate_cmd(100, PhyId{2});
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(f.mbox->stats().commands_received, 1U);
+
+  int phy1_got = 0;
+  int phy2_got = 0;
+  f.phy1->set_rx_handler([&](Packet&&) { ++phy1_got; });
+  f.phy2->set_rx_handler([&](Packet&&) { ++phy2_got; });
+  // Pre-boundary uplink still goes to PHY 1.
+  f.ru->send(f.fronthaul_frame(FhDirection::kUplink, 99, kVirtualMac));
+  f.sim.run_until(2_ms);
+  EXPECT_EQ(phy1_got, 1);
+  EXPECT_EQ(f.mbox->active_phy(RuId{1}), PhyId{1});
+  // The first packet at the boundary slot flips the mapping.
+  f.ru->send(f.fronthaul_frame(FhDirection::kUplink, 100, kVirtualMac));
+  f.sim.run_until(3_ms);
+  EXPECT_EQ(phy2_got, 1);
+  EXPECT_EQ(f.mbox->active_phy(RuId{1}), PhyId{2});
+  EXPECT_EQ(f.mbox->stats().migrations_executed, 1U);
+  // And stays flipped.
+  f.ru->send(f.fronthaul_frame(FhDirection::kUplink, 101, kVirtualMac));
+  f.sim.run_until(4_ms);
+  EXPECT_EQ(phy2_got, 2);
+  EXPECT_EQ(phy1_got, 1);
+}
+
+TEST(FronthaulMiddlebox, AfterMigrationOldPrimaryDlBlocked) {
+  MboxFixture f;
+  f.send_migrate_cmd(100, PhyId{2});
+  f.sim.run_until(1_ms);
+  int ru_got = 0;
+  f.ru->set_rx_handler([&](Packet&&) { ++ru_got; });
+  // PHY 2's heartbeat for the boundary slot triggers the flip and is
+  // forwarded; PHY 1's packet for the same slot arrives later and is
+  // dropped — the RU never hears one TTI from two PHYs.
+  f.phy2->send(f.fronthaul_frame(FhDirection::kDownlink, 100, kRuMac));
+  f.sim.run_until(2_ms);
+  f.phy1->send(f.fronthaul_frame(FhDirection::kDownlink, 100, kRuMac));
+  f.sim.run_until(3_ms);
+  EXPECT_EQ(ru_got, 1);
+  EXPECT_EQ(f.mbox->stats().dl_blocked, 1U);
+}
+
+TEST(FronthaulMiddlebox, MigrationBoundaryWrapsAcrossFrameCounter) {
+  MboxFixture f;
+  // Boundary just past the 20480-slot wrap point.
+  const std::int64_t boundary = 20'480 + 5;
+  f.send_migrate_cmd(boundary, PhyId{2});
+  f.sim.run_until(1_ms);
+  int phy2_got = 0;
+  f.phy2->set_rx_handler([&](Packet&&) { ++phy2_got; });
+  // A pre-boundary packet (wrapped value is large) must NOT trigger.
+  f.ru->send(f.fronthaul_frame(FhDirection::kUplink, 20'479, kVirtualMac));
+  f.sim.run_until(2_ms);
+  EXPECT_EQ(f.mbox->active_phy(RuId{1}), PhyId{1});
+  // The wrapped boundary packet does.
+  f.ru->send(f.fronthaul_frame(FhDirection::kUplink, boundary, kVirtualMac));
+  f.sim.run_until(3_ms);
+  EXPECT_EQ(f.mbox->active_phy(RuId{1}), PhyId{2});
+  EXPECT_EQ(phy2_got, 1);
+}
+
+TEST(FronthaulMiddlebox, FailureDetectedAfterHeartbeatStops) {
+  MboxFixture f;
+  f.mbox->watch_phy(PhyId{1}, MacAddr{kOrionMac});
+  std::vector<Nanos> notifications;
+  f.orion->set_rx_handler([&](Packet&& p) {
+    ASSERT_EQ(p.eth.ethertype, EtherType::kFailureNotify);
+    ASSERT_FALSE(p.payload.empty());
+    EXPECT_EQ(p.payload[0], 1);  // PHY id
+    notifications.push_back(f.sim.now());
+  });
+  f.sw.start_packet_generator(f.mbox->generator_period());
+  // Heartbeats every 300 us for 3 ms, then silence.
+  for (int i = 0; i < 10; ++i) {
+    f.sim.at(Nanos(i) * 300_us, [&f, i] {
+      f.phy1->send(f.fronthaul_frame(FhDirection::kDownlink, i, kRuMac));
+    });
+  }
+  f.sim.run_until(10_ms);
+  ASSERT_EQ(notifications.size(), 1U);
+  // Last heartbeat at 2.7 ms; timeout T=450 us.
+  EXPECT_GT(notifications[0], 2'700_us + 440_us);
+  EXPECT_LT(notifications[0], 2'700_us + 480_us);
+  EXPECT_EQ(f.mbox->stats().failures_detected, 1U);
+}
+
+TEST(FronthaulMiddlebox, HealthyHeartbeatNeverFires) {
+  MboxFixture f;
+  f.mbox->watch_phy(PhyId{1}, MacAddr{kOrionMac});
+  int notifications = 0;
+  f.orion->set_rx_handler([&](Packet&&) { ++notifications; });
+  f.sw.start_packet_generator(f.mbox->generator_period());
+  f.sim.every(0, 300_us, [&f] {
+    static std::int64_t slot = 0;
+    f.phy1->send(f.fronthaul_frame(FhDirection::kDownlink, slot++, kRuMac));
+  });
+  f.sim.run_until(100_ms);
+  EXPECT_EQ(notifications, 0);
+}
+
+TEST(FronthaulMiddlebox, OneNotificationPerFailureEpisode) {
+  MboxFixture f;
+  f.mbox->watch_phy(PhyId{1}, MacAddr{kOrionMac});
+  int notifications = 0;
+  f.orion->set_rx_handler([&](Packet&&) { ++notifications; });
+  f.sw.start_packet_generator(f.mbox->generator_period());
+  f.phy1->send(f.fronthaul_frame(FhDirection::kDownlink, 0, kRuMac));
+  f.sim.run_until(50_ms);  // many timeouts' worth of silence
+  EXPECT_EQ(notifications, 1);
+}
+
+TEST(FronthaulMiddlebox, NonFronthaulTrafficPassesThrough) {
+  MboxFixture f;
+  int orion_got = 0;
+  f.orion->set_rx_handler([&](Packet&&) { ++orion_got; });
+  Packet p;
+  p.eth.dst = MacAddr{kOrionMac};
+  p.eth.ethertype = EtherType::kFapiTransport;
+  p.payload = {1, 2, 3};
+  f.phy1->send(std::move(p));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(orion_got, 1);
+}
+
+TEST(FronthaulMiddlebox, UnknownSourcesDropped) {
+  MboxFixture f;
+  Packet p = f.fronthaul_frame(FhDirection::kUplink, 5, kVirtualMac);
+  f.orion->send(std::move(p));  // orion is not a registered RU
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(f.mbox->stats().unknown_dropped, 1U);
+}
+
+TEST(FronthaulMiddlebox, MalformedPacketsDropped) {
+  MboxFixture f;
+  // Garbage eCPRI payload from a registered PHY.
+  Packet junk;
+  junk.eth.dst = MacAddr{kRuMac};
+  junk.eth.ethertype = EtherType::kEcpri;
+  junk.payload = {0x10, 0x00};  // truncated past the eCPRI header
+  f.phy1->send(std::move(junk));
+  // Truncated migrate command.
+  Packet cmd;
+  cmd.eth.dst = MacAddr::broadcast();
+  cmd.eth.ethertype = EtherType::kSlingshotCmd;
+  cmd.payload = {1, 2};
+  f.orion->send(std::move(cmd));
+  f.sim.run_until(1_ms);  // neither throws nor changes state
+  EXPECT_EQ(f.mbox->stats().unknown_dropped, 2U);
+  EXPECT_EQ(f.mbox->stats().commands_received, 0U);
+  EXPECT_EQ(f.mbox->active_phy(RuId{1}), PhyId{1});
+}
+
+TEST(MigrateCmd, SerializationRoundtrip) {
+  MigrateOnSlotCmd cmd;
+  cmd.ru = RuId{7};
+  cmd.dest_phy = PhyId{3};
+  cmd.slot = SlotPoint{1023, 9, 1};
+  const auto parsed = parse_migrate_cmd(serialize_migrate_cmd(cmd));
+  EXPECT_EQ(parsed.ru, RuId{7});
+  EXPECT_EQ(parsed.dest_phy, PhyId{3});
+  EXPECT_EQ(parsed.slot, (SlotPoint{1023, 9, 1}));
+}
+
+TEST(SwitchResources, MatchPaperAtCalibrationPoint) {
+  const auto est = estimate_switch_resources(256, 256);
+  EXPECT_NEAR(est.crossbar_pct, 5.2, 0.1);
+  EXPECT_NEAR(est.alu_pct, 10.4, 0.1);
+  EXPECT_NEAR(est.gateway_pct, 14.1, 0.1);
+  EXPECT_NEAR(est.sram_pct, 5.3, 0.1);
+  EXPECT_NEAR(est.hash_bits_pct, 9.5, 0.1);
+}
+
+TEST(SwitchResources, OnlySramScalesWithDeploymentSize) {
+  const auto small = estimate_switch_resources(64, 64);
+  const auto large = estimate_switch_resources(256, 256);
+  EXPECT_EQ(small.crossbar_pct, large.crossbar_pct);
+  EXPECT_EQ(small.alu_pct, large.alu_pct);
+  EXPECT_EQ(small.gateway_pct, large.gateway_pct);
+  EXPECT_EQ(small.hash_bits_pct, large.hash_bits_pct);
+  EXPECT_LT(small.sram_pct, large.sram_pct);
+}
+
+}  // namespace
+}  // namespace slingshot

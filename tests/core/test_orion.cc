@@ -1,0 +1,318 @@
+#include "core/orion.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.h"
+#include "net/nic.h"
+
+namespace slingshot {
+namespace {
+
+struct FapiCapture final : FapiSink {
+  std::vector<FapiMessage> messages;
+  void on_fapi(FapiMessage&& msg) override {
+    messages.push_back(std::move(msg));
+  }
+};
+
+// L2-side Orion + two PHY-side Orions with stub PHY sinks, across a
+// plain switch.
+struct OrionFixture {
+  Simulator sim;
+  ProgrammableSwitch sw{sim, 8};
+  std::vector<std::unique_ptr<Link>> links;
+  std::vector<std::unique_ptr<Nic>> nics;
+  Nic* l2_nic = nullptr;
+  Nic* phy1_nic = nullptr;
+  Nic* phy2_nic = nullptr;
+
+  std::unique_ptr<OrionL2Side> orion_l2;
+  std::unique_ptr<OrionPhySide> orion_1;
+  std::unique_ptr<OrionPhySide> orion_2;
+  ShmFapiPipe to_phy1{sim};
+  ShmFapiPipe to_phy2{sim};
+  ShmFapiPipe to_l2{sim};
+  FapiCapture phy1;
+  FapiCapture phy2;
+  FapiCapture l2;
+
+  OrionFixture() {
+    auto add = [&](int port, std::uint64_t mac) -> Nic* {
+      links.push_back(std::make_unique<Link>(
+          sim, LinkConfig{}, sim.rng().stream("loss", std::uint64_t(port))));
+      nics.push_back(std::make_unique<Nic>(sim, MacAddr{mac}));
+      nics.back()->attach(*links.back());
+      sw.attach_link(port, *links.back());
+      sw.add_l2_route(MacAddr{mac}, port);
+      return nics.back().get();
+    };
+    l2_nic = add(0, 0x10);
+    phy1_nic = add(1, 0x11);
+    phy2_nic = add(2, 0x12);
+
+    orion_l2 = std::make_unique<OrionL2Side>(sim, "ol2", *l2_nic,
+                                             OrionL2Config{});
+    orion_1 = std::make_unique<OrionPhySide>(sim, "op1", *phy1_nic);
+    orion_2 = std::make_unique<OrionPhySide>(sim, "op2", *phy2_nic);
+
+    to_phy1.connect(&phy1);
+    to_phy2.connect(&phy2);
+    to_l2.connect(&l2);
+    orion_1->connect_phy(&to_phy1);
+    orion_2->connect_phy(&to_phy2);
+    orion_1->set_l2_orion_mac(MacAddr{0x10});
+    orion_2->set_l2_orion_mac(MacAddr{0x10});
+    orion_l2->connect_l2(&to_l2);
+    orion_l2->add_phy_peer(PhyId{1}, MacAddr{0x11});
+    orion_l2->add_phy_peer(PhyId{2}, MacAddr{0x12});
+    orion_l2->set_ru_phys(RuId{1}, PhyId{1}, PhyId{2});
+  }
+
+  void l2_sends(FapiMessage msg) { orion_l2->on_fapi(std::move(msg)); }
+
+  // A PHY-side Orion relays an indication from "its" PHY.
+  void phy_sends(int phy, FapiMessage msg) {
+    (phy == 1 ? orion_1 : orion_2)->on_fapi(std::move(msg));
+  }
+
+  [[nodiscard]] static int count(const FapiCapture& capture,
+                                 FapiMsgType type) {
+    int n = 0;
+    for (const auto& m : capture.messages) {
+      n += m.type() == type ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+FapiMessage dl_tti(std::int64_t slot, int pdus = 1) {
+  DlTtiRequest req;
+  for (int i = 0; i < pdus; ++i) {
+    req.pdus.push_back(TtiPdu{UeId{1}, 1, 1000, HarqId{0}, true});
+  }
+  return FapiMessage{RuId{1}, slot, std::move(req)};
+}
+
+TEST(OrionL2Side, RealToActiveNullToStandby) {
+  OrionFixture f;
+  f.l2_sends(dl_tti(100));
+  f.l2_sends(FapiMessage{RuId{1}, 100, UlTtiRequest{{TtiPdu{UeId{1}}}}});
+  f.sim.run_until(1_ms);
+
+  // Active PHY got the real requests.
+  ASSERT_EQ(f.phy1.messages.size(), 2U);
+  EXPECT_EQ(std::get<DlTtiRequest>(f.phy1.messages[0].body).pdus.size(), 1U);
+  // Standby got null versions for the same slots.
+  ASSERT_EQ(f.phy2.messages.size(), 2U);
+  EXPECT_TRUE(std::get<DlTtiRequest>(f.phy2.messages[0].body).pdus.empty());
+  EXPECT_TRUE(std::get<UlTtiRequest>(f.phy2.messages[1].body).pdus.empty());
+  EXPECT_EQ(f.phy2.messages[0].slot, 100);
+}
+
+TEST(OrionL2Side, TxDataOnlyToActive) {
+  OrionFixture f;
+  TxDataRequest tx;
+  tx.payloads.push_back({1, 2, 3});
+  f.l2_sends(FapiMessage{RuId{1}, 100, std::move(tx)});
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(f.phy1.messages.size(), 1U);
+  EXPECT_TRUE(f.phy2.messages.empty());
+}
+
+TEST(OrionL2Side, InitMessagesGoToBothAndAreStored) {
+  OrionFixture f;
+  f.l2_sends(FapiMessage{RuId{1}, 0, ConfigRequest{CarrierConfig{RuId{1}}}});
+  f.l2_sends(FapiMessage{RuId{1}, 0, StartRequest{RuId{1}}});
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(f.count(f.phy1, FapiMsgType::kConfigRequest), 1);
+  EXPECT_EQ(f.count(f.phy2, FapiMsgType::kConfigRequest), 1);
+  EXPECT_EQ(f.count(f.phy1, FapiMsgType::kStartRequest), 1);
+  EXPECT_EQ(f.count(f.phy2, FapiMsgType::kStartRequest), 1);
+}
+
+TEST(OrionL2Side, AdoptStandbyReplaysInitSequence) {
+  OrionFixture f;
+  f.l2_sends(FapiMessage{RuId{1}, 0, ConfigRequest{CarrierConfig{RuId{1}}}});
+  f.l2_sends(FapiMessage{RuId{1}, 0, StartRequest{RuId{1}}});
+  f.sim.run_until(1_ms);
+  // A brand-new standby (reusing PHY 2's address here) gets the stored
+  // init messages replayed.
+  const auto before = f.phy2.messages.size();
+  f.orion_l2->adopt_standby(RuId{1}, PhyId{2}, MacAddr{0x12});
+  f.sim.run_until(2_ms);
+  EXPECT_EQ(f.phy2.messages.size(), before + 2);
+  EXPECT_EQ(f.orion_l2->standby_phy(RuId{1}), PhyId{2});
+}
+
+TEST(OrionL2Side, ActiveResponsesForwardedStandbyDropped) {
+  OrionFixture f;
+  f.phy_sends(1, FapiMessage{RuId{1}, 50, CrcIndication{}});
+  f.phy_sends(2, FapiMessage{RuId{1}, 50, CrcIndication{}});
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(f.l2.messages.size(), 1U);
+  EXPECT_EQ(f.orion_l2->stats().standby_responses_dropped, 1U);
+}
+
+TEST(OrionL2Side, MigrationSwapsAtBoundarySlot) {
+  OrionFixture f;
+  f.orion_l2->migrate(RuId{1}, 200);
+  // Requests for slots before the boundary still go (real) to PHY 1.
+  f.l2_sends(dl_tti(199));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(std::get<DlTtiRequest>(f.phy1.messages.back().body).pdus.size(),
+            1U);
+  // At the boundary the roles swap.
+  f.l2_sends(dl_tti(200));
+  f.sim.run_until(2_ms);
+  EXPECT_EQ(f.orion_l2->active_phy(RuId{1}), PhyId{2});
+  EXPECT_EQ(std::get<DlTtiRequest>(f.phy2.messages.back().body).pdus.size(),
+            1U);
+  EXPECT_TRUE(std::get<DlTtiRequest>(f.phy1.messages.back().body).pdus.empty());
+}
+
+TEST(OrionL2Side, DrainsPipelinedResponsesFromOldPrimary) {
+  OrionFixture f;
+  f.orion_l2->migrate(RuId{1}, 200);
+  f.l2_sends(dl_tti(200));  // finalizes the swap
+  f.sim.run_until(1_ms);
+  // Old primary delivers decode results for a pre-boundary slot (Fig 7).
+  f.phy_sends(1, FapiMessage{RuId{1}, 198, RxDataIndication{}});
+  f.sim.run_until(2_ms);
+  EXPECT_EQ(f.l2.messages.size(), 1U);
+  EXPECT_EQ(f.orion_l2->stats().drained_responses_accepted, 1U);
+  // But its post-boundary indications are dropped.
+  f.phy_sends(1, FapiMessage{RuId{1}, 201, SlotIndication{}});
+  f.sim.run_until(3_ms);
+  EXPECT_EQ(f.l2.messages.size(), 1U);
+}
+
+TEST(OrionL2Side, FailureNotificationTriggersFailover) {
+  OrionFixture f;
+  MigrationEvent observed;
+  bool fired = false;
+  f.orion_l2->set_on_failover([&](const MigrationEvent& e) {
+    observed = e;
+    fired = true;
+  });
+  Packet notify;
+  notify.eth.dst = MacAddr{0x10};
+  notify.eth.ethertype = EtherType::kFailureNotify;
+  notify.payload = {1};  // PHY 1 failed
+  f.phy1_nic->send(std::move(notify));  // any station can carry it
+  f.sim.run_until(1_ms);
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(observed.kind, MigrationEvent::Kind::kFailover);
+  EXPECT_EQ(observed.from, PhyId{1});
+  EXPECT_EQ(observed.to, PhyId{2});
+  // The boundary finalizes on the next request at/after it.
+  f.l2_sends(dl_tti(observed.boundary_slot));
+  f.sim.run_until(2_ms);
+  EXPECT_EQ(f.orion_l2->active_phy(RuId{1}), PhyId{2});
+}
+
+TEST(OrionL2Side, StandbyFailureDoesNotMigrate) {
+  OrionFixture f;
+  Packet notify;
+  notify.eth.dst = MacAddr{0x10};
+  notify.eth.ethertype = EtherType::kFailureNotify;
+  notify.payload = {2};  // the standby failed
+  f.phy1_nic->send(std::move(notify));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(f.orion_l2->active_phy(RuId{1}), PhyId{1});
+  EXPECT_TRUE(f.orion_l2->migration_log().empty());
+}
+
+TEST(OrionL2Side, UnknownRuIgnored) {
+  OrionFixture f;
+  f.l2_sends(FapiMessage{RuId{9}, 100, DlTtiRequest{}});
+  f.sim.run_until(1_ms);
+  EXPECT_TRUE(f.phy1.messages.empty());
+}
+
+TEST(OrionPhySide, RelaysBothDirections) {
+  OrionFixture f;
+  // Network -> SHM (request toward the PHY).
+  f.l2_sends(dl_tti(10));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(f.orion_1->relayed_to_phy(), 1U);
+  ASSERT_FALSE(f.phy1.messages.empty());
+  // SHM -> network (indication toward the L2).
+  f.phy_sends(1, FapiMessage{RuId{1}, 10, CrcIndication{}});
+  f.sim.run_until(2_ms);
+  EXPECT_EQ(f.orion_1->relayed_to_l2(), 1U);
+  ASSERT_EQ(f.l2.messages.size(), 1U);
+  EXPECT_EQ(f.l2.messages[0].type(), FapiMsgType::kCrcIndication);
+}
+
+TEST(OrionPhySide, InjectsNullsForSlotsLostOnTheWire) {
+  // §6.1: a lost datagram must not starve the PHY; the PHY-side Orion
+  // plugs the hole with null requests.
+  OrionFixture f;
+  // Real request stream for slots 3,4,5 ... then a hole ... then 10.
+  for (const std::int64_t s : {3, 4, 5}) {
+    f.l2_sends(dl_tti(s));
+    f.l2_sends(make_null_ul_tti(RuId{1}, s));
+  }
+  // Slots 6..9 "lost"; slot 10's request arrives on time.
+  f.sim.at(Nanos(8) * 500_us, [&f] { f.l2_sends(dl_tti(10)); });
+  f.sim.run_until(Nanos(11) * 500_us);
+  EXPECT_GT(f.orion_1->nulls_injected(), 0U);
+  // The PHY saw at least one (injected) request for every missing slot.
+  std::set<std::int64_t> covered;
+  for (const auto& msg : f.phy1.messages) {
+    covered.insert(msg.slot);
+  }
+  for (std::int64_t s = 6; s <= 9; ++s) {
+    EXPECT_TRUE(covered.contains(s)) << "slot " << s << " never covered";
+  }
+}
+
+TEST(OrionPhySide, StopsInjectingWhenL2IsDead) {
+  OrionFixture f;
+  f.l2_sends(dl_tti(3));
+  f.l2_sends(make_null_ul_tti(RuId{1}, 3));
+  // No further requests ever: injection must stop after the dead-L2
+  // threshold, letting the PHY's own starvation behaviour take over.
+  f.sim.run_until(Nanos(100) * 500_us);
+  EXPECT_LT(f.orion_1->nulls_injected(), 60U);
+}
+
+TEST(OrionPhySide, CorruptFapiDatagramDropped) {
+  OrionFixture f;
+  Packet junk;
+  junk.eth.dst = MacAddr{0x11};
+  junk.eth.ethertype = EtherType::kFapiTransport;
+  junk.payload = {0x05, 0x01};  // DL_TTI type byte then truncation
+  f.l2_nic->send(std::move(junk));
+  f.sim.run_until(1_ms);  // must not throw
+  EXPECT_TRUE(f.phy1.messages.empty());
+}
+
+TEST(OrionL2Side, CorruptIndicationDropped) {
+  OrionFixture f;
+  Packet junk;
+  junk.eth.dst = MacAddr{0x10};
+  junk.eth.ethertype = EtherType::kFapiTransport;
+  junk.payload = {0x09};  // CRC.indication type byte then nothing
+  f.phy1_nic->send(std::move(junk));
+  f.sim.run_until(1_ms);
+  EXPECT_TRUE(f.l2.messages.empty());
+}
+
+TEST(OrionCostModel, ScalesWithMessageSize) {
+  OrionCostModel model;
+  auto rng = RngRegistry{1}.stream("cost");
+  RunningStats small;
+  RunningStats big;
+  for (int i = 0; i < 2000; ++i) {
+    small.add(double(model.sample(100, rng)));
+    big.add(double(model.sample(200'000, rng)));
+  }
+  EXPECT_GT(big.mean(), small.mean() + 10'000);  // >10 us more
+  EXPECT_GT(small.mean(), double(model.base));
+}
+
+}  // namespace
+}  // namespace slingshot

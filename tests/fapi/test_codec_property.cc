@@ -1,0 +1,201 @@
+// Property tests: randomized (seeded) roundtrips through the FAPI and
+// fronthaul wire codecs — every structured value that goes onto the
+// wire must come back identical, for arbitrary field contents.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fapi/fapi.h"
+#include "fronthaul/oran.h"
+#include "phy/mcs.h"
+
+namespace slingshot {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(RngStream& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> out(rng.next_u64() % (max_len + 1));
+  for (auto& b : out) {
+    b = std::uint8_t(rng.next_u64());
+  }
+  return out;
+}
+
+TtiPdu random_pdu(RngStream& rng) {
+  TtiPdu pdu;
+  pdu.ue = UeId{std::uint16_t(rng.next_u64())};
+  pdu.mcs = std::uint8_t(rng.next_u64() % kNumMcs);
+  pdu.tb_bytes = std::uint32_t(rng.next_u64());
+  pdu.harq = HarqId{std::uint8_t(rng.next_u64() % 8)};
+  pdu.new_data = rng.bernoulli(0.5);
+  return pdu;
+}
+
+class FapiCodecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FapiCodecProperty, RandomMessagesRoundtrip) {
+  auto rng = RngRegistry{GetParam()}.stream("fapi.fuzz");
+  for (int trial = 0; trial < 50; ++trial) {
+    FapiMessage msg;
+    msg.ru = RuId{std::uint8_t(rng.next_u64())};
+    msg.slot = std::int64_t(rng.next_u64() % (1ULL << 40));
+    switch (rng.next_u64() % 5) {
+      case 0: {
+        DlTtiRequest req;
+        const auto n = rng.next_u64() % 8;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          req.pdus.push_back(random_pdu(rng));
+        }
+        const auto n_dci = rng.next_u64() % 4;
+        for (std::uint64_t i = 0; i < n_dci; ++i) {
+          req.ul_dci.push_back(
+              UlDci{random_pdu(rng), std::int64_t(rng.next_u64() % 100000)});
+        }
+        msg.body = req;
+        break;
+      }
+      case 1: {
+        UlTtiRequest req;
+        const auto n = rng.next_u64() % 8;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          req.pdus.push_back(random_pdu(rng));
+        }
+        msg.body = req;
+        break;
+      }
+      case 2: {
+        TxDataRequest tx;
+        const auto n = rng.next_u64() % 4;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          tx.payloads.push_back(random_bytes(rng, 3000));
+        }
+        msg.body = tx;
+        break;
+      }
+      case 3: {
+        CrcIndication crc;
+        const auto n = rng.next_u64() % 8;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          crc.entries.push_back(CrcEntry{UeId{std::uint16_t(rng.next_u64())},
+                                         HarqId{std::uint8_t(rng.next_u64() % 8)},
+                                         rng.bernoulli(0.5),
+                                         float(rng.gaussian(15, 10))});
+        }
+        msg.body = crc;
+        break;
+      }
+      default: {
+        RxDataIndication rx;
+        const auto n = rng.next_u64() % 4;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          rx.pdus.push_back(RxPdu{UeId{std::uint16_t(rng.next_u64())},
+                                  HarqId{std::uint8_t(rng.next_u64() % 8)},
+                                  random_bytes(rng, 3000)});
+        }
+        msg.body = rx;
+        break;
+      }
+    }
+
+    const auto parsed = parse_fapi(serialize_fapi(msg));
+    ASSERT_EQ(parsed.type(), msg.type());
+    ASSERT_EQ(parsed.ru, msg.ru);
+    ASSERT_EQ(parsed.slot, msg.slot);
+    // Structural equality per body type.
+    if (msg.type() == FapiMsgType::kDlTtiRequest) {
+      const auto& a = std::get<DlTtiRequest>(msg.body);
+      const auto& b = std::get<DlTtiRequest>(parsed.body);
+      ASSERT_EQ(a.pdus, b.pdus);
+      ASSERT_EQ(a.ul_dci, b.ul_dci);
+    } else if (msg.type() == FapiMsgType::kUlTtiRequest) {
+      ASSERT_EQ(std::get<UlTtiRequest>(msg.body).pdus,
+                std::get<UlTtiRequest>(parsed.body).pdus);
+    } else if (msg.type() == FapiMsgType::kTxDataRequest) {
+      ASSERT_EQ(std::get<TxDataRequest>(msg.body).payloads,
+                std::get<TxDataRequest>(parsed.body).payloads);
+    } else if (msg.type() == FapiMsgType::kCrcIndication) {
+      ASSERT_EQ(std::get<CrcIndication>(msg.body).entries,
+                std::get<CrcIndication>(parsed.body).entries);
+    } else {
+      const auto& a = std::get<RxDataIndication>(msg.body);
+      const auto& b = std::get<RxDataIndication>(parsed.body);
+      ASSERT_EQ(a.pdus.size(), b.pdus.size());
+      for (std::size_t i = 0; i < a.pdus.size(); ++i) {
+        ASSERT_EQ(a.pdus[i].ue, b.pdus[i].ue);
+        ASSERT_EQ(a.pdus[i].payload, b.pdus[i].payload);
+      }
+    }
+  }
+}
+
+TEST_P(FapiCodecProperty, RandomFronthaulPacketsRoundtrip) {
+  auto rng = RngRegistry{GetParam()}.stream("fh.fuzz");
+  for (int trial = 0; trial < 50; ++trial) {
+    FronthaulPacket packet;
+    packet.header.direction =
+        rng.bernoulli(0.5) ? FhDirection::kUplink : FhDirection::kDownlink;
+    packet.header.plane =
+        rng.bernoulli(0.5) ? FhPlane::kControl : FhPlane::kUser;
+    packet.header.slot =
+        SlotPoint{std::uint16_t(rng.next_u64() % 1024),
+                  std::uint8_t(rng.next_u64() % 10),
+                  std::uint8_t(rng.next_u64() % 2)};
+    packet.header.symbol = std::uint8_t(rng.next_u64() % 14);
+    packet.header.ru = RuId{std::uint8_t(rng.next_u64())};
+
+    if (packet.header.plane == FhPlane::kControl) {
+      const auto n = rng.next_u64() % 5;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        packet.cplane.ul_grants.push_back(
+            UlGrant{UeId{std::uint16_t(rng.next_u64())},
+                    std::int64_t(rng.next_u64() % 100000),
+                    std::uint8_t(rng.next_u64() % kNumMcs),
+                    std::uint32_t(rng.next_u64()),
+                    HarqId{std::uint8_t(rng.next_u64() % 8)},
+                    rng.bernoulli(0.5)});
+      }
+    } else {
+      const auto n = 1 + rng.next_u64() % 3;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        UPlaneSection s;
+        s.ue = UeId{std::uint16_t(rng.next_u64())};
+        s.harq = HarqId{std::uint8_t(rng.next_u64() % 8)};
+        s.mcs = std::uint8_t(rng.next_u64() % kNumMcs);
+        s.tb_bytes = std::uint32_t(rng.next_u64());
+        const auto n_iq = rng.next_u64() % 64;
+        for (std::uint64_t k = 0; k < n_iq; ++k) {
+          s.iq.emplace_back(float(rng.gaussian()), float(rng.gaussian()));
+        }
+        s.shadow_payload = random_bytes(rng, 500);
+        packet.uplane.sections.push_back(std::move(s));
+      }
+    }
+
+    const auto bytes = serialize_fronthaul(packet);
+    // The fixed header must always be peekable...
+    const auto header = peek_fronthaul_header(bytes);
+    ASSERT_TRUE(header.has_value());
+    ASSERT_EQ(header->slot, packet.header.slot);
+    ASSERT_EQ(header->ru, packet.header.ru);
+    // ...and the full parse must invert serialization.
+    const auto parsed = parse_fronthaul(bytes);
+    ASSERT_EQ(parsed.header.direction, packet.header.direction);
+    ASSERT_EQ(parsed.header.symbol, packet.header.symbol);
+    if (packet.header.plane == FhPlane::kUser) {
+      ASSERT_EQ(parsed.uplane.sections.size(),
+                packet.uplane.sections.size());
+      for (std::size_t i = 0; i < packet.uplane.sections.size(); ++i) {
+        ASSERT_EQ(parsed.uplane.sections[i].iq, packet.uplane.sections[i].iq);
+        ASSERT_EQ(parsed.uplane.sections[i].shadow_payload,
+                  packet.uplane.sections[i].shadow_payload);
+      }
+    } else {
+      ASSERT_EQ(parsed.cplane.ul_grants.size(),
+                packet.cplane.ul_grants.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FapiCodecProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace slingshot

@@ -1,0 +1,146 @@
+#include "fapi/fapi.h"
+
+#include <gtest/gtest.h>
+
+#include "fapi/channel.h"
+#include "sim/simulator.h"
+
+namespace slingshot {
+namespace {
+
+FapiMessage roundtrip(const FapiMessage& msg) {
+  return parse_fapi(serialize_fapi(msg));
+}
+
+TEST(Fapi, ConfigRequestRoundtrip) {
+  FapiMessage msg;
+  msg.ru = RuId{3};
+  msg.slot = 1000;
+  CarrierConfig carrier;
+  carrier.ru = RuId{3};
+  carrier.numerology = 1;
+  carrier.num_prbs = 273;
+  carrier.num_antennas = 4;
+  carrier.tdd_pattern = "DDDSU";
+  msg.body = ConfigRequest{carrier};
+
+  const auto parsed = roundtrip(msg);
+  EXPECT_EQ(parsed.type(), FapiMsgType::kConfigRequest);
+  EXPECT_EQ(parsed.ru, RuId{3});
+  EXPECT_EQ(parsed.slot, 1000);
+  EXPECT_EQ(std::get<ConfigRequest>(parsed.body).carrier, carrier);
+}
+
+TEST(Fapi, TtiRequestRoundtrip) {
+  FapiMessage msg;
+  msg.ru = RuId{1};
+  msg.slot = 54321;
+  UlTtiRequest req;
+  req.pdus.push_back(TtiPdu{UeId{42}, 2, 1500, HarqId{6}, false});
+  req.pdus.push_back(TtiPdu{UeId{43}, 0, 100, HarqId{0}, true});
+  msg.body = req;
+
+  const auto parsed = roundtrip(msg);
+  EXPECT_EQ(parsed.type(), FapiMsgType::kUlTtiRequest);
+  EXPECT_EQ(std::get<UlTtiRequest>(parsed.body).pdus, req.pdus);
+}
+
+TEST(Fapi, TxDataRoundtrip) {
+  FapiMessage msg;
+  msg.ru = RuId{1};
+  msg.slot = 9;
+  TxDataRequest tx;
+  tx.payloads.push_back({1, 2, 3});
+  tx.payloads.push_back({});
+  tx.payloads.push_back(std::vector<std::uint8_t>(5000, 0x7F));
+  msg.body = tx;
+
+  const auto parsed = roundtrip(msg);
+  const auto& body = std::get<TxDataRequest>(parsed.body);
+  ASSERT_EQ(body.payloads.size(), 3U);
+  EXPECT_EQ(body.payloads[0], (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(body.payloads[1].empty());
+  EXPECT_EQ(body.payloads[2].size(), 5000U);
+}
+
+TEST(Fapi, IndicationsRoundtrip) {
+  {
+    FapiMessage msg{RuId{2}, 77,
+                    CrcIndication{{CrcEntry{UeId{1}, HarqId{2}, true, 18.5F}}}};
+    const auto parsed = roundtrip(msg);
+    const auto& crc = std::get<CrcIndication>(parsed.body);
+    ASSERT_EQ(crc.entries.size(), 1U);
+    EXPECT_TRUE(crc.entries[0].ok);
+    EXPECT_FLOAT_EQ(crc.entries[0].snr_db, 18.5F);
+  }
+  {
+    RxDataIndication rx;
+    rx.pdus.push_back(RxPdu{UeId{9}, HarqId{1}, {0xCA, 0xFE}});
+    FapiMessage msg{RuId{2}, 78, rx};
+    const auto parsed = roundtrip(msg);
+    const auto& body = std::get<RxDataIndication>(parsed.body);
+    ASSERT_EQ(body.pdus.size(), 1U);
+    EXPECT_EQ(body.pdus[0].payload, (std::vector<std::uint8_t>{0xCA, 0xFE}));
+  }
+  {
+    FapiMessage msg{RuId{2}, 79,
+                    UciIndication{{UciEntry{UeId{5}, HarqId{7}, false}}}};
+    const auto parsed = roundtrip(msg);
+    EXPECT_FALSE(std::get<UciIndication>(parsed.body).entries[0].ack);
+  }
+}
+
+TEST(Fapi, ControlMessagesRoundtrip) {
+  EXPECT_EQ(roundtrip({RuId{1}, 0, StartRequest{RuId{1}}}).type(),
+            FapiMsgType::kStartRequest);
+  EXPECT_EQ(roundtrip({RuId{1}, 0, StopRequest{RuId{1}}}).type(),
+            FapiMsgType::kStopRequest);
+  EXPECT_EQ(roundtrip({RuId{1}, 5, SlotIndication{}}).slot, 5);
+  const auto err =
+      roundtrip({RuId{1}, 0, ErrorIndication{42, FapiMsgType::kDlTtiRequest}});
+  EXPECT_EQ(std::get<ErrorIndication>(err.body).code, 42);
+}
+
+TEST(Fapi, NullRequestsAreEmptyAndValid) {
+  const auto dl = make_null_dl_tti(RuId{4}, 123);
+  EXPECT_EQ(dl.type(), FapiMsgType::kDlTtiRequest);
+  EXPECT_TRUE(std::get<DlTtiRequest>(dl.body).pdus.empty());
+  const auto ul = make_null_ul_tti(RuId{4}, 123);
+  EXPECT_EQ(ul.type(), FapiMsgType::kUlTtiRequest);
+  EXPECT_TRUE(std::get<UlTtiRequest>(ul.body).pdus.empty());
+  // Null requests survive the wire.
+  EXPECT_TRUE(std::get<UlTtiRequest>(roundtrip(ul).body).pdus.empty());
+}
+
+TEST(Fapi, MessageNames) {
+  EXPECT_STREQ(fapi_msg_name(FapiMsgType::kDlTtiRequest), "DL_TTI.request");
+  EXPECT_STREQ(fapi_msg_name(FapiMsgType::kCrcIndication), "CRC.indication");
+}
+
+struct CountingSink final : FapiSink {
+  std::vector<FapiMessage> messages;
+  void on_fapi(FapiMessage&& msg) override { messages.push_back(std::move(msg)); }
+};
+
+TEST(ShmFapiPipe, DeliversWithLatency) {
+  Simulator sim;
+  ShmFapiPipe pipe{sim, 200};
+  CountingSink sink;
+  pipe.connect(&sink);
+  pipe.send(make_null_dl_tti(RuId{1}, 50));
+  EXPECT_TRUE(sink.messages.empty());  // not synchronous
+  sim.run_until(1_us);
+  ASSERT_EQ(sink.messages.size(), 1U);
+  EXPECT_EQ(sink.messages[0].slot, 50);
+}
+
+TEST(ShmFapiPipe, UnconnectedDropsSilently) {
+  Simulator sim;
+  ShmFapiPipe pipe{sim};
+  pipe.send(make_null_dl_tti(RuId{1}, 1));
+  sim.run_until(1_ms);  // no crash
+  EXPECT_FALSE(pipe.connected());
+}
+
+}  // namespace
+}  // namespace slingshot

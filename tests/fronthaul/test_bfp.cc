@@ -1,0 +1,136 @@
+#include "fronthaul/bfp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fronthaul/oran.h"
+
+namespace slingshot {
+namespace {
+
+std::vector<std::complex<float>> random_iq(std::size_t n, std::uint64_t seed,
+                                           double scale = 1.0) {
+  auto rng = RngRegistry{seed}.stream("bfp");
+  std::vector<std::complex<float>> iq;
+  iq.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    iq.emplace_back(float(rng.gaussian(0, scale)),
+                    float(rng.gaussian(0, scale)));
+  }
+  return iq;
+}
+
+double max_error(std::span<const std::complex<float>> a,
+                 std::span<const std::complex<float>> b) {
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max<double>(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+class BfpMantissaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfpMantissaSweep, RoundtripErrorBoundedByQuantizationStep) {
+  const int m = GetParam();
+  const auto iq = random_iq(333, 7);  // deliberately not a block multiple
+  const auto compressed = bfp_compress(iq, m);
+  const auto restored = bfp_decompress(compressed, iq.size(), m);
+  ASSERT_EQ(restored.size(), iq.size());
+  // Error per block is bounded by the block's quantization step:
+  // peak / (2^(m-1) - 1), within rounding.
+  for (std::size_t base = 0; base < iq.size(); base += kBfpBlockSamples) {
+    const auto n = std::min<std::size_t>(kBfpBlockSamples, iq.size() - base);
+    float peak = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      peak = std::max({peak, std::fabs(iq[base + s].real()),
+                       std::fabs(iq[base + s].imag())});
+    }
+    const double step = peak / double((1 << (m - 1)) - 1);
+    for (std::size_t s = 0; s < n; ++s) {
+      EXPECT_LE(std::abs(iq[base + s] - restored[base + s]), 2.1 * step)
+          << "m=" << m << " sample " << base + s;
+    }
+  }
+}
+
+TEST_P(BfpMantissaSweep, CompressedSizeMatchesAccounting) {
+  const int m = GetParam();
+  const auto iq = random_iq(100, 8);
+  EXPECT_EQ(bfp_compress(iq, m).size(), bfp_compressed_size(iq.size(), m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BfpMantissaSweep,
+                         ::testing::Values(4, 6, 9, 12, 14));
+
+TEST(Bfp, NineBitBeatsFloat32ByFactorThree) {
+  const auto iq = random_iq(324, 9);
+  const auto compressed = bfp_compressed_size(iq.size(), 9);
+  const auto raw = iq.size() * 8;  // two float32 per sample
+  EXPECT_LT(double(compressed), double(raw) / 3.0);
+}
+
+TEST(Bfp, HandlesWideDynamicRangeAcrossBlocks) {
+  // One loud block followed by a near-silent one: per-block exponents
+  // must keep the quiet block's relative precision.
+  auto iq = random_iq(12, 10, 1.0);
+  const auto quiet = random_iq(12, 11, 1e-4);
+  iq.insert(iq.end(), quiet.begin(), quiet.end());
+  const auto restored = bfp_decompress(bfp_compress(iq, 9), iq.size(), 9);
+  // The quiet block survives with error << its own magnitude.
+  EXPECT_LT(max_error(std::span(iq).subspan(12),
+                      std::span(restored).subspan(12)),
+            1e-5);
+}
+
+TEST(Bfp, AllZeroBlockRoundtripsToZero) {
+  const std::vector<std::complex<float>> zeros(24, {0.0F, 0.0F});
+  const auto restored = bfp_decompress(bfp_compress(zeros, 9), 24, 9);
+  for (const auto& s : restored) {
+    EXPECT_EQ(s, (std::complex<float>{0.0F, 0.0F}));
+  }
+}
+
+TEST(Bfp, InvalidMantissaThrows) {
+  const auto iq = random_iq(12, 12);
+  EXPECT_THROW((void)bfp_compress(iq, 1), std::invalid_argument);
+  EXPECT_THROW((void)bfp_compress(iq, 17), std::invalid_argument);
+  EXPECT_THROW((void)bfp_decompress({}, 12, 0), std::invalid_argument);
+}
+
+TEST(Bfp, TruncatedStreamThrows) {
+  const auto iq = random_iq(24, 13);
+  auto compressed = bfp_compress(iq, 9);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_THROW((void)bfp_decompress(compressed, 24, 9), std::out_of_range);
+}
+
+TEST(Bfp, UPlaneSectionCompressesOnTheWire) {
+  FronthaulPacket p;
+  p.header.direction = FhDirection::kDownlink;
+  p.header.plane = FhPlane::kUser;
+  p.header.ru = RuId{1};
+  UPlaneSection s;
+  s.ue = UeId{1};
+  s.codeword_bits = 648;
+  s.iq = random_iq(340, 14);
+  s.shadow_payload = {1, 2, 3};
+
+  // Uncompressed baseline.
+  s.bfp_mantissa_bits = 0;
+  p.uplane.sections = {s};
+  const auto raw_bytes = serialize_fronthaul(p);
+  // 9-bit BFP.
+  p.uplane.sections[0].bfp_mantissa_bits = 9;
+  const auto bfp_bytes = serialize_fronthaul(p);
+  EXPECT_LT(double(bfp_bytes.size()), double(raw_bytes.size()) / 2.5);
+
+  // Parsed samples are quantized but close.
+  const auto parsed = parse_fronthaul(bfp_bytes);
+  ASSERT_EQ(parsed.uplane.sections.size(), 1U);
+  EXPECT_EQ(parsed.uplane.sections[0].iq.size(), s.iq.size());
+  EXPECT_LT(max_error(s.iq, parsed.uplane.sections[0].iq), 0.03);
+}
+
+}  // namespace
+}  // namespace slingshot

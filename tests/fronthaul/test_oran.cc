@@ -1,0 +1,111 @@
+#include "fronthaul/oran.h"
+
+#include <gtest/gtest.h>
+
+namespace slingshot {
+namespace {
+
+FronthaulPacket make_cplane_packet() {
+  FronthaulPacket p;
+  p.header.direction = FhDirection::kDownlink;
+  p.header.plane = FhPlane::kControl;
+  p.header.slot = SlotPoint{17, 3, 1};
+  p.header.symbol = 0;
+  p.header.ru = RuId{9};
+  p.cplane.dl_assignments.push_back(
+      DlAssignment{UeId{100}, 2, 5000, HarqId{3}, true});
+  p.cplane.ul_grants.push_back(UlGrant{UeId{101}, 12345, 1, 2000, HarqId{1}, false});
+  p.cplane.uci.push_back(UciFeedback{UeId{100}, HarqId{2}, true});
+  return p;
+}
+
+TEST(Fronthaul, CPlaneRoundtrip) {
+  const auto original = make_cplane_packet();
+  const auto bytes = serialize_fronthaul(original);
+  const auto parsed = parse_fronthaul(bytes);
+
+  EXPECT_EQ(parsed.header.direction, FhDirection::kDownlink);
+  EXPECT_EQ(parsed.header.plane, FhPlane::kControl);
+  EXPECT_EQ(parsed.header.slot, (SlotPoint{17, 3, 1}));
+  EXPECT_EQ(parsed.header.ru, RuId{9});
+  ASSERT_EQ(parsed.cplane.dl_assignments.size(), 1U);
+  EXPECT_EQ(parsed.cplane.dl_assignments[0].ue, UeId{100});
+  EXPECT_EQ(parsed.cplane.dl_assignments[0].tb_bytes, 5000U);
+  ASSERT_EQ(parsed.cplane.ul_grants.size(), 1U);
+  EXPECT_EQ(parsed.cplane.ul_grants[0].target_slot, 12345);
+  EXPECT_FALSE(parsed.cplane.ul_grants[0].new_data);
+  ASSERT_EQ(parsed.cplane.uci.size(), 1U);
+  EXPECT_TRUE(parsed.cplane.uci[0].ack);
+}
+
+TEST(Fronthaul, UPlaneRoundtripWithIq) {
+  FronthaulPacket p;
+  p.header.direction = FhDirection::kUplink;
+  p.header.plane = FhPlane::kUser;
+  p.header.slot = SlotPoint{1023, 9, 1};  // max header values
+  p.header.symbol = 13;
+  p.header.ru = RuId{255};
+  UPlaneSection s;
+  s.ue = UeId{7};
+  s.harq = HarqId{5};
+  s.new_data = false;
+  s.mcs = 3;
+  s.tb_bytes = 9999;
+  s.codeword_bits = 648;
+  s.iq = {{1.5F, -2.5F}, {0.0F, 3.25F}};
+  s.shadow_payload = {0xDE, 0xAD};
+  p.uplane.sections.push_back(s);
+
+  const auto parsed = parse_fronthaul(serialize_fronthaul(p));
+  ASSERT_EQ(parsed.uplane.sections.size(), 1U);
+  const auto& ps = parsed.uplane.sections[0];
+  EXPECT_EQ(ps.ue, UeId{7});
+  EXPECT_EQ(ps.codeword_bits, 648U);
+  ASSERT_EQ(ps.iq.size(), 2U);
+  EXPECT_FLOAT_EQ(ps.iq[0].real(), 1.5F);
+  EXPECT_FLOAT_EQ(ps.iq[1].imag(), 3.25F);
+  EXPECT_EQ(ps.shadow_payload, (std::vector<std::uint8_t>{0xDE, 0xAD}));
+}
+
+TEST(Fronthaul, EmptyCPlaneIsValid) {
+  FronthaulPacket p;
+  p.header.plane = FhPlane::kControl;
+  const auto parsed = parse_fronthaul(serialize_fronthaul(p));
+  EXPECT_TRUE(parsed.cplane.dl_assignments.empty());
+  EXPECT_TRUE(parsed.cplane.ul_grants.empty());
+}
+
+TEST(Fronthaul, PeekHeaderWithoutFullParse) {
+  const auto p = make_cplane_packet();
+  const auto bytes = serialize_fronthaul(p);
+  const auto header = peek_fronthaul_header(bytes);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->slot, (SlotPoint{17, 3, 1}));
+  EXPECT_EQ(header->ru, RuId{9});
+  EXPECT_EQ(header->direction, FhDirection::kDownlink);
+}
+
+TEST(Fronthaul, PeekHeaderRejectsGarbage) {
+  const std::vector<std::uint8_t> junk{0x00, 0x01, 0x02};
+  EXPECT_FALSE(peek_fronthaul_header(junk).has_value());
+  const std::vector<std::uint8_t> wrong_version(32, 0xFF);
+  EXPECT_FALSE(peek_fronthaul_header(wrong_version).has_value());
+}
+
+TEST(Fronthaul, ParseTruncatedThrows) {
+  auto bytes = serialize_fronthaul(make_cplane_packet());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW((void)parse_fronthaul(bytes), std::out_of_range);
+}
+
+TEST(Fronthaul, MakeFrameSetsEthernetFields) {
+  const auto frame = make_fronthaul_frame(MacAddr{0xA}, MacAddr{0xB},
+                                          make_cplane_packet());
+  EXPECT_EQ(frame.eth.src, MacAddr{0xA});
+  EXPECT_EQ(frame.eth.dst, MacAddr{0xB});
+  EXPECT_EQ(frame.eth.ethertype, EtherType::kEcpri);
+  EXPECT_TRUE(peek_fronthaul_header(frame.payload).has_value());
+}
+
+}  // namespace
+}  // namespace slingshot

@@ -1,0 +1,263 @@
+#include "l2/l2.h"
+
+#include <gtest/gtest.h>
+
+namespace slingshot {
+namespace {
+
+struct FapiCapture final : FapiSink {
+  std::vector<FapiMessage> messages;
+  void on_fapi(FapiMessage&& msg) override {
+    messages.push_back(std::move(msg));
+  }
+  [[nodiscard]] int count(FapiMsgType type) const {
+    int n = 0;
+    for (const auto& m : messages) {
+      n += m.type() == type ? 1 : 0;
+    }
+    return n;
+  }
+  [[nodiscard]] const FapiMessage* last(FapiMsgType type) const {
+    for (auto it = messages.rbegin(); it != messages.rend(); ++it) {
+      if (it->type() == type) {
+        return &*it;
+      }
+    }
+    return nullptr;
+  }
+};
+
+struct L2Fixture {
+  Simulator sim;
+  L2Config config;
+  L2Process l2{sim, "l2-test", config};
+  ShmFapiPipe pipe{sim};
+  FapiCapture capture;
+
+  L2Fixture() {
+    pipe.connect(&capture);
+    l2.connect_fapi_out(&pipe);
+    l2.power_on();
+    l2.start_carrier(CarrierConfig{RuId{1}});
+  }
+};
+
+TEST(L2Process, SendsConfigAndStartOnCarrierStart) {
+  L2Fixture f;
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(f.capture.count(FapiMsgType::kConfigRequest), 1);
+  EXPECT_EQ(f.capture.count(FapiMsgType::kStartRequest), 1);
+}
+
+TEST(L2Process, EmitsBothTtiRequestsEverySlot) {
+  // The FAPI contract: UL_TTI and DL_TTI for every slot, even with no
+  // UEs and no traffic (these are what null requests look like).
+  L2Fixture f;
+  f.sim.run_until(10'500_us);  // 20 full slots
+  const int dl = f.capture.count(FapiMsgType::kDlTtiRequest);
+  const int ul = f.capture.count(FapiMsgType::kUlTtiRequest);
+  EXPECT_GE(dl, 19);
+  EXPECT_EQ(dl, ul);
+}
+
+TEST(L2Process, RequestsTargetFutureSlots) {
+  L2Fixture f;
+  f.sim.run_until(5'000_us);
+  for (const auto& msg : f.capture.messages) {
+    if (msg.type() == FapiMsgType::kDlTtiRequest) {
+      // Sent at slot b for slot b + advance.
+      const auto sent_slot = msg.slot - f.config.fapi_advance_slots;
+      EXPECT_GE(msg.slot, sent_slot);
+    }
+  }
+}
+
+TEST(L2Process, GrantsUplinkToKnownUes) {
+  L2Fixture f;
+  f.l2.add_ue(UeId{7}, RuId{1});
+  f.sim.run_until(20_ms);
+  bool found_grant = false;
+  for (const auto& msg : f.capture.messages) {
+    if (msg.type() == FapiMsgType::kUlTtiRequest) {
+      const auto& req = std::get<UlTtiRequest>(msg.body);
+      for (const auto& pdu : req.pdus) {
+        EXPECT_EQ(pdu.ue, UeId{7});
+        EXPECT_TRUE(f.config.slots.is_uplink(msg.slot));
+        found_grant = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_grant);
+}
+
+TEST(L2Process, UlGrantDciRidesInEarlierDlTti) {
+  L2Fixture f;
+  f.l2.add_ue(UeId{7}, RuId{1});
+  f.sim.run_until(20_ms);
+  bool found_dci = false;
+  for (const auto& msg : f.capture.messages) {
+    if (msg.type() == FapiMsgType::kDlTtiRequest) {
+      for (const auto& dci : std::get<DlTtiRequest>(msg.body).ul_dci) {
+        EXPECT_GT(dci.target_slot, msg.slot);  // announced ahead of PUSCH
+        found_dci = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_dci);
+}
+
+TEST(L2Process, SchedulesDownlinkDataWithPayload) {
+  L2Fixture f;
+  f.l2.add_ue(UeId{7}, RuId{1});
+  f.l2.send_downlink(UeId{7}, std::vector<std::uint8_t>(500, 0xAB));
+  f.sim.run_until(10_ms);
+  const auto* tx = f.capture.last(FapiMsgType::kTxDataRequest);
+  ASSERT_NE(tx, nullptr);
+  const auto& payloads = std::get<TxDataRequest>(tx->body).payloads;
+  ASSERT_EQ(payloads.size(), 1U);
+  const auto sdus = rlc_unpack(payloads[0]);
+  ASSERT_EQ(sdus.size(), 1U);
+  EXPECT_EQ(sdus[0].bytes.size(), 500U);
+  EXPECT_EQ(f.l2.dl_queue_bytes(UeId{7}), 0U);
+}
+
+TEST(L2Process, DownlinkToUnknownUeDropped) {
+  L2Fixture f;
+  f.l2.send_downlink(UeId{99}, {1, 2, 3});
+  f.sim.run_until(10_ms);
+  EXPECT_EQ(f.capture.count(FapiMsgType::kTxDataRequest), 0);
+}
+
+TEST(L2Process, CrcFailureSchedulesRetransmission) {
+  L2Fixture f;
+  f.l2.add_ue(UeId{7}, RuId{1});
+  f.sim.run_until(20_ms);
+  // Find the first real UL grant and nack it.
+  const FapiMessage* grant_msg = nullptr;
+  for (const auto& msg : f.capture.messages) {
+    if (msg.type() == FapiMsgType::kUlTtiRequest &&
+        !std::get<UlTtiRequest>(msg.body).pdus.empty()) {
+      grant_msg = &msg;
+      break;
+    }
+  }
+  ASSERT_NE(grant_msg, nullptr);
+  const auto pdu = std::get<UlTtiRequest>(grant_msg->body).pdus[0];
+  f.l2.on_fapi(FapiMessage{
+      RuId{1}, grant_msg->slot,
+      CrcIndication{{CrcEntry{pdu.ue, pdu.harq, false, 15.0F}}}});
+  const auto before = f.capture.messages.size();
+  f.sim.run_until(f.sim.now() + 10_ms);
+  bool found_retx = false;
+  for (std::size_t i = before; i < f.capture.messages.size(); ++i) {
+    const auto& msg = f.capture.messages[i];
+    if (msg.type() == FapiMsgType::kUlTtiRequest) {
+      for (const auto& p : std::get<UlTtiRequest>(msg.body).pdus) {
+        if (p.harq == pdu.harq && !p.new_data) {
+          found_retx = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found_retx);
+  EXPECT_GE(f.l2.stats().ul_retx, 1);
+}
+
+TEST(L2Process, CrcSnrFeedsLinkAdaptation) {
+  L2Fixture f;
+  f.l2.add_ue(UeId{7}, RuId{1});
+  f.sim.run_until(20_ms);
+  EXPECT_NEAR(f.l2.reported_snr_db(UeId{7}), f.config.default_snr_db, 0.1);
+  f.l2.on_fapi(FapiMessage{
+      RuId{1}, 100,
+      CrcIndication{{CrcEntry{UeId{7}, HarqId{0}, true, 22.5F}}}});
+  EXPECT_NEAR(f.l2.reported_snr_db(UeId{7}), 22.5, 0.1);
+}
+
+TEST(L2Process, RxDataFlowsToUplinkSink) {
+  L2Fixture f;
+  f.l2.add_ue(UeId{7}, RuId{1});
+  std::vector<std::vector<std::uint8_t>> received;
+  f.l2.set_uplink_sink([&](UeId ue, std::vector<std::uint8_t> sdu) {
+    EXPECT_EQ(ue, UeId{7});
+    received.push_back(std::move(sdu));
+  });
+  // Build an RLC-framed payload as the UE would.
+  RlcTx tx;
+  std::deque<RlcSdu> queue;
+  queue.push_back(RlcSdu{kRlcSnUnassigned, {0xDE, 0xAD}});
+  auto payload = tx.pack(queue, 64);
+  RxDataIndication ind;
+  ind.pdus.push_back(RxPdu{UeId{7}, HarqId{0}, std::move(payload)});
+  f.l2.on_fapi(FapiMessage{RuId{1}, 100, std::move(ind)});
+  ASSERT_EQ(received.size(), 1U);
+  EXPECT_EQ(received[0], (std::vector<std::uint8_t>{0xDE, 0xAD}));
+}
+
+TEST(L2Process, DlHarqExhaustionRequeuesSdus) {
+  L2Fixture f;
+  f.l2.add_ue(UeId{7}, RuId{1});
+  f.l2.send_downlink(UeId{7}, std::vector<std::uint8_t>(100, 0x11));
+  f.sim.run_until(10_ms);
+  const auto* dl = f.capture.last(FapiMsgType::kDlTtiRequest);
+  // Find the scheduled TB's HARQ id.
+  const FapiMessage* scheduled = nullptr;
+  for (const auto& msg : f.capture.messages) {
+    if (msg.type() == FapiMsgType::kDlTtiRequest &&
+        !std::get<DlTtiRequest>(msg.body).pdus.empty()) {
+      scheduled = &msg;
+      break;
+    }
+  }
+  ASSERT_NE(scheduled, nullptr);
+  (void)dl;
+  const auto pdu = std::get<DlTtiRequest>(scheduled->body).pdus[0];
+  // NACK it max_harq_retx + 1 times.
+  for (int i = 0; i <= f.config.max_harq_retx; ++i) {
+    f.l2.on_fapi(FapiMessage{
+        RuId{1}, scheduled->slot + i,
+        UciIndication{{UciEntry{pdu.ue, pdu.harq, false}}}});
+    f.sim.run_until(f.sim.now() + 5_ms);
+  }
+  // RLC-AM requeued the SDUs rather than dropping them.
+  EXPECT_GE(f.l2.stats().dl_rlc_requeues, 1);
+  EXPECT_GE(f.l2.stats().dl_tbs_lost, 1);
+}
+
+TEST(L2Process, StaleUlHarqReapedAndLogged) {
+  L2Fixture f;
+  f.l2.add_ue(UeId{7}, RuId{1});
+  // Grants are issued but no CRC indications ever arrive (dead PHY).
+  f.sim.run_until(100_ms);
+  EXPECT_GT(f.l2.stats().ul_tbs_lost, 0);
+  bool found_undelivered = false;
+  for (const auto& rec : f.l2.harq_log()) {
+    if (!rec.delivered) {
+      found_undelivered = true;
+    }
+  }
+  EXPECT_TRUE(found_undelivered);
+}
+
+TEST(L2Process, RemoveUeStopsScheduling) {
+  L2Fixture f;
+  f.l2.add_ue(UeId{7}, RuId{1});
+  f.sim.run_until(20_ms);
+  f.l2.remove_ue(UeId{7});
+  const auto before = f.l2.stats().ul_tbs_granted;
+  f.sim.run_until(40_ms);
+  EXPECT_EQ(f.l2.stats().ul_tbs_granted, before);
+  EXPECT_FALSE(f.l2.has_ue(UeId{7}));
+}
+
+TEST(L2Process, DlQueueOverflowDropsSdus) {
+  L2Fixture f;
+  f.l2.add_ue(UeId{7}, RuId{1});
+  for (int i = 0; i < 4000; ++i) {
+    f.l2.send_downlink(UeId{7}, std::vector<std::uint8_t>(1400, 1));
+  }
+  EXPECT_GT(f.l2.stats().dl_sdus_dropped_overflow, 0);
+}
+
+}  // namespace
+}  // namespace slingshot

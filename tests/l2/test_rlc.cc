@@ -1,0 +1,172 @@
+#include "l2/rlc.h"
+
+#include <gtest/gtest.h>
+
+namespace slingshot {
+namespace {
+
+std::deque<RlcSdu> make_queue(std::initializer_list<std::size_t> sizes) {
+  std::deque<RlcSdu> queue;
+  std::uint8_t fill = 1;
+  for (const auto size : sizes) {
+    queue.push_back(
+        RlcSdu{kRlcSnUnassigned, std::vector<std::uint8_t>(size, fill++)});
+  }
+  return queue;
+}
+
+TEST(RlcTx, PacksWholeSdusWithSequenceNumbers) {
+  RlcTx tx;
+  auto queue = make_queue({10, 20, 30});
+  const auto tb = tx.pack(queue, 100);
+  EXPECT_EQ(tb.size(), 100U);
+  EXPECT_TRUE(queue.empty());
+  const auto sdus = rlc_unpack(tb);
+  ASSERT_EQ(sdus.size(), 3U);
+  EXPECT_EQ(sdus[0].sn, 0U);
+  EXPECT_EQ(sdus[1].sn, 1U);
+  EXPECT_EQ(sdus[2].sn, 2U);
+  EXPECT_EQ(sdus[0].bytes.size(), 10U);
+  EXPECT_EQ(sdus[2].bytes.size(), 30U);
+  EXPECT_EQ(tx.next_sn(), 3U);
+}
+
+TEST(RlcTx, RespectsTbCapacity) {
+  RlcTx tx;
+  auto queue = make_queue({50, 50, 50});
+  const auto tb = tx.pack(queue, 120);  // fits two (2 x (6+50) = 112)
+  const auto sdus = rlc_unpack(tb);
+  EXPECT_EQ(sdus.size(), 2U);
+  EXPECT_EQ(queue.size(), 1U);  // third remains queued
+}
+
+TEST(RlcTx, PreservesPreAssignedSn) {
+  RlcTx tx;
+  auto queue = make_queue({10});
+  (void)tx.pack(queue, 50);  // consumes SN 0
+  // A retransmitted SDU with its original SN jumps the queue.
+  std::deque<RlcSdu> retx;
+  retx.push_back(RlcSdu{0, std::vector<std::uint8_t>(10, 0xAA)});
+  retx.push_back(RlcSdu{kRlcSnUnassigned, std::vector<std::uint8_t>(10, 0xBB)});
+  const auto tb = tx.pack(retx, 100);
+  const auto sdus = rlc_unpack(tb);
+  ASSERT_EQ(sdus.size(), 2U);
+  EXPECT_EQ(sdus[0].sn, 0U);  // kept
+  EXPECT_EQ(sdus[1].sn, 1U);  // fresh
+}
+
+TEST(RlcTx, EmptyQueueYieldsPurePadding) {
+  RlcTx tx;
+  std::deque<RlcSdu> queue;
+  const auto tb = tx.pack(queue, 64);
+  EXPECT_EQ(tb.size(), 64U);
+  EXPECT_TRUE(rlc_unpack(tb).empty());
+}
+
+TEST(RlcRx, InOrderDeliversImmediately) {
+  Simulator sim;
+  std::vector<std::uint8_t> delivered;
+  RlcRx rx{sim, 30_ms, [&](std::vector<std::uint8_t> sdu) {
+             delivered.push_back(sdu[0]);
+           }};
+  rx.on_sdu(RlcSdu{0, {10}});
+  rx.on_sdu(RlcSdu{1, {11}});
+  EXPECT_EQ(delivered, (std::vector<std::uint8_t>{10, 11}));
+  EXPECT_EQ(rx.buffered(), 0U);
+}
+
+TEST(RlcRx, OutOfOrderHeldThenDrained) {
+  Simulator sim;
+  std::vector<std::uint8_t> delivered;
+  RlcRx rx{sim, 30_ms, [&](std::vector<std::uint8_t> sdu) {
+             delivered.push_back(sdu[0]);
+           }};
+  rx.on_sdu(RlcSdu{1, {11}});
+  rx.on_sdu(RlcSdu{2, {12}});
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(rx.buffered(), 2U);
+  rx.on_sdu(RlcSdu{0, {10}});  // gap fills: everything drains in order
+  EXPECT_EQ(delivered, (std::vector<std::uint8_t>{10, 11, 12}));
+}
+
+TEST(RlcRx, TimerSkipsGenuineLoss) {
+  Simulator sim;
+  std::vector<std::uint8_t> delivered;
+  RlcRx rx{sim, 30_ms, [&](std::vector<std::uint8_t> sdu) {
+             delivered.push_back(sdu[0]);
+           }};
+  rx.on_sdu(RlcSdu{2, {12}});  // SNs 0 and 1 lost
+  sim.run_until(29_ms);
+  EXPECT_TRUE(delivered.empty());
+  sim.run_until(35_ms);
+  EXPECT_EQ(delivered, (std::vector<std::uint8_t>{12}));
+  EXPECT_EQ(rx.skipped(), 2U);
+  EXPECT_EQ(rx.expected_sn(), 3U);
+}
+
+TEST(RlcRx, LateRetransmissionBeatsTimer) {
+  // The RLC-AM scenario: the gap's retransmission (same SN) arrives
+  // before t-Reordering expires — delivery resumes without a skip.
+  Simulator sim;
+  std::vector<std::uint8_t> delivered;
+  RlcRx rx{sim, 50_ms, [&](std::vector<std::uint8_t> sdu) {
+             delivered.push_back(sdu[0]);
+           }};
+  rx.on_sdu(RlcSdu{1, {11}});
+  rx.on_sdu(RlcSdu{2, {12}});
+  sim.run_until(25_ms);
+  rx.on_sdu(RlcSdu{0, {10}});  // retransmission fills the gap
+  sim.run_until(100_ms);
+  EXPECT_EQ(delivered, (std::vector<std::uint8_t>{10, 11, 12}));
+  EXPECT_EQ(rx.skipped(), 0U);
+}
+
+TEST(RlcRx, DuplicatesDropped) {
+  Simulator sim;
+  int count = 0;
+  RlcRx rx{sim, 30_ms, [&](std::vector<std::uint8_t>) { ++count; }};
+  rx.on_sdu(RlcSdu{0, {1}});
+  rx.on_sdu(RlcSdu{0, {1}});
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(rx.duplicates(), 1U);
+}
+
+TEST(RlcRx, ResetClearsState) {
+  Simulator sim;
+  int count = 0;
+  RlcRx rx{sim, 30_ms, [&](std::vector<std::uint8_t>) { ++count; }};
+  rx.on_sdu(RlcSdu{5, {1}});
+  rx.reset();
+  EXPECT_EQ(rx.buffered(), 0U);
+  rx.on_sdu(RlcSdu{0, {1}});  // fresh numbering accepted
+  EXPECT_EQ(count, 1);
+  sim.run_until(100_ms);  // no stale timer skip fires
+  EXPECT_EQ(rx.skipped(), 0U);
+}
+
+TEST(RlcRoundtrip, ManySdusThroughMultipleTbs) {
+  RlcTx tx;
+  std::deque<RlcSdu> queue;
+  for (int i = 0; i < 40; ++i) {
+    queue.push_back(RlcSdu{
+        kRlcSnUnassigned,
+        std::vector<std::uint8_t>(std::size_t(20 + i), std::uint8_t(i))});
+  }
+  Simulator sim;
+  std::vector<std::size_t> sizes;
+  RlcRx rx{sim, 30_ms, [&](std::vector<std::uint8_t> sdu) {
+             sizes.push_back(sdu.size());
+           }};
+  while (!queue.empty()) {
+    for (auto& sdu : rlc_unpack(tx.pack(queue, 200))) {
+      rx.on_sdu(std::move(sdu));
+    }
+  }
+  ASSERT_EQ(sizes.size(), 40U);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(sizes[std::size_t(i)], std::size_t(20 + i));
+  }
+}
+
+}  // namespace
+}  // namespace slingshot

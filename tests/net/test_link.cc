@@ -1,0 +1,139 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include "net/nic.h"
+
+namespace slingshot {
+namespace {
+
+struct Collector final : FrameSink {
+  std::vector<Packet> frames;
+  std::vector<Nanos> times;
+  Simulator* sim = nullptr;
+  void handle_frame(Packet&& p) override {
+    frames.push_back(std::move(p));
+    times.push_back(sim->now());
+  }
+};
+
+Packet make_test_packet(std::size_t payload_size) {
+  Packet p;
+  p.eth.dst = MacAddr{0x2};
+  p.eth.src = MacAddr{0x1};
+  p.payload.assign(payload_size, 0xAB);
+  return p;
+}
+
+TEST(Link, DeliversWithLatencyAndSerialization) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e9;  // 1 Gbps: 8 ns per byte
+  cfg.propagation_delay = 1'000;
+  Link link{sim, cfg, sim.rng().stream("loss")};
+  Collector rx;
+  rx.sim = &sim;
+  link.attach_b(&rx);
+
+  link.send_from_a(make_test_packet(100));  // wire size 118 B
+  sim.run_until(1_s);
+  ASSERT_EQ(rx.frames.size(), 1U);
+  // 118 bytes * 8 ns = 944 ns tx + 1000 ns propagation.
+  EXPECT_EQ(rx.times[0], 944 + 1'000);
+}
+
+TEST(Link, BackToBackFramesQueue) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.propagation_delay = 0;
+  Link link{sim, cfg, sim.rng().stream("loss")};
+  Collector rx;
+  rx.sim = &sim;
+  link.attach_b(&rx);
+
+  link.send_from_a(make_test_packet(1000));  // 1018 B -> 8144 ns
+  link.send_from_a(make_test_packet(1000));
+  sim.run_until(1_s);
+  ASSERT_EQ(rx.frames.size(), 2U);
+  EXPECT_EQ(rx.times[1] - rx.times[0], 8'144);
+}
+
+TEST(Link, FullDuplexDirectionsIndependent) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.propagation_delay = 100;
+  Link link{sim, cfg, sim.rng().stream("loss")};
+  Collector a;
+  Collector b;
+  a.sim = &sim;
+  b.sim = &sim;
+  link.attach_a(&a);
+  link.attach_b(&b);
+
+  link.send_from_a(make_test_packet(100));
+  link.send_from_b(make_test_packet(100));
+  sim.run_until(1_s);
+  ASSERT_EQ(a.frames.size(), 1U);
+  ASSERT_EQ(b.frames.size(), 1U);
+  EXPECT_EQ(a.times[0], b.times[0]);  // no shared serialization queue
+}
+
+TEST(Link, LossDropsApproximatelyAtConfiguredRate) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.loss_probability = 0.2;
+  Link link{sim, cfg, sim.rng().stream("loss")};
+  Collector rx;
+  rx.sim = &sim;
+  link.attach_b(&rx);
+  for (int i = 0; i < 2000; ++i) {
+    link.send_from_a(make_test_packet(10));
+  }
+  sim.run_until(1_s);
+  EXPECT_NEAR(double(rx.frames.size()) / 2000.0, 0.8, 0.05);
+  EXPECT_EQ(link.frames_dropped() + link.frames_delivered(), 2000U);
+}
+
+TEST(Link, UnattachedSideDrops) {
+  Simulator sim;
+  Link link{sim, {}, sim.rng().stream("loss")};
+  link.send_from_a(make_test_packet(10));
+  sim.run_until(1_ms);
+  EXPECT_EQ(link.frames_dropped(), 1U);
+}
+
+TEST(Nic, SendStampsSourceAndCounts) {
+  Simulator sim;
+  Link link{sim, {}, sim.rng().stream("loss")};
+  Nic nic{sim, MacAddr{0xAA}};
+  nic.attach(link);
+  Collector rx;
+  rx.sim = &sim;
+  link.attach_b(&rx);
+
+  Packet p = make_test_packet(64);
+  p.eth.src = MacAddr{0xFF};  // should be overwritten by the NIC
+  nic.send(std::move(p));
+  sim.run_until(1_ms);
+  ASSERT_EQ(rx.frames.size(), 1U);
+  EXPECT_EQ(rx.frames[0].eth.src, MacAddr{0xAA});
+  EXPECT_EQ(nic.tx_frames(), 1U);
+}
+
+TEST(Nic, ReceivesViaHandler) {
+  Simulator sim;
+  Link link{sim, {}, sim.rng().stream("loss")};
+  Nic nic{sim, MacAddr{0xBB}};
+  nic.attach(link);
+  int received = 0;
+  nic.set_rx_handler([&](Packet&&) { ++received; });
+  link.send_from_b(make_test_packet(10));
+  sim.run_until(1_ms);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(nic.rx_frames(), 1U);
+}
+
+}  // namespace
+}  // namespace slingshot

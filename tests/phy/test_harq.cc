@@ -1,0 +1,65 @@
+#include "phy/harq.h"
+
+#include <gtest/gtest.h>
+
+namespace slingshot {
+namespace {
+
+TEST(HarqSoftBufferStore, StoreAndFind) {
+  HarqSoftBufferStore store;
+  EXPECT_EQ(store.find(UeId{1}, HarqId{0}), nullptr);
+  store.store(UeId{1}, HarqId{0}, {1.0F, -2.0F});
+  const auto* entry = store.find(UeId{1}, HarqId{0});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->llrs, (std::vector<float>{1.0F, -2.0F}));
+  EXPECT_EQ(entry->transmissions, 1);
+}
+
+TEST(HarqSoftBufferStore, ProcessesAreIndependent) {
+  HarqSoftBufferStore store;
+  store.store(UeId{1}, HarqId{0}, {1.0F});
+  store.store(UeId{1}, HarqId{1}, {2.0F});
+  store.store(UeId{2}, HarqId{0}, {3.0F});
+  EXPECT_EQ(store.active_processes(), 3U);
+  EXPECT_EQ(store.find(UeId{1}, HarqId{1})->llrs[0], 2.0F);
+  EXPECT_EQ(store.find(UeId{2}, HarqId{0})->llrs[0], 3.0F);
+}
+
+TEST(HarqSoftBufferStore, StartNewDropsOldSoftBits) {
+  HarqSoftBufferStore store;
+  store.store(UeId{5}, HarqId{2}, {9.0F});
+  store.start_new(UeId{5}, HarqId{2});
+  EXPECT_EQ(store.find(UeId{5}, HarqId{2}), nullptr);
+}
+
+TEST(HarqSoftBufferStore, TransmissionsCountAcrossRetx) {
+  HarqSoftBufferStore store;
+  store.store(UeId{1}, HarqId{0}, {1.0F});
+  store.store(UeId{1}, HarqId{0}, {1.5F});
+  EXPECT_EQ(store.find(UeId{1}, HarqId{0})->transmissions, 2);
+}
+
+TEST(HarqSoftBufferStore, ReleaseRemovesProcess) {
+  HarqSoftBufferStore store;
+  store.store(UeId{1}, HarqId{0}, {1.0F});
+  store.release(UeId{1}, HarqId{0});
+  EXPECT_EQ(store.find(UeId{1}, HarqId{0}), nullptr);
+  EXPECT_EQ(store.active_processes(), 0U);
+}
+
+TEST(HarqSoftBufferStore, ClearDiscardsEverything) {
+  // What PHY migration implies: the destination starts empty.
+  HarqSoftBufferStore store;
+  for (std::uint16_t ue = 0; ue < 8; ++ue) {
+    for (std::uint8_t h = 0; h < 8; ++h) {
+      store.store(UeId{ue}, HarqId{h}, {float(ue), float(h)});
+    }
+  }
+  EXPECT_EQ(store.active_processes(), 64U);
+  store.clear();
+  EXPECT_EQ(store.active_processes(), 0U);
+  EXPECT_EQ(store.find(UeId{3}, HarqId{3}), nullptr);
+}
+
+}  // namespace
+}  // namespace slingshot

@@ -1,0 +1,133 @@
+#include "phy/modulation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace slingshot {
+namespace {
+
+class ModulationSweep : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(ModulationSweep, UnitAverageEnergy) {
+  const Modulator mod{GetParam()};
+  auto rng = RngRegistry{1}.stream("mod");
+  std::vector<std::uint8_t> bits(
+      std::size_t(bits_per_symbol(GetParam())) * 4096);
+  for (auto& b : bits) {
+    b = std::uint8_t(rng.next_u64() & 1U);
+  }
+  const auto syms = mod.modulate(bits);
+  RunningStats energy;
+  for (const auto& s : syms) {
+    energy.add(std::norm(s));
+  }
+  EXPECT_NEAR(energy.mean(), 1.0, 0.05);
+}
+
+TEST_P(ModulationSweep, NoiselessDemapRecoversBits) {
+  const Modulator mod{GetParam()};
+  auto rng = RngRegistry{2}.stream("mod");
+  std::vector<std::uint8_t> bits(std::size_t(bits_per_symbol(GetParam())) * 64);
+  for (auto& b : bits) {
+    b = std::uint8_t(rng.next_u64() & 1U);
+  }
+  const auto syms = mod.modulate(bits);
+  const auto llrs = mod.demap(syms, 1e-4);
+  ASSERT_EQ(llrs.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // Positive LLR => bit 0.
+    EXPECT_EQ(llrs[i] < 0.0F ? 1 : 0, bits[i]) << "bit " << i;
+  }
+}
+
+TEST_P(ModulationSweep, LlrMagnitudeScalesWithNoise) {
+  const Modulator mod{GetParam()};
+  std::vector<std::uint8_t> bits(std::size_t(bits_per_symbol(GetParam())), 0);
+  const auto syms = mod.modulate(bits);
+  const auto clean = mod.demap(syms, 0.01);
+  const auto noisy = mod.demap(syms, 1.0);
+  EXPECT_GT(std::fabs(clean[0]), std::fabs(noisy[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, ModulationSweep,
+                         ::testing::Values(Modulation::kQpsk,
+                                           Modulation::kQam16,
+                                           Modulation::kQam64,
+                                           Modulation::kQam256),
+                         [](const auto& info) {
+                           return modulation_name(info.param);
+                         });
+
+TEST(Modulation, SymbolCounts) {
+  std::vector<std::uint8_t> bits(24, 0);
+  EXPECT_EQ(Modulator{Modulation::kQpsk}.modulate(bits).size(), 12U);
+  EXPECT_EQ(Modulator{Modulation::kQam16}.modulate(bits).size(), 6U);
+  EXPECT_EQ(Modulator{Modulation::kQam64}.modulate(bits).size(), 4U);
+  EXPECT_EQ(Modulator{Modulation::kQam256}.modulate(bits).size(), 3U);
+}
+
+TEST(Modulation, QpskConstellationPoints) {
+  const Modulator mod{Modulation::kQpsk};
+  const float a = float(1.0 / std::sqrt(2.0));
+  const auto s00 = mod.modulate(std::vector<std::uint8_t>{0, 0});
+  EXPECT_NEAR(std::abs(s00[0].real()), a, 1e-5);
+  EXPECT_NEAR(std::abs(s00[0].imag()), a, 1e-5);
+}
+
+TEST(Modulation, GrayNeighborsDifferInOneBit) {
+  // Adjacent 16QAM levels on one dimension must differ in exactly one
+  // bit — the property that makes soft demapping robust.
+  const Modulator mod{Modulation::kQam16};
+  // Collect (level, bits) for one dimension by modulating all patterns.
+  std::vector<std::pair<float, unsigned>> dim;
+  for (unsigned p = 0; p < 4; ++p) {
+    const std::vector<std::uint8_t> bits{
+        std::uint8_t((p >> 1) & 1U), std::uint8_t(p & 1U), 0, 0};
+    const auto s = mod.modulate(bits);
+    dim.emplace_back(s[0].real(), p);
+  }
+  std::sort(dim.begin(), dim.end());
+  for (std::size_t i = 1; i < dim.size(); ++i) {
+    EXPECT_EQ(__builtin_popcount(dim[i - 1].second ^ dim[i].second), 1);
+  }
+}
+
+TEST(Modulation, WrongBitCountThrows) {
+  const Modulator mod{Modulation::kQam64};
+  EXPECT_THROW((void)mod.modulate(std::vector<std::uint8_t>(5)),
+               std::invalid_argument);
+}
+
+TEST(Modulation, HigherOrderNeedsMoreSnr) {
+  // Bit error rate after hard-slicing LLRs at the same SNR should be
+  // worse for 256QAM than QPSK — the physics behind the MCS ladder.
+  auto rng = RngRegistry{3}.stream("mod");
+  auto ber_at = [&](Modulation m, double snr_db) {
+    const Modulator mod{m};
+    const int n_bits = bits_per_symbol(m) * 2000;
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(n_bits));
+    for (auto& b : bits) {
+      b = std::uint8_t(rng.next_u64() & 1U);
+    }
+    auto syms = mod.modulate(bits);
+    const double sigma2 = std::pow(10.0, -snr_db / 10.0);
+    const double sigma = std::sqrt(sigma2 / 2.0);
+    for (auto& s : syms) {
+      s += std::complex<float>(float(rng.gaussian(0, sigma)),
+                               float(rng.gaussian(0, sigma)));
+    }
+    const auto llrs = mod.demap(syms, sigma2);
+    int errors = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      errors += (llrs[i] < 0.0F ? 1 : 0) != bits[i] ? 1 : 0;
+    }
+    return double(errors) / double(n_bits);
+  };
+  EXPECT_LT(ber_at(Modulation::kQpsk, 10.0),
+            ber_at(Modulation::kQam256, 10.0));
+}
+
+}  // namespace
+}  // namespace slingshot

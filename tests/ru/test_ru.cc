@@ -1,0 +1,183 @@
+#include "ru/ru.h"
+
+#include <gtest/gtest.h>
+
+#include "net/nic.h"
+#include "phy/tb_codec.h"
+
+namespace slingshot {
+namespace {
+
+struct RuFixture {
+  Simulator sim;
+  Link link{sim, LinkConfig{}, sim.rng().stream("loss")};
+  Nic nic{sim, MacAddr{0xA1}};
+  RuConfig config;
+  std::unique_ptr<RadioUnit> ru;
+  std::unique_ptr<UserEquipment> ue;
+  std::vector<Packet> uplink_tx;  // frames the RU sent toward the switch
+  struct TxSink final : FrameSink {
+    RuFixture* owner;
+    void handle_frame(Packet&& p) override {
+      owner->uplink_tx.push_back(std::move(p));
+    }
+  } tx_sink;
+
+  RuFixture() {
+    config.id = RuId{1};
+    config.virtual_phy_mac = MacAddr{0xBF};
+    nic.attach(link);
+    tx_sink.owner = this;
+    link.attach_b(&tx_sink);
+    ru = std::make_unique<RadioUnit>(sim, "ru-test", config, nic);
+
+    UeConfig ue_cfg;
+    ue_cfg.id = UeId{1};
+    ue_cfg.processing_jitter = 0;
+    FadingConfig fading;
+    fading.mean_snr_db = 30.0;
+    ue = std::make_unique<UserEquipment>(sim, "ue", ue_cfg, fading,
+                                         sim.rng().stream("chan"));
+    ru->attach_ue(ue.get());
+    ru->power_on();
+    ue->power_on();
+  }
+
+  void deliver_dl(FronthaulPacket packet, std::uint64_t src = 0xB1) {
+    link.send_from_b(
+        make_fronthaul_frame(MacAddr{src}, MacAddr{0xA1}, packet));
+  }
+
+  [[nodiscard]] FronthaulPacket dl_control(std::int64_t slot) const {
+    FronthaulPacket p;
+    p.header.direction = FhDirection::kDownlink;
+    p.header.plane = FhPlane::kControl;
+    p.header.slot = SlotPoint::from_index(slot, config.slots);
+    p.header.ru = RuId{1};
+    return p;
+  }
+};
+
+TEST(RadioUnit, BroadcastsDlControlToUes) {
+  RuFixture f;
+  const auto before = f.ue->last_dl_control_time();
+  f.sim.run_until(1_ms);
+  f.deliver_dl(f.dl_control(2));
+  f.sim.run_until(2_ms);
+  EXPECT_GT(f.ue->last_dl_control_time(), before);
+  EXPECT_EQ(f.ru->stats().dl_cplane_rx, 1);
+}
+
+TEST(RadioUnit, DeliversDlDataThroughUeChannel) {
+  RuFixture f;
+  const std::vector<std::uint8_t> payload(200, 0x3C);
+  const auto enc = encode_tb(payload, Modulation::kQpsk);
+  auto packet = f.dl_control(2);
+  packet.header.plane = FhPlane::kUser;
+  UPlaneSection section;
+  section.ue = UeId{1};
+  section.harq = HarqId{0};
+  section.new_data = true;
+  section.mcs = 0;
+  section.tb_bytes = 200;
+  section.codeword_bits = enc.codeword_bits;
+  section.iq = enc.iq;
+  section.shadow_payload = payload;
+  packet.uplane.sections.push_back(std::move(section));
+  f.sim.run_until(1_ms);
+  f.deliver_dl(packet);
+  f.sim.run_until(2_ms);
+  // The UE decoded it (through its 30 dB channel).
+  EXPECT_EQ(f.ue->stats().dl_tbs_ok, 1);
+}
+
+TEST(RadioUnit, CollectsGrantedUplinkAndAddressesVirtualPhy) {
+  RuFixture f;
+  f.ue->send_uplink({1, 2, 3});
+  // Grant for UL slot 9, announced via DL control.
+  auto control = f.dl_control(2);
+  control.cplane.ul_grants.push_back(
+      UlGrant{UeId{1}, 9, 0, 300, HarqId{0}, true});
+  f.sim.run_until(1_ms);
+  f.deliver_dl(control);
+  f.sim.run_until(6_ms);  // past UL slot 9's emission offset
+  bool found_uplane = false;
+  for (const auto& frame : f.uplink_tx) {
+    const auto header = peek_fronthaul_header(frame.payload);
+    ASSERT_TRUE(header.has_value());
+    EXPECT_EQ(frame.eth.dst, MacAddr{0xBF});  // virtual PHY address
+    if (header->plane == FhPlane::kUser) {
+      EXPECT_EQ(header->direction, FhDirection::kUplink);
+      const auto packet = parse_fronthaul(frame.payload);
+      ASSERT_EQ(packet.uplane.sections.size(), 1U);
+      found_uplane = true;
+    }
+  }
+  EXPECT_TRUE(found_uplane);
+  EXPECT_EQ(f.ru->stats().ul_uplane_tx, 1);
+}
+
+TEST(RadioUnit, ForwardsUciInUlControlPlane) {
+  RuFixture f;
+  // Make the UE produce a NACK by feeding it garbage DL data.
+  auto packet = f.dl_control(2);
+  packet.header.plane = FhPlane::kUser;
+  UPlaneSection section;
+  section.ue = UeId{1};
+  section.harq = HarqId{1};
+  section.new_data = true;
+  section.mcs = 0;
+  section.tb_bytes = 100;
+  section.codeword_bits = 648;
+  section.iq.assign(340, Cf{0.001F, 0.0F});
+  section.shadow_payload.assign(100, 1);
+  packet.uplane.sections.push_back(std::move(section));
+  f.sim.run_until(1_ms);
+  f.deliver_dl(packet);
+  f.sim.run_until(6_ms);  // next UL slot carries the UCI
+  bool found_uci = false;
+  for (const auto& frame : f.uplink_tx) {
+    const auto header = peek_fronthaul_header(frame.payload);
+    if (header->plane == FhPlane::kControl) {
+      const auto parsed = parse_fronthaul(frame.payload);
+      ASSERT_EQ(parsed.cplane.uci.size(), 1U);
+      EXPECT_FALSE(parsed.cplane.uci[0].ack);
+      found_uci = true;
+    }
+  }
+  EXPECT_TRUE(found_uci);
+}
+
+TEST(RadioUnit, CountsConflictingSources) {
+  RuFixture f;
+  f.sim.run_until(1_ms);
+  f.deliver_dl(f.dl_control(2), 0xB1);
+  f.deliver_dl(f.dl_control(2), 0xB2);  // same TTI, different PHY
+  f.sim.run_until(2_ms);
+  EXPECT_EQ(f.ru->stats().conflicting_sources, 1);
+}
+
+TEST(RadioUnit, CountsDroppedTtis) {
+  RuFixture f;
+  // DL control for slots 4..6, then silence for slots 7..20.
+  for (std::int64_t s = 4; s <= 6; ++s) {
+    f.sim.at(Nanos(s) * 500_us + 50_us, [&f, s] {
+      f.deliver_dl(f.dl_control(s));
+    });
+  }
+  f.sim.run_until(11'000_us);  // through slot 21
+  EXPECT_GE(f.ru->stats().dropped_ttis, 10);
+}
+
+TEST(RadioUnit, IgnoresForeignRuPackets) {
+  RuFixture f;
+  auto packet = f.dl_control(2);
+  packet.header.ru = RuId{9};  // not ours
+  f.sim.run_until(1_ms);
+  f.deliver_dl(packet);
+  f.sim.run_until(2_ms);
+  EXPECT_EQ(f.ru->stats().dl_cplane_rx, 0);
+}
+
+}  // namespace
+}  // namespace slingshot

@@ -1,0 +1,127 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace slingshot {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(300, [&] { order.push_back(3); });
+  sim.at(100, [&] { order.push_back(1); });
+  sim.at(200, [&] { order.push_back(2); });
+  sim.run_until(1_s);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.executed_events(), 3U);
+}
+
+TEST(Simulator, TieBreakIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(100, [&] { order.push_back(1); });
+  sim.at(100, [&] { order.push_back(2); });
+  sim.at(100, [&] { order.push_back(3); });
+  sim.run_until(1_s);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator sim;
+  Nanos seen = -1;
+  sim.at(42_us, [&] { seen = sim.now(); });
+  sim.run_until(1_s);
+  EXPECT_EQ(seen, 42_us);
+  EXPECT_EQ(sim.now(), 1_s);  // clock advances to the horizon
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.at(10, [] {});
+  sim.run_until(20);
+  EXPECT_THROW(sim.at(5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  Nanos fired_at = 0;
+  sim.at(100, [&] { sim.after(50, [&] { fired_at = sim.now(); }); });
+  sim.run_until(1_s);
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  auto handle = sim.at(100, [&] { ran = true; });
+  handle.cancel();
+  sim.run_until(1_s);
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, PeriodicFiresAtPeriod) {
+  Simulator sim;
+  std::vector<Nanos> fires;
+  sim.every(100, 250, [&] { fires.push_back(sim.now()); });
+  sim.run_until(1'000);
+  EXPECT_EQ(fires, (std::vector<Nanos>{100, 350, 600, 850}));
+}
+
+TEST(Simulator, PeriodicCancelStopsSeries) {
+  Simulator sim;
+  int count = 0;
+  auto handle = sim.every(0, 100, [&] { ++count; });
+  sim.at(450, [&] { handle.cancel(); });
+  sim.run_until(10'000);
+  EXPECT_EQ(count, 5);  // t = 0,100,200,300,400
+}
+
+TEST(Simulator, PeriodicCanCancelItself) {
+  Simulator sim;
+  int count = 0;
+  EventHandle handle;
+  handle = sim.every(0, 100, [&] {
+    if (++count == 3) {
+      handle.cancel();
+    }
+  });
+  sim.run_until(10'000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int count = 0;
+  sim.every(0, 100, [&] { ++count; });
+  sim.run_until(1'000);
+  const int first = count;
+  sim.run_until(2'000);
+  EXPECT_GT(count, first);
+}
+
+TEST(Simulator, StopBreaksRunLoop) {
+  Simulator sim;
+  int count = 0;
+  sim.every(0, 100, [&] {
+    if (++count == 4) {
+      sim.stop();
+    }
+  });
+  sim.run_until(1'000'000);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run = [] {
+    Simulator sim{123};
+    auto rng = sim.rng().stream("test");
+    std::vector<std::uint64_t> values;
+    sim.every(0, 10, [&] { values.push_back(rng.next_u64()); });
+    sim.run_until(100);
+    return values;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace slingshot

@@ -1,0 +1,185 @@
+#include "switchsim/pswitch.h"
+
+#include <gtest/gtest.h>
+
+#include "net/nic.h"
+#include "common/stats.h"
+#include "switchsim/tables.h"
+
+namespace slingshot {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  ProgrammableSwitch sw{sim, 8};
+  std::vector<std::unique_ptr<Link>> links;
+  std::vector<std::unique_ptr<Nic>> nics;
+
+  Nic& add_station(int port, std::uint64_t mac) {
+    links.push_back(std::make_unique<Link>(
+        sim, LinkConfig{}, sim.rng().stream("loss", std::uint64_t(port))));
+    nics.push_back(std::make_unique<Nic>(sim, MacAddr{mac}));
+    nics.back()->attach(*links.back());
+    sw.attach_link(port, *links.back());
+    sw.add_l2_route(MacAddr{mac}, port);
+    return *nics.back();
+  }
+};
+
+TEST(ProgrammableSwitch, StaticL2Forwarding) {
+  Fixture f;
+  auto& a = f.add_station(0, 0xA);
+  auto& b = f.add_station(1, 0xB);
+  int b_got = 0;
+  b.set_rx_handler([&](Packet&&) { ++b_got; });
+
+  Packet p;
+  p.eth.dst = MacAddr{0xB};
+  p.payload = {1, 2, 3};
+  a.send(std::move(p));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(b_got, 1);
+}
+
+TEST(ProgrammableSwitch, UnknownDestinationDropped) {
+  Fixture f;
+  auto& a = f.add_station(0, 0xA);
+  Packet p;
+  p.eth.dst = MacAddr{0xDEAD};
+  a.send(std::move(p));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(f.sw.frames_processed(), 1U);  // ingressed but nowhere to go
+}
+
+struct DropAllProgram final : DataplaneProgram {
+  int processed = 0;
+  int generator_ticks = 0;
+  PipelineVerdict process(Packet&, int, PipelineContext&) override {
+    ++processed;
+    return PipelineVerdict::kHandled;  // swallow everything
+  }
+  void on_generator_packet(Packet&, PipelineContext&) override {
+    ++generator_ticks;
+  }
+};
+
+TEST(ProgrammableSwitch, ProgramCanConsumeFrames) {
+  Fixture f;
+  auto& a = f.add_station(0, 0xA);
+  auto& b = f.add_station(1, 0xB);
+  int b_got = 0;
+  b.set_rx_handler([&](Packet&&) { ++b_got; });
+  auto program = std::make_shared<DropAllProgram>();
+  f.sw.install_program(program);
+
+  Packet p;
+  p.eth.dst = MacAddr{0xB};
+  a.send(std::move(p));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(program->processed, 1);
+  EXPECT_EQ(b_got, 0);
+}
+
+struct RedirectProgram final : DataplaneProgram {
+  MacAddr target;
+  PipelineVerdict process(Packet& p, int, PipelineContext& ctx) override {
+    p.eth.dst = target;
+    ctx.emit_to_mac(target, std::move(p));
+    return PipelineVerdict::kHandled;
+  }
+  void on_generator_packet(Packet&, PipelineContext&) override {}
+};
+
+TEST(ProgrammableSwitch, ProgramCanRedirect) {
+  Fixture f;
+  auto& a = f.add_station(0, 0xA);
+  auto& b = f.add_station(1, 0xB);
+  auto& c = f.add_station(2, 0xC);
+  int b_got = 0;
+  int c_got = 0;
+  b.set_rx_handler([&](Packet&&) { ++b_got; });
+  c.set_rx_handler([&](Packet&&) { ++c_got; });
+  auto program = std::make_shared<RedirectProgram>();
+  program->target = MacAddr{0xC};
+  f.sw.install_program(program);
+
+  Packet p;
+  p.eth.dst = MacAddr{0xB};  // program redirects to C
+  a.send(std::move(p));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(b_got, 0);
+  EXPECT_EQ(c_got, 1);
+}
+
+TEST(ProgrammableSwitch, PacketGeneratorTicksAtPeriod) {
+  Fixture f;
+  auto program = std::make_shared<DropAllProgram>();
+  f.sw.install_program(program);
+  f.sw.start_packet_generator(9_us);
+  f.sim.run_until(90_us);
+  EXPECT_EQ(program->generator_ticks, 10);
+  f.sw.stop_packet_generator();
+  f.sim.run_until(200_us);
+  EXPECT_EQ(program->generator_ticks, 10);
+}
+
+TEST(ProgrammableSwitch, IngressTapSeesFrames) {
+  Fixture f;
+  auto& a = f.add_station(0, 0xA);
+  f.add_station(1, 0xB);
+  int tapped = 0;
+  f.sw.set_ingress_tap([&](const Packet&, int port, Nanos) {
+    EXPECT_EQ(port, 0);
+    ++tapped;
+  });
+  Packet p;
+  p.eth.dst = MacAddr{0xB};
+  a.send(std::move(p));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(tapped, 1);
+}
+
+TEST(MatchActionTable, BootstrapInsertIsImmediate) {
+  Simulator sim;
+  MatchActionTable<int, int> table{sim, sim.rng().stream("cp")};
+  table.bootstrap_insert(1, 100);
+  ASSERT_NE(table.lookup(1), nullptr);
+  EXPECT_EQ(*table.lookup(1), 100);
+  EXPECT_EQ(table.lookup(2), nullptr);
+}
+
+TEST(MatchActionTable, ControlPlaneInsertTakesMilliseconds) {
+  Simulator sim;
+  MatchActionTable<int, int> table{sim, sim.rng().stream("cp")};
+  const Nanos lands_at = table.control_plane_insert(7, 7);
+  EXPECT_GE(lands_at, 5_ms);  // at least the base latency
+  sim.run_until(4_ms);
+  EXPECT_EQ(table.lookup(7), nullptr);  // not yet visible
+  sim.run_until(lands_at + 1);
+  ASSERT_NE(table.lookup(7), nullptr);
+}
+
+TEST(MatchActionTable, UpdateLatencyTailMatchesPaper) {
+  // The paper measures ~29 ms at p99.9 for switch rule updates — the
+  // reason the RU-to-PHY map lives in data-plane registers instead.
+  Simulator sim;
+  auto rng = sim.rng().stream("lat");
+  ControlPlaneLatencyModel model;
+  PercentileTracker t;
+  for (int i = 0; i < 20000; ++i) {
+    t.add(to_millis(model.sample(rng)));
+  }
+  EXPECT_NEAR(t.quantile(0.999), 29.0, 6.0);
+  EXPECT_GT(t.quantile(0.0), 4.9);
+}
+
+TEST(RegisterArray, DataPlaneReadWrite) {
+  RegisterArray<int> regs{4, -1};
+  EXPECT_EQ(regs.read(3), -1);
+  regs.write(3, 42);
+  EXPECT_EQ(regs.read(3), 42);
+  EXPECT_THROW(regs.write(4, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace slingshot

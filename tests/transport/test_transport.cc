@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "sim/simulator.h"
+#include "transport/apps.h"
+#include "transport/minitcp.h"
+#include "transport/pipe.h"
+
+namespace slingshot {
+namespace {
+
+// A pair of FunctionPipes connected through a lossy, delaying "network".
+struct PipePair {
+  Simulator& sim;
+  FunctionPipe a;
+  FunctionPipe b;
+  Nanos delay = 5_ms;
+  double loss = 0.0;
+  RngStream rng;
+
+  explicit PipePair(Simulator& s) : sim(s), rng(s.rng().stream("pipe")) {
+    a.set_sender([this](std::vector<std::uint8_t> d) {
+      if (loss > 0 && rng.bernoulli(loss)) {
+        return;
+      }
+      sim.after(delay, [this, d = std::move(d)]() mutable {
+        b.inject(std::move(d));
+      });
+    });
+    b.set_sender([this](std::vector<std::uint8_t> d) {
+      if (loss > 0 && rng.bernoulli(loss)) {
+        return;
+      }
+      sim.after(delay, [this, d = std::move(d)]() mutable {
+        a.inject(std::move(d));
+      });
+    });
+  }
+};
+
+TEST(UdpFlow, DeliversAtConfiguredRate) {
+  Simulator sim;
+  PipePair net{sim};
+  UdpFlowConfig cfg;
+  cfg.rate_bps = 8e6;
+  cfg.packet_bytes = 1000;
+  UdpFlow flow{sim, net.a, net.b, cfg};
+  flow.start();
+  sim.run_until(1_s);
+  flow.stop();
+  sim.run_until(1'100_ms);  // drain in-flight packets
+  EXPECT_NEAR(double(flow.packets_sent()), 1000.0, 20.0);
+  EXPECT_EQ(flow.packets_received(), flow.packets_sent());
+  EXPECT_DOUBLE_EQ(flow.loss_rate(), 0.0);
+  // Goodput in a mid-run bin ~ 8 Mbps.
+  EXPECT_NEAR(flow.goodput().bin_rate_bps(50) / 1e6, 8.0, 1.0);
+}
+
+TEST(UdpFlow, CountsLoss) {
+  Simulator sim;
+  PipePair net{sim};
+  net.loss = 0.25;
+  UdpFlowConfig cfg;
+  cfg.rate_bps = 8e6;
+  UdpFlow flow{sim, net.a, net.b, cfg};
+  flow.start();
+  sim.run_until(2_s);
+  EXPECT_NEAR(flow.loss_rate(), 0.25, 0.05);
+  EXPECT_GT(flow.max_bin_loss(100_ms, 1'900_ms), 0.2);
+}
+
+TEST(PingApp, MeasuresRtt) {
+  Simulator sim;
+  PipePair net{sim};  // 5 ms each way -> 10 ms RTT
+  PingApp ping{sim, net.a, PingConfig{}};
+  PingResponder responder{net.b};
+  ping.start();
+  sim.run_until(1_s);
+  ASSERT_GT(ping.samples().size(), 90U);
+  for (const auto& s : ping.samples()) {
+    EXPECT_EQ(s.rtt, 10_ms);
+  }
+  EXPECT_EQ(ping.timeouts(100_ms), 0U);
+}
+
+TEST(PingApp, LostPingsCountedAsTimeouts) {
+  Simulator sim;
+  PipePair net{sim};
+  net.loss = 0.5;
+  PingApp ping{sim, net.a, PingConfig{}};
+  PingResponder responder{net.b};
+  ping.start();
+  sim.run_until(2_s);
+  EXPECT_GT(ping.timeouts(200_ms), 20U);
+}
+
+TEST(VideoApp, BitrateMatchesTarget) {
+  Simulator sim;
+  PipePair net{sim};
+  VideoConfig cfg;
+  cfg.bitrate_bps = 500e3;
+  VideoApp video{sim, net.a, net.b, cfg};
+  video.start();
+  sim.run_until(5_s);
+  EXPECT_NEAR(video.bitrate_kbps_at(3'500_ms), 500.0, 60.0);
+}
+
+TEST(MiniTcp, ReliableDeliveryOverCleanPath) {
+  Simulator sim;
+  PipePair net{sim};
+  MiniTcpConfig cfg;
+  MiniTcpSender sender{sim, net.a, cfg};
+  MiniTcpReceiver receiver{sim, net.b, cfg};
+  sender.start();
+  sim.run_until(2_s);
+  EXPECT_GT(receiver.bytes_delivered(), 1'000'000U);
+  EXPECT_EQ(sender.stats().retransmits, 0U);
+  EXPECT_NEAR(to_millis(sender.srtt()), 10.0, 2.0);
+}
+
+TEST(MiniTcp, RecoversFromLossBurst) {
+  Simulator sim;
+  PipePair net{sim};
+  MiniTcpConfig cfg;
+  cfg.max_cwnd_segments = 32;
+  MiniTcpSender sender{sim, net.a, cfg};
+  MiniTcpReceiver receiver{sim, net.b, cfg};
+  sender.start();
+  sim.run_until(1_s);
+  // 100% loss for 50 ms, then heal.
+  net.loss = 1.0;
+  sim.run_until(1'050_ms);
+  net.loss = 0.0;
+  const auto delivered_at_heal = receiver.bytes_delivered();
+  sim.run_until(3_s);
+  EXPECT_GT(receiver.bytes_delivered(), delivered_at_heal + 1'000'000U);
+  EXPECT_GT(sender.stats().retransmits, 0U);
+}
+
+TEST(MiniTcp, SteadyLossLimitsButDoesNotStall) {
+  Simulator sim;
+  PipePair net{sim};
+  net.loss = 0.02;
+  MiniTcpConfig cfg;
+  MiniTcpSender sender{sim, net.a, cfg};
+  MiniTcpReceiver receiver{sim, net.b, cfg};
+  sender.start();
+  sim.run_until(5_s);
+  EXPECT_GT(receiver.bytes_delivered(), 500'000U);
+  EXPECT_GT(sender.stats().fast_retransmits, 0U);
+}
+
+TEST(MiniTcp, CongestionWindowCapsInFlight) {
+  Simulator sim;
+  PipePair net{sim};
+  net.delay = 50_ms;  // high BDP path
+  MiniTcpConfig cfg;
+  cfg.max_cwnd_segments = 10;
+  MiniTcpSender sender{sim, net.a, cfg};
+  MiniTcpReceiver receiver{sim, net.b, cfg};
+  sender.start();
+  sim.run_until(5_s);
+  // Window-limited throughput: 10 * 1200 B / 100 ms RTT = 0.96 Mbps.
+  const double mbps = double(receiver.bytes_delivered()) * 8 / 5.0 / 1e6;
+  EXPECT_NEAR(mbps, 0.96, 0.15);
+  EXPECT_LE(sender.cwnd_segments(), 10.0);
+}
+
+TEST(MiniTcp, RtoFiresWhenAllAcksLost) {
+  Simulator sim;
+  PipePair net{sim};
+  MiniTcpConfig cfg;
+  MiniTcpSender sender{sim, net.a, cfg};
+  MiniTcpReceiver receiver{sim, net.b, cfg};
+  sender.start();
+  sim.run_until(500_ms);
+  net.loss = 1.0;  // blackhole forever
+  sim.run_until(3_s);
+  EXPECT_GT(sender.stats().rto_fires, 2U);  // with exponential backoff
+}
+
+TEST(FunctionPipe, InjectReachesHandler) {
+  FunctionPipe pipe;
+  std::vector<std::uint8_t> got;
+  pipe.set_receive_handler([&](std::vector<std::uint8_t> d) {
+    got = std::move(d);
+  });
+  pipe.inject({1, 2, 3});
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace slingshot

@@ -1,0 +1,210 @@
+#include "ue/ue.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/tb_codec.h"
+
+namespace slingshot {
+namespace {
+
+struct UeFixture {
+  Simulator sim;
+  UeConfig config;
+  std::unique_ptr<UserEquipment> ue;
+
+  explicit UeFixture(double snr_db = 30.0) {
+    config.id = UeId{1};
+    config.processing_jitter = 0;  // deterministic timing for tests
+    config.dl_processing_delay = 1_ms;
+    config.ul_processing_delay = 1_ms;
+    FadingConfig fading;
+    fading.mean_snr_db = snr_db;
+    fading.ar1_sigma_db = 0.0;
+    ue = std::make_unique<UserEquipment>(sim, "ue-test", config, fading,
+                                         sim.rng().stream("chan"));
+    ue->power_on();
+  }
+
+  // Deliver DL control with a grant for this UE.
+  void give_grant(std::int64_t target_slot, std::uint32_t tb_bytes = 2000,
+                  HarqId harq = HarqId{0}, bool new_data = true) {
+    CPlaneMsg msg;
+    msg.ul_grants.push_back(
+        UlGrant{UeId{1}, target_slot, 1, tb_bytes, harq, new_data});
+    ue->on_dl_control(0, msg);
+  }
+};
+
+TEST(UserEquipment, StartsConnected) {
+  UeFixture f;
+  EXPECT_TRUE(f.ue->connected());
+  EXPECT_EQ(f.ue->stats().rlf_events, 0);
+}
+
+TEST(UserEquipment, RadioLinkFailureAfterTimeout) {
+  UeFixture f;
+  // No DL control ever arrives: RLF at ~50 ms, reattach 6.2 s later.
+  f.sim.run_until(60_ms);
+  EXPECT_FALSE(f.ue->connected());
+  EXPECT_EQ(f.ue->stats().rlf_events, 1);
+  f.sim.run_until(60_ms + f.config.reattach_delay + 10_ms);
+  EXPECT_TRUE(f.ue->connected());
+  EXPECT_EQ(f.ue->stats().reattach_events, 1);
+}
+
+TEST(UserEquipment, DlControlKeepsLinkAlive) {
+  UeFixture f;
+  f.sim.every(0, 10_ms, [&f] { f.ue->on_dl_control(0, CPlaneMsg{}); });
+  f.sim.run_until(500_ms);
+  EXPECT_TRUE(f.ue->connected());
+  EXPECT_EQ(f.ue->stats().rlf_events, 0);
+}
+
+TEST(UserEquipment, GrantStarvationTriggersReestablish) {
+  UeFixture f;
+  f.ue = nullptr;  // rebuild with starvation supervision
+  f.config.grant_starvation_timeout = 300_ms;
+  FadingConfig fading;
+  f.ue = std::make_unique<UserEquipment>(f.sim, "ue-test2", f.config, fading,
+                                         f.sim.rng().stream("chan2"));
+  f.ue->power_on();
+  // DL control flows (no RLF) but never contains grants.
+  f.sim.every(0, 10_ms, [&f] { f.ue->on_dl_control(0, CPlaneMsg{}); });
+  f.sim.run_until(400_ms);
+  EXPECT_FALSE(f.ue->connected());
+  EXPECT_EQ(f.ue->stats().rlf_events, 0);  // it was starvation, not RLF
+}
+
+TEST(UserEquipment, TransmitsOnGrant) {
+  UeFixture f;
+  f.ue->send_uplink({1, 2, 3, 4});
+  f.sim.run_until(5_ms);  // let the SDU clear modem processing
+  f.give_grant(100);
+  const auto sections = f.ue->pull_uplink(100);
+  ASSERT_EQ(sections.size(), 1U);
+  EXPECT_EQ(sections[0].ue, UeId{1});
+  EXPECT_TRUE(sections[0].new_data);
+  // The SDU rode in the TB.
+  const auto sdus = rlc_unpack(sections[0].shadow_payload);
+  ASSERT_EQ(sdus.size(), 1U);
+  EXPECT_EQ(sdus[0].bytes, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  // IQ is a really modulated codeword.
+  EXPECT_GT(sections[0].iq.size(), std::size_t(kNumPilotSymbols));
+}
+
+TEST(UserEquipment, NoGrantNoTransmission) {
+  UeFixture f;
+  EXPECT_TRUE(f.ue->pull_uplink(100).empty());
+}
+
+TEST(UserEquipment, RetransmissionResendsSamePayload) {
+  UeFixture f;
+  f.ue->send_uplink({9, 9, 9});
+  f.sim.run_until(5_ms);
+  f.give_grant(100, 2000, HarqId{3}, /*new_data=*/true);
+  const auto first = f.ue->pull_uplink(100);
+  ASSERT_EQ(first.size(), 1U);
+  f.give_grant(110, 2000, HarqId{3}, /*new_data=*/false);
+  const auto retx = f.ue->pull_uplink(110);
+  ASSERT_EQ(retx.size(), 1U);
+  EXPECT_FALSE(retx[0].new_data);
+  EXPECT_EQ(retx[0].shadow_payload, first[0].shadow_payload);
+  EXPECT_EQ(f.ue->stats().ul_retransmissions, 1);
+}
+
+TEST(UserEquipment, DecodesCleanDlSectionAndAcks) {
+  UeFixture f;
+  std::vector<std::uint8_t> delivered;
+  f.ue->set_downlink_sink([&](std::vector<std::uint8_t> sdu) {
+    delivered = std::move(sdu);
+  });
+  // Build a DL TB as the PHY would.
+  RlcTx tx;
+  std::deque<RlcSdu> queue;
+  queue.push_back(RlcSdu{kRlcSnUnassigned, {0xCA, 0xFE}});
+  const auto payload = tx.pack(queue, 500);
+  const auto enc = encode_tb(payload, Modulation::kQpsk);
+  UPlaneSection section;
+  section.ue = UeId{1};
+  section.harq = HarqId{2};
+  section.new_data = true;
+  section.mcs = 0;
+  section.tb_bytes = 500;
+  section.codeword_bits = enc.codeword_bits;
+  section.iq = enc.iq;  // clean channel
+  section.shadow_payload = payload;
+  f.ue->on_dl_section(50, section);
+  f.sim.run_until(10_ms);
+  EXPECT_EQ(delivered, (std::vector<std::uint8_t>{0xCA, 0xFE}));
+  EXPECT_EQ(f.ue->stats().dl_tbs_ok, 1);
+  const auto uci = f.ue->pull_uci();
+  ASSERT_EQ(uci.size(), 1U);
+  EXPECT_TRUE(uci[0].ack);
+  EXPECT_EQ(uci[0].harq, HarqId{2});
+}
+
+TEST(UserEquipment, GarbageDlSectionNacksAndCombinesLater) {
+  UeFixture f;
+  const std::vector<std::uint8_t> payload(100, 0x42);
+  const auto enc = encode_tb(payload, Modulation::kQpsk);
+  UPlaneSection section;
+  section.ue = UeId{1};
+  section.harq = HarqId{0};
+  section.new_data = true;
+  section.mcs = 0;
+  section.tb_bytes = 100;
+  section.codeword_bits = enc.codeword_bits;
+  // Heavy noise: decoding fails.
+  section.iq.assign(enc.iq.size(), Cf{0.01F, 0.01F});
+  section.shadow_payload = payload;
+  f.ue->on_dl_section(50, section);
+  EXPECT_EQ(f.ue->stats().dl_tbs_failed, 1);
+  const auto uci = f.ue->pull_uci();
+  ASSERT_EQ(uci.size(), 1U);
+  EXPECT_FALSE(uci[0].ack);
+  // Retransmission (clean this time) chase-combines and succeeds.
+  UPlaneSection retx = section;
+  retx.new_data = false;
+  retx.iq = enc.iq;
+  f.ue->on_dl_section(60, retx);
+  EXPECT_EQ(f.ue->stats().dl_tbs_ok, 1);
+  EXPECT_EQ(f.ue->stats().dl_harq_combines, 1);
+}
+
+TEST(UserEquipment, ReattachClearsRadioState) {
+  UeFixture f;
+  f.ue->send_uplink({1});
+  f.give_grant(100);
+  f.ue->force_reattach("test");
+  EXPECT_FALSE(f.ue->connected());
+  // Grants and modem state are gone.
+  f.sim.run_until(f.config.reattach_delay + 10_ms);
+  EXPECT_TRUE(f.ue->connected());
+  EXPECT_TRUE(f.ue->pull_uplink(100).empty());
+}
+
+TEST(UserEquipment, DisconnectedIgnoresEverything) {
+  UeFixture f;
+  f.ue->force_reattach("test");
+  f.give_grant(100);
+  EXPECT_TRUE(f.ue->pull_uplink(100).empty());
+  UPlaneSection section;
+  section.ue = UeId{1};
+  f.ue->on_dl_section(100, section);
+  EXPECT_EQ(f.ue->stats().dl_tbs_ok + f.ue->stats().dl_tbs_failed, 0);
+}
+
+TEST(UserEquipment, UplinkQueueOverflowDrops) {
+  UeFixture f;
+  for (int i = 0; i < 4000; ++i) {
+    f.ue->send_uplink(std::vector<std::uint8_t>(1400, 1));
+    if (i % 100 == 0) {
+      f.sim.run_until(f.sim.now() + 1_us);
+    }
+  }
+  f.sim.run_until(f.sim.now() + 10_ms);
+  EXPECT_GT(f.ue->stats().ul_sdus_dropped_overflow, 0);
+}
+
+}  // namespace
+}  // namespace slingshot
