@@ -6,13 +6,11 @@
 #include "common/log.h"
 
 namespace slingshot {
-namespace {
-constexpr std::int64_t kWrapWindow = 20480;  // 1024 frames x 20 slots
-}
 
 std::vector<std::uint8_t> serialize_migrate_cmd(const MigrateOnSlotCmd& cmd) {
   std::vector<std::uint8_t> out;
   ByteWriter w{out};
+  w.u8(kCmdOpMigrateOnSlot);
   w.u8(cmd.ru.value());
   w.u8(cmd.dest_phy.value());
   w.u16(cmd.slot.frame);
@@ -23,6 +21,9 @@ std::vector<std::uint8_t> serialize_migrate_cmd(const MigrateOnSlotCmd& cmd) {
 
 MigrateOnSlotCmd parse_migrate_cmd(std::span<const std::uint8_t> bytes) {
   ByteReader r{bytes};
+  if (r.u8() != kCmdOpMigrateOnSlot) {
+    throw std::runtime_error("not a migrate_on_slot command");
+  }
   MigrateOnSlotCmd cmd;
   cmd.ru = RuId{r.u8()};
   cmd.dest_phy = PhyId{r.u8()};
@@ -30,6 +31,22 @@ MigrateOnSlotCmd parse_migrate_cmd(std::span<const std::uint8_t> bytes) {
   cmd.slot.subframe = r.u8();
   cmd.slot.slot = r.u8();
   return cmd;
+}
+
+std::vector<std::uint8_t> serialize_unwatch_cmd(const UnwatchPhyCmd& cmd) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w{out};
+  w.u8(kCmdOpUnwatchPhy);
+  w.u8(cmd.phy.value());
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_watch_cmd(const WatchPhyCmd& cmd) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w{out};
+  w.u8(kCmdOpWatchPhy);
+  w.u8(cmd.phy.value());
+  return out;
 }
 
 SwitchResourceEstimate estimate_switch_resources(int num_rus, int num_phys) {
@@ -53,6 +70,9 @@ SwitchResourceEstimate estimate_switch_resources(int num_rus, int num_phys) {
 FronthaulMiddlebox::FronthaulMiddlebox(Simulator& sim, FhMboxConfig config)
     : sim_(sim),
       config_(config),
+      slots_(config.slots),
+      wrap_window_(std::int64_t(SlotPoint::kFrames) *
+                   config.slots.slots_per_frame),
       ru_id_directory_(sim, sim.rng().stream("mbox.cp", 0)),
       phy_id_directory_(sim, sim.rng().stream("mbox.cp", 1)),
       phy_addr_directory_(sim, sim.rng().stream("mbox.cp", 2)),
@@ -83,19 +103,25 @@ void FronthaulMiddlebox::watch_phy(PhyId phy, MacAddr orion_mac) {
       tracked_phys_.end()) {
     tracked_phys_.push_back(phy.value());
   }
+  if (tap_ != nullptr) {
+    tap_->on_watch_changed(phy, true);
+  }
 }
 
 void FronthaulMiddlebox::unwatch_phy(PhyId phy) {
   watches_[phy.value()].armed = false;
   std::erase(tracked_phys_, phy.value());
+  if (tap_ != nullptr) {
+    tap_->on_watch_changed(phy, false);
+  }
 }
 
 bool FronthaulMiddlebox::slot_reached(std::int64_t pkt_wrapped,
                                       std::int64_t boundary_wrapped) const {
   const std::int64_t diff =
-      ((pkt_wrapped - boundary_wrapped) % kWrapWindow + kWrapWindow) %
-      kWrapWindow;
-  return diff < kWrapWindow / 2;
+      ((pkt_wrapped - boundary_wrapped) % wrap_window_ + wrap_window_) %
+      wrap_window_;
+  return diff < wrap_window_ / 2;
 }
 
 void FronthaulMiddlebox::maybe_execute_migration(RuId ru,
@@ -110,6 +136,10 @@ void FronthaulMiddlebox::maybe_execute_migration(RuId ru,
     SLOG_INFO("fh_mbox", "migration executed: ru=%u -> phy=%u at slot %lld",
               ru.value(), entry.dest_phy,
               static_cast<long long>(pkt_wrapped));
+    if (tap_ != nullptr) {
+      tap_->on_migration_executed(ru, PhyId{entry.dest_phy}, pkt_wrapped,
+                                  entry.wrapped_slot);
+    }
   }
 }
 
@@ -117,19 +147,56 @@ PipelineVerdict FronthaulMiddlebox::process(Packet& packet, int /*port*/,
                                             PipelineContext& ctx) {
   switch (packet.eth.ethertype) {
     case EtherType::kSlingshotCmd: {
-      // migrate_on_slot from Orion: absorbed in the data plane.
-      if (packet.payload.size() < 6) {
+      // Orion -> middlebox commands: absorbed in the data plane.
+      if (packet.payload.empty()) {
         ++stats_.unknown_dropped;
         return PipelineVerdict::kHandled;
       }
-      const auto cmd = parse_migrate_cmd(packet.payload);
-      MigrationEntry entry;
-      entry.valid = true;
-      entry.dest_phy = cmd.dest_phy.value();
-      entry.wrapped_slot = cmd.slot.wrapped_index(slots_);
-      migration_store_.write(cmd.ru.value(), entry);
-      ++stats_.commands_received;
-      return PipelineVerdict::kHandled;
+      switch (packet.payload[0]) {
+        case kCmdOpMigrateOnSlot: {
+          if (packet.payload.size() < 7) {
+            ++stats_.unknown_dropped;
+            return PipelineVerdict::kHandled;
+          }
+          const auto cmd = parse_migrate_cmd(packet.payload);
+          MigrationEntry entry;
+          entry.valid = true;
+          entry.dest_phy = cmd.dest_phy.value();
+          entry.wrapped_slot = cmd.slot.wrapped_index(slots_);
+          migration_store_.write(cmd.ru.value(), entry);
+          ++stats_.commands_received;
+          if (tap_ != nullptr) {
+            tap_->on_command(cmd, entry.wrapped_slot);
+          }
+          return PipelineVerdict::kHandled;
+        }
+        case kCmdOpUnwatchPhy: {
+          if (packet.payload.size() < 2) {
+            ++stats_.unknown_dropped;
+            return PipelineVerdict::kHandled;
+          }
+          const PhyId phy{packet.payload[1]};
+          unwatch_phy(phy);
+          ++stats_.commands_received;
+          if (tap_ != nullptr) {
+            tap_->on_unwatch_command(phy);
+          }
+          return PipelineVerdict::kHandled;
+        }
+        case kCmdOpWatchPhy: {
+          if (packet.payload.size() < 2) {
+            ++stats_.unknown_dropped;
+            return PipelineVerdict::kHandled;
+          }
+          // Notifications go back to whoever sent the command.
+          watch_phy(PhyId{packet.payload[1]}, packet.eth.src);
+          ++stats_.commands_received;
+          return PipelineVerdict::kHandled;
+        }
+        default:
+          ++stats_.unknown_dropped;
+          return PipelineVerdict::kHandled;
+      }
     }
     case EtherType::kEcpri:
       break;  // fronthaul handling below
@@ -173,8 +240,14 @@ PipelineVerdict FronthaulMiddlebox::process(Packet& packet, int /*port*/,
     return PipelineVerdict::kHandled;
   }
   // Natural heartbeat: any DL fronthaul packet proves the PHY alive.
+  // Re-arm only for PHYs still in the tracked set — a stray packet from
+  // an unwatched (or failover-consumed and since unwatched) PHY must
+  // not resurrect its detector and fire duplicate notifications.
   failure_counters_.write(*src_phy, 0);
-  watches_[*src_phy].armed = watches_[*src_phy].notify_mac.bits() != 0;
+  watches_[*src_phy].armed =
+      watches_[*src_phy].notify_mac.bits() != 0 &&
+      std::find(tracked_phys_.begin(), tracked_phys_.end(), *src_phy) !=
+          tracked_phys_.end();
 
   const RuId ru = header->ru;
   maybe_execute_migration(ru, pkt_wrapped);
@@ -182,6 +255,9 @@ PipelineVerdict FronthaulMiddlebox::process(Packet& packet, int /*port*/,
     // Not the active PHY for this RU: block (standby heartbeats, or a
     // stale primary after migration).
     ++stats_.dl_blocked;
+    if (tap_ != nullptr) {
+      tap_->on_dl_packet(PhyId{*src_phy}, ru, pkt_wrapped, false);
+    }
     return PipelineVerdict::kHandled;
   }
   const auto* ru_mac = ru_addr_directory_.lookup(ru.value());
@@ -191,6 +267,9 @@ PipelineVerdict FronthaulMiddlebox::process(Packet& packet, int /*port*/,
   }
   packet.eth.dst = *ru_mac;
   ++stats_.dl_forwarded;
+  if (tap_ != nullptr) {
+    tap_->on_dl_packet(PhyId{*src_phy}, ru, pkt_wrapped, true);
+  }
   ctx.emit_to_mac(*ru_mac, std::move(packet));
   return PipelineVerdict::kHandled;
 }
@@ -211,6 +290,9 @@ void FronthaulMiddlebox::on_generator_packet(Packet& /*packet*/,
       failure_counters_.write(phy, 0);
       ++stats_.failures_detected;
       SLOG_WARN("fh_mbox", "PHY %u failure detected (timeout)", unsigned(phy));
+      if (tap_ != nullptr) {
+        tap_->on_failure_notify(PhyId{phy});
+      }
       // Re-format the timer packet into a failure notification.
       Packet notify;
       notify.eth.dst = watch.notify_mac;

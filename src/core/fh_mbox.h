@@ -33,6 +33,7 @@
 //    to that PHY's L2-side Orion.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -45,7 +46,12 @@
 
 namespace slingshot {
 
-// migrate_on_slot command payload (EtherType kSlingshotCmd).
+// Command opcodes carried in the first byte of kSlingshotCmd payloads.
+inline constexpr std::uint8_t kCmdOpMigrateOnSlot = 0;
+inline constexpr std::uint8_t kCmdOpUnwatchPhy = 1;
+inline constexpr std::uint8_t kCmdOpWatchPhy = 2;
+
+// migrate_on_slot command payload (EtherType kSlingshotCmd, opcode 0).
 struct MigrateOnSlotCmd {
   RuId ru;
   PhyId dest_phy;
@@ -55,6 +61,25 @@ struct MigrateOnSlotCmd {
     const MigrateOnSlotCmd& cmd);
 [[nodiscard]] MigrateOnSlotCmd parse_migrate_cmd(
     std::span<const std::uint8_t> bytes);
+
+// unwatch_phy command payload (EtherType kSlingshotCmd, opcode 1):
+// Orion disarms the in-switch failure detector for a PHY it has already
+// failed away from, so stray heartbeats cannot re-trigger detection.
+struct UnwatchPhyCmd {
+  PhyId phy;
+};
+[[nodiscard]] std::vector<std::uint8_t> serialize_unwatch_cmd(
+    const UnwatchPhyCmd& cmd);
+
+// watch_phy command payload (EtherType kSlingshotCmd, opcode 2): Orion
+// (re-)enrolls a PHY in the in-switch failure detector — sent when a
+// failover promotes a standby that was previously unwatched. The
+// notification target is the command packet's source MAC.
+struct WatchPhyCmd {
+  PhyId phy;
+};
+[[nodiscard]] std::vector<std::uint8_t> serialize_watch_cmd(
+    const WatchPhyCmd& cmd);
 
 // Failure notification payload (EtherType kFailureNotify).
 struct FailureNotification {
@@ -67,6 +92,9 @@ struct FhMboxConfig {
                                      // 393 µs max inter-packet gap
   int detector_ticks = 50;           // n = 50 -> 9 µs precision
   int max_ids = 256;                 // operator-assigned 8-bit id space
+  // Deployment numerology. Boundary comparisons and the wrapped slot
+  // number space are derived from this; it must match the Orions'.
+  SlotConfig slots{};
 };
 
 struct FhMboxStats {
@@ -92,6 +120,30 @@ struct SwitchResourceEstimate {
 [[nodiscard]] SwitchResourceEstimate estimate_switch_resources(int num_rus,
                                                                int num_phys);
 
+// Observation tap for the middlebox dataplane (src/inject's
+// InvariantChecker attaches here). Pure observer: sees decisions after
+// they are made, cannot alter them.
+class MboxTap {
+ public:
+  virtual ~MboxTap() = default;
+  // A migrate_on_slot command was absorbed; `boundary_wrapped` is the
+  // wrapped slot index the middlebox will trigger on.
+  virtual void on_command(const MigrateOnSlotCmd& /*cmd*/,
+                          std::int64_t /*boundary_wrapped*/) {}
+  virtual void on_unwatch_command(PhyId /*phy*/) {}
+  // A matured migration executed on the packet with slot `pkt_wrapped`.
+  virtual void on_migration_executed(RuId /*ru*/, PhyId /*dest*/,
+                                     std::int64_t /*pkt_wrapped*/,
+                                     std::int64_t /*boundary_wrapped*/) {}
+  // A downlink fronthaul packet from `src` for `ru` was forwarded or
+  // blocked by the DL source filter.
+  virtual void on_dl_packet(PhyId /*src*/, RuId /*ru*/,
+                            std::int64_t /*pkt_wrapped*/, bool /*forwarded*/) {}
+  virtual void on_failure_notify(PhyId /*phy*/) {}
+  // Control-plane watch state changed (watch_phy / unwatch_phy).
+  virtual void on_watch_changed(PhyId /*phy*/, bool /*watched*/) {}
+};
+
 class FronthaulMiddlebox final : public DataplaneProgram {
  public:
   FronthaulMiddlebox(Simulator& sim, FhMboxConfig config);
@@ -108,6 +160,14 @@ class FronthaulMiddlebox final : public DataplaneProgram {
   // the RU's active PHY may reach it). The naive no-filter design lets
   // the hot standby's control plane hit the RU in every slot.
   void set_dl_source_filter(bool enabled) { dl_filter_ = enabled; }
+
+  // Attach an observation tap (invariant checking); nullptr detaches.
+  void set_tap(MboxTap* tap) { tap_ = tap; }
+
+  [[nodiscard]] bool phy_watched(PhyId phy) const {
+    return std::find(tracked_phys_.begin(), tracked_phys_.end(),
+                     phy.value()) != tracked_phys_.end();
+  }
 
   // ---- DataplaneProgram ----
   PipelineVerdict process(Packet& packet, int ingress_port,
@@ -143,6 +203,9 @@ class FronthaulMiddlebox final : public DataplaneProgram {
   Simulator& sim_;
   FhMboxConfig config_;
   SlotConfig slots_;
+  // Wrapped slot-number space (kFrames x slots_per_frame), numerology-
+  // derived: 20480 at the default µ=1, 40960 at µ=2.
+  std::int64_t wrap_window_;
   // Match-action tables (control-plane populated, data-plane read).
   MatchActionTable<MacAddr, std::uint8_t> ru_id_directory_;
   MatchActionTable<MacAddr, std::uint8_t> phy_id_directory_;
@@ -155,6 +218,7 @@ class FronthaulMiddlebox final : public DataplaneProgram {
   std::vector<WatchEntry> watches_;
   std::vector<std::uint8_t> tracked_phys_;  // ids with an active watch
   bool dl_filter_ = true;
+  MboxTap* tap_ = nullptr;
   FhMboxStats stats_;
 };
 

@@ -4,6 +4,12 @@
 
 namespace slingshot {
 
+namespace {
+// An indication older than this many slots is not proof of life: it may
+// be a delayed datagram sent before the PHY actually died.
+constexpr std::int64_t kRehabFreshnessSlots = 8;
+}  // namespace
+
 // ---------------------------------------------------------------------
 // OrionPhySide
 // ---------------------------------------------------------------------
@@ -42,23 +48,25 @@ void OrionPhySide::deliver_to_phy(FapiMessage&& msg) {
   const auto type = msg.type();
   if (type == FapiMsgType::kDlTtiRequest ||
       type == FapiMsgType::kUlTtiRequest) {
-    auto [it, inserted] = last_request_slot_.try_emplace(msg.ru.value(), -1);
+    const bool is_dl = type == FapiMsgType::kDlTtiRequest;
+    auto& track = loss_tracks_[msg.ru.value()];
+    std::int64_t& last = is_dl ? track.last_dl : track.last_ul;
     // A request that leapfrogs the expected slot reveals a hole right
     // away (the lost datagram carried the slots in between): plug it
-    // now rather than waiting for the watchdog.
-    if (null_on_loss_ && it->second >= 0 && msg.slot > it->second + 1) {
+    // now rather than waiting for the watchdog. Only this stream's
+    // holes — the other type may have arrived fine.
+    if (null_on_loss_ && last >= 0 && msg.slot > last + 1) {
       int plugged = 0;
-      for (std::int64_t s = it->second + 1; s < msg.slot && plugged < 8;
+      for (std::int64_t s = last + 1; s < msg.slot && plugged < 8;
            ++s, ++plugged) {
-        nulls_injected_ += 2;
-        to_phy_count_ += 2;
-        to_phy_->send(make_null_dl_tti(msg.ru, s));
-        to_phy_->send(make_null_ul_tti(msg.ru, s));
+        ++nulls_injected_;
+        ++to_phy_count_;
+        to_phy_->send(is_dl ? make_null_dl_tti(msg.ru, s)
+                            : make_null_ul_tti(msg.ru, s));
       }
     }
-    it->second = std::max(it->second, msg.slot);
-    auto& real = last_real_request_slot_[msg.ru.value()];
-    real = std::max(real, slots_.slot_at(sim_.now()));
+    last = std::max(last, msg.slot);
+    track.last_real = std::max(track.last_real, slots_.slot_at(sim_.now()));
     if (null_on_loss_ && !watchdog_.valid()) {
       const Nanos first =
           slots_.slot_start(slots_.next_slot_after(sim_.now()));
@@ -79,26 +87,30 @@ void OrionPhySide::on_slot_watchdog() {
   // a lost datagram — plug it with null requests so the PHY keeps its
   // every-slot contract.
   const auto current = slots_.slot_at(sim_.now());
-  for (auto& [ru, last_slot] : last_request_slot_) {
-    if (last_slot < 0) {
-      continue;
-    }
+  for (auto& [ru, track] : loss_tracks_) {
     // Plug at most a handful of consecutive slots, and only while real
     // requests keep arriving: this compensates for rare datagram loss,
     // not for a dead L2 (whose failure is detected by its own missing
     // per-TTI packet stream and handled elsewhere).
-    if (current - last_real_request_slot_[ru] > 16) {
+    if (current - track.last_real > 16) {
       continue;
     }
-    int plugged = 0;
-    while (last_slot < current && plugged < 8) {
-      ++last_slot;
-      ++plugged;
-      nulls_injected_ += 2;
-      to_phy_count_ += 2;
-      to_phy_->send(make_null_dl_tti(RuId{ru}, last_slot));
-      to_phy_->send(make_null_ul_tti(RuId{ru}, last_slot));
-    }
+    const auto plug = [&](std::int64_t& last, bool dl) {
+      if (last < 0) {
+        return;
+      }
+      int plugged = 0;
+      while (last < current && plugged < 8) {
+        ++last;
+        ++plugged;
+        ++nulls_injected_;
+        ++to_phy_count_;
+        to_phy_->send(dl ? make_null_dl_tti(RuId{ru}, last)
+                         : make_null_ul_tti(RuId{ru}, last));
+      }
+    };
+    plug(track.last_dl, true);
+    plug(track.last_ul, false);
   }
 }
 
@@ -139,6 +151,7 @@ void OrionL2Side::add_phy_peer(PhyId phy, MacAddr orion_mac) {
 
 void OrionL2Side::set_ru_phys(RuId ru, PhyId primary, PhyId secondary) {
   auto& state = rus_[ru.value()];
+  state.ru = ru;
   state.primary = primary;
   state.secondary = secondary;
   state.previous_until_slot = -1;
@@ -162,11 +175,16 @@ std::pair<PhyId, PhyId> OrionL2Side::route_for_slot(RuState& state,
     // pre-boundary slots (Fig 7).
     state.previous = state.primary;
     state.previous_until_slot = *state.boundary;
+    state.swap_wall_slot = config_.slots.slot_at(sim_.now());
     std::swap(state.primary, state.secondary);
+    const std::int64_t boundary = state.previous_until_slot;
     state.boundary.reset();
     SLOG_INFO("orion", "%s FAPI switched to phy=%u from slot %lld",
               name_.c_str(), state.primary.value(),
               static_cast<long long>(slot));
+    if (tap_ != nullptr) {
+      tap_->on_swap_finalized(state.ru, slot, state.primary, boundary);
+    }
   }
   return {state.primary, state.secondary};
 }
@@ -185,18 +203,27 @@ void OrionL2Side::on_fapi(FapiMessage&& msg) {
       // both the primary and the hot standby.
       state.init_messages.push_back(msg);
       send_to_phy(state.primary, msg);
-      send_to_phy(state.secondary, msg);
+      if (state.secondary != state.failed_phy) {
+        send_to_phy(state.secondary, msg);
+      }
       return;
     }
     case FapiMsgType::kStopRequest: {
       send_to_phy(state.primary, msg);
-      send_to_phy(state.secondary, msg);
+      if (state.secondary != state.failed_phy) {
+        send_to_phy(state.secondary, msg);
+      }
       return;
     }
     case FapiMsgType::kDlTtiRequest: {
       const auto [real, standby] = route_for_slot(state, msg.slot);
       ++stats_.real_requests_forwarded;
       send_to_phy(real, msg);
+      if (standby == state.failed_phy) {
+        // Consumed by a failover: nothing flows to it until
+        // adopt_standby brings up a replacement.
+        return;
+      }
       if (config_.standby_mode == StandbyMode::kDuplicate) {
         send_to_phy(standby, msg);  // strawman: standby does real work
       } else {
@@ -211,6 +238,9 @@ void OrionL2Side::on_fapi(FapiMessage&& msg) {
       const auto [real, standby] = route_for_slot(state, msg.slot);
       ++stats_.real_requests_forwarded;
       send_to_phy(real, msg);
+      if (standby == state.failed_phy) {
+        return;
+      }
       if (config_.standby_mode == StandbyMode::kDuplicate) {
         send_to_phy(standby, msg);
       } else {
@@ -225,7 +255,8 @@ void OrionL2Side::on_fapi(FapiMessage&& msg) {
       const auto [real, standby] = route_for_slot(state, msg.slot);
       ++stats_.real_requests_forwarded;
       send_to_phy(real, msg);
-      if (config_.standby_mode == StandbyMode::kDuplicate) {
+      if (config_.standby_mode == StandbyMode::kDuplicate &&
+          standby != state.failed_phy) {
         send_to_phy(standby, msg);
       }
       return;
@@ -294,6 +325,41 @@ void OrionL2Side::handle_phy_indication(PhyId from, FapiMessage&& msg) {
   }
   auto& state = it->second;
 
+  // Close the Fig 7 drain window: the pipeline is only a couple of
+  // slots deep, so responses from the old primary arriving long after
+  // the swap are stale — expire the route state rather than letting a
+  // later migration back to the same PHY wrongly accept them.
+  if (state.previous_until_slot >= 0 && state.swap_wall_slot >= 0 &&
+      config_.slots.slot_at(sim_.now()) >=
+          state.swap_wall_slot + config_.drain_window_slots) {
+    state.previous = PhyId{};
+    state.previous_until_slot = -1;
+    state.swap_wall_slot = -1;
+  }
+
+  // False-positive failover recovery: a *fresh* indication from the PHY
+  // we failed away from proves the process is alive — the switch
+  // detector tripped on lost heartbeats, not a dead PHY. Refill the
+  // standby slot (its keepalive feed resumes) instead of starving a
+  // healthy process to death. Staleness-guarded so delayed datagrams
+  // from before a real crash cannot resurrect a corpse.
+  if (state.failed_phy == from &&
+      config_.slots.slot_at(sim_.now()) - msg.slot <= kRehabFreshnessSlots) {
+    for (auto& [other_ru, other_state] : rus_) {
+      if (other_state.failed_phy == from) {
+        other_state.failed_phy = PhyId{};
+        ++stats_.rehabilitations;
+        if (tap_ != nullptr) {
+          tap_->on_rehabilitate(RuId{other_ru}, from);
+        }
+      }
+    }
+    SLOG_WARN("orion",
+              "%s false-positive failover: phy %u is alive, standby feed "
+              "resumes",
+              name_.c_str(), from.value());
+  }
+
   bool forward = false;
   bool drained = false;
   if (from == state.primary) {
@@ -305,6 +371,10 @@ void OrionL2Side::handle_phy_indication(PhyId from, FapiMessage&& msg) {
     drained = true;
   }
 
+  if (tap_ != nullptr) {
+    tap_->on_indication(from, msg, forward, drained,
+                        state.previous_until_slot);
+  }
   if (!forward) {
     ++stats_.standby_responses_dropped;
     return;
@@ -332,6 +402,9 @@ void OrionL2Side::migrate(RuId ru, std::int64_t boundary_slot) {
   event.boundary_slot = boundary_slot;
   event.initiated_at = sim_.now();
   migration_log_.push_back(event);
+  if (tap_ != nullptr) {
+    tap_->on_migration(event);
+  }
   SLOG_INFO("orion", "%s planned migration ru=%u phy %u -> %u at slot %lld",
             name_.c_str(), ru.value(), state.primary.value(),
             state.secondary.value(), static_cast<long long>(boundary_slot));
@@ -339,10 +412,22 @@ void OrionL2Side::migrate(RuId ru, std::int64_t boundary_slot) {
 
 void OrionL2Side::handle_failure_notification(PhyId failed) {
   const Nanos notified_at = sim_.now();
+  bool any_failover = false;
+  PhyId promoted;
   for (auto& [ru_value, state] : rus_) {
     if (state.primary != failed) {
       continue;
     }
+    // Idempotence: the switch (or the network) can deliver the same
+    // notification more than once. A failover for this RU is already
+    // pending — re-running it would move the boundary later and log a
+    // duplicate MigrationEvent.
+    if (state.boundary.has_value()) {
+      continue;
+    }
+    any_failover = true;
+    state.failed_phy = failed;
+    promoted = state.secondary;
     // Pick the earliest boundary that the request stream has not yet
     // passed, and steer both the FAPI and the fronthaul there.
     const auto current = config_.slots.slot_at(sim_.now());
@@ -358,6 +443,9 @@ void OrionL2Side::handle_failure_notification(PhyId failed) {
     event.initiated_at = sim_.now();
     event.notification_at = notified_at;
     migration_log_.push_back(event);
+    if (tap_ != nullptr) {
+      tap_->on_migration(event);
+    }
     SLOG_WARN("orion",
               "%s FAILOVER ru=%u phy %u -> %u at slot %lld (notified %.3f ms)",
               name_.c_str(), unsigned(ru_value), state.primary.value(),
@@ -366,6 +454,14 @@ void OrionL2Side::handle_failure_notification(PhyId failed) {
     if (on_failover_) {
       on_failover_(event);
     }
+  }
+  if (any_failover) {
+    // Stop the switch from watching the consumed PHY: stray heartbeats
+    // from a half-dead process must not re-arm its failure detector.
+    send_unwatch_cmd(failed);
+    // The detector must keep covering whoever now serves the RU — the
+    // promoted standby may have been unwatched by an earlier episode.
+    send_watch_cmd(promoted);
   }
 }
 
@@ -388,6 +484,22 @@ void OrionL2Side::send_migrate_cmd(RuId ru, PhyId dest,
   }
 }
 
+void OrionL2Side::send_unwatch_cmd(PhyId phy) {
+  Packet frame;
+  frame.eth.dst = config_.switch_cmd_mac;
+  frame.eth.ethertype = EtherType::kSlingshotCmd;
+  frame.payload = serialize_unwatch_cmd(UnwatchPhyCmd{phy});
+  nic_.send(std::move(frame));
+}
+
+void OrionL2Side::send_watch_cmd(PhyId phy) {
+  Packet frame;
+  frame.eth.dst = config_.switch_cmd_mac;
+  frame.eth.ethertype = EtherType::kSlingshotCmd;
+  frame.payload = serialize_watch_cmd(WatchPhyCmd{phy});
+  nic_.send(std::move(frame));
+}
+
 void OrionL2Side::adopt_standby(RuId ru, PhyId phy, MacAddr orion_mac) {
   auto it = rus_.find(ru.value());
   if (it == rus_.end()) {
@@ -396,10 +508,14 @@ void OrionL2Side::adopt_standby(RuId ru, PhyId phy, MacAddr orion_mac) {
   add_phy_peer(phy, orion_mac);
   auto& state = it->second;
   state.secondary = phy;
+  state.failed_phy = PhyId{};  // episode over: the slot is filled again
   // Replay the stored initialization sequence so the new standby brings
   // up PHY processing for this RU (§6.3).
   for (const auto& msg : state.init_messages) {
     send_to_phy(phy, msg);
+  }
+  if (tap_ != nullptr) {
+    tap_->on_adopt(ru, phy);
   }
   SLOG_INFO("orion", "%s adopted new standby phy=%u for ru=%u", name_.c_str(),
             phy.value(), ru.value());

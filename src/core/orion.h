@@ -75,6 +75,10 @@ class OrionPhySide final : public FapiSink {
   // crash. On by default.
   void enable_loss_compensation(bool enabled) { null_on_loss_ = enabled; }
 
+  // Slot timing used by the loss-compensation watchdog; must match the
+  // deployment's numerology.
+  void set_slot_config(SlotConfig slots) { slots_ = slots; }
+
   // FapiSink: indications arriving from the local PHY over SHM.
   void on_fapi(FapiMessage&& msg) override;
 
@@ -100,12 +104,18 @@ class OrionPhySide final : public FapiSink {
   std::uint64_t to_phy_count_ = 0;
   std::uint64_t to_l2_count_ = 0;
 
-  // Loss compensation (§6.1).
+  // Loss compensation (§6.1). DL and UL request streams are tracked
+  // separately: a lost datagram carries exactly one message, so a hole
+  // can exist in one stream while the other is intact.
+  struct RuLossTrack {
+    std::int64_t last_dl = -1;    // highest DL_TTI slot seen
+    std::int64_t last_ul = -1;    // highest UL_TTI slot seen
+    std::int64_t last_real = -1;  // wall slot a real request last arrived
+  };
   bool null_on_loss_ = true;
   SlotConfig slots_{};
   EventHandle watchdog_;
-  std::map<std::uint8_t, std::int64_t> last_request_slot_;
-  std::map<std::uint8_t, std::int64_t> last_real_request_slot_;
+  std::map<std::uint8_t, RuLossTrack> loss_tracks_;
   std::uint64_t nulls_injected_ = 0;
 };
 
@@ -122,6 +132,10 @@ struct OrionL2Config {
   StandbyMode standby_mode = StandbyMode::kNullFapi;
   // Failover migration boundary margin: B = current_slot + margin.
   int failover_margin_slots = 2;
+  // Fig 7 drain window: responses from the pre-migration primary are
+  // accepted for this many slots after the swap, then the route state
+  // expires (stale pipelines must not leak into later migrations).
+  int drain_window_slots = 8;
   OrionCostModel costs{};
   MacAddr switch_cmd_mac = MacAddr::broadcast();  // migrate_on_slot dst
   // ABLATION: artificial delay before the migrate_on_slot command takes
@@ -142,6 +156,31 @@ struct MigrationEvent {
   Nanos notification_at = 0;    // failure notification arrival (failover)
 };
 
+// Observation tap for the L2-side Orion (src/inject's InvariantChecker
+// attaches here). Pure observer.
+class OrionL2Tap {
+ public:
+  virtual ~OrionL2Tap() = default;
+  // An indication from PHY `from` was forwarded to the L2 (or dropped).
+  // `drained` means it was accepted from the pre-migration primary via
+  // the Fig 7 drain path; `drain_boundary` is that path's slot bound.
+  virtual void on_indication(PhyId /*from*/, const FapiMessage& /*msg*/,
+                             bool /*forwarded*/, bool /*drained*/,
+                             std::int64_t /*drain_boundary*/) {}
+  // A migration (planned or failover) was initiated.
+  virtual void on_migration(const MigrationEvent& /*event*/) {}
+  // The request stream crossed the boundary; FAPI routing swapped.
+  virtual void on_swap_finalized(RuId /*ru*/, std::int64_t /*slot*/,
+                                 PhyId /*new_primary*/,
+                                 std::int64_t /*boundary_slot*/) {}
+  // A replacement standby was adopted (§6.3 init replay).
+  virtual void on_adopt(RuId /*ru*/, PhyId /*phy*/) {}
+  // A failed-over PHY proved itself alive (fresh indications after the
+  // failure notification): the detection was a false positive and its
+  // standby keepalive feed resumes.
+  virtual void on_rehabilitate(RuId /*ru*/, PhyId /*phy*/) {}
+};
+
 struct OrionL2Stats {
   std::uint64_t real_requests_forwarded = 0;
   std::uint64_t null_requests_sent = 0;
@@ -149,6 +188,7 @@ struct OrionL2Stats {
   std::uint64_t standby_responses_dropped = 0;
   std::uint64_t drained_responses_accepted = 0;  // Fig 7 pipeline drain
   std::uint64_t failure_notifications = 0;
+  std::uint64_t rehabilitations = 0;  // false-positive failovers rescinded
   std::uint64_t fapi_bytes_to_standby = 0;  // §8.5 network overhead
 };
 
@@ -181,6 +221,9 @@ class OrionL2Side final : public FapiSink {
     on_failover_ = std::move(callback);
   }
 
+  // Attach an observation tap (invariant checking); nullptr detaches.
+  void set_tap(OrionL2Tap* tap) { tap_ = tap; }
+
   [[nodiscard]] PhyId active_phy(RuId ru) const;
   [[nodiscard]] PhyId standby_phy(RuId ru) const;
   [[nodiscard]] const OrionL2Stats& stats() const { return stats_; }
@@ -191,15 +234,21 @@ class OrionL2Side final : public FapiSink {
 
  private:
   struct RuState {
+    RuId ru;
     PhyId primary;
     PhyId secondary;
     // Pending migration: requests for slots >= boundary go to `target`.
     std::optional<std::int64_t> boundary;
     PhyId target;
     // Previous primary (accepts drained responses for slots < boundary
-    // for a short window after migration).
+    // for a short window after migration). Expires drain_window_slots
+    // after the swap.
     PhyId previous;
     std::int64_t previous_until_slot = -1;
+    std::int64_t swap_wall_slot = -1;  // wall slot the swap finalized at
+    // A failover consumed this PHY; it gets no FAPI (not even nulls)
+    // until adopt_standby replaces or re-adopts it (§6.3).
+    PhyId failed_phy;
     // Stored initialization messages for standby replay (§6.3).
     std::vector<FapiMessage> init_messages;
   };
@@ -209,6 +258,8 @@ class OrionL2Side final : public FapiSink {
   void handle_phy_indication(PhyId from, FapiMessage&& msg);
   void send_to_phy(PhyId phy, const FapiMessage& msg);
   void send_migrate_cmd(RuId ru, PhyId dest, std::int64_t boundary_slot);
+  void send_unwatch_cmd(PhyId phy);
+  void send_watch_cmd(PhyId phy);
   // Resolve who is real/standby for a request targeting `slot`,
   // finalizing the swap once the boundary has passed.
   [[nodiscard]] std::pair<PhyId, PhyId> route_for_slot(RuState& state,
@@ -223,6 +274,7 @@ class OrionL2Side final : public FapiSink {
   std::map<std::uint8_t, MacAddr> phy_peers_;
   std::map<std::uint8_t, RuState> rus_;
   std::function<void(const MigrationEvent&)> on_failover_;
+  OrionL2Tap* tap_ = nullptr;
   OrionL2Stats stats_;
   std::vector<MigrationEvent> migration_log_;
 };

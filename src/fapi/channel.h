@@ -8,6 +8,7 @@
 // directly (coupled deployment) or an Orion middlebox (Slingshot).
 #pragma once
 
+#include <functional>
 #include <utility>
 
 #include "fapi/fapi.h"
@@ -30,9 +31,18 @@ class ShmFapiPipe {
   void connect(FapiSink* sink) { sink_ = sink; }
   [[nodiscard]] bool connected() const { return sink_ != nullptr; }
 
+  // Observation tap (src/inject): sees every message entering the pipe.
+  // Read-only; does not affect delivery.
+  void set_tap(std::function<void(const FapiMessage&)> tap) {
+    tap_ = std::move(tap);
+  }
+
   void send(FapiMessage&& msg) {
     if (sink_ == nullptr) {
       return;
+    }
+    if (tap_) {
+      tap_(msg);
     }
     FapiSink* sink = sink_;
     sim_->after(latency_, [sink, m = std::move(msg)]() mutable {
@@ -44,6 +54,7 @@ class ShmFapiPipe {
   Simulator* sim_;
   Nanos latency_;
   FapiSink* sink_ = nullptr;
+  std::function<void(const FapiMessage&)> tap_;
 };
 
 }  // namespace slingshot

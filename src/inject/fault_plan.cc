@@ -1,0 +1,128 @@
+#include "inject/fault_plan.h"
+
+#include <algorithm>
+
+namespace slingshot {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKillPhy:
+      return "kill_phy";
+    case FaultKind::kHangPhy:
+      return "hang_phy";
+    case FaultKind::kReviveStandby:
+      return "revive_standby";
+    case FaultKind::kPlannedMigration:
+      return "planned_migration";
+    case FaultKind::kDropFronthaul:
+      return "drop_fronthaul";
+    case FaultKind::kDropFapi:
+      return "drop_fapi";
+    case FaultKind::kCorruptFapi:
+      return "corrupt_fapi";
+    case FaultKind::kDropMigrateCmd:
+      return "drop_migrate_cmd";
+    case FaultKind::kDupFailureNotify:
+      return "dup_failure_notify";
+    case FaultKind::kDelayFailureNotify:
+      return "delay_failure_notify";
+    case FaultKind::kDelayFapiInd:
+      return "delay_fapi_ind";
+  }
+  return "?";
+}
+
+namespace {
+const char* site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kNone:
+      return "-";
+    case FaultSite::kPhyA:
+      return "phy-a";
+    case FaultSite::kPhyB:
+      return "phy-b";
+    case FaultSite::kOrionA:
+      return "orion-a";
+    case FaultSite::kOrionB:
+      return "orion-b";
+    case FaultSite::kOrionL2:
+      return "orion-l2";
+    case FaultSite::kRu:
+      return "ru";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string describe(const FaultEvent& event) {
+  return std::string(fault_kind_name(event.kind)) + "@" + site_name(event.site) +
+         " t=" + std::to_string(event.at) + "ns n=" +
+         std::to_string(event.count) + " d=" + std::to_string(event.duration) +
+         "ns";
+}
+
+FaultPlan make_random_fault_plan(RngStream& rng, Nanos start, Nanos end,
+                                 int num_events, bool include_failovers) {
+  FaultPlan plan;
+  const Nanos span = end - start;
+
+  // Packet-level faults the system must absorb transparently (§6.1 loss
+  // compensation, §6.2 idempotent failover signalling).
+  for (int i = 0; i < num_events; ++i) {
+    FaultEvent e;
+    e.at = start + Nanos(rng.uniform(0.0, double(span)));
+    switch (rng.uniform_int(0, 4)) {
+      case 0:
+        e.kind = FaultKind::kDropFapi;
+        e.site = rng.bernoulli(0.5) ? FaultSite::kOrionA : FaultSite::kOrionB;
+        e.count = rng.uniform_int(1, 3);
+        break;
+      case 1:
+        e.kind = FaultKind::kCorruptFapi;
+        e.site = rng.bernoulli(0.5) ? FaultSite::kOrionA : FaultSite::kOrionB;
+        e.count = rng.uniform_int(1, 2);
+        break;
+      case 2:
+        e.kind = FaultKind::kDropFronthaul;
+        e.site = rng.bernoulli(0.5) ? FaultSite::kRu
+                 : rng.bernoulli(0.5) ? FaultSite::kPhyA
+                                      : FaultSite::kPhyB;
+        e.count = rng.uniform_int(1, 2);
+        break;
+      case 3:
+        e.kind = FaultKind::kDupFailureNotify;
+        e.site = FaultSite::kOrionL2;
+        e.count = 1;
+        e.duration = Nanos(rng.uniform(50'000.0, 400'000.0));
+        break;
+      default:
+        e.kind = FaultKind::kDelayFailureNotify;
+        e.site = FaultSite::kOrionL2;
+        e.count = 1;
+        e.duration = Nanos(rng.uniform(20'000.0, 200'000.0));
+        break;
+    }
+    plan.add(e);
+  }
+
+  if (include_failovers && span > 2'000_ms) {
+    // Alternating kill/revive cycles, spaced so each failover completes
+    // and the revived PHY re-arms before the next one hits. The newly
+    // active PHY alternates, so alternate the kill target.
+    Nanos t = start + span / 4;
+    bool kill_a = true;
+    while (t + 600_ms < end) {
+      plan.add(t, FaultKind::kKillPhy,
+               kill_a ? FaultSite::kPhyA : FaultSite::kPhyB);
+      plan.add(t + 200_ms, FaultKind::kReviveStandby);
+      kill_a = !kill_a;
+      t += span / 3;
+    }
+  }
+
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return plan;
+}
+
+}  // namespace slingshot

@@ -1,0 +1,92 @@
+// Deterministic fault plans for the Slingshot testbed.
+//
+// A FaultPlan is a script of fault events against simulator time:
+// PHY crash/hang/restart, fronthaul and FAPI datagram loss and
+// corruption, delayed or duplicated failure notifications, and lost
+// migrate_on_slot commands. The FaultInjector (injector.h) binds a plan
+// to a live Testbed through the Nic/Link interceptor hooks, so the same
+// seed always produces the same fault sequence — every failure found by
+// the randomized soak is replayable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace slingshot {
+
+enum class FaultKind : std::uint8_t {
+  kKillPhy,             // fail-stop the PHY process at `at` (§8.2 SIGKILL)
+  kHangPhy,             // silence the PHY's network tx for `duration`
+                        // (process alive but wedged — a gray failure)
+  kReviveStandby,       // restart the dead PHY and adopt it as standby
+  kPlannedMigration,    // planned migration, boundary `count` slots ahead
+  kDropFronthaul,       // drop the next `count` eCPRI frames leaving `site`
+  kDropFapi,            // drop the next `count` FAPI datagrams reaching `site`
+  kCorruptFapi,         // corrupt the next `count` FAPI datagrams at `site`
+  kDropMigrateCmd,      // drop the next `count` commands sent by L2 Orion
+  kDupFailureNotify,    // duplicate the next `count` failure notifications,
+                        // the copy delivered `duration` later
+  kDelayFailureNotify,  // delay the next `count` notifications by `duration`
+  kDelayFapiInd,        // delay the next `count` FAPI indications from
+                        // `site` (a PHY-side Orion) by `duration`
+};
+
+// Where a fault applies. For packet faults this names the NIC whose
+// traffic is affected; for process faults the PHY.
+enum class FaultSite : std::uint8_t {
+  kNone,
+  kPhyA,
+  kPhyB,
+  kOrionA,
+  kOrionB,
+  kOrionL2,
+  kRu,
+};
+
+struct FaultEvent {
+  Nanos at = 0;
+  FaultKind kind = FaultKind::kKillPhy;
+  FaultSite site = FaultSite::kNone;
+  int count = 1;       // frames affected / migration lead slots
+  Nanos duration = 0;  // hang length or injected delay
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  FaultPlan& add(FaultEvent event) {
+    events.push_back(event);
+    return *this;
+  }
+  FaultPlan& add(Nanos at, FaultKind kind, FaultSite site = FaultSite::kNone,
+                 int count = 1, Nanos duration = 0) {
+    return add(FaultEvent{at, kind, site, count, duration});
+  }
+
+  [[nodiscard]] bool contains(FaultKind kind) const {
+    for (const auto& e : events) {
+      if (e.kind == kind) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+[[nodiscard]] std::string describe(const FaultEvent& event);
+
+// A reproducible random plan over [start, end): datagram loss and
+// corruption, duplicated/delayed notifications, plus (optionally)
+// alternating kill/revive failover cycles. Only faults the system is
+// contractually expected to survive are drawn, so a clean run must
+// produce zero invariant violations.
+[[nodiscard]] FaultPlan make_random_fault_plan(RngStream& rng, Nanos start,
+                                               Nanos end, int num_events,
+                                               bool include_failovers = true);
+
+}  // namespace slingshot

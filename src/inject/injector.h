@@ -1,0 +1,88 @@
+// Binds a FaultPlan to a live Testbed.
+//
+// The injector installs NIC interceptors once at construction and keeps
+// per-fault budgets; arming a plan schedules its events on the
+// simulator, and each event either acts immediately (kill, revive,
+// planned migration) or tops up a budget that the interceptors consume
+// as matching packets flow (drop the next N fronthaul frames, duplicate
+// the next notification, ...). Everything is driven off the simulator
+// clock and the testbed's seeded RNG, so runs are fully reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "inject/fault_plan.h"
+#include "testbed/testbed.h"
+
+namespace slingshot {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Testbed& testbed);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedule every event in `plan` on the testbed's simulator. May be
+  // called more than once; plans accumulate.
+  void arm(const FaultPlan& plan);
+
+  // Interceptor activity, for test assertions.
+  [[nodiscard]] std::uint64_t fronthaul_dropped() const {
+    return fronthaul_dropped_;
+  }
+  [[nodiscard]] std::uint64_t fapi_dropped() const { return fapi_dropped_; }
+  [[nodiscard]] std::uint64_t fapi_corrupted() const { return fapi_corrupted_; }
+  [[nodiscard]] std::uint64_t commands_dropped() const {
+    return commands_dropped_;
+  }
+  [[nodiscard]] std::uint64_t notifications_duplicated() const {
+    return notifications_duplicated_;
+  }
+  [[nodiscard]] std::uint64_t notifications_delayed() const {
+    return notifications_delayed_;
+  }
+  [[nodiscard]] std::uint64_t indications_delayed() const {
+    return indications_delayed_;
+  }
+
+ private:
+  void apply(const FaultEvent& event);
+  [[nodiscard]] Nic* site_nic(FaultSite site);
+
+  Testbed& tb_;
+  std::vector<EventHandle> scheduled_;
+
+  // Budgets consumed by the interceptors ("the next N ...").
+  int drop_fronthaul_ru_ = 0;
+  int drop_fronthaul_phy_a_ = 0;
+  int drop_fronthaul_phy_b_ = 0;
+  int drop_fapi_a_ = 0;
+  int drop_fapi_b_ = 0;
+  int corrupt_fapi_a_ = 0;
+  int corrupt_fapi_b_ = 0;
+  int drop_cmd_ = 0;
+  int dup_notify_ = 0;
+  Nanos dup_notify_delay_ = 0;
+  int delay_notify_ = 0;
+  Nanos delay_notify_by_ = 0;
+  int delay_ind_ = 0;
+  Nanos delay_ind_by_ = 0;
+  MacAddr delay_ind_src_;
+
+  // PHY tx silenced ("hung") until these instants.
+  Nanos hang_a_until_ = 0;
+  Nanos hang_b_until_ = 0;
+
+  std::uint64_t fronthaul_dropped_ = 0;
+  std::uint64_t fapi_dropped_ = 0;
+  std::uint64_t fapi_corrupted_ = 0;
+  std::uint64_t commands_dropped_ = 0;
+  std::uint64_t notifications_duplicated_ = 0;
+  std::uint64_t notifications_delayed_ = 0;
+  std::uint64_t indications_delayed_ = 0;
+};
+
+}  // namespace slingshot

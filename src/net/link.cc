@@ -15,6 +15,10 @@ void Link::send(Packet&& packet, bool a_to_b) {
     ++dropped_;
     return;
   }
+  if (fault_hook_ && !fault_hook_(packet, a_to_b)) {
+    ++dropped_;
+    return;
+  }
   Nanos& busy_until = a_to_b ? busy_until_ab_ : busy_until_ba_;
   const Nanos start = std::max(sim_.now(), busy_until);
   const auto bits = double(packet.wire_size()) * 8.0;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "common/rng.h"
@@ -36,12 +37,19 @@ class Link {
   [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t frames_delivered() const { return delivered_; }
 
+  // Fault-injection hook (src/inject): sees every frame before it is
+  // serialized onto the wire, may mutate it; returning false drops it
+  // (counted in frames_dropped).
+  using FaultHook = std::function<bool(Packet&, bool a_to_b)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
  private:
   void send(Packet&& packet, bool a_to_b);
 
   Simulator& sim_;
   LinkConfig config_;
   RngStream loss_rng_;
+  FaultHook fault_hook_;
   FrameSink* side_a_ = nullptr;
   FrameSink* side_b_ = nullptr;
   Nanos busy_until_ab_ = 0;

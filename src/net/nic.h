@@ -26,6 +26,14 @@ class Nic final : public FrameSink {
     rx_ = std::move(handler);
   }
 
+  // Fault-injection hooks (src/inject): an interceptor sees every frame
+  // on its path and may mutate it; returning false drops the frame. The
+  // tx interceptor runs after the source MAC is stamped, the rx
+  // interceptor before the frame reaches the rx handler.
+  using PacketInterceptor = std::function<bool(Packet&)>;
+  void set_tx_interceptor(PacketInterceptor f) { tx_intercept_ = std::move(f); }
+  void set_rx_interceptor(PacketInterceptor f) { rx_intercept_ = std::move(f); }
+
   [[nodiscard]] MacAddr mac() const { return mac_; }
 
   void send(Packet&& packet) {
@@ -34,12 +42,31 @@ class Nic final : public FrameSink {
     }
     packet.eth.src = mac_;
     packet.created_at = sim_->now();
+    if (tx_intercept_ && !tx_intercept_(packet)) {
+      ++tx_injected_drops_;
+      return;
+    }
     ++tx_frames_;
     tx_bytes_ += packet.wire_size();
     link_->send_from_a(std::move(packet));
   }
 
   void handle_frame(Packet&& packet) override {
+    if (rx_intercept_ && !rx_intercept_(packet)) {
+      ++rx_injected_drops_;
+      return;
+    }
+    ++rx_frames_;
+    rx_bytes_ += packet.wire_size();
+    if (rx_) {
+      rx_(std::move(packet));
+    }
+  }
+
+  // Deliver a frame straight to the rx handler, bypassing the rx
+  // interceptor — used by the injector to re-deliver duplicated or
+  // delayed frames without re-intercepting them.
+  void inject_rx(Packet&& packet) {
     ++rx_frames_;
     rx_bytes_ += packet.wire_size();
     if (rx_) {
@@ -51,16 +78,26 @@ class Nic final : public FrameSink {
   [[nodiscard]] std::uint64_t rx_frames() const { return rx_frames_; }
   [[nodiscard]] std::uint64_t tx_bytes() const { return tx_bytes_; }
   [[nodiscard]] std::uint64_t rx_bytes() const { return rx_bytes_; }
+  [[nodiscard]] std::uint64_t tx_injected_drops() const {
+    return tx_injected_drops_;
+  }
+  [[nodiscard]] std::uint64_t rx_injected_drops() const {
+    return rx_injected_drops_;
+  }
 
  private:
   Simulator* sim_;
   MacAddr mac_;
   Link* link_ = nullptr;
   std::function<void(Packet&&)> rx_;
+  PacketInterceptor tx_intercept_;
+  PacketInterceptor rx_intercept_;
   std::uint64_t tx_frames_ = 0;
   std::uint64_t rx_frames_ = 0;
   std::uint64_t tx_bytes_ = 0;
   std::uint64_t rx_bytes_ = 0;
+  std::uint64_t tx_injected_drops_ = 0;
+  std::uint64_t rx_injected_drops_ = 0;
 };
 
 }  // namespace slingshot

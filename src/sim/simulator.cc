@@ -21,9 +21,13 @@ EventHandle Simulator::every(Nanos start, Nanos period,
   }
   auto flag = std::make_shared<bool>(false);
   // Self-rescheduling closure; shares the same cancellation flag so that
-  // cancelling the returned handle stops all future firings.
+  // cancelling the returned handle stops all future firings. The closure
+  // holds only a weak reference to itself — the strong one lives in the
+  // queued event — so the series is freed once no firing is pending
+  // (a strong self-capture would be an unreclaimable cycle).
   auto tick = std::make_shared<std::function<void(Nanos)>>();
-  *tick = [this, period, fn = std::move(fn), flag, tick](Nanos when) {
+  *tick = [this, period, fn = std::move(fn), flag,
+           weak = std::weak_ptr<std::function<void(Nanos)>>(tick)](Nanos when) {
     if (*flag) {
       return;
     }
@@ -31,9 +35,13 @@ EventHandle Simulator::every(Nanos start, Nanos period,
     if (*flag) {
       return;  // fn may have cancelled the series
     }
+    auto self = weak.lock();  // always succeeds: we are running through it
+    if (self == nullptr) {
+      return;
+    }
     const Nanos next = when + period;
     queue_.push(Event{next, next_seq_++,
-                      [tick, next] { (*tick)(next); }, flag});
+                      [self, next] { (*self)(next); }, flag});
   };
   queue_.push(Event{start, next_seq_++, [tick, start] { (*tick)(start); },
                     flag});

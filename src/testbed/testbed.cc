@@ -66,7 +66,11 @@ void Testbed::build_fabric() {
     ru2_nic_ = add_station(10, kRu2Mac);
   }
 
-  mbox_ = std::make_shared<FronthaulMiddlebox>(sim_, config_.mbox);
+  // The middlebox must share the deployment's numerology or its boundary
+  // math disagrees with the Orions'.
+  auto mbox_cfg = config_.mbox;
+  mbox_cfg.slots = config_.slots;
+  mbox_ = std::make_shared<FronthaulMiddlebox>(sim_, mbox_cfg);
   mbox_->register_ru(kRu, MacAddr{kRuMac});
   mbox_->register_phy(kPhyA, MacAddr{kPhyAMac});
   mbox_->register_phy(kPhyB, MacAddr{kPhyBMac});
@@ -143,6 +147,10 @@ void Testbed::wire_slingshot() {
                                             config_.orion_costs);
   orion_b_ = std::make_unique<OrionPhySide>(sim_, "orion-b", *orion_b_nic_,
                                             config_.orion_costs);
+  // The loss-compensation watchdog ticks per TTI; give both sides the
+  // deployment numerology instead of the default.
+  orion_a_->set_slot_config(config_.slots);
+  orion_b_->set_slot_config(config_.slots);
   OrionL2Config ol2;
   ol2.slots = config_.slots;
   ol2.standby_mode = config_.standby_mode;

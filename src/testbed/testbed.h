@@ -112,6 +112,23 @@ class Testbed {
   [[nodiscard]] UserEquipment& ue(int i) { return *ues_.at(std::size_t(i)); }
   [[nodiscard]] ProgrammableSwitch& fabric() { return *switch_; }
 
+  // ---- Fault-injection and invariant-checker access (src/inject) ----
+  // NIC handles for installing packet interceptors. Valid after
+  // construction in every mode.
+  [[nodiscard]] Nic& ru_nic() { return *ru_nic_; }
+  [[nodiscard]] Nic& phy_a_nic() { return *phy_a_nic_; }
+  [[nodiscard]] Nic& phy_b_nic() { return *phy_b_nic_; }
+  [[nodiscard]] Nic& orion_a_nic() { return *orion_a_nic_; }
+  [[nodiscard]] Nic& orion_b_nic() { return *orion_b_nic_; }
+  [[nodiscard]] Nic& orion_l2_nic() { return *orion_l2_nic_; }
+  // PHY-side Orions (kSlingshot mode only).
+  [[nodiscard]] OrionPhySide& orion_a() { return *orion_a_; }
+  [[nodiscard]] OrionPhySide& orion_b() { return *orion_b_; }
+  // FAPI pipes feeding the PHYs / the L2; null in modes without them.
+  [[nodiscard]] ShmFapiPipe* pipe_to_phy_a() { return to_phy_a_.get(); }
+  [[nodiscard]] ShmFapiPipe* pipe_to_phy_b() { return to_phy_b_.get(); }
+  [[nodiscard]] ShmFapiPipe* pipe_to_l2() { return mbx_to_l2_.get(); }
+
   // ---- Traffic endpoints ----
   // Server-side pipe (app server) and UE-side pipe for UE i.
   [[nodiscard]] DatagramPipe& server_pipe(int i);

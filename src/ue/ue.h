@@ -79,6 +79,8 @@ class UserEquipment {
  public:
   UserEquipment(Simulator& sim, std::string name, UeConfig config,
                 FadingConfig fading, RngStream channel_rng);
+  // The supervision timer captures `this`; stop it before the UE goes.
+  ~UserEquipment() { supervision_task_.cancel(); }
 
   [[nodiscard]] UeId id() const { return config_.id; }
   [[nodiscard]] const std::string& name() const { return name_; }

@@ -251,16 +251,41 @@ TEST(FronthaulMiddlebox, MalformedPacketsDropped) {
   junk.eth.ethertype = EtherType::kEcpri;
   junk.payload = {0x10, 0x00};  // truncated past the eCPRI header
   f.phy1->send(std::move(junk));
-  // Truncated migrate command.
+  // Truncated migrate command (opcode present, body cut short).
   Packet cmd;
   cmd.eth.dst = MacAddr::broadcast();
   cmd.eth.ethertype = EtherType::kSlingshotCmd;
-  cmd.payload = {1, 2};
+  cmd.payload = {kCmdOpMigrateOnSlot, 1, 2};
   f.orion->send(std::move(cmd));
+  // Unknown opcode.
+  Packet junk_cmd;
+  junk_cmd.eth.dst = MacAddr::broadcast();
+  junk_cmd.eth.ethertype = EtherType::kSlingshotCmd;
+  junk_cmd.payload = {0x7F, 1};
+  f.orion->send(std::move(junk_cmd));
   f.sim.run_until(1_ms);  // neither throws nor changes state
-  EXPECT_EQ(f.mbox->stats().unknown_dropped, 2U);
+  EXPECT_EQ(f.mbox->stats().unknown_dropped, 3U);
   EXPECT_EQ(f.mbox->stats().commands_received, 0U);
   EXPECT_EQ(f.mbox->active_phy(RuId{1}), PhyId{1});
+}
+
+TEST(FronthaulMiddlebox, UnwatchCommandDisarmsDetector) {
+  MboxFixture f;
+  f.mbox->watch_phy(PhyId{1}, MacAddr{kOrionMac});
+  ASSERT_TRUE(f.mbox->phy_watched(PhyId{1}));
+  int notifications = 0;
+  f.orion->set_rx_handler([&](Packet&&) { ++notifications; });
+  f.sw.start_packet_generator(f.mbox->generator_period());
+  // Disarm over the wire, then stay silent past many timeouts.
+  Packet cmd;
+  cmd.eth.dst = MacAddr::broadcast();
+  cmd.eth.ethertype = EtherType::kSlingshotCmd;
+  cmd.payload = serialize_unwatch_cmd(UnwatchPhyCmd{PhyId{1}});
+  f.orion->send(std::move(cmd));
+  f.sim.run_until(10_ms);
+  EXPECT_FALSE(f.mbox->phy_watched(PhyId{1}));
+  EXPECT_EQ(notifications, 0);
+  EXPECT_EQ(f.mbox->stats().failures_detected, 0U);
 }
 
 TEST(MigrateCmd, SerializationRoundtrip) {

@@ -212,10 +212,13 @@ TEST(L2Process, DlHarqExhaustionRequeuesSdus) {
   ASSERT_NE(scheduled, nullptr);
   (void)dl;
   const auto pdu = std::get<DlTtiRequest>(scheduled->body).pdus[0];
+  // Copy before the loop: each run_until below appends to
+  // f.capture.messages, invalidating `scheduled`.
+  const auto scheduled_slot = scheduled->slot;
   // NACK it max_harq_retx + 1 times.
   for (int i = 0; i <= f.config.max_harq_retx; ++i) {
     f.l2.on_fapi(FapiMessage{
-        RuId{1}, scheduled->slot + i,
+        RuId{1}, scheduled_slot + i,
         UciIndication{{UciEntry{pdu.ue, pdu.harq, false}}}});
     f.sim.run_until(f.sim.now() + 5_ms);
   }
