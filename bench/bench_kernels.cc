@@ -50,6 +50,64 @@ void BM_LdpcDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_LdpcDecode)->Arg(2)->Arg(8)->Arg(16)->Arg(32);
 
+// Shared noisy-channel LLR generator for the schedule/workspace
+// comparisons below.
+std::vector<float> noisy_llrs(const LdpcCode& code, std::uint64_t seed) {
+  const auto cw = code.encode(random_bits(code.k(), seed));
+  auto rng = RngRegistry{seed + 1}.stream("noise");
+  const double sigma2 = std::pow(10.0, -3.0 / 10.0);
+  std::vector<float> llrs(cw.size());
+  for (std::size_t i = 0; i < cw.size(); ++i) {
+    const double x = cw[i] ? -1.0 : 1.0;
+    llrs[i] = float(2.0 * (x + rng.gaussian(0, std::sqrt(sigma2))) / sigma2);
+  }
+  return llrs;
+}
+
+// Flooding vs layered at an equal iteration budget: layered usually
+// early-exits in about half the iterations, which shows up directly as
+// wall time here.
+void BM_LdpcDecodeSchedule(benchmark::State& state) {
+  const auto& code = LdpcCode::standard();
+  const auto llrs = noisy_llrs(code, 12);
+  const auto schedule = LdpcSchedule(state.range(0));
+  const int iters = int(state.range(1));
+  LdpcCode::DecodeWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode_into(llrs, iters, ws, schedule));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LdpcDecodeSchedule)
+    ->ArgNames({"schedule", "iters"})
+    ->Args({int(LdpcSchedule::kFlooding), 8})
+    ->Args({int(LdpcSchedule::kLayered), 8})
+    ->Args({int(LdpcSchedule::kFlooding), 32})
+    ->Args({int(LdpcSchedule::kLayered), 32});
+
+// Workspace reuse vs the allocating wrapper: the same algorithm, with
+// and without per-decode heap traffic.
+void BM_LdpcDecodeWorkspaceReuse(benchmark::State& state) {
+  const auto& code = LdpcCode::standard();
+  const auto llrs = noisy_llrs(code, 13);
+  const bool reuse = state.range(0) != 0;
+  LdpcCode::DecodeWorkspace ws;
+  for (auto _ : state) {
+    if (reuse) {
+      benchmark::DoNotOptimize(code.decode_into(llrs, 8, ws));
+    } else {
+      // Fresh workspace per decode: every scratch vector reallocates.
+      LdpcCode::DecodeWorkspace fresh;
+      benchmark::DoNotOptimize(code.decode_into(llrs, 8, fresh));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LdpcDecodeWorkspaceReuse)
+    ->ArgNames({"reuse"})
+    ->Arg(0)
+    ->Arg(1);
+
 void BM_Modulate(benchmark::State& state) {
   const Modulator mod{Modulation(state.range(0))};
   const auto bits = random_bits(648, 4);
@@ -88,9 +146,12 @@ void BM_TbDecodeFullChain(benchmark::State& state) {
     b = std::uint8_t(rng.next_u64());
   }
   const auto enc = encode_tb(payload, Modulation::kQam64);
+  TbDecodeWorkspace ws;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(decode_tb(enc.iq, Modulation::kQam64, payload, 8));
+    benchmark::DoNotOptimize(decode_tb(enc.iq, Modulation::kQam64, payload, 8,
+                                       nullptr, LdpcCode::standard(), &ws));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TbDecodeFullChain);
 

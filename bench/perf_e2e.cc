@@ -1,0 +1,182 @@
+// End-to-end wall-clock performance harness — the regression tripwire
+// for the simulator/PHY/packet-path hot-path work.
+//
+// Runs two representative scenarios:
+//  * fig10_failover      — a Fig 10-style run: bidirectional UDP (DL
+//                          120 Mbps + UL 15.8 Mbps) through a primary-PHY
+//                          failover, 10 s of virtual time.
+//  * tab02_migration     — a Table 2-style slice: uplink UDP near the
+//                          decoding threshold while the PHY migrates
+//                          back and forth at 20/s.
+//
+// For each scenario it reports wall-clock seconds, simulated-time
+// speedup, executed events/s and LDPC decodes/s, and appends a
+// machine-readable row to BENCH_perf.json (see bench_util.h) so later
+// PRs have a trajectory to not regress.
+//
+// `perf_e2e --short` runs abbreviated horizons — the ctest smoke mode
+// that keeps this harness itself from rotting.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "testbed/testbed.h"
+#include "transport/apps.h"
+
+namespace slingshot {
+namespace {
+
+struct PerfResult {
+  double wall_s = 0;
+  double sim_s = 0;
+  std::uint64_t events = 0;
+  std::int64_t decodes = 0;  // PHY UL decodes + UE DL decodes
+  std::uint64_t ul_rx_pkts = 0;
+  std::uint64_t dl_rx_pkts = 0;
+};
+
+double wall_seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::int64_t total_decodes(Testbed& tb, int num_ues) {
+  std::int64_t decodes =
+      tb.phy_a().stats().ul_tbs_decoded + tb.phy_b().stats().ul_tbs_decoded;
+  for (int i = 0; i < num_ues; ++i) {
+    decodes += tb.ue(i).stats().dl_tbs_ok + tb.ue(i).stats().dl_tbs_failed;
+  }
+  return decodes;
+}
+
+// Fig 10-style: heavy bidirectional UDP with a fail-stop primary crash
+// partway through.
+PerfResult run_fig10(Nanos horizon, Nanos event_time) {
+  TestbedConfig cfg;
+  cfg.seed = 10;
+  cfg.num_ues = 1;
+  cfg.ue_mean_snr_db = {21.0};
+  Testbed tb{cfg};
+
+  UdpFlowConfig dl_cfg;
+  dl_cfg.rate_bps = 120e6;
+  UdpFlow dl{tb.sim(), tb.server_pipe(0), tb.ue_pipe(0), dl_cfg};
+  UdpFlowConfig ul_cfg;
+  ul_cfg.rate_bps = 15.8e6;
+  UdpFlow ul{tb.sim(), tb.ue_pipe(0), tb.server_pipe(0), ul_cfg};
+
+  tb.start();
+  tb.run_until(100_ms);
+  dl.start();
+  ul.start();
+  tb.sim().at(event_time, [&tb] { tb.kill_primary_phy(); });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto events_before = tb.sim().executed_events();
+  tb.run_until(horizon);
+  PerfResult r;
+  r.wall_s = wall_seconds_since(t0);
+  r.sim_s = double(horizon - 100_ms) / 1e9;
+  r.events = tb.sim().executed_events() - events_before;
+  r.decodes = total_decodes(tb, cfg.num_ues);
+  r.dl_rx_pkts = dl.packets_received();
+  r.ul_rx_pkts = ul.packets_received();
+  return r;
+}
+
+// Table 2-style: uplink UDP near the decoding threshold while planned
+// migrations bounce the PHY at 20/s.
+PerfResult run_tab02(Nanos measure) {
+  TestbedConfig cfg;
+  cfg.seed = 21;
+  cfg.num_ues = 1;
+  cfg.ue_mean_snr_db = {13.5};
+  cfg.phy.ldpc_max_iters = 4;
+  Testbed tb{cfg};
+
+  UdpFlowConfig flow_cfg;
+  flow_cfg.rate_bps = 8e6;
+  UdpFlow flow{tb.sim(), tb.ue_pipe(0), tb.server_pipe(0), flow_cfg};
+
+  tb.start();
+  tb.run_until(500_ms);
+  flow.start();
+  const auto period = Nanos(1e9 / 20.0);
+  auto migrate_task = tb.sim().every(tb.sim().now() + period, period,
+                                     [&tb] { tb.planned_migration(); });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto events_before = tb.sim().executed_events();
+  tb.run_until(500_ms + measure);
+  migrate_task.cancel();
+  PerfResult r;
+  r.wall_s = wall_seconds_since(t0);
+  r.sim_s = double(measure) / 1e9;
+  r.events = tb.sim().executed_events() - events_before;
+  r.decodes = total_decodes(tb, cfg.num_ues);
+  r.ul_rx_pkts = flow.packets_received();
+  return r;
+}
+
+void report(const char* scenario, const PerfResult& r,
+            const std::string& json_path) {
+  using namespace slingshot::bench;
+  std::printf("\n%s:\n", scenario);
+  std::printf("  wall-clock       %8.2f s\n", r.wall_s);
+  std::printf("  virtual time     %8.2f s  (%.1fx real time)\n", r.sim_s,
+              r.sim_s / r.wall_s);
+  std::printf("  events           %8llu  (%.0f events/s)\n",
+              (unsigned long long)r.events, double(r.events) / r.wall_s);
+  std::printf("  LDPC decodes     %8lld  (%.0f decodes/s)\n",
+              (long long)r.decodes, double(r.decodes) / r.wall_s);
+  std::printf("  UL/DL pkts rx    %llu / %llu\n",
+              (unsigned long long)r.ul_rx_pkts,
+              (unsigned long long)r.dl_rx_pkts);
+
+  JsonRow row{"perf_e2e"};
+  row.str("scenario", scenario)
+      .num("wall_s", r.wall_s)
+      .num("sim_s", r.sim_s)
+      .integer("events", (long long)(r.events))
+      .num("events_per_s", double(r.events) / r.wall_s)
+      .integer("decodes", (long long)(r.decodes))
+      .num("decodes_per_s", double(r.decodes) / r.wall_s)
+      .integer("ul_rx_pkts", (long long)(r.ul_rx_pkts))
+      .integer("dl_rx_pkts", (long long)(r.dl_rx_pkts));
+  append_bench_json(json_path, row);
+}
+
+}  // namespace
+}  // namespace slingshot
+
+int main(int argc, char** argv) {
+  using namespace slingshot;
+  using namespace slingshot::bench;
+  bool short_mode = false;
+  std::string json_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      short_mode = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  print_banner("perf_e2e", short_mode
+                               ? "wall-clock perf harness (short smoke mode)"
+                               : "wall-clock perf harness");
+  print_note(("rows appended to " + json_path).c_str());
+
+  const auto fig10 = short_mode ? run_fig10(1'500_ms, 500_ms)
+                                : run_fig10(10'000_ms, 2'000_ms);
+  report(short_mode ? "fig10_failover_short" : "fig10_failover", fig10,
+         json_path);
+
+  const auto tab02 =
+      short_mode ? run_tab02(2'000_ms) : run_tab02(6'000_ms);
+  report(short_mode ? "tab02_migration_short" : "tab02_migration", tab02,
+         json_path);
+  return 0;
+}

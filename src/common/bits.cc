@@ -1,15 +1,35 @@
 #include "common/bits.h"
 
+#include <algorithm>
+
 namespace slingshot {
+
+void bytes_to_bits_into(std::span<const std::uint8_t> bytes,
+                        std::size_t max_bits, std::vector<std::uint8_t>& out) {
+  const std::size_t n_bits = std::min(bytes.size() * 8, max_bits);
+  out.resize(n_bits);
+  std::uint8_t* dst = out.data();
+  const std::size_t full_bytes = n_bits / 8;
+  for (std::size_t i = 0; i < full_bytes; ++i) {
+    const std::uint8_t byte = bytes[i];
+    dst[0] = (byte >> 7) & 1U;
+    dst[1] = (byte >> 6) & 1U;
+    dst[2] = (byte >> 5) & 1U;
+    dst[3] = (byte >> 4) & 1U;
+    dst[4] = (byte >> 3) & 1U;
+    dst[5] = (byte >> 2) & 1U;
+    dst[6] = (byte >> 1) & 1U;
+    dst[7] = byte & 1U;
+    dst += 8;
+  }
+  for (std::size_t b = full_bytes * 8; b < n_bits; ++b) {
+    *dst++ = (bytes[b / 8] >> (7 - (b % 8))) & 1U;
+  }
+}
 
 std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes) {
   std::vector<std::uint8_t> bits;
-  bits.reserve(bytes.size() * 8);
-  for (const auto byte : bytes) {
-    for (int b = 7; b >= 0; --b) {
-      bits.push_back((byte >> b) & 1U);
-    }
-  }
+  bytes_to_bits_into(bytes, bytes.size() * 8, bits);
   return bits;
 }
 

@@ -91,6 +91,20 @@ class ByteReader {
     pos_ += n;
     return out;
   }
+  // Copy n bytes into a caller-owned (e.g. pooled) buffer.
+  void bytes_into(std::size_t n, std::vector<std::uint8_t>& out) {
+    require(n);
+    out.assign(data_.begin() + long(pos_), data_.begin() + long(pos_ + n));
+    pos_ += n;
+  }
+  // Zero-copy view of the next n bytes; only valid while the underlying
+  // buffer lives.
+  [[nodiscard]] std::span<const std::uint8_t> view(std::size_t n) {
+    require(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
   void skip(std::size_t n) {
     require(n);
     pos_ += n;
@@ -170,6 +184,11 @@ class BitVector {
 // through the bit-level PHY chain.
 [[nodiscard]] std::vector<std::uint8_t> bytes_to_bits(
     std::span<const std::uint8_t> bytes);
+// Non-allocating variant: unpacks at most `max_bits` leading bits into
+// `out` (resized to the bit count). The PHY's info-block builder only
+// needs the first k-24 bits of a TB payload, not all of them.
+void bytes_to_bits_into(std::span<const std::uint8_t> bytes,
+                        std::size_t max_bits, std::vector<std::uint8_t>& out);
 // Pack bits (values 0/1) MSB-first into bytes; partial trailing byte is
 // zero-padded.
 [[nodiscard]] std::vector<std::uint8_t> bits_to_bytes(

@@ -1,0 +1,67 @@
+// Freelist pools for the byte and IQ buffers that churn on the packet
+// hot path.
+//
+// Every fronthaul frame and FAPI transport message used to allocate a
+// fresh std::vector for its wire payload and free it after parsing —
+// hundreds of thousands of round trips through the allocator per
+// simulated second. A pool keeps released vectors (with their capacity)
+// on a freelist and hands them back cleared, so steady-state serialize/
+// parse cycles stop touching the heap entirely.
+//
+// The simulation is single-threaded; pools are plain function-local
+// statics. Returning buffers is optional — a vector that is dropped
+// instead of released is freed normally, the pool just misses a reuse.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace slingshot {
+
+template <typename T>
+class VectorPool {
+ public:
+  // Cap on retained buffers: bounds worst-case memory if a scenario
+  // releases a burst far above steady-state demand.
+  static constexpr std::size_t kMaxRetained = 1024;
+
+  // An empty (but possibly pre-reserved) vector ready for reuse.
+  [[nodiscard]] std::vector<T> acquire() {
+    if (free_.empty()) {
+      return {};
+    }
+    std::vector<T> v = std::move(free_.back());
+    free_.pop_back();
+    v.clear();
+    return v;
+  }
+
+  // Hand a buffer back for reuse. The contents are discarded.
+  void release(std::vector<T>&& v) {
+    if (v.capacity() > 0 && free_.size() < kMaxRetained) {
+      free_.push_back(std::move(v));
+    }
+    // else: let it free normally
+  }
+
+  [[nodiscard]] std::size_t retained() const { return free_.size(); }
+
+ private:
+  std::vector<std::vector<T>> free_;
+};
+
+// Process-wide pools for the two hot buffer element types: serialized
+// wire bytes (fronthaul + FAPI payloads) and complex IQ samples.
+struct BufferPools {
+  VectorPool<std::uint8_t> bytes;
+  VectorPool<std::complex<float>> iq;
+
+  static BufferPools& instance() {
+    static BufferPools pools;
+    return pools;
+  }
+};
+
+}  // namespace slingshot

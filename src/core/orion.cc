@@ -1,6 +1,7 @@
 #include "core/orion.h"
 
 #include "common/log.h"
+#include "common/pool.h"
 
 namespace slingshot {
 
@@ -30,7 +31,7 @@ void OrionPhySide::handle_frame(Packet&& frame) {
   }
   // Network -> SHM relay toward the local PHY, with forwarding cost.
   const auto delay = costs_.sample(frame.payload.size(), jitter_rng_);
-  sim_.after(delay, [this, payload = std::move(frame.payload)] {
+  sim_.after(delay, [this, payload = std::move(frame.payload)]() mutable {
     if (to_phy_ == nullptr) {
       return;
     }
@@ -39,6 +40,7 @@ void OrionPhySide::handle_frame(Packet&& frame) {
     } catch (const std::exception&) {
       // Corrupt datagram: drop; the loss watchdog plugs any hole.
     }
+    BufferPools::instance().bytes.release(std::move(payload));
   });
 }
 
@@ -119,7 +121,8 @@ void OrionPhySide::on_fapi(FapiMessage&& msg) {
   if (l2_orion_mac_.bits() == 0) {
     return;
   }
-  auto payload = serialize_fapi(msg);
+  auto payload = BufferPools::instance().bytes.acquire();
+  serialize_fapi_into(msg, payload);
   const auto delay = costs_.sample(payload.size(), jitter_rng_);
   sim_.after(delay, [this, p = std::move(payload)]() mutable {
     Packet frame;
@@ -229,7 +232,7 @@ void OrionL2Side::on_fapi(FapiMessage&& msg) {
       } else {
         const auto null_msg = make_null_dl_tti(msg.ru, msg.slot);
         ++stats_.null_requests_sent;
-        stats_.fapi_bytes_to_standby += serialize_fapi(null_msg).size();
+        stats_.fapi_bytes_to_standby += serialized_fapi_size(null_msg);
         send_to_phy(standby, null_msg);
       }
       return;
@@ -246,7 +249,7 @@ void OrionL2Side::on_fapi(FapiMessage&& msg) {
       } else {
         const auto null_msg = make_null_ul_tti(msg.ru, msg.slot);
         ++stats_.null_requests_sent;
-        stats_.fapi_bytes_to_standby += serialize_fapi(null_msg).size();
+        stats_.fapi_bytes_to_standby += serialized_fapi_size(null_msg);
         send_to_phy(standby, null_msg);
       }
       return;
@@ -271,7 +274,8 @@ void OrionL2Side::send_to_phy(PhyId phy, const FapiMessage& msg) {
   if (peer == phy_peers_.end()) {
     return;
   }
-  auto payload = serialize_fapi(msg);
+  auto payload = BufferPools::instance().bytes.acquire();
+  serialize_fapi_into(msg, payload);
   const auto delay = config_.costs.sample(payload.size(), jitter_rng_);
   const MacAddr dst = peer->second;
   sim_.after(delay, [this, dst, p = std::move(payload)]() mutable {
@@ -304,6 +308,7 @@ void OrionL2Side::handle_frame(Packet&& frame) {
       } catch (const std::exception&) {
         // Corrupt datagram: drop.
       }
+      BufferPools::instance().bytes.release(std::move(frame.payload));
       return;
     }
     case EtherType::kFailureNotify: {

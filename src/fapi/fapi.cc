@@ -247,14 +247,26 @@ FapiMessage make_null_ul_tti(RuId ru, std::int64_t slot) {
   return FapiMessage{ru, slot, UlTtiRequest{}};
 }
 
-std::vector<std::uint8_t> serialize_fapi(const FapiMessage& msg) {
-  std::vector<std::uint8_t> out;
+void serialize_fapi_into(const FapiMessage& msg,
+                         std::vector<std::uint8_t>& out) {
+  out.clear();
   ByteWriter w{out};
   w.u8(std::uint8_t(msg.type()));
   w.u8(msg.ru.value());
   w.u64(std::uint64_t(msg.slot));
   std::visit(BodyWriter{w}, msg.body);
+}
+
+std::vector<std::uint8_t> serialize_fapi(const FapiMessage& msg) {
+  std::vector<std::uint8_t> out;
+  serialize_fapi_into(msg, out);
   return out;
+}
+
+std::size_t serialized_fapi_size(const FapiMessage& msg) {
+  static std::vector<std::uint8_t> scratch;
+  serialize_fapi_into(msg, scratch);
+  return scratch.size();
 }
 
 FapiMessage parse_fapi(std::span<const std::uint8_t> bytes) {

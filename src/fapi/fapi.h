@@ -166,6 +166,13 @@ struct FapiMessage {
 
 // Wire codec (used by Orion's inter-server UDP transport).
 [[nodiscard]] std::vector<std::uint8_t> serialize_fapi(const FapiMessage& msg);
+// Allocation-free variant: clears and fills a caller-owned (e.g.
+// pooled) buffer.
+void serialize_fapi_into(const FapiMessage& msg,
+                         std::vector<std::uint8_t>& out);
+// Wire size without materializing the serialized bytes anywhere the
+// caller has to free.
+[[nodiscard]] std::size_t serialized_fapi_size(const FapiMessage& msg);
 [[nodiscard]] FapiMessage parse_fapi(std::span<const std::uint8_t> bytes);
 
 }  // namespace slingshot

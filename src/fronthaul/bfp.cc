@@ -59,10 +59,10 @@ void check_mantissa(int mantissa_bits) {
 
 }  // namespace
 
-std::vector<std::uint8_t> bfp_compress(
-    std::span<const std::complex<float>> iq, int mantissa_bits) {
+void bfp_compress_into(std::span<const std::complex<float>> iq,
+                       int mantissa_bits, std::vector<std::uint8_t>& out) {
   check_mantissa(mantissa_bits);
-  std::vector<std::uint8_t> out;
+  out.clear();
   out.reserve(bfp_compressed_size(iq.size(), mantissa_bits));
   BitWriter writer{out};
   const int max_mantissa = (1 << (mantissa_bits - 1)) - 1;
@@ -95,14 +95,20 @@ std::vector<std::uint8_t> bfp_compress(
       }
     }
   }
+}
+
+std::vector<std::uint8_t> bfp_compress(
+    std::span<const std::complex<float>> iq, int mantissa_bits) {
+  std::vector<std::uint8_t> out;
+  bfp_compress_into(iq, mantissa_bits, out);
   return out;
 }
 
-std::vector<std::complex<float>> bfp_decompress(
-    std::span<const std::uint8_t> bytes, std::size_t n_samples,
-    int mantissa_bits) {
+void bfp_decompress_into(std::span<const std::uint8_t> bytes,
+                         std::size_t n_samples, int mantissa_bits,
+                         std::vector<std::complex<float>>& iq) {
   check_mantissa(mantissa_bits);
-  std::vector<std::complex<float>> iq;
+  iq.clear();
   iq.reserve(n_samples);
   BitReader reader{bytes};
   const std::uint32_t sign_bit = 1U << (mantissa_bits - 1);
@@ -126,6 +132,13 @@ std::vector<std::complex<float>> bfp_decompress(
       iq.emplace_back(components[0], components[1]);
     }
   }
+}
+
+std::vector<std::complex<float>> bfp_decompress(
+    std::span<const std::uint8_t> bytes, std::size_t n_samples,
+    int mantissa_bits) {
+  std::vector<std::complex<float>> iq;
+  bfp_decompress_into(bytes, n_samples, mantissa_bits, iq);
   return iq;
 }
 

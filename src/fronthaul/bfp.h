@@ -22,11 +22,18 @@ inline constexpr int kBfpBlockSamples = 12;  // one PRB of subcarriers
 // mantissas, MSB-first packed]. mantissa_bits must be in [2, 16].
 [[nodiscard]] std::vector<std::uint8_t> bfp_compress(
     std::span<const std::complex<float>> iq, int mantissa_bits);
+// Allocation-free variant: clears and fills a caller-owned buffer.
+void bfp_compress_into(std::span<const std::complex<float>> iq,
+                       int mantissa_bits, std::vector<std::uint8_t>& out);
 
 // Inverse of bfp_compress; `n_samples` is the original sample count.
 [[nodiscard]] std::vector<std::complex<float>> bfp_decompress(
     std::span<const std::uint8_t> bytes, std::size_t n_samples,
     int mantissa_bits);
+// Allocation-free variant: clears and fills a caller-owned buffer.
+void bfp_decompress_into(std::span<const std::uint8_t> bytes,
+                         std::size_t n_samples, int mantissa_bits,
+                         std::vector<std::complex<float>>& iq);
 
 // Wire size of a compressed block stream (for bandwidth accounting).
 [[nodiscard]] std::size_t bfp_compressed_size(std::size_t n_samples,

@@ -1,6 +1,7 @@
 #include "fronthaul/oran.h"
 
 #include "common/bits.h"
+#include "common/pool.h"
 #include "fronthaul/bfp.h"
 
 namespace slingshot {
@@ -109,7 +110,11 @@ void write_uplane(ByteWriter& w, const UPlaneMsg& msg) {
     w.u8(s.bfp_mantissa_bits);
     w.u32(std::uint32_t(s.iq.size()));
     if (s.bfp_mantissa_bits > 0) {
-      w.bytes(bfp_compress(s.iq, s.bfp_mantissa_bits));
+      // Reused scratch: BFP compression of every UL/DL section would
+      // otherwise allocate a fresh byte vector per section.
+      static std::vector<std::uint8_t> scratch;
+      bfp_compress_into(s.iq, s.bfp_mantissa_bits, scratch);
+      w.bytes(scratch);
     } else {
       for (const auto& sample : s.iq) {
         w.f32(sample.real());
@@ -135,10 +140,11 @@ UPlaneMsg read_uplane(ByteReader& r) {
     s.codeword_bits = r.u32();
     s.bfp_mantissa_bits = r.u8();
     const auto n_iq = r.u32();
+    s.iq = BufferPools::instance().iq.acquire();
     if (s.bfp_mantissa_bits > 0) {
       const auto compressed =
-          r.bytes(bfp_compressed_size(n_iq, s.bfp_mantissa_bits));
-      s.iq = bfp_decompress(compressed, n_iq, s.bfp_mantissa_bits);
+          r.view(bfp_compressed_size(n_iq, s.bfp_mantissa_bits));
+      bfp_decompress_into(compressed, n_iq, s.bfp_mantissa_bits, s.iq);
     } else {
       s.iq.reserve(n_iq);
       for (std::uint32_t k = 0; k < n_iq; ++k) {
@@ -148,7 +154,8 @@ UPlaneMsg read_uplane(ByteReader& r) {
       }
     }
     const auto n_shadow = r.u32();
-    s.shadow_payload = r.bytes(n_shadow);
+    s.shadow_payload = BufferPools::instance().bytes.acquire();
+    r.bytes_into(n_shadow, s.shadow_payload);
     msg.sections.push_back(std::move(s));
   }
   return msg;
@@ -156,8 +163,9 @@ UPlaneMsg read_uplane(ByteReader& r) {
 
 }  // namespace
 
-std::vector<std::uint8_t> serialize_fronthaul(const FronthaulPacket& packet) {
-  std::vector<std::uint8_t> out;
+void serialize_fronthaul_into(const FronthaulPacket& packet,
+                              std::vector<std::uint8_t>& out) {
+  out.clear();
   ByteWriter w{out};
   w.u8(kEcpriVersion);
   w.u8(packet.header.plane == FhPlane::kUser ? kEcpriMsgIqData
@@ -170,6 +178,11 @@ std::vector<std::uint8_t> serialize_fronthaul(const FronthaulPacket& packet) {
     write_uplane(w, packet.uplane);
   }
   w.patch_u16(2, std::uint16_t(out.size() - kEcpriHeaderSize));
+}
+
+std::vector<std::uint8_t> serialize_fronthaul(const FronthaulPacket& packet) {
+  std::vector<std::uint8_t> out;
+  serialize_fronthaul_into(packet, out);
   return out;
 }
 
@@ -208,7 +221,8 @@ Packet make_fronthaul_frame(const MacAddr& src, const MacAddr& dst,
   frame.eth.src = src;
   frame.eth.dst = dst;
   frame.eth.ethertype = EtherType::kEcpri;
-  frame.payload = serialize_fronthaul(packet);
+  frame.payload = BufferPools::instance().bytes.acquire();
+  serialize_fronthaul_into(packet, frame.payload);
   return frame;
 }
 

@@ -112,6 +112,10 @@ struct FronthaulPacket {
 // body) and parse back. Parsing throws std::out_of_range on truncation.
 [[nodiscard]] std::vector<std::uint8_t> serialize_fronthaul(
     const FronthaulPacket& packet);
+// Allocation-free variant: clears and fills a caller-owned (e.g.
+// pooled) buffer.
+void serialize_fronthaul_into(const FronthaulPacket& packet,
+                              std::vector<std::uint8_t>& out);
 [[nodiscard]] FronthaulPacket parse_fronthaul(
     std::span<const std::uint8_t> bytes);
 

@@ -9,7 +9,25 @@
 namespace slingshot {
 namespace {
 constexpr float kMinSumScale = 0.8F;  // normalized min-sum correction
+
+// Flip `v`'s hard decision: toggle the syndrome bit of every adjacent
+// check and keep the unsatisfied-check count current. This is how
+// parity tracking stays folded into the update pass — no full
+// check_parity walk per iteration.
+inline void flip_bit(int v, const std::vector<int>& var_edge_offset,
+                     const std::vector<int>& var_edges,
+                     const std::vector<int>& edge_check,
+                     std::vector<std::uint8_t>& syndrome, int& unsatisfied) {
+  const int begin = var_edge_offset[std::size_t(v)];
+  const int end = var_edge_offset[std::size_t(v) + 1];
+  for (int i = begin; i < end; ++i) {
+    const int c = edge_check[std::size_t(var_edges[std::size_t(i)])];
+    syndrome[std::size_t(c)] ^= 1U;
+    unsatisfied += syndrome[std::size_t(c)] ? 1 : -1;
+  }
 }
+
+}  // namespace
 
 LdpcCode::LdpcCode(int n, int m, std::uint64_t seed, int wc)
     : n_(n), m_(m), k_(0) {
@@ -55,28 +73,53 @@ LdpcCode::LdpcCode(int n, int m, std::uint64_t seed, int wc)
     cursor += wc;
   }
 
-  check_vars_.assign(std::size_t(m), {});
+  // Per-check variable lists (construction scratch; the decoder works
+  // off the flat SoA arrays built below).
+  std::vector<std::vector<int>> check_vars{std::size_t(m)};
   for (int c = 0; c < n; ++c) {
     for (const int row : col_rows[std::size_t(c)]) {
-      check_vars_[std::size_t(row)].push_back(c);
+      check_vars[std::size_t(row)].push_back(c);
     }
   }
 
-  // Flatten edges and build per-variable adjacency.
+  // Flatten the Tanner graph into SoA edge arrays: edges numbered by
+  // (check, position), plus per-variable edge-id lists and the reverse
+  // edge->check map used by the fused parity tracking.
   check_edge_offset_.assign(std::size_t(m) + 1, 0);
   for (int c = 0; c < m; ++c) {
+    const int deg = int(check_vars[std::size_t(c)].size());
     check_edge_offset_[std::size_t(c) + 1] =
-        check_edge_offset_[std::size_t(c)] +
-        int(check_vars_[std::size_t(c)].size());
+        check_edge_offset_[std::size_t(c)] + deg;
+    max_check_degree_ = std::max(max_check_degree_, deg);
   }
   num_edges_ = check_edge_offset_[std::size_t(m)];
-  var_edges_.assign(std::size_t(n), {});
+  edge_var_.resize(std::size_t(num_edges_));
+  edge_check_.resize(std::size_t(num_edges_));
+  std::vector<int> var_degree(std::size_t(n), 0);
   for (int c = 0; c < m; ++c) {
-    const auto& vars = check_vars_[std::size_t(c)];
+    const auto& vars = check_vars[std::size_t(c)];
+    const int base = check_edge_offset_[std::size_t(c)];
     for (std::size_t j = 0; j < vars.size(); ++j) {
-      var_edges_[std::size_t(vars[j])].push_back(
-          check_edge_offset_[std::size_t(c)] + int(j));
+      edge_var_[std::size_t(base) + j] = vars[j];
+      edge_check_[std::size_t(base) + j] = c;
+      ++var_degree[std::size_t(vars[j])];
     }
+  }
+  var_edge_offset_.assign(std::size_t(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    var_edge_offset_[std::size_t(v) + 1] =
+        var_edge_offset_[std::size_t(v)] + var_degree[std::size_t(v)];
+  }
+  var_edges_.resize(std::size_t(num_edges_));
+  std::vector<int> cursor_of_var(var_edge_offset_.begin(),
+                                 var_edge_offset_.end() - 1);
+  // Second pass in the same (check, position) order as the old
+  // vector<vector> build, so each variable sees its edges in an
+  // identical order — the flooding schedule's float-summation order
+  // (and thus every decode outcome) is unchanged.
+  for (int e = 0; e < num_edges_; ++e) {
+    var_edges_[std::size_t(cursor_of_var[std::size_t(edge_var_[std::size_t(
+        e)])]++)] = e;
   }
 
   // --- Derive a systematic encoder by Gaussian elimination (RREF) on a
@@ -84,7 +127,7 @@ LdpcCode::LdpcCode(int n, int m, std::uint64_t seed, int wc)
   std::vector<BitVector> rows(static_cast<std::size_t>(m),
                               BitVector(static_cast<std::size_t>(n)));
   for (int c = 0; c < m; ++c) {
-    for (const int v : check_vars_[std::size_t(c)]) {
+    for (const int v : check_vars[std::size_t(c)]) {
       rows[std::size_t(c)].flip(std::size_t(v));  // flip handles dup edges
     }
   }
@@ -171,18 +214,25 @@ std::vector<std::uint8_t> LdpcCode::encode(
 
 std::vector<std::uint8_t> LdpcCode::extract_info(
     std::span<const std::uint8_t> codeword) const {
-  std::vector<std::uint8_t> info(static_cast<std::size_t>(k_));
-  for (int i = 0; i < k_; ++i) {
-    info[std::size_t(i)] = codeword[std::size_t(info_cols_[std::size_t(i)])] & 1U;
-  }
+  std::vector<std::uint8_t> info;
+  extract_info_into(codeword, info);
   return info;
 }
 
+void LdpcCode::extract_info_into(std::span<const std::uint8_t> codeword,
+                                 std::vector<std::uint8_t>& out) const {
+  out.resize(static_cast<std::size_t>(k_));
+  for (int i = 0; i < k_; ++i) {
+    out[std::size_t(i)] = codeword[std::size_t(info_cols_[std::size_t(i)])] & 1U;
+  }
+}
+
 bool LdpcCode::check_parity(std::span<const std::uint8_t> cw) const {
-  for (const auto& vars : check_vars_) {
+  for (int c = 0; c < m_; ++c) {
     unsigned parity = 0;
-    for (const int v : vars) {
-      parity ^= cw[std::size_t(v)] & 1U;
+    for (int e = check_edge_offset_[std::size_t(c)];
+         e < check_edge_offset_[std::size_t(c) + 1]; ++e) {
+      parity ^= cw[std::size_t(edge_var_[std::size_t(e)])] & 1U;
     }
     if (parity != 0) {
       return false;
@@ -191,37 +241,120 @@ bool LdpcCode::check_parity(std::span<const std::uint8_t> cw) const {
   return true;
 }
 
-LdpcCode::DecodeResult LdpcCode::decode(std::span<const float> llr,
-                                        int max_iterations) const {
+LdpcCode::DecodeStatus LdpcCode::decode_into(std::span<const float> llr,
+                                             int max_iterations,
+                                             DecodeWorkspace& ws,
+                                             LdpcSchedule schedule) const {
   if (int(llr.size()) != n_) {
     throw std::invalid_argument{"LdpcCode::decode: wrong LLR length"};
   }
-  DecodeResult result;
-  result.codeword.assign(std::size_t(n_), 0);
+  ws.codeword.assign(std::size_t(n_), 0);
+  ws.var_to_check.resize(std::size_t(num_edges_));
+  ws.check_to_var.resize(std::size_t(num_edges_));
+  ws.syndrome.assign(std::size_t(m_), 0);
 
-  // Messages indexed by global edge id.
-  std::vector<float> var_to_check(static_cast<std::size_t>(num_edges_));
-  std::vector<float> check_to_var(std::size_t(num_edges_), 0.0F);
+  DecodeStatus status;
+  // All-zero hard decisions satisfy every check, so the live
+  // unsatisfied-check count starts at 0 and flip_bit() keeps it exact.
+  int unsatisfied = 0;
 
-  // Init var->check with channel LLRs.
+  if (schedule == LdpcSchedule::kFlooding) {
+    // Init var->check with channel LLRs.
+    for (int e = 0; e < num_edges_; ++e) {
+      ws.var_to_check[std::size_t(e)] = llr[std::size_t(edge_var_[std::size_t(e)])];
+    }
+
+    for (int iter = 1; iter <= max_iterations; ++iter) {
+      // Check-node update (normalized min-sum with exclusion).
+      for (int c = 0; c < m_; ++c) {
+        const int base = check_edge_offset_[std::size_t(c)];
+        const int deg = check_edge_offset_[std::size_t(c) + 1] - base;
+        float min1 = 1e30F;
+        float min2 = 1e30F;
+        int min_pos = -1;
+        unsigned sign_all = 0;
+        for (int j = 0; j < deg; ++j) {
+          const float q = ws.var_to_check[std::size_t(base + j)];
+          const float mag = std::fabs(q);
+          if (q < 0.0F) {
+            sign_all ^= 1U;
+          }
+          if (mag < min1) {
+            min2 = min1;
+            min1 = mag;
+            min_pos = j;
+          } else if (mag < min2) {
+            min2 = mag;
+          }
+        }
+        for (int j = 0; j < deg; ++j) {
+          const float q = ws.var_to_check[std::size_t(base + j)];
+          const unsigned sign_excl = sign_all ^ (q < 0.0F ? 1U : 0U);
+          const float mag = (j == min_pos) ? min2 : min1;
+          ws.check_to_var[std::size_t(base + j)] =
+              (sign_excl ? -1.0F : 1.0F) * kMinSumScale * mag;
+        }
+      }
+
+      // Variable-node update; parity tracked on the fly as hard
+      // decisions flip.
+      for (int v = 0; v < n_; ++v) {
+        float total = llr[std::size_t(v)];
+        const int begin = var_edge_offset_[std::size_t(v)];
+        const int end = var_edge_offset_[std::size_t(v) + 1];
+        for (int i = begin; i < end; ++i) {
+          total += ws.check_to_var[std::size_t(var_edges_[std::size_t(i)])];
+        }
+        for (int i = begin; i < end; ++i) {
+          const int e = var_edges_[std::size_t(i)];
+          ws.var_to_check[std::size_t(e)] =
+              total - ws.check_to_var[std::size_t(e)];
+        }
+        const std::uint8_t bit = total < 0.0F ? 1 : 0;
+        if (bit != ws.codeword[std::size_t(v)]) {
+          ws.codeword[std::size_t(v)] = bit;
+          flip_bit(v, var_edge_offset_, var_edges_, edge_check_, ws.syndrome,
+                   unsatisfied);
+        }
+      }
+
+      status.iterations_used = iter;
+      if (unsatisfied == 0) {
+        status.parity_ok = true;
+        return status;
+      }
+    }
+    status.parity_ok = unsatisfied == 0;
+    return status;
+  }
+
+  // --- Layered (serial-C) schedule: each check updates against the
+  // live posterior, so beliefs propagate within an iteration.
+  ws.posterior.assign(llr.begin(), llr.end());
+  std::fill(ws.check_to_var.begin(), ws.check_to_var.end(), 0.0F);
+  ws.layer_q.resize(std::size_t(max_check_degree_));
+  // Seed hard decisions (and the tracked syndrome) from the channel.
   for (int v = 0; v < n_; ++v) {
-    for (const int e : var_edges_[std::size_t(v)]) {
-      var_to_check[std::size_t(e)] = llr[std::size_t(v)];
+    if (llr[std::size_t(v)] < 0.0F) {
+      ws.codeword[std::size_t(v)] = 1;
+      flip_bit(v, var_edge_offset_, var_edges_, edge_check_, ws.syndrome,
+               unsatisfied);
     }
   }
 
-  std::vector<float> posterior(static_cast<std::size_t>(n_));
   for (int iter = 1; iter <= max_iterations; ++iter) {
-    // Check-node update (normalized min-sum with exclusion).
     for (int c = 0; c < m_; ++c) {
-      const auto& vars = check_vars_[std::size_t(c)];
       const int base = check_edge_offset_[std::size_t(c)];
+      const int deg = check_edge_offset_[std::size_t(c) + 1] - base;
       float min1 = 1e30F;
       float min2 = 1e30F;
       int min_pos = -1;
       unsigned sign_all = 0;
-      for (std::size_t j = 0; j < vars.size(); ++j) {
-        const float q = var_to_check[std::size_t(base) + j];
+      for (int j = 0; j < deg; ++j) {
+        const int e = base + j;
+        const float q = ws.posterior[std::size_t(edge_var_[std::size_t(e)])] -
+                        ws.check_to_var[std::size_t(e)];
+        ws.layer_q[std::size_t(j)] = q;
         const float mag = std::fabs(q);
         if (q < 0.0F) {
           sign_all ^= 1U;
@@ -229,40 +362,47 @@ LdpcCode::DecodeResult LdpcCode::decode(std::span<const float> llr,
         if (mag < min1) {
           min2 = min1;
           min1 = mag;
-          min_pos = int(j);
+          min_pos = j;
         } else if (mag < min2) {
           min2 = mag;
         }
       }
-      for (std::size_t j = 0; j < vars.size(); ++j) {
-        const float q = var_to_check[std::size_t(base) + j];
+      for (int j = 0; j < deg; ++j) {
+        const int e = base + j;
+        const int v = edge_var_[std::size_t(e)];
+        const float q = ws.layer_q[std::size_t(j)];
         const unsigned sign_excl = sign_all ^ (q < 0.0F ? 1U : 0U);
-        const float mag = (int(j) == min_pos) ? min2 : min1;
-        check_to_var[std::size_t(base) + j] =
-            (sign_excl ? -1.0F : 1.0F) * kMinSumScale * mag;
+        const float mag = (j == min_pos) ? min2 : min1;
+        const float r = (sign_excl ? -1.0F : 1.0F) * kMinSumScale * mag;
+        ws.check_to_var[std::size_t(e)] = r;
+        const float post = q + r;
+        ws.posterior[std::size_t(v)] = post;
+        const std::uint8_t bit = post < 0.0F ? 1 : 0;
+        if (bit != ws.codeword[std::size_t(v)]) {
+          ws.codeword[std::size_t(v)] = bit;
+          flip_bit(v, var_edge_offset_, var_edges_, edge_check_, ws.syndrome,
+                   unsatisfied);
+        }
       }
     }
-
-    // Variable-node update + posterior.
-    for (int v = 0; v < n_; ++v) {
-      float total = llr[std::size_t(v)];
-      for (const int e : var_edges_[std::size_t(v)]) {
-        total += check_to_var[std::size_t(e)];
-      }
-      posterior[std::size_t(v)] = total;
-      for (const int e : var_edges_[std::size_t(v)]) {
-        var_to_check[std::size_t(e)] = total - check_to_var[std::size_t(e)];
-      }
-      result.codeword[std::size_t(v)] = total < 0.0F ? 1 : 0;
-    }
-
-    result.iterations_used = iter;
-    if (check_parity(result.codeword)) {
-      result.parity_ok = true;
-      return result;
+    status.iterations_used = iter;
+    if (unsatisfied == 0) {
+      status.parity_ok = true;
+      return status;
     }
   }
-  result.parity_ok = check_parity(result.codeword);
+  status.parity_ok = unsatisfied == 0;
+  return status;
+}
+
+LdpcCode::DecodeResult LdpcCode::decode(std::span<const float> llr,
+                                        int max_iterations) const {
+  thread_local DecodeWorkspace ws;
+  const auto status = decode_into(llr, max_iterations, ws);
+  DecodeResult result;
+  result.codeword = ws.codeword;
+  result.parity_ok = status.parity_ok;
+  result.iterations_used = status.iterations_used;
   return result;
 }
 

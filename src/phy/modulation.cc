@@ -57,13 +57,21 @@ std::vector<std::complex<float>> Modulator::modulate(
 std::vector<float> Modulator::demap(
     std::span<const std::complex<float>> symbols,
     double noise_variance) const {
+  std::vector<float> llrs;
+  demap_into(symbols, noise_variance, llrs);
+  return llrs;
+}
+
+void Modulator::demap_into(std::span<const std::complex<float>> symbols,
+                           double noise_variance,
+                           std::vector<float>& out) const {
   const int bps = bits_per_symbol(mod_);
   const int levels = 1 << bits_per_dim_;
   // Per-dimension noise variance.
   const double sigma2 = std::max(noise_variance / 2.0, 1e-9);
-  std::vector<float> llrs(symbols.size() * std::size_t(bps));
+  out.assign(symbols.size() * std::size_t(bps), 0.0F);
 
-  auto demap_dim = [&](float y, float* out) {
+  auto demap_dim = [&](float y, float* dst) {
     // For each bit position in this dimension, max-log LLR:
     // min distance^2 over levels with bit=1 minus min over bit=0,
     // scaled by 1/(2 sigma^2)  (positive => bit 0).
@@ -80,16 +88,15 @@ std::vector<float> Modulator::demap(
           best0 = std::min(best0, metric);
         }
       }
-      out[b] = float((best1 - best0) / (2.0 * sigma2));
+      dst[b] = float((best1 - best0) / (2.0 * sigma2));
     }
   };
 
   for (std::size_t s = 0; s < symbols.size(); ++s) {
-    float* out = llrs.data() + s * std::size_t(bps);
-    demap_dim(symbols[s].real(), out);
-    demap_dim(symbols[s].imag(), out + bits_per_dim_);
+    float* dst = out.data() + s * std::size_t(bps);
+    demap_dim(symbols[s].real(), dst);
+    demap_dim(symbols[s].imag(), dst + bits_per_dim_);
   }
-  return llrs;
 }
 
 }  // namespace slingshot

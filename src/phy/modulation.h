@@ -41,6 +41,10 @@ class Modulator {
   [[nodiscard]] std::vector<float> demap(
       std::span<const std::complex<float>> symbols,
       double noise_variance) const;
+  // Non-allocating variant for the PHY's per-slot hot path: writes into
+  // `out` (resized to symbols * bits_per_symbol).
+  void demap_into(std::span<const std::complex<float>> symbols,
+                  double noise_variance, std::vector<float>& out) const;
 
  private:
   Modulation mod_;

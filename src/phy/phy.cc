@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/pool.h"
 #include "phy/tb_codec.h"
 
 namespace slingshot {
@@ -207,8 +208,15 @@ void PhyProcess::process_carrier_slot(CarrierState& carrier,
                         carrier.tx_data.upper_bound(slot));
   carrier.ul_reqs.erase(carrier.ul_reqs.begin(),
                         carrier.ul_reqs.upper_bound(decode_slot));
-  carrier.ul_rx.erase(carrier.ul_rx.begin(),
-                      carrier.ul_rx.upper_bound(decode_slot));
+  const auto ul_rx_end = carrier.ul_rx.upper_bound(decode_slot);
+  for (auto it = carrier.ul_rx.begin(); it != ul_rx_end; ++it) {
+    for (auto& section : it->second) {
+      // Consumed sections' buffers go back to the packet pools.
+      BufferPools::instance().iq.release(std::move(section.iq));
+      BufferPools::instance().bytes.release(std::move(section.shadow_payload));
+    }
+  }
+  carrier.ul_rx.erase(carrier.ul_rx.begin(), ul_rx_end);
 }
 
 void PhyProcess::emit_downlink(CarrierState& carrier, std::int64_t slot,
@@ -358,7 +366,8 @@ void PhyProcess::decode_uplink(CarrierState& carrier,
 
     const auto mod = mcs_entry(section.mcs).modulation;
     auto result = decode_tb(section.iq, mod, section.shadow_payload,
-                            config_.ldpc_max_iters, prior);
+                            config_.ldpc_max_iters, prior,
+                            LdpcCode::standard(), &decode_ws_);
     ++stats_.ul_tbs_decoded;
     stats_.decode_iterations += result.iterations_used;
     stats_.work_units += kDecodeWorkPerIterPerBit *
@@ -414,6 +423,8 @@ void PhyProcess::handle_fronthaul_frame(Packet&& frame) {
   } catch (const std::exception&) {
     return;  // corrupt fronthaul packet: drop
   }
+  // Parsing copied everything out; recycle the wire buffer.
+  BufferPools::instance().bytes.release(std::move(frame.payload));
   if (packet.header.direction != FhDirection::kUplink) {
     return;
   }

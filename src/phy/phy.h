@@ -35,6 +35,7 @@
 #include "net/nic.h"
 #include "phy/harq.h"
 #include "phy/mcs.h"
+#include "phy/tb_codec.h"
 #include "sim/simulator.h"
 
 namespace slingshot {
@@ -157,6 +158,8 @@ class PhyProcess final : public FapiSink {
   EventHandle slot_task_;
   std::map<RuId, CarrierState> carriers_;
   PhyStats stats_;
+  // Reused across every UL TB decode: zero per-decode heap traffic.
+  TbDecodeWorkspace decode_ws_;
 };
 
 }  // namespace slingshot

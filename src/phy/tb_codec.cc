@@ -47,10 +47,11 @@ std::vector<std::uint8_t> build_info_block(
   for (int b = 0; b < 24; ++b) {
     info[std::size_t(b)] = std::uint8_t((crc >> (23 - b)) & 1U);
   }
-  const auto payload_bits = bytes_to_bits(payload);
-  const std::size_t copy_bits =
-      std::min(payload_bits.size(), std::size_t(k - 24));
-  for (std::size_t b = 0; b < copy_bits; ++b) {
+  // Only the payload's leading k-24 bits ride in the info block: convert
+  // just those, not the whole (potentially kilobytes-long) payload.
+  thread_local std::vector<std::uint8_t> payload_bits;
+  bytes_to_bits_into(payload, std::size_t(k - 24), payload_bits);
+  for (std::size_t b = 0; b < payload_bits.size(); ++b) {
     info[24 + b] = payload_bits[b];
   }
   return info;
@@ -83,7 +84,12 @@ TbDecodeResult decode_tb(std::span<const std::complex<float>> iq,
                          std::span<const std::uint8_t> shadow_payload,
                          int max_ldpc_iterations,
                          const std::vector<float>* prior_llrs,
-                         const LdpcCode& code) {
+                         const LdpcCode& code, TbDecodeWorkspace* ws,
+                         LdpcSchedule schedule) {
+  thread_local TbDecodeWorkspace fallback_ws;
+  if (ws == nullptr) {
+    ws = &fallback_ws;
+  }
   TbDecodeResult result;
   const auto pilots = pilot_sequence();
   if (iq.size() <= pilots.size()) {
@@ -114,7 +120,8 @@ TbDecodeResult decode_tb(std::span<const std::complex<float>> iq,
   // --- Single-tap equalization; effective noise variance scales by
   // 1/|h|^2 after dividing by h.
   const std::size_t n_data = iq.size() - pilots.size();
-  std::vector<std::complex<float>> eq(n_data);
+  auto& eq = ws->eq;
+  eq.resize(n_data);
   const std::complex<double> h_inv = std::conj(h) / h_pow;
   for (std::size_t s = 0; s < n_data; ++s) {
     eq[s] = std::complex<float>(std::complex<double>(iq[pilots.size() + s]) * h_inv);
@@ -123,7 +130,8 @@ TbDecodeResult decode_tb(std::span<const std::complex<float>> iq,
 
   // --- Soft demapping.
   const Modulator modulator{mod};
-  auto llrs = modulator.demap(eq, eff_noise);
+  auto& llrs = ws->llrs;
+  modulator.demap_into(eq, eff_noise, llrs);
   if (int(llrs.size()) < code.n()) {
     return result;
   }
@@ -138,21 +146,33 @@ TbDecodeResult decode_tb(std::span<const std::complex<float>> iq,
   result.combined_llrs = llrs;
 
   // --- LDPC decode + CRC check.
-  const auto decoded = code.decode(llrs, max_ldpc_iterations);
+  const auto decoded = code.decode_into(llrs, max_ldpc_iterations, ws->ldpc,
+                                        schedule);
   result.parity_ok = decoded.parity_ok;
   result.iterations_used = decoded.iterations_used;
   if (!decoded.parity_ok) {
     return result;
   }
-  const auto info = code.extract_info(decoded.codeword);
+  auto& info = ws->info;
+  code.extract_info_into(ws->ldpc.codeword, info);
   std::uint32_t crc_rx = 0;
   for (int b = 0; b < 24; ++b) {
     crc_rx = (crc_rx << 1) | (info[std::size_t(b)] & 1U);
   }
-  const auto expected = build_info_block(shadow_payload, code);
-  result.crc_ok = crc_rx == crc24a(shadow_payload) &&
-                  std::equal(info.begin() + 24, info.end(),
-                             expected.begin() + 24);
+  // Equivalent to rebuilding the expected info block and comparing, but
+  // without recomputing the CRC twice or converting the whole payload:
+  // the decoded info bits must match the payload's leading bits and be
+  // zero-padded past the payload's end.
+  auto& payload_bits = ws->payload_bits;
+  bytes_to_bits_into(shadow_payload, std::size_t(code.k() - 24),
+                     payload_bits);
+  bool body_ok = std::equal(payload_bits.begin(), payload_bits.end(),
+                            info.begin() + 24);
+  for (std::size_t b = 24 + payload_bits.size(); body_ok && b < info.size();
+       ++b) {
+    body_ok = info[b] == 0;
+  }
+  result.crc_ok = body_ok && crc_rx == crc24a(shadow_payload);
   return result;
 }
 

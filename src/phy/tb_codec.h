@@ -44,17 +44,32 @@ struct TbDecodeResult {
   std::vector<float> combined_llrs;  // post-combining channel LLRs
 };
 
+// Caller-owned scratch for decode_tb(): equalized symbols, LLRs, the
+// decoded/expected info blocks, and the LDPC decoder's workspace. A
+// long-lived receiver (PHY process, UE modem) keeps one and decodes
+// every TB through it without per-TB heap traffic.
+struct TbDecodeWorkspace {
+  std::vector<std::complex<float>> eq;
+  std::vector<float> llrs;
+  std::vector<std::uint8_t> info;
+  std::vector<std::uint8_t> payload_bits;
+  LdpcCode::DecodeWorkspace ldpc;
+};
+
 // Decode received symbols. `shadow_payload` is the TB's byte content
 // (travelling losslessly alongside the codeword); CRC verification
 // checks the decoded info block against it. If `prior_llrs` is
 // non-null, its values are chase-combined with this transmission's LLRs
 // (HARQ). The combined LLRs are returned so the caller can store them
-// in its soft buffer.
+// in its soft buffer. Passing a reusable `ws` removes the per-TB scratch
+// allocations (a thread-local workspace is used otherwise).
 [[nodiscard]] TbDecodeResult decode_tb(
     std::span<const std::complex<float>> iq, Modulation mod,
     std::span<const std::uint8_t> shadow_payload, int max_ldpc_iterations,
     const std::vector<float>* prior_llrs = nullptr,
-    const LdpcCode& code = LdpcCode::standard());
+    const LdpcCode& code = LdpcCode::standard(),
+    TbDecodeWorkspace* ws = nullptr,
+    LdpcSchedule schedule = LdpcSchedule::kFlooding);
 
 // The fixed pilot sequence (unit-energy QPSK, pseudo-random).
 [[nodiscard]] std::span<const std::complex<float>> pilot_sequence();

@@ -1,6 +1,7 @@
 #include "ru/ru.h"
 
 #include "common/log.h"
+#include "common/pool.h"
 
 namespace slingshot {
 
@@ -29,6 +30,8 @@ void RadioUnit::handle_frame(Packet&& frame) {
   } catch (const std::exception&) {
     return;  // corrupt fronthaul packet: drop
   }
+  // Parsing copied everything out; recycle the wire buffer.
+  BufferPools::instance().bytes.release(std::move(frame.payload));
   if (packet.header.direction != FhDirection::kDownlink ||
       packet.header.ru != config_.id) {
     return;
@@ -62,13 +65,18 @@ void RadioUnit::handle_frame(Packet&& frame) {
       for (auto* ue : ues_) {
         if (ue->id() == section.ue) {
           // Apply this UE's wireless channel to the radiated symbols.
-          auto impaired = section.iq;
-          impaired = ue->channel().apply(impaired);
+          // Copy scalar fields + shadow bytes; the impaired IQ replaces
+          // the transmitted IQ directly (no intermediate copy).
           UPlaneSection rx = section;
-          rx.iq = std::move(impaired);
+          rx.iq = ue->channel().apply(section.iq);
           ue->on_dl_section(abs_slot, rx);
+          BufferPools::instance().iq.release(std::move(rx.iq));
+          BufferPools::instance().bytes.release(std::move(rx.shadow_payload));
         }
       }
+      // The radiated copy is done with; recycle its buffers.
+      BufferPools::instance().iq.release(std::move(section.iq));
+      BufferPools::instance().bytes.release(std::move(section.shadow_payload));
     }
   }
 }

@@ -5,64 +5,112 @@
 
 namespace slingshot {
 
-EventHandle Simulator::at(Nanos t, std::function<void()> fn) {
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+}  // namespace
+
+std::uint32_t Simulator::allocate_record() {
+  if (free_slots_.empty()) {
+    const auto base = static_cast<std::uint32_t>(chunks_.size() * kChunkRecords);
+    chunks_.push_back(std::make_unique<EventRecord[]>(kChunkRecords));
+    free_slots_.reserve(kChunkRecords);
+    for (std::size_t i = kChunkRecords; i > 0; --i) {
+      free_slots_.push_back(base + static_cast<std::uint32_t>(i - 1));
+    }
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+void Simulator::retire_record(std::uint32_t slot) {
+  EventRecord& rec = record(slot);
+  rec.fn.reset();
+  rec.period = 0;
+  rec.cancelled = false;
+  ++rec.generation;  // invalidates every outstanding handle/queue reference
+  free_slots_.push_back(slot);
+}
+
+EventHandle Simulator::at(Nanos t, InlineCallback fn) {
   if (t < now_) {
     throw std::invalid_argument{"Simulator::at: time in the past"};
   }
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{t, next_seq_++, std::move(fn), flag});
-  return EventHandle{std::move(flag)};
+  const std::uint32_t slot = allocate_record();
+  EventRecord& rec = record(slot);
+  rec.fn = std::move(fn);
+  rec.period = 0;
+  rec.pending = 1;
+  rec.cancelled = false;
+  queue_.push(HeapEntry{t, next_seq_++, slot, rec.generation});
+  return EventHandle{this, slot, rec.generation};
 }
 
-EventHandle Simulator::every(Nanos start, Nanos period,
-                             std::function<void()> fn) {
+EventHandle Simulator::every(Nanos start, Nanos period, InlineCallback fn) {
   if (period <= 0) {
     throw std::invalid_argument{"Simulator::every: non-positive period"};
   }
-  auto flag = std::make_shared<bool>(false);
-  // Self-rescheduling closure; shares the same cancellation flag so that
-  // cancelling the returned handle stops all future firings. The closure
-  // holds only a weak reference to itself — the strong one lives in the
-  // queued event — so the series is freed once no firing is pending
-  // (a strong self-capture would be an unreclaimable cycle).
-  auto tick = std::make_shared<std::function<void(Nanos)>>();
-  *tick = [this, period, fn = std::move(fn), flag,
-           weak = std::weak_ptr<std::function<void(Nanos)>>(tick)](Nanos when) {
-    if (*flag) {
-      return;
+  const std::uint32_t slot = allocate_record();
+  EventRecord& rec = record(slot);
+  rec.fn = std::move(fn);
+  rec.period = period;
+  rec.pending = 1;
+  rec.cancelled = false;
+  queue_.push(HeapEntry{start, next_seq_++, slot, rec.generation});
+  return EventHandle{this, slot, rec.generation};
+}
+
+void Simulator::execute_top(HeapEntry entry) {
+  EventRecord& rec = record(entry.slot);
+  if (rec.generation != entry.generation) {
+    return;  // record already recycled (defensive; shouldn't happen)
+  }
+  --rec.pending;
+  if (rec.cancelled) {
+    if (rec.pending == 0) {
+      retire_record(entry.slot);
     }
-    fn();
-    if (*flag) {
-      return;  // fn may have cancelled the series
+    return;
+  }
+  trace_hash_ = (trace_hash_ ^ static_cast<std::uint64_t>(entry.time)) *
+                kFnvPrime;
+  trace_hash_ = (trace_hash_ ^ entry.seq) * kFnvPrime;
+  ++executed_;
+  if (rec.period > 0) {
+    // Periodic series: the record stays live across firings. The callback
+    // may cancel its own series; re-check before rescheduling. The next
+    // occurrence's seq is allocated here — after fn() returns — matching
+    // the historical scheduling order exactly.
+    rec.fn();
+    if (!rec.cancelled) {
+      ++rec.pending;
+      queue_.push(HeapEntry{entry.time + rec.period, next_seq_++, entry.slot,
+                            entry.generation});
+    } else if (rec.pending == 0) {
+      retire_record(entry.slot);
     }
-    auto self = weak.lock();  // always succeeds: we are running through it
-    if (self == nullptr) {
-      return;
-    }
-    const Nanos next = when + period;
-    queue_.push(Event{next, next_seq_++,
-                      [self, next] { (*self)(next); }, flag});
-  };
-  queue_.push(Event{start, next_seq_++, [tick, start] { (*tick)(start); },
-                    flag});
-  return EventHandle{std::move(flag)};
+    return;
+  }
+  // One-shot: move the callable out and retire the slot BEFORE invoking,
+  // so a fired event holds no resources however many handle copies
+  // survive, and a cancel() from inside the callback (or later) is a
+  // clean generation-mismatch no-op.
+  InlineCallback fn = std::move(rec.fn);
+  retire_record(entry.slot);
+  fn();
 }
 
 void Simulator::run_until(Nanos t_end) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
-    const auto& top = queue_.top();
+    const HeapEntry top = queue_.top();
     if (top.time > t_end) {
       break;
     }
-    Event ev = std::move(const_cast<Event&>(top));
     queue_.pop();
-    assert(ev.time >= now_);
-    now_ = ev.time;
-    if (!*ev.cancelled) {
-      ++executed_;
-      ev.fn();
-    }
+    assert(top.time >= now_);
+    now_ = top.time;
+    execute_top(top);
   }
   if (now_ < t_end) {
     now_ = t_end;
@@ -72,14 +120,29 @@ void Simulator::run_until(Nanos t_end) {
 void Simulator::run_all() {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    const HeapEntry top = queue_.top();
     queue_.pop();
-    now_ = ev.time;
-    if (!*ev.cancelled) {
-      ++executed_;
-      ev.fn();
-    }
+    now_ = top.time;
+    execute_top(top);
   }
+}
+
+void Simulator::cancel_event(std::uint32_t slot, std::uint32_t generation) {
+  if (std::size_t(slot) >= chunks_.size() * kChunkRecords) {
+    return;
+  }
+  EventRecord& rec = record(slot);
+  if (rec.generation == generation) {
+    rec.cancelled = true;
+  }
+}
+
+bool Simulator::event_cancelled(std::uint32_t slot, std::uint32_t generation) {
+  if (std::size_t(slot) >= chunks_.size() * kChunkRecords) {
+    return false;
+  }
+  EventRecord& rec = record(slot);
+  return rec.generation == generation && rec.cancelled;
 }
 
 }  // namespace slingshot

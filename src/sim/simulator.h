@@ -4,12 +4,25 @@
 // runs as callbacks scheduled on a single virtual clock with nanosecond
 // resolution. Events at the same timestamp execute in scheduling order
 // (FIFO tie-break), which keeps runs fully deterministic.
+//
+// Hot-path design: scheduling an event allocates nothing in the common
+// case. Callables live in slab-allocated event records (recycled through
+// a free list, stable addresses) inside a small-buffer-optimized
+// InlineCallback — no per-event std::function heap traffic — and
+// cancellation is a generation counter on the record rather than a
+// shared_ptr<bool> flag, so a fired event releases its resources
+// immediately no matter how many handle copies survive. The min-heap
+// orders strictly by (time, seq) exactly as before; the golden-trace
+// determinism test pins that contract.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -19,25 +32,121 @@ namespace slingshot {
 
 class Simulator;
 
+// Move-only callable with inline storage for typical capture sets.
+// Callables larger than the inline buffer (or with throwing moves) fall
+// back to a single heap allocation.
+class InlineCallback {
+ public:
+  static constexpr std::size_t kInlineSize = 128;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = inline_vtable<Fn>();
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = heap_vtable<Fn>();
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { reset(); }
+
+  void operator()() { vt_->invoke(buf_); }
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*move_to)(void* src, void* dst);  // dst is raw storage
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static const VTable* inline_vtable() {
+    static constexpr VTable vt{
+        [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+        [](void* src, void* dst) {
+          Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+          ::new (dst) Fn(std::move(*s));
+          s->~Fn();
+        },
+        [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); }};
+    return &vt;
+  }
+
+  template <typename Fn>
+  static const VTable* heap_vtable() {
+    static constexpr VTable vt{
+        [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+        [](void* src, void* dst) {
+          Fn** s = std::launder(reinterpret_cast<Fn**>(src));
+          ::new (dst) Fn*(*s);
+        },
+        [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); }};
+    return &vt;
+  }
+
+  void move_from(InlineCallback& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->move_to(other.buf_, buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+  const VTable* vt_ = nullptr;
+};
+
 // Handle for a scheduled event; allows cancellation. Copyable; all
-// copies refer to the same scheduled occurrence.
+// copies refer to the same scheduled occurrence (or periodic series).
+// A handle must not outlive its Simulator. cancelled() reports true
+// while a cancelled occurrence is still pending in the queue; once the
+// event fires or is reaped, its record is recycled and queries become
+// no-ops — nothing is kept alive by surviving handle copies.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  void cancel() {
-    if (cancelled_) {
-      *cancelled_ = true;
-    }
-  }
-  [[nodiscard]] bool valid() const { return cancelled_ != nullptr; }
-  [[nodiscard]] bool cancelled() const { return cancelled_ && *cancelled_; }
+  void cancel();
+  [[nodiscard]] bool valid() const { return sim_ != nullptr; }
+  [[nodiscard]] bool cancelled() const;
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> flag)
-      : cancelled_(std::move(flag)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t generation)
+      : sim_(sim), slot_(slot), generation_(generation) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Simulator {
@@ -49,14 +158,14 @@ class Simulator {
   [[nodiscard]] const RngRegistry& rng() const { return rng_; }
 
   // Schedule `fn` at absolute virtual time `t` (must be >= now).
-  EventHandle at(Nanos t, std::function<void()> fn);
+  EventHandle at(Nanos t, InlineCallback fn);
   // Schedule `fn` after a delay from now.
-  EventHandle after(Nanos delay, std::function<void()> fn) {
+  EventHandle after(Nanos delay, InlineCallback fn) {
     return at(now_ + delay, std::move(fn));
   }
   // Schedule `fn` every `period`, starting at `start`. Returns a handle
   // that cancels all future occurrences.
-  EventHandle every(Nanos start, Nanos period, std::function<void()> fn);
+  EventHandle every(Nanos start, Nanos period, InlineCallback fn);
 
   // Run until the event queue drains or virtual time would pass `t_end`.
   void run_until(Nanos t_end);
@@ -66,28 +175,72 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  // FNV-1a-style hash over the (time, seq) of every executed event, in
+  // execution order — the determinism fingerprint the golden-trace test
+  // compares across refactors.
+  [[nodiscard]] std::uint64_t trace_hash() const { return trace_hash_; }
 
   // Stop the current run_until loop after the in-flight event returns.
   void stop() { stopped_ = true; }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  // One scheduled occurrence (or periodic series). Records live in
+  // fixed-size slab chunks — stable addresses — and are recycled through
+  // a free list once no heap entry references them.
+  struct EventRecord {
+    InlineCallback fn;
+    Nanos period = 0;  // > 0 for a periodic series
+    std::uint32_t generation = 0;
+    std::uint32_t pending = 0;  // queue entries referencing this record
+    bool cancelled = false;
+  };
+
+  struct HeapEntry {
     Nanos time;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint32_t generation;
     // Min-heap by (time, seq).
-    bool operator>(const Event& other) const {
+    bool operator>(const HeapEntry& other) const {
       return time != other.time ? time > other.time : seq > other.seq;
     }
   };
 
+  static constexpr std::size_t kChunkRecords = 256;
+
+  [[nodiscard]] EventRecord& record(std::uint32_t slot) {
+    return chunks_[slot / kChunkRecords][slot % kChunkRecords];
+  }
+  std::uint32_t allocate_record();
+  void retire_record(std::uint32_t slot);
+  void execute_top(HeapEntry entry);
+
+  void cancel_event(std::uint32_t slot, std::uint32_t generation);
+  [[nodiscard]] bool event_cancelled(std::uint32_t slot,
+                                     std::uint32_t generation);
+
   Nanos now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t trace_hash_ = 1469598103934665603ULL;  // hash seed
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      queue_;
+  std::vector<std::unique_ptr<EventRecord[]>> chunks_;
+  std::vector<std::uint32_t> free_slots_;
   RngRegistry rng_;
 };
+
+inline void EventHandle::cancel() {
+  if (sim_ != nullptr) {
+    sim_->cancel_event(slot_, generation_);
+  }
+}
+
+inline bool EventHandle::cancelled() const {
+  return sim_ != nullptr && sim_->event_cancelled(slot_, generation_);
+}
 
 }  // namespace slingshot

@@ -123,7 +123,8 @@ void UserEquipment::on_dl_section(std::int64_t /*slot*/,
   }
   const auto mod = mcs_entry(section.mcs).modulation;
   auto result = decode_tb(section.iq, mod, section.shadow_payload,
-                          config_.ldpc_max_iters, prior);
+                          config_.ldpc_max_iters, prior,
+                          LdpcCode::standard(), &decode_ws_);
   if (result.crc_ok) {
     ++stats_.dl_tbs_ok;
     dl_harq_.release(config_.id, section.harq);

