@@ -36,6 +36,38 @@ struct Outcome {
   std::uint64_t violations = 0;
   std::int64_t slots = 0;
   bool survived = false;
+  std::uint64_t notifications = 0;
+  // Notification-accounting identity (see OrionL2Stats): every
+  // kFailureNotify increments failure_notifications and exactly one of
+  // {failovers_initiated, duplicate_notifications_ignored,
+  // stale_notifications_ignored}. Checked at every mid-run checkpoint
+  // along with counter monotonicity.
+  bool counters_ok = true;
+};
+
+// Snapshot of the monotone Orion counters, compared across checkpoints.
+struct CounterSnap {
+  std::uint64_t notifications = 0;
+  std::uint64_t initiated = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t drain_expired = 0;
+
+  static CounterSnap take(Testbed& tb) {
+    const auto& s = tb.orion().stats();
+    return {s.failure_notifications,     s.failovers_initiated,
+            s.duplicate_notifications_ignored, s.stale_notifications_ignored,
+            s.drained_responses_accepted, s.drain_windows_expired};
+  }
+  [[nodiscard]] bool identity_holds() const {
+    return notifications == initiated + duplicates + stale;
+  }
+  [[nodiscard]] bool monotone_since(const CounterSnap& prev) const {
+    return notifications >= prev.notifications && initiated >= prev.initiated &&
+           duplicates >= prev.duplicates && stale >= prev.stale &&
+           drains >= prev.drains && drain_expired >= prev.drain_expired;
+  }
 };
 
 Outcome run_cell(const Mix& mix, std::uint64_t seed) {
@@ -57,9 +89,30 @@ Outcome run_cell(const Mix& mix, std::uint64_t seed) {
   }
   inj.arm(plan);
   tb.start();
-  tb.run_until(4'500_ms);
 
   Outcome out;
+  // Step through the horizon so the counter identity and monotonicity
+  // are checked *during* the fault storm, not just at the end — a
+  // transient double-count that later cancels out would pass an
+  // end-only check.
+  CounterSnap prev = CounterSnap::take(tb);
+  for (Nanos t = 500_ms; t <= 4'500_ms; t += 500_ms) {
+    tb.run_until(t);
+    const CounterSnap cur = CounterSnap::take(tb);
+    if (!cur.identity_holds() || !cur.monotone_since(prev)) {
+      out.counters_ok = false;
+      std::printf("COUNTER VIOLATION at t=%lld ns: notifs=%llu "
+                  "initiated=%llu dup=%llu stale=%llu (prev notifs=%llu)\n",
+                  static_cast<long long>(t),
+                  static_cast<unsigned long long>(cur.notifications),
+                  static_cast<unsigned long long>(cur.initiated),
+                  static_cast<unsigned long long>(cur.duplicates),
+                  static_cast<unsigned long long>(cur.stale),
+                  static_cast<unsigned long long>(prev.notifications));
+    }
+    prev = cur;
+  }
+  out.notifications = prev.notifications;
   out.events = plan.events.size();
   for (const auto& e : tb.orion().migration_log()) {
     if (e.kind == MigrationEvent::Kind::kFailover) {
@@ -95,17 +148,20 @@ int main() {
   };
   const std::uint64_t seeds[] = {20230823, 4242, 777};
 
-  print_row({"mix", "seed", "events", "failovers", "rehabs", "slots",
-             "violations", "survived"},
+  print_row({"mix", "seed", "events", "failovers", "notifs", "rehabs",
+             "slots", "violations", "counters", "survived"},
             11);
   bool all_clean = true;
   for (const auto& mix : mixes) {
     for (const auto seed : seeds) {
       const auto out = run_cell(mix, seed);
-      all_clean = all_clean && out.violations == 0 && out.survived;
+      all_clean = all_clean && out.violations == 0 && out.survived &&
+                  out.counters_ok;
       print_row({mix.name, std::to_string(seed), std::to_string(out.events),
-                 std::to_string(out.failovers), std::to_string(out.rehabs),
+                 std::to_string(out.failovers),
+                 std::to_string(out.notifications), std::to_string(out.rehabs),
                  std::to_string(out.slots), std::to_string(out.violations),
+                 out.counters_ok ? "ok" : "BROKEN",
                  out.survived ? "yes" : "NO"},
                 11);
     }

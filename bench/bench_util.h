@@ -5,6 +5,7 @@
 // have a performance trajectory to not regress.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -60,6 +61,11 @@ class JsonRow {
     return raw(key, "\"" + escaped + "\"");
   }
   JsonRow& num(const std::string& key, double value) {
+    // Empty stats collectors report NaN (see common/stats.h); bare `nan`
+    // is not valid JSON, so emit null.
+    if (std::isnan(value)) {
+      return raw(key, "null");
+    }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6g", value);
     return raw(key, buf);

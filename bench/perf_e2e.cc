@@ -16,11 +16,21 @@
 //
 // `perf_e2e --short` runs abbreviated horizons — the ctest smoke mode
 // that keeps this harness itself from rotting.
+//
+// `perf_e2e --trace` additionally re-runs fig10 with the observability
+// layer attached: it reports the Fig 10 detection/restoration breakdown
+// (crash → detector fire → notification → boundary swap, plus per-slot
+// drain accounting) and per-stage slot latencies, appends a row to
+// BENCH_obs.json (`--obs-json` overrides the path), and self-validates
+// the emitted schema — span balance, non-negative latencies, required
+// keys — exiting nonzero on violation so CI catches telemetry rot.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
 #include "bench_util.h"
+#include "obs/obs.h"
 #include "testbed/testbed.h"
 #include "transport/apps.h"
 
@@ -54,12 +64,16 @@ std::int64_t total_decodes(Testbed& tb, int num_ues) {
 
 // Fig 10-style: heavy bidirectional UDP with a fail-stop primary crash
 // partway through.
-PerfResult run_fig10(Nanos horizon, Nanos event_time) {
+PerfResult run_fig10(Nanos horizon, Nanos event_time,
+                     obs::Observability* o = nullptr) {
   TestbedConfig cfg;
   cfg.seed = 10;
   cfg.num_ues = 1;
   cfg.ue_mean_snr_db = {21.0};
   Testbed tb{cfg};
+  if (o != nullptr) {
+    tb.attach_observability(*o);
+  }
 
   UdpFlowConfig dl_cfg;
   dl_cfg.rate_bps = 120e6;
@@ -84,7 +98,140 @@ PerfResult run_fig10(Nanos horizon, Nanos event_time) {
   r.decodes = total_decodes(tb, cfg.num_ues);
   r.dl_rx_pkts = dl.packets_received();
   r.ul_rx_pkts = ul.packets_received();
+  if (o != nullptr) {
+    o->finalize();
+  }
   return r;
+}
+
+// The same config the traced fig10 testbed will hand out — the
+// Observability object must exist before the testbed it observes.
+obs::ObservabilityConfig fig10_obs_config() {
+  TestbedConfig cfg;
+  cfg.seed = 10;
+  cfg.num_ues = 1;
+  cfg.ue_mean_snr_db = {21.0};
+  Testbed tb{cfg};
+  return tb.obs_config();
+}
+
+double us(Nanos delta) { return double(delta) / 1e3; }
+
+// Fig 10-style detection/restoration breakdown plus per-stage slot
+// latency percentiles, printed and appended to the obs JSON file.
+// Returns false if the emitted telemetry violates its own schema.
+bool report_obs(obs::Observability& o, double traced_wall_s,
+                double untraced_wall_s, const std::string& obs_json_path,
+                const char* scenario) {
+  using namespace slingshot::bench;
+  auto& t = o.tracer();
+  const double overhead_pct =
+      untraced_wall_s > 0
+          ? 100.0 * (traced_wall_s - untraced_wall_s) / untraced_wall_s
+          : 0.0;
+
+  std::printf("\nobservability (%s):\n", scenario);
+  std::printf("  spans opened/closed   %llu / %llu\n",
+              (unsigned long long)t.spans_opened(),
+              (unsigned long long)t.spans_closed());
+  std::printf("  deadline misses       %llu   unserved slots %llu\n",
+              (unsigned long long)t.deadline_misses(),
+              (unsigned long long)t.unserved_slots());
+  std::printf("  detector ticks        %llu   events dropped %llu\n",
+              (unsigned long long)t.detector_ticks(),
+              (unsigned long long)t.events_dropped());
+  std::printf("  tracing overhead      %.1f%% wall-clock (%.2fs vs %.2fs)\n",
+              overhead_pct, traced_wall_s, untraced_wall_s);
+
+  JsonRow row{"perf_e2e_obs"};
+  row.str("scenario", scenario)
+      .num("wall_s", traced_wall_s)
+      .num("untraced_wall_s", untraced_wall_s)
+      .num("overhead_pct", overhead_pct)
+      .integer("spans_opened", (long long)t.spans_opened())
+      .integer("spans_closed", (long long)t.spans_closed())
+      .integer("deadline_misses", (long long)t.deadline_misses())
+      .integer("unserved_slots", (long long)t.unserved_slots())
+      .integer("late_stamps_dropped", (long long)t.late_stamps_dropped())
+      .integer("detector_ticks", (long long)t.detector_ticks())
+      .integer("events_dropped", (long long)t.events_dropped());
+
+  bool ok = t.spans_opened() == t.spans_closed();
+  if (!ok) {
+    std::printf("  SCHEMA VIOLATION: span imbalance\n");
+  }
+
+  std::printf("  per-stage latency (us, p50 / p99):\n");
+  for (std::size_t l = 0; l < std::size_t(obs::SlotSpanLatency::kNumLatencies);
+       ++l) {
+    const auto lat = obs::SlotSpanLatency(l);
+    const char* name = obs::slot_span_latency_name(lat);
+    auto& pct = t.latency_percentiles(lat);
+    const double p50 = pct.quantile(0.50);
+    const double p99 = pct.quantile(0.99);
+    std::printf("    %-10s %10.1f / %10.1f   (n=%lld)\n", name, p50, p99,
+                (long long)t.latency_stats(lat).count());
+    row.num(std::string(name) + "_p50_us", p50);
+    row.num(std::string(name) + "_p99_us", p99);
+    // kLead can be legitimately large (scheduling lead), the rest are
+    // elapsed intervals and must be non-negative when present.
+    if (!std::isnan(p50) && p50 < 0) {
+      std::printf("  SCHEMA VIOLATION: negative %s p50\n", name);
+      ok = false;
+    }
+  }
+
+  const auto episodes = t.failover_episodes();
+  std::printf("  failover episodes     %zu\n", episodes.size());
+  row.integer("failover_episodes", (long long)episodes.size());
+  if (!episodes.empty()) {
+    const auto& ep = episodes.front();
+    const double detect_us = us(ep.detect_t - ep.down_t);
+    const double notify_us = us(ep.notify_t - ep.detect_t);
+    const double swap_us = us(ep.swap_t - ep.notify_t);
+    const double restore_us = us(ep.swap_t - ep.down_t);
+    std::printf("    crash->detect       %10.1f us\n", detect_us);
+    std::printf("    detect->notify      %10.1f us\n", notify_us);
+    std::printf("    notify->swap        %10.1f us  (boundary slot %lld)\n",
+                swap_us, (long long)ep.boundary_slot);
+    std::printf("    crash->swap total   %10.1f us\n", restore_us);
+    std::printf("    drains accepted     %10d  (expired: %s)\n",
+                ep.drains_accepted, ep.drain_expired ? "yes" : "no");
+    if (!ep.drained_slots.empty()) {
+      std::printf("    drained slots      ");
+      for (const auto s : ep.drained_slots) {
+        std::printf(" %lld", (long long)s);
+      }
+      std::printf("\n");
+    }
+    row.num("detect_us", detect_us)
+        .num("notify_us", notify_us)
+        .num("swap_us", swap_us)
+        .num("restore_us", restore_us)
+        .integer("boundary_slot", ep.boundary_slot)
+        .integer("drains_accepted", ep.drains_accepted)
+        .boolean("drain_expired", ep.drain_expired);
+    if (detect_us < 0 || notify_us < 0 || swap_us < 0) {
+      std::printf("  SCHEMA VIOLATION: negative detection-path latency\n");
+      ok = false;
+    }
+  }
+
+  // Required-key check on the rendered row: a refactor that silently
+  // drops a field should fail the smoke test, not ship.
+  const std::string rendered = row.render();
+  for (const char* key :
+       {"scenario", "wall_s", "overhead_pct", "spans_opened", "spans_closed",
+        "deadline_misses", "unserved_slots", "e2e_p50_us", "e2e_p99_us",
+        "failover_episodes"}) {
+    if (rendered.find("\"" + std::string(key) + "\"") == std::string::npos) {
+      std::printf("  SCHEMA VIOLATION: missing key %s\n", key);
+      ok = false;
+    }
+  }
+  append_bench_json(obs_json_path, row);
+  std::printf("  row appended to %s\n", obs_json_path.c_str());
+  return ok;
 }
 
 // Table 2-style: uplink UDP near the decoding threshold while planned
@@ -156,12 +303,18 @@ int main(int argc, char** argv) {
   using namespace slingshot;
   using namespace slingshot::bench;
   bool short_mode = false;
+  bool trace_mode = false;
   std::string json_path = "BENCH_perf.json";
+  std::string obs_json_path = "BENCH_obs.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--short") == 0) {
       short_mode = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_mode = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs-json") == 0 && i + 1 < argc) {
+      obs_json_path = argv[++i];
     }
   }
   print_banner("perf_e2e", short_mode
@@ -169,14 +322,25 @@ int main(int argc, char** argv) {
                                : "wall-clock perf harness");
   print_note(("rows appended to " + json_path).c_str());
 
-  const auto fig10 = short_mode ? run_fig10(1'500_ms, 500_ms)
-                                : run_fig10(10'000_ms, 2'000_ms);
+  const Nanos fig10_horizon = short_mode ? 1'500_ms : 10'000_ms;
+  const Nanos fig10_event = short_mode ? 500_ms : 2'000_ms;
+  const auto fig10 = run_fig10(fig10_horizon, fig10_event);
   report(short_mode ? "fig10_failover_short" : "fig10_failover", fig10,
          json_path);
+
+  bool obs_ok = true;
+  if (trace_mode) {
+    // Same scenario, tracer attached; the untraced run above is the
+    // overhead baseline.
+    obs::Observability o{fig10_obs_config()};
+    const auto traced = run_fig10(fig10_horizon, fig10_event, &o);
+    obs_ok = report_obs(o, traced.wall_s, fig10.wall_s, obs_json_path,
+                        short_mode ? "fig10_failover_short" : "fig10_failover");
+  }
 
   const auto tab02 =
       short_mode ? run_tab02(2'000_ms) : run_tab02(6'000_ms);
   report(short_mode ? "tab02_migration_short" : "tab02_migration", tab02,
          json_path);
-  return 0;
+  return obs_ok ? 0 : 1;
 }

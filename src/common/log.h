@@ -27,11 +27,23 @@ class Logger {
   [[nodiscard]] LogLevel level() const { return level_; }
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
 
-  // Install a virtual-time source (e.g. the simulator clock).
+  // Install a virtual-time source (e.g. the simulator clock). The source
+  // almost always captures an object with narrower lifetime than this
+  // singleton — prefer ScopedLogTimeSource below, which guarantees the
+  // callback is removed before its captures die.
   void set_time_source(std::function<Nanos()> source) {
     time_source_ = std::move(source);
   }
   void clear_time_source() { time_source_ = nullptr; }
+  // Swap in a new source and return the previous one (for nested scopes).
+  std::function<Nanos()> exchange_time_source(std::function<Nanos()> source) {
+    std::function<Nanos()> prev = std::move(time_source_);
+    time_source_ = std::move(source);
+    return prev;
+  }
+  [[nodiscard]] bool has_time_source() const {
+    return static_cast<bool>(time_source_);
+  }
 
   void log(LogLevel level, const char* component, const std::string& message);
 
@@ -39,6 +51,41 @@ class Logger {
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
   std::function<Nanos()> time_source_;
+};
+
+// RAII guard for the Logger time source. install() swaps the source in
+// and remembers the one it displaced; destruction (or release()) puts the
+// previous source back, so a log call after the owning simulator dies can
+// never invoke a dangling callback. Declare the guard *after* the objects
+// the callback captures, so it is destroyed first.
+class ScopedLogTimeSource {
+ public:
+  ScopedLogTimeSource() = default;
+  explicit ScopedLogTimeSource(std::function<Nanos()> source) {
+    install(std::move(source));
+  }
+  ScopedLogTimeSource(const ScopedLogTimeSource&) = delete;
+  ScopedLogTimeSource& operator=(const ScopedLogTimeSource&) = delete;
+  ~ScopedLogTimeSource() { release(); }
+
+  void install(std::function<Nanos()> source) {
+    release();
+    previous_ = Logger::instance().exchange_time_source(std::move(source));
+    installed_ = true;
+  }
+  // Restore the displaced source early; idempotent.
+  void release() {
+    if (installed_) {
+      Logger::instance().set_time_source(std::move(previous_));
+      previous_ = nullptr;
+      installed_ = false;
+    }
+  }
+  [[nodiscard]] bool installed() const { return installed_; }
+
+ private:
+  std::function<Nanos()> previous_;
+  bool installed_ = false;
 };
 
 namespace detail {

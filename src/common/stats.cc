@@ -1,6 +1,7 @@
 #include "common/stats.h"
 
 #include <cmath>
+#include <limits>
 
 namespace slingshot {
 
@@ -8,7 +9,7 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double PercentileTracker::quantile(double q) {
   if (samples_.empty()) {
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   }
   const auto& s = sorted_samples();
   const double pos = q * double(s.size() - 1);

@@ -14,6 +14,12 @@
 namespace slingshot {
 
 // Running mean / min / max / stddev without storing samples.
+//
+// Empty-collector contract: min(), max() (and PercentileTracker::
+// quantile()) return quiet NaN when count() == 0, so "no samples" is
+// distinguishable from a real 0.0 sample.  Consumers that serialize
+// these values must check count() or std::isnan first — bare NaN is not
+// valid JSON.
 class RunningStats {
  public:
   void add(double x) {
@@ -31,8 +37,13 @@ class RunningStats {
     return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
   }
   [[nodiscard]] double stddev() const;
-  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
-  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  // NaN when empty (see class comment).
+  [[nodiscard]] double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
 
  private:
   std::int64_t n_ = 0;
@@ -49,7 +60,10 @@ class PercentileTracker {
     samples_.push_back(x);
     sorted_ = false;
   }
-  // q in [0, 1]; q=0.5 is the median.
+  // Pre-size the sample store so hot-path add() never reallocates.
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  // q in [0, 1]; q=0.5 is the median.  NaN when empty (same contract as
+  // RunningStats::min()/max()).
   [[nodiscard]] double quantile(double q);
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] const std::vector<double>& samples() const { return samples_; }

@@ -4,6 +4,7 @@
 
 #include "common/bits.h"
 #include "common/log.h"
+#include "obs/obs.h"
 
 namespace slingshot {
 
@@ -133,6 +134,8 @@ void FronthaulMiddlebox::maybe_execute_migration(RuId ru,
     cleared.valid = false;
     migration_store_.write(ru.value(), cleared);
     ++stats_.migrations_executed;
+    SLS_TRACE_EVENT(sim_, obs::ObsEvent::kMigrationExecuted, entry.dest_phy,
+                    pkt_wrapped);
     SLOG_INFO("fh_mbox", "migration executed: ru=%u -> phy=%u at slot %lld",
               ru.value(), entry.dest_phy,
               static_cast<long long>(pkt_wrapped));
@@ -165,6 +168,8 @@ PipelineVerdict FronthaulMiddlebox::process(Packet& packet, int /*port*/,
           entry.wrapped_slot = cmd.slot.wrapped_index(slots_);
           migration_store_.write(cmd.ru.value(), entry);
           ++stats_.commands_received;
+          SLS_TRACE_EVENT(sim_, obs::ObsEvent::kMigrateCmdAbsorbed,
+                          entry.dest_phy, entry.wrapped_slot);
           if (tap_ != nullptr) {
             tap_->on_command(cmd, entry.wrapped_slot);
           }
@@ -284,11 +289,14 @@ void FronthaulMiddlebox::on_generator_packet(Packet& /*packet*/,
     if (!watch.armed) {
       continue;
     }
+    SLS_TRACE_DETECTOR_TICK(sim_);
     const auto count = failure_counters_.read(phy);
     if (count + 1 >= config_.detector_ticks) {
       watch.armed = false;  // one notification per failure episode
       failure_counters_.write(phy, 0);
       ++stats_.failures_detected;
+      SLS_TRACE_EVENT(sim_, obs::ObsEvent::kDetectorFire, phy,
+                      slots_.slot_at(sim_.now()));
       SLOG_WARN("fh_mbox", "PHY %u failure detected (timeout)", unsigned(phy));
       if (tap_ != nullptr) {
         tap_->on_failure_notify(PhyId{phy});

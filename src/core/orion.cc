@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "common/pool.h"
+#include "obs/obs.h"
 
 namespace slingshot {
 
@@ -61,7 +62,7 @@ void OrionPhySide::deliver_to_phy(FapiMessage&& msg) {
       int plugged = 0;
       for (std::int64_t s = last + 1; s < msg.slot && plugged < 8;
            ++s, ++plugged) {
-        ++nulls_injected_;
+        ++(is_dl ? nulls_injected_dl_ : nulls_injected_ul_);
         ++to_phy_count_;
         to_phy_->send(is_dl ? make_null_dl_tti(msg.ru, s)
                             : make_null_ul_tti(msg.ru, s));
@@ -105,7 +106,7 @@ void OrionPhySide::on_slot_watchdog() {
       while (last < current && plugged < 8) {
         ++last;
         ++plugged;
-        ++nulls_injected_;
+        ++(dl ? nulls_injected_dl_ : nulls_injected_ul_);
         ++to_phy_count_;
         to_phy_->send(dl ? make_null_dl_tti(RuId{ru}, last)
                          : make_null_ul_tti(RuId{ru}, last));
@@ -188,6 +189,8 @@ std::pair<PhyId, PhyId> OrionL2Side::route_for_slot(RuState& state,
     if (tap_ != nullptr) {
       tap_->on_swap_finalized(state.ru, slot, state.primary, boundary);
     }
+    SLS_TRACE_EVENT(sim_, obs::ObsEvent::kSwapFinalized,
+                    state.primary.value(), boundary);
   }
   return {state.primary, state.secondary};
 }
@@ -240,6 +243,8 @@ void OrionL2Side::on_fapi(FapiMessage&& msg) {
     case FapiMsgType::kUlTtiRequest: {
       const auto [real, standby] = route_for_slot(state, msg.slot);
       ++stats_.real_requests_forwarded;
+      SLS_TRACE_STAGE(sim_, obs::SlotStage::kOrionForward, msg.ru.value(),
+                      msg.slot);
       send_to_phy(real, msg);
       if (standby == state.failed_phy) {
         return;
@@ -314,6 +319,9 @@ void OrionL2Side::handle_frame(Packet&& frame) {
     case EtherType::kFailureNotify: {
       if (!frame.payload.empty()) {
         ++stats_.failure_notifications;
+        SLS_TRACE_EVENT(sim_, obs::ObsEvent::kNotifyReceived,
+                        frame.payload[0],
+                        config_.slots.slot_at(sim_.now()));
         handle_failure_notification(PhyId{frame.payload[0]});
       }
       return;
@@ -337,6 +345,9 @@ void OrionL2Side::handle_phy_indication(PhyId from, FapiMessage&& msg) {
   if (state.previous_until_slot >= 0 && state.swap_wall_slot >= 0 &&
       config_.slots.slot_at(sim_.now()) >=
           state.swap_wall_slot + config_.drain_window_slots) {
+    ++stats_.drain_windows_expired;
+    SLS_TRACE_EVENT(sim_, obs::ObsEvent::kDrainExpired,
+                    state.previous.value(), state.previous_until_slot);
     state.previous = PhyId{};
     state.previous_until_slot = -1;
     state.swap_wall_slot = -1;
@@ -357,6 +368,8 @@ void OrionL2Side::handle_phy_indication(PhyId from, FapiMessage&& msg) {
         if (tap_ != nullptr) {
           tap_->on_rehabilitate(RuId{other_ru}, from);
         }
+        SLS_TRACE_EVENT(sim_, obs::ObsEvent::kRehabilitated, from.value(),
+                        msg.slot);
       }
     }
     SLOG_WARN("orion",
@@ -386,6 +399,8 @@ void OrionL2Side::handle_phy_indication(PhyId from, FapiMessage&& msg) {
   }
   if (drained) {
     ++stats_.drained_responses_accepted;
+    SLS_TRACE_EVENT(sim_, obs::ObsEvent::kDrainAccepted, from.value(),
+                    msg.slot);
   }
   ++stats_.responses_forwarded;
   to_l2_->send(std::move(msg));
@@ -410,6 +425,8 @@ void OrionL2Side::migrate(RuId ru, std::int64_t boundary_slot) {
   if (tap_ != nullptr) {
     tap_->on_migration(event);
   }
+  SLS_TRACE_EVENT(sim_, obs::ObsEvent::kPlannedMigration,
+                  state.secondary.value(), boundary_slot);
   SLOG_INFO("orion", "%s planned migration ru=%u phy %u -> %u at slot %lld",
             name_.c_str(), ru.value(), state.primary.value(),
             state.secondary.value(), static_cast<long long>(boundary_slot));
@@ -418,8 +435,14 @@ void OrionL2Side::migrate(RuId ru, std::int64_t boundary_slot) {
 void OrionL2Side::handle_failure_notification(PhyId failed) {
   const Nanos notified_at = sim_.now();
   bool any_failover = false;
+  bool any_duplicate = false;
   PhyId promoted;
   for (auto& [ru_value, state] : rus_) {
+    // A notification for a phy this RU already failed away from is a
+    // re-delivery of a finished episode, not a new failure.
+    if (state.failed_phy == failed) {
+      any_duplicate = true;
+    }
     if (state.primary != failed) {
       continue;
     }
@@ -428,6 +451,7 @@ void OrionL2Side::handle_failure_notification(PhyId failed) {
     // pending — re-running it would move the boundary later and log a
     // duplicate MigrationEvent.
     if (state.boundary.has_value()) {
+      any_duplicate = true;
       continue;
     }
     any_failover = true;
@@ -451,6 +475,8 @@ void OrionL2Side::handle_failure_notification(PhyId failed) {
     if (tap_ != nullptr) {
       tap_->on_migration(event);
     }
+    SLS_TRACE_EVENT(sim_, obs::ObsEvent::kFailoverInitiated, failed.value(),
+                    boundary);
     SLOG_WARN("orion",
               "%s FAILOVER ru=%u phy %u -> %u at slot %lld (notified %.3f ms)",
               name_.c_str(), unsigned(ru_value), state.primary.value(),
@@ -461,12 +487,17 @@ void OrionL2Side::handle_failure_notification(PhyId failed) {
     }
   }
   if (any_failover) {
+    ++stats_.failovers_initiated;
     // Stop the switch from watching the consumed PHY: stray heartbeats
     // from a half-dead process must not re-arm its failure detector.
     send_unwatch_cmd(failed);
     // The detector must keep covering whoever now serves the RU — the
     // promoted standby may have been unwatched by an earlier episode.
     send_watch_cmd(promoted);
+  } else if (any_duplicate) {
+    ++stats_.duplicate_notifications_ignored;
+  } else {
+    ++stats_.stale_notifications_ignored;
   }
 }
 
@@ -522,6 +553,8 @@ void OrionL2Side::adopt_standby(RuId ru, PhyId phy, MacAddr orion_mac) {
   if (tap_ != nullptr) {
     tap_->on_adopt(ru, phy);
   }
+  SLS_TRACE_EVENT(sim_, obs::ObsEvent::kAdoptStandby, phy.value(),
+                  config_.slots.slot_at(sim_.now()));
   SLOG_INFO("orion", "%s adopted new standby phy=%u for ru=%u", name_.c_str(),
             phy.value(), ru.value());
 }

@@ -85,8 +85,17 @@ class OrionPhySide final : public FapiSink {
   [[nodiscard]] MacAddr mac() const { return nic_.mac(); }
   [[nodiscard]] std::uint64_t relayed_to_phy() const { return to_phy_count_; }
   [[nodiscard]] std::uint64_t relayed_to_l2() const { return to_l2_count_; }
+  // §6.1 loss-compensation nulls, split per request stream (a hole can
+  // exist in the DL stream while the UL stream is intact, and vice
+  // versa). nulls_injected() stays the aggregate of both.
+  [[nodiscard]] std::uint64_t nulls_injected_dl() const {
+    return nulls_injected_dl_;
+  }
+  [[nodiscard]] std::uint64_t nulls_injected_ul() const {
+    return nulls_injected_ul_;
+  }
   [[nodiscard]] std::uint64_t nulls_injected() const {
-    return nulls_injected_;
+    return nulls_injected_dl_ + nulls_injected_ul_;
   }
 
  private:
@@ -116,7 +125,8 @@ class OrionPhySide final : public FapiSink {
   SlotConfig slots_{};
   EventHandle watchdog_;
   std::map<std::uint8_t, RuLossTrack> loss_tracks_;
-  std::uint64_t nulls_injected_ = 0;
+  std::uint64_t nulls_injected_dl_ = 0;
+  std::uint64_t nulls_injected_ul_ = 0;
 };
 
 // ---------------------------------------------------------------------
@@ -187,7 +197,24 @@ struct OrionL2Stats {
   std::uint64_t responses_forwarded = 0;
   std::uint64_t standby_responses_dropped = 0;
   std::uint64_t drained_responses_accepted = 0;  // Fig 7 pipeline drain
+  // Every kFailureNotify frame increments failure_notifications, and
+  // exactly one of the three outcome counters below — so
+  //   failure_notifications == failovers_initiated
+  //                          + duplicate_notifications_ignored
+  //                          + stale_notifications_ignored
+  // holds at all times (asserted by bench/abl_fault_matrix). Before this
+  // split, duplicate deliveries (the PR 1 idempotence path) inflated
+  // failure_notifications with no way to tell real failovers apart.
   std::uint64_t failure_notifications = 0;
+  std::uint64_t failovers_initiated = 0;
+  // Re-delivered notification for an episode still pending or already
+  // executed (boundary set, or the phy is a known-failed standby slot).
+  std::uint64_t duplicate_notifications_ignored = 0;
+  // Notification for a phy that is primary nowhere and part of no
+  // episode (e.g. raced with a planned migration).
+  std::uint64_t stale_notifications_ignored = 0;
+  // Fig 7 drain windows that expired with route state still held.
+  std::uint64_t drain_windows_expired = 0;
   std::uint64_t rehabilitations = 0;  // false-positive failovers rescinded
   std::uint64_t fapi_bytes_to_standby = 0;  // §8.5 network overhead
 };

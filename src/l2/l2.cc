@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/obs.h"
 
 namespace slingshot {
 namespace {
@@ -119,6 +120,8 @@ void L2Process::on_slot(std::int64_t now_slot) {
 
   for (const auto& carrier : carriers_) {
     const RuId ru = carrier.ru;
+    // Span opens here: everything the L2 emits this TTI is for `target`.
+    SLS_TRACE_STAGE(sim_, obs::SlotStage::kL2Request, ru.value(), target);
     // Plan UL grants k2 = advance + 2 slots out, so their DCI rides in
     // the DL_TTI that is announced over the air before the PUSCH slot.
     auto ul_dci = plan_uplink(ru, now_slot + config_.fapi_advance_slots + 2);
@@ -317,6 +320,8 @@ void L2Process::on_fapi(FapiMessage&& msg) {
 }
 
 void L2Process::handle_crc(const FapiMessage& msg) {
+  // Span closes: the slot's UL outcome is back at the scheduler.
+  SLS_TRACE_STAGE(sim_, obs::SlotStage::kResponse, msg.ru.value(), msg.slot);
   for (const auto& entry : std::get<CrcIndication>(msg.body).entries) {
     const auto it = ues_.find(entry.ue.value());
     if (it == ues_.end()) {

@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace slingshot {
+namespace obs {
+namespace {
+
+// %.6g formatting to match bench_util's JSON rows; NaN → null so the
+// output stays valid JSON even for empty collectors.
+void append_num(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  out += s;
+  out += '"';
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::size_t reserve) {
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(reserve);
+  }
+  return slot.get();
+}
+
+TimeSeries* MetricsRegistry::series(const std::string& name, Nanos bin_width) {
+  auto& slot = series_[name];
+  if (!slot) {
+    slot = std::make_unique<TimeSeries>(bin_width);
+  }
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+Histogram* MetricsRegistry::find_histogram(const std::string& name) {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+const TimeSeries* MetricsRegistry::find_series(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::freeze_gauges() {
+  for (auto& [name, g] : gauges_) {
+    g->freeze();
+  }
+}
+
+std::string MetricsRegistry::to_json() {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ':';
+    out += std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ':';
+    append_num(out, g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ":{\"count\":";
+    out += std::to_string(h->stats().count());
+    out += ",\"mean\":";
+    append_num(out, h->stats().count() ? h->stats().mean()
+                                       : std::nan(""));
+    out += ",\"min\":";
+    append_num(out, h->stats().min());
+    out += ",\"max\":";
+    append_num(out, h->stats().max());
+    out += ",\"p50\":";
+    append_num(out, h->percentiles().quantile(0.50));
+    out += ",\"p90\":";
+    append_num(out, h->percentiles().quantile(0.90));
+    out += ",\"p99\":";
+    append_num(out, h->percentiles().quantile(0.99));
+    out += '}';
+  }
+  out += "},\"series\":{";
+  first = true;
+  for (const auto& [name, s] : series_) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ":{\"bin_width_ns\":";
+    out += std::to_string(s->bins().bin_width());
+    out += ",\"bins\":[";
+    for (std::size_t i = 0; i < s->bins().num_bins(); ++i) {
+      if (i) out += ',';
+      append_num(out, s->bins().bin(i));
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::to_csv() {
+  std::string out = "kind,name,field,value\n";
+  auto row = [&out](const char* kind, const std::string& name,
+                    const char* field, double v) {
+    out += kind;
+    out += ',';
+    out += name;
+    out += ',';
+    out += field;
+    out += ',';
+    if (std::isnan(v)) {
+      out += "nan";
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+      out += buf;
+    }
+    out += '\n';
+  };
+  for (const auto& [name, c] : counters_) {
+    row("counter", name, "value", double(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    row("gauge", name, "value", g->value());
+  }
+  for (auto& [name, h] : histograms_) {
+    row("histogram", name, "count", double(h->stats().count()));
+    row("histogram", name, "mean",
+        h->stats().count() ? h->stats().mean() : std::nan(""));
+    row("histogram", name, "min", h->stats().min());
+    row("histogram", name, "max", h->stats().max());
+    row("histogram", name, "p50", h->percentiles().quantile(0.50));
+    row("histogram", name, "p90", h->percentiles().quantile(0.90));
+    row("histogram", name, "p99", h->percentiles().quantile(0.99));
+  }
+  for (const auto& [name, s] : series_) {
+    for (std::size_t i = 0; i < s->bins().num_bins(); ++i) {
+      row("series", name, std::to_string(i).c_str(), s->bins().bin(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace slingshot

@@ -1,0 +1,141 @@
+// Central metrics registry — the "pull" half of the observability layer.
+//
+// Components register named instruments once (at attach time, off the hot
+// path) and then update them through stable raw pointers; the registry
+// owns the storage.  Four instrument kinds:
+//
+//   Counter    monotonically increasing uint64 (inc / add)
+//   Gauge      instantaneous double; either set directly or backed by a
+//              sampler callback evaluated at snapshot time
+//   Histogram  RunningStats + PercentileTracker with capacity reserved at
+//              registration so record() never reallocates
+//   TimeSeries TimeBinnedCounter (events per fixed virtual-time bin)
+//
+// Instruments live in std::map<std::string, std::unique_ptr<...>>, so the
+// pointer returned by counter()/gauge()/histogram()/series() stays valid
+// for the registry's lifetime and export order is deterministic.
+//
+// Snapshots export as a JSON object or CSV rows.  NaN (the empty-collector
+// sentinel from RunningStats/PercentileTracker) is emitted as JSON null —
+// bare `nan` is not valid JSON.
+#ifndef SLINGSHOT_OBS_METRICS_H_
+#define SLINGSHOT_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace slingshot {
+namespace obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// A gauge is either a plain stored double or a sampler evaluated lazily at
+// snapshot time.  freeze() collapses a sampler gauge into its current
+// value — called when the sampled object is about to die so a later
+// snapshot cannot invoke a dangling callback.
+class Gauge {
+ public:
+  void set(double v) {
+    sampler_ = nullptr;
+    value_ = v;
+  }
+  void bind(std::function<double()> sampler) { sampler_ = std::move(sampler); }
+  void freeze() {
+    if (sampler_) {
+      value_ = sampler_();
+      sampler_ = nullptr;
+    }
+  }
+  double value() const { return sampler_ ? sampler_() : value_; }
+
+ private:
+  std::function<double()> sampler_;
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::size_t reserve) { pct_.reserve(reserve); }
+
+  void record(double v) {
+    stats_.add(v);
+    pct_.add(v);
+  }
+  const RunningStats& stats() const { return stats_; }
+  PercentileTracker& percentiles() { return pct_; }
+
+ private:
+  RunningStats stats_;
+  PercentileTracker pct_;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(Nanos bin_width) : bins_(bin_width) {}
+
+  void record(Nanos t, double v = 1.0) { bins_.add(t, v); }
+  const TimeBinnedCounter& bins() const { return bins_; }
+
+ private:
+  TimeBinnedCounter bins_;
+};
+
+class MetricsRegistry {
+ public:
+  // Idempotent: registering an existing name returns the same instrument.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name,
+                       std::size_t reserve = kDefaultHistogramReserve);
+  TimeSeries* series(const std::string& name, Nanos bin_width = 1_ms);
+
+  // Lookup without creation; nullptr when absent.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  Histogram* find_histogram(const std::string& name);
+  const TimeSeries* find_series(const std::string& name) const;
+
+  // Collapse all sampler-backed gauges to static values.  Call before the
+  // objects the samplers observe are destroyed.
+  void freeze_gauges();
+
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  // Histograms export count/mean/min/max/p50/p90/p99; empty collectors
+  // export null for the undefined fields.  Series export per-bin arrays.
+  // Non-const: quantile extraction sorts the trackers lazily.
+  std::string to_json();
+
+  // CSV rows: kind,name,field,value — one line per scalar.
+  std::string to_csv();
+
+  std::size_t num_instruments() const {
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           series_.size();
+  }
+
+  static constexpr std::size_t kDefaultHistogramReserve = 4096;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> series_;
+};
+
+}  // namespace obs
+}  // namespace slingshot
+
+#endif  // SLINGSHOT_OBS_METRICS_H_

@@ -1,0 +1,17 @@
+#include "obs/obs.h"
+
+namespace slingshot {
+namespace obs {
+
+Observability::Observability(const ObservabilityConfig& config)
+    : tracer_(config.tracer) {}
+
+void Observability::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  tracer_.export_into(registry_);  // also folds open spans
+  registry_.freeze_gauges();
+}
+
+}  // namespace obs
+}  // namespace slingshot

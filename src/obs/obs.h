@@ -1,0 +1,88 @@
+// Observability bundle: one MetricsRegistry + one SlotTracer, reachable
+// from any component through the Simulator's obs anchor (see
+// Simulator::set_obs / Simulator::obs in sim/simulator.h — a forward
+// declaration, so the sim core never depends on this library).
+//
+// Instrumentation sites use the SLS_TRACE_* macros below.  Each expands
+// to a null-check on the anchor plus a passive data write — no heap, no
+// new simulator events — and compiles to nothing when the build sets
+// SLINGSHOT_OBS_DISABLED (CMake option SLINGSHOT_DISABLE_OBS), so the
+// release-perf preset can strip even the branch.
+#ifndef SLINGSHOT_OBS_OBS_H_
+#define SLINGSHOT_OBS_OBS_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace slingshot {
+namespace obs {
+
+struct ObservabilityConfig {
+  TracerConfig tracer;
+};
+
+class Observability {
+ public:
+  explicit Observability(const ObservabilityConfig& config = {});
+
+  MetricsRegistry& registry() { return registry_; }
+  SlotTracer& tracer() { return tracer_; }
+
+  // Fold open spans, copy tracer aggregates into the registry, and freeze
+  // sampler gauges.  Idempotent.  Call before exporting, and before any
+  // object a gauge sampler observes is destroyed.
+  void finalize();
+
+ private:
+  MetricsRegistry registry_;
+  SlotTracer tracer_;
+  bool finalized_ = false;
+};
+
+}  // namespace obs
+}  // namespace slingshot
+
+#if defined(SLINGSHOT_OBS_DISABLED)
+
+#define SLS_TRACE_STAGE(sim, stage, ru, slot) \
+  do {                                        \
+  } while (0)
+#define SLS_TRACE_EVENT(sim, kind, id, slot) \
+  do {                                       \
+  } while (0)
+#define SLS_TRACE_DETECTOR_TICK(sim) \
+  do {                               \
+  } while (0)
+
+#else
+
+// (sim) is any expression yielding a Simulator&; stamps use sim.now() so
+// call sites cannot disagree with virtual time.
+#define SLS_TRACE_STAGE(sim, stage, ru, slot)                            \
+  do {                                                                   \
+    if (auto* sls_obs_ = (sim).obs()) {                                  \
+      sls_obs_->tracer().stamp((stage), std::uint8_t(ru),                \
+                               std::int64_t(slot), (sim).now());         \
+    }                                                                    \
+  } while (0)
+
+#define SLS_TRACE_EVENT(sim, kind, id, slot)                             \
+  do {                                                                   \
+    if (auto* sls_obs_ = (sim).obs()) {                                  \
+      sls_obs_->tracer().event((kind), std::uint8_t(id),                 \
+                               std::int64_t(slot), (sim).now());         \
+    }                                                                    \
+  } while (0)
+
+#define SLS_TRACE_DETECTOR_TICK(sim)                                     \
+  do {                                                                   \
+    if (auto* sls_obs_ = (sim).obs()) {                                  \
+      sls_obs_->tracer().detector_tick();                                \
+    }                                                                    \
+  } while (0)
+
+#endif  // SLINGSHOT_OBS_DISABLED
+
+#endif  // SLINGSHOT_OBS_OBS_H_

@@ -1,0 +1,267 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+namespace slingshot {
+namespace obs {
+
+const char* slot_stage_name(SlotStage s) {
+  switch (s) {
+    case SlotStage::kL2Request: return "l2_request";
+    case SlotStage::kOrionForward: return "orion_forward";
+    case SlotStage::kPhySlot: return "phy_slot";
+    case SlotStage::kFronthaulTx: return "fronthaul_tx";
+    case SlotStage::kPhyDecode: return "phy_decode";
+    case SlotStage::kResponse: return "response";
+    case SlotStage::kNumStages: break;
+  }
+  return "?";
+}
+
+const char* slot_span_latency_name(SlotSpanLatency l) {
+  switch (l) {
+    case SlotSpanLatency::kForward: return "forward";
+    case SlotSpanLatency::kLead: return "lead";
+    case SlotSpanLatency::kFronthaul: return "fronthaul";
+    case SlotSpanLatency::kDecode: return "decode";
+    case SlotSpanLatency::kResponse: return "response";
+    case SlotSpanLatency::kEndToEnd: return "e2e";
+    case SlotSpanLatency::kNumLatencies: break;
+  }
+  return "?";
+}
+
+const char* obs_event_name(ObsEvent e) {
+  switch (e) {
+    case ObsEvent::kPhyDown: return "phy_down";
+    case ObsEvent::kDetectorFire: return "detector_fire";
+    case ObsEvent::kNotifyReceived: return "notify_received";
+    case ObsEvent::kFailoverInitiated: return "failover_initiated";
+    case ObsEvent::kMigrateCmdAbsorbed: return "migrate_cmd_absorbed";
+    case ObsEvent::kMigrationExecuted: return "migration_executed";
+    case ObsEvent::kSwapFinalized: return "swap_finalized";
+    case ObsEvent::kDrainAccepted: return "drain_accepted";
+    case ObsEvent::kDrainExpired: return "drain_expired";
+    case ObsEvent::kRehabilitated: return "rehabilitated";
+    case ObsEvent::kPlannedMigration: return "planned_migration";
+    case ObsEvent::kAdoptStandby: return "adopt_standby";
+    case ObsEvent::kNumEvents: break;
+  }
+  return "?";
+}
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+SlotTracer::SlotTracer(const TracerConfig& config) : config_(config) {
+  const std::size_t window = round_up_pow2(
+      config_.window < 2 ? std::size_t{2} : config_.window);
+  window_mask_ = window - 1;
+  lanes_.resize(std::size_t(config_.max_lanes < 1 ? 1 : config_.max_lanes));
+  for (auto& lane : lanes_) {
+    lane.rows.resize(window);
+    for (auto& row : lane.rows) {
+      row.t.fill(kNoStamp);
+    }
+  }
+  timeline_.reserve(config_.timeline_capacity);
+  for (auto& pct : latency_pct_) {
+    pct.reserve(config_.histogram_reserve);
+  }
+}
+
+SlotTracer::Lane* SlotTracer::lane_for(std::uint8_t ru) {
+  for (auto& lane : lanes_) {
+    if (lane.ru == ru) return &lane;
+  }
+  for (auto& lane : lanes_) {
+    if (lane.ru == 0) {
+      lane.ru = ru;
+      return &lane;
+    }
+  }
+  return nullptr;  // more RUs than lanes: drop silently
+}
+
+void SlotTracer::reset_row(Row& row, std::int64_t slot) {
+  row.slot = slot;
+  row.t.fill(kNoStamp);
+  ++spans_opened_;
+}
+
+void SlotTracer::stamp(SlotStage stage, std::uint8_t ru, std::int64_t slot,
+                       Nanos t) {
+  if (ru == 0 || slot < 0) return;
+  Lane* lane = lane_for(ru);
+  if (lane == nullptr) return;
+  Row& row = lane->rows[std::size_t(slot) & window_mask_];
+  if (row.slot != slot) {
+    if (row.slot > slot) {
+      // Stale stamp from before the window wrapped; never evict newer data.
+      ++late_stamps_dropped_;
+      return;
+    }
+    if (row.slot != kEmptySlot) {
+      fold(row);
+    }
+    reset_row(row, slot);
+  }
+  auto& cell = row.t[std::size_t(stage)];
+  if (cell != kNoStamp) return;  // first write wins
+  cell = t;
+  ++stamps_recorded_[std::size_t(stage)];
+}
+
+void SlotTracer::event(ObsEvent kind, std::uint8_t id, std::int64_t slot,
+                       Nanos t) {
+  if (timeline_.size() >= config_.timeline_capacity) {
+    ++events_dropped_;
+    return;
+  }
+  TraceEvent e;
+  e.t = t;
+  e.slot = slot;
+  e.kind = kind;
+  e.id = id;
+  timeline_.push_back(e);
+}
+
+void SlotTracer::record_latency(SlotSpanLatency l, Nanos delta) {
+  const double us = double(delta) / 1e3;
+  latency_stats_[std::size_t(l)].add(us);
+  latency_pct_[std::size_t(l)].add(us);
+}
+
+void SlotTracer::fold(Row& row) {
+  ++spans_closed_;
+  const auto at = [&row](SlotStage s) { return row.t[std::size_t(s)]; };
+  const Nanos start = config_.slot.slot_start(row.slot);
+  const Nanos l2 = at(SlotStage::kL2Request);
+  const Nanos fwd = at(SlotStage::kOrionForward);
+  const Nanos phy = at(SlotStage::kPhySlot);
+  const Nanos fh = at(SlotStage::kFronthaulTx);
+  const Nanos dec = at(SlotStage::kPhyDecode);
+  const Nanos rsp = at(SlotStage::kResponse);
+
+  if (l2 != kNoStamp && fwd != kNoStamp) {
+    record_latency(SlotSpanLatency::kForward, fwd - l2);
+  }
+  if (l2 != kNoStamp) {
+    record_latency(SlotSpanLatency::kLead, start - l2);
+    if (phy == kNoStamp) {
+      ++unserved_slots_;
+    }
+  }
+  if (fh != kNoStamp) {
+    record_latency(SlotSpanLatency::kFronthaul, fh - start);
+  }
+  if (dec != kNoStamp) {
+    record_latency(SlotSpanLatency::kDecode, dec - start);
+    if (rsp != kNoStamp) {
+      record_latency(SlotSpanLatency::kResponse, rsp - dec);
+    }
+  }
+  if (rsp != kNoStamp) {
+    if (l2 != kNoStamp) {
+      record_latency(SlotSpanLatency::kEndToEnd, rsp - l2);
+    }
+    const Nanos deadline =
+        config_.slot.slot_start(row.slot + config_.deadline_slots);
+    if (rsp > deadline) {
+      ++deadline_misses_;
+    }
+  }
+}
+
+void SlotTracer::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  for (auto& lane : lanes_) {
+    for (auto& row : lane.rows) {
+      if (row.slot != kEmptySlot) {
+        fold(row);
+        row.slot = kEmptySlot;
+        row.t.fill(kNoStamp);
+      }
+    }
+  }
+}
+
+std::vector<SlotTracer::Episode> SlotTracer::failover_episodes() const {
+  std::vector<Episode> episodes;
+  Episode* cur = nullptr;
+  for (const auto& e : timeline_) {
+    switch (e.kind) {
+      case ObsEvent::kPhyDown:
+        episodes.emplace_back();
+        cur = &episodes.back();
+        cur->failed_phy = e.id;
+        cur->down_t = e.t;
+        break;
+      case ObsEvent::kDetectorFire:
+        if (cur && cur->detect_t < 0) cur->detect_t = e.t;
+        break;
+      case ObsEvent::kNotifyReceived:
+        if (cur && cur->notify_t < 0) cur->notify_t = e.t;
+        break;
+      case ObsEvent::kFailoverInitiated:
+        if (cur && cur->initiate_t < 0) {
+          cur->initiate_t = e.t;
+          cur->boundary_slot = e.slot;
+        }
+        break;
+      case ObsEvent::kSwapFinalized:
+        if (cur && cur->swap_t < 0) cur->swap_t = e.t;
+        break;
+      case ObsEvent::kDrainAccepted:
+        if (cur) {
+          ++cur->drains_accepted;
+          cur->last_drain_t = e.t;
+          cur->drained_slots.push_back(e.slot);
+        }
+        break;
+      case ObsEvent::kDrainExpired:
+        if (cur) cur->drain_expired = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return episodes;
+}
+
+void SlotTracer::export_into(MetricsRegistry& registry) {
+  finalize();
+  registry.counter("trace.spans_opened")->inc(spans_opened_);
+  registry.counter("trace.spans_closed")->inc(spans_closed_);
+  registry.counter("trace.late_stamps_dropped")->inc(late_stamps_dropped_);
+  registry.counter("trace.deadline_misses")->inc(deadline_misses_);
+  registry.counter("trace.unserved_slots")->inc(unserved_slots_);
+  registry.counter("trace.detector_ticks")->inc(detector_ticks_);
+  registry.counter("trace.events_dropped")->inc(events_dropped_);
+  for (std::size_t s = 0; s < std::size_t(SlotStage::kNumStages); ++s) {
+    registry
+        .counter(std::string("trace.stamps.") +
+                 slot_stage_name(SlotStage(s)))
+        ->inc(stamps_recorded_[s]);
+  }
+  for (std::size_t l = 0; l < std::size_t(SlotSpanLatency::kNumLatencies);
+       ++l) {
+    const auto& pct = latency_pct_[l];
+    auto* hist = registry.histogram(
+        std::string("trace.latency_us.") +
+            slot_span_latency_name(SlotSpanLatency(l)),
+        pct.count() + 1);
+    for (double v : pct.samples()) {
+      hist->record(v);
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace slingshot

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/obs.h"
 #include "common/pool.h"
 #include "phy/tb_codec.h"
 
@@ -49,6 +50,10 @@ void PhyProcess::kill() {
   }
   alive_ = false;
   slot_task_.cancel();
+  if (config_.obs_phy_id != 0) {
+    SLS_TRACE_EVENT(sim_, obs::ObsEvent::kPhyDown, config_.obs_phy_id,
+                    config_.slots.slot_at(sim_.now()));
+  }
   SLOG_INFO("phy", "%s killed (fail-stop)", name_.c_str());
 }
 
@@ -159,6 +164,8 @@ void PhyProcess::on_slot(std::int64_t slot) {
 
 void PhyProcess::process_carrier_slot(CarrierState& carrier,
                                       std::int64_t slot) {
+  SLS_TRACE_STAGE(sim_, obs::SlotStage::kPhySlot, carrier.config.ru.value(),
+                  slot);
   // ---- FAPI starvation check (the FlexRAN crash behaviour, §6.2).
   const bool have_dl = carrier.dl_reqs.contains(slot);
   const bool have_ul = carrier.ul_reqs.contains(slot);
@@ -397,6 +404,10 @@ void PhyProcess::decode_uplink(CarrierState& carrier,
   // Indications go out shortly after the decode deadline.
   const Nanos t_ind = sim_.now() + config_.ul_indication_offset + jitter();
   const RuId ru = carrier.config.ru;
+  if (!crc_ind.entries.empty()) {
+    SLS_TRACE_STAGE(sim_, obs::SlotStage::kPhyDecode, ru.value(),
+                    decode_slot);
+  }
   if (!crc_ind.entries.empty()) {
     sim_.at(t_ind, [this, ru, decode_slot, ind = std::move(crc_ind)]() mutable {
       if (alive_) {

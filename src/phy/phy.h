@@ -62,6 +62,11 @@ struct PhyConfig {
   // O-RAN BFP compression applied to downlink U-plane IQ (0 = off).
   // 9-bit mantissas are the common deployment choice.
   std::uint8_t dl_bfp_mantissa_bits = 9;
+
+  // Identity reported on the observability timeline (kPhyDown events);
+  // 0 = unidentified (events suppressed). Deployment config, not PHY
+  // behaviour — no effect on processing.
+  std::uint8_t obs_phy_id = 0;
 };
 
 struct PhyStats {

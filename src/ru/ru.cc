@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "common/pool.h"
+#include "obs/obs.h"
 
 namespace slingshot {
 
@@ -38,6 +39,9 @@ void RadioUnit::handle_frame(Packet&& frame) {
   }
   const auto current = config_.slots.slot_at(sim_.now());
   const auto abs_slot = packet.header.slot.unwrap(current, config_.slots);
+  // First DL fronthaul packet per slot wins (first-write-wins stamp).
+  SLS_TRACE_STAGE(sim_, obs::SlotStage::kFronthaulTx, config_.id.value(),
+                  abs_slot);
 
   // Protocol-compliance check: two PHYs feeding the same TTI.
   const auto [it, inserted] =

@@ -149,6 +149,10 @@ class EventHandle {
   std::uint32_t generation_ = 0;
 };
 
+namespace obs {
+class Observability;
+}  // namespace obs
+
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1)
@@ -156,6 +160,14 @@ class Simulator {
 
   [[nodiscard]] Nanos now() const { return now_; }
   [[nodiscard]] const RngRegistry& rng() const { return rng_; }
+
+  // Observability anchor (see obs/obs.h). Forward-declared on purpose:
+  // the sim core never depends on the obs library. Null by default —
+  // every SLS_TRACE_* site null-checks, so an unattached sim pays one
+  // predictable branch per site and nothing else. The tracer is a
+  // passive observer; attaching it must not change event order.
+  void set_obs(obs::Observability* o) { obs_ = o; }
+  [[nodiscard]] obs::Observability* obs() const { return obs_; }
 
   // Schedule `fn` at absolute virtual time `t` (must be >= now).
   EventHandle at(Nanos t, InlineCallback fn);
@@ -231,6 +243,7 @@ class Simulator {
   std::vector<std::unique_ptr<EventRecord[]>> chunks_;
   std::vector<std::uint32_t> free_slots_;
   RngRegistry rng_;
+  obs::Observability* obs_ = nullptr;
 };
 
 inline void EventHandle::cancel() {

@@ -43,6 +43,9 @@ void ProgrammableSwitch::start_packet_generator(Nanos period) {
       return;
     }
     ++gen_count_;
+    if (obs_gen_ != nullptr) {
+      obs_gen_->inc();
+    }
     Packet tick;
     tick.eth.ethertype = EtherType::kControl;
     tick.created_at = sim_.now();
@@ -76,6 +79,9 @@ void ProgrammableSwitch::emit_via_l2(const MacAddr& dst, Packet&& packet) {
 
 void ProgrammableSwitch::ingress(Packet&& packet, int port) {
   ++processed_;
+  if (obs_frames_ != nullptr) {
+    obs_frames_->inc();
+  }
   if (packet.id == 0) {
     packet.id = next_packet_id_++;
   }

@@ -17,6 +17,7 @@
 
 #include "net/link.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace slingshot {
@@ -85,6 +86,14 @@ class ProgrammableSwitch {
 
   void set_ingress_tap(IngressTap tap) { tap_ = std::move(tap); }
 
+  // Mirror the frame/generator counters into registry counters. Cached
+  // raw pointers (registry storage is stable), null-checked on the hot
+  // path; pass nullptrs to detach.
+  void bind_obs(obs::Counter* frames, obs::Counter* generator_packets) {
+    obs_frames_ = frames;
+    obs_gen_ = generator_packets;
+  }
+
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] int num_ports() const { return num_ports_; }
   [[nodiscard]] std::uint64_t frames_processed() const { return processed_; }
@@ -115,6 +124,8 @@ class ProgrammableSwitch {
   IngressTap tap_;
   std::uint64_t processed_ = 0;
   std::uint64_t gen_count_ = 0;
+  obs::Counter* obs_frames_ = nullptr;
+  obs::Counter* obs_gen_ = nullptr;
   std::uint64_t next_packet_id_ = 1;
 };
 

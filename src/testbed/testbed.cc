@@ -1,6 +1,7 @@
 #include "testbed/testbed.h"
 
 #include "common/log.h"
+#include "obs/obs.h"
 
 namespace slingshot {
 namespace {
@@ -25,7 +26,7 @@ Testbed::Testbed(TestbedConfig config) : config_(config), sim_(config.seed) {
   if (config_.ue.grant_starvation_timeout == 0) {
     config_.ue.grant_starvation_timeout = 300_ms;
   }
-  Logger::instance().set_time_source([this] { return sim_.now(); });
+  log_time_.install([this] { return sim_.now(); });
   build_fabric();
   build_vran();
   switch (config_.mode) {
@@ -38,6 +39,16 @@ Testbed::Testbed(TestbedConfig config) : config_(config), sim_(config.seed) {
     case TestbedMode::kBaselineFailover:
       wire_baseline();
       break;
+  }
+}
+
+Testbed::~Testbed() {
+  // A longer-lived Observability must not sample destroyed components;
+  // collapse its gauge callbacks to their final values. (log_time_'s own
+  // destructor likewise uninstalls the sim-clock log time source.)
+  if (obs_ != nullptr) {
+    obs_->registry().freeze_gauges();
+    sim_.set_obs(nullptr);
   }
 }
 
@@ -86,8 +97,10 @@ void Testbed::build_fabric() {
 void Testbed::build_vran() {
   PhyConfig phy_cfg = config_.phy;
   phy_cfg.slots = config_.slots;
+  phy_cfg.obs_phy_id = kPhyA.value();
   phy_a_ = std::make_unique<PhyProcess>(sim_, "phy-a", phy_cfg, *phy_a_nic_);
   PhyConfig phy_b_cfg = phy_cfg;
+  phy_b_cfg.obs_phy_id = kPhyB.value();
   if (config_.secondary_ldpc_iters > 0) {
     phy_b_cfg.ldpc_max_iters = config_.secondary_ldpc_iters;
   }
@@ -374,6 +387,105 @@ void Testbed::revive_dead_phy_as_standby() {
 
 DatagramPipe& Testbed::server_pipe(int i) {
   return app_server_->pipe_for(ues_.at(std::size_t(i))->id());
+}
+
+obs::ObservabilityConfig Testbed::obs_config() const {
+  obs::ObservabilityConfig c;
+  c.tracer.slot = config_.slots;
+  // A slot's CRC indication is due one slot after the pipelined decode.
+  c.tracer.deadline_slots = config_.phy.ul_pipeline_slots + 1;
+  return c;
+}
+
+void Testbed::attach_observability(obs::Observability& o) {
+  obs_ = &o;
+  sim_.set_obs(&o);
+  auto& reg = o.registry();
+  switch_->bind_obs(reg.counter("switch.frames"),
+                    reg.counter("switch.generator_packets"));
+
+  // Gauge samplers: pulled only at snapshot time, so the hot path pays
+  // nothing. The Testbed destructor freezes them (see ~Testbed).
+  reg.gauge("sim.executed_events")->bind([this] {
+    return double(sim_.executed_events());
+  });
+  reg.gauge("sim.pending_events")->bind([this] {
+    return double(sim_.pending_events());
+  });
+  const auto phy_gauges = [&reg](const std::string& prefix, PhyProcess* phy) {
+    if (phy == nullptr) {
+      return;
+    }
+    reg.gauge(prefix + ".slots_processed")->bind([phy] {
+      return double(phy->stats().slots_processed);
+    });
+    reg.gauge(prefix + ".ul_crc_ok")->bind([phy] {
+      return double(phy->stats().ul_crc_ok);
+    });
+    reg.gauge(prefix + ".ul_crc_fail")->bind([phy] {
+      return double(phy->stats().ul_crc_fail);
+    });
+    reg.gauge(prefix + ".fapi_starved_slots")->bind([phy] {
+      return double(phy->stats().fapi_starved_slots);
+    });
+    reg.gauge(prefix + ".null_slots")->bind([phy] {
+      return double(phy->stats().null_slots);
+    });
+  };
+  phy_gauges("phy.a", phy_a_.get());
+  phy_gauges("phy.b", phy_b_.get());
+  if (ru_ != nullptr) {
+    reg.gauge("ru.dropped_ttis")->bind([this] {
+      return double(ru_->stats().dropped_ttis);
+    });
+    reg.gauge("ru.dl_cplane_rx")->bind([this] {
+      return double(ru_->stats().dl_cplane_rx);
+    });
+  }
+  if (l2_ != nullptr) {
+    reg.gauge("l2.ul_tbs_granted")->bind([this] {
+      return double(l2_->stats().ul_tbs_granted);
+    });
+    reg.gauge("l2.ul_tbs_lost")->bind([this] {
+      return double(l2_->stats().ul_tbs_lost);
+    });
+  }
+  if (mbox_ != nullptr) {
+    reg.gauge("mbox.failures_detected")->bind([this] {
+      return double(mbox_->stats().failures_detected);
+    });
+    reg.gauge("mbox.migrations_executed")->bind([this] {
+      return double(mbox_->stats().migrations_executed);
+    });
+    reg.gauge("mbox.dl_blocked")->bind([this] {
+      return double(mbox_->stats().dl_blocked);
+    });
+  }
+  if (orion_l2_ != nullptr) {
+    reg.gauge("orion.failure_notifications")->bind([this] {
+      return double(orion_l2_->stats().failure_notifications);
+    });
+    reg.gauge("orion.failovers_initiated")->bind([this] {
+      return double(orion_l2_->stats().failovers_initiated);
+    });
+    reg.gauge("orion.duplicate_notifications_ignored")->bind([this] {
+      return double(orion_l2_->stats().duplicate_notifications_ignored);
+    });
+    reg.gauge("orion.drained_responses_accepted")->bind([this] {
+      return double(orion_l2_->stats().drained_responses_accepted);
+    });
+    reg.gauge("orion.drain_windows_expired")->bind([this] {
+      return double(orion_l2_->stats().drain_windows_expired);
+    });
+  }
+  if (orion_a_ != nullptr) {
+    reg.gauge("orion.a.nulls_injected_dl")->bind([this] {
+      return double(orion_a_->nulls_injected_dl());
+    });
+    reg.gauge("orion.a.nulls_injected_ul")->bind([this] {
+      return double(orion_a_->nulls_injected_ul());
+    });
+  }
 }
 
 Nanos Testbed::last_failover_notification() const {

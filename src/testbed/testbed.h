@@ -21,6 +21,7 @@
 
 #include "baseline/precopy.h"
 #include "channel/channel.h"
+#include "common/log.h"
 #include "core/fh_mbox.h"
 #include "core/orion.h"
 #include "fapi/channel.h"
@@ -35,6 +36,11 @@
 #include "ue/ue.h"
 
 namespace slingshot {
+
+namespace obs {
+class Observability;
+struct ObservabilityConfig;
+}  // namespace obs
 
 enum class TestbedMode { kSlingshot, kCoupledNoOrion, kBaselineFailover };
 
@@ -68,6 +74,7 @@ struct TestbedConfig {
 class Testbed {
  public:
   explicit Testbed(TestbedConfig config);
+  ~Testbed();
 
   // Power on all components, start the carrier, attach UEs. After
   // start(), run the simulator for ~50 ms before measuring to let SNR
@@ -140,6 +147,17 @@ class Testbed {
   // detection-latency measurements); 0 if none.
   [[nodiscard]] Nanos last_failover_notification() const;
 
+  // ---- Observability (src/obs) ----
+  // Tracer/registry configuration matching this testbed's numerology
+  // (slot duration, UL pipeline depth). Build an obs::Observability from
+  // this, then attach it.
+  [[nodiscard]] obs::ObservabilityConfig obs_config() const;
+  // Hook the bundle into the simulator anchor, bind switch counters, and
+  // register gauge samplers over the component stats structs. The bundle
+  // must outlive the run; the Testbed destructor freezes sampler gauges
+  // so a longer-lived bundle never dereferences dead components.
+  void attach_observability(obs::Observability& o);
+
   static constexpr RuId kRu{1};
   static constexpr RuId kRu2{2};
   static constexpr PhyId kPhyA{1};
@@ -154,6 +172,10 @@ class Testbed {
 
   TestbedConfig config_;
   Simulator sim_;
+  // Declared after sim_ so its destructor (which uninstalls the log time
+  // source capturing sim_) runs before sim_ is torn down.
+  ScopedLogTimeSource log_time_;
+  obs::Observability* obs_ = nullptr;
 
   // Fabric.
   std::unique_ptr<ProgrammableSwitch> switch_;

@@ -1,0 +1,84 @@
+// Logger time-source lifetime. The Logger is a process-wide singleton;
+// before ScopedLogTimeSource, the testbed installed a time source
+// capturing its simulator and nothing removed it — any log line emitted
+// after the testbed died invoked a dangling callback (a use-after-free
+// ASan flags immediately).
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.h"
+
+namespace slingshot {
+namespace {
+
+// Restores whatever logger state a test disturbs.
+class LoggerStateGuard {
+ public:
+  LoggerStateGuard() : level_(Logger::instance().level()) {}
+  ~LoggerStateGuard() {
+    Logger::instance().set_level(level_);
+    Logger::instance().clear_time_source();
+  }
+
+ private:
+  LogLevel level_;
+};
+
+TEST(ScopedLogTimeSource, UninstallsOnDestruction) {
+  LoggerStateGuard guard;
+  Logger::instance().clear_time_source();
+  {
+    ScopedLogTimeSource scoped{[] { return Nanos{42}; }};
+    EXPECT_TRUE(scoped.installed());
+    EXPECT_TRUE(Logger::instance().has_time_source());
+  }
+  EXPECT_FALSE(Logger::instance().has_time_source());
+}
+
+TEST(ScopedLogTimeSource, NestedScopesRestoreThePreviousSource) {
+  LoggerStateGuard guard;
+  Logger::instance().clear_time_source();
+  ScopedLogTimeSource outer{[] { return Nanos{1}; }};
+  {
+    ScopedLogTimeSource inner{[] { return Nanos{2}; }};
+    EXPECT_TRUE(Logger::instance().has_time_source());
+  }
+  // The outer source is back, not cleared.
+  EXPECT_TRUE(Logger::instance().has_time_source());
+  outer.release();
+  EXPECT_FALSE(Logger::instance().has_time_source());
+}
+
+TEST(ScopedLogTimeSource, ReleaseIsIdempotent) {
+  LoggerStateGuard guard;
+  Logger::instance().clear_time_source();
+  ScopedLogTimeSource scoped{[] { return Nanos{7}; }};
+  scoped.release();
+  scoped.release();
+  EXPECT_FALSE(scoped.installed());
+  EXPECT_FALSE(Logger::instance().has_time_source());
+}
+
+// The regression the guard exists for: destroy a simulator-owning
+// testbed, then log. Under the old code the logger still held
+// `[this] { return sim_.now(); }` into the dead testbed; formatting any
+// enabled line dereferenced freed memory.
+TEST(ScopedLogTimeSource, LoggingAfterTestbedDestructionIsSafe) {
+  LoggerStateGuard guard;
+  Logger::instance().set_level(LogLevel::kError);
+  {
+    TestbedConfig cfg;
+    cfg.seed = 7;
+    Testbed tb{cfg};
+    tb.start();
+    tb.run_until(5_ms);
+    EXPECT_TRUE(Logger::instance().has_time_source());
+  }
+  EXPECT_FALSE(Logger::instance().has_time_source());
+  // Must not touch the destroyed simulator (ASan would flag the UAF).
+  SLOG_ERROR("test_log", "logging after testbed destruction is safe");
+}
+
+}  // namespace
+}  // namespace slingshot

@@ -1,5 +1,7 @@
 #include "common/stats.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace slingshot {
@@ -17,11 +19,42 @@ TEST(RunningStats, MomentsMatchClosedForm) {
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
 }
 
-TEST(RunningStats, EmptyIsSafe) {
+// Empty-collector contract: min/max/quantile are NaN, so "no samples"
+// cannot be mistaken for a real 0.0 sample (the old 0.0 sentinel made an
+// idle stage's minimum latency look like a measured zero).
+TEST(RunningStats, EmptyReportsNaN) {
   const RunningStats s;
   EXPECT_EQ(s.count(), 0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(RunningStats, RealZeroSampleDistinguishableFromEmpty) {
+  RunningStats s;
+  s.add(0.0);
+  EXPECT_EQ(s.count(), 1);
   EXPECT_DOUBLE_EQ(s.min(), 0.0);
   EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(PercentileTracker, EmptyQuantileIsNaN) {
+  PercentileTracker t;
+  EXPECT_TRUE(std::isnan(t.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(t.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(t.quantile(1.0)));
+  t.add(3.0);
+  EXPECT_DOUBLE_EQ(t.quantile(0.5), 3.0);
+}
+
+TEST(PercentileTracker, ReservePreventsReallocation) {
+  PercentileTracker t;
+  t.reserve(128);
+  const double* data_before = t.samples().data();
+  for (int i = 0; i < 128; ++i) {
+    t.add(double(i));
+  }
+  EXPECT_EQ(t.samples().data(), data_before);
+  EXPECT_EQ(t.count(), 128u);
 }
 
 TEST(PercentileTracker, QuantilesInterpolate) {

@@ -65,6 +65,15 @@ TEST(FaultInjection, DuplicateFailureNotificationIsIdempotent) {
 
   EXPECT_EQ(inj.notifications_duplicated(), 1U);
   EXPECT_EQ(failover_count(tb), 1);
+  // The split counters classify the pair correctly: one notification
+  // initiated the failover, the re-delivery was recognized as a
+  // duplicate, and the accounting identity holds.
+  const auto& ost = tb.orion().stats();
+  EXPECT_EQ(ost.failovers_initiated, 1U);
+  EXPECT_EQ(ost.duplicate_notifications_ignored, 1U);
+  EXPECT_EQ(ost.failure_notifications,
+            ost.failovers_initiated + ost.duplicate_notifications_ignored +
+                ost.stale_notifications_ignored);
   EXPECT_EQ(chk.count_matching("I5"), 0U) << chk.report();
   EXPECT_EQ(chk.count_matching("I6"), 0U) << chk.report();
   EXPECT_TRUE(chk.ok()) << chk.report();

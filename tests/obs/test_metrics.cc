@@ -1,0 +1,100 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace slingshot {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistry, RegistrationIsIdempotentAndPointersAreStable) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.counter("a.count");
+  Counter* c2 = reg.counter("a.count");
+  EXPECT_EQ(c1, c2);
+  c1->inc(3);
+  // Registering more instruments must not move existing ones (std::map
+  // storage keeps addresses stable — components cache the raw pointer).
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(reg.counter("a.count"), c1);
+  EXPECT_EQ(c1->value(), 3u);
+  EXPECT_EQ(reg.num_instruments(), 101u);
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_EQ(reg.find_gauge("missing"), nullptr);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+  EXPECT_EQ(reg.find_series("missing"), nullptr);
+  EXPECT_EQ(reg.num_instruments(), 0u);
+  reg.counter("present");
+  EXPECT_NE(reg.find_counter("present"), nullptr);
+}
+
+TEST(MetricsRegistry, GaugeSamplerAndFreeze) {
+  MetricsRegistry reg;
+  double live = 1.0;
+  Gauge* g = reg.gauge("g");
+  g->bind([&live] { return live; });
+  live = 5.0;
+  EXPECT_DOUBLE_EQ(g->value(), 5.0);
+  reg.freeze_gauges();
+  live = 9.0;  // sampler is gone; the frozen value stays
+  EXPECT_DOUBLE_EQ(g->value(), 5.0);
+}
+
+TEST(MetricsRegistry, HistogramReservesUpfront) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("lat", 64);
+  const double* data_before = h->percentiles().samples().data();
+  for (int i = 0; i < 64; ++i) {
+    h->record(double(i));
+  }
+  EXPECT_EQ(h->percentiles().samples().data(), data_before);
+  EXPECT_EQ(h->stats().count(), 64);
+}
+
+TEST(MetricsRegistry, JsonExportIsWellFormedAndNaNBecomesNull) {
+  MetricsRegistry reg;
+  reg.counter("c")->inc(7);
+  reg.gauge("g")->set(2.5);
+  reg.histogram("empty_hist");  // no samples: NaN fields -> null
+  Histogram* h = reg.histogram("hist");
+  h->record(1.0);
+  h->record(3.0);
+  reg.series("s", 1_ms)->record(1'500'000, 2.0);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"c\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"g\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"empty_hist\":{\"count\":0,\"mean\":null"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p50\":2"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  // Balanced braces (cheap structural sanity check).
+  int depth = 0;
+  for (const char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsRegistry, CsvExportHasOneRowPerScalar) {
+  MetricsRegistry reg;
+  reg.counter("c")->inc();
+  reg.gauge("g")->set(1.0);
+  const std::string csv = reg.to_csv();
+  EXPECT_NE(csv.find("kind,name,field,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("counter,c,value,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g,value,1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace slingshot

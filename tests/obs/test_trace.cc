@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace slingshot {
+namespace obs {
+namespace {
+
+TracerConfig small_config() {
+  TracerConfig cfg;
+  cfg.window = 4;
+  cfg.timeline_capacity = 8;
+  cfg.histogram_reserve = 64;
+  return cfg;
+}
+
+constexpr Nanos kSlot = 500'000;  // default slot_duration
+
+TEST(SlotTracer, SpanBalanceAfterFinalize) {
+  SlotTracer tracer{small_config()};
+  for (std::int64_t slot = 0; slot < 20; ++slot) {
+    tracer.stamp(SlotStage::kL2Request, 1, slot, slot * kSlot - 1000);
+    tracer.stamp(SlotStage::kPhySlot, 1, slot, slot * kSlot);
+    tracer.stamp(SlotStage::kResponse, 1, slot, slot * kSlot + 2000);
+  }
+  tracer.finalize();
+  EXPECT_EQ(tracer.spans_opened(), 20u);
+  EXPECT_EQ(tracer.spans_closed(), 20u);
+  EXPECT_EQ(tracer.stamps_recorded(SlotStage::kL2Request), 20u);
+  EXPECT_EQ(tracer.stamps_recorded(SlotStage::kResponse), 20u);
+}
+
+TEST(SlotTracer, FirstWriteWinsAndLateStampsAreDropped) {
+  SlotTracer tracer{small_config()};
+  tracer.stamp(SlotStage::kL2Request, 1, 10, 100);
+  tracer.stamp(SlotStage::kL2Request, 1, 10, 999);  // duplicate: ignored
+  EXPECT_EQ(tracer.stamps_recorded(SlotStage::kL2Request), 1u);
+
+  // Advance the window far past slot 10; a stale stamp for it must not
+  // evict the newer occupant (window=4, so slot 100 maps over slot 10's
+  // row only after wrapping).
+  tracer.stamp(SlotStage::kL2Request, 1, 100, 100 * kSlot);
+  tracer.stamp(SlotStage::kPhySlot, 1, 10, 101);
+  EXPECT_EQ(tracer.late_stamps_dropped(), 0u);  // different row, fine
+  tracer.stamp(SlotStage::kPhySlot, 1, 98, 98 * kSlot);  // same row as 10? no
+  // Slot 102 occupies row (102 & 3) = 2; a stamp for slot 10 (row 2)
+  // arriving now is older than the occupant and must be dropped.
+  tracer.stamp(SlotStage::kL2Request, 1, 102, 102 * kSlot);
+  tracer.stamp(SlotStage::kResponse, 1, 10, 200);
+  EXPECT_EQ(tracer.late_stamps_dropped(), 1u);
+}
+
+TEST(SlotTracer, DerivedLatenciesAndDeadlineMiss) {
+  TracerConfig cfg = small_config();
+  cfg.deadline_slots = 3;
+  SlotTracer tracer{cfg};
+  // Slot 4: request 900us before slot start, response within deadline.
+  const std::int64_t s = 4;
+  const Nanos start = s * kSlot;
+  tracer.stamp(SlotStage::kL2Request, 1, s, start - 900'000);
+  tracer.stamp(SlotStage::kOrionForward, 1, s, start - 880'000);
+  tracer.stamp(SlotStage::kPhySlot, 1, s, start);
+  tracer.stamp(SlotStage::kPhyDecode, 1, s, start + 2 * kSlot);
+  tracer.stamp(SlotStage::kResponse, 1, s, start + 2 * kSlot + 100'000);
+  // Slot 5: response after slot_start(5+3) -> deadline miss. Also no
+  // kPhySlot stamp -> unserved.
+  tracer.stamp(SlotStage::kL2Request, 1, 5, 5 * kSlot - 900'000);
+  tracer.stamp(SlotStage::kResponse, 1, 5, (5 + 4) * kSlot);
+  tracer.finalize();
+
+  EXPECT_EQ(tracer.deadline_misses(), 1u);
+  EXPECT_EQ(tracer.unserved_slots(), 1u);
+  const auto& fwd = tracer.latency_stats(SlotSpanLatency::kForward);
+  EXPECT_EQ(fwd.count(), 1);
+  EXPECT_DOUBLE_EQ(fwd.mean(), 20.0);  // 20 us
+  const auto& lead = tracer.latency_stats(SlotSpanLatency::kLead);
+  EXPECT_EQ(lead.count(), 2);
+  EXPECT_DOUBLE_EQ(lead.mean(), 900.0);
+  const auto& e2e = tracer.latency_stats(SlotSpanLatency::kEndToEnd);
+  EXPECT_EQ(e2e.count(), 2);
+}
+
+TEST(SlotTracer, TimelineDropsOnFullAndCounts) {
+  SlotTracer tracer{small_config()};  // capacity 8
+  for (int i = 0; i < 12; ++i) {
+    tracer.event(ObsEvent::kDrainAccepted, 1, i, i * 100);
+  }
+  EXPECT_EQ(tracer.timeline().size(), 8u);
+  EXPECT_EQ(tracer.events_dropped(), 4u);
+}
+
+TEST(SlotTracer, FailoverEpisodeReconstruction) {
+  SlotTracer tracer{small_config()};
+  tracer.event(ObsEvent::kPhyDown, 1, 400, 400 * kSlot);
+  tracer.detector_tick();
+  tracer.detector_tick();
+  tracer.event(ObsEvent::kDetectorFire, 1, 401, 400 * kSlot + 450'000);
+  tracer.event(ObsEvent::kNotifyReceived, 1, 401, 400 * kSlot + 460'000);
+  tracer.event(ObsEvent::kFailoverInitiated, 1, 403, 400 * kSlot + 465'000);
+  tracer.event(ObsEvent::kSwapFinalized, 2, 403, 403 * kSlot);
+  tracer.event(ObsEvent::kDrainAccepted, 1, 401, 403 * kSlot + 80'000);
+  tracer.event(ObsEvent::kDrainAccepted, 1, 402, 404 * kSlot + 80'000);
+
+  const auto episodes = tracer.failover_episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  const auto& ep = episodes[0];
+  EXPECT_EQ(ep.failed_phy, 1);
+  EXPECT_EQ(ep.detect_t - ep.down_t, 450'000);
+  EXPECT_EQ(ep.notify_t - ep.detect_t, 10'000);
+  EXPECT_EQ(ep.boundary_slot, 403);
+  EXPECT_EQ(ep.drains_accepted, 2);
+  ASSERT_EQ(ep.drained_slots.size(), 2u);
+  EXPECT_EQ(ep.drained_slots[0], 401);
+  EXPECT_EQ(ep.drained_slots[1], 402);
+  EXPECT_EQ(tracer.detector_ticks(), 2u);
+}
+
+TEST(SlotTracer, ExportIntoRegistry) {
+  SlotTracer tracer{small_config()};
+  tracer.stamp(SlotStage::kL2Request, 1, 3, 3 * kSlot - 1000);
+  tracer.stamp(SlotStage::kPhySlot, 1, 3, 3 * kSlot);
+  MetricsRegistry reg;
+  tracer.export_into(reg);
+  ASSERT_NE(reg.find_counter("trace.spans_opened"), nullptr);
+  EXPECT_EQ(reg.find_counter("trace.spans_opened")->value(), 1u);
+  EXPECT_EQ(reg.find_counter("trace.spans_closed")->value(), 1u);
+  ASSERT_NE(reg.find_histogram("trace.latency_us.lead"), nullptr);
+  EXPECT_EQ(reg.find_histogram("trace.latency_us.lead")->stats().count(), 1);
+}
+
+TEST(SlotTracer, MoreRusThanLanesAreDroppedSilently) {
+  TracerConfig cfg = small_config();
+  cfg.max_lanes = 2;
+  SlotTracer tracer{cfg};
+  tracer.stamp(SlotStage::kL2Request, 1, 0, 0);
+  tracer.stamp(SlotStage::kL2Request, 2, 0, 0);
+  tracer.stamp(SlotStage::kL2Request, 3, 0, 0);  // no lane: dropped
+  tracer.finalize();
+  EXPECT_EQ(tracer.spans_opened(), 2u);
+  EXPECT_EQ(tracer.spans_closed(), 2u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace slingshot

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "common/log.h"
+#include "obs/obs.h"
 #include "testbed/testbed.h"
 #include "transport/apps.h"
 
@@ -32,13 +33,16 @@ struct GoldenRun {
   std::uint64_t flow_rx;
 };
 
-GoldenRun run_scenario(bool with_failover) {
+GoldenRun run_scenario(bool with_failover, obs::Observability* o = nullptr) {
   Logger::instance().set_level(LogLevel::kError);
   TestbedConfig cfg;
   cfg.seed = 42;
   cfg.num_ues = 2;
   cfg.ue_mean_snr_db = {18.0, 7.0};  // UE 1 weak: exercises CRC failures
   Testbed tb{cfg};
+  if (o != nullptr) {
+    tb.attach_observability(*o);
+  }
 
   UdpFlowConfig flow_cfg;
   flow_cfg.rate_bps = 4e6;
@@ -52,6 +56,9 @@ GoldenRun run_scenario(bool with_failover) {
   }
   tb.run_until(500_ms);
 
+  if (o != nullptr) {
+    o->finalize();
+  }
   const auto& a = tb.phy_a().stats();
   const auto& b = tb.phy_b().stats();
   return GoldenRun{tb.sim().executed_events(),
@@ -64,6 +71,15 @@ GoldenRun run_scenario(bool with_failover) {
                    b.decode_iterations,
                    flow.packets_sent(),
                    flow.packets_received()};
+}
+
+obs::ObservabilityConfig obs_config_for_scenario() {
+  TestbedConfig cfg;
+  cfg.seed = 42;
+  cfg.num_ues = 2;
+  cfg.ue_mean_snr_db = {18.0, 7.0};
+  Testbed tb{cfg};
+  return tb.obs_config();
 }
 
 // Constants captured from the pre-refactor event loop (seed 42).
@@ -92,6 +108,62 @@ TEST(GoldenTrace, FailoverMatchesSeedImplementation) {
   EXPECT_EQ(r.b_iters, 325);
   EXPECT_EQ(r.flow_tx, 166ULL);
   EXPECT_EQ(r.flow_rx, 160ULL);
+}
+
+// Observability must be a pure observer: attaching the tracer writes
+// pre-allocated rows but schedules nothing, so the executed-event count
+// and (time, seq) trace hash must be bit-identical to the untraced
+// pins above. The span/stamp/deadline constants below are themselves
+// golden values for the tracer — a change means the instrumentation
+// points moved.
+TEST(GoldenTrace, SteadyStateTracerCountsArePinned) {
+  obs::Observability o{obs_config_for_scenario()};
+  const GoldenRun r = run_scenario(/*with_failover=*/false, &o);
+  EXPECT_EQ(r.executed, 117124ULL);
+  EXPECT_EQ(r.trace_hash, 0x72da9490d4437484ULL);
+
+  const auto& t = o.tracer();
+  EXPECT_EQ(t.spans_opened(), t.spans_closed());
+  EXPECT_EQ(t.spans_opened(), 1002ULL);
+  EXPECT_EQ(t.stamps_recorded(obs::SlotStage::kL2Request), 1000ULL);
+  EXPECT_EQ(t.stamps_recorded(obs::SlotStage::kOrionForward), 999ULL);
+  EXPECT_EQ(t.stamps_recorded(obs::SlotStage::kPhySlot), 1000ULL);
+  EXPECT_EQ(t.stamps_recorded(obs::SlotStage::kFronthaulTx), 999ULL);
+  EXPECT_EQ(t.stamps_recorded(obs::SlotStage::kPhyDecode), 198ULL);
+  EXPECT_EQ(t.stamps_recorded(obs::SlotStage::kResponse), 198ULL);
+  EXPECT_EQ(t.deadline_misses(), 0ULL);
+  // The last two slots at the 500 ms cutoff have an L2 request in
+  // flight but no processed PHY slot yet (L2 runs one lead interval
+  // ahead) — folded as unserved at finalize, not a telemetry bug.
+  EXPECT_EQ(t.unserved_slots(), 2ULL);
+  EXPECT_EQ(t.late_stamps_dropped(), 0ULL);
+  EXPECT_EQ(t.events_dropped(), 0ULL);
+  EXPECT_TRUE(t.failover_episodes().empty());
+}
+
+TEST(GoldenTrace, FailoverTracerCountsArePinned) {
+  obs::Observability o{obs_config_for_scenario()};
+  const GoldenRun r = run_scenario(/*with_failover=*/true, &o);
+  EXPECT_EQ(r.executed, 105137ULL);
+  EXPECT_EQ(r.trace_hash, 0xa72f2ee07b06d292ULL);
+
+  const auto& t = o.tracer();
+  EXPECT_EQ(t.spans_opened(), t.spans_closed());
+  EXPECT_EQ(t.spans_opened(), 1002ULL);
+  EXPECT_EQ(t.stamps_recorded(obs::SlotStage::kL2Request), 1000ULL);
+  EXPECT_EQ(t.stamps_recorded(obs::SlotStage::kPhySlot), 1000ULL);
+  EXPECT_EQ(t.stamps_recorded(obs::SlotStage::kResponse), 197ULL);
+  EXPECT_EQ(t.deadline_misses(), 0ULL);
+  EXPECT_EQ(t.unserved_slots(), 2ULL);
+  const auto episodes = t.failover_episodes();
+  ASSERT_EQ(episodes.size(), 1U);
+  const auto& ep = episodes[0];
+  EXPECT_EQ(ep.failed_phy, 1);       // kPhyA
+  EXPECT_GE(ep.detect_t, ep.down_t);
+  EXPECT_GE(ep.notify_t, ep.detect_t);
+  EXPECT_GE(ep.initiate_t, ep.notify_t);
+  EXPECT_GE(ep.boundary_slot, 0);
+  EXPECT_EQ(ep.drains_accepted, 0);
 }
 
 // Two runs of the same scenario in one process must agree exactly —
