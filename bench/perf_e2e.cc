@@ -24,13 +24,21 @@
 // BENCH_obs.json (`--obs-json` overrides the path), and self-validates
 // the emitted schema — span balance, non-negative latencies, required
 // keys — exiting nonzero on violation so CI catches telemetry rot.
+// `perf_e2e --threads N` attaches an N-wide deterministic fork-join
+// pool to the simulator (parallel TB decode, common/threadpool.h). The
+// event stream is bit-identical at every N — only wall-clock moves —
+// and every JSON row is annotated with the thread count and active
+// SIMD level so the bench trajectory separates the two effects.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "bench_util.h"
+#include "common/threadpool.h"
 #include "obs/obs.h"
+#include "phy/simd.h"
 #include "testbed/testbed.h"
 #include "transport/apps.h"
 
@@ -65,12 +73,14 @@ std::int64_t total_decodes(Testbed& tb, int num_ues) {
 // Fig 10-style: heavy bidirectional UDP with a fail-stop primary crash
 // partway through.
 PerfResult run_fig10(Nanos horizon, Nanos event_time,
+                     ThreadPool* pool = nullptr,
                      obs::Observability* o = nullptr) {
   TestbedConfig cfg;
   cfg.seed = 10;
   cfg.num_ues = 1;
   cfg.ue_mean_snr_db = {21.0};
   Testbed tb{cfg};
+  tb.sim().set_thread_pool(pool);
   if (o != nullptr) {
     tb.attach_observability(*o);
   }
@@ -236,13 +246,14 @@ bool report_obs(obs::Observability& o, double traced_wall_s,
 
 // Table 2-style: uplink UDP near the decoding threshold while planned
 // migrations bounce the PHY at 20/s.
-PerfResult run_tab02(Nanos measure) {
+PerfResult run_tab02(Nanos measure, ThreadPool* pool = nullptr) {
   TestbedConfig cfg;
   cfg.seed = 21;
   cfg.num_ues = 1;
   cfg.ue_mean_snr_db = {13.5};
   cfg.phy.ldpc_max_iters = 4;
   Testbed tb{cfg};
+  tb.sim().set_thread_pool(pool);
 
   UdpFlowConfig flow_cfg;
   flow_cfg.rate_bps = 8e6;
@@ -268,7 +279,7 @@ PerfResult run_tab02(Nanos measure) {
   return r;
 }
 
-void report(const char* scenario, const PerfResult& r,
+void report(const char* scenario, const PerfResult& r, int threads,
             const std::string& json_path) {
   using namespace slingshot::bench;
   std::printf("\n%s:\n", scenario);
@@ -285,6 +296,8 @@ void report(const char* scenario, const PerfResult& r,
 
   JsonRow row{"perf_e2e"};
   row.str("scenario", scenario)
+      .integer("threads", threads)
+      .str("simd", simd::level_name(simd::active_level()))
       .num("wall_s", r.wall_s)
       .num("sim_s", r.sim_s)
       .integer("events", (long long)(r.events))
@@ -304,6 +317,7 @@ int main(int argc, char** argv) {
   using namespace slingshot::bench;
   bool short_mode = false;
   bool trace_mode = false;
+  int threads = 1;
   std::string json_path = "BENCH_perf.json";
   std::string obs_json_path = "BENCH_obs.json";
   for (int i = 1; i < argc; ++i) {
@@ -311,6 +325,11 @@ int main(int argc, char** argv) {
       short_mode = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace_mode = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) {
+        threads = 1;
+      }
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-json") == 0 && i + 1 < argc) {
@@ -321,26 +340,33 @@ int main(int argc, char** argv) {
                                ? "wall-clock perf harness (short smoke mode)"
                                : "wall-clock perf harness");
   print_note(("rows appended to " + json_path).c_str());
+  std::printf("threads: %d   simd: %s\n", threads,
+              simd::level_name(simd::active_level()));
+
+  // One pool shared by every scenario run; null at --threads 1 so the
+  // single-thread rows measure the strictly serial simulator.
+  ThreadPool pool{threads};
+  ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
 
   const Nanos fig10_horizon = short_mode ? 1'500_ms : 10'000_ms;
   const Nanos fig10_event = short_mode ? 500_ms : 2'000_ms;
-  const auto fig10 = run_fig10(fig10_horizon, fig10_event);
+  const auto fig10 = run_fig10(fig10_horizon, fig10_event, pool_ptr);
   report(short_mode ? "fig10_failover_short" : "fig10_failover", fig10,
-         json_path);
+         threads, json_path);
 
   bool obs_ok = true;
   if (trace_mode) {
     // Same scenario, tracer attached; the untraced run above is the
     // overhead baseline.
     obs::Observability o{fig10_obs_config()};
-    const auto traced = run_fig10(fig10_horizon, fig10_event, &o);
+    const auto traced = run_fig10(fig10_horizon, fig10_event, pool_ptr, &o);
     obs_ok = report_obs(o, traced.wall_s, fig10.wall_s, obs_json_path,
                         short_mode ? "fig10_failover_short" : "fig10_failover");
   }
 
-  const auto tab02 =
-      short_mode ? run_tab02(2'000_ms) : run_tab02(6'000_ms);
+  const auto tab02 = short_mode ? run_tab02(2'000_ms, pool_ptr)
+                                : run_tab02(6'000_ms, pool_ptr);
   report(short_mode ? "tab02_migration_short" : "tab02_migration", tab02,
-         json_path);
+         threads, json_path);
   return obs_ok ? 0 : 1;
 }

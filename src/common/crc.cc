@@ -8,57 +8,136 @@ namespace {
 constexpr std::uint32_t kCrc24Poly = 0x864CFB;
 constexpr std::uint16_t kCrc16Poly = 0x1021;
 
-std::array<std::uint32_t, 256> make_crc24_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8 tables: slice k holds the CRC of (byte b followed by k
+// zero bytes), so one step folds 8 message bytes into the register with
+// eight independent table lookups instead of eight serial byte steps.
+// Slice 0 is the classic byte-at-a-time table.
+
+std::array<std::array<std::uint32_t, 256>, 8> make_crc24_slices() {
+  std::array<std::array<std::uint32_t, 256>, 8> slices{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t crc = i << 16;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc & 0x800000) ? (crc << 1) ^ kCrc24Poly : (crc << 1);
     }
-    table[i] = crc & 0xFFFFFF;
+    slices[0][i] = crc & 0xFFFFFF;
   }
-  return table;
+  for (int k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = slices[std::size_t(k) - 1][i];
+      slices[std::size_t(k)][i] =
+          ((prev << 8) ^ slices[0][(prev >> 16) & 0xFF]) & 0xFFFFFF;
+    }
+  }
+  return slices;
 }
 
-std::array<std::uint16_t, 256> make_crc16_table() {
-  std::array<std::uint16_t, 256> table{};
+std::array<std::array<std::uint16_t, 256>, 8> make_crc16_slices() {
+  std::array<std::array<std::uint16_t, 256>, 8> slices{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint16_t crc = std::uint16_t(i << 8);
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc & 0x8000) ? std::uint16_t((crc << 1) ^ kCrc16Poly)
                            : std::uint16_t(crc << 1);
     }
-    table[i] = crc;
+    slices[0][i] = crc;
   }
-  return table;
+  for (int k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint16_t prev = slices[std::size_t(k) - 1][i];
+      slices[std::size_t(k)][i] =
+          std::uint16_t((prev << 8) ^ slices[0][(prev >> 8) & 0xFF]);
+    }
+  }
+  return slices;
 }
 
-const auto kCrc24Table = make_crc24_table();
-const auto kCrc16Table = make_crc16_table();
+const auto kCrc24Slices = make_crc24_slices();
+const auto kCrc16Slices = make_crc16_slices();
 
 }  // namespace
 
 std::uint32_t crc24a(std::span<const std::uint8_t> data) {
+  const auto& s = kCrc24Slices;
   std::uint32_t crc = 0;
-  for (const auto byte : data) {
-    crc = ((crc << 8) ^ kCrc24Table[((crc >> 16) ^ byte) & 0xFF]) & 0xFFFFFF;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  // 8 bytes per step: XOR the 24-bit register into the leading three
+  // message bytes, then the new register is the XOR of each byte's
+  // independent contribution (byte i is followed by 7-i zero bytes).
+  while (n >= 8) {
+    crc = s[7][(p[0] ^ (crc >> 16)) & 0xFF] ^
+          s[6][(p[1] ^ (crc >> 8)) & 0xFF] ^
+          s[5][(p[2] ^ crc) & 0xFF] ^
+          s[4][p[3]] ^ s[3][p[4]] ^ s[2][p[5]] ^ s[1][p[6]] ^ s[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- != 0) {
+    crc = ((crc << 8) ^ s[0][((crc >> 16) ^ *p++) & 0xFF]) & 0xFFFFFF;
   }
   return crc;
 }
 
 std::uint16_t crc16(std::span<const std::uint8_t> data) {
+  const auto& s = kCrc16Slices;
   std::uint16_t crc = 0;
-  for (const auto byte : data) {
-    crc = std::uint16_t((crc << 8) ^ kCrc16Table[((crc >> 8) ^ byte) & 0xFF]);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    crc = s[7][(p[0] ^ (crc >> 8)) & 0xFF] ^
+          s[6][(p[1] ^ crc) & 0xFF] ^
+          s[5][p[2]] ^ s[4][p[3]] ^ s[3][p[4]] ^ s[2][p[5]] ^ s[1][p[6]] ^
+          s[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- != 0) {
+    crc = std::uint16_t((crc << 8) ^ s[0][((crc >> 8) ^ *p++) & 0xFF]);
   }
   return crc;
 }
 
 std::uint32_t crc24a_bits(std::span<const std::uint8_t> bits) {
   std::uint32_t crc = 0;
-  for (const auto bit : bits) {
-    const std::uint32_t in = (bit & 1U) << 23;
-    crc ^= in;
+  std::size_t i = 0;
+  // Pack whole groups of 8 bits MSB-first and run them through the
+  // sliced byte path; an MSB-first bitwise CRC over 8 bits is exactly
+  // one byte-table step on the packed byte.
+  const std::size_t full = bits.size() / 8;
+  if (full > 0) {
+    std::uint8_t packed[8];
+    std::size_t remaining = full;
+    while (remaining >= 8) {
+      for (int b = 0; b < 8; ++b) {
+        const std::uint8_t* src = bits.data() + i + std::size_t(b) * 8;
+        packed[b] = std::uint8_t(
+            (src[0] & 1U) << 7 | (src[1] & 1U) << 6 | (src[2] & 1U) << 5 |
+            (src[3] & 1U) << 4 | (src[4] & 1U) << 3 | (src[5] & 1U) << 2 |
+            (src[6] & 1U) << 1 | (src[7] & 1U));
+      }
+      const auto& s = kCrc24Slices;
+      crc = s[7][(packed[0] ^ (crc >> 16)) & 0xFF] ^
+            s[6][(packed[1] ^ (crc >> 8)) & 0xFF] ^
+            s[5][(packed[2] ^ crc) & 0xFF] ^
+            s[4][packed[3]] ^ s[3][packed[4]] ^ s[2][packed[5]] ^
+            s[1][packed[6]] ^ s[0][packed[7]];
+      i += 64;
+      remaining -= 8;
+    }
+    while (remaining-- != 0) {
+      const std::uint8_t* src = bits.data() + i;
+      const std::uint8_t byte = std::uint8_t(
+          (src[0] & 1U) << 7 | (src[1] & 1U) << 6 | (src[2] & 1U) << 5 |
+          (src[3] & 1U) << 4 | (src[4] & 1U) << 3 | (src[5] & 1U) << 2 |
+          (src[6] & 1U) << 1 | (src[7] & 1U));
+      crc = ((crc << 8) ^ kCrc24Slices[0][((crc >> 16) ^ byte) & 0xFF]) &
+            0xFFFFFF;
+      i += 8;
+    }
+  }
+  for (; i < bits.size(); ++i) {
+    crc ^= (bits[i] & 1U) << 23;
     crc = (crc & 0x800000) ? ((crc << 1) ^ kCrc24Poly) & 0xFFFFFF
                            : (crc << 1) & 0xFFFFFF;
   }

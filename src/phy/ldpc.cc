@@ -6,6 +6,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "phy/simd.h"
+
 namespace slingshot {
 namespace {
 constexpr float kMinSumScale = 0.8F;  // normalized min-sum correction
@@ -258,6 +260,11 @@ LdpcCode::DecodeStatus LdpcCode::decode_into(std::span<const float> llr,
   // unsatisfied-check count starts at 0 and flip_bit() keeps it exact.
   int unsatisfied = 0;
 
+  // SIMD-dispatched check-node kernel; bit-exact against the scalar
+  // reference at every level (see phy/simd.h), so decode outcomes —
+  // and the golden trace that pins them — don't depend on the CPU.
+  const auto& kernels = simd::kernels();
+
   if (schedule == LdpcSchedule::kFlooding) {
     // Init var->check with channel LLRs.
     for (int e = 0; e < num_edges_; ++e) {
@@ -265,35 +272,15 @@ LdpcCode::DecodeStatus LdpcCode::decode_into(std::span<const float> llr,
     }
 
     for (int iter = 1; iter <= max_iterations; ++iter) {
-      // Check-node update (normalized min-sum with exclusion).
+      // Check-node update (normalized min-sum with exclusion). Each
+      // check's edges are contiguous in the SoA arrays, so the kernel
+      // runs straight over the message slabs.
       for (int c = 0; c < m_; ++c) {
         const int base = check_edge_offset_[std::size_t(c)];
         const int deg = check_edge_offset_[std::size_t(c) + 1] - base;
-        float min1 = 1e30F;
-        float min2 = 1e30F;
-        int min_pos = -1;
-        unsigned sign_all = 0;
-        for (int j = 0; j < deg; ++j) {
-          const float q = ws.var_to_check[std::size_t(base + j)];
-          const float mag = std::fabs(q);
-          if (q < 0.0F) {
-            sign_all ^= 1U;
-          }
-          if (mag < min1) {
-            min2 = min1;
-            min1 = mag;
-            min_pos = j;
-          } else if (mag < min2) {
-            min2 = mag;
-          }
-        }
-        for (int j = 0; j < deg; ++j) {
-          const float q = ws.var_to_check[std::size_t(base + j)];
-          const unsigned sign_excl = sign_all ^ (q < 0.0F ? 1U : 0U);
-          const float mag = (j == min_pos) ? min2 : min1;
-          ws.check_to_var[std::size_t(base + j)] =
-              (sign_excl ? -1.0F : 1.0F) * kMinSumScale * mag;
-        }
+        kernels.cn_minsum(&ws.var_to_check[std::size_t(base)],
+                          &ws.check_to_var[std::size_t(base)], deg,
+                          kMinSumScale);
       }
 
       // Variable-node update; parity tracked on the fly as hard
@@ -333,6 +320,7 @@ LdpcCode::DecodeStatus LdpcCode::decode_into(std::span<const float> llr,
   ws.posterior.assign(llr.begin(), llr.end());
   std::fill(ws.check_to_var.begin(), ws.check_to_var.end(), 0.0F);
   ws.layer_q.resize(std::size_t(max_check_degree_));
+  ws.layer_r.resize(std::size_t(max_check_degree_));
   // Seed hard decisions (and the tracked syndrome) from the channel.
   for (int v = 0; v < n_; ++v) {
     if (llr[std::size_t(v)] < 0.0F) {
@@ -346,34 +334,21 @@ LdpcCode::DecodeStatus LdpcCode::decode_into(std::span<const float> llr,
     for (int c = 0; c < m_; ++c) {
       const int base = check_edge_offset_[std::size_t(c)];
       const int deg = check_edge_offset_[std::size_t(c) + 1] - base;
-      float min1 = 1e30F;
-      float min2 = 1e30F;
-      int min_pos = -1;
-      unsigned sign_all = 0;
+      // Gather this check's inputs from the live posterior, run the
+      // min-sum kernel, then commit messages/posterior/bit flips.
       for (int j = 0; j < deg; ++j) {
         const int e = base + j;
-        const float q = ws.posterior[std::size_t(edge_var_[std::size_t(e)])] -
-                        ws.check_to_var[std::size_t(e)];
-        ws.layer_q[std::size_t(j)] = q;
-        const float mag = std::fabs(q);
-        if (q < 0.0F) {
-          sign_all ^= 1U;
-        }
-        if (mag < min1) {
-          min2 = min1;
-          min1 = mag;
-          min_pos = j;
-        } else if (mag < min2) {
-          min2 = mag;
-        }
+        ws.layer_q[std::size_t(j)] =
+            ws.posterior[std::size_t(edge_var_[std::size_t(e)])] -
+            ws.check_to_var[std::size_t(e)];
       }
+      kernels.cn_minsum(ws.layer_q.data(), ws.layer_r.data(), deg,
+                        kMinSumScale);
       for (int j = 0; j < deg; ++j) {
         const int e = base + j;
         const int v = edge_var_[std::size_t(e)];
         const float q = ws.layer_q[std::size_t(j)];
-        const unsigned sign_excl = sign_all ^ (q < 0.0F ? 1U : 0U);
-        const float mag = (j == min_pos) ? min2 : min1;
-        const float r = (sign_excl ? -1.0F : 1.0F) * kMinSumScale * mag;
+        const float r = ws.layer_r[std::size_t(j)];
         ws.check_to_var[std::size_t(e)] = r;
         const float post = q + r;
         ws.posterior[std::size_t(v)] = post;

@@ -71,6 +71,7 @@ class LdpcCode {
     std::vector<float> check_to_var;      // per-edge messages
     std::vector<float> posterior;         // layered: live LLR accumulator
     std::vector<float> layer_q;           // layered: one check's inputs
+    std::vector<float> layer_r;           // layered: one check's outputs
     std::vector<std::uint8_t> syndrome;   // per-check parity bit
   };
 

@@ -3,7 +3,27 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "phy/simd.h"
+
 namespace slingshot {
+
+const Modulator& modulator_for(Modulation mod) {
+  // The level tables are immutable after construction; building each
+  // order once removes a heap allocation from every TB encode/decode
+  // (magic statics make first use thread-safe, so pooled decode workers
+  // can share them).
+  static const Modulator qpsk{Modulation::kQpsk};
+  static const Modulator qam16{Modulation::kQam16};
+  static const Modulator qam64{Modulation::kQam64};
+  static const Modulator qam256{Modulation::kQam256};
+  switch (mod) {
+    case Modulation::kQpsk: return qpsk;
+    case Modulation::kQam16: return qam16;
+    case Modulation::kQam64: return qam64;
+    case Modulation::kQam256: return qam256;
+  }
+  return qpsk;
+}
 
 const char* modulation_name(Modulation mod) {
   switch (mod) {
@@ -66,37 +86,16 @@ void Modulator::demap_into(std::span<const std::complex<float>> symbols,
                            double noise_variance,
                            std::vector<float>& out) const {
   const int bps = bits_per_symbol(mod_);
-  const int levels = 1 << bits_per_dim_;
   // Per-dimension noise variance.
   const double sigma2 = std::max(noise_variance / 2.0, 1e-9);
-  out.assign(symbols.size() * std::size_t(bps), 0.0F);
+  out.resize(symbols.size() * std::size_t(bps));
 
-  auto demap_dim = [&](float y, float* dst) {
-    // For each bit position in this dimension, max-log LLR:
-    // min distance^2 over levels with bit=1 minus min over bit=0,
-    // scaled by 1/(2 sigma^2)  (positive => bit 0).
-    for (int b = 0; b < bits_per_dim_; ++b) {
-      float best0 = 1e30F;
-      float best1 = 1e30F;
-      for (int pattern = 0; pattern < levels; ++pattern) {
-        const float d = y - levels_[std::size_t(pattern)];
-        const float metric = d * d;
-        const bool bit = (pattern >> (bits_per_dim_ - 1 - b)) & 1;
-        if (bit) {
-          best1 = std::min(best1, metric);
-        } else {
-          best0 = std::min(best0, metric);
-        }
-      }
-      dst[b] = float((best1 - best0) / (2.0 * sigma2));
-    }
-  };
-
-  for (std::size_t s = 0; s < symbols.size(); ++s) {
-    float* dst = out.data() + s * std::size_t(bps);
-    demap_dim(symbols[s].real(), dst);
-    demap_dim(symbols[s].imag(), dst + bits_per_dim_);
-  }
+  // Max-log LLR per bit position: min distance^2 over levels with
+  // bit=1 minus min over bit=0, scaled by 1/(2 sigma^2) (positive =>
+  // bit 0). The SIMD-dispatched kernel is bit-exact against the scalar
+  // reference (phy/simd.h).
+  simd::kernels().demap_soft(symbols.data(), symbols.size(), levels_.data(),
+                             bits_per_dim_, sigma2, out.data());
 }
 
 }  // namespace slingshot

@@ -54,4 +54,9 @@ class Modulator {
   // MSB-first; Gray mapping is baked into the table.
 };
 
+// Shared immutable Modulator for each modulation order — spares the
+// per-TB-codec-call construction (and its level-table allocation) on
+// the decode hot path.
+[[nodiscard]] const Modulator& modulator_for(Modulation mod);
+
 }  // namespace slingshot

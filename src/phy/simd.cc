@@ -1,0 +1,442 @@
+#include "phy/simd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SLINGSHOT_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace slingshot::simd {
+namespace {
+
+// ---------------------------------------------------------------------
+// Scalar reference kernels. These ARE the semantics: every vector
+// implementation below must match them bit-for-bit on finite inputs.
+// ---------------------------------------------------------------------
+
+void cn_minsum_scalar(const float* q, float* r, int deg, float scale) {
+  float min1 = 1e30F;
+  float min2 = 1e30F;
+  int min_pos = -1;
+  unsigned sign_all = 0;
+  for (int j = 0; j < deg; ++j) {
+    const float v = q[std::size_t(j)];
+    const float mag = std::fabs(v);
+    if (v < 0.0F) {
+      sign_all ^= 1U;
+    }
+    if (mag < min1) {
+      min2 = min1;
+      min1 = mag;
+      min_pos = j;
+    } else if (mag < min2) {
+      min2 = mag;
+    }
+  }
+  for (int j = 0; j < deg; ++j) {
+    const float v = q[std::size_t(j)];
+    const unsigned sign_excl = sign_all ^ (v < 0.0F ? 1U : 0U);
+    const float mag = (j == min_pos) ? min2 : min1;
+    r[std::size_t(j)] = (sign_excl ? -1.0F : 1.0F) * scale * mag;
+  }
+}
+
+// One PAM dimension of one symbol: max-log LLR per bit position.
+void demap_dim_scalar(float y, const float* levels, int bits_per_dim,
+                      double sigma2, float* dst) {
+  const int num_levels = 1 << bits_per_dim;
+  for (int b = 0; b < bits_per_dim; ++b) {
+    float best0 = 1e30F;
+    float best1 = 1e30F;
+    for (int pattern = 0; pattern < num_levels; ++pattern) {
+      const float d = y - levels[std::size_t(pattern)];
+      const float metric = d * d;
+      const bool bit = (pattern >> (bits_per_dim - 1 - b)) & 1;
+      if (bit) {
+        best1 = std::min(best1, metric);
+      } else {
+        best0 = std::min(best0, metric);
+      }
+    }
+    dst[std::size_t(b)] = float((best1 - best0) / (2.0 * sigma2));
+  }
+}
+
+void demap_soft_scalar(const std::complex<float>* symbols, std::size_t count,
+                       const float* levels, int bits_per_dim, double sigma2,
+                       float* out) {
+  const std::size_t bps = 2 * std::size_t(bits_per_dim);
+  for (std::size_t s = 0; s < count; ++s) {
+    float* dst = out + s * bps;
+    demap_dim_scalar(symbols[s].real(), levels, bits_per_dim, sigma2, dst);
+    demap_dim_scalar(symbols[s].imag(), levels, bits_per_dim, sigma2,
+                     dst + bits_per_dim);
+  }
+}
+
+constexpr Kernels kScalarKernels{cn_minsum_scalar, demap_soft_scalar};
+
+#if SLINGSHOT_SIMD_X86
+
+// Exact two-smallest merge, identical update rule to the scalar kernel.
+// Values >= 1e30 (the padding) can never displace a real minimum, so
+// running this over a 1e30-padded array gives the scalar result.
+inline void two_smallest(const float* vals, int count, float& min1,
+                         float& min2) {
+  min1 = 1e30F;
+  min2 = 1e30F;
+  for (int i = 0; i < count; ++i) {
+    const float v = vals[std::size_t(i)];
+    if (v < min1) {
+      min2 = min1;
+      min1 = v;
+    } else if (v < min2) {
+      min2 = v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// SSE2 (x86-64 baseline).
+// ---------------------------------------------------------------------
+
+void cn_minsum_sse2(const float* q, float* r, int deg, float scale) {
+  const __m128 sign_mask = _mm_set1_ps(-0.0F);
+  const __m128 pad = _mm_set1_ps(1e30F);
+  const __m128 zero = _mm_setzero_ps();
+
+  // Pass 1: lane-wise two-smallest magnitudes + sign parity.
+  __m128 vmin1 = pad;
+  __m128 vmin2 = pad;
+  unsigned neg_parity = 0;
+  int j = 0;
+  for (; j + 4 <= deg; j += 4) {
+    const __m128 v = _mm_loadu_ps(q + j);
+    const __m128 mag = _mm_andnot_ps(sign_mask, v);
+    neg_parity ^= unsigned(_mm_movemask_ps(_mm_cmplt_ps(v, zero)));
+    vmin2 = _mm_min_ps(vmin2, _mm_max_ps(vmin1, mag));
+    vmin1 = _mm_min_ps(vmin1, mag);
+  }
+  const int tail = deg - j;
+  alignas(16) float tail_buf[4] = {1e30F, 1e30F, 1e30F, 1e30F};
+  if (tail > 0) {
+    std::memcpy(tail_buf, q + j, std::size_t(tail) * sizeof(float));
+    const __m128 v = _mm_load_ps(tail_buf);
+    const __m128 mag = _mm_andnot_ps(sign_mask, v);
+    neg_parity ^= unsigned(_mm_movemask_ps(_mm_cmplt_ps(v, zero)));
+    vmin2 = _mm_min_ps(vmin2, _mm_max_ps(vmin1, mag));
+    vmin1 = _mm_min_ps(vmin1, mag);
+  }
+  const unsigned sign_all = unsigned(__builtin_popcount(neg_parity)) & 1U;
+
+  // Horizontal merge: the global two smallest live in the union of the
+  // per-lane two smallest.
+  alignas(16) float lanes[8];
+  _mm_store_ps(lanes, vmin1);
+  _mm_store_ps(lanes + 4, vmin2);
+  float min1 = 1e30F;
+  float min2 = 1e30F;
+  two_smallest(lanes, 8, min1, min2);
+
+  // Pass 2: r[j] = +/- scale * (mag == min1 ? min2 : min1). A
+  // non-argmin tie with min1 forces min2 == min1, so value selection
+  // matches the scalar argmin selection bit-for-bit.
+  const __m128 bmin1 = _mm_set1_ps(min1);
+  const __m128 bmin2 = _mm_set1_ps(min2);
+  const __m128 vscale = _mm_set1_ps(scale);
+  const __m128 flip_bias = sign_all != 0 ? _mm_set1_ps(-0.0F) : zero;
+  j = 0;
+  for (; j + 4 <= deg; j += 4) {
+    const __m128 v = _mm_loadu_ps(q + j);
+    const __m128 mag = _mm_andnot_ps(sign_mask, v);
+    const __m128 eq = _mm_cmpeq_ps(mag, bmin1);
+    const __m128 sel =
+        _mm_or_ps(_mm_and_ps(eq, bmin2), _mm_andnot_ps(eq, bmin1));
+    const __m128 neg = _mm_and_ps(_mm_cmplt_ps(v, zero), sign_mask);
+    const __m128 flip = _mm_xor_ps(neg, flip_bias);
+    _mm_storeu_ps(r + j, _mm_xor_ps(_mm_mul_ps(vscale, sel), flip));
+  }
+  if (tail > 0) {
+    const __m128 v = _mm_load_ps(tail_buf);
+    const __m128 mag = _mm_andnot_ps(sign_mask, v);
+    const __m128 eq = _mm_cmpeq_ps(mag, bmin1);
+    const __m128 sel =
+        _mm_or_ps(_mm_and_ps(eq, bmin2), _mm_andnot_ps(eq, bmin1));
+    const __m128 neg = _mm_and_ps(_mm_cmplt_ps(v, zero), sign_mask);
+    const __m128 flip = _mm_xor_ps(neg, flip_bias);
+    alignas(16) float out_buf[4];
+    _mm_store_ps(out_buf, _mm_xor_ps(_mm_mul_ps(vscale, sel), flip));
+    std::memcpy(r + j, out_buf, std::size_t(tail) * sizeof(float));
+  }
+}
+
+void demap_soft_sse2(const std::complex<float>* symbols, std::size_t count,
+                     const float* levels, int bits_per_dim, double sigma2,
+                     float* out) {
+  const std::size_t bps = 2 * std::size_t(bits_per_dim);
+  const int num_levels = 1 << bits_per_dim;
+  const __m128d vden = _mm_set1_pd(2.0 * sigma2);
+  std::size_t s = 0;
+  for (; s + 4 <= count; s += 4) {
+    const float* p = reinterpret_cast<const float*>(symbols + s);
+    const __m128 v0 = _mm_loadu_ps(p);      // r0 i0 r1 i1
+    const __m128 v1 = _mm_loadu_ps(p + 4);  // r2 i2 r3 i3
+    const __m128 dims[2] = {
+        _mm_shuffle_ps(v0, v1, _MM_SHUFFLE(2, 0, 2, 0)),   // re
+        _mm_shuffle_ps(v0, v1, _MM_SHUFFLE(3, 1, 3, 1))};  // im
+    for (int dim = 0; dim < 2; ++dim) {
+      const __m128 y = dims[dim];
+      for (int b = 0; b < bits_per_dim; ++b) {
+        __m128 best0 = _mm_set1_ps(1e30F);
+        __m128 best1 = _mm_set1_ps(1e30F);
+        for (int pattern = 0; pattern < num_levels; ++pattern) {
+          const __m128 d =
+              _mm_sub_ps(y, _mm_set1_ps(levels[std::size_t(pattern)]));
+          const __m128 metric = _mm_mul_ps(d, d);
+          if ((pattern >> (bits_per_dim - 1 - b)) & 1) {
+            best1 = _mm_min_ps(best1, metric);
+          } else {
+            best0 = _mm_min_ps(best0, metric);
+          }
+        }
+        // Replicate the scalar double-precision division exactly.
+        const __m128 diff = _mm_sub_ps(best1, best0);
+        const __m128d dlo = _mm_cvtps_pd(diff);
+        const __m128d dhi =
+            _mm_cvtps_pd(_mm_movehl_ps(diff, diff));
+        const __m128 rlo = _mm_cvtpd_ps(_mm_div_pd(dlo, vden));
+        const __m128 rhi = _mm_cvtpd_ps(_mm_div_pd(dhi, vden));
+        alignas(16) float vals[4];
+        _mm_store_ps(vals, _mm_movelh_ps(rlo, rhi));
+        float* dst = out + s * bps + std::size_t(dim * bits_per_dim + b);
+        dst[0 * bps] = vals[0];
+        dst[1 * bps] = vals[1];
+        dst[2 * bps] = vals[2];
+        dst[3 * bps] = vals[3];
+      }
+    }
+  }
+  if (s < count) {
+    demap_soft_scalar(symbols + s, count - s, levels, bits_per_dim, sigma2,
+                      out + s * bps);
+  }
+}
+
+constexpr Kernels kSse2Kernels{cn_minsum_sse2, demap_soft_sse2};
+
+// ---------------------------------------------------------------------
+// AVX2.
+// ---------------------------------------------------------------------
+
+// Load mask covering the first `count` (1..8) lanes.
+alignas(32) constexpr int kTailMask[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                           0,  0,  0,  0,  0,  0,  0,  0};
+
+__attribute__((target("avx2"))) void cn_minsum_avx2(const float* q, float* r,
+                                                    int deg, float scale) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0F);
+  const __m256 pad = _mm256_set1_ps(1e30F);
+  const __m256 zero = _mm256_setzero_ps();
+
+  __m256 vmin1 = pad;
+  __m256 vmin2 = pad;
+  unsigned neg_parity = 0;
+  int j = 0;
+  for (; j + 8 <= deg; j += 8) {
+    const __m256 v = _mm256_loadu_ps(q + j);
+    const __m256 mag = _mm256_andnot_ps(sign_mask, v);
+    neg_parity ^=
+        unsigned(_mm256_movemask_ps(_mm256_cmp_ps(v, zero, _CMP_LT_OQ)));
+    vmin2 = _mm256_min_ps(vmin2, _mm256_max_ps(vmin1, mag));
+    vmin1 = _mm256_min_ps(vmin1, mag);
+  }
+  const int tail = deg - j;
+  __m256i tail_mask = _mm256_setzero_si256();
+  if (tail > 0) {
+    // maskload never faults on masked-out lanes, so reading at the end
+    // of the edge array is safe; padded lanes become 1e30 (positive,
+    // never minimal).
+    tail_mask = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kTailMask + (8 - tail)));
+    const __m256 raw = _mm256_maskload_ps(q + j, tail_mask);
+    const __m256 v =
+        _mm256_blendv_ps(pad, raw, _mm256_castsi256_ps(tail_mask));
+    const __m256 mag = _mm256_andnot_ps(sign_mask, v);
+    neg_parity ^=
+        unsigned(_mm256_movemask_ps(_mm256_cmp_ps(v, zero, _CMP_LT_OQ)));
+    vmin2 = _mm256_min_ps(vmin2, _mm256_max_ps(vmin1, mag));
+    vmin1 = _mm256_min_ps(vmin1, mag);
+  }
+  const unsigned sign_all = unsigned(__builtin_popcount(neg_parity)) & 1U;
+
+  alignas(32) float lanes[16];
+  _mm256_store_ps(lanes, vmin1);
+  _mm256_store_ps(lanes + 8, vmin2);
+  float min1 = 1e30F;
+  float min2 = 1e30F;
+  two_smallest(lanes, 16, min1, min2);
+
+  const __m256 bmin1 = _mm256_set1_ps(min1);
+  const __m256 bmin2 = _mm256_set1_ps(min2);
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 flip_bias = sign_all != 0 ? sign_mask : zero;
+  j = 0;
+  for (; j + 8 <= deg; j += 8) {
+    const __m256 v = _mm256_loadu_ps(q + j);
+    const __m256 mag = _mm256_andnot_ps(sign_mask, v);
+    const __m256 eq = _mm256_cmp_ps(mag, bmin1, _CMP_EQ_OQ);
+    const __m256 sel = _mm256_blendv_ps(bmin1, bmin2, eq);
+    const __m256 neg =
+        _mm256_and_ps(_mm256_cmp_ps(v, zero, _CMP_LT_OQ), sign_mask);
+    const __m256 flip = _mm256_xor_ps(neg, flip_bias);
+    _mm256_storeu_ps(r + j,
+                     _mm256_xor_ps(_mm256_mul_ps(vscale, sel), flip));
+  }
+  if (tail > 0) {
+    const __m256 raw = _mm256_maskload_ps(q + j, tail_mask);
+    const __m256 v =
+        _mm256_blendv_ps(pad, raw, _mm256_castsi256_ps(tail_mask));
+    const __m256 mag = _mm256_andnot_ps(sign_mask, v);
+    const __m256 eq = _mm256_cmp_ps(mag, bmin1, _CMP_EQ_OQ);
+    const __m256 sel = _mm256_blendv_ps(bmin1, bmin2, eq);
+    const __m256 neg =
+        _mm256_and_ps(_mm256_cmp_ps(v, zero, _CMP_LT_OQ), sign_mask);
+    const __m256 flip = _mm256_xor_ps(neg, flip_bias);
+    _mm256_maskstore_ps(r + j, tail_mask,
+                        _mm256_xor_ps(_mm256_mul_ps(vscale, sel), flip));
+  }
+}
+
+__attribute__((target("avx2"))) void demap_soft_avx2(
+    const std::complex<float>* symbols, std::size_t count,
+    const float* levels, int bits_per_dim, double sigma2, float* out) {
+  const std::size_t bps = 2 * std::size_t(bits_per_dim);
+  const int num_levels = 1 << bits_per_dim;
+  const __m256d vden = _mm256_set1_pd(2.0 * sigma2);
+  std::size_t s = 0;
+  for (; s + 8 <= count; s += 8) {
+    const float* p = reinterpret_cast<const float*>(symbols + s);
+    const __m256 v0 = _mm256_loadu_ps(p);      // r0 i0 r1 i1 | r2 i2 r3 i3
+    const __m256 v1 = _mm256_loadu_ps(p + 8);  // r4 i4 r5 i5 | r6 i6 r7 i7
+    const __m256 t0 = _mm256_permute2f128_ps(v0, v1, 0x20);
+    const __m256 t1 = _mm256_permute2f128_ps(v0, v1, 0x31);
+    const __m256 dims[2] = {
+        _mm256_shuffle_ps(t0, t1, _MM_SHUFFLE(2, 0, 2, 0)),   // re
+        _mm256_shuffle_ps(t0, t1, _MM_SHUFFLE(3, 1, 3, 1))};  // im
+    for (int dim = 0; dim < 2; ++dim) {
+      const __m256 y = dims[dim];
+      for (int b = 0; b < bits_per_dim; ++b) {
+        __m256 best0 = _mm256_set1_ps(1e30F);
+        __m256 best1 = _mm256_set1_ps(1e30F);
+        for (int pattern = 0; pattern < num_levels; ++pattern) {
+          const __m256 d =
+              _mm256_sub_ps(y, _mm256_set1_ps(levels[std::size_t(pattern)]));
+          const __m256 metric = _mm256_mul_ps(d, d);
+          if ((pattern >> (bits_per_dim - 1 - b)) & 1) {
+            best1 = _mm256_min_ps(best1, metric);
+          } else {
+            best0 = _mm256_min_ps(best0, metric);
+          }
+        }
+        const __m256 diff = _mm256_sub_ps(best1, best0);
+        const __m256d dlo = _mm256_cvtps_pd(_mm256_castps256_ps128(diff));
+        const __m256d dhi = _mm256_cvtps_pd(_mm256_extractf128_ps(diff, 1));
+        const __m128 rlo = _mm256_cvtpd_ps(_mm256_div_pd(dlo, vden));
+        const __m128 rhi = _mm256_cvtpd_ps(_mm256_div_pd(dhi, vden));
+        alignas(32) float vals[8];
+        _mm_store_ps(vals, rlo);
+        _mm_store_ps(vals + 4, rhi);
+        float* dst = out + s * bps + std::size_t(dim * bits_per_dim + b);
+        for (int lane = 0; lane < 8; ++lane) {
+          dst[std::size_t(lane) * bps] = vals[std::size_t(lane)];
+        }
+      }
+    }
+  }
+  if (s < count) {
+    demap_soft_scalar(symbols + s, count - s, levels, bits_per_dim, sigma2,
+                      out + s * bps);
+  }
+}
+
+constexpr Kernels kAvx2Kernels{cn_minsum_avx2, demap_soft_avx2};
+
+#endif  // SLINGSHOT_SIMD_X86
+
+Level detect_level() {
+#if SLINGSHOT_SIMD_X86
+  Level best = Level::kSse2;  // x86-64 baseline
+  if (__builtin_cpu_supports("avx2")) {
+    best = Level::kAvx2;
+  }
+  const char* override_name = std::getenv("SLINGSHOT_SIMD");
+  if (override_name != nullptr) {
+    if (std::strcmp(override_name, "scalar") == 0) {
+      return Level::kScalar;
+    }
+    if (std::strcmp(override_name, "sse2") == 0) {
+      return Level::kSse2;
+    }
+    if (std::strcmp(override_name, "avx2") == 0 && best == Level::kAvx2) {
+      return Level::kAvx2;
+    }
+    // Unknown or unsupported override: fall through to autodetect.
+  }
+  return best;
+#else
+  return Level::kScalar;
+#endif
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kSse2: return "sse2";
+    case Level::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool level_supported(Level level) {
+#if SLINGSHOT_SIMD_X86
+  if (level == Level::kAvx2) {
+    return __builtin_cpu_supports("avx2") != 0;
+  }
+  return true;
+#else
+  return level == Level::kScalar;
+#endif
+}
+
+const Kernels& kernels_for(Level level) {
+#if SLINGSHOT_SIMD_X86
+  switch (level) {
+    case Level::kScalar: return kScalarKernels;
+    case Level::kSse2: return kSse2Kernels;
+    case Level::kAvx2:
+      if (level_supported(Level::kAvx2)) {
+        return kAvx2Kernels;
+      }
+      return kScalarKernels;
+  }
+#endif
+  return kScalarKernels;
+}
+
+Level active_level() {
+  static const Level level = detect_level();
+  return level;
+}
+
+const Kernels& kernels() {
+  static const Kernels& active = kernels_for(active_level());
+  return active;
+}
+
+}  // namespace slingshot::simd

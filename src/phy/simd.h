@@ -1,0 +1,65 @@
+// Runtime-dispatched SIMD kernels for the PHY's two hottest inner
+// loops: the normalized min-sum check-node update (ldpc.cc) and the
+// max-log soft demapper (modulation.cc).
+//
+// Contract: every implementation is BIT-EXACT against the scalar
+// reference on all finite inputs — same floats out, down to the sign
+// bit. The golden-trace determinism test pins decode iteration counts
+// and CRC outcomes, so a kernel that drifted by one ULP would change
+// simulation results between machines. The implementations stay exact
+// by construction:
+//  * min/max/fabs/compare and sign manipulation are exact in IEEE-754;
+//    no reassociated sums or FMA contractions are used.
+//  * the min-sum magnitude is selected by value equality
+//    (mag == min1 ? min2 : min1), which provably matches the scalar
+//    code's position-based selection: when a non-minimal position ties
+//    with min1, min2 == min1 and both forms emit the same value.
+//  * the demapper replicates the scalar path's double-precision
+//    division (cvtps_pd -> div_pd -> cvtpd_ps) instead of multiplying
+//    by a reciprocal.
+//
+// Dispatch happens once, at first use: the highest level the CPU
+// supports (AVX2 > SSE2 > scalar), overridable with
+// SLINGSHOT_SIMD=scalar|sse2|avx2 for A/B benchmarking and tests.
+// kernels_for() exposes every compiled-in level so tests can assert
+// exact parity between all of them on randomized inputs.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+namespace slingshot::simd {
+
+enum class Level { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+[[nodiscard]] const char* level_name(Level level);
+
+struct Kernels {
+  // Normalized min-sum check-node update over one check's `deg`
+  // incoming messages q[0..deg): r[j] gets the sign-excluded product
+  // sign * scale * mag, where mag is the smallest |q| excluding
+  // position j (i.e. min2 at the argmin position, min1 elsewhere).
+  // q and r must not alias.
+  void (*cn_minsum)(const float* q, float* r, int deg, float scale);
+
+  // Max-log LLR soft demap of `count` Gray-mapped square-QAM symbols.
+  // `levels` holds the 1 << bits_per_dim PAM amplitudes indexed by
+  // MSB-first bit pattern; `sigma2` is the per-dimension noise
+  // variance. Writes 2 * bits_per_dim LLRs per symbol to `out`
+  // (I-dimension bits first, then Q), positive = bit 0.
+  void (*demap_soft)(const std::complex<float>* symbols, std::size_t count,
+                     const float* levels, int bits_per_dim, double sigma2,
+                     float* out);
+};
+
+// The active kernel set, chosen once on first call (thread-safe) from
+// CPU capabilities and the optional SLINGSHOT_SIMD env override.
+[[nodiscard]] const Kernels& kernels();
+[[nodiscard]] Level active_level();
+
+// Kernel set for a specific level, for parity tests and benchmarks.
+// Returns the scalar set when `level` is not supported on this CPU.
+[[nodiscard]] const Kernels& kernels_for(Level level);
+[[nodiscard]] bool level_supported(Level level);
+
+}  // namespace slingshot::simd

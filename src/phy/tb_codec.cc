@@ -67,7 +67,7 @@ TbEncodeResult encode_tb(std::span<const std::uint8_t> payload, Modulation mod,
   while (codeword.size() % std::size_t(bps) != 0) {
     codeword.push_back(0);
   }
-  const Modulator modulator{mod};
+  const Modulator& modulator = modulator_for(mod);
   auto data_syms = modulator.modulate(codeword);
 
   TbEncodeResult result;
@@ -129,7 +129,7 @@ TbDecodeResult decode_tb(std::span<const std::complex<float>> iq,
   const double eff_noise = sigma2 / h_pow;
 
   // --- Soft demapping.
-  const Modulator modulator{mod};
+  const Modulator& modulator = modulator_for(mod);
   auto& llrs = ws->llrs;
   modulator.demap_into(eq, eff_noise, llrs);
   if (int(llrs.size()) < code.n()) {

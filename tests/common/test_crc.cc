@@ -2,10 +2,54 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "common/bits.h"
+#include "common/rng.h"
 
 namespace slingshot {
 namespace {
+
+// The pre-slicing bitwise implementations, kept verbatim as reference
+// oracles: the production table-driven CRCs must agree with these on
+// every input, at every length (including lengths that are not a
+// multiple of the 8-byte slicing stride).
+std::uint32_t crc24a_bitwise_ref(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0;
+  for (const auto byte : data) {
+    crc ^= std::uint32_t(byte) << 16;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x800000) ? ((crc << 1) ^ 0x864CFB) & 0xFFFFFF
+                             : (crc << 1) & 0xFFFFFF;
+    }
+  }
+  return crc;
+}
+
+std::uint16_t crc16_bitwise_ref(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0;
+  for (const auto byte : data) {
+    crc = std::uint16_t(crc ^ (std::uint16_t(byte) << 8));
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x8000) ? std::uint16_t((crc << 1) ^ 0x1021)
+                           : std::uint16_t(crc << 1);
+    }
+  }
+  return crc;
+}
+
+std::uint32_t crc24a_bits_bitwise_ref(std::span<const std::uint8_t> bits) {
+  std::uint32_t crc = 0;
+  for (const auto bit : bits) {
+    const std::uint32_t top = (crc >> 23) & 1U;
+    crc = (crc << 1) & 0xFFFFFF;
+    if ((top ^ bit) != 0U) {
+      crc ^= 0x864CFB;
+    }
+  }
+  return crc;
+}
 
 TEST(Crc24, EmptyIsZero) {
   EXPECT_EQ(crc24a({}), 0U);
@@ -60,6 +104,48 @@ TEST(Crc16, DifferentLengthsDiffer) {
   const std::vector<std::uint8_t> a{1, 2, 3};
   const std::vector<std::uint8_t> b{1, 2, 3, 0};
   EXPECT_NE(crc16(a), crc16(b));
+}
+
+TEST(Crc24, SlicingMatchesBitwiseOracleAtEveryLengthTo64) {
+  auto rng = RngRegistry{314}.stream("crc");
+  // Every length 0..64 crosses each 8-byte-stride remainder several
+  // times; random content per length.
+  for (std::size_t len = 0; len <= 64; ++len) {
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) {
+      b = std::uint8_t(rng.next_u64());
+    }
+    EXPECT_EQ(crc24a(data), crc24a_bitwise_ref(data)) << "len " << len;
+    EXPECT_EQ(crc16(data), crc16_bitwise_ref(data)) << "len " << len;
+  }
+}
+
+TEST(Crc24, SlicingMatchesBitwiseOracleOnRandomLongInputs) {
+  auto rng = RngRegistry{159}.stream("crc");
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> data(rng.next_u64() % 2000);
+    for (auto& b : data) {
+      b = std::uint8_t(rng.next_u64());
+    }
+    EXPECT_EQ(crc24a(data), crc24a_bitwise_ref(data))
+        << "trial " << trial << " len " << data.size();
+    EXPECT_EQ(crc16(data), crc16_bitwise_ref(data))
+        << "trial " << trial << " len " << data.size();
+  }
+}
+
+TEST(Crc24, BitLevelMatchesBitwiseOracleAtNonByteLengths) {
+  auto rng = RngRegistry{265}.stream("crc-bits");
+  // Bit counts that are NOT multiples of 8 exercise the bit-tail path
+  // the packed fast path cannot cover.
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> bits(1 + rng.next_u64() % 700);
+    for (auto& b : bits) {
+      b = std::uint8_t(rng.next_u64() & 1U);
+    }
+    EXPECT_EQ(crc24a_bits(bits), crc24a_bits_bitwise_ref(bits))
+        << "trial " << trial << " nbits " << bits.size();
+  }
 }
 
 }  // namespace

@@ -1,0 +1,200 @@
+// Bit-exactness of the runtime-dispatched SIMD kernels (phy/simd.h).
+//
+// The golden-trace tests pin LDPC iteration counts and CRC verdicts, so
+// the vector kernels must match the scalar reference to the last bit —
+// not "close", identical. These tests memcmp the outputs of every
+// compiled-in dispatch level against scalar on randomized inputs salted
+// with the adversarial cases (ties in magnitude, signed zeros, degrees
+// that land on every vector-width tail).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "phy/modulation.h"
+#include "phy/simd.h"
+
+namespace slingshot {
+namespace {
+
+std::vector<simd::Level> supported_vector_levels() {
+  std::vector<simd::Level> levels;
+  for (const auto level : {simd::Level::kSse2, simd::Level::kAvx2}) {
+    if (simd::level_supported(level)) {
+      levels.push_back(level);
+    }
+  }
+  return levels;
+}
+
+void expect_cn_minsum_parity(const std::vector<float>& q, float scale) {
+  const int deg = int(q.size());
+  std::vector<float> want(q.size());
+  simd::kernels_for(simd::Level::kScalar)
+      .cn_minsum(q.data(), want.data(), deg, scale);
+  for (const auto level : supported_vector_levels()) {
+    std::vector<float> got(q.size(), -999.0F);
+    simd::kernels_for(level).cn_minsum(q.data(), got.data(), deg, scale);
+    EXPECT_EQ(
+        std::memcmp(want.data(), got.data(), want.size() * sizeof(float)), 0)
+        << "level " << simd::level_name(level) << " deg " << deg;
+  }
+}
+
+TEST(SimdKernels, CnMinsumMatchesScalarOnRandomInputs) {
+  auto rng = RngRegistry{2024}.stream("cn-parity");
+  for (int trial = 0; trial < 3000; ++trial) {
+    const int deg = 1 + int(rng.next_u64() % 24);
+    std::vector<float> q(static_cast<std::size_t>(deg));
+    for (auto& v : q) {
+      switch (rng.next_u64() % 8) {
+        case 0: v = 0.0F; break;
+        case 1: v = -0.0F; break;
+        case 2:  // repeated magnitude: exercises the tie-selection proof
+          v = (rng.next_u64() & 1U) ? 1.25F : -1.25F;
+          break;
+        case 3: v = float(rng.gaussian(0.0, 1e-4)); break;   // tiny
+        case 4: v = float(rng.gaussian(0.0, 1e6)); break;    // huge
+        default: v = float(rng.gaussian(0.0, 5.0)); break;
+      }
+    }
+    expect_cn_minsum_parity(q, 0.8F);
+  }
+}
+
+// Every degree from 1 to 33 hits each SSE2 (4-lane) and AVX2 (8-lane)
+// tail length, including deg < width where the whole check is a tail.
+TEST(SimdKernels, CnMinsumMatchesScalarAtEveryTailLength) {
+  auto rng = RngRegistry{7}.stream("cn-tails");
+  for (int deg = 1; deg <= 33; ++deg) {
+    for (int rep = 0; rep < 40; ++rep) {
+      std::vector<float> q(static_cast<std::size_t>(deg));
+      for (auto& v : q) {
+        v = float(rng.gaussian(0.0, 3.0));
+      }
+      expect_cn_minsum_parity(q, 0.8F);
+    }
+  }
+}
+
+TEST(SimdKernels, CnMinsumMatchesScalarWhenAllMagnitudesTie) {
+  // Degenerate slab: every |q| equal, signs mixed. min1 == min2 at
+  // every position; any selection-rule discrepancy shows here.
+  for (const int deg : {1, 3, 4, 5, 8, 9, 16, 17}) {
+    std::vector<float> q(static_cast<std::size_t>(deg));
+    for (int i = 0; i < deg; ++i) {
+      q[std::size_t(i)] = (i % 2 != 0) ? -2.5F : 2.5F;
+    }
+    expect_cn_minsum_parity(q, 0.8F);
+  }
+}
+
+// Recover the Modulator's PAM level table by modulating each bit
+// pattern (duplicated into both dimensions) and reading the I value —
+// the kernels then run against the exact production tables.
+std::vector<float> recover_levels(const Modulator& modulator, Modulation mod) {
+  const int bits_per_dim = bits_per_symbol(mod) / 2;
+  std::vector<float> levels(std::size_t(1) << bits_per_dim);
+  std::vector<std::uint8_t> pat_bits(std::size_t(bits_per_symbol(mod)));
+  for (std::size_t pattern = 0; pattern < levels.size(); ++pattern) {
+    for (int b = 0; b < bits_per_dim; ++b) {
+      pat_bits[std::size_t(b)] =
+          std::uint8_t((pattern >> (bits_per_dim - 1 - b)) & 1U);
+      pat_bits[std::size_t(bits_per_dim + b)] = pat_bits[std::size_t(b)];
+    }
+    levels[pattern] = modulator.modulate(pat_bits)[0].real();
+  }
+  return levels;
+}
+
+TEST(SimdKernels, DemapSoftMatchesScalarAcrossModulationsAndCounts) {
+  auto rng = RngRegistry{99}.stream("demap-parity");
+  for (const auto mod : {Modulation::kQpsk, Modulation::kQam16,
+                         Modulation::kQam64, Modulation::kQam256}) {
+    const Modulator& modulator = modulator_for(mod);
+    const auto levels = recover_levels(modulator, mod);
+    const int bits_per_dim = bits_per_symbol(mod) / 2;
+    // Counts 1..17 cover every 4- and 8-symbol remainder.
+    for (std::size_t count = 1; count <= 17; ++count) {
+      std::vector<std::complex<float>> syms(count);
+      for (auto& s : syms) {
+        s = {float(rng.gaussian(0.0, 1.2)), float(rng.gaussian(0.0, 1.2))};
+      }
+      const double sigma2 = 0.003 + double(rng.next_u64() % 64) / 100.0;
+      const std::size_t n_llrs = count * std::size_t(bits_per_symbol(mod));
+      std::vector<float> want(n_llrs, -999.0F);
+      simd::kernels_for(simd::Level::kScalar)
+          .demap_soft(syms.data(), count, levels.data(), bits_per_dim, sigma2,
+                      want.data());
+      for (const auto level : supported_vector_levels()) {
+        std::vector<float> got(n_llrs, -999.0F);
+        simd::kernels_for(level).demap_soft(syms.data(), count, levels.data(),
+                                            bits_per_dim, sigma2, got.data());
+        EXPECT_EQ(std::memcmp(want.data(), got.data(),
+                              n_llrs * sizeof(float)),
+                  0)
+            << "level " << simd::level_name(level) << " mod "
+            << modulation_name(mod) << " count " << count;
+      }
+    }
+  }
+}
+
+// demap_into is the production entry point; whatever level is active,
+// its output must equal the forced-scalar kernel fed the same tables
+// and the same per-dimension variance clamp.
+TEST(SimdKernels, DemapIntoMatchesForcedScalarKernel) {
+  auto rng = RngRegistry{123}.stream("demap-into");
+  for (const auto mod : {Modulation::kQpsk, Modulation::kQam64}) {
+    const Modulator& modulator = modulator_for(mod);
+    const auto levels = recover_levels(modulator, mod);
+    const int bits_per_dim = bits_per_symbol(mod) / 2;
+    std::vector<std::complex<float>> syms(37);
+    for (auto& s : syms) {
+      s = {float(rng.gaussian(0.0, 1.0)), float(rng.gaussian(0.0, 1.0))};
+    }
+    const double noise_var = 0.08;
+    std::vector<float> got;
+    modulator.demap_into(syms, noise_var, got);
+    std::vector<float> want(got.size(), -999.0F);
+    simd::kernels_for(simd::Level::kScalar)
+        .demap_soft(syms.data(), syms.size(), levels.data(), bits_per_dim,
+                    std::max(noise_var / 2.0, 1e-9), want.data());
+    EXPECT_EQ(
+        std::memcmp(want.data(), got.data(), want.size() * sizeof(float)), 0)
+        << modulation_name(mod);
+  }
+}
+
+TEST(SimdKernels, ScalarLevelIsAlwaysSupported) {
+  EXPECT_TRUE(simd::level_supported(simd::Level::kScalar));
+  EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::Level::kSse2), "sse2");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx2), "avx2");
+}
+
+TEST(SimdKernels, ActiveLevelIsSupportedAndStable) {
+  const auto level = simd::active_level();
+  EXPECT_TRUE(simd::level_supported(level));
+  // Dispatch is decided once; repeated calls must agree.
+  EXPECT_EQ(simd::active_level(), level);
+  EXPECT_EQ(&simd::kernels(), &simd::kernels_for(level));
+}
+
+TEST(SimdKernels, UnsupportedLevelFallsBackToScalar) {
+  for (const auto level : {simd::Level::kSse2, simd::Level::kAvx2}) {
+    if (!simd::level_supported(level)) {
+      EXPECT_EQ(&simd::kernels_for(level),
+                &simd::kernels_for(simd::Level::kScalar))
+          << simd::level_name(level);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slingshot
