@@ -1,0 +1,317 @@
+// Schema validator for the bench output files (BENCH_*.json).
+//
+// Every bench appends rows through bench_util.h's append_bench_json();
+// the contract downstream tooling relies on is:
+//   * the file is one valid JSON array,
+//   * every element is a FLAT object (no nested arrays/objects),
+//   * every row carries a "bench" string key naming its producer,
+//   * every number is finite (the emitter turns NaN into null; a bare
+//     `nan`/`inf` token would break any standards-compliant reader).
+//
+// Usage: validate_bench_json [path ...]
+// A directory argument is scanned for BENCH_*.json; a file argument is
+// validated directly. With no arguments the current directory is
+// scanned. Before touching any real file the validator round-trips a
+// self-test row through append_bench_json so emitter and validator can
+// never drift apart silently. Exits nonzero on the first schema
+// violation — registered as a ctest target ordered after the bench
+// smokes, so CI validates exactly what the smokes just wrote.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+// Minimal recursive-descent checker for the bench-row subset of JSON.
+// It validates structure; it does not build a document.
+class Checker {
+ public:
+  explicit Checker(const std::string& text) : text_(text) {}
+
+  // Returns an empty string on success, else a description of the first
+  // violation (with byte offset).
+  std::string check() {
+    skip_ws();
+    if (!consume('[')) {
+      return err("expected top-level array");
+    }
+    skip_ws();
+    if (consume(']')) {
+      return finish();
+    }
+    while (true) {
+      std::string e = check_row();
+      if (!e.empty()) {
+        return e;
+      }
+      skip_ws();
+      if (consume(']')) {
+        return finish();
+      }
+      if (!consume(',')) {
+        return err("expected ',' or ']' after row");
+      }
+      skip_ws();
+    }
+  }
+
+  [[nodiscard]] int rows() const { return rows_; }
+
+ private:
+  std::string finish() {
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return err("trailing content after array");
+    }
+    return {};
+  }
+
+  std::string check_row() {
+    if (!consume('{')) {
+      return err("expected row object");
+    }
+    ++rows_;
+    bool saw_bench = false;
+    skip_ws();
+    if (consume('}')) {
+      return err("empty row object");
+    }
+    while (true) {
+      std::string key;
+      std::string e = check_string(&key);
+      if (!e.empty()) {
+        return e;
+      }
+      skip_ws();
+      if (!consume(':')) {
+        return err("expected ':' after key");
+      }
+      skip_ws();
+      const bool is_string = peek() == '"';
+      e = check_value();
+      if (!e.empty()) {
+        return e;
+      }
+      if (key == "bench") {
+        if (!is_string) {
+          return err("\"bench\" must be a string");
+        }
+        saw_bench = true;
+      }
+      skip_ws();
+      if (consume('}')) {
+        break;
+      }
+      if (!consume(',')) {
+        return err("expected ',' or '}' in row");
+      }
+      skip_ws();
+    }
+    if (!saw_bench) {
+      return err("row missing required \"bench\" key");
+    }
+    return {};
+  }
+
+  std::string check_value() {
+    const char c = peek();
+    if (c == '"') {
+      return check_string(nullptr);
+    }
+    if (c == '{' || c == '[') {
+      return err("nested containers not allowed — rows must be flat");
+    }
+    if (literal("true") || literal("false") || literal("null")) {
+      return {};
+    }
+    return check_number();
+  }
+
+  std::string check_string(std::string* out) {
+    if (!consume('"')) {
+      return err("expected string");
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return {};
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char esc = text_[pos_++];
+        if (esc != '"' && esc != '\\' && esc != '/' && esc != 'n' &&
+            esc != 't' && esc != 'r' && esc != 'b' && esc != 'f' &&
+            esc != 'u') {
+          return err("invalid escape in string");
+        }
+        if (out != nullptr) {
+          out->push_back(esc);
+        }
+        continue;
+      }
+      if (out != nullptr) {
+        out->push_back(c);
+      }
+    }
+    return err("unterminated string");
+  }
+
+  std::string check_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return err("expected a JSON value");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return err("malformed number '" + token + "'");
+    }
+    if (!std::isfinite(v)) {
+      return err("non-finite number '" + token + "'");
+    }
+    return {};
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  std::string err(const std::string& what) const {
+    return what + " (at byte " + std::to_string(pos_) + ")";
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int rows_ = 0;
+};
+
+// Returns true if the file validates; prints a verdict line either way.
+bool validate_file(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::printf("  %-40s UNREADABLE\n", path.string().c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  Checker checker{text};
+  const std::string error = checker.check();
+  if (!error.empty()) {
+    std::printf("  %-40s INVALID: %s\n", path.string().c_str(),
+                error.c_str());
+    return false;
+  }
+  std::printf("  %-40s ok (%d rows)\n", path.string().c_str(),
+              checker.rows());
+  return true;
+}
+
+// Round-trip a synthetic row (including the characters the emitter must
+// escape and the NaN-to-null rule) through append_bench_json, then
+// validate it. Guards against emitter/validator drift.
+bool self_test() {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "BENCH_selftest.json";
+  std::error_code ec;
+  fs::remove(path, ec);
+  using slingshot::bench::JsonRow;
+  JsonRow row{"validator_selftest"};
+  row.str("tricky", "quote\" backslash\\ done")
+      .num("finite", 1.25)
+      .num("was_nan", std::nan(""))
+      .integer("count", -3)
+      .boolean("flag", true);
+  bool ok = slingshot::bench::append_bench_json(path.string(), row);
+  // Append a second row to exercise the array-reopening path too.
+  ok = ok && slingshot::bench::append_bench_json(path.string(),
+                                                 JsonRow{"validator_selftest"});
+  ok = ok && validate_file(path);
+  fs::remove(path, ec);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::printf("validate_bench_json: emitter/validator self-test\n");
+  if (!self_test()) {
+    std::printf("SELF-TEST FAILED — emitter and validator disagree\n");
+    return 1;
+  }
+
+  std::vector<fs::path> files;
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    roots.emplace_back(argv[i]);
+  }
+  if (roots.empty()) {
+    roots.emplace_back(".");
+  }
+  for (const auto& root : roots) {
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::directory_iterator(root)) {
+        const std::string name = entry.path().filename().string();
+        if (entry.is_regular_file() && name.starts_with("BENCH_") &&
+            name.ends_with(".json")) {
+          files.push_back(entry.path());
+        }
+      }
+    } else {
+      files.push_back(root);
+    }
+  }
+
+  std::printf("validating %zu bench file(s)\n", files.size());
+  bool all_ok = true;
+  for (const auto& f : files) {
+    all_ok = validate_file(f) && all_ok;
+  }
+  if (files.empty()) {
+    std::printf("  (no BENCH_*.json files found — nothing to validate)\n");
+  }
+  std::printf("result: %s\n", all_ok ? "all files valid" : "SCHEMA VIOLATIONS");
+  return all_ok ? 0 : 1;
+}

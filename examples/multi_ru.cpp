@@ -59,5 +59,16 @@ int main() {
       "\nPHY-B now serves both RUs; RU2 experienced zero disruption.\n"
       "An operator would now restart PHY-A and re-adopt it as the\n"
       "standby for both RUs (see examples in the test suite).\n");
-  return 0;
+
+  // Smoke-test verdict: the failover must have landed both RUs on PHY-B
+  // with both UEs still attached and RU2 completely untouched.
+  const bool ok =
+      testbed.mbox().active_phy(Testbed::kRu) == Testbed::kPhyB &&
+      testbed.mbox().active_phy(Testbed::kRu2) == Testbed::kPhyB &&
+      testbed.ue(0).connected() && testbed.ue(1).connected() &&
+      testbed.ru2().stats().dropped_ttis == 0;
+  if (!ok) {
+    std::printf("\nUNEXPECTED END STATE — see report above\n");
+  }
+  return ok ? 0 : 1;
 }

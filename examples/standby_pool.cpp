@@ -1,0 +1,80 @@
+// Shared standby pool: four cells, each with a dedicated primary PHY,
+// all protected by ONE pooled hot standby — the scale-out economics the
+// paper's deployment note points at: standby capacity is shared, not
+// 1:1 duplicated.
+//
+// When cell 2's primary dies, Orion promotes the pooled standby for
+// that cell alone; the other three cells never drop a TTI. Because the
+// promoted member can no longer back anyone, Orion re-points the
+// survivors at the next pool member (here: none left), leaving them
+// *explicitly* unprotected rather than pointed at a stale standby — an
+// operator restarting the dead PHY into the pool restores protection.
+#include <cstdio>
+
+#include "testbed/testbed.h"
+#include "transport/apps.h"
+
+using namespace slingshot;
+
+int main() {
+  TestbedConfig config;
+  config.seed = 12;
+  config.cells.assign(4, CellSpec{1, {20.0}});  // 4 cells, 1 UE each
+  config.standby_pool_size = 1;                 // 1 shared standby PHY
+  Testbed testbed{config};
+
+  UdpFlowConfig flow_cfg;
+  flow_cfg.rate_bps = 4e6;
+  UdpFlow flow{testbed.sim(), testbed.ue_pipe(2), testbed.server_pipe(2),
+               flow_cfg};
+
+  testbed.start();
+  testbed.run_until(100_ms);
+  flow.start();
+
+  auto report = [&](const char* when) {
+    std::printf("%s\n", when);
+    for (int c = 0; c < testbed.num_cells(); ++c) {
+      const PhyId standby = testbed.orion().standby_phy(testbed.ru_id(c));
+      std::printf("  cell %d: active phy-%u  standby %-12s "
+                  "dropped TTIs %lld  UE %s\n",
+                  c, testbed.orion().active_phy(testbed.ru_id(c)).value(),
+                  standby == PhyId{}
+                      ? "(unprotected)"
+                      : ("phy-" + std::to_string(standby.value())).c_str(),
+                  static_cast<long long>(testbed.ru_at(c).stats().dropped_ttis),
+                  testbed.ue(c).connected() ? "connected" : "DETACHED");
+    }
+    std::printf("  pool members available: %zu\n",
+                testbed.orion().pool_available());
+  };
+
+  testbed.run_until(1'000_ms);
+  report("steady state (one pooled standby backs all four cells):");
+
+  std::printf("\nkilling phy-%u (cell 2's primary) ...\n\n",
+              testbed.phy_id(2).value());
+  testbed.kill_phy(testbed.phy_id(2));
+  testbed.run_until(3'000_ms);
+  report("after failover:");
+  std::printf("  UDP packets through cell 2: %llu\n",
+              static_cast<unsigned long long>(flow.packets_received()));
+
+  std::printf("\nrestarting the dead PHY into the pool ...\n\n");
+  testbed.revive_phy_as_standby(testbed.phy_id(2));
+  testbed.run_until(4'000_ms);
+  report("after the revived PHY rejoins the pool:");
+
+  // The demo doubles as a smoke test: cell 2 must have failed over onto
+  // the pooled standby with the other cells untouched.
+  const bool ok =
+      testbed.orion().active_phy(testbed.ru_id(2)) == testbed.phy_id(4) &&
+      testbed.ue(2).connected() &&
+      testbed.ru_at(0).stats().dropped_ttis == 0 &&
+      testbed.ru_at(1).stats().dropped_ttis == 0 &&
+      testbed.ru_at(3).stats().dropped_ttis == 0;
+  std::printf("\n%s\n", ok ? "cell 2 recovered on the pooled standby; "
+                             "cells 0/1/3 never dropped a TTI."
+                           : "UNEXPECTED END STATE — see report above");
+  return ok ? 0 : 1;
+}

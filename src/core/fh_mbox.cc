@@ -94,10 +94,18 @@ void FronthaulMiddlebox::register_phy(PhyId id, MacAddr mac) {
 }
 
 void FronthaulMiddlebox::bind_ru_to_phy(RuId ru, PhyId phy) {
+  if (ru.value() >= std::size_t(config_.max_ids)) {
+    ++stats_.unknown_dropped;
+    return;
+  }
   ru_to_phy_.write(ru.value(), phy.value());
 }
 
 void FronthaulMiddlebox::watch_phy(PhyId phy, MacAddr orion_mac) {
+  if (phy.value() >= watches_.size()) {
+    ++stats_.unknown_dropped;
+    return;
+  }
   watches_[phy.value()] = WatchEntry{/*armed=*/true, orion_mac};
   failure_counters_.write(phy.value(), 0);
   if (std::find(tracked_phys_.begin(), tracked_phys_.end(), phy.value()) ==
@@ -110,6 +118,9 @@ void FronthaulMiddlebox::watch_phy(PhyId phy, MacAddr orion_mac) {
 }
 
 void FronthaulMiddlebox::unwatch_phy(PhyId phy) {
+  if (phy.value() >= watches_.size()) {
+    return;
+  }
   watches_[phy.value()].armed = false;
   std::erase(tracked_phys_, phy.value());
   if (tap_ != nullptr) {
@@ -240,7 +251,7 @@ PipelineVerdict FronthaulMiddlebox::process(Packet& packet, int /*port*/,
 
   // Downlink: PHY -> RU.
   const auto* src_phy = phy_id_directory_.lookup(packet.eth.src);
-  if (src_phy == nullptr) {
+  if (src_phy == nullptr || *src_phy >= watches_.size()) {
     ++stats_.unknown_dropped;
     return PipelineVerdict::kHandled;
   }

@@ -1,5 +1,7 @@
 #include "core/orion.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "common/pool.h"
 #include "obs/obs.h"
@@ -161,6 +163,158 @@ void OrionL2Side::set_ru_phys(RuId ru, PhyId primary, PhyId secondary) {
   state.previous_until_slot = -1;
 }
 
+void OrionL2Side::set_ru_primary(RuId ru, PhyId primary) {
+  pool_mode_ = true;
+  auto& state = rus_[ru.value()];
+  state.ru = ru;
+  state.primary = primary;
+  state.secondary = PhyId{};
+  state.previous_until_slot = -1;
+  const PhyId next = next_pool_standby();
+  if (next != PhyId{}) {
+    assign_standby(state, next);
+  }
+}
+
+void OrionL2Side::add_pool_standby(PhyId phy, MacAddr orion_mac) {
+  pool_mode_ = true;
+  add_phy_peer(phy, orion_mac);
+  bool known = false;
+  for (auto& m : pool_) {
+    if (m.id == phy) {
+      m.state = PoolState::kAvailable;  // revived member rejoins the pool
+      known = true;
+    }
+  }
+  if (!known) {
+    pool_.push_back(PoolMember{phy, PoolState::kAvailable});
+  }
+  // Deferred failovers first: an unprotected cell whose primary already
+  // died has been waiting for exactly this — give it a member and
+  // migrate now. Counted separately from notification-driven failovers
+  // so the notification identity stays an identity.
+  for (auto& [ru_value, state] : rus_) {
+    (void)ru_value;
+    if (state.secondary != PhyId{} || state.boundary.has_value()) {
+      continue;
+    }
+    if (state.failed_phy == PhyId{} || state.failed_phy != state.primary) {
+      continue;
+    }
+    const PhyId next = next_pool_standby();
+    if (next == PhyId{}) {
+      break;
+    }
+    assign_standby(state, next);
+    ++stats_.deferred_failovers_executed;
+    initiate_failover(state, sim_.now(), /*deferred=*/true);
+    consume_pool_member(next);
+  }
+  // Then refill empty secondary slots of cells whose primary is alive.
+  for (auto& [ru_value, state] : rus_) {
+    (void)ru_value;
+    if (state.secondary != PhyId{} || state.boundary.has_value()) {
+      continue;
+    }
+    if (state.failed_phy != PhyId{} && state.failed_phy == state.primary) {
+      continue;  // dead primary and pool already exhausted above
+    }
+    const PhyId next = next_pool_standby();
+    if (next == PhyId{}) {
+      break;
+    }
+    assign_standby(state, next);
+    ++stats_.standbys_reassigned;
+  }
+}
+
+std::size_t OrionL2Side::pool_available() const {
+  std::size_t n = 0;
+  for (const auto& m : pool_) {
+    n += m.state == PoolState::kAvailable ? 1 : 0;
+  }
+  return n;
+}
+
+PhyId OrionL2Side::next_pool_standby() const {
+  for (const auto& m : pool_) {
+    if (m.state != PoolState::kAvailable) {
+      continue;
+    }
+    // A member that is (or is becoming) a primary is not a standby,
+    // whatever its recorded state.
+    bool is_primary = false;
+    for (const auto& [ru_value, state] : rus_) {
+      (void)ru_value;
+      if (state.primary == m.id) {
+        is_primary = true;
+        break;
+      }
+    }
+    if (!is_primary) {
+      return m.id;
+    }
+  }
+  return PhyId{};
+}
+
+void OrionL2Side::assign_standby(RuState& state, PhyId phy) {
+  state.secondary = phy;
+  // The member may never have seen this RU's init sequence (§6.3) — a
+  // shared standby must hold PHY state for every cell it backs.
+  for (const auto& msg : state.init_messages) {
+    send_to_phy(phy, msg);
+  }
+  if (sim_.now() > 0) {
+    // A runtime assignment may hand us a cold member whose first
+    // heartbeat is an init replay + one TTI away — longer than the
+    // detector timeout. Arm its watch after the same grace period the
+    // testbed uses at boot, once its null-FAPI heartbeats flow.
+    sim_.after(5'000'000, [this, phy] { send_watch_cmd(phy); });
+  }
+  if (tap_ != nullptr) {
+    tap_->on_adopt(state.ru, phy);
+  }
+  SLS_TRACE_EVENT(sim_, obs::ObsEvent::kAdoptStandby, phy.value(),
+                  config_.slots.slot_at(sim_.now()));
+}
+
+void OrionL2Side::consume_pool_member(PhyId phy) {
+  if (!pool_mode_) {
+    return;
+  }
+  for (auto& m : pool_) {
+    if (m.id == phy && m.state == PoolState::kAvailable) {
+      m.state = PoolState::kConsumed;
+    }
+  }
+  // Re-point every other RU backed by this member: it is now (becoming)
+  // someone's primary and can no longer absorb their failovers. RUs
+  // with a pending boundary keep their target — their own swap path
+  // resolves the slot.
+  for (auto& [ru_value, state] : rus_) {
+    (void)ru_value;
+    if (state.secondary != phy || state.boundary.has_value() ||
+        state.primary == phy) {
+      continue;
+    }
+    // The member keeps running (it is being promoted): stop the carriers
+    // of the RUs it no longer backs, or their FAPI-starvation watchdogs
+    // kill the whole process once the null feeds cease.
+    send_to_phy(phy, FapiMessage{state.ru, config_.slots.slot_at(sim_.now()),
+                                 StopRequest{state.ru}});
+    state.secondary = PhyId{};
+    const PhyId next = next_pool_standby();
+    if (next != PhyId{}) {
+      assign_standby(state, next);
+      ++stats_.standbys_reassigned;
+    } else {
+      SLOG_WARN("orion", "%s ru=%u standby pool exhausted: cell unprotected",
+                name_.c_str(), state.ru.value());
+    }
+  }
+}
+
 PhyId OrionL2Side::active_phy(RuId ru) const {
   const auto it = rus_.find(ru.value());
   return it == rus_.end() ? PhyId{} : it->second.primary;
@@ -183,6 +337,17 @@ std::pair<PhyId, PhyId> OrionL2Side::route_for_slot(RuState& state,
     std::swap(state.primary, state.secondary);
     const std::int64_t boundary = state.previous_until_slot;
     state.boundary.reset();
+    if (pool_mode_ && state.secondary != PhyId{} &&
+        state.secondary == state.failed_phy) {
+      // Failover swap: the slot vacated by the dead primary is refilled
+      // from the shared pool (or left empty until a member returns).
+      state.secondary = PhyId{};
+      const PhyId next = next_pool_standby();
+      if (next != PhyId{}) {
+        assign_standby(state, next);
+        ++stats_.standbys_reassigned;
+      }
+    }
     SLOG_INFO("orion", "%s FAPI switched to phy=%u from slot %lld",
               name_.c_str(), state.primary.value(),
               static_cast<long long>(slot));
@@ -225,9 +390,9 @@ void OrionL2Side::on_fapi(FapiMessage&& msg) {
       const auto [real, standby] = route_for_slot(state, msg.slot);
       ++stats_.real_requests_forwarded;
       send_to_phy(real, msg);
-      if (standby == state.failed_phy) {
-        // Consumed by a failover: nothing flows to it until
-        // adopt_standby brings up a replacement.
+      if (standby == state.failed_phy || standby == PhyId{}) {
+        // Consumed by a failover (or the pool is exhausted): nothing
+        // flows to it until a replacement standby is adopted.
         return;
       }
       if (config_.standby_mode == StandbyMode::kDuplicate) {
@@ -246,7 +411,7 @@ void OrionL2Side::on_fapi(FapiMessage&& msg) {
       SLS_TRACE_STAGE(sim_, obs::SlotStage::kOrionForward, msg.ru.value(),
                       msg.slot);
       send_to_phy(real, msg);
-      if (standby == state.failed_phy) {
+      if (standby == state.failed_phy || standby == PhyId{}) {
         return;
       }
       if (config_.standby_mode == StandbyMode::kDuplicate) {
@@ -432,12 +597,47 @@ void OrionL2Side::migrate(RuId ru, std::int64_t boundary_slot) {
             state.secondary.value(), static_cast<long long>(boundary_slot));
 }
 
+void OrionL2Side::initiate_failover(RuState& state, Nanos notified_at,
+                                    bool deferred) {
+  // Pick the earliest boundary that the request stream has not yet
+  // passed, and steer both the FAPI and the fronthaul there.
+  const auto current = config_.slots.slot_at(sim_.now());
+  const std::int64_t boundary = current + config_.failover_margin_slots;
+  state.boundary = boundary;
+  send_migrate_cmd(state.ru, state.secondary, boundary);
+  MigrationEvent event;
+  event.kind = MigrationEvent::Kind::kFailover;
+  event.ru = state.ru;
+  event.from = state.primary;
+  event.to = state.secondary;
+  event.boundary_slot = boundary;
+  event.initiated_at = sim_.now();
+  event.notification_at = notified_at;
+  migration_log_.push_back(event);
+  if (tap_ != nullptr) {
+    tap_->on_migration(event);
+  }
+  SLS_TRACE_EVENT(sim_, obs::ObsEvent::kFailoverInitiated,
+                  state.failed_phy.value(), boundary);
+  SLOG_WARN("orion",
+            "%s %sFAILOVER ru=%u phy %u -> %u at slot %lld (notified %.3f ms)",
+            name_.c_str(), deferred ? "DEFERRED " : "",
+            state.ru.value(), state.primary.value(),
+            state.secondary.value(), static_cast<long long>(boundary),
+            to_millis(notified_at));
+  if (on_failover_) {
+    on_failover_(event);
+  }
+}
+
 void OrionL2Side::handle_failure_notification(PhyId failed) {
   const Nanos notified_at = sim_.now();
   bool any_failover = false;
   bool any_duplicate = false;
-  PhyId promoted;
+  bool any_unprotected = false;
+  std::vector<PhyId> promoted;
   for (auto& [ru_value, state] : rus_) {
+    (void)ru_value;
     // A notification for a phy this RU already failed away from is a
     // re-delivery of a finished episode, not a new failure.
     if (state.failed_phy == failed) {
@@ -454,37 +654,35 @@ void OrionL2Side::handle_failure_notification(PhyId failed) {
       any_duplicate = true;
       continue;
     }
+    if (state.failed_phy == failed) {
+      continue;  // re-delivered unprotected episode, counted above
+    }
+    if (state.secondary == PhyId{}) {
+      // Pool exhausted at failure time: enter the explicit unprotected
+      // state. No stale swap — the cell stays down until
+      // add_pool_standby supplies a member and executes the deferred
+      // failover.
+      state.failed_phy = failed;
+      any_unprotected = true;
+      SLOG_WARN("orion",
+                "%s ru=%u UNPROTECTED: primary phy %u failed with the "
+                "standby pool exhausted",
+                name_.c_str(), state.ru.value(), failed.value());
+      continue;
+    }
     any_failover = true;
     state.failed_phy = failed;
-    promoted = state.secondary;
-    // Pick the earliest boundary that the request stream has not yet
-    // passed, and steer both the FAPI and the fronthaul there.
-    const auto current = config_.slots.slot_at(sim_.now());
-    const std::int64_t boundary = current + config_.failover_margin_slots;
-    state.boundary = boundary;
-    send_migrate_cmd(RuId{ru_value}, state.secondary, boundary);
-    MigrationEvent event;
-    event.kind = MigrationEvent::Kind::kFailover;
-    event.ru = RuId{ru_value};
-    event.from = state.primary;
-    event.to = state.secondary;
-    event.boundary_slot = boundary;
-    event.initiated_at = sim_.now();
-    event.notification_at = notified_at;
-    migration_log_.push_back(event);
-    if (tap_ != nullptr) {
-      tap_->on_migration(event);
+    if (std::find(promoted.begin(), promoted.end(), state.secondary) ==
+        promoted.end()) {
+      promoted.push_back(state.secondary);
     }
-    SLS_TRACE_EVENT(sim_, obs::ObsEvent::kFailoverInitiated, failed.value(),
-                    boundary);
-    SLOG_WARN("orion",
-              "%s FAILOVER ru=%u phy %u -> %u at slot %lld (notified %.3f ms)",
-              name_.c_str(), unsigned(ru_value), state.primary.value(),
-              state.secondary.value(), static_cast<long long>(boundary),
-              to_millis(notified_at));
-    if (on_failover_) {
-      on_failover_(event);
-    }
+    initiate_failover(state, notified_at, /*deferred=*/false);
+  }
+  // A promotion consumes the pool member: every other RU backed by it
+  // is re-pointed (next member or unprotected), never left aimed at a
+  // standby that is becoming someone's primary.
+  for (const PhyId p : promoted) {
+    consume_pool_member(p);
   }
   if (any_failover) {
     ++stats_.failovers_initiated;
@@ -493,12 +691,65 @@ void OrionL2Side::handle_failure_notification(PhyId failed) {
     send_unwatch_cmd(failed);
     // The detector must keep covering whoever now serves the RU — the
     // promoted standby may have been unwatched by an earlier episode.
-    send_watch_cmd(promoted);
-  } else if (any_duplicate) {
-    ++stats_.duplicate_notifications_ignored;
-  } else {
-    ++stats_.stale_notifications_ignored;
+    for (const PhyId p : promoted) {
+      send_watch_cmd(p);
+    }
+    return;
   }
+  if (any_unprotected) {
+    ++stats_.unprotected_notifications;
+    return;
+  }
+  if (any_duplicate) {
+    ++stats_.duplicate_notifications_ignored;
+    return;
+  }
+  // Pool mode only: the dead PHY may be a *standby* (primary nowhere).
+  // Mark the member dead and re-point every RU it backed — including a
+  // mid-consume target (an RU with a pending boundary aimed at it),
+  // which is redirected to the next member or falls back unprotected.
+  if (pool_mode_) {
+    bool standby_hit = false;
+    for (auto& m : pool_) {
+      if (m.id == failed && m.state != PoolState::kDead) {
+        m.state = PoolState::kDead;
+        standby_hit = true;
+      }
+    }
+    for (auto& [rv, state] : rus_) {
+      (void)rv;
+      if (state.secondary != failed || state.primary == failed) {
+        continue;
+      }
+      standby_hit = true;
+      state.secondary = PhyId{};
+      const PhyId next = next_pool_standby();
+      if (state.boundary.has_value()) {
+        // The failover target itself died before the swap: redirect the
+        // pending migration — never swap onto a corpse.
+        state.boundary.reset();
+        if (next != PhyId{}) {
+          assign_standby(state, next);
+          ++stats_.standbys_reassigned;
+          initiate_failover(state, notified_at, /*deferred=*/false);
+          consume_pool_member(next);
+        } else {
+          SLOG_WARN("orion",
+                    "%s ru=%u UNPROTECTED: failover target phy %u died "
+                    "mid-consume with the pool exhausted",
+                    name_.c_str(), state.ru.value(), failed.value());
+        }
+      } else if (next != PhyId{}) {
+        assign_standby(state, next);
+        ++stats_.standbys_reassigned;
+      }
+    }
+    if (standby_hit) {
+      ++stats_.standby_failures;
+      return;
+    }
+  }
+  ++stats_.stale_notifications_ignored;
 }
 
 void OrionL2Side::send_migrate_cmd(RuId ru, PhyId dest,
@@ -557,6 +808,20 @@ void OrionL2Side::adopt_standby(RuId ru, PhyId phy, MacAddr orion_mac) {
                   config_.slots.slot_at(sim_.now()));
   SLOG_INFO("orion", "%s adopted new standby phy=%u for ru=%u", name_.c_str(),
             phy.value(), ru.value());
+}
+
+void OrionL2Side::adopt_standby_all(PhyId phy, MacAddr orion_mac) {
+  if (pool_mode_) {
+    add_pool_standby(phy, orion_mac);
+    return;
+  }
+  // A PHY can be the standby of several RUs; each needs its own init
+  // replay (the old per-RU adopt silently left the others cold).
+  for (auto& [ru_value, state] : rus_) {
+    if (state.secondary == phy || state.failed_phy == phy) {
+      adopt_standby(RuId{ru_value}, phy, orion_mac);
+    }
+  }
 }
 
 }  // namespace slingshot

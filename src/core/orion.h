@@ -217,6 +217,28 @@ struct OrionL2Stats {
   std::uint64_t drain_windows_expired = 0;
   std::uint64_t rehabilitations = 0;  // false-positive failovers rescinded
   std::uint64_t fapi_bytes_to_standby = 0;  // §8.5 network overhead
+  // ---- Standby-pool (N+K) extensions. All zero when the pool is
+  // unused, so the three-way identity above is unchanged for legacy
+  // configs; with a pool the full identity is
+  //   failure_notifications == failovers_initiated
+  //                          + duplicate_notifications_ignored
+  //                          + stale_notifications_ignored
+  //                          + unprotected_notifications
+  //                          + standby_failures.
+  // Notification for a primary whose pool is exhausted: the cell enters
+  // an explicit "unprotected" state (no stale swap) until a standby is
+  // added back, which then executes the failover.
+  std::uint64_t unprotected_notifications = 0;
+  // Notification for a PHY that is a pool standby (primary nowhere):
+  // the member is marked dead and the RUs it backed are re-pointed.
+  std::uint64_t standby_failures = 0;
+  // Secondary slots refilled from the pool (after a member was consumed
+  // by a promotion or died).
+  std::uint64_t standbys_reassigned = 0;
+  // Failovers executed when a standby arrived for an already-dead,
+  // unprotected primary (counted here, not in failovers_initiated, so
+  // the notification identity stays an identity).
+  std::uint64_t deferred_failovers_executed = 0;
 };
 
 class OrionL2Side final : public FapiSink {
@@ -229,8 +251,23 @@ class OrionL2Side final : public FapiSink {
   void connect_l2(ShmFapiPipe* to_l2) { to_l2_ = to_l2; }
   // Register a PHY-side Orion peer.
   void add_phy_peer(PhyId phy, MacAddr orion_mac);
-  // Configure which PHYs serve an RU.
+  // Configure which PHYs serve an RU (fixed primary/secondary pair).
   void set_ru_phys(RuId ru, PhyId primary, PhyId secondary);
+
+  // ---- Shared standby pool (N primaries backed by K hot standbys) ----
+  // The paper's deployment note: secondaries need no dedicated servers —
+  // one hot standby can back several primaries. Registering an RU with
+  // set_ru_primary (instead of set_ru_phys) draws its secondary from the
+  // pool; pool members are shared across RUs until a failover *consumes*
+  // one (promotes it to primary), at which point every other RU backed
+  // by it is re-pointed at the next available member — or enters an
+  // explicit "unprotected" state if the pool is exhausted. Never a
+  // stale swap onto an already-consumed standby.
+  void add_pool_standby(PhyId phy, MacAddr orion_mac);
+  void set_ru_primary(RuId ru, PhyId primary);
+  [[nodiscard]] bool pool_mode() const { return pool_mode_; }
+  // Pool members currently available as failover targets.
+  [[nodiscard]] std::size_t pool_available() const;
 
   // ---- FapiSink: requests arriving from the local L2 over SHM ----
   void on_fapi(FapiMessage&& msg) override;
@@ -242,6 +279,12 @@ class OrionL2Side final : public FapiSink {
   // bring up a replacement secondary after a failover consumed the old
   // one.
   void adopt_standby(RuId ru, PhyId phy, MacAddr orion_mac);
+  // Adopt a revived PHY as standby for *every* RU it backed (secondary
+  // or failed slot) — a PHY can be the standby of several RUs, and each
+  // needs its own init replay. In pool mode this returns the PHY to the
+  // pool, which also executes any deferred failovers for unprotected
+  // cells whose primary already died.
+  void adopt_standby_all(PhyId phy, MacAddr orion_mac);
 
   // Notification hook for experiments (called on failover initiation).
   void set_on_failover(std::function<void(const MigrationEvent&)> callback) {
@@ -280,6 +323,15 @@ class OrionL2Side final : public FapiSink {
     std::vector<FapiMessage> init_messages;
   };
 
+  // Shared-pool member lifecycle: available → consumed (promoted to
+  // primary by a failover) or dead (the standby itself failed). A
+  // revived PHY re-enters as available via add_pool_standby.
+  enum class PoolState : std::uint8_t { kAvailable, kConsumed, kDead };
+  struct PoolMember {
+    PhyId id;
+    PoolState state = PoolState::kAvailable;
+  };
+
   void handle_frame(Packet&& frame);
   void handle_failure_notification(PhyId failed);
   void handle_phy_indication(PhyId from, FapiMessage&& msg);
@@ -291,6 +343,11 @@ class OrionL2Side final : public FapiSink {
   // finalizing the swap once the boundary has passed.
   [[nodiscard]] std::pair<PhyId, PhyId> route_for_slot(RuState& state,
                                                        std::int64_t slot);
+  // Pool helpers (no-ops outside pool mode).
+  [[nodiscard]] PhyId next_pool_standby() const;
+  void assign_standby(RuState& state, PhyId phy);
+  void consume_pool_member(PhyId phy);
+  void initiate_failover(RuState& state, Nanos notified_at, bool deferred);
 
   Simulator& sim_;
   std::string name_;
@@ -300,6 +357,8 @@ class OrionL2Side final : public FapiSink {
   ShmFapiPipe* to_l2_ = nullptr;
   std::map<std::uint8_t, MacAddr> phy_peers_;
   std::map<std::uint8_t, RuState> rus_;
+  bool pool_mode_ = false;
+  std::vector<PoolMember> pool_;
   std::function<void(const MigrationEvent&)> on_failover_;
   OrionL2Tap* tap_ = nullptr;
   OrionL2Stats stats_;

@@ -55,8 +55,12 @@ const char* site_name(FaultSite site) {
 }  // namespace
 
 std::string describe(const FaultEvent& event) {
-  return std::string(fault_kind_name(event.kind)) + "@" + site_name(event.site) +
-         " t=" + std::to_string(event.at) + "ns n=" +
+  std::string s = std::string(fault_kind_name(event.kind)) + "@" +
+                  site_name(event.site);
+  if (event.phy != PhyId{}) {
+    s += " phy=" + std::to_string(event.phy.value());
+  }
+  return s + " t=" + std::to_string(event.at) + "ns n=" +
          std::to_string(event.count) + " d=" + std::to_string(event.duration) +
          "ns";
 }
@@ -122,6 +126,22 @@ FaultPlan make_random_fault_plan(RngStream& rng, Nanos start, Nanos end,
 
   std::sort(plan.events.begin(), plan.events.end(),
             [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return plan;
+}
+
+FaultPlan make_double_failure_plan(Nanos at, PhyId first, PhyId second,
+                                   Nanos gap) {
+  FaultPlan plan;
+  FaultEvent e1;
+  e1.at = at;
+  e1.kind = FaultKind::kKillPhy;
+  e1.phy = first;
+  plan.add(e1);
+  FaultEvent e2;
+  e2.at = at + gap;
+  e2.kind = FaultKind::kKillPhy;
+  e2.phy = second;
+  plan.add(e2);
   return plan;
 }
 

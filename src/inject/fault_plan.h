@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "common/time.h"
+#include "common/types.h"
 
 namespace slingshot {
 
@@ -53,6 +54,9 @@ struct FaultEvent {
   FaultSite site = FaultSite::kNone;
   int count = 1;       // frames affected / migration lead slots
   Nanos duration = 0;  // hang length or injected delay
+  // Multi-PHY deployments: explicit target for kKillPhy/kReviveStandby.
+  // PhyId{} (0) falls back to the legacy site-based/first-dead lookup.
+  PhyId phy{};
 };
 
 struct FaultPlan {
@@ -88,5 +92,11 @@ struct FaultPlan {
 [[nodiscard]] FaultPlan make_random_fault_plan(RngStream& rng, Nanos start,
                                                Nanos end, int num_events,
                                                bool include_failovers = true);
+
+// Concurrent double-failure: kill `first` at `at` and `second` `gap`
+// later (both within one detection window if `gap` is smaller than the
+// detector timeout) — the scale-out stress case for the shared pool.
+[[nodiscard]] FaultPlan make_double_failure_plan(Nanos at, PhyId first,
+                                                 PhyId second, Nanos gap);
 
 }  // namespace slingshot

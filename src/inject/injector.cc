@@ -171,7 +171,9 @@ void FaultInjector::arm(const FaultPlan& plan) {
 void FaultInjector::apply(const FaultEvent& event) {
   switch (event.kind) {
     case FaultKind::kKillPhy:
-      if (event.site == FaultSite::kPhyA) {
+      if (event.phy != PhyId{}) {
+        tb_.kill_phy(event.phy);
+      } else if (event.site == FaultSite::kPhyA) {
         tb_.phy_a().kill();
       } else if (event.site == FaultSite::kPhyB) {
         tb_.phy_b().kill();
@@ -187,7 +189,11 @@ void FaultInjector::apply(const FaultEvent& event) {
       break;
     }
     case FaultKind::kReviveStandby:
-      tb_.revive_dead_phy_as_standby();
+      if (event.phy != PhyId{}) {
+        tb_.revive_phy_as_standby(event.phy);
+      } else {
+        tb_.revive_dead_phy_as_standby();
+      }
       break;
     case FaultKind::kPlannedMigration:
       tb_.planned_migration(event.count);

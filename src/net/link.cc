@@ -7,16 +7,19 @@ namespace slingshot {
 void Link::send(Packet&& packet, bool a_to_b) {
   FrameSink* receiver = a_to_b ? side_b_ : side_a_;
   if (receiver == nullptr) {
-    ++dropped_;
+    ++dropped_no_receiver_;
+    return;
+  }
+  // The fault hook runs *before* the random-loss gate: an injected drop
+  // must not depend on (or perturb) the loss RNG stream, so fault plans
+  // replay identically under lossy link configs.
+  if (fault_hook_ && !fault_hook_(packet, a_to_b)) {
+    ++dropped_fault_;
     return;
   }
   if (config_.loss_probability > 0.0 &&
       loss_rng_.bernoulli(config_.loss_probability)) {
-    ++dropped_;
-    return;
-  }
-  if (fault_hook_ && !fault_hook_(packet, a_to_b)) {
-    ++dropped_;
+    ++dropped_loss_;
     return;
   }
   Nanos& busy_until = a_to_b ? busy_until_ab_ : busy_until_ba_;

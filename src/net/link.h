@@ -34,7 +34,16 @@ class Link {
   void send_from_b(Packet&& packet) { send(std::move(packet), /*a_to_b=*/false); }
 
   [[nodiscard]] const LinkConfig& config() const { return config_; }
-  [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
+  // Split drop causes. frames_dropped() stays the sum so existing
+  // callers keep seeing the aggregate.
+  [[nodiscard]] std::uint64_t frames_dropped() const {
+    return dropped_no_receiver_ + dropped_loss_ + dropped_fault_;
+  }
+  [[nodiscard]] std::uint64_t dropped_no_receiver() const {
+    return dropped_no_receiver_;
+  }
+  [[nodiscard]] std::uint64_t dropped_loss() const { return dropped_loss_; }
+  [[nodiscard]] std::uint64_t dropped_fault() const { return dropped_fault_; }
   [[nodiscard]] std::uint64_t frames_delivered() const { return delivered_; }
 
   // Fault-injection hook (src/inject): sees every frame before it is
@@ -54,7 +63,9 @@ class Link {
   FrameSink* side_b_ = nullptr;
   Nanos busy_until_ab_ = 0;
   Nanos busy_until_ba_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_no_receiver_ = 0;
+  std::uint64_t dropped_loss_ = 0;
+  std::uint64_t dropped_fault_ = 0;
   std::uint64_t delivered_ = 0;
 };
 

@@ -40,12 +40,46 @@ class MatchActionTable {
                    ControlPlaneLatencyModel latency = {})
       : sim_(&sim), rng_(std::move(rng)), latency_(latency) {}
 
+  // Pending delayed installs capture `this`; a table torn down mid-run
+  // (the PHY pool shrinking, a testbed rebuilt between bench phases)
+  // must not leave callbacks poking freed memory.
+  ~MatchActionTable() {
+    for (auto& p : pending_) {
+      p.handle.cancel();
+    }
+  }
+
+  MatchActionTable(const MatchActionTable&) = delete;
+  MatchActionTable& operator=(const MatchActionTable&) = delete;
+
   // Control-plane insert: takes effect after a sampled rule-update
   // latency. Returns the virtual time at which the rule lands.
+  //
+  // Installs are applied in *issue order* per key, not in sampled-
+  // latency order: the driver/gRPC channel to a real switch serializes
+  // updates to one table entry, so a later update can never be undone
+  // by an earlier one whose (longer) latency sample lands after it.
+  // Each insert carries a per-key sequence number; a landing callback
+  // whose sequence is older than the newest already-landed one for that
+  // key is a stale land and is dropped.
   Nanos control_plane_insert(const Key& key, const Value& value) {
     const Nanos delay = latency_.sample(rng_);
-    sim_->after(delay, [this, key, value] { entries_[key] = value; });
-    return sim_->now() + delay;
+    const std::uint64_t seq = ++issue_seq_[key];
+    prune_pending();
+    auto handle = sim_->after(delay, [this, key, value, seq] {
+      auto [it, fresh] = landed_seq_.try_emplace(key, seq);
+      if (!fresh) {
+        if (it->second >= seq) {
+          ++stale_lands_dropped_;
+          return;  // a newer update already landed for this key
+        }
+        it->second = seq;
+      }
+      entries_[key] = value;
+    });
+    const Nanos lands_at = sim_->now() + delay;
+    pending_.push_back(Pending{lands_at, handle});
+    return lands_at;
   }
 
   // Instant insert for initialization time (before traffic starts) —
@@ -61,12 +95,33 @@ class MatchActionTable {
   }
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t stale_lands_dropped() const {
+    return stale_lands_dropped_;
+  }
 
  private:
+  struct Pending {
+    Nanos lands_at = 0;
+    EventHandle handle;
+  };
+
+  void prune_pending() {
+    if (pending_.size() < 64) {
+      return;
+    }
+    const Nanos now = sim_->now();
+    std::erase_if(pending_,
+                  [now](const Pending& p) { return p.lands_at <= now; });
+  }
+
   Simulator* sim_;
   RngStream rng_;
   ControlPlaneLatencyModel latency_;
   std::unordered_map<Key, Value> entries_;
+  std::unordered_map<Key, std::uint64_t> issue_seq_;
+  std::unordered_map<Key, std::uint64_t> landed_seq_;
+  std::vector<Pending> pending_;
+  std::uint64_t stale_lands_dropped_ = 0;
 };
 
 // Fixed-size register array, readable and writable from the data plane

@@ -1,12 +1,18 @@
 #include "testbed/testbed.h"
 
+#include <algorithm>
+#include <string>
+
 #include "common/log.h"
 #include "obs/obs.h"
 
 namespace slingshot {
 namespace {
 
-// Station MAC plan for the edge datacenter.
+// Station MAC plan for the edge datacenter. Slots 0/1 keep the original
+// A/B addresses; extra cells and pool PHYs extend into ranges chosen so
+// no extension collides with a legacy address (0x1A01 + p would hit the
+// Orion range at p = 16).
 constexpr std::uint64_t kRuMac = 0x0A01;
 constexpr std::uint64_t kRu2Mac = 0x0A02;
 constexpr std::uint64_t kPhyAMac = 0x1A01;
@@ -20,12 +26,95 @@ constexpr std::uint64_t kL2GwMac = 0x3B01;
 constexpr std::uint64_t kL2bGwMac = 0x3B02;
 constexpr std::uint64_t kBaselineCtlMac = 0x3C01;
 
+std::uint64_t ru_mac_for(int cell) {
+  return cell == 0 ? kRuMac : cell == 1 ? kRu2Mac : kRuMac + std::uint64_t(cell);
+}
+
+std::uint64_t phy_mac_for(int index) {
+  if (index == 0) {
+    return kPhyAMac;
+  }
+  if (index == 1) {
+    return kPhyBMac;
+  }
+  return 0x4A01 + std::uint64_t(index);
+}
+
+std::uint64_t orion_mac_for(int index) {
+  if (index == 0) {
+    return kOrionAMac;
+  }
+  if (index == 1) {
+    return kOrionBMac;
+  }
+  return 0x5A01 + std::uint64_t(index);
+}
+
+// Naming keeps the legacy "a"/"b" suffixes for slots 0/1 (component
+// names feed name-derived RNG streams — see common/rng.h — so they are
+// part of the golden-trace contract).
+std::string unit_suffix(int index) {
+  if (index == 0) {
+    return "a";
+  }
+  if (index == 1) {
+    return "b";
+  }
+  return std::to_string(index);
+}
+
+std::string ru_name_for(int cell) {
+  return cell == 0 ? "ru" : "ru" + std::to_string(cell + 1);
+}
+
+// UE ids: cell 0 uses 1.., cell c uses 100*c+1.. (cell 1's 101.. is the
+// legacy num_ues_ru2 numbering).
+std::uint16_t ue_base_id(int cell) {
+  return cell == 0 ? 1 : std::uint16_t(100 * cell + 1);
+}
+
 }  // namespace
 
 Testbed::Testbed(TestbedConfig config) : config_(config), sim_(config.seed) {
   if (config_.ue.grant_starvation_timeout == 0) {
     config_.ue.grant_starvation_timeout = 300_ms;
   }
+  // Normalize the cell plan. The legacy num_ues/num_ues_ru2 form maps
+  // onto one or two cells with the fixed cross-assigned A/B pair; the
+  // `cells` form switches to dedicated primaries + a shared pool.
+  if (!config_.cells.empty()) {
+    pool_wiring_ = true;
+    for (const auto& spec : config_.cells) {
+      CellPlan p;
+      p.num_ues = spec.num_ues;
+      p.snrs = spec.ue_mean_snr_db;
+      plan_.push_back(std::move(p));
+    }
+    const int n = int(plan_.size());
+    num_phys_ = config_.num_phys > 0
+                    ? config_.num_phys
+                    : n + std::max(0, config_.standby_pool_size);
+    num_phys_ = std::max(num_phys_, n);
+  } else {
+    CellPlan p0;
+    p0.num_ues = config_.num_ues;
+    p0.snrs = config_.ue_mean_snr_db;
+    if (int(p0.snrs.size()) > config_.num_ues) {
+      p0.snrs.resize(std::size_t(config_.num_ues));
+    }
+    plan_.push_back(std::move(p0));
+    if (config_.num_ues_ru2 > 0) {
+      CellPlan p1;
+      p1.num_ues = config_.num_ues_ru2;
+      for (std::size_t i = std::size_t(config_.num_ues);
+           i < config_.ue_mean_snr_db.size(); ++i) {
+        p1.snrs.push_back(config_.ue_mean_snr_db[i]);
+      }
+      plan_.push_back(std::move(p1));
+    }
+    num_phys_ = 2;
+  }
+
   log_time_.install([this] { return sim_.now(); });
   build_fabric();
   build_vran();
@@ -52,8 +141,29 @@ Testbed::~Testbed() {
   }
 }
 
+int Testbed::primary_phy_index(int cell) const {
+  if (pool_wiring_) {
+    return cell;  // dedicated primary per cell
+  }
+  return cell == 0 ? 0 : 1;  // legacy cross-assignment
+}
+
+PhyProcess* Testbed::phy_by_id(PhyId id) {
+  const int index = int(id.value()) - 1;
+  if (index < 0 || index >= int(phys_.size())) {
+    return nullptr;
+  }
+  return phys_[std::size_t(index)].get();
+}
+
 void Testbed::build_fabric() {
-  switch_ = std::make_unique<ProgrammableSwitch>(sim_, 12);
+  const int num_cells = int(plan_.size());
+  // Port plan: 0..9 are the legacy stations, extra RUs start at 10
+  // (so the legacy ru2 keeps port 10), extra PHYs + their Orions follow.
+  const int extra_base = 10 + std::max(0, num_cells - 1);
+  const int ports_needed = extra_base + 2 * std::max(0, num_phys_ - 2);
+  switch_ = std::make_unique<ProgrammableSwitch>(sim_,
+                                                 std::max(12, ports_needed));
   auto add_station = [&](int port, std::uint64_t mac) -> Nic* {
     links_.push_back(std::make_unique<Link>(
         sim_, config_.link, sim_.rng().stream("link.loss", std::uint64_t(port))));
@@ -63,18 +173,23 @@ void Testbed::build_fabric() {
     switch_->add_l2_route(MacAddr{mac}, port);
     return nics_.back().get();
   };
-  ru_nic_ = add_station(0, kRuMac);
-  phy_a_nic_ = add_station(1, kPhyAMac);
-  phy_b_nic_ = add_station(2, kPhyBMac);
-  orion_a_nic_ = add_station(3, kOrionAMac);
-  orion_b_nic_ = add_station(4, kOrionBMac);
+  ru_nics_.push_back(add_station(0, ru_mac_for(0)));
+  phy_nics_.push_back(add_station(1, phy_mac_for(0)));
+  phy_nics_.push_back(add_station(2, phy_mac_for(1)));
+  orion_phy_nics_.push_back(add_station(3, orion_mac_for(0)));
+  orion_phy_nics_.push_back(add_station(4, orion_mac_for(1)));
   orion_l2_nic_ = add_station(5, kOrionL2Mac);
   app_nic_ = add_station(6, kAppServerMac);
   l2_gw_nic_ = add_station(7, kL2GwMac);
   l2b_gw_nic_ = add_station(8, kL2bGwMac);
   baseline_ctl_nic_ = add_station(9, kBaselineCtlMac);
-  if (config_.num_ues_ru2 > 0) {
-    ru2_nic_ = add_station(10, kRu2Mac);
+  for (int c = 1; c < num_cells; ++c) {
+    ru_nics_.push_back(add_station(10 + (c - 1), ru_mac_for(c)));
+  }
+  for (int p = 2; p < num_phys_; ++p) {
+    phy_nics_.push_back(add_station(extra_base + 2 * (p - 2), phy_mac_for(p)));
+    orion_phy_nics_.push_back(
+        add_station(extra_base + 2 * (p - 2) + 1, orion_mac_for(p)));
   }
 
   // The middlebox must share the deployment's numerology or its boundary
@@ -82,71 +197,71 @@ void Testbed::build_fabric() {
   auto mbox_cfg = config_.mbox;
   mbox_cfg.slots = config_.slots;
   mbox_ = std::make_shared<FronthaulMiddlebox>(sim_, mbox_cfg);
-  mbox_->register_ru(kRu, MacAddr{kRuMac});
-  mbox_->register_phy(kPhyA, MacAddr{kPhyAMac});
-  mbox_->register_phy(kPhyB, MacAddr{kPhyBMac});
-  mbox_->bind_ru_to_phy(kRu, kPhyA);
-  if (config_.num_ues_ru2 > 0) {
-    mbox_->register_ru(kRu2, MacAddr{kRu2Mac});
-    mbox_->bind_ru_to_phy(kRu2, kPhyB);  // cross-assigned primary
+  mbox_->register_ru(ru_id(0), MacAddr{ru_mac_for(0)});
+  for (int p = 0; p < num_phys_; ++p) {
+    mbox_->register_phy(phy_id(p), MacAddr{phy_mac_for(p)});
+  }
+  mbox_->bind_ru_to_phy(ru_id(0), phy_id(primary_phy_index(0)));
+  for (int c = 1; c < num_cells; ++c) {
+    mbox_->register_ru(ru_id(c), MacAddr{ru_mac_for(c)});
+    mbox_->bind_ru_to_phy(ru_id(c), phy_id(primary_phy_index(c)));
   }
   mbox_->set_dl_source_filter(config_.dl_source_filter);
   switch_->install_program(mbox_);
 }
 
 void Testbed::build_vran() {
-  PhyConfig phy_cfg = config_.phy;
-  phy_cfg.slots = config_.slots;
-  phy_cfg.obs_phy_id = kPhyA.value();
-  phy_a_ = std::make_unique<PhyProcess>(sim_, "phy-a", phy_cfg, *phy_a_nic_);
-  PhyConfig phy_b_cfg = phy_cfg;
-  phy_b_cfg.obs_phy_id = kPhyB.value();
-  if (config_.secondary_ldpc_iters > 0) {
-    phy_b_cfg.ldpc_max_iters = config_.secondary_ldpc_iters;
+  const int num_cells = int(plan_.size());
+  for (int p = 0; p < num_phys_; ++p) {
+    PhyConfig phy_cfg = config_.phy;
+    phy_cfg.slots = config_.slots;
+    phy_cfg.obs_phy_id = phy_id(p).value();
+    // secondary_ldpc_iters models an upgraded PHY build on the standby
+    // side: PHY-B in the legacy pair, the pool members in pool wiring.
+    const bool is_standby = pool_wiring_ ? p >= num_cells : p == 1;
+    if (is_standby && config_.secondary_ldpc_iters > 0) {
+      phy_cfg.ldpc_max_iters = config_.secondary_ldpc_iters;
+    }
+    phys_.push_back(std::make_unique<PhyProcess>(
+        sim_, "phy-" + unit_suffix(p), phy_cfg, *phy_nics_[std::size_t(p)]));
   }
-  phy_b_ = std::make_unique<PhyProcess>(sim_, "phy-b", phy_b_cfg, *phy_b_nic_);
-  phy_a_->add_ru_binding(kRu, MacAddr{kRuMac});
-  phy_b_->add_ru_binding(kRu, MacAddr{kRuMac});
-  if (config_.num_ues_ru2 > 0) {
-    phy_a_->add_ru_binding(kRu2, MacAddr{kRu2Mac});
-    phy_b_->add_ru_binding(kRu2, MacAddr{kRu2Mac});
+  for (int c = 0; c < num_cells; ++c) {
+    for (int p = 0; p < num_phys_; ++p) {
+      phys_[std::size_t(p)]->add_ru_binding(ru_id(c), MacAddr{ru_mac_for(c)});
+    }
   }
 
   L2Config l2_cfg = config_.l2;
   l2_cfg.slots = config_.slots;
   l2_ = std::make_unique<L2Process>(sim_, "l2", l2_cfg);
 
-  RuConfig ru_cfg;
-  ru_cfg.id = kRu;
-  ru_cfg.slots = config_.slots;
-  ru_cfg.virtual_phy_mac = MacAddr{kVirtualPhyMac};
-  ru_ = std::make_unique<RadioUnit>(sim_, "ru", ru_cfg, *ru_nic_);
-  if (config_.num_ues_ru2 > 0) {
-    RuConfig ru2_cfg = ru_cfg;
-    ru2_cfg.id = kRu2;
-    ru2_ = std::make_unique<RadioUnit>(sim_, "ru2", ru2_cfg, *ru2_nic_);
+  for (int c = 0; c < num_cells; ++c) {
+    RuConfig ru_cfg;
+    ru_cfg.id = ru_id(c);
+    ru_cfg.slots = config_.slots;
+    ru_cfg.virtual_phy_mac = MacAddr{kVirtualPhyMac};
+    rus_.push_back(std::make_unique<RadioUnit>(
+        sim_, ru_name_for(c), ru_cfg, *ru_nics_[std::size_t(c)]));
   }
 
-  auto make_ue = [&](int index, std::uint16_t id, RadioUnit& serving_ru) {
-    UeConfig ue_cfg = config_.ue;
-    ue_cfg.id = UeId{id};
-    ue_cfg.slots = config_.slots;
-    FadingConfig fading = config_.fading;
-    if (index < int(config_.ue_mean_snr_db.size())) {
-      fading.mean_snr_db = config_.ue_mean_snr_db[std::size_t(index)];
+  for (int c = 0; c < num_cells; ++c) {
+    const auto& cell = plan_[std::size_t(c)];
+    for (int i = 0; i < cell.num_ues; ++i) {
+      UeConfig ue_cfg = config_.ue;
+      ue_cfg.id = UeId{std::uint16_t(ue_base_id(c) + i)};
+      ue_cfg.slots = config_.slots;
+      FadingConfig fading = config_.fading;
+      if (i < int(cell.snrs.size())) {
+        fading.mean_snr_db = cell.snrs[std::size_t(i)];
+      }
+      auto ue = std::make_unique<UserEquipment>(
+          sim_, "ue-" + std::to_string(ue_cfg.id.value()), ue_cfg, fading,
+          sim_.rng().stream("ue.chan", std::uint64_t(ue_cfg.id.value())));
+      rus_[std::size_t(c)]->attach_ue(ue.get());
+      ue_pipes_.push_back(make_ue_modem_pipe(*ue));
+      ues_.push_back(std::move(ue));
+      ue_cell_.push_back(c);
     }
-    auto ue = std::make_unique<UserEquipment>(
-        sim_, "ue-" + std::to_string(id), ue_cfg, fading,
-        sim_.rng().stream("ue.chan", std::uint64_t(id)));
-    serving_ru.attach_ue(ue.get());
-    ue_pipes_.push_back(make_ue_modem_pipe(*ue));
-    ues_.push_back(std::move(ue));
-  };
-  for (int i = 0; i < config_.num_ues; ++i) {
-    make_ue(i, std::uint16_t(i + 1), *ru_);
-  }
-  for (int i = 0; i < config_.num_ues_ru2; ++i) {
-    make_ue(config_.num_ues + i, std::uint16_t(101 + i), *ru2_);
   }
 
   app_server_ =
@@ -156,14 +271,15 @@ void Testbed::build_vran() {
 }
 
 void Testbed::wire_slingshot() {
-  orion_a_ = std::make_unique<OrionPhySide>(sim_, "orion-a", *orion_a_nic_,
-                                            config_.orion_costs);
-  orion_b_ = std::make_unique<OrionPhySide>(sim_, "orion-b", *orion_b_nic_,
-                                            config_.orion_costs);
-  // The loss-compensation watchdog ticks per TTI; give both sides the
-  // deployment numerology instead of the default.
-  orion_a_->set_slot_config(config_.slots);
-  orion_b_->set_slot_config(config_.slots);
+  const int num_cells = int(plan_.size());
+  for (int p = 0; p < num_phys_; ++p) {
+    orion_phys_.push_back(std::make_unique<OrionPhySide>(
+        sim_, "orion-" + unit_suffix(p), *orion_phy_nics_[std::size_t(p)],
+        config_.orion_costs));
+    // The loss-compensation watchdog ticks per TTI; give every side the
+    // deployment numerology instead of the default.
+    orion_phys_.back()->set_slot_config(config_.slots);
+  }
   OrionL2Config ol2;
   ol2.slots = config_.slots;
   ol2.standby_mode = config_.standby_mode;
@@ -182,27 +298,38 @@ void Testbed::wire_slingshot() {
   orion_l2_->connect_l2(mbx_to_l2_.get());
 
   // PHY-side Orions <-> PHYs over SHM.
-  to_phy_a_ = std::make_unique<ShmFapiPipe>(sim_);
-  to_phy_a_->connect(phy_a_.get());
-  orion_a_->connect_phy(to_phy_a_.get());
-  phy_a_out_ = std::make_unique<ShmFapiPipe>(sim_);
-  phy_a_out_->connect(orion_a_.get());
-  phy_a_->connect_fapi_out(phy_a_out_.get());
+  for (int p = 0; p < num_phys_; ++p) {
+    auto to_phy = std::make_unique<ShmFapiPipe>(sim_);
+    to_phy->connect(phys_[std::size_t(p)].get());
+    orion_phys_[std::size_t(p)]->connect_phy(to_phy.get());
+    to_phy_pipes_.push_back(std::move(to_phy));
+    auto phy_out = std::make_unique<ShmFapiPipe>(sim_);
+    phy_out->connect(orion_phys_[std::size_t(p)].get());
+    phys_[std::size_t(p)]->connect_fapi_out(phy_out.get());
+    phy_out_pipes_.push_back(std::move(phy_out));
+  }
 
-  to_phy_b_ = std::make_unique<ShmFapiPipe>(sim_);
-  to_phy_b_->connect(phy_b_.get());
-  orion_b_->connect_phy(to_phy_b_.get());
-  phy_b_out_ = std::make_unique<ShmFapiPipe>(sim_);
-  phy_b_out_->connect(orion_b_.get());
-  phy_b_->connect_fapi_out(phy_b_out_.get());
-
-  orion_a_->set_l2_orion_mac(MacAddr{kOrionL2Mac});
-  orion_b_->set_l2_orion_mac(MacAddr{kOrionL2Mac});
-  orion_l2_->add_phy_peer(kPhyA, MacAddr{kOrionAMac});
-  orion_l2_->add_phy_peer(kPhyB, MacAddr{kOrionBMac});
-  orion_l2_->set_ru_phys(kRu, kPhyA, kPhyB);
-  if (config_.num_ues_ru2 > 0) {
-    orion_l2_->set_ru_phys(kRu2, kPhyB, kPhyA);  // cross-assigned
+  for (int p = 0; p < num_phys_; ++p) {
+    orion_phys_[std::size_t(p)]->set_l2_orion_mac(MacAddr{kOrionL2Mac});
+  }
+  if (pool_wiring_) {
+    for (int p = 0; p < num_phys_; ++p) {
+      orion_l2_->add_phy_peer(phy_id(p), MacAddr{orion_mac_for(p)});
+    }
+    // Pool members first, so every set_ru_primary finds a standby.
+    for (int p = num_cells; p < num_phys_; ++p) {
+      orion_l2_->add_pool_standby(phy_id(p), MacAddr{orion_mac_for(p)});
+    }
+    for (int c = 0; c < num_cells; ++c) {
+      orion_l2_->set_ru_primary(ru_id(c), phy_id(primary_phy_index(c)));
+    }
+  } else {
+    orion_l2_->add_phy_peer(kPhyA, MacAddr{kOrionAMac});
+    orion_l2_->add_phy_peer(kPhyB, MacAddr{kOrionBMac});
+    orion_l2_->set_ru_phys(kRu, kPhyA, kPhyB);
+    if (num_cells > 1) {
+      orion_l2_->set_ru_phys(kRu2, kPhyB, kPhyA);  // cross-assigned
+    }
   }
 }
 
@@ -210,11 +337,12 @@ void Testbed::wire_coupled() {
   // Tightly-coupled deployment: the L2 and PHY exchange FAPI directly
   // over SHM (§2.2); the standby PHY is left idle.
   l2_to_mbx_ = std::make_unique<ShmFapiPipe>(sim_);
-  l2_to_mbx_->connect(phy_a_.get());
+  l2_to_mbx_->connect(phys_[0].get());
   l2_->connect_fapi_out(l2_to_mbx_.get());
-  phy_a_out_ = std::make_unique<ShmFapiPipe>(sim_);
-  phy_a_out_->connect(l2_.get());
-  phy_a_->connect_fapi_out(phy_a_out_.get());
+  auto phy_out = std::make_unique<ShmFapiPipe>(sim_);
+  phy_out->connect(l2_.get());
+  phys_[0]->connect_fapi_out(phy_out.get());
+  phy_out_pipes_.push_back(std::move(phy_out));
 }
 
 void Testbed::wire_baseline() {
@@ -222,21 +350,22 @@ void Testbed::wire_baseline() {
   // l2 + phy-a; hot backup: l2b + phy-b with identical configuration
   // but no UE contexts.
   l2_to_mbx_ = std::make_unique<ShmFapiPipe>(sim_);
-  l2_to_mbx_->connect(phy_a_.get());
+  l2_to_mbx_->connect(phys_[0].get());
   l2_->connect_fapi_out(l2_to_mbx_.get());
-  phy_a_out_ = std::make_unique<ShmFapiPipe>(sim_);
-  phy_a_out_->connect(l2_.get());
-  phy_a_->connect_fapi_out(phy_a_out_.get());
+  auto phy_out = std::make_unique<ShmFapiPipe>(sim_);
+  phy_out->connect(l2_.get());
+  phys_[0]->connect_fapi_out(phy_out.get());
+  phy_out_pipes_.push_back(std::move(phy_out));
 
   L2Config l2b_cfg = config_.l2;
   l2b_cfg.slots = config_.slots;
   l2b_ = std::make_unique<L2Process>(sim_, "l2-backup", l2b_cfg);
   l2b_to_phy_b_ = std::make_unique<ShmFapiPipe>(sim_);
-  l2b_to_phy_b_->connect(phy_b_.get());
+  l2b_to_phy_b_->connect(phys_[1].get());
   l2b_->connect_fapi_out(l2b_to_phy_b_.get());
   phy_b_to_l2b_ = std::make_unique<ShmFapiPipe>(sim_);
   phy_b_to_l2b_->connect(l2b_.get());
-  phy_b_->connect_fapi_out(phy_b_to_l2b_.get());
+  phys_[1]->connect_fapi_out(phy_b_to_l2b_.get());
 
   l2b_gw_ = std::make_unique<L2UserGateway>(*l2b_gw_nic_, *l2b_,
                                             MacAddr{kAppServerMac});
@@ -268,34 +397,34 @@ void Testbed::wire_baseline() {
 }
 
 void Testbed::start() {
-  phy_a_->power_on();
-  phy_b_->power_on();
+  for (auto& phy : phys_) {
+    phy->power_on();
+  }
   l2_->power_on();
-  l2_->start_carrier(CarrierConfig{kRu});
-  if (config_.num_ues_ru2 > 0) {
-    l2_->start_carrier(CarrierConfig{kRu2});
+  for (int c = 0; c < num_cells(); ++c) {
+    l2_->start_carrier(CarrierConfig{ru_id(c)});
   }
   if (l2b_) {
     l2b_->power_on();
     l2b_->start_carrier(CarrierConfig{kRu});
   }
-  ru_->power_on();
-  if (ru2_) {
-    ru2_->power_on();
+  for (auto& ru : rus_) {
+    ru->power_on();
   }
 
-  for (auto& ue : ues_) {
-    const RuId serving = ue->id().value() >= 101 ? kRu2 : kRu;
+  for (std::size_t i = 0; i < ues_.size(); ++i) {
+    auto& ue = ues_[i];
+    const RuId serving = ru_id(ue_cell_[i]);
     ue->power_on();
     l2_->add_ue(ue->id(), serving);
     UserEquipment* raw = ue.get();
-    ue->set_on_reattached([this, raw] {
+    ue->set_on_reattached([this, raw, serving] {
       L2Process* active =
           (config_.mode == TestbedMode::kBaselineFailover &&
            baseline_failed_over_)
               ? l2b_.get()
               : l2_.get();
-      active->add_ue(raw->id(), raw->id().value() >= 101 ? kRu2 : kRu);
+      active->add_ue(raw->id(), serving);
     });
     // Server-side pipes exist from the start (apps bind to them).
     (void)app_server_->pipe_for(ue->id());
@@ -303,20 +432,41 @@ void Testbed::start() {
 
   // Failure detection: the packet generator emulates the timeout; arm
   // watches after a short grace period so the detector does not fire
-  // before the PHYs' first heartbeats.
+  // before the PHYs' first heartbeats. Every *fed* PHY is watched —
+  // assigned pool standbys included, so a dying standby is detected.
+  // Idle pool members (not yet backing any cell) get no FAPI feed and
+  // hence no heartbeats; arming their detector would fire a false
+  // failure. Orion arms a member's watch when it assigns it.
   switch_->start_packet_generator(mbox_->generator_period());
   const MacAddr notify_mac = config_.mode == TestbedMode::kSlingshot
                                  ? MacAddr{kOrionL2Mac}
                                  : MacAddr{kBaselineCtlMac};
   if (config_.mode != TestbedMode::kCoupledNoOrion) {
     sim_.after(5_ms, [this, notify_mac] {
-      mbox_->watch_phy(kPhyA, notify_mac);
-      mbox_->watch_phy(kPhyB, notify_mac);
+      for (int p = 0; p < num_phys_; ++p) {
+        const PhyId id = phy_id(p);
+        if (pool_wiring_ && orion_l2_ != nullptr) {
+          bool in_use = false;
+          for (int c = 0; c < num_cells() && !in_use; ++c) {
+            in_use = orion_l2_->active_phy(ru_id(c)) == id ||
+                     orion_l2_->standby_phy(ru_id(c)) == id;
+          }
+          if (!in_use) {
+            continue;
+          }
+        }
+        mbox_->watch_phy(id, notify_mac);
+      }
     });
   }
 }
 
-void Testbed::kill_primary_phy() { phy_a_->kill(); }
+void Testbed::kill_phy(PhyId phy) {
+  PhyProcess* p = phy_by_id(phy);
+  if (p != nullptr) {
+    p->kill();
+  }
+}
 
 void Testbed::planned_migration(int lead_slots) {
   planned_migration_of(kRu, lead_slots);
@@ -355,9 +505,11 @@ void Testbed::planned_migration_with_state_transfer(int lead_slots) {
     return;
   }
   const auto boundary = config_.slots.slot_at(sim_.now()) + lead_slots;
-  PhyProcess* from = orion_l2_->active_phy(kRu) == kPhyA ? phy_a_.get()
-                                                         : phy_b_.get();
-  PhyProcess* to = from == phy_a_.get() ? phy_b_.get() : phy_a_.get();
+  PhyProcess* from = phy_by_id(orion_l2_->active_phy(kRu));
+  PhyProcess* to = phy_by_id(orion_l2_->standby_phy(kRu));
+  if (from == nullptr || to == nullptr) {
+    return;
+  }
   orion_l2_->migrate(kRu, boundary);
   // Oracle: hand the destination the source's soft state at the
   // boundary instant.
@@ -365,24 +517,32 @@ void Testbed::planned_migration_with_state_transfer(int lead_slots) {
           [from, to] { to->transfer_soft_state_from(*from); });
 }
 
-void Testbed::revive_dead_phy_as_standby() {
+void Testbed::revive_phy_as_standby(PhyId phy) {
   if (orion_l2_ == nullptr) {
     return;
   }
-  PhyProcess* dead = !phy_a_->alive() ? phy_a_.get()
-                     : !phy_b_->alive() ? phy_b_.get()
-                                        : nullptr;
-  if (dead == nullptr) {
+  PhyProcess* dead = phy_by_id(phy);
+  if (dead == nullptr || dead->alive()) {
     return;
   }
-  const bool is_a = dead == phy_a_.get();
   dead->restart();
-  orion_l2_->adopt_standby(kRu, is_a ? kPhyA : kPhyB,
-                           MacAddr{is_a ? kOrionAMac : kOrionBMac});
+  // Init replay covers every RU this PHY backs — a standby shared by
+  // several cells must come back warm for all of them.
+  orion_l2_->adopt_standby_all(phy,
+                               MacAddr{orion_mac_for(int(phy.value()) - 1)});
   // Re-arm the failure detector once the revived PHY's heartbeats flow.
-  sim_.after(5_ms, [this, is_a] {
-    mbox_->watch_phy(is_a ? kPhyA : kPhyB, MacAddr{kOrionL2Mac});
+  sim_.after(5_ms, [this, phy] {
+    mbox_->watch_phy(phy, MacAddr{kOrionL2Mac});
   });
+}
+
+void Testbed::revive_dead_phy_as_standby() {
+  for (int p = 0; p < num_phys_; ++p) {
+    if (!phys_[std::size_t(p)]->alive()) {
+      revive_phy_as_standby(phy_id(p));
+      return;
+    }
+  }
 }
 
 DatagramPipe& Testbed::server_pipe(int i) {
@@ -432,14 +592,17 @@ void Testbed::attach_observability(obs::Observability& o) {
       return double(phy->stats().null_slots);
     });
   };
-  phy_gauges("phy.a", phy_a_.get());
-  phy_gauges("phy.b", phy_b_.get());
-  if (ru_ != nullptr) {
-    reg.gauge("ru.dropped_ttis")->bind([this] {
-      return double(ru_->stats().dropped_ttis);
+  for (int p = 0; p < num_phys_; ++p) {
+    phy_gauges("phy." + unit_suffix(p), phys_[std::size_t(p)].get());
+  }
+  for (int c = 0; c < num_cells(); ++c) {
+    RadioUnit* ru = rus_[std::size_t(c)].get();
+    const std::string prefix = ru_name_for(c);
+    reg.gauge(prefix + ".dropped_ttis")->bind([ru] {
+      return double(ru->stats().dropped_ttis);
     });
-    reg.gauge("ru.dl_cplane_rx")->bind([this] {
-      return double(ru_->stats().dl_cplane_rx);
+    reg.gauge(prefix + ".dl_cplane_rx")->bind([ru] {
+      return double(ru->stats().dl_cplane_rx);
     });
   }
   if (l2_ != nullptr) {
@@ -461,6 +624,29 @@ void Testbed::attach_observability(obs::Observability& o) {
       return double(mbox_->stats().dl_blocked);
     });
   }
+  // Split link-drop counters (no receiver / random loss / fault hook),
+  // summed over every fabric link.
+  reg.gauge("net.dropped_no_receiver")->bind([this] {
+    std::uint64_t n = 0;
+    for (const auto& link : links_) {
+      n += link->dropped_no_receiver();
+    }
+    return double(n);
+  });
+  reg.gauge("net.dropped_loss")->bind([this] {
+    std::uint64_t n = 0;
+    for (const auto& link : links_) {
+      n += link->dropped_loss();
+    }
+    return double(n);
+  });
+  reg.gauge("net.dropped_fault")->bind([this] {
+    std::uint64_t n = 0;
+    for (const auto& link : links_) {
+      n += link->dropped_fault();
+    }
+    return double(n);
+  });
   if (orion_l2_ != nullptr) {
     reg.gauge("orion.failure_notifications")->bind([this] {
       return double(orion_l2_->stats().failure_notifications);
@@ -477,13 +663,25 @@ void Testbed::attach_observability(obs::Observability& o) {
     reg.gauge("orion.drain_windows_expired")->bind([this] {
       return double(orion_l2_->stats().drain_windows_expired);
     });
+    reg.gauge("orion.unprotected_notifications")->bind([this] {
+      return double(orion_l2_->stats().unprotected_notifications);
+    });
+    reg.gauge("orion.standby_failures")->bind([this] {
+      return double(orion_l2_->stats().standby_failures);
+    });
+    reg.gauge("orion.standbys_reassigned")->bind([this] {
+      return double(orion_l2_->stats().standbys_reassigned);
+    });
+    reg.gauge("orion.pool_available")->bind([this] {
+      return double(orion_l2_->pool_available());
+    });
   }
-  if (orion_a_ != nullptr) {
+  if (!orion_phys_.empty()) {
     reg.gauge("orion.a.nulls_injected_dl")->bind([this] {
-      return double(orion_a_->nulls_injected_dl());
+      return double(orion_phys_[0]->nulls_injected_dl());
     });
     reg.gauge("orion.a.nulls_injected_ul")->bind([this] {
-      return double(orion_a_->nulls_injected_ul());
+      return double(orion_phys_[0]->nulls_injected_ul());
     });
   }
 }

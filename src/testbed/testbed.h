@@ -1,8 +1,8 @@
-// The full vRAN testbed, mirroring the paper's §8 setup: one RU with
-// attached UEs, two PHY servers (primary + hot standby), a separate L2
-// server, an application server behind the core, and a programmable
-// edge switch connecting everything — with Slingshot's fronthaul
-// middlebox and Orion deployed (or not, for the baselines).
+// The full vRAN testbed, mirroring the paper's §8 setup: N radio units
+// with attached UEs, M PHY servers, a separate L2 server, an
+// application server behind the core, and a programmable edge switch
+// connecting everything — with Slingshot's fronthaul middlebox and
+// Orion deployed (or not, for the baselines).
 //
 // Modes:
 //  * kSlingshot        — fully decoupled (L2 and PHYs on different
@@ -14,6 +14,14 @@
 //                        on primary-PHY failure the fronthaul is
 //                        re-routed to the backup stack, but the UE must
 //                        re-attach from scratch (§8.1's 6.2 s outage).
+//
+// Scale: the legacy configuration (num_ues / num_ues_ru2) builds the
+// original fixed A/B pair — one or two RUs, two PHYs, cross-assigned
+// primaries — and is bit-identical to the pre-scale-out testbed
+// (pinned by tests/testbed/test_golden_trace.cc). Setting `cells`
+// instead builds N cells × M PHYs where the first N PHYs are dedicated
+// primaries and the remainder form a *shared standby pool* (the
+// paper's deployment note: secondaries need no dedicated servers).
 #pragma once
 
 #include <memory>
@@ -44,6 +52,12 @@ struct ObservabilityConfig;
 
 enum class TestbedMode { kSlingshot, kCoupledNoOrion, kBaselineFailover };
 
+// Per-cell spec for multi-cell scale-out configurations.
+struct CellSpec {
+  int num_ues = 1;
+  std::vector<double> ue_mean_snr_db;  // per-UE; default 20 dB
+};
+
 struct TestbedConfig {
   std::uint64_t seed = 1;
   TestbedMode mode = TestbedMode::kSlingshot;
@@ -54,6 +68,19 @@ struct TestbedConfig {
   // for different RUs are co-located within the PHY processes: RU 1 is
   // primary on PHY-A / standby on PHY-B, RU 2 the other way around.
   int num_ues_ru2 = 0;
+
+  // ---- Multi-cell scale-out (kSlingshot mode) ----
+  // When non-empty, overrides num_ues/num_ues_ru2: cell c gets
+  // RuId{c+1}, UE ids 100*c+1.., and PHY index c (PhyId{c+1}) as its
+  // dedicated primary. PHYs beyond the cell count join Orion's shared
+  // standby pool.
+  std::vector<CellSpec> cells;
+  // Total PHY processes. 0 derives cells.size() + standby_pool_size;
+  // an explicit value is clamped to at least cells.size() (a value of
+  // exactly cells.size() means an empty pool: every cell unprotected).
+  int num_phys = 0;
+  // Shared hot standbys backing all primaries (used when num_phys==0).
+  int standby_pool_size = 1;
 
   SlotConfig slots{};
   PhyConfig phy{};
@@ -85,8 +112,10 @@ class Testbed {
   void run_for(Nanos dt) { sim_.run_until(sim_.now() + dt); }
 
   // ---- Scenario controls ----
-  // Fail-stop the primary PHY (the SIGKILL of §8.2).
-  void kill_primary_phy();
+  // Fail-stop a PHY process (the SIGKILL of §8.2).
+  void kill_phy(PhyId phy);
+  // Legacy alias: fail-stop PHY-A (cell 0's primary).
+  void kill_primary_phy() { kill_phy(kPhyA); }
   // Planned migration of the RU to the standby at the slot boundary
   // `lead` slots from now.
   void planned_migration(int lead_slots = 4);
@@ -99,41 +128,81 @@ class Testbed {
   // ABLATION: migration that oracle-transfers the PHY's soft state
   // (HARQ buffers + SNR filters) instead of discarding it.
   void planned_migration_with_state_transfer(int lead_slots = 4);
-  // After a failover consumed the standby, restart the dead PHY process
-  // and adopt it as the new standby: Orion replays the stored
-  // initialization sequence (§6.3) and the failure detector re-arms.
+  // Restart a dead PHY process and adopt it as a standby again: Orion
+  // replays the stored initialization sequence for *every* RU the PHY
+  // backs (§6.3) and the failure detector re-arms. In pool
+  // configurations the PHY rejoins the shared pool, which also executes
+  // any deferred failovers for unprotected cells.
+  void revive_phy_as_standby(PhyId phy);
+  // Legacy alias: revive whichever PHY is dead (first by index).
   void revive_dead_phy_as_standby();
 
   // ---- Component access ----
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] const TestbedConfig& config() const { return config_; }
-  [[nodiscard]] PhyProcess& phy_a() { return *phy_a_; }
-  [[nodiscard]] PhyProcess& phy_b() { return *phy_b_; }
+  [[nodiscard]] int num_cells() const { return int(plan_.size()); }
+  [[nodiscard]] int num_phys() const { return num_phys_; }
+  [[nodiscard]] RuId ru_id(int cell) const {
+    return RuId{std::uint8_t(cell + 1)};
+  }
+  [[nodiscard]] PhyId phy_id(int index) const {
+    return PhyId{std::uint8_t(index + 1)};
+  }
+  // PHY by construction index (0 = A, 1 = B, ...).
+  [[nodiscard]] PhyProcess& phy(int index) {
+    return *phys_.at(std::size_t(index));
+  }
+  // PHY by logical id; nullptr if out of range.
+  [[nodiscard]] PhyProcess* phy_by_id(PhyId id);
+  [[nodiscard]] PhyProcess& phy_a() { return *phys_.at(0); }
+  [[nodiscard]] PhyProcess& phy_b() { return *phys_.at(1); }
   [[nodiscard]] L2Process& l2() { return *l2_; }
   [[nodiscard]] L2Process& l2_backup() { return *l2b_; }
   [[nodiscard]] OrionL2Side& orion() { return *orion_l2_; }
   [[nodiscard]] FronthaulMiddlebox& mbox() { return *mbox_; }
-  [[nodiscard]] RadioUnit& ru() { return *ru_; }
-  [[nodiscard]] RadioUnit& ru2() { return *ru2_; }
-  // UE i of RU 1; RU 2's UEs follow (index num_ues..num_ues+num_ues_ru2-1).
+  // RU by cell index.
+  [[nodiscard]] RadioUnit& ru_at(int cell) {
+    return *rus_.at(std::size_t(cell));
+  }
+  [[nodiscard]] RadioUnit& ru() { return *rus_.at(0); }
+  [[nodiscard]] RadioUnit& ru2() { return *rus_.at(1); }
+  // UE by global index (cells in order; within a cell, attach order).
   [[nodiscard]] UserEquipment& ue(int i) { return *ues_.at(std::size_t(i)); }
+  // Cell index serving UE i.
+  [[nodiscard]] int ue_cell(int i) const {
+    return ue_cell_.at(std::size_t(i));
+  }
   [[nodiscard]] ProgrammableSwitch& fabric() { return *switch_; }
 
   // ---- Fault-injection and invariant-checker access (src/inject) ----
   // NIC handles for installing packet interceptors. Valid after
   // construction in every mode.
-  [[nodiscard]] Nic& ru_nic() { return *ru_nic_; }
-  [[nodiscard]] Nic& phy_a_nic() { return *phy_a_nic_; }
-  [[nodiscard]] Nic& phy_b_nic() { return *phy_b_nic_; }
-  [[nodiscard]] Nic& orion_a_nic() { return *orion_a_nic_; }
-  [[nodiscard]] Nic& orion_b_nic() { return *orion_b_nic_; }
+  [[nodiscard]] Nic& ru_nic() { return *ru_nics_.at(0); }
+  [[nodiscard]] Nic& ru_nic_at(int cell) {
+    return *ru_nics_.at(std::size_t(cell));
+  }
+  [[nodiscard]] Nic& phy_nic(int index) {
+    return *phy_nics_.at(std::size_t(index));
+  }
+  [[nodiscard]] Nic& phy_a_nic() { return *phy_nics_.at(0); }
+  [[nodiscard]] Nic& phy_b_nic() { return *phy_nics_.at(1); }
+  [[nodiscard]] Nic& orion_a_nic() { return *orion_phy_nics_.at(0); }
+  [[nodiscard]] Nic& orion_b_nic() { return *orion_phy_nics_.at(1); }
   [[nodiscard]] Nic& orion_l2_nic() { return *orion_l2_nic_; }
   // PHY-side Orions (kSlingshot mode only).
-  [[nodiscard]] OrionPhySide& orion_a() { return *orion_a_; }
-  [[nodiscard]] OrionPhySide& orion_b() { return *orion_b_; }
+  [[nodiscard]] OrionPhySide& orion_phy(int index) {
+    return *orion_phys_.at(std::size_t(index));
+  }
+  [[nodiscard]] OrionPhySide& orion_a() { return *orion_phys_.at(0); }
+  [[nodiscard]] OrionPhySide& orion_b() { return *orion_phys_.at(1); }
   // FAPI pipes feeding the PHYs / the L2; null in modes without them.
-  [[nodiscard]] ShmFapiPipe* pipe_to_phy_a() { return to_phy_a_.get(); }
-  [[nodiscard]] ShmFapiPipe* pipe_to_phy_b() { return to_phy_b_.get(); }
+  [[nodiscard]] ShmFapiPipe* pipe_to_phy(int index) {
+    return index < int(to_phy_pipes_.size())
+               ? to_phy_pipes_[std::size_t(index)].get()
+               : nullptr;
+  }
+  [[nodiscard]] ShmFapiPipe* pipe_to_phy_a() { return pipe_to_phy(0); }
+  [[nodiscard]] ShmFapiPipe* pipe_to_phy_b() { return pipe_to_phy(1); }
   [[nodiscard]] ShmFapiPipe* pipe_to_l2() { return mbx_to_l2_.get(); }
 
   // ---- Traffic endpoints ----
@@ -164,11 +233,18 @@ class Testbed {
   static constexpr PhyId kPhyB{2};
 
  private:
+  // Normalized per-cell plan (from `cells`, or num_ues/num_ues_ru2).
+  struct CellPlan {
+    int num_ues = 0;
+    std::vector<double> snrs;
+  };
+
   void build_fabric();
   void build_vran();
   void wire_slingshot();
   void wire_coupled();
   void wire_baseline();
+  [[nodiscard]] int primary_phy_index(int cell) const;
 
   TestbedConfig config_;
   Simulator sim_;
@@ -177,15 +253,19 @@ class Testbed {
   ScopedLogTimeSource log_time_;
   obs::Observability* obs_ = nullptr;
 
+  std::vector<CellPlan> plan_;
+  int num_phys_ = 2;
+  // True when `cells` drives the build: dedicated primaries + a shared
+  // Orion standby pool instead of the fixed cross-assigned A/B pair.
+  bool pool_wiring_ = false;
+
   // Fabric.
   std::unique_ptr<ProgrammableSwitch> switch_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<Nic>> nics_;
-  Nic* ru_nic_ = nullptr;
-  Nic* phy_a_nic_ = nullptr;
-  Nic* phy_b_nic_ = nullptr;
-  Nic* orion_a_nic_ = nullptr;
-  Nic* orion_b_nic_ = nullptr;
+  std::vector<Nic*> ru_nics_;
+  std::vector<Nic*> phy_nics_;
+  std::vector<Nic*> orion_phy_nics_;
   Nic* orion_l2_nic_ = nullptr;
   Nic* app_nic_ = nullptr;
   Nic* l2_gw_nic_ = nullptr;
@@ -195,29 +275,24 @@ class Testbed {
   std::shared_ptr<FronthaulMiddlebox> mbox_;
 
   // vRAN processes.
-  std::unique_ptr<PhyProcess> phy_a_;
-  std::unique_ptr<PhyProcess> phy_b_;
+  std::vector<std::unique_ptr<PhyProcess>> phys_;
   std::unique_ptr<L2Process> l2_;
   std::unique_ptr<L2Process> l2b_;  // baseline backup stack
-  std::unique_ptr<OrionPhySide> orion_a_;
-  std::unique_ptr<OrionPhySide> orion_b_;
+  std::vector<std::unique_ptr<OrionPhySide>> orion_phys_;
   std::unique_ptr<OrionL2Side> orion_l2_;
 
   // FAPI pipes.
   std::unique_ptr<ShmFapiPipe> l2_to_mbx_;     // L2 -> Orion/PHY
   std::unique_ptr<ShmFapiPipe> mbx_to_l2_;     // Orion/PHY -> L2
-  std::unique_ptr<ShmFapiPipe> to_phy_a_;      // Orion-A -> PHY-A
-  std::unique_ptr<ShmFapiPipe> phy_a_out_;     // PHY-A -> Orion-A
-  std::unique_ptr<ShmFapiPipe> to_phy_b_;
-  std::unique_ptr<ShmFapiPipe> phy_b_out_;
+  std::vector<std::unique_ptr<ShmFapiPipe>> to_phy_pipes_;   // Orion-p -> PHY-p
+  std::vector<std::unique_ptr<ShmFapiPipe>> phy_out_pipes_;  // PHY-p -> Orion-p
   std::unique_ptr<ShmFapiPipe> l2b_to_phy_b_;  // baseline backup stack
   std::unique_ptr<ShmFapiPipe> phy_b_to_l2b_;
 
   // Radio side.
-  std::unique_ptr<RadioUnit> ru_;
-  std::unique_ptr<RadioUnit> ru2_;
-  Nic* ru2_nic_ = nullptr;
+  std::vector<std::unique_ptr<RadioUnit>> rus_;
   std::vector<std::unique_ptr<UserEquipment>> ues_;
+  std::vector<int> ue_cell_;  // cell index per UE (parallel to ues_)
   std::vector<std::unique_ptr<FunctionPipe>> ue_pipes_;
 
   // User plane.

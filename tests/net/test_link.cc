@@ -104,6 +104,78 @@ TEST(Link, UnattachedSideDrops) {
   EXPECT_EQ(link.frames_dropped(), 1U);
 }
 
+TEST(Link, DropCausesAreCountedSeparately) {
+  Simulator sim;
+  Link link{sim, {}, sim.rng().stream("loss")};
+  // No receiver attached yet.
+  link.send_from_a(make_test_packet(10));
+  EXPECT_EQ(link.dropped_no_receiver(), 1U);
+
+  Collector rx;
+  rx.sim = &sim;
+  link.attach_b(&rx);
+  link.set_fault_hook([](Packet&, bool) { return false; });
+  link.send_from_a(make_test_packet(10));
+  EXPECT_EQ(link.dropped_fault(), 1U);
+  link.set_fault_hook({});
+
+  // The aggregate stays the sum of the three causes.
+  EXPECT_EQ(link.dropped_loss(), 0U);
+  EXPECT_EQ(link.frames_dropped(), 2U);
+  sim.run_until(1_ms);
+  EXPECT_TRUE(rx.frames.empty());
+}
+
+TEST(Link, FaultHookRunsBeforeLossGate) {
+  // With loss_probability = 1.0 every frame reaching the loss gate is
+  // dropped as loss — so a hook-dropped frame counted as a fault drop
+  // proves the hook runs first.
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.loss_probability = 1.0;
+  Link link{sim, cfg, sim.rng().stream("loss")};
+  Collector rx;
+  rx.sim = &sim;
+  link.attach_b(&rx);
+  link.set_fault_hook([](Packet&, bool) { return false; });
+  link.send_from_a(make_test_packet(10));
+  EXPECT_EQ(link.dropped_fault(), 1U);
+  EXPECT_EQ(link.dropped_loss(), 0U);
+}
+
+TEST(Link, HookDropsDoNotPerturbTheLossRng) {
+  // Frames the fault hook eats must not draw from the loss RNG: the
+  // loss decisions for the surviving frames are identical with and
+  // without interleaved hook-dropped frames.
+  LinkConfig cfg;
+  cfg.loss_probability = 0.5;
+  cfg.propagation_delay = 0;
+  auto run = [&](bool interleave) {
+    Simulator sim;  // same default seed -> same "loss" stream
+    Link link{sim, cfg, sim.rng().stream("loss")};
+    Collector rx;
+    rx.sim = &sim;
+    link.attach_b(&rx);
+    link.set_fault_hook(
+        [](Packet& p, bool) { return p.payload.size() != 1; });
+    for (int i = 0; i < 64; ++i) {
+      if (interleave) {
+        link.send_from_a(make_test_packet(1));  // eaten by the hook
+      }
+      Packet p = make_test_packet(10);
+      p.payload[0] = std::uint8_t(i);
+      link.send_from_a(std::move(p));
+    }
+    sim.run_until(1_s);
+    std::vector<int> survivors;
+    for (const auto& f : rx.frames) {
+      survivors.push_back(f.payload[0]);
+    }
+    return survivors;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
 TEST(Nic, SendStampsSourceAndCounts) {
   Simulator sim;
   Link link{sim, {}, sim.rng().stream("loss")};

@@ -173,6 +173,58 @@ TEST(MatchActionTable, UpdateLatencyTailMatchesPaper) {
   EXPECT_GT(t.quantile(0.0), 4.9);
 }
 
+TEST(MatchActionTable, InstallsApplyInIssueOrderNotLatencyOrder) {
+  Simulator sim;
+  MatchActionTable<int, int> table{sim, sim.rng().stream("cp")};
+  // Issue updates to one key back-to-back until the sampled latencies
+  // invert (a later issue landing earlier). The exponential tail makes
+  // this near-immediate; the fixed seed makes it deterministic.
+  Nanos prev = table.control_plane_insert(5, 0);
+  int last = 0;
+  bool inverted = false;
+  for (int i = 1; i < 256 && !inverted; ++i) {
+    const Nanos lands = table.control_plane_insert(5, i);
+    last = i;
+    inverted = lands < prev;
+    prev = lands;
+  }
+  ASSERT_TRUE(inverted);
+  sim.run_until(1_s);
+  // The newest *issued* value wins even though an older install landed
+  // after it; the stale land was dropped, not applied.
+  ASSERT_NE(table.lookup(5), nullptr);
+  EXPECT_EQ(*table.lookup(5), last);
+  EXPECT_GE(table.stale_lands_dropped(), 1U);
+}
+
+TEST(MatchActionTable, IssueOrderIsTrackedPerKey) {
+  Simulator sim;
+  MatchActionTable<int, int> table{sim, sim.rng().stream("cp")};
+  // Interleaved updates to two keys: latency inversions across keys
+  // never invalidate each other, only within a key.
+  for (int i = 0; i < 8; ++i) {
+    table.control_plane_insert(1, 100 + i);
+    table.control_plane_insert(2, 200 + i);
+  }
+  sim.run_until(1_s);
+  ASSERT_NE(table.lookup(1), nullptr);
+  ASSERT_NE(table.lookup(2), nullptr);
+  EXPECT_EQ(*table.lookup(1), 107);
+  EXPECT_EQ(*table.lookup(2), 207);
+}
+
+TEST(MatchActionTable, TeardownCancelsPendingInstalls) {
+  Simulator sim;
+  {
+    MatchActionTable<int, int> table{sim, sim.rng().stream("cp")};
+    for (int i = 0; i < 16; ++i) {
+      table.control_plane_insert(i, i);
+    }
+  }  // destroyed with installs still in flight
+  sim.run_until(1_s);  // cancelled callbacks must not touch freed memory
+  SUCCEED();
+}
+
 TEST(RegisterArray, DataPlaneReadWrite) {
   RegisterArray<int> regs{4, -1};
   EXPECT_EQ(regs.read(3), -1);
