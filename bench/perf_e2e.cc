@@ -29,16 +29,29 @@
 // event stream is bit-identical at every N — only wall-clock moves —
 // and every JSON row is annotated with the thread count and active
 // SIMD level so the bench trajectory separates the two effects.
+//
+// `perf_e2e --shards N` switches to the sharded multi-cell scenario
+// instead: a 16-cell fleet (8 in --short) of independent cell islands
+// under the window-barrier engine (testbed/sharded_testbed.h), with a
+// primary-PHY failover and coordinator spare replenishment mid-run. It
+// runs the fleet twice — serial (shards=1) baseline, then on N worker
+// threads — reports the wall-clock ratio, and self-verdicts: the
+// per-island trace hashes of the two runs must be bit-identical, so a
+// determinism regression in the barrier/mailbox exits nonzero in CI.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/threadpool.h"
 #include "obs/obs.h"
 #include "phy/simd.h"
+#include "testbed/sharded_testbed.h"
 #include "testbed/testbed.h"
 #include "transport/apps.h"
 
@@ -279,6 +292,130 @@ PerfResult run_tab02(Nanos measure, ThreadPool* pool = nullptr) {
   return r;
 }
 
+// ---- Sharded fleet scenario (--shards N) ----
+
+struct ShardResult {
+  double wall_s = 0;
+  double sim_s = 0;
+  std::uint64_t events = 0;          // sum of island executed counts
+  std::uint64_t delivered = 0;       // mailbox events delivered
+  std::uint64_t episodes = 0;        // coordinator failure-episode ledger
+  std::uint64_t fingerprint = 0;     // fold of per-island (hash, executed)
+  std::vector<std::uint64_t> hashes; // per-island trace hashes
+};
+
+ShardResult run_sharded(int cells, int shards, Nanos horizon, Nanos kill_at) {
+  ShardedTestbedConfig cfg;
+  cfg.seed = 16;
+  cfg.cells.assign(std::size_t(cells), CellSpec{1, {20.0}});
+  cfg.shards = shards;
+  ShardedTestbed tb{cfg};
+
+  std::vector<std::unique_ptr<UdpFlow>> flows;
+  UdpFlowConfig flow_cfg;
+  flow_cfg.rate_bps = 4e6;
+  for (int c = 0; c < cells; ++c) {
+    Testbed& island = tb.island(c);
+    flows.push_back(std::make_unique<UdpFlow>(
+        island.sim(), island.ue_pipe(0), island.server_pipe(0), flow_cfg));
+  }
+
+  tb.start();
+  tb.run_until(100_ms);
+  for (auto& flow : flows) {
+    flow->start();
+  }
+  tb.kill_primary_at(0, kill_at);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  tb.run_until(horizon);
+  ShardResult r;
+  r.wall_s = wall_seconds_since(t0);
+  r.sim_s = double(horizon - 100_ms) / 1e9;
+  for (int c = 0; c < cells; ++c) {
+    r.events += tb.island_executed(c);
+    r.hashes.push_back(tb.island_hash(c));
+  }
+  r.delivered = tb.engine().events_delivered();
+  r.episodes = tb.coordinator().stats().episodes;
+  r.fingerprint = tb.fingerprint();
+  return r;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", (unsigned long long)v);
+  return buf;
+}
+
+void report_sharded(const char* scenario, const ShardResult& r, int cells,
+                    int shards, double serial_wall_s, bool deterministic,
+                    const std::string& json_path) {
+  using namespace slingshot::bench;
+  std::printf("\n%s (shards=%d):\n", scenario, shards);
+  std::printf("  wall-clock       %8.2f s  (%.2fx vs serial)\n", r.wall_s,
+              serial_wall_s / r.wall_s);
+  std::printf("  virtual time     %8.2f s  (%.1fx real time)\n", r.sim_s,
+              r.sim_s / r.wall_s);
+  std::printf("  events           %8llu  (%.0f events/s)\n",
+              (unsigned long long)r.events, double(r.events) / r.wall_s);
+  std::printf("  mailbox events   %8llu   episodes %llu\n",
+              (unsigned long long)r.delivered,
+              (unsigned long long)r.episodes);
+  std::printf("  fleet fingerprint %s   determinism %s\n",
+              hex64(r.fingerprint).c_str(), deterministic ? "ok" : "BROKEN");
+
+  JsonRow row{"perf_e2e_shards"};
+  row.str("scenario", scenario)
+      .integer("shards", shards)
+      .integer("cells", cells)
+      .str("simd", simd::level_name(simd::active_level()))
+      .num("wall_s", r.wall_s)
+      .num("sim_s", r.sim_s)
+      .num("speedup_vs_serial", serial_wall_s / r.wall_s)
+      .integer("events", (long long)(r.events))
+      .num("events_per_s", double(r.events) / r.wall_s)
+      .integer("mailbox_delivered", (long long)(r.delivered))
+      .integer("episodes", (long long)(r.episodes))
+      .str("fingerprint", hex64(r.fingerprint))
+      .boolean("determinism_ok", deterministic);
+  append_bench_json(json_path, row);
+}
+
+// Serial baseline + N-worker run of the same fleet; exits through the
+// returned verdict: per-island hashes must match bit-for-bit.
+bool run_shard_mode(bool short_mode, int shards,
+                    const std::string& json_path) {
+  const int cells = short_mode ? 8 : 16;
+  const Nanos horizon = short_mode ? 400_ms : 2'000_ms;
+  const Nanos kill_at = short_mode ? 250_ms : 1'000_ms;
+  const char* scenario =
+      short_mode ? "shard_fleet_failover_short" : "shard_fleet_failover";
+
+  const auto serial = run_sharded(cells, 1, horizon, kill_at);
+  report_sharded(scenario, serial, cells, 1, serial.wall_s,
+                 /*deterministic=*/true, json_path);
+
+  const auto sharded = run_sharded(cells, shards, horizon, kill_at);
+  const bool deterministic = sharded.hashes == serial.hashes &&
+                             sharded.fingerprint == serial.fingerprint &&
+                             sharded.events == serial.events;
+  report_sharded(scenario, sharded, cells, shards, serial.wall_s,
+                 deterministic, json_path);
+  if (!deterministic) {
+    std::printf("\nDETERMINISM VIOLATION: per-island traces diverged "
+                "between shards=1 and shards=%d\n", shards);
+    for (int c = 0; c < cells; ++c) {
+      if (serial.hashes[std::size_t(c)] != sharded.hashes[std::size_t(c)]) {
+        std::printf("  island %d: %s != %s\n", c,
+                    hex64(serial.hashes[std::size_t(c)]).c_str(),
+                    hex64(sharded.hashes[std::size_t(c)]).c_str());
+      }
+    }
+  }
+  return deterministic;
+}
+
 void report(const char* scenario, const PerfResult& r, int threads,
             const std::string& json_path) {
   using namespace slingshot::bench;
@@ -318,6 +455,7 @@ int main(int argc, char** argv) {
   bool short_mode = false;
   bool trace_mode = false;
   int threads = 1;
+  int shards = 0;  // 0 = classic single-testbed scenarios
   std::string json_path = "BENCH_perf.json";
   std::string obs_json_path = "BENCH_obs.json";
   for (int i = 1; i < argc; ++i) {
@@ -330,12 +468,28 @@ int main(int argc, char** argv) {
       if (threads < 1) {
         threads = 1;
       }
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+      if (shards < 1) {
+        shards = 1;
+      }
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-json") == 0 && i + 1 < argc) {
       obs_json_path = argv[++i];
     }
   }
+
+  if (shards > 0) {
+    print_banner("perf_e2e",
+                 short_mode ? "sharded fleet harness (short smoke mode)"
+                            : "sharded fleet harness");
+    print_note(("rows appended to " + json_path).c_str());
+    std::printf("shards: %d   simd: %s\n", shards,
+                simd::level_name(simd::active_level()));
+    return run_shard_mode(short_mode, shards, json_path) ? 0 : 1;
+  }
+
   print_banner("perf_e2e", short_mode
                                ? "wall-clock perf harness (short smoke mode)"
                                : "wall-clock perf harness");

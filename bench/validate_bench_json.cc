@@ -96,6 +96,7 @@ class Checker {
       }
       skip_ws();
       const bool is_string = peek() == '"';
+      const std::size_t value_start = pos_;
       e = check_value();
       if (!e.empty()) {
         return e;
@@ -105,6 +106,19 @@ class Checker {
           return err("\"bench\" must be a string");
         }
         saw_bench = true;
+      }
+      if (key == "shards") {
+        // Shard-count annotation (perf_e2e --shards, abl_scale_sweep):
+        // optional, but when present it must be a positive integer —
+        // downstream sweep tooling groups rows by it.
+        const std::string raw = text_.substr(value_start, pos_ - value_start);
+        const bool is_digits =
+            !raw.empty() &&
+            raw.find_first_not_of("0123456789") == std::string::npos;
+        if (!is_digits || std::atoll(raw.c_str()) < 1) {
+          return err("\"shards\" must be a positive integer, got '" + raw +
+                     "'");
+        }
       }
       skip_ws();
       if (consume('}')) {
@@ -262,6 +276,7 @@ bool self_test() {
       .num("finite", 1.25)
       .num("was_nan", std::nan(""))
       .integer("count", -3)
+      .integer("shards", 4)
       .boolean("flag", true);
   bool ok = slingshot::bench::append_bench_json(path.string(), row);
   // Append a second row to exercise the array-reopening path too.
@@ -269,6 +284,21 @@ bool self_test() {
                                                  JsonRow{"validator_selftest"});
   ok = ok && validate_file(path);
   fs::remove(path, ec);
+
+  // Negative checks: the "shards" rule must actually reject bad rows.
+  for (const char* bad : {
+           "[\n  {\"bench\": \"x\", \"shards\": 0}\n]\n",
+           "[\n  {\"bench\": \"x\", \"shards\": -2}\n]\n",
+           "[\n  {\"bench\": \"x\", \"shards\": 2.5}\n]\n",
+           "[\n  {\"bench\": \"x\", \"shards\": \"4\"}\n]\n",
+       }) {
+    const std::string text{bad};
+    Checker checker{text};
+    if (checker.check().empty()) {
+      std::printf("  bad-shards row was accepted: %s", bad);
+      ok = false;
+    }
+  }
   return ok;
 }
 

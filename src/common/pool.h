@@ -8,9 +8,19 @@
 // on a freelist and hands them back cleared, so steady-state serialize/
 // parse cycles stop touching the heap entirely.
 //
-// The simulation is single-threaded; pools are plain function-local
-// statics. Returning buffers is optional — a vector that is dropped
-// instead of released is freed normally, the pool just misses a reuse.
+// Threading: the pools are thread_local. A single-threaded run behaves
+// exactly as a process-wide pool did; under the sharded simulator
+// (sim/sharded.h) each worker thread gets its own freelists, so islands
+// running concurrently can never race on — or alias buffers through —
+// a shared freelist. (A shared pool let two islands pop the same
+// vector, and the aliased payloads corrupted frames nondeterministically
+// at shard counts > 1.) Pool state is deliberately behavior-neutral:
+// acquire() hands back an *empty* vector whose capacity is the only
+// thing reuse changes, so which thread an island lands on — and
+// therefore which freelist serves it — can never alter simulation
+// outcomes. Returning buffers is optional — a vector that is dropped
+// instead of released (or released on a different thread than it will
+// next be acquired on) is freed normally, the pool just misses a reuse.
 #pragma once
 
 #include <complex>
@@ -52,14 +62,14 @@ class VectorPool {
   std::vector<std::vector<T>> free_;
 };
 
-// Process-wide pools for the two hot buffer element types: serialized
+// Per-thread pools for the two hot buffer element types: serialized
 // wire bytes (fronthaul + FAPI payloads) and complex IQ samples.
 struct BufferPools {
   VectorPool<std::uint8_t> bytes;
   VectorPool<std::complex<float>> iq;
 
   static BufferPools& instance() {
-    static BufferPools pools;
+    static thread_local BufferPools pools;
     return pools;
   }
 };

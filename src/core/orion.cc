@@ -189,6 +189,7 @@ void OrionL2Side::add_pool_standby(PhyId phy, MacAddr orion_mac) {
   if (!known) {
     pool_.push_back(PoolMember{phy, PoolState::kAvailable});
   }
+  notify_pool(PoolEvent::kRestored, phy);
   // Deferred failovers first: an unprotected cell whose primary already
   // died has been waiting for exactly this — give it a member and
   // migrate now. Counted separately from notification-driven failovers
@@ -286,6 +287,7 @@ void OrionL2Side::consume_pool_member(PhyId phy) {
   for (auto& m : pool_) {
     if (m.id == phy && m.state == PoolState::kAvailable) {
       m.state = PoolState::kConsumed;
+      notify_pool(PoolEvent::kConsumed, phy);
     }
   }
   // Re-point every other RU backed by this member: it is now (becoming)
@@ -311,6 +313,7 @@ void OrionL2Side::consume_pool_member(PhyId phy) {
     } else {
       SLOG_WARN("orion", "%s ru=%u standby pool exhausted: cell unprotected",
                 name_.c_str(), state.ru.value());
+      notify_pool(PoolEvent::kExhausted, phy);
     }
   }
 }
@@ -668,6 +671,7 @@ void OrionL2Side::handle_failure_notification(PhyId failed) {
                 "%s ru=%u UNPROTECTED: primary phy %u failed with the "
                 "standby pool exhausted",
                 name_.c_str(), state.ru.value(), failed.value());
+      notify_pool(PoolEvent::kExhausted, failed);
       continue;
     }
     any_failover = true;
@@ -714,6 +718,7 @@ void OrionL2Side::handle_failure_notification(PhyId failed) {
       if (m.id == failed && m.state != PoolState::kDead) {
         m.state = PoolState::kDead;
         standby_hit = true;
+        notify_pool(PoolEvent::kMemberDead, failed);
       }
     }
     for (auto& [rv, state] : rus_) {

@@ -291,6 +291,22 @@ class OrionL2Side final : public FapiSink {
     on_failover_ = std::move(callback);
   }
 
+  // ---- Pool lifecycle observation ----
+  // Fired synchronously inside the Orion event that changed the pool —
+  // an external pool manager (the shard coordinator of
+  // core/shard_coord.h) mirrors the island's inventory from these
+  // without polling. Observers must not mutate the Orion re-entrantly.
+  enum class PoolEvent : std::uint8_t {
+    kConsumed,    // failover promoted the member to someone's primary
+    kExhausted,   // a cell needed a member and none was available
+    kMemberDead,  // the standby itself failed
+    kRestored,    // a member (re)joined via add_pool_standby
+  };
+  using PoolObserver = std::function<void(PoolEvent, PhyId)>;
+  void set_pool_observer(PoolObserver observer) {
+    pool_observer_ = std::move(observer);
+  }
+
   // Attach an observation tap (invariant checking); nullptr detaches.
   void set_tap(OrionL2Tap* tap) { tap_ = tap; }
 
@@ -357,8 +373,15 @@ class OrionL2Side final : public FapiSink {
   ShmFapiPipe* to_l2_ = nullptr;
   std::map<std::uint8_t, MacAddr> phy_peers_;
   std::map<std::uint8_t, RuState> rus_;
+  void notify_pool(PoolEvent event, PhyId phy) {
+    if (pool_observer_) {
+      pool_observer_(event, phy);
+    }
+  }
+
   bool pool_mode_ = false;
   std::vector<PoolMember> pool_;
+  PoolObserver pool_observer_;
   std::function<void(const MigrationEvent&)> on_failover_;
   OrionL2Tap* tap_ = nullptr;
   OrionL2Stats stats_;

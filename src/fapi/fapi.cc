@@ -264,7 +264,9 @@ std::vector<std::uint8_t> serialize_fapi(const FapiMessage& msg) {
 }
 
 std::size_t serialized_fapi_size(const FapiMessage& msg) {
-  static std::vector<std::uint8_t> scratch;
+  // thread_local: sizing calls race across island worker threads under
+  // the sharded runtime if the scratch is process-wide.
+  static thread_local std::vector<std::uint8_t> scratch;
   serialize_fapi_into(msg, scratch);
   return scratch.size();
 }

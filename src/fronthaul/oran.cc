@@ -111,8 +111,11 @@ void write_uplane(ByteWriter& w, const UPlaneMsg& msg) {
     w.u32(std::uint32_t(s.iq.size()));
     if (s.bfp_mantissa_bits > 0) {
       // Reused scratch: BFP compression of every UL/DL section would
-      // otherwise allocate a fresh byte vector per section.
-      static std::vector<std::uint8_t> scratch;
+      // otherwise allocate a fresh byte vector per section. thread_local:
+      // islands serialize concurrently under the sharded runtime, and a
+      // shared scratch lets one island's compressed IQ bytes land in
+      // another island's frame.
+      static thread_local std::vector<std::uint8_t> scratch;
       bfp_compress_into(s.iq, s.bfp_mantissa_bits, scratch);
       w.bytes(scratch);
     } else {

@@ -13,5 +13,25 @@ void Observability::finalize() {
   registry_.freeze_gauges();
 }
 
+std::string merged_islands_json(const std::vector<Observability*>& islands) {
+  std::string out = "[";
+  bool first = true;
+  for (std::size_t i = 0; i < islands.size(); ++i) {
+    Observability* island = islands[i];
+    if (island == nullptr) {
+      continue;
+    }
+    island->finalize();
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"island\":" + std::to_string(i) +
+           ",\"metrics\":" + island->registry().to_json() + "}";
+  }
+  out += "]";
+  return out;
+}
+
 }  // namespace obs
 }  // namespace slingshot

@@ -12,6 +12,8 @@
 #define SLINGSHOT_OBS_OBS_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -40,6 +42,13 @@ class Observability {
   SlotTracer tracer_;
   bool finalized_ = false;
 };
+
+// Merge per-island observability lanes (the sharded testbed attaches
+// one bundle per cell island) into a single export: finalizes every
+// bundle, then renders a JSON array with one `{"island": i, "metrics":
+// {...}}` entry per lane, in island order. Null entries are skipped so
+// partially-instrumented fleets still export.
+std::string merged_islands_json(const std::vector<Observability*>& islands);
 
 }  // namespace obs
 }  // namespace slingshot

@@ -1,0 +1,163 @@
+// Sharded deterministic simulation: N independent event islands advance
+// in lockstep time windows under a conservative barrier.
+//
+// An *island* is a self-contained Simulator — its own event queue, RNG
+// streams, and (time, seq) trace hash. The partition into islands is
+// fixed by the workload (one per cell group in the testbed), NOT by the
+// shard count: `shards` only controls how many worker threads execute
+// islands concurrently. That split is what makes the determinism
+// contract cheap to state — each island's golden trace is a function of
+// its own initial state plus the sequenced messages delivered to it, so
+// it is bit-identical at every shard count, and a `--shards 1` run is
+// the reference a `--shards N` run must reproduce exactly.
+//
+// Conservative windowing: run_until advances all islands window by
+// window (window = one TTI for the vRAN testbed). Within a window every
+// island executes serially on whichever worker claimed it; no island
+// may start window k+1 until all islands finish window k (the
+// parallel_for join is the barrier). Cross-island interaction is only
+// allowed through the sequenced mailbox below, never through shared
+// mutable state, so intra-window execution is embarrassingly parallel.
+//
+// Sequenced mailbox: during its window, island `src` may post
+//   * island-bound events  — post_event(src, dst, not_before, fn)
+//   * control messages     — post_control({src, kind, ...})
+// into its own outbox (thread-confined: only the worker currently
+// running `src` appends, and the barrier join publishes the writes).
+// At the barrier the coordinator thread drains all outboxes in a fixed
+// global order — ascending (source island, per-source seq) — first
+// handing control messages to the control sink (which may respond with
+// post_event_from_control), then scheduling island-bound events on
+// their destination simulators at max(window end, not_before). Because
+// drain order, delivery times, and therefore every destination-side seq
+// number depend only on what was posted — not on which thread ran which
+// island when — the mailbox preserves bit-identical traces at any shard
+// count. Messages posted in window k are visible at the start of window
+// k+1 at the earliest; senders that need a minimum latency pass it via
+// `not_before`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace slingshot {
+
+// Cross-island control envelope delivered to the control sink at window
+// barriers, in (src_island, seq) order. `kind` and the payload words
+// are defined by the sink's owner (see core/shard_coord.h for the vRAN
+// testbed's vocabulary); the engine treats them as opaque.
+struct ControlMsg {
+  int src_island = -1;
+  std::uint32_t kind = 0;
+  std::uint64_t a = 0;  // payload word (e.g. a PhyId value)
+  std::uint64_t b = 0;  // payload word
+  Nanos time = 0;       // island-local virtual time when posted
+};
+
+class ShardedSimulator {
+ public:
+  struct Config {
+    // Barrier granularity. One TTI for the vRAN testbed: cross-island
+    // traffic is control-plane only and tolerates one-window latency.
+    Nanos window = 500'000;
+    // Worker threads executing islands concurrently (1 = serial).
+    // Parallelism only — never affects any simulation outcome.
+    int shards = 1;
+  };
+
+  explicit ShardedSimulator(Config config);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  // Register an island. Islands must all be registered before the first
+  // run_until, and must outlive the engine run. Returns the island
+  // index used for mailbox addressing.
+  int add_island(Simulator* sim);
+
+  // Control-message consumer, invoked at window barriers on the
+  // coordinating thread with messages in (src island, seq) order. The
+  // sink may call post_event_from_control; it must not post further
+  // control messages (there is no later drain phase to sequence them).
+  void set_control_sink(std::function<void(const ControlMsg&)> sink);
+
+  // ---- Mailbox: called from island code during its window ----
+  // Deliver `fn` on island `dst` at max(current window end, not_before).
+  void post_event(int src, int dst, Nanos not_before, InlineCallback fn);
+  // Hand a control message to the sink at the next barrier.
+  void post_control(ControlMsg msg);
+
+  // ---- Mailbox: called from the control sink during a barrier ----
+  // Control-sourced events are sequenced after every island's outbox
+  // (the control island is source index num_islands()).
+  void post_event_from_control(int dst, Nanos not_before, InlineCallback fn);
+
+  // Advance all islands to t_end in lockstep windows, draining the
+  // mailbox at every barrier. On return every island's now() == t_end.
+  void run_until(Nanos t_end);
+
+  [[nodiscard]] Nanos now() const { return now_; }
+  [[nodiscard]] int num_islands() const { return int(islands_.size()); }
+  [[nodiscard]] int shards() const { return config_.shards; }
+  [[nodiscard]] Nanos window() const { return config_.window; }
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
+  [[nodiscard]] std::uint64_t events_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t control_delivered() const {
+    return ctrl_delivered_;
+  }
+
+  // ---- Determinism fingerprints ----
+  [[nodiscard]] std::uint64_t island_trace_hash(int island) const {
+    return islands_.at(std::size_t(island))->trace_hash();
+  }
+  [[nodiscard]] std::uint64_t island_executed(int island) const {
+    return islands_.at(std::size_t(island))->executed_events();
+  }
+  [[nodiscard]] std::uint64_t total_executed() const;
+  // Fold of the per-island trace hashes in island order — one number
+  // that must match across shard counts.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+ private:
+  struct EventMsg {
+    std::uint64_t seq = 0;
+    int dst = -1;
+    Nanos not_before = 0;
+    InlineCallback fn;
+  };
+  struct SeqControlMsg {
+    std::uint64_t seq = 0;
+    ControlMsg msg;
+  };
+  // Per-source message staging. Appended only by the worker currently
+  // executing the source island (or, for the control outbox, by the
+  // coordinating thread inside a barrier), drained only at barriers.
+  struct Outbox {
+    std::uint64_t next_seq = 0;
+    std::vector<EventMsg> events;
+    std::vector<SeqControlMsg> ctrl;
+  };
+
+  void drain_barrier(Nanos w_end);
+  void deliver_events(Outbox& outbox, Nanos w_end);
+
+  Config config_;
+  Nanos now_ = 0;
+  std::vector<Simulator*> islands_;
+  std::vector<Outbox> outboxes_;  // index i = island i's outbox
+  Outbox control_outbox_;         // source index num_islands()
+  std::function<void(const ControlMsg&)> control_sink_;
+  std::unique_ptr<ThreadPool> pool_;  // null when shards <= 1
+  std::uint64_t windows_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t ctrl_delivered_ = 0;
+};
+
+}  // namespace slingshot

@@ -34,7 +34,11 @@ void Simulator::retire_record(std::uint32_t slot) {
 
 EventHandle Simulator::at(Nanos t, InlineCallback fn) {
   if (t < now_) {
-    throw std::invalid_argument{"Simulator::at: time in the past"};
+    // Clamp, never schedule behind the clock: a past-time entry would
+    // still be popped by the heap and execute out of causal order,
+    // corrupting the (time, seq) trace every golden test pins.
+    ++past_clamped_;
+    t = now_;
   }
   const std::uint32_t slot = allocate_record();
   EventRecord& rec = record(slot);
@@ -112,7 +116,12 @@ void Simulator::run_until(Nanos t_end) {
     now_ = top.time;
     execute_top(top);
   }
-  if (now_ < t_end) {
+  // Normal return (drained or horizon reached): the clock lands exactly
+  // on t_end so back-to-back segments see time advance monotonically.
+  // A stop() exit leaves now_ at the stopping event — the remaining
+  // queue has not run, and jumping to the horizon would let follow-up
+  // schedules land after events that are still pending before t_end.
+  if (!stopped_ && now_ < t_end) {
     now_ = t_end;
   }
 }
@@ -127,7 +136,7 @@ void Simulator::run_all() {
   }
 }
 
-void Simulator::cancel_event(std::uint32_t slot, std::uint32_t generation) {
+void Simulator::cancel_event(std::uint32_t slot, std::uint64_t generation) {
   if (std::size_t(slot) >= chunks_.size() * kChunkRecords) {
     return;
   }
@@ -137,12 +146,24 @@ void Simulator::cancel_event(std::uint32_t slot, std::uint32_t generation) {
   }
 }
 
-bool Simulator::event_cancelled(std::uint32_t slot, std::uint32_t generation) {
+bool Simulator::event_cancelled(std::uint32_t slot, std::uint64_t generation) {
+  return event_state(slot, generation) == EventState::kCancelled;
+}
+
+EventState Simulator::event_state(std::uint32_t slot,
+                                  std::uint64_t generation) {
   if (std::size_t(slot) >= chunks_.size() * kChunkRecords) {
-    return false;
+    return EventState::kExpired;  // defensive: no such record was issued
   }
   EventRecord& rec = record(slot);
-  return rec.generation == generation && rec.cancelled;
+  if (rec.generation != generation) {
+    // The record was retired (fired or reaped) and possibly reissued to
+    // an unrelated event. The distinct answer matters: "expired" must
+    // not read as "pending and healthy", and with 64-bit generations a
+    // recycled slot can never alias back to this handle's generation.
+    return EventState::kExpired;
+  }
+  return rec.cancelled ? EventState::kCancelled : EventState::kPending;
 }
 
 }  // namespace slingshot

@@ -126,28 +126,50 @@ class InlineCallback {
   const VTable* vt_ = nullptr;
 };
 
+// Lifecycle answer for an EventHandle query. kExpired is the distinct
+// "this occurrence is over" state: the record behind the handle has been
+// recycled (the event fired, or a cancelled record was reaped), so the
+// handle can say nothing about whatever event now occupies the slot.
+// Before this state existed, a recycled record answered cancelled() ==
+// false — indistinguishable from "pending and healthy", and one 32-bit
+// generation wrap away from an ABA false positive against a live event.
+enum class EventState : std::uint8_t {
+  kInvalid,    // default-constructed handle, no simulator behind it
+  kPending,    // scheduled and will fire (or periodic series running)
+  kCancelled,  // cancel() took effect; the occurrence will not fire
+  kExpired,    // record recycled: fired, reaped, or slot reused
+};
+
 // Handle for a scheduled event; allows cancellation. Copyable; all
 // copies refer to the same scheduled occurrence (or periodic series).
 // A handle must not outlive its Simulator. cancelled() reports true
 // while a cancelled occurrence is still pending in the queue; once the
-// event fires or is reaped, its record is recycled and queries become
-// no-ops — nothing is kept alive by surviving handle copies.
+// event fires or is reaped, its record is recycled and the handle
+// reports kExpired — cancel() through it is a generation-mismatch no-op
+// even after the slot is handed to a new event. Generations are 64-bit
+// precisely so that slot reuse through the free list can never wrap a
+// stale handle back onto a live event's generation (the ABA a 32-bit
+// counter left open). Nothing is kept alive by surviving handle copies.
 class EventHandle {
  public:
   EventHandle() = default;
 
   void cancel();
   [[nodiscard]] bool valid() const { return sim_ != nullptr; }
+  // True only while a cancelled occurrence is still pending in the
+  // queue. A recycled record answers kExpired via state(), not true
+  // here — "expired" and "cancelled" are different answers.
   [[nodiscard]] bool cancelled() const;
+  [[nodiscard]] EventState state() const;
 
  private:
   friend class Simulator;
-  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t generation)
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint64_t generation)
       : sim_(sim), slot_(slot), generation_(generation) {}
 
   Simulator* sim_ = nullptr;
   std::uint32_t slot_ = 0;
-  std::uint32_t generation_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 namespace obs {
@@ -201,7 +223,15 @@ class Simulator {
     }
   }
 
-  // Schedule `fn` at absolute virtual time `t` (must be >= now).
+  // Schedule `fn` at absolute virtual time `t` (must be >= now). A
+  // past-time `t` is CLAMPED to now(): the event fires at the current
+  // time, after events already scheduled there, never behind the clock.
+  // Before this was enforced a past-time schedule silently landed
+  // behind now_ — the heap still popped it, executing it out of causal
+  // order and corrupting the (time, seq) trace. Clamps are counted in
+  // past_schedules_clamped() so tests (and the sharded barrier loop)
+  // can assert the path stays cold; there is deliberately no hard
+  // assert so the clamp contract is testable in every build type.
   EventHandle at(Nanos t, InlineCallback fn);
   // Schedule `fn` after a delay from now.
   EventHandle after(Nanos delay, InlineCallback fn) {
@@ -212,6 +242,12 @@ class Simulator {
   EventHandle every(Nanos start, Nanos period, InlineCallback fn);
 
   // Run until the event queue drains or virtual time would pass `t_end`.
+  // On normal return now() == t_end even when the queue drained early,
+  // so back-to-back run_until segments (the sharded barrier loop issues
+  // one per TTI window) always see time advance to each horizon instead
+  // of standing still at the last executed event. After stop(), now()
+  // stays at the stopping event's timestamp — the clock must not
+  // teleport past events that never ran.
   void run_until(Nanos t_end);
   // Run until the queue is empty (use with care: periodic tasks never
   // drain; prefer run_until).
@@ -219,6 +255,14 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  // Past-time at() calls that were clamped to now(). Healthy schedules
+  // never clamp; a nonzero value flags a caller computing stale times.
+  [[nodiscard]] std::uint64_t past_schedules_clamped() const {
+    return past_clamped_;
+  }
+  // True when the last run_until/run_all exited via stop() rather than
+  // reaching its horizon or draining.
+  [[nodiscard]] bool stopped() const { return stopped_; }
   // FNV-1a-style hash over the (time, seq) of every executed event, in
   // execution order — the determinism fingerprint the golden-trace test
   // compares across refactors.
@@ -236,7 +280,9 @@ class Simulator {
   struct EventRecord {
     InlineCallback fn;
     Nanos period = 0;  // > 0 for a periodic series
-    std::uint32_t generation = 0;
+    // 64-bit: bumped on every retire, so a recycled slot can never
+    // revisit a generation an outstanding handle still holds (ABA).
+    std::uint64_t generation = 0;
     std::uint32_t pending = 0;  // queue entries referencing this record
     bool cancelled = false;
   };
@@ -245,7 +291,7 @@ class Simulator {
     Nanos time;
     std::uint64_t seq;
     std::uint32_t slot;
-    std::uint32_t generation;
+    std::uint64_t generation;
     // Min-heap by (time, seq).
     bool operator>(const HeapEntry& other) const {
       return time != other.time ? time > other.time : seq > other.seq;
@@ -261,13 +307,16 @@ class Simulator {
   void retire_record(std::uint32_t slot);
   void execute_top(HeapEntry entry);
 
-  void cancel_event(std::uint32_t slot, std::uint32_t generation);
+  void cancel_event(std::uint32_t slot, std::uint64_t generation);
   [[nodiscard]] bool event_cancelled(std::uint32_t slot,
-                                     std::uint32_t generation);
+                                     std::uint64_t generation);
+  [[nodiscard]] EventState event_state(std::uint32_t slot,
+                                       std::uint64_t generation);
 
   Nanos now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t past_clamped_ = 0;
   std::uint64_t trace_hash_ = 1469598103934665603ULL;  // hash seed
   bool stopped_ = false;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
@@ -287,6 +336,11 @@ inline void EventHandle::cancel() {
 
 inline bool EventHandle::cancelled() const {
   return sim_ != nullptr && sim_->event_cancelled(slot_, generation_);
+}
+
+inline EventState EventHandle::state() const {
+  return sim_ == nullptr ? EventState::kInvalid
+                         : sim_->event_state(slot_, generation_);
 }
 
 }  // namespace slingshot

@@ -62,6 +62,11 @@ void ProgrammableSwitch::stop_packet_generator() {
 }
 
 void ProgrammableSwitch::emit_on_port(int port, Packet&& packet) {
+  // Every emission funnels through here (emit_via_l2 included), so the
+  // notification tap sees each matching frame exactly once.
+  if (notify_tap_ && packet.eth.ethertype == notify_type_) {
+    notify_tap_(packet, sim_.now());
+  }
   Link* link = port_links_.at(std::size_t(port));
   if (link == nullptr) {
     return;  // unwired port: frame silently dropped

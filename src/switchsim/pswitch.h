@@ -61,6 +61,9 @@ class DataplaneProgram {
 using IngressTap =
     std::function<void(const Packet&, int ingress_port, Nanos now)>;
 
+// Observes emitted frames of one EtherType (see set_notification_tap).
+using NotificationTap = std::function<void(const Packet&, Nanos now)>;
+
 class ProgrammableSwitch {
  public:
   ProgrammableSwitch(Simulator& sim, int num_ports,
@@ -85,6 +88,16 @@ class ProgrammableSwitch {
   void stop_packet_generator();
 
   void set_ingress_tap(IngressTap tap) { tap_ = std::move(tap); }
+
+  // Observes frames the switch *emits* with the given EtherType —
+  // regardless of egress port or whether the port is wired. Lets a
+  // fleet-level watcher (the shard coordinator) see switch-originated
+  // failure notifications (§5.2.2) without sitting in the forwarding
+  // path. One tap per switch; pass a null function to detach.
+  void set_notification_tap(EtherType type, NotificationTap tap) {
+    notify_type_ = type;
+    notify_tap_ = std::move(tap);
+  }
 
   // Mirror the frame/generator counters into registry counters. Cached
   // raw pointers (registry storage is stable), null-checked on the hot
@@ -122,6 +135,8 @@ class ProgrammableSwitch {
   std::shared_ptr<DataplaneProgram> program_;
   EventHandle generator_;
   IngressTap tap_;
+  EtherType notify_type_ = EtherType::kControl;
+  NotificationTap notify_tap_;
   std::uint64_t processed_ = 0;
   std::uint64_t gen_count_ = 0;
   obs::Counter* obs_frames_ = nullptr;

@@ -1,0 +1,130 @@
+#include "testbed/sharded_testbed.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace slingshot {
+
+std::uint64_t ShardedTestbed::island_seed(std::uint64_t base, int island) {
+  // splitmix64-style mix of (base, island): well-separated per-island
+  // RNG universes from one user-facing seed, stable across runs and
+  // shard counts (the determinism contract hangs off this).
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * std::uint64_t(island + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+ShardedTestbed::ShardedTestbed(ShardedTestbedConfig config)
+    : config_(std::move(config)),
+      engine_(ShardedSimulator::Config{config_.slots.slot_duration,
+                                       config_.shards}),
+      coord_(ShardCoordinator::Config{
+          config_.coordinator_spares < 0 ? int(config_.cells.size())
+                                         : config_.coordinator_spares,
+          config_.coordinator_boot_delay}) {
+  islands_.reserve(config_.cells.size());
+  for (int c = 0; c < int(config_.cells.size()); ++c) {
+    TestbedConfig tc;
+    tc.seed = island_seed(config_.seed, c);
+    tc.mode = TestbedMode::kSlingshot;
+    tc.cells = {config_.cells[std::size_t(c)]};
+    tc.standby_pool_size = config_.pool_per_cell;
+    tc.slots = config_.slots;
+    auto tb = std::make_unique<Testbed>(tc);
+    const int idx = engine_.add_island(&tb->sim());
+
+    // Island -> coordinator: every in-switch detector firing becomes a
+    // fleet-ledger episode. The payload byte is the failed PhyId
+    // (core/fh_mbox.cc formats the notification).
+    tb->fabric().set_notification_tap(
+        EtherType::kFailureNotify,
+        [this, idx](const Packet& p, Nanos now) {
+          ControlMsg msg;
+          msg.src_island = idx;
+          msg.kind = std::uint32_t(ShardCtrlKind::kFailureEpisode);
+          msg.a = p.payload.empty() ? 0 : p.payload[0];
+          msg.time = now;
+          engine_.post_control(msg);
+        });
+
+    // Island -> coordinator: pool inventory changes.
+    Testbed* tb_raw = tb.get();
+    tb->orion().set_pool_observer(
+        [this, idx, tb_raw](OrionL2Side::PoolEvent event, PhyId phy) {
+          ControlMsg msg;
+          msg.src_island = idx;
+          msg.time = tb_raw->sim().now();
+          msg.a = phy.value();
+          switch (event) {
+            case OrionL2Side::PoolEvent::kConsumed:
+              msg.kind = std::uint32_t(ShardCtrlKind::kPoolConsumed);
+              break;
+            case OrionL2Side::PoolEvent::kExhausted:
+              msg.kind = std::uint32_t(ShardCtrlKind::kPoolExhausted);
+              break;
+            case OrionL2Side::PoolEvent::kMemberDead:
+              msg.kind = std::uint32_t(ShardCtrlKind::kMemberDead);
+              break;
+            case OrionL2Side::PoolEvent::kRestored:
+              msg.kind = std::uint32_t(ShardCtrlKind::kMemberRestored);
+              break;
+          }
+          engine_.post_control(msg);
+        });
+    islands_.push_back(std::move(tb));
+  }
+
+  // Coordinator -> island: a granted spare revives the island's dead
+  // PHY as a fresh pool standby one boot delay after the report. The
+  // mailbox clamps delivery to the window boundary, so the grant is a
+  // deterministic (time, seq) point in the island's own stream.
+  engine_.set_control_sink(
+      [this](const ControlMsg& msg) { coord_.on_control(msg); });
+  coord_.set_grant_action([this](int island, Nanos at) {
+    engine_.post_event_from_control(island, at, [this, island] {
+      islands_[std::size_t(island)]->revive_dead_phy_as_standby();
+    });
+  });
+
+  // Stamp logs with the fleet window clock (see header for why the
+  // per-island clocks the Testbed ctors installed are unusable here).
+  log_time_.install([this] { return engine_.now(); });
+}
+
+ShardedTestbed::~ShardedTestbed() = default;
+
+void ShardedTestbed::start() {
+  for (auto& island : islands_) {
+    island->start();
+  }
+}
+
+void ShardedTestbed::kill_primary_at(int cell, Nanos t) {
+  Testbed* tb = islands_.at(std::size_t(cell)).get();
+  tb->sim().at(t, [tb] { tb->kill_phy(tb->phy_id(0)); });
+}
+
+void ShardedTestbed::attach_observability() {
+  if (!obs_lanes_.empty()) {
+    return;
+  }
+  obs_lanes_.reserve(islands_.size());
+  for (auto& island : islands_) {
+    auto lane = std::make_unique<obs::Observability>(island->obs_config());
+    island->attach_observability(*lane);
+    obs_lanes_.push_back(std::move(lane));
+  }
+}
+
+std::string ShardedTestbed::merged_obs_json() {
+  std::vector<obs::Observability*> lanes;
+  lanes.reserve(obs_lanes_.size());
+  for (auto& lane : obs_lanes_) {
+    lanes.push_back(lane.get());
+  }
+  return obs::merged_islands_json(lanes);
+}
+
+}  // namespace slingshot

@@ -1,0 +1,124 @@
+// Sharded multi-cell testbed: one self-contained cell island per cell,
+// advanced in lockstep TTI windows by a ShardedSimulator, with a global
+// ShardCoordinator as the sequenced control island.
+//
+// Partitioning: cell c becomes island c — a complete Testbed (its own
+// Simulator, edge switch + fronthaul middlebox, L2, Orion, and a
+// per-island slice of the standby pool). The cut follows the physics:
+// fronthaul and FAPI latencies are sub-TTI (a 1 µs link hop cannot
+// cross a 500 µs conservative window), so everything latency-coupled
+// stays inside one island, while the traffic that genuinely spans cells
+// — failure-episode reporting and spare-inventory management — is
+// control-plane, tolerates one-window latency, and rides the sequenced
+// mailbox.
+//
+// Determinism: each island is built from a per-island seed derived only
+// from (base seed, island index), its event stream depends only on its
+// own state plus mailbox deliveries, and mailbox order is fixed by
+// (source island, seq) — so per-island executed counts and trace hashes
+// are bit-identical at every shard count. `shards` is purely a
+// parallelism knob (worker threads in the window barrier loop).
+//
+// Cross-island wiring (per island):
+//  * switch notification tap (kFailureNotify) -> kFailureEpisode to the
+//    coordinator: the fleet sees every in-switch detector firing.
+//  * Orion pool observer -> kPoolConsumed / kPoolExhausted /
+//    kMemberDead / kMemberRestored to the coordinator.
+//  * coordinator grant -> island revive_phy (boot delay later): the
+//    global spare inventory replaces consumed standbys, restoring
+//    protection after a failover (core/shard_coord.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "core/shard_coord.h"
+#include "sim/sharded.h"
+#include "testbed/testbed.h"
+
+namespace slingshot {
+
+struct ShardedTestbedConfig {
+  std::uint64_t seed = 1;
+  // One island per entry. Island i serves cells[i] with RuId{1} and a
+  // dedicated primary PhyId{1} inside its own Testbed.
+  std::vector<CellSpec> cells;
+  // Worker threads for the window barrier loop (parallelism only —
+  // never affects any simulation outcome).
+  int shards = 1;
+  // Hot standbys in each island's local pool slice.
+  int pool_per_cell = 1;
+  // Global replacement inventory managed by the coordinator. Defaults
+  // to one spare per cell when negative.
+  int coordinator_spares = -1;
+  // Grant-to-pool-join delay (process boot + §6.3 init replay).
+  Nanos coordinator_boot_delay = 5'000'000;
+  SlotConfig slots{};
+};
+
+class ShardedTestbed {
+ public:
+  explicit ShardedTestbed(ShardedTestbedConfig config);
+  ~ShardedTestbed();
+
+  // Power on every island (Testbed::start) — call before run_until.
+  void start();
+  // Advance all islands in lockstep windows to virtual time t.
+  void run_until(Nanos t) { engine_.run_until(t); }
+  void run_for(Nanos dt) { engine_.run_until(engine_.now() + dt); }
+  [[nodiscard]] Nanos now() const { return engine_.now(); }
+
+  // Schedule a fail-stop of island `cell`'s primary PHY at island-local
+  // virtual time t. Call from the coordinating thread only (setup, or
+  // between run_until segments) — never from inside another island.
+  void kill_primary_at(int cell, Nanos t);
+
+  [[nodiscard]] int num_islands() const { return int(islands_.size()); }
+  [[nodiscard]] Testbed& island(int i) {
+    return *islands_.at(std::size_t(i));
+  }
+  [[nodiscard]] ShardedSimulator& engine() { return engine_; }
+  [[nodiscard]] ShardCoordinator& coordinator() { return coord_; }
+
+  // ---- Determinism fingerprints (must match across shard counts) ----
+  [[nodiscard]] std::uint64_t island_hash(int i) const {
+    return engine_.island_trace_hash(i);
+  }
+  [[nodiscard]] std::uint64_t island_executed(int i) const {
+    return engine_.island_executed(i);
+  }
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    return engine_.fingerprint();
+  }
+
+  // ---- Observability: one lane per island, merged on export ----
+  // Builds and attaches an obs bundle to every island (idempotent).
+  void attach_observability();
+  // Finalizes all lanes and renders the merged per-island JSON array
+  // (obs::merged_islands_json). Empty "[]" if never attached.
+  [[nodiscard]] std::string merged_obs_json();
+
+ private:
+  [[nodiscard]] static std::uint64_t island_seed(std::uint64_t base,
+                                                 int island);
+
+  ShardedTestbedConfig config_;
+  ShardedSimulator engine_;
+  ShardCoordinator coord_;
+  std::vector<std::unique_ptr<Testbed>> islands_;
+  std::vector<std::unique_ptr<obs::Observability>> obs_lanes_;
+  // Fleet-window log clock. Each Testbed ctor installed its own island
+  // clock as the global log time source — under sharding that means log
+  // calls on one island's worker thread read another island's mutating
+  // clock (a data race, and misleading timestamps). This guard, installed
+  // after all islands are built, stamps logs with the engine's window
+  // clock instead: it only advances between windows on the coordinating
+  // thread, so island threads always read a stable value. Declared last
+  // so it releases before any island (and its clock) is destroyed.
+  ScopedLogTimeSource log_time_;
+};
+
+}  // namespace slingshot

@@ -1,0 +1,172 @@
+// ShardedSimulator: conservative window barrier + sequenced mailbox.
+//
+// The determinism contract under test: per-island (time, seq) traces —
+// and therefore trace hashes and executed counts — are bit-identical at
+// every shard count, because islands share no state and all cross-island
+// traffic is delivered at barriers in fixed (source island, seq) order.
+#include "sim/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slingshot {
+namespace {
+
+TEST(ShardedSimulator, WindowedRunAdvancesEveryIsland) {
+  Simulator a{1};
+  Simulator b{2};
+  ShardedSimulator engine{{/*window=*/100, /*shards=*/1}};
+  engine.add_island(&a);
+  engine.add_island(&b);
+  int fired_a = 0;
+  int fired_b = 0;
+  a.every(0, 40, [&] { ++fired_a; });
+  b.every(0, 70, [&] { ++fired_b; });
+  engine.run_until(1'000);
+  EXPECT_EQ(engine.now(), 1'000);
+  EXPECT_EQ(a.now(), 1'000);  // run_until lands each island on the horizon
+  EXPECT_EQ(b.now(), 1'000);
+  EXPECT_EQ(fired_a, 26);  // t = 0, 40, ..., 1000
+  EXPECT_EQ(fired_b, 15);  // t = 0, 70, ..., 980
+  EXPECT_EQ(engine.windows_run(), 10U);
+}
+
+TEST(ShardedSimulator, MailboxDeliversAtNextWindowBoundary) {
+  Simulator a;
+  Simulator b;
+  ShardedSimulator engine{{100, 1}};
+  const int ia = engine.add_island(&a);
+  const int ib = engine.add_island(&b);
+  (void)ib;
+  std::vector<Nanos> arrivals;
+  // Posted mid-window 0 (t=30): visible on island b at the window-1
+  // boundary (t=100), never earlier.
+  a.at(30, [&] {
+    engine.post_event(ia, 1, /*not_before=*/0,
+                      [&] { arrivals.push_back(b.now()); });
+  });
+  // not_before beyond the boundary: delivery waits for it.
+  a.at(130, [&] {
+    engine.post_event(ia, 1, /*not_before=*/450,
+                      [&] { arrivals.push_back(b.now()); });
+  });
+  engine.run_until(1'000);
+  ASSERT_EQ(arrivals.size(), 2U);
+  EXPECT_EQ(arrivals[0], 100);
+  EXPECT_EQ(arrivals[1], 450);
+  EXPECT_EQ(engine.events_delivered(), 2U);
+  // Mailbox delivery must never clamp (that would mean a past-time
+  // schedule, i.e. a conservative-window violation).
+  EXPECT_EQ(b.past_schedules_clamped(), 0U);
+}
+
+TEST(ShardedSimulator, ControlMessagesArriveInSourceSeqOrder) {
+  Simulator a;
+  Simulator b;
+  Simulator c;
+  ShardedSimulator engine{{100, 1}};
+  engine.add_island(&a);
+  engine.add_island(&b);
+  engine.add_island(&c);
+  std::vector<std::pair<int, std::uint64_t>> seen;
+  engine.set_control_sink([&](const ControlMsg& m) {
+    seen.emplace_back(m.src_island, m.a);
+  });
+  // Post in scrambled wall order within the window; the barrier must
+  // deliver ascending (src island, per-source seq).
+  c.at(10, [&] { engine.post_control({2, 1, 100, 0, c.now()}); });
+  a.at(20, [&] { engine.post_control({0, 1, 200, 0, a.now()}); });
+  b.at(30, [&] { engine.post_control({1, 1, 300, 0, b.now()}); });
+  a.at(40, [&] { engine.post_control({0, 1, 201, 0, a.now()}); });
+  engine.run_until(100);
+  const std::vector<std::pair<int, std::uint64_t>> want = {
+      {0, 200}, {0, 201}, {1, 300}, {2, 100}};
+  EXPECT_EQ(seen, want);
+}
+
+TEST(ShardedSimulator, ControlSinkCanGrantEventsBack) {
+  Simulator a;
+  Simulator b;
+  ShardedSimulator engine{{100, 1}};
+  const int ia = engine.add_island(&a);
+  engine.add_island(&b);
+  Nanos granted_at = -1;
+  engine.set_control_sink([&](const ControlMsg& m) {
+    // Respond to island 0's report by scheduling work on island 1.
+    engine.post_event_from_control(1, m.time + 250,
+                                   [&] { granted_at = b.now(); });
+  });
+  a.at(30, [&] { engine.post_control({ia, 7, 0, 0, a.now()}); });
+  engine.run_until(1'000);
+  EXPECT_EQ(granted_at, 280);  // report at 30 + 250 delay
+}
+
+// The heart of the tentpole: a messaging workload whose per-island
+// traces are bit-identical at shard counts 1, 2, and 4.
+TEST(ShardedSimulator, TracesBitIdenticalAcrossShardCounts) {
+  constexpr int kIslands = 5;
+  auto run = [](int shards) {
+    std::vector<std::unique_ptr<Simulator>> sims;
+    ShardedSimulator engine{{100, shards}};
+    for (int i = 0; i < kIslands; ++i) {
+      sims.push_back(std::make_unique<Simulator>(std::uint64_t(i) + 1));
+      engine.add_island(sims.back().get());
+    }
+    // Each island: RNG-driven local work, plus a periodic message to
+    // its ring neighbor that schedules more work there.
+    std::vector<RngStream> rngs;
+    std::vector<std::uint64_t> sink(kIslands, 0);
+    for (int i = 0; i < kIslands; ++i) {
+      rngs.push_back(sims[std::size_t(i)]->rng().stream("island"));
+    }
+    for (int i = 0; i < kIslands; ++i) {
+      Simulator& sim = *sims[std::size_t(i)];
+      sim.every(10 * (i + 1), 35, [&, i] {
+        sink[std::size_t(i)] ^= rngs[std::size_t(i)].next_u64();
+      });
+      sim.every(50, 120, [&, i] {
+        const int dst = (i + 1) % kIslands;
+        engine.post_event(i, dst, 0, [&, dst] {
+          Simulator& d = *sims[std::size_t(dst)];
+          d.after(15, [&, dst] { sink[std::size_t(dst)] += 1; });
+        });
+      });
+    }
+    engine.run_until(5'000);
+    std::vector<std::uint64_t> fp;
+    for (int i = 0; i < kIslands; ++i) {
+      fp.push_back(engine.island_trace_hash(i));
+      fp.push_back(engine.island_executed(i));
+      fp.push_back(sink[std::size_t(i)]);
+      EXPECT_EQ(sims[std::size_t(i)]->past_schedules_clamped(), 0U);
+    }
+    fp.push_back(engine.fingerprint());
+    fp.push_back(engine.events_delivered());
+    return fp;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+}
+
+TEST(ShardedSimulator, FingerprintSensitiveToAnyIsland) {
+  auto run = [](Nanos perturb) {
+    Simulator a;
+    Simulator b;
+    ShardedSimulator engine{{100, 1}};
+    engine.add_island(&a);
+    engine.add_island(&b);
+    a.at(10, [] {});
+    b.at(perturb, [] {});
+    engine.run_until(500);
+    return engine.fingerprint();
+  };
+  EXPECT_EQ(run(20), run(20));
+  EXPECT_NE(run(20), run(30));
+}
+
+}  // namespace
+}  // namespace slingshot

@@ -38,11 +38,34 @@ TEST(Simulator, NowAdvancesWithEvents) {
   EXPECT_EQ(sim.now(), 1_s);  // clock advances to the horizon
 }
 
-TEST(Simulator, SchedulingInPastThrows) {
+// Regression: a past-time schedule must never land behind now_ — the
+// heap would still pop it and execute it out of causal order, breaking
+// the (time, seq) trace contract. It is clamped to now() and counted.
+TEST(Simulator, SchedulingInPastClampsToNow) {
   Simulator sim;
   sim.at(10, [] {});
   sim.run_until(20);
-  EXPECT_THROW(sim.at(5, [] {}), std::invalid_argument);
+  ASSERT_EQ(sim.past_schedules_clamped(), 0U);
+  Nanos fired_at = -1;
+  sim.at(5, [&] { fired_at = sim.now(); });
+  EXPECT_EQ(sim.past_schedules_clamped(), 1U);
+  sim.run_until(30);
+  EXPECT_EQ(fired_at, 20);  // ran at the clamp time, not at 5
+}
+
+// A clamped event fires at now() *after* events already scheduled at
+// that timestamp (FIFO tie-break — it got the later seq), and the run
+// stays internally deterministic.
+TEST(Simulator, ClampedEventRespectsFifoOrderAtNow) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(10, [&] {
+    sim.at(sim.now(), [&] { order.push_back(1); });
+    sim.at(5, [&] { order.push_back(2); });  // clamped to 10, seq after
+  });
+  sim.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.past_schedules_clamped(), 1U);
 }
 
 TEST(Simulator, AfterSchedulesRelative) {
@@ -114,6 +137,46 @@ TEST(Simulator, StopBreaksRunLoop) {
   EXPECT_EQ(count, 4);
 }
 
+// Regression: run_until must land the clock exactly on t_end when the
+// queue drains early, so back-to-back segments (the sharded barrier
+// loop issues one per TTI window) see time advance monotonically
+// instead of standing still between windows.
+TEST(Simulator, RunUntilAdvancesClockWhenQueueDrainsEarly) {
+  Simulator sim;
+  sim.at(10, [] {});
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+  sim.run_until(1'000);  // empty queue: clock still advances
+  EXPECT_EQ(sim.now(), 1'000);
+  // Relative schedules issued between windows anchor at the window edge.
+  Nanos fired_at = -1;
+  sim.after(50, [&] { fired_at = sim.now(); });
+  sim.run_until(1'500);
+  EXPECT_EQ(fired_at, 1'050);
+}
+
+// After stop(), now() stays at the stopping event's timestamp: the rest
+// of the queue has not run, and teleporting to the horizon would let
+// follow-up schedules land after events that are still pending.
+TEST(Simulator, StopLeavesClockAtStoppingEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.every(0, 100, [&] {
+    if (++count == 4) {
+      sim.stop();
+    }
+  });
+  sim.run_until(1'000'000);
+  ASSERT_EQ(count, 4);
+  EXPECT_TRUE(sim.stopped());
+  EXPECT_EQ(sim.now(), 300);  // t = 0,100,200,300 then stop
+  // Resuming picks up the pending series where it left off.
+  sim.run_until(600);
+  EXPECT_FALSE(sim.stopped());
+  EXPECT_EQ(count, 7);  // 400, 500, 600
+  EXPECT_EQ(sim.now(), 600);
+}
+
 TEST(Simulator, DeterministicAcrossRuns) {
   auto run = [] {
     Simulator sim{123};
@@ -158,6 +221,48 @@ TEST(Simulator, StaleCancelDoesNotAffectRecycledSlot) {
   sim.run_until(40);
   EXPECT_TRUE(first);
   EXPECT_TRUE(second);
+}
+
+// Regression (ABA through free_slots_): a handle whose record was
+// retired must answer "expired", never "cancelled" — and never report
+// the state of an unrelated event that recycled the same slot.
+TEST(Simulator, HandleStateDistinguishesExpiredFromCancelled) {
+  Simulator sim;
+  EXPECT_EQ(EventHandle{}.state(), EventState::kInvalid);
+
+  auto pending = sim.at(100, [] {});
+  EXPECT_EQ(pending.state(), EventState::kPending);
+
+  auto doomed = sim.at(50, [] {});
+  doomed.cancel();
+  EXPECT_EQ(doomed.state(), EventState::kCancelled);
+  EXPECT_TRUE(doomed.cancelled());
+
+  sim.run_until(200);
+  // Fired and cancelled-then-reaped records are both expired; neither
+  // reads as "cancelled" through a stale handle.
+  EXPECT_EQ(pending.state(), EventState::kExpired);
+  EXPECT_EQ(doomed.state(), EventState::kExpired);
+  EXPECT_FALSE(pending.cancelled());
+  EXPECT_FALSE(doomed.cancelled());
+}
+
+TEST(Simulator, RecycledSlotReportsExpiredForStaleHandle) {
+  Simulator sim;
+  auto stale = sim.at(10, [] {});
+  sim.run_until(20);  // fires; slot returns to the freelist
+  ASSERT_EQ(stale.state(), EventState::kExpired);
+
+  // The freelist hands the same slot to the next event. The stale
+  // handle must keep answering "expired" whatever the fresh event does.
+  auto fresh = sim.at(30, [] {});
+  EXPECT_EQ(fresh.state(), EventState::kPending);
+  EXPECT_EQ(stale.state(), EventState::kExpired);
+
+  fresh.cancel();
+  EXPECT_EQ(fresh.state(), EventState::kCancelled);
+  EXPECT_EQ(stale.state(), EventState::kExpired);
+  EXPECT_FALSE(stale.cancelled());  // not a false positive off fresh's flag
 }
 
 TEST(Simulator, OneShotCanCancelItselfWhileRunning) {
