@@ -85,13 +85,14 @@ std::int64_t total_decodes(Testbed& tb, int num_ues) {
 
 // Fig 10-style: heavy bidirectional UDP with a fail-stop primary crash
 // partway through.
-PerfResult run_fig10(Nanos horizon, Nanos event_time,
+PerfResult run_fig10(Nanos horizon, Nanos event_time, int bulk_ues,
                      ThreadPool* pool = nullptr,
                      obs::Observability* o = nullptr) {
   TestbedConfig cfg;
   cfg.seed = 10;
   cfg.num_ues = 1;
   cfg.ue_mean_snr_db = {21.0};
+  cfg.bulk_ues = bulk_ues;
   Testbed tb{cfg};
   tb.sim().set_thread_pool(pool);
   if (o != nullptr) {
@@ -129,11 +130,12 @@ PerfResult run_fig10(Nanos horizon, Nanos event_time,
 
 // The same config the traced fig10 testbed will hand out — the
 // Observability object must exist before the testbed it observes.
-obs::ObservabilityConfig fig10_obs_config() {
+obs::ObservabilityConfig fig10_obs_config(int bulk_ues) {
   TestbedConfig cfg;
   cfg.seed = 10;
   cfg.num_ues = 1;
   cfg.ue_mean_snr_db = {21.0};
+  cfg.bulk_ues = bulk_ues;
   Testbed tb{cfg};
   return tb.obs_config();
 }
@@ -259,12 +261,14 @@ bool report_obs(obs::Observability& o, double traced_wall_s,
 
 // Table 2-style: uplink UDP near the decoding threshold while planned
 // migrations bounce the PHY at 20/s.
-PerfResult run_tab02(Nanos measure, ThreadPool* pool = nullptr) {
+PerfResult run_tab02(Nanos measure, int bulk_ues,
+                     ThreadPool* pool = nullptr) {
   TestbedConfig cfg;
   cfg.seed = 21;
   cfg.num_ues = 1;
   cfg.ue_mean_snr_db = {13.5};
   cfg.phy.ldpc_max_iters = 4;
+  cfg.bulk_ues = bulk_ues;
   Testbed tb{cfg};
   tb.sim().set_thread_pool(pool);
 
@@ -417,7 +421,7 @@ bool run_shard_mode(bool short_mode, int shards,
 }
 
 void report(const char* scenario, const PerfResult& r, int threads,
-            const std::string& json_path) {
+            int bulk_ues, const std::string& json_path) {
   using namespace slingshot::bench;
   std::printf("\n%s:\n", scenario);
   std::printf("  wall-clock       %8.2f s\n", r.wall_s);
@@ -443,6 +447,12 @@ void report(const char* scenario, const PerfResult& r, int threads,
       .num("decodes_per_s", double(r.decodes) / r.wall_s)
       .integer("ul_rx_pkts", (long long)(r.ul_rx_pkts))
       .integer("dl_rx_pkts", (long long)(r.dl_rx_pkts));
+  if (bulk_ues > 0) {
+    // Massive-UE annotation (--ues N): a batch of N SoA UEs rode the
+    // cell alongside the tracer UE. Omitted at 0 so pre-existing rows
+    // and bulk-free rows stay byte-compatible.
+    row.integer("ues", bulk_ues);
+  }
   append_bench_json(json_path, row);
 }
 
@@ -455,7 +465,8 @@ int main(int argc, char** argv) {
   bool short_mode = false;
   bool trace_mode = false;
   int threads = 1;
-  int shards = 0;  // 0 = classic single-testbed scenarios
+  int shards = 0;     // 0 = classic single-testbed scenarios
+  int bulk_ues = 0;   // --ues N: batched UEs riding each scenario cell
   std::string json_path = "BENCH_perf.json";
   std::string obs_json_path = "BENCH_obs.json";
   for (int i = 1; i < argc; ++i) {
@@ -472,6 +483,11 @@ int main(int argc, char** argv) {
       shards = std::atoi(argv[++i]);
       if (shards < 1) {
         shards = 1;
+      }
+    } else if (std::strcmp(argv[i], "--ues") == 0 && i + 1 < argc) {
+      bulk_ues = std::atoi(argv[++i]);
+      if (bulk_ues < 0) {
+        bulk_ues = 0;
       }
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
@@ -494,8 +510,8 @@ int main(int argc, char** argv) {
                                ? "wall-clock perf harness (short smoke mode)"
                                : "wall-clock perf harness");
   print_note(("rows appended to " + json_path).c_str());
-  std::printf("threads: %d   simd: %s\n", threads,
-              simd::level_name(simd::active_level()));
+  std::printf("threads: %d   simd: %s   bulk ues: %d\n", threads,
+              simd::level_name(simd::active_level()), bulk_ues);
 
   // One pool shared by every scenario run; null at --threads 1 so the
   // single-thread rows measure the strictly serial simulator.
@@ -504,23 +520,24 @@ int main(int argc, char** argv) {
 
   const Nanos fig10_horizon = short_mode ? 1'500_ms : 10'000_ms;
   const Nanos fig10_event = short_mode ? 500_ms : 2'000_ms;
-  const auto fig10 = run_fig10(fig10_horizon, fig10_event, pool_ptr);
+  const auto fig10 = run_fig10(fig10_horizon, fig10_event, bulk_ues, pool_ptr);
   report(short_mode ? "fig10_failover_short" : "fig10_failover", fig10,
-         threads, json_path);
+         threads, bulk_ues, json_path);
 
   bool obs_ok = true;
   if (trace_mode) {
     // Same scenario, tracer attached; the untraced run above is the
     // overhead baseline.
-    obs::Observability o{fig10_obs_config()};
-    const auto traced = run_fig10(fig10_horizon, fig10_event, pool_ptr, &o);
+    obs::Observability o{fig10_obs_config(bulk_ues)};
+    const auto traced =
+        run_fig10(fig10_horizon, fig10_event, bulk_ues, pool_ptr, &o);
     obs_ok = report_obs(o, traced.wall_s, fig10.wall_s, obs_json_path,
                         short_mode ? "fig10_failover_short" : "fig10_failover");
   }
 
-  const auto tab02 = short_mode ? run_tab02(2'000_ms, pool_ptr)
-                                : run_tab02(6'000_ms, pool_ptr);
+  const auto tab02 = short_mode ? run_tab02(2'000_ms, bulk_ues, pool_ptr)
+                                : run_tab02(6'000_ms, bulk_ues, pool_ptr);
   report(short_mode ? "tab02_migration_short" : "tab02_migration", tab02,
-         threads, json_path);
+         threads, bulk_ues, json_path);
   return obs_ok ? 0 : 1;
 }

@@ -107,16 +107,39 @@ class Checker {
         }
         saw_bench = true;
       }
-      if (key == "shards") {
-        // Shard-count annotation (perf_e2e --shards, abl_scale_sweep):
-        // optional, but when present it must be a positive integer —
-        // downstream sweep tooling groups rows by it.
+      if (key == "shards" || key == "ues") {
+        // Shard-count / UE-population annotations (perf_e2e --shards,
+        // abl_scale_sweep, abl_ue_sweep, perf_e2e --ues): optional, but
+        // when present they must be positive integers — downstream
+        // sweep tooling groups rows by them.
         const std::string raw = text_.substr(value_start, pos_ - value_start);
         const bool is_digits =
             !raw.empty() &&
             raw.find_first_not_of("0123456789") == std::string::npos;
         if (!is_digits || std::atoll(raw.c_str()) < 1) {
-          return err("\"shards\" must be a positive integer, got '" + raw +
+          return err("\"" + key + "\" must be a positive integer, got '" +
+                     raw + "'");
+        }
+      }
+      if (key == "failover_dropped_ttis") {
+        // Failover-gap measurements (abl_scale_sweep, abl_ue_sweep): a
+        // non-negative integer TTI count.
+        const std::string raw = text_.substr(value_start, pos_ - value_start);
+        const bool is_digits =
+            !raw.empty() &&
+            raw.find_first_not_of("0123456789") == std::string::npos;
+        if (!is_digits) {
+          return err(
+              "\"failover_dropped_ttis\" must be a non-negative integer, "
+              "got '" +
+              raw + "'");
+        }
+      }
+      if (key == "bytes_per_ue") {
+        // SoA footprint (abl_ue_sweep): a non-negative finite number.
+        const std::string raw = text_.substr(value_start, pos_ - value_start);
+        if (!raw.empty() && raw[0] == '-') {
+          return err("\"bytes_per_ue\" must be non-negative, got '" + raw +
                      "'");
         }
       }
@@ -277,6 +300,9 @@ bool self_test() {
       .num("was_nan", std::nan(""))
       .integer("count", -3)
       .integer("shards", 4)
+      .integer("ues", 100000)
+      .integer("failover_dropped_ttis", 2)
+      .num("bytes_per_ue", 42.0)
       .boolean("flag", true);
   bool ok = slingshot::bench::append_bench_json(path.string(), row);
   // Append a second row to exercise the array-reopening path too.
@@ -285,17 +311,23 @@ bool self_test() {
   ok = ok && validate_file(path);
   fs::remove(path, ec);
 
-  // Negative checks: the "shards" rule must actually reject bad rows.
+  // Negative checks: the keyed row rules must actually reject bad rows.
   for (const char* bad : {
            "[\n  {\"bench\": \"x\", \"shards\": 0}\n]\n",
            "[\n  {\"bench\": \"x\", \"shards\": -2}\n]\n",
            "[\n  {\"bench\": \"x\", \"shards\": 2.5}\n]\n",
            "[\n  {\"bench\": \"x\", \"shards\": \"4\"}\n]\n",
+           "[\n  {\"bench\": \"x\", \"ues\": 0}\n]\n",
+           "[\n  {\"bench\": \"x\", \"ues\": -100}\n]\n",
+           "[\n  {\"bench\": \"x\", \"ues\": 1e3}\n]\n",
+           "[\n  {\"bench\": \"x\", \"failover_dropped_ttis\": -1}\n]\n",
+           "[\n  {\"bench\": \"x\", \"failover_dropped_ttis\": 1.5}\n]\n",
+           "[\n  {\"bench\": \"x\", \"bytes_per_ue\": -42.0}\n]\n",
        }) {
     const std::string text{bad};
     Checker checker{text};
     if (checker.check().empty()) {
-      std::printf("  bad-shards row was accepted: %s", bad);
+      std::printf("  bad keyed row was accepted: %s", bad);
       ok = false;
     }
   }

@@ -27,6 +27,22 @@ struct FadingConfig {
   double amp_sigma_db = 0.3;     // amplitude fading around 0 dB
 };
 
+// Reduced form of the fading model for the massive-UE batch
+// (src/ue/ue_batch.h): only the AR(1) SNR recursion survives — the batch
+// never synthesizes IQ, so the tap phase/amplitude processes are
+// dropped — and the parameters are narrowed to float for the SoA lanes.
+struct BatchFadingParams {
+  float mean_snr_db = 20.0F;
+  float ar1_rho = 0.98F;
+  float innov_sigma_db = 0.6F;  // innovation stddev per slot (dB)
+};
+
+[[nodiscard]] inline BatchFadingParams batch_fading_params(
+    const FadingConfig& config) {
+  return BatchFadingParams{float(config.mean_snr_db), float(config.ar1_rho),
+                           float(config.ar1_sigma_db)};
+}
+
 // Evolves per slot; applies the channel to a symbol block.
 class UeChannel {
  public:

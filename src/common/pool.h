@@ -58,6 +58,16 @@ class VectorPool {
 
   [[nodiscard]] std::size_t retained() const { return free_.size(); }
 
+  // Bytes currently parked on the freelist (capacity-accurate): the
+  // pool's contribution to the process memory gauges.
+  [[nodiscard]] std::size_t retained_bytes() const {
+    std::size_t total = 0;
+    for (const auto& v : free_) {
+      total += v.capacity() * sizeof(T);
+    }
+    return total;
+  }
+
  private:
   std::vector<std::vector<T>> free_;
 };
@@ -67,6 +77,10 @@ class VectorPool {
 struct BufferPools {
   VectorPool<std::uint8_t> bytes;
   VectorPool<std::complex<float>> iq;
+
+  [[nodiscard]] std::size_t total_retained_bytes() const {
+    return bytes.retained_bytes() + iq.retained_bytes();
+  }
 
   static BufferPools& instance() {
     static thread_local BufferPools pools;

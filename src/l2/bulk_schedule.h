@@ -1,0 +1,124 @@
+// Shared bulk-UE grant schedule — the contract between the L2 scheduler
+// and the massive-UE batch (src/ue/ue_batch.h).
+//
+// Individually-modeled UEs receive explicit per-UE DCI; at 10^6 UEs that
+// is untenable (the C-plane alone would dwarf the data). Instead the
+// batched population runs on a configured-grant-style schedule: for any
+// absolute slot, both the L2 and the batch recompute the same
+// (wire id, lane, HARQ) tuples from pure arithmetic — no per-lane grant
+// state, no DCI bytes, no lane→RNTI inversion tables. The L2 appends the
+// matching PDUs to its UL_TTI/DL_TTI requests; the batch generates (UL)
+// or consumes (DL) the matching U-plane sections.
+//
+// Bulk wire ids carry bit 15, so every component on the path (PHY
+// decode, RU air interface, L2 indication handlers) can route them with
+// a single mask test. Tracer/legacy UE ids stay far below the flag
+// (testbeds allocate 1.., 101.., 100*cell+1..), so the two populations
+// can never collide on the wire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "fapi/fapi.h"
+
+namespace slingshot {
+
+// Bit 15 marks a bulk (batched) UE wire id.
+inline constexpr std::uint16_t kBulkUeFlag = 0x8000;
+
+[[nodiscard]] inline constexpr bool is_bulk_ue(UeId ue) {
+  return (ue.value() & kBulkUeFlag) != 0;
+}
+
+// Bulk wire id layout: [15]=1, [14:8]=cell, [7:0]=rotating RNTI slot.
+[[nodiscard]] inline constexpr UeId bulk_wire_id(std::uint8_t cell,
+                                                 std::uint8_t rnti) {
+  return UeId{std::uint16_t(kBulkUeFlag |
+                            (std::uint16_t(cell & 0x7F) << 8) | rnti)};
+}
+
+[[nodiscard]] inline constexpr std::uint8_t bulk_cell_of(UeId ue) {
+  return std::uint8_t((ue.value() >> 8) & 0x7F);
+}
+
+// One cell's bulk schedule parameters. `population` is the batch's lane
+// count; the per-slot quotas bound the PHY's extra signal-processing
+// work to a constant independent of population (each lane simply waits
+// longer between turns as the cell fills up).
+struct BulkSchedule {
+  std::uint8_t cell = 0;
+  std::uint32_t population = 0;
+  int ul_grants_per_slot = 2;   // bulk PUSCH PDUs per UL slot
+  int dl_pdus_per_slot = 2;     // bulk PDSCH PDUs per DL slot
+  std::uint8_t ul_mcs = 1;
+  std::uint8_t dl_mcs = 1;
+  std::uint32_t ul_tb_bytes = 320;
+  std::uint32_t dl_tb_bytes = 1402;
+};
+
+// The lane/RNTI/HARQ tuple for turn `j` of a slot. The rotating index
+// keeps the ≤256 in-flight wire ids distinct inside the PHY's pipelined
+// decode window while cycling fairly over all lanes.
+struct BulkTurn {
+  UeId ue;
+  std::uint32_t lane = 0;
+  HarqId harq;
+};
+
+namespace detail {
+[[nodiscard]] inline BulkTurn bulk_turn(const BulkSchedule& s,
+                                        std::int64_t slot, int j,
+                                        int per_slot) {
+  const std::uint64_t index =
+      std::uint64_t(slot) * std::uint64_t(per_slot) + std::uint64_t(j);
+  BulkTurn turn;
+  turn.ue = bulk_wire_id(s.cell, std::uint8_t(index & 0xFF));
+  turn.lane = std::uint32_t(index % s.population);
+  turn.harq = HarqId{std::uint8_t(index & 0x7)};
+  return turn;
+}
+}  // namespace detail
+
+[[nodiscard]] inline BulkTurn bulk_ul_turn(const BulkSchedule& s,
+                                           std::int64_t slot, int j) {
+  return detail::bulk_turn(s, slot, j, s.ul_grants_per_slot);
+}
+
+[[nodiscard]] inline BulkTurn bulk_dl_turn(const BulkSchedule& s,
+                                           std::int64_t slot, int j) {
+  return detail::bulk_turn(s, slot, j, s.dl_pdus_per_slot);
+}
+
+// L2-side helpers: append the slot's bulk PDUs to a TTI request. UL
+// PDUs are always new_data (the batch has no uplink HARQ retention; a
+// missed turn surfaces as a CRC failure and the data is simply re-sent
+// from the lane's credit backlog). DL PDUs carry no TX_DATA payload —
+// the PHY emits them as zero-IQ marker sections and the batch models
+// the decode itself.
+inline void append_bulk_ul(const BulkSchedule& s, std::int64_t slot,
+                           std::vector<TtiPdu>& pdus) {
+  if (s.population == 0) {
+    return;
+  }
+  for (int j = 0; j < s.ul_grants_per_slot; ++j) {
+    const auto turn = bulk_ul_turn(s, slot, j);
+    pdus.push_back(
+        TtiPdu{turn.ue, s.ul_mcs, s.ul_tb_bytes, turn.harq, true});
+  }
+}
+
+inline void append_bulk_dl(const BulkSchedule& s, std::int64_t slot,
+                           std::vector<TtiPdu>& pdus) {
+  if (s.population == 0) {
+    return;
+  }
+  for (int j = 0; j < s.dl_pdus_per_slot; ++j) {
+    const auto turn = bulk_dl_turn(s, slot, j);
+    pdus.push_back(
+        TtiPdu{turn.ue, s.dl_mcs, s.dl_tb_bytes, turn.harq, true});
+  }
+}
+
+}  // namespace slingshot

@@ -63,6 +63,17 @@ void L2Process::add_ue(UeId ue, RuId ru) {
 
 void L2Process::remove_ue(UeId ue) { ues_.erase(ue.value()); }
 
+void L2Process::configure_bulk(RuId ru, const BulkSchedule& schedule) {
+  bulk_[ru.value()] = schedule;
+  bulk_stats_[schedule.cell] = BulkPoolStats{};
+}
+
+const BulkPoolStats& L2Process::bulk_stats(std::uint8_t cell) const {
+  static const BulkPoolStats kEmpty{};
+  const auto it = bulk_stats_.find(cell);
+  return it == bulk_stats_.end() ? kEmpty : it->second;
+}
+
 double L2Process::reported_snr_db(UeId ue) const {
   const auto it = ues_.find(ue.value());
   return it == ues_.end() ? config_.default_snr_db : it->second.snr_db;
@@ -227,6 +238,21 @@ void L2Process::schedule_downlink(RuId ru, std::int64_t target_slot,
     }
   }
 
+  // Bulk DL pdus go at the END of the request with NO payloads: the
+  // PHY's legacy U-plane loop is payload-indexed, so the trailing bulk
+  // pdus never consume a tracer payload (and never perturb the tracer
+  // jitter draw sequence); a separate bulk U-plane path radiates them
+  // as zero-IQ marker sections.
+  if (config_.slots.is_downlink(target_slot)) {
+    const auto bulk = bulk_.find(ru.value());
+    if (bulk != bulk_.end() && bulk->second.population > 0) {
+      const std::size_t before = dl_req.pdus.size();
+      append_bulk_dl(bulk->second, target_slot, dl_req.pdus);
+      bulk_stats_[bulk->second.cell].dl_pdus +=
+          std::int64_t(dl_req.pdus.size() - before);
+    }
+  }
+
   send_fapi(FapiMessage{ru, target_slot, std::move(dl_req)});
   if (!tx.payloads.empty()) {
     send_fapi(FapiMessage{ru, target_slot, std::move(tx)});
@@ -294,6 +320,18 @@ std::vector<UlDci> L2Process::plan_uplink(RuId ru,
   for (const auto& pdu : ul_req.pdus) {
     dci.push_back(UlDci{pdu, target_slot});
   }
+  // Bulk pool: configured grants appended AFTER the DCI loop — they are
+  // implicit (the batch recomputes the same turns), so the C-plane
+  // carries no per-bulk-UE DCI and its wire size stays flat in N.
+  if (config_.slots.is_uplink(target_slot)) {
+    const auto bulk = bulk_.find(ru.value());
+    if (bulk != bulk_.end() && bulk->second.population > 0) {
+      const std::size_t before = ul_req.pdus.size();
+      append_bulk_ul(bulk->second, target_slot, ul_req.pdus);
+      bulk_stats_[bulk->second.cell].ul_pdus +=
+          std::int64_t(ul_req.pdus.size() - before);
+    }
+  }
   if (!ul_req.pdus.empty()) {
     planned_ul_[{ru.value(), target_slot}] = std::move(ul_req);
   }
@@ -323,6 +361,11 @@ void L2Process::handle_crc(const FapiMessage& msg) {
   // Span closes: the slot's UL outcome is back at the scheduler.
   SLS_TRACE_STAGE(sim_, obs::SlotStage::kResponse, msg.ru.value(), msg.slot);
   for (const auto& entry : std::get<CrcIndication>(msg.body).entries) {
+    if (is_bulk_ue(entry.ue)) {
+      auto& pool = bulk_stats_[bulk_cell_of(entry.ue)];
+      ++(entry.ok ? pool.ul_crc_ok : pool.ul_crc_fail);
+      continue;  // no per-UE HARQ context for bulk pools
+    }
     const auto it = ues_.find(entry.ue.value());
     if (it == ues_.end()) {
       continue;
@@ -354,6 +397,13 @@ void L2Process::handle_crc(const FapiMessage& msg) {
 void L2Process::handle_rx_data(FapiMessage&& msg) {
   auto& rx = std::get<RxDataIndication>(msg.body);
   for (auto& pdu : rx.pdus) {
+    if (is_bulk_ue(pdu.ue)) {
+      // Bulk payloads are synthetic app bytes, not RLC frames; account
+      // and discard.
+      bulk_stats_[bulk_cell_of(pdu.ue)].ul_bytes +=
+          std::int64_t(pdu.payload.size());
+      continue;
+    }
     const auto it = ues_.find(pdu.ue.value());
     if (it == ues_.end()) {
       continue;
@@ -366,6 +416,11 @@ void L2Process::handle_rx_data(FapiMessage&& msg) {
 
 void L2Process::handle_uci(const FapiMessage& msg) {
   for (const auto& entry : std::get<UciIndication>(msg.body).entries) {
+    if (is_bulk_ue(entry.ue)) {
+      auto& pool = bulk_stats_[bulk_cell_of(entry.ue)];
+      ++(entry.ack ? pool.dl_acks : pool.dl_nacks);
+      continue;  // bulk DL is always new_data; no retx scheduling
+    }
     const auto it = ues_.find(entry.ue.value());
     if (it == ues_.end()) {
       continue;

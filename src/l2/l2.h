@@ -21,6 +21,7 @@
 #include "common/types.h"
 #include "fapi/channel.h"
 #include "fapi/fapi.h"
+#include "l2/bulk_schedule.h"
 #include "l2/rlc.h"
 #include "phy/mcs.h"
 #include "sim/simulator.h"
@@ -55,6 +56,20 @@ struct HarqSequenceRecord {
   std::int64_t end_slot = 0;
   int transmissions = 0;
   bool delivered = false;
+};
+
+// Aggregate outcome counters for a carrier's bulk (massive-UE) pool.
+// The L2 keeps NO per-bulk-UE context — the pool rides configured
+// grants recomputed from the pure bulk-schedule arithmetic, so L2-side
+// cost is O(quota) per slot regardless of population.
+struct BulkPoolStats {
+  std::int64_t ul_pdus = 0;
+  std::int64_t ul_crc_ok = 0;
+  std::int64_t ul_crc_fail = 0;
+  std::int64_t ul_bytes = 0;
+  std::int64_t dl_pdus = 0;
+  std::int64_t dl_acks = 0;
+  std::int64_t dl_nacks = 0;
 };
 
 struct L2Stats {
@@ -92,6 +107,11 @@ class L2Process final : public FapiSink {
   // ---- UE context management (the L2's hard state) ----
   void add_ue(UeId ue, RuId ru);
   void remove_ue(UeId ue);
+  // Enable the configured-grant bulk pool on a carrier. Unlike add_ue
+  // this creates no per-UE context; both sides recompute the same turn
+  // schedule (src/l2/bulk_schedule.h).
+  void configure_bulk(RuId ru, const BulkSchedule& schedule);
+  [[nodiscard]] const BulkPoolStats& bulk_stats(std::uint8_t cell) const;
   [[nodiscard]] bool has_ue(UeId ue) const { return ues_.contains(ue.value()); }
   [[nodiscard]] double reported_snr_db(UeId ue) const;
 
@@ -167,6 +187,10 @@ class L2Process final : public FapiSink {
   // Planned UL_TTI per (carrier, slot).
   std::map<std::pair<std::uint8_t, std::int64_t>, UlTtiRequest> planned_ul_;
   std::unordered_map<std::uint16_t, UeContext> ues_;
+  // Bulk pools: schedule keyed by carrier RU, stats keyed by cell (the
+  // only identity recoverable from a bulk wire id on indications).
+  std::map<std::uint8_t, BulkSchedule> bulk_;
+  std::map<std::uint8_t, BulkPoolStats> bulk_stats_;
   L2Stats stats_;
   std::vector<HarqSequenceRecord> harq_log_;
 };

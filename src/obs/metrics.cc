@@ -2,9 +2,66 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace slingshot {
 namespace obs {
+namespace {
+
+// Parse a "VmHWM:   12345 kB"-style line from /proc/self/status.
+std::size_t proc_status_kb(const char* key) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "re");
+  if (f == nullptr) {
+    return 0;
+  }
+  std::size_t kb = 0;
+  char line[256];
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long v = 0;
+      if (std::sscanf(line + key_len + 1, "%llu", &v) == 1) {
+        kb = std::size_t(v);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  (void)key;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::size_t sample_peak_rss_bytes() {
+  if (const std::size_t kb = proc_status_kb("VmHWM"); kb > 0) {
+    return kb * 1024;
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return std::size_t(usage.ru_maxrss);  // bytes on macOS
+#else
+    return std::size_t(usage.ru_maxrss) * 1024;  // kilobytes elsewhere
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::size_t sample_current_rss_bytes() {
+  return proc_status_kb("VmRSS") * 1024;
+}
+
 namespace {
 
 // %.6g formatting to match bench_util's JSON rows; NaN → null so the

@@ -135,6 +135,13 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<TimeSeries>> series_;
 };
 
+// Process-memory samplers for the mem.* gauges (and the massive-UE
+// bench's RSS column): peak / current resident set from
+// /proc/self/status, with a getrusage fallback for the peak. Returns 0
+// where the platform exposes neither.
+std::size_t sample_peak_rss_bytes();
+std::size_t sample_current_rss_bytes();
+
 }  // namespace obs
 }  // namespace slingshot
 

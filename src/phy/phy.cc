@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "obs/obs.h"
 #include "common/pool.h"
+#include "l2/bulk_schedule.h"
 #include "phy/tb_codec.h"
 
 namespace slingshot {
@@ -242,6 +243,9 @@ void PhyProcess::emit_downlink(CarrierState& carrier, std::int64_t slot,
   cplane.header.ru = ru;
   if (dl_req != nullptr && config_.slots.is_downlink(slot)) {
     for (const auto& pdu : dl_req->pdus) {
+      if (is_bulk_ue(pdu.ue)) {
+        continue;  // bulk grants are implicit — never announced on PDCCH
+      }
       DlAssignment a;
       a.ue = pdu.ue;
       a.mcs = pdu.mcs;
@@ -300,6 +304,45 @@ void PhyProcess::emit_downlink(CarrierState& carrier, std::int64_t slot,
                 nic_.send(make_fronthaul_frame(nic_.mac(), ru_mac, up));
               }
             });
+  }
+
+  // --- Bulk U-plane: the trailing payload-less bulk pdus (massive-UE
+  // pools) radiate as zero-IQ marker sections in their own packet — the
+  // batch models the decode, so the PHY does no encode work and draws
+  // no jitter for them (a fixed offset keeps the tracer RNG sequence
+  // identical with and without a bulk pool on the carrier).
+  if (dl_req != nullptr && config_.slots.is_downlink(slot)) {
+    FronthaulPacket bulk;
+    bulk.header.direction = FhDirection::kDownlink;
+    bulk.header.plane = FhPlane::kUser;
+    bulk.header.slot = point;
+    bulk.header.symbol = 4;
+    bulk.header.ru = ru;
+    for (const auto& pdu : dl_req->pdus) {
+      if (!is_bulk_ue(pdu.ue)) {
+        continue;
+      }
+      UPlaneSection section;
+      section.ue = pdu.ue;
+      section.harq = pdu.harq;
+      section.new_data = pdu.new_data;
+      section.mcs = pdu.mcs;
+      section.tb_bytes = pdu.tb_bytes;
+      section.codeword_bits = 0;
+      section.bfp_mantissa_bits = config_.dl_bfp_mantissa_bits;
+      bulk.uplane.sections.push_back(std::move(section));
+      ++stats_.dl_bulk_sections;
+    }
+    if (!bulk.uplane.sections.empty()) {
+      const Nanos t_bulk =
+          slot_start + config_.uplane_offset + config_.tx_jitter;
+      sim_.at(std::max(t_bulk, sim_.now()),
+              [this, ru_mac, up = std::move(bulk)] {
+                if (alive_) {
+                  nic_.send(make_fronthaul_frame(nic_.mac(), ru_mac, up));
+                }
+              });
+    }
   }
 
   // --- Mid-slot always-on sync signal (SSB/CSI-RS-like): keeps the DL

@@ -78,6 +78,7 @@ struct PhyStats {
   std::int64_t ul_crc_fail = 0;
   std::int64_t ul_missing_sections = 0;  // granted but no signal arrived
   std::int64_t dl_tbs_encoded = 0;
+  std::int64_t dl_bulk_sections = 0;  // zero-IQ bulk markers emitted
   std::int64_t harq_combines = 0;
   std::int64_t fapi_starved_slots = 0;
   std::int64_t late_fapi_dropped = 0;

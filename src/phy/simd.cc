@@ -78,7 +78,27 @@ void demap_soft_scalar(const std::complex<float>* symbols, std::size_t count,
   }
 }
 
-constexpr Kernels kScalarKernels{cn_minsum_scalar, demap_soft_scalar};
+std::size_t deadline_scan_scalar(const std::int64_t* deadlines, std::size_t n,
+                                 std::int64_t now, std::uint32_t* hits) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t d = deadlines[i];
+    if (d >= 0 && d <= now) {
+      hits[count++] = std::uint32_t(i);
+    }
+  }
+  return count;
+}
+
+void ar1_update_scalar(float* x, std::size_t n, float mean, float rho,
+                       const float* innov) {
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = mean + rho * (x[i] - mean) + innov[i];
+  }
+}
+
+constexpr Kernels kScalarKernels{cn_minsum_scalar, demap_soft_scalar,
+                                 deadline_scan_scalar, ar1_update_scalar};
 
 #if SLINGSHOT_SIMD_X86
 
@@ -226,7 +246,60 @@ void demap_soft_sse2(const std::complex<float>* symbols, std::size_t count,
   }
 }
 
-constexpr Kernels kSse2Kernels{cn_minsum_sse2, demap_soft_sse2};
+// SSE2 has no 64-bit signed compare; the classic emulation compares the
+// high dwords and borrows the 64-bit difference's sign where they tie.
+// (b - a) cannot overflow when the high dwords are equal, so its sign
+// bit is exact there.
+inline __m128i cmpgt_epi64_sse2(__m128i a, __m128i b) {
+  __m128i r = _mm_and_si128(_mm_cmpeq_epi32(a, b), _mm_sub_epi64(b, a));
+  r = _mm_or_si128(r, _mm_cmpgt_epi32(a, b));
+  return _mm_shuffle_epi32(r, _MM_SHUFFLE(3, 3, 1, 1));
+}
+
+std::size_t deadline_scan_sse2(const std::int64_t* deadlines, std::size_t n,
+                               std::int64_t now, std::uint32_t* hits) {
+  const __m128i vnow = _mm_set1_epi64x(now);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i d = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(deadlines + i));
+    const unsigned m_gt = unsigned(
+        _mm_movemask_pd(_mm_castsi128_pd(cmpgt_epi64_sse2(d, vnow))));
+    const unsigned m_neg = unsigned(_mm_movemask_pd(_mm_castsi128_pd(d)));
+    unsigned hit = ~(m_gt | m_neg) & 0x3U;
+    while (hit != 0) {
+      hits[count++] = std::uint32_t(i + unsigned(__builtin_ctz(hit)));
+      hit &= hit - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    const std::int64_t d = deadlines[i];
+    if (d >= 0 && d <= now) {
+      hits[count++] = std::uint32_t(i);
+    }
+  }
+  return count;
+}
+
+void ar1_update_sse2(float* x, std::size_t n, float mean, float rho,
+                     const float* innov) {
+  const __m128 vmean = _mm_set1_ps(mean);
+  const __m128 vrho = _mm_set1_ps(rho);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 v = _mm_loadu_ps(x + i);
+    const __m128 t = _mm_mul_ps(vrho, _mm_sub_ps(v, vmean));
+    _mm_storeu_ps(
+        x + i, _mm_add_ps(_mm_add_ps(vmean, t), _mm_loadu_ps(innov + i)));
+  }
+  for (; i < n; ++i) {
+    x[i] = mean + rho * (x[i] - mean) + innov[i];
+  }
+}
+
+constexpr Kernels kSse2Kernels{cn_minsum_sse2, demap_soft_sse2,
+                               deadline_scan_sse2, ar1_update_sse2};
 
 // ---------------------------------------------------------------------
 // AVX2.
@@ -363,7 +436,54 @@ __attribute__((target("avx2"))) void demap_soft_avx2(
   }
 }
 
-constexpr Kernels kAvx2Kernels{cn_minsum_avx2, demap_soft_avx2};
+__attribute__((target("avx2"))) std::size_t deadline_scan_avx2(
+    const std::int64_t* deadlines, std::size_t n, std::int64_t now,
+    std::uint32_t* hits) {
+  const __m256i vnow = _mm256_set1_epi64x(now);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(deadlines + i));
+    const unsigned m_gt = unsigned(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(d, vnow))));
+    const unsigned m_neg =
+        unsigned(_mm256_movemask_pd(_mm256_castsi256_pd(d)));
+    unsigned hit = ~(m_gt | m_neg) & 0xFU;
+    while (hit != 0) {
+      hits[count++] = std::uint32_t(i + unsigned(__builtin_ctz(hit)));
+      hit &= hit - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    const std::int64_t d = deadlines[i];
+    if (d >= 0 && d <= now) {
+      hits[count++] = std::uint32_t(i);
+    }
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) void ar1_update_avx2(float* x, std::size_t n,
+                                                     float mean, float rho,
+                                                     const float* innov) {
+  const __m256 vmean = _mm256_set1_ps(mean);
+  const __m256 vrho = _mm256_set1_ps(rho);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    // Explicit mul+add (no FMA) to stay bit-exact with the scalar form.
+    const __m256 t = _mm256_mul_ps(vrho, _mm256_sub_ps(v, vmean));
+    _mm256_storeu_ps(x + i, _mm256_add_ps(_mm256_add_ps(vmean, t),
+                                          _mm256_loadu_ps(innov + i)));
+  }
+  for (; i < n; ++i) {
+    x[i] = mean + rho * (x[i] - mean) + innov[i];
+  }
+}
+
+constexpr Kernels kAvx2Kernels{cn_minsum_avx2, demap_soft_avx2,
+                               deadline_scan_avx2, ar1_update_avx2};
 
 #endif  // SLINGSHOT_SIMD_X86
 

@@ -27,6 +27,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 
 namespace slingshot::simd {
 
@@ -50,6 +51,23 @@ struct Kernels {
   void (*demap_soft)(const std::complex<float>* symbols, std::size_t count,
                      const float* levels, int bits_per_dim, double sigma2,
                      float* out);
+
+  // Deadline scan over `n` signed 64-bit deadlines: appends every index
+  // i with 0 <= deadlines[i] <= now to `hits` (caller-sized to at least
+  // n) and returns the number appended, in ascending index order.
+  // Negative deadlines mean "unarmed" and never fire. Used by the
+  // massive-UE batch to sweep RLF / reattach timer lanes once per TTI
+  // instead of scheduling per-UE events.
+  std::size_t (*deadline_scan)(const std::int64_t* deadlines, std::size_t n,
+                               std::int64_t now, std::uint32_t* hits);
+
+  // Batched AR(1) filter step over `n` float lanes:
+  //   x[i] = mean + rho * (x[i] - mean) + innov[i]
+  // evaluated exactly in that operation order (sub, mul, add, add;
+  // no FMA contraction), so every level is bit-exact vs scalar. Used
+  // for the batch's per-lane SNR fading update.
+  void (*ar1_update)(float* x, std::size_t n, float mean, float rho,
+                     const float* innov);
 };
 
 // The active kernel set, chosen once on first call (thread-safe) from

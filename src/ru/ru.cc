@@ -63,9 +63,24 @@ void RadioUnit::handle_frame(Packet&& frame) {
     for (auto* ue : ues_) {
       ue->on_dl_control(abs_slot, packet.cplane);
     }
+    if (batch_ != nullptr) {
+      batch_->on_dl_control(abs_slot);
+    }
   } else {
     ++stats_.dl_uplane_rx;
     for (auto& section : packet.uplane.sections) {
+      if (is_bulk_ue(section.ue)) {
+        // Bulk DL sections are zero-IQ markers; the batch models the
+        // decode internally (no per-lane channel object to apply).
+        ++stats_.dl_bulk_sections_rx;
+        if (batch_ != nullptr) {
+          batch_->on_dl_section(abs_slot, section);
+        }
+        BufferPools::instance().iq.release(std::move(section.iq));
+        BufferPools::instance().bytes.release(
+            std::move(section.shadow_payload));
+        continue;
+      }
       for (auto* ue : ues_) {
         if (ue->id() == section.ue) {
           // Apply this UE's wireless channel to the radiated symbols.
@@ -98,6 +113,11 @@ void RadioUnit::on_slot(std::int64_t slot) {
   // reciprocity: the same tap serves DL and UL within the slot).
   for (auto* ue : ues_) {
     ue->channel().step_slot();
+  }
+  // One SoA advance for the whole bulk population (fading, credits,
+  // guarded deadline sweeps, churn).
+  if (batch_ != nullptr) {
+    batch_->advance_tti(slot);
   }
 
   if (!config_.slots.is_uplink(slot)) {
@@ -142,6 +162,42 @@ void RadioUnit::on_slot(std::int64_t slot) {
       ++stats_.ul_uci_tx;
       nic_.send(make_fronthaul_frame(nic_.mac(), config_.virtual_phy_mac,
                                      cplane));
+    }
+
+    // Bulk batch uplink rides in SEPARATE packets, emitted after the
+    // tracer packets so the tracer wire bytes (and everything downstream
+    // of them) are identical with and without a batch attached.
+    if (batch_ != nullptr) {
+      FronthaulPacket bulk;
+      bulk.header.direction = FhDirection::kUplink;
+      bulk.header.plane = FhPlane::kUser;
+      bulk.header.slot = SlotPoint::from_index(slot, config_.slots);
+      bulk.header.symbol = 4;
+      bulk.header.ru = config_.id;
+      for (auto& section : batch_->pull_uplink(slot)) {
+        // Modeled SNR — no per-lane channel to apply; the clean IQ
+        // decodes at the PHY, and detachment shows up as a missing turn.
+        section.bfp_mantissa_bits = config_.ul_bfp_mantissa_bits;
+        bulk.uplane.sections.push_back(std::move(section));
+      }
+      if (!bulk.uplane.sections.empty()) {
+        ++stats_.ul_bulk_tx;
+        nic_.send(make_fronthaul_frame(nic_.mac(), config_.virtual_phy_mac,
+                                       bulk));
+      }
+      auto uci = batch_->pull_uci();
+      if (!uci.empty()) {
+        FronthaulPacket bulk_uci;
+        bulk_uci.header.direction = FhDirection::kUplink;
+        bulk_uci.header.plane = FhPlane::kControl;
+        bulk_uci.header.slot = SlotPoint::from_index(slot, config_.slots);
+        bulk_uci.header.symbol = 4;
+        bulk_uci.header.ru = config_.id;
+        bulk_uci.cplane.uci = std::move(uci);
+        ++stats_.ul_bulk_uci_tx;
+        nic_.send(make_fronthaul_frame(nic_.mac(), config_.virtual_phy_mac,
+                                       bulk_uci));
+      }
     }
   });
 }

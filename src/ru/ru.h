@@ -28,6 +28,7 @@
 #include "net/nic.h"
 #include "sim/simulator.h"
 #include "ue/ue.h"
+#include "ue/ue_batch.h"
 
 namespace slingshot {
 
@@ -45,6 +46,11 @@ struct RuStats {
   std::int64_t dl_uplane_rx = 0;
   std::int64_t ul_uplane_tx = 0;
   std::int64_t ul_uci_tx = 0;
+  // Bulk (massive-UE batch) traffic, kept separate so the tracer-path
+  // counters stay comparable across batched and unbatched builds.
+  std::int64_t ul_bulk_tx = 0;
+  std::int64_t ul_bulk_uci_tx = 0;
+  std::int64_t dl_bulk_sections_rx = 0;
   // Same-slot DL packets from two different source MACs — protocol
   // violations that a real RU may not survive.
   std::int64_t conflicting_sources = 0;
@@ -58,6 +64,9 @@ class RadioUnit {
   RadioUnit(Simulator& sim, std::string name, RuConfig config, Nic& nic);
 
   void attach_ue(UserEquipment* ue) { ues_.push_back(ue); }
+  // At most one batch per cell; advanced once per TTI from on_slot and
+  // fed the same over-the-air events as the tracer UEs.
+  void attach_batch(UeBatch* batch) { batch_ = batch; }
   void power_on();
 
   [[nodiscard]] const RuStats& stats() const { return stats_; }
@@ -73,6 +82,7 @@ class RadioUnit {
   RuConfig config_;
   Nic& nic_;
   std::vector<UserEquipment*> ues_;
+  UeBatch* batch_ = nullptr;
   EventHandle slot_task_;
   // DL source tracking per slot for the conflicting-sources check.
   std::map<std::int64_t, MacAddr> dl_source_by_slot_;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/log.h"
+#include "common/pool.h"
 #include "obs/obs.h"
 
 namespace slingshot {
@@ -88,6 +89,7 @@ Testbed::Testbed(TestbedConfig config) : config_(config), sim_(config.seed) {
       CellPlan p;
       p.num_ues = spec.num_ues;
       p.snrs = spec.ue_mean_snr_db;
+      p.bulk_ues = spec.bulk_ues;
       plan_.push_back(std::move(p));
     }
     const int n = int(plan_.size());
@@ -99,6 +101,7 @@ Testbed::Testbed(TestbedConfig config) : config_(config), sim_(config.seed) {
     CellPlan p0;
     p0.num_ues = config_.num_ues;
     p0.snrs = config_.ue_mean_snr_db;
+    p0.bulk_ues = config_.bulk_ues;
     if (int(p0.snrs.size()) > config_.num_ues) {
       p0.snrs.resize(std::size_t(config_.num_ues));
     }
@@ -262,6 +265,30 @@ void Testbed::build_vran() {
       ues_.push_back(std::move(ue));
       ue_cell_.push_back(c);
     }
+  }
+
+  // Massive-UE batches: one SoA pool per cell that asked for one. The
+  // batch rides configured grants (no per-UE L2 context) and owns a
+  // private RNG, so attaching it perturbs no tracer UE.
+  for (int c = 0; c < num_cells; ++c) {
+    const int bulk = plan_[std::size_t(c)].bulk_ues;
+    if (bulk <= 0) {
+      batches_.push_back(nullptr);
+      continue;
+    }
+    UeBatchConfig bcfg = config_.bulk;
+    bcfg.schedule.cell = std::uint8_t(c);
+    bcfg.schedule.population = std::uint32_t(bulk);
+    bcfg.seed = splitmix64(config_.seed ^ (0xB4170000ULL + std::uint64_t(c)));
+    bcfg.fading = batch_fading_params(config_.fading);
+    const auto slot_ns = config_.slots.slot_duration;
+    bcfg.rlf_timeout_slots = config_.ue.rlf_timeout / slot_ns;
+    bcfg.reattach_delay_slots = config_.ue.reattach_delay / slot_ns;
+    bcfg.grant_starvation_slots = config_.ue.grant_starvation_timeout / slot_ns;
+    auto batch = std::make_unique<UeBatch>(bcfg);
+    rus_[std::size_t(c)]->attach_batch(batch.get());
+    l2_->configure_bulk(ru_id(c), bcfg.schedule);
+    batches_.push_back(std::move(batch));
   }
 
   app_server_ =
@@ -604,7 +631,39 @@ void Testbed::attach_observability(obs::Observability& o) {
     reg.gauge(prefix + ".dl_cplane_rx")->bind([ru] {
       return double(ru->stats().dl_cplane_rx);
     });
+    // Massive-UE batch gauges (only for cells that carry a pool).
+    if (UeBatch* batch = batches_[std::size_t(c)].get(); batch != nullptr) {
+      reg.gauge(prefix + ".bulk.population")->bind([batch] {
+        return double(batch->population());
+      });
+      reg.gauge(prefix + ".bulk.connected")->bind([batch] {
+        return double(batch->connected_count());
+      });
+      reg.gauge(prefix + ".bulk.reattaching")->bind([batch] {
+        return double(batch->reattaching_count());
+      });
+      reg.gauge(prefix + ".bulk.bytes_per_ue")->bind([batch] {
+        return batch->bytes_per_ue();
+      });
+      reg.gauge(prefix + ".bulk.rlf_events")->bind([batch] {
+        return double(batch->stats().rlf_events);
+      });
+      reg.gauge(prefix + ".bulk.max_ctrl_gap_slots")->bind([batch] {
+        return double(batch->stats().max_ctrl_gap_slots);
+      });
+    }
   }
+  // Process-memory gauges (satellite: peak/current RSS + bytes parked
+  // on this thread's buffer-pool freelists).
+  reg.gauge("mem.peak_rss_bytes")->bind([] {
+    return double(obs::sample_peak_rss_bytes());
+  });
+  reg.gauge("mem.current_rss_bytes")->bind([] {
+    return double(obs::sample_current_rss_bytes());
+  });
+  reg.gauge("mem.pool_retained_bytes")->bind([] {
+    return double(BufferPools::instance().total_retained_bytes());
+  });
   if (l2_ != nullptr) {
     reg.gauge("l2.ul_tbs_granted")->bind([this] {
       return double(l2_->stats().ul_tbs_granted);

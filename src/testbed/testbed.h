@@ -42,6 +42,7 @@
 #include "transport/gateway.h"
 #include "transport/pipe.h"
 #include "ue/ue.h"
+#include "ue/ue_batch.h"
 
 namespace slingshot {
 
@@ -56,6 +57,10 @@ enum class TestbedMode { kSlingshot, kCoupledNoOrion, kBaselineFailover };
 struct CellSpec {
   int num_ues = 1;
   std::vector<double> ue_mean_snr_db;  // per-UE; default 20 dB
+  // Massive-UE mode: additional batched UEs served by one SoA UeBatch
+  // (src/ue/ue_batch.h) alongside the individually-modeled tracer UEs
+  // above. 0 = no batch.
+  int bulk_ues = 0;
 };
 
 struct TestbedConfig {
@@ -81,6 +86,14 @@ struct TestbedConfig {
   int num_phys = 0;
   // Shared hot standbys backing all primaries (used when num_phys==0).
   int standby_pool_size = 1;
+
+  // Massive-UE mode, legacy single-cell form: batched UEs added to
+  // cell 0 (the `cells` form sets CellSpec::bulk_ues per cell instead).
+  int bulk_ues = 0;
+  // Template for every cell's batch: traffic mix, churn, DL error
+  // model. Per-cell fields (schedule.cell, population, seed, fading,
+  // supervision timeouts) are filled in by the testbed.
+  UeBatchConfig bulk{};
 
   SlotConfig slots{};
   PhyConfig phy{};
@@ -172,6 +185,10 @@ class Testbed {
   [[nodiscard]] int ue_cell(int i) const {
     return ue_cell_.at(std::size_t(i));
   }
+  // Cell c's massive-UE batch; nullptr when the cell has none.
+  [[nodiscard]] UeBatch* batch_at(int cell) {
+    return batches_.at(std::size_t(cell)).get();
+  }
   [[nodiscard]] ProgrammableSwitch& fabric() { return *switch_; }
 
   // ---- Fault-injection and invariant-checker access (src/inject) ----
@@ -237,6 +254,7 @@ class Testbed {
   struct CellPlan {
     int num_ues = 0;
     std::vector<double> snrs;
+    int bulk_ues = 0;
   };
 
   void build_fabric();
@@ -292,6 +310,8 @@ class Testbed {
   // Radio side.
   std::vector<std::unique_ptr<RadioUnit>> rus_;
   std::vector<std::unique_ptr<UserEquipment>> ues_;
+  // One optional batch per cell (parallel to rus_).
+  std::vector<std::unique_ptr<UeBatch>> batches_;
   std::vector<int> ue_cell_;  // cell index per UE (parallel to ues_)
   std::vector<std::unique_ptr<FunctionPipe>> ue_pipes_;
 

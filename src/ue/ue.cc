@@ -18,13 +18,31 @@ UserEquipment::UserEquipment(Simulator& sim, std::string name, UeConfig config,
   dl_rlc_rx_ = std::make_unique<RlcRx>(
       sim_, config.rlc_t_reordering, [this](std::vector<std::uint8_t> sdu) {
         ++stats_.dl_sdus_delivered;
-        sim_.at(release_time(config_.dl_processing_delay, dl_release_),
-                [this, s = std::move(sdu)]() mutable {
-                  if (downlink_sink_) {
-                    downlink_sink_(std::move(s));
-                  }
-                });
+        track_modem_release(
+            sim_.at(release_time(config_.dl_processing_delay, dl_release_),
+                    [this, s = std::move(sdu)]() mutable {
+                      if (downlink_sink_) {
+                        downlink_sink_(std::move(s));
+                      }
+                    }));
       });
+}
+
+UserEquipment::~UserEquipment() {
+  supervision_task_.cancel();
+  reattach_task_.cancel();
+  for (auto& task : modem_release_tasks_) {
+    task.cancel();
+  }
+}
+
+void UserEquipment::track_modem_release(EventHandle h) {
+  if (modem_release_tasks_.size() >= 64) {
+    std::erase_if(modem_release_tasks_, [](const EventHandle& t) {
+      return t.state() == EventState::kExpired;
+    });
+  }
+  modem_release_tasks_.push_back(h);
 }
 
 Nanos UserEquipment::release_time(Nanos base, Nanos& last_release) {
@@ -83,7 +101,7 @@ void UserEquipment::begin_reattach() {
   pending_uci_.clear();
   ul_rlc_tx_.reset();
   dl_rlc_rx_->reset();
-  sim_.after(config_.reattach_delay, [this] {
+  reattach_task_ = sim_.after(config_.reattach_delay, [this] {
     state_ = UeState::kConnected;
     last_dl_control_ = sim_.now();
     last_grant_ = sim_.now();
@@ -199,11 +217,12 @@ void UserEquipment::send_uplink(std::vector<std::uint8_t> sdu) {
   }
   // Model uplink stack processing latency by delaying enqueue.
   ul_pending_bytes_ += sdu.size();
-  sim_.at(release_time(config_.ul_processing_delay, ul_release_),
-          [this, s = std::move(sdu)]() mutable {
-            ul_pending_bytes_ -= s.size();
-            ul_queue_.push_back(RlcSdu{kRlcSnUnassigned, std::move(s)});
-          });
+  track_modem_release(
+      sim_.at(release_time(config_.ul_processing_delay, ul_release_),
+              [this, s = std::move(sdu)]() mutable {
+                ul_pending_bytes_ -= s.size();
+                ul_queue_.push_back(RlcSdu{kRlcSnUnassigned, std::move(s)});
+              }));
 }
 
 }  // namespace slingshot

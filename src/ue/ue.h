@@ -80,8 +80,13 @@ class UserEquipment {
  public:
   UserEquipment(Simulator& sim, std::string name, UeConfig config,
                 FadingConfig fading, RngStream channel_rng);
-  // The supervision timer captures `this`; stop it before the UE goes.
-  ~UserEquipment() { supervision_task_.cancel(); }
+  // Every timer/callback this UE schedules captures `this`: the
+  // supervision `every()`, the one-shot reattach completion, and the
+  // per-datagram modem release events (DL delivery + UL enqueue). All
+  // of them are cancelled here so destroying a UE mid-reattach or with
+  // datagrams still inside the modem delay stage can never fire a
+  // callback into freed memory.
+  ~UserEquipment();
 
   [[nodiscard]] UeId id() const { return config_.id; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -131,6 +136,11 @@ class UserEquipment {
   void check_radio_link();
   void begin_reattach();
 
+  // Remember a scheduled `this`-capturing modem event so the destructor
+  // can cancel it. Fired handles report kExpired and are pruned lazily,
+  // keeping the vector bounded by the in-flight datagram count.
+  void track_modem_release(EventHandle h);
+
   // FIFO-preserving jittered release time for a datagram entering the
   // modem stack in the given direction (reordering inside the modem
   // would look like packet reordering to TCP, which real stacks avoid).
@@ -148,6 +158,8 @@ class UserEquipment {
   Nanos ul_release_ = 0;
   std::size_t ul_pending_bytes_ = 0;  // in the modem delay stage
   EventHandle supervision_task_;
+  EventHandle reattach_task_;
+  std::vector<EventHandle> modem_release_tasks_;
 
   // UL grants keyed by target slot.
   std::map<std::int64_t, std::vector<UlGrant>> grants_;

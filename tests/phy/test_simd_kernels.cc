@@ -171,6 +171,141 @@ TEST(SimdKernels, DemapIntoMatchesForcedScalarKernel) {
   }
 }
 
+// ---- deadline_scan: the massive-UE batch's RLF/reattach sweep ----
+
+void expect_deadline_scan_parity(const std::vector<std::int64_t>& deadlines,
+                                 std::int64_t now) {
+  std::vector<std::uint32_t> want(deadlines.size() + 1, 0xFFFFFFFFU);
+  const std::size_t want_n =
+      simd::kernels_for(simd::Level::kScalar)
+          .deadline_scan(deadlines.data(), deadlines.size(), now, want.data());
+  for (const auto level : supported_vector_levels()) {
+    std::vector<std::uint32_t> got(deadlines.size() + 1, 0xFFFFFFFFU);
+    const std::size_t got_n = simd::kernels_for(level).deadline_scan(
+        deadlines.data(), deadlines.size(), now, got.data());
+    ASSERT_EQ(want_n, got_n)
+        << "level " << simd::level_name(level) << " n " << deadlines.size();
+    EXPECT_EQ(std::memcmp(want.data(), got.data(),
+                          want_n * sizeof(std::uint32_t)),
+              0)
+        << "level " << simd::level_name(level) << " n " << deadlines.size();
+  }
+}
+
+TEST(SimdKernels, DeadlineScanSemanticsOnScalar) {
+  // Negative lanes are unarmed; hits are expired lanes in ascending
+  // index order.
+  const std::vector<std::int64_t> deadlines = {5, -1, 0, 100, 7, -42, 6};
+  std::vector<std::uint32_t> hits(deadlines.size(), 0);
+  const std::size_t n = simd::kernels_for(simd::Level::kScalar)
+                            .deadline_scan(deadlines.data(), deadlines.size(),
+                                           /*now=*/6, hits.data());
+  ASSERT_EQ(n, 3U);
+  EXPECT_EQ(hits[0], 0U);  // 5 <= 6
+  EXPECT_EQ(hits[1], 2U);  // 0 <= 6
+  EXPECT_EQ(hits[2], 6U);  // 6 <= 6 (boundary inclusive)
+}
+
+TEST(SimdKernels, DeadlineScanMatchesScalarOnRandomInputs) {
+  auto rng = RngRegistry{31}.stream("deadline-parity");
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t n = 1 + rng.next_u64() % 40;
+    std::vector<std::int64_t> deadlines(n);
+    for (auto& d : deadlines) {
+      switch (rng.next_u64() % 5) {
+        case 0: d = -1; break;                               // unarmed
+        case 1: d = std::int64_t(rng.next_u64() % 8); break;  // near now
+        case 2: d = INT64_MAX; break;
+        case 3: d = INT64_MIN; break;  // negative: must NOT hit
+        default: d = std::int64_t(rng.next_u64() % 1000); break;
+      }
+    }
+    expect_deadline_scan_parity(deadlines, std::int64_t(rng.next_u64() % 16));
+  }
+}
+
+TEST(SimdKernels, DeadlineScanMatchesScalarAtEveryTailLength) {
+  auto rng = RngRegistry{32}.stream("deadline-tails");
+  for (std::size_t n = 1; n <= 33; ++n) {
+    for (int rep = 0; rep < 20; ++rep) {
+      std::vector<std::int64_t> deadlines(n);
+      for (auto& d : deadlines) {
+        d = std::int64_t(rng.next_u64() % 20) - 4;  // mix of negatives
+      }
+      expect_deadline_scan_parity(deadlines, 8);
+    }
+  }
+}
+
+// ---- ar1_update: the batch's fused fading / credit-accrual kernel ----
+
+void expect_ar1_parity(const std::vector<float>& x0, float mean, float rho,
+                       const std::vector<float>& innov) {
+  std::vector<float> want = x0;
+  simd::kernels_for(simd::Level::kScalar)
+      .ar1_update(want.data(), want.size(), mean, rho, innov.data());
+  for (const auto level : supported_vector_levels()) {
+    std::vector<float> got = x0;
+    simd::kernels_for(level).ar1_update(got.data(), got.size(), mean, rho,
+                                        innov.data());
+    EXPECT_EQ(
+        std::memcmp(want.data(), got.data(), want.size() * sizeof(float)), 0)
+        << "level " << simd::level_name(level) << " n " << x0.size();
+  }
+}
+
+TEST(SimdKernels, Ar1UpdateSemanticsOnScalar) {
+  // x = mean + rho*(x - mean) + innov, in exactly that operation order.
+  std::vector<float> x = {10.0F, -3.5F, 0.0F};
+  const std::vector<float> innov = {0.25F, -1.0F, 0.5F};
+  simd::kernels_for(simd::Level::kScalar)
+      .ar1_update(x.data(), x.size(), 20.0F, 0.5F, innov.data());
+  EXPECT_EQ(x[0], 20.0F + 0.5F * (10.0F - 20.0F) + 0.25F);
+  EXPECT_EQ(x[1], 20.0F + 0.5F * (-3.5F - 20.0F) + -1.0F);
+  EXPECT_EQ(x[2], 20.0F + 0.5F * (0.0F - 20.0F) + 0.5F);
+}
+
+TEST(SimdKernels, Ar1UpdateWithUnitRhoZeroMeanIsCreditAccrual) {
+  // The batch reuses the kernel as `credits += rate` — must be exact.
+  std::vector<float> credits = {0.0F, 1.5F, 1024.0F, 0.1F};
+  const std::vector<float> rate = {3.0F, 0.76F, 0.0F, 0.1F};
+  simd::kernels_for(simd::Level::kScalar)
+      .ar1_update(credits.data(), credits.size(), 0.0F, 1.0F, rate.data());
+  EXPECT_EQ(credits[0], 3.0F);
+  EXPECT_EQ(credits[1], 1.5F + 0.76F);
+  EXPECT_EQ(credits[2], 1024.0F);
+  EXPECT_EQ(credits[3], 0.1F + 0.1F);
+}
+
+TEST(SimdKernels, Ar1UpdateMatchesScalarOnRandomInputs) {
+  auto rng = RngRegistry{33}.stream("ar1-parity");
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t n = 1 + rng.next_u64() % 40;
+    std::vector<float> x(n);
+    std::vector<float> innov(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = float(rng.gaussian(20.0, 15.0));
+      innov[i] = float(rng.gaussian(0.0, 1.5));
+    }
+    const float mean = float(rng.gaussian(10.0, 10.0));
+    const float rho = float(rng.uniform(0.0, 1.0));
+    expect_ar1_parity(x, mean, rho, innov);
+  }
+}
+
+TEST(SimdKernels, Ar1UpdateMatchesScalarAtEveryTailLength) {
+  auto rng = RngRegistry{34}.stream("ar1-tails");
+  for (std::size_t n = 1; n <= 33; ++n) {
+    std::vector<float> x(n);
+    std::vector<float> innov(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = float(rng.gaussian(0.0, 25.0));
+      innov[i] = float(rng.gaussian(0.0, 0.6));
+    }
+    expect_ar1_parity(x, 20.0F, 0.98F, innov);
+  }
+}
+
 TEST(SimdKernels, ScalarLevelIsAlwaysSupported) {
   EXPECT_TRUE(simd::level_supported(simd::Level::kScalar));
   EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");

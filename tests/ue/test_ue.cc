@@ -194,6 +194,39 @@ TEST(UserEquipment, DisconnectedIgnoresEverything) {
   EXPECT_EQ(f.ue->stats().dl_tbs_ok + f.ue->stats().dl_tbs_failed, 0);
 }
 
+// Regression: the UE's supervision/reattach timers and modem-release
+// callbacks capture `this`. Destroying the UE while a reattach (or an
+// in-flight datagram) is pending must cancel them all — the events left
+// in the simulator would otherwise fire into freed memory (caught by
+// ASan in the sanitizer lanes).
+TEST(UserEquipment, DestroyMidReattachCancelsPendingTimers) {
+  UeFixture f;
+  // Drive into RLF, then partway into the 6.2 s reattach wait.
+  f.sim.run_until(60_ms);
+  ASSERT_FALSE(f.ue->connected());
+  f.sim.run_until(100_ms);  // reattach timer armed, far from firing
+  f.ue = nullptr;           // destroy with the reattach event pending
+  // The reattach deadline passes on a live simulator: nothing may fire.
+  f.sim.run_until(100_ms + f.config.reattach_delay + 100_ms);
+}
+
+TEST(UserEquipment, DestroyWithInflightDatagramCancelsModemCallbacks) {
+  UeFixture f;
+  // Queue uplink SDUs whose modem-processing delay is still pending,
+  // and deliver a DL section whose datagram is mid modem processing.
+  f.ue->send_uplink({1, 2, 3});
+  f.ue->send_uplink({4, 5, 6});
+  f.ue = nullptr;  // destroy with modem-release events in flight
+  f.sim.run_until(50_ms);
+}
+
+TEST(UserEquipment, DestroyMidSupervisionPeriodCancelsTimer) {
+  UeFixture f;
+  f.sim.run_until(2_ms);  // inside the first 5 ms supervision period
+  f.ue = nullptr;
+  f.sim.run_until(1_s);
+}
+
 TEST(UserEquipment, UplinkQueueOverflowDrops) {
   UeFixture f;
   for (int i = 0; i < 4000; ++i) {
