@@ -135,6 +135,22 @@ class Checker {
               raw + "'");
         }
       }
+      if (key == "detection_ms" || key == "outage_ms") {
+        // Wall-clock failover measurements (perf_realtime): must be
+        // non-negative finite numbers — a negative value means the run
+        // never executed its fault plan and the row is meaningless.
+        const std::string raw = text_.substr(value_start, pos_ - value_start);
+        if (is_string || raw.empty() || raw[0] == '-' || raw == "null") {
+          return err("\"" + key + "\" must be a non-negative number, got '" +
+                     raw + "'");
+        }
+      }
+      if (key == "mode") {
+        // Deployment-mode annotation (perf_realtime): a string.
+        if (!is_string) {
+          return err("\"mode\" must be a string");
+        }
+      }
       if (key == "bytes_per_ue") {
         // SoA footprint (abl_ue_sweep): a non-negative finite number.
         const std::string raw = text_.substr(value_start, pos_ - value_start);
@@ -303,6 +319,9 @@ bool self_test() {
       .integer("ues", 100000)
       .integer("failover_dropped_ttis", 2)
       .num("bytes_per_ue", 42.0)
+      .num("detection_ms", 2.504)
+      .num("outage_ms", 0.0)
+      .str("mode", "fork")
       .boolean("flag", true);
   bool ok = slingshot::bench::append_bench_json(path.string(), row);
   // Append a second row to exercise the array-reopening path too.
@@ -323,6 +342,11 @@ bool self_test() {
            "[\n  {\"bench\": \"x\", \"failover_dropped_ttis\": -1}\n]\n",
            "[\n  {\"bench\": \"x\", \"failover_dropped_ttis\": 1.5}\n]\n",
            "[\n  {\"bench\": \"x\", \"bytes_per_ue\": -42.0}\n]\n",
+           "[\n  {\"bench\": \"x\", \"detection_ms\": -1}\n]\n",
+           "[\n  {\"bench\": \"x\", \"detection_ms\": null}\n]\n",
+           "[\n  {\"bench\": \"x\", \"outage_ms\": -0.5}\n]\n",
+           "[\n  {\"bench\": \"x\", \"outage_ms\": \"3.1\"}\n]\n",
+           "[\n  {\"bench\": \"x\", \"mode\": 2}\n]\n",
        }) {
     const std::string text{bad};
     Checker checker{text};

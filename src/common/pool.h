@@ -21,10 +21,26 @@
 // outcomes. Returning buffers is optional — a vector that is dropped
 // instead of released (or released on a different thread than it will
 // next be acquired on) is freed normally, the pool just misses a reuse.
+//
+// Lifetime: thread_local pools originally assumed fork-join workers
+// that die with the process, which let two bugs hide. (a) The
+// mem.pool_retained_bytes gauge sampled only the *sampling* thread's
+// pool, so memory parked on worker freelists — or abandoned by an
+// exited transport thread — was invisible. (b) In the real-process
+// deployment mode, a fork() child inherits registry state describing
+// parent threads that do not exist in the child. Both are fixed by a
+// process-wide registry: every live BufferPools instance publishes its
+// retained-byte counts through atomics, global_retained_bytes() sums
+// exactly the live instances, thread exit drains + unregisters (no
+// use-after-return window: removal and sampling share one mutex), and
+// reset_after_fork() collapses a child's inherited registry to the one
+// thread that actually survived the fork.
 #pragma once
 
+#include <atomic>
 #include <complex>
 #include <cstdint>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -44,6 +60,8 @@ class VectorPool {
     }
     std::vector<T> v = std::move(free_.back());
     free_.pop_back();
+    retained_bytes_ -= v.capacity() * sizeof(T);
+    publish();
     v.clear();
     return v;
   }
@@ -51,25 +69,45 @@ class VectorPool {
   // Hand a buffer back for reuse. The contents are discarded.
   void release(std::vector<T>&& v) {
     if (v.capacity() > 0 && free_.size() < kMaxRetained) {
+      retained_bytes_ += v.capacity() * sizeof(T);
       free_.push_back(std::move(v));
+      publish();
     }
     // else: let it free normally
+  }
+
+  // Free every retained buffer (thread exit, fork child, memory
+  // pressure). Only the owning thread may call this.
+  void drain() {
+    free_.clear();
+    free_.shrink_to_fit();
+    retained_bytes_ = 0;
+    publish();
+  }
+
+  // Mirror retained_bytes into `gauge` on every change, so other
+  // threads (the metrics sampler) can read it without touching free_.
+  void bind_gauge(std::atomic<std::size_t>* gauge) {
+    gauge_ = gauge;
+    publish();
   }
 
   [[nodiscard]] std::size_t retained() const { return free_.size(); }
 
   // Bytes currently parked on the freelist (capacity-accurate): the
   // pool's contribution to the process memory gauges.
-  [[nodiscard]] std::size_t retained_bytes() const {
-    std::size_t total = 0;
-    for (const auto& v : free_) {
-      total += v.capacity() * sizeof(T);
-    }
-    return total;
-  }
+  [[nodiscard]] std::size_t retained_bytes() const { return retained_bytes_; }
 
  private:
+  void publish() {
+    if (gauge_ != nullptr) {
+      gauge_->store(retained_bytes_, std::memory_order_relaxed);
+    }
+  }
+
   std::vector<std::vector<T>> free_;
+  std::size_t retained_bytes_ = 0;
+  std::atomic<std::size_t>* gauge_ = nullptr;
 };
 
 // Per-thread pools for the two hot buffer element types: serialized
@@ -78,14 +116,114 @@ struct BufferPools {
   VectorPool<std::uint8_t> bytes;
   VectorPool<std::complex<float>> iq;
 
+  BufferPools() {
+    bytes.bind_gauge(&bytes_retained_);
+    iq.bind_gauge(&iq_retained_);
+    registry().add(this);
+  }
+  ~BufferPools() {
+    bytes.drain();
+    iq.drain();
+    registry().remove(this);
+  }
+  BufferPools(const BufferPools&) = delete;
+  BufferPools& operator=(const BufferPools&) = delete;
+
+  // This thread's parked bytes. Cross-thread totals come from
+  // global_retained_bytes().
   [[nodiscard]] std::size_t total_retained_bytes() const {
-    return bytes.retained_bytes() + iq.retained_bytes();
+    return bytes_retained_.load(std::memory_order_relaxed) +
+           iq_retained_.load(std::memory_order_relaxed);
+  }
+
+  // Release every buffer this thread has parked. Long-lived transport
+  // threads call this before blocking forever / exiting early; fork
+  // children call it (via reset_after_fork) so inherited freelists do
+  // not linger unreachable.
+  void drain() {
+    bytes.drain();
+    iq.drain();
   }
 
   static BufferPools& instance() {
     static thread_local BufferPools pools;
     return pools;
   }
+
+  // Sum of retained bytes across every *live* thread's pools — the
+  // value the mem.pool_retained_bytes gauge reports. Safe to call from
+  // any thread: registration, removal and summation share one mutex,
+  // and the per-pool counts are read through atomics.
+  [[nodiscard]] static std::size_t global_retained_bytes() {
+    return registry().total();
+  }
+
+  // Number of live registered pool instances (== live threads that have
+  // touched a pool). Exposed for lifecycle tests.
+  [[nodiscard]] static std::size_t live_instances() {
+    return registry().count();
+  }
+
+  // fork() gave the child a registry describing the parent's threads.
+  // Only the forking thread survives: drop every other entry (their
+  // owning threads do not exist here, so nothing will ever unregister
+  // them) and keep this thread's freshly drained pools. Call early in
+  // child-process entry points, before any other thread starts.
+  static void reset_after_fork() {
+    BufferPools& mine = instance();
+    mine.drain();
+    registry().reset_to(&mine);
+  }
+
+ private:
+  class Registry {
+   public:
+    void add(BufferPools* p) {
+      const std::lock_guard<std::mutex> lock{mu_};
+      pools_.push_back(p);
+    }
+    void remove(BufferPools* p) {
+      const std::lock_guard<std::mutex> lock{mu_};
+      for (auto it = pools_.begin(); it != pools_.end(); ++it) {
+        if (*it == p) {
+          pools_.erase(it);
+          break;
+        }
+      }
+    }
+    void reset_to(BufferPools* survivor) {
+      const std::lock_guard<std::mutex> lock{mu_};
+      pools_.clear();
+      pools_.push_back(survivor);
+    }
+    [[nodiscard]] std::size_t total() {
+      const std::lock_guard<std::mutex> lock{mu_};
+      std::size_t sum = 0;
+      for (const BufferPools* p : pools_) {
+        sum += p->total_retained_bytes();
+      }
+      return sum;
+    }
+    [[nodiscard]] std::size_t count() {
+      const std::lock_guard<std::mutex> lock{mu_};
+      return pools_.size();
+    }
+
+   private:
+    std::mutex mu_;
+    std::vector<BufferPools*> pools_;
+  };
+
+  // Leaked singleton: thread_local BufferPools destructors run at
+  // arbitrary points during thread/process teardown and must always
+  // find a live registry.
+  static Registry& registry() {
+    static Registry* r = new Registry;
+    return *r;
+  }
+
+  std::atomic<std::size_t> bytes_retained_{0};
+  std::atomic<std::size_t> iq_retained_{0};
 };
 
 }  // namespace slingshot

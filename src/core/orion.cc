@@ -38,10 +38,20 @@ void OrionPhySide::handle_frame(Packet&& frame) {
     if (to_phy_ == nullptr) {
       return;
     }
-    try {
-      deliver_to_phy(parse_fapi(payload));
-    } catch (const std::exception&) {
-      // Corrupt datagram: drop; the loss watchdog plugs any hole.
+    FapiMessage msg;
+    const char* error = nullptr;
+    if (try_parse_fapi(payload, msg, &error)) {
+      deliver_to_phy(std::move(msg));
+    } else {
+      // Corrupt datagram: surface it as an ERROR.indication toward the
+      // L2 (the request itself is unrecoverable; the loss watchdog
+      // plugs the slot hole with nulls so the PHY contract holds).
+      ++parse_errors_;
+      SLOG_WARN("orion", "%s dropped unparseable FAPI datagram: %s",
+                name_.c_str(), error);
+      on_fapi(FapiMessage{RuId{}, 0,
+                          ErrorIndication{kFapiMsgCorrupt,
+                                          FapiMsgType::kErrorIndication}});
     }
     BufferPools::instance().bytes.release(std::move(payload));
   });
@@ -476,10 +486,23 @@ void OrionL2Side::handle_frame(Packet&& frame) {
       if (!known) {
         return;
       }
-      try {
-        handle_phy_indication(from, parse_fapi(frame.payload));
-      } catch (const std::exception&) {
-        // Corrupt datagram: drop.
+      FapiMessage msg;
+      const char* error = nullptr;
+      if (try_parse_fapi(frame.payload, msg, &error)) {
+        handle_phy_indication(from, std::move(msg));
+      } else {
+        // Corrupt indication: count it and tell the L2 (the stack above
+        // treats ERROR.indication as advisory; the HARQ machinery
+        // retransmits whatever the lost indication acknowledged).
+        ++stats_.parse_errors;
+        SLOG_WARN("orion", "%s dropped unparseable indication from phy %u: %s",
+                  name_.c_str(), from.value(), error);
+        if (to_l2_ != nullptr) {
+          to_l2_->send(FapiMessage{
+              RuId{}, 0,
+              ErrorIndication{kFapiMsgCorrupt,
+                              FapiMsgType::kErrorIndication}});
+        }
       }
       BufferPools::instance().bytes.release(std::move(frame.payload));
       return;

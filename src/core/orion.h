@@ -97,6 +97,10 @@ class OrionPhySide final : public FapiSink {
   [[nodiscard]] std::uint64_t nulls_injected() const {
     return nulls_injected_dl_ + nulls_injected_ul_;
   }
+  // Datagrams that failed try_parse_fapi (each also raised an
+  // ERROR.indication toward the L2 and bumped the process-wide
+  // fapi.parse_errors counter).
+  [[nodiscard]] std::uint64_t parse_errors() const { return parse_errors_; }
 
  private:
   void handle_frame(Packet&& frame);
@@ -127,6 +131,7 @@ class OrionPhySide final : public FapiSink {
   std::map<std::uint8_t, RuLossTrack> loss_tracks_;
   std::uint64_t nulls_injected_dl_ = 0;
   std::uint64_t nulls_injected_ul_ = 0;
+  std::uint64_t parse_errors_ = 0;
 };
 
 // ---------------------------------------------------------------------
@@ -217,6 +222,9 @@ struct OrionL2Stats {
   std::uint64_t drain_windows_expired = 0;
   std::uint64_t rehabilitations = 0;  // false-positive failovers rescinded
   std::uint64_t fapi_bytes_to_standby = 0;  // §8.5 network overhead
+  // Datagrams from a PHY peer that failed try_parse_fapi (each also
+  // raised an ERROR.indication toward the L2).
+  std::uint64_t parse_errors = 0;
   // ---- Standby-pool (N+K) extensions. All zero when the pool is
   // unused, so the three-way identity above is unchanged for legacy
   // configs; with a pool the full identity is

@@ -1,51 +1,86 @@
 #include "fapi/fapi.h"
 
+#include <atomic>
 #include <stdexcept>
+#include <string>
 
-#include "common/bits.h"
+#include "fapi/wire.h"
 
 namespace slingshot {
 namespace {
 
-void write_tti_pdus(ByteWriter& w, const std::vector<TtiPdu>& pdus) {
+// Per-record wire sizes (fixed-size repeated elements). Used both to
+// serialize and to validate element counts read off the wire before any
+// memory is reserved for them.
+constexpr std::size_t kTtiPduBytes = 9;   // ue:2 mcs:1 tb:4 harq:1 nd:1
+constexpr std::size_t kUlDciBytes = 17;   // TtiPdu + target_slot:8
+constexpr std::size_t kCrcEntryBytes = 8; // ue:2 harq:1 ok:1 snr:4
+constexpr std::size_t kUciEntryBytes = 4; // ue:2 harq:1 ack:1
+constexpr std::size_t kHeaderBytes = 10;  // type:1 ru:1 slot:8
+
+std::atomic<std::uint64_t> g_parse_errors{0};
+
+void write_tti_pdu(WireWriter& w, const TtiPdu& p) {
+  w.u16(p.ue.value());
+  w.u8(p.mcs);
+  w.u32(p.tb_bytes);
+  w.u8(p.harq.value());
+  w.u8(p.new_data ? 1 : 0);
+}
+
+TtiPdu read_tti_pdu(WireReader& r) {
+  TtiPdu p;
+  p.ue = UeId{r.u16()};
+  p.mcs = r.u8();
+  p.tb_bytes = r.u32();
+  p.harq = HarqId{r.u8()};
+  p.new_data = r.u8() != 0;
+  return p;
+}
+
+void write_tti_pdus(WireWriter& w, const std::vector<TtiPdu>& pdus) {
   w.u16(std::uint16_t(pdus.size()));
   for (const auto& p : pdus) {
-    w.u16(p.ue.value());
-    w.u8(p.mcs);
-    w.u32(p.tb_bytes);
-    w.u8(p.harq.value());
-    w.u8(p.new_data ? 1 : 0);
+    write_tti_pdu(w, p);
   }
 }
 
-std::vector<TtiPdu> read_tti_pdus(ByteReader& r) {
+// Reads a counted vector of fixed-size records. The count comes off the
+// wire, so it is validated against the remaining bytes *before* reserve:
+// a corrupt count of 65535 in a 40-byte datagram must fail cleanly, not
+// allocate for 65535 elements and then fault mid-parse.
+std::vector<TtiPdu> read_tti_pdus(WireReader& r) {
   std::vector<TtiPdu> pdus;
   const auto n = r.u16();
+  if (!r.can_read(std::size_t(n) * kTtiPduBytes)) {
+    r.fail("pdu count exceeds buffer");
+    return pdus;
+  }
   pdus.reserve(n);
   for (std::uint16_t i = 0; i < n; ++i) {
-    TtiPdu p;
-    p.ue = UeId{r.u16()};
-    p.mcs = r.u8();
-    p.tb_bytes = r.u32();
-    p.harq = HarqId{r.u8()};
-    p.new_data = r.u8() != 0;
-    pdus.push_back(p);
+    pdus.push_back(read_tti_pdu(r));
   }
   return pdus;
 }
 
-void write_payload(ByteWriter& w, const std::vector<std::uint8_t>& bytes) {
+void write_payload(WireWriter& w, const std::vector<std::uint8_t>& bytes) {
   w.u32(std::uint32_t(bytes.size()));
   w.bytes(bytes);
 }
 
-std::vector<std::uint8_t> read_payload(ByteReader& r) {
+std::vector<std::uint8_t> read_payload(WireReader& r) {
+  std::vector<std::uint8_t> out;
   const auto n = r.u32();
-  return r.bytes(n);
+  if (!r.can_read(n)) {
+    r.fail("payload length exceeds buffer");
+    return out;
+  }
+  r.bytes_into(n, out);
+  return out;
 }
 
 struct BodyWriter {
-  ByteWriter& w;
+  WireWriter& w;
 
   void operator()(const ConfigRequest& b) const {
     w.u8(b.carrier.ru.value());
@@ -68,11 +103,7 @@ struct BodyWriter {
     write_tti_pdus(w, b.pdus);
     w.u16(std::uint16_t(b.ul_dci.size()));
     for (const auto& dci : b.ul_dci) {
-      w.u16(dci.pdu.ue.value());
-      w.u8(dci.pdu.mcs);
-      w.u32(dci.pdu.tb_bytes);
-      w.u8(dci.pdu.harq.value());
-      w.u8(dci.pdu.new_data ? 1 : 0);
+      write_tti_pdu(w, dci.pdu);
       w.u64(std::uint64_t(dci.target_slot));
     }
   }
@@ -114,7 +145,46 @@ struct BodyWriter {
   }
 };
 
-FapiBody read_body(FapiMsgType type, ByteReader& r) {
+// Arithmetic twin of BodyWriter: wire size without serializing.
+struct BodySizer {
+  std::size_t operator()(const ConfigRequest& b) const {
+    return 6 + b.carrier.tdd_pattern.size();
+  }
+  std::size_t operator()(const ConfigResponse&) const { return 2; }
+  std::size_t operator()(const StartRequest&) const { return 1; }
+  std::size_t operator()(const StopRequest&) const { return 1; }
+  std::size_t operator()(const SlotIndication&) const { return 0; }
+  std::size_t operator()(const DlTtiRequest& b) const {
+    return 2 + b.pdus.size() * kTtiPduBytes + 2 +
+           b.ul_dci.size() * kUlDciBytes;
+  }
+  std::size_t operator()(const UlTtiRequest& b) const {
+    return 2 + b.pdus.size() * kTtiPduBytes;
+  }
+  std::size_t operator()(const TxDataRequest& b) const {
+    std::size_t n = 2;
+    for (const auto& p : b.payloads) {
+      n += 4 + p.size();
+    }
+    return n;
+  }
+  std::size_t operator()(const RxDataIndication& b) const {
+    std::size_t n = 2;
+    for (const auto& p : b.pdus) {
+      n += 2 + 1 + 4 + p.payload.size();
+    }
+    return n;
+  }
+  std::size_t operator()(const CrcIndication& b) const {
+    return 2 + b.entries.size() * kCrcEntryBytes;
+  }
+  std::size_t operator()(const UciIndication& b) const {
+    return 2 + b.entries.size() * kUciEntryBytes;
+  }
+  std::size_t operator()(const ErrorIndication&) const { return 3; }
+};
+
+FapiBody read_body(FapiMsgType type, WireReader& r) {
   switch (type) {
     case FapiMsgType::kConfigRequest: {
       ConfigRequest b;
@@ -123,6 +193,10 @@ FapiBody read_body(FapiMsgType type, ByteReader& r) {
       b.carrier.num_prbs = r.u16();
       b.carrier.num_antennas = r.u8();
       const auto len = r.u8();
+      if (!r.can_read(len)) {
+        r.fail("tdd pattern length exceeds buffer");
+        return b;
+      }
       b.carrier.tdd_pattern.clear();
       for (std::uint8_t i = 0; i < len; ++i) {
         b.carrier.tdd_pattern.push_back(char(r.u8()));
@@ -144,15 +218,18 @@ FapiBody read_body(FapiMsgType type, ByteReader& r) {
     case FapiMsgType::kDlTtiRequest: {
       DlTtiRequest b;
       b.pdus = read_tti_pdus(r);
+      if (!r.ok()) {
+        return b;
+      }
       const auto n = r.u16();
+      if (!r.can_read(std::size_t(n) * kUlDciBytes)) {
+        r.fail("ul_dci count exceeds buffer");
+        return b;
+      }
       b.ul_dci.reserve(n);
       for (std::uint16_t i = 0; i < n; ++i) {
         UlDci dci;
-        dci.pdu.ue = UeId{r.u16()};
-        dci.pdu.mcs = r.u8();
-        dci.pdu.tb_bytes = r.u32();
-        dci.pdu.harq = HarqId{r.u8()};
-        dci.pdu.new_data = r.u8() != 0;
+        dci.pdu = read_tti_pdu(r);
         dci.target_slot = std::int64_t(r.u64());
         b.ul_dci.push_back(dci);
       }
@@ -163,8 +240,13 @@ FapiBody read_body(FapiMsgType type, ByteReader& r) {
     case FapiMsgType::kTxDataRequest: {
       TxDataRequest b;
       const auto n = r.u16();
+      // Each payload is at least its 4-byte length prefix.
+      if (!r.can_read(std::size_t(n) * 4)) {
+        r.fail("payload count exceeds buffer");
+        return b;
+      }
       b.payloads.reserve(n);
-      for (std::uint16_t i = 0; i < n; ++i) {
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
         b.payloads.push_back(read_payload(r));
       }
       return b;
@@ -172,8 +254,12 @@ FapiBody read_body(FapiMsgType type, ByteReader& r) {
     case FapiMsgType::kRxDataIndication: {
       RxDataIndication b;
       const auto n = r.u16();
+      if (!r.can_read(std::size_t(n) * 7)) {  // ue:2 harq:1 len:4 minimum
+        r.fail("rx pdu count exceeds buffer");
+        return b;
+      }
       b.pdus.reserve(n);
-      for (std::uint16_t i = 0; i < n; ++i) {
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
         RxPdu p;
         p.ue = UeId{r.u16()};
         p.harq = HarqId{r.u8()};
@@ -185,6 +271,10 @@ FapiBody read_body(FapiMsgType type, ByteReader& r) {
     case FapiMsgType::kCrcIndication: {
       CrcIndication b;
       const auto n = r.u16();
+      if (!r.can_read(std::size_t(n) * kCrcEntryBytes)) {
+        r.fail("crc entry count exceeds buffer");
+        return b;
+      }
       b.entries.reserve(n);
       for (std::uint16_t i = 0; i < n; ++i) {
         CrcEntry e;
@@ -199,6 +289,10 @@ FapiBody read_body(FapiMsgType type, ByteReader& r) {
     case FapiMsgType::kUciIndication: {
       UciIndication b;
       const auto n = r.u16();
+      if (!r.can_read(std::size_t(n) * kUciEntryBytes)) {
+        r.fail("uci entry count exceeds buffer");
+        return b;
+      }
       b.entries.reserve(n);
       for (std::uint16_t i = 0; i < n; ++i) {
         UciEntry e;
@@ -216,7 +310,8 @@ FapiBody read_body(FapiMsgType type, ByteReader& r) {
       return b;
     }
   }
-  throw std::invalid_argument{"parse_fapi: unknown message type"};
+  r.fail("unknown message type");
+  return SlotIndication{};
 }
 
 }  // namespace
@@ -250,7 +345,7 @@ FapiMessage make_null_ul_tti(RuId ru, std::int64_t slot) {
 void serialize_fapi_into(const FapiMessage& msg,
                          std::vector<std::uint8_t>& out) {
   out.clear();
-  ByteWriter w{out};
+  WireWriter w{out};
   w.u8(std::uint8_t(msg.type()));
   w.u8(msg.ru.value());
   w.u64(std::uint64_t(msg.slot));
@@ -259,29 +354,60 @@ void serialize_fapi_into(const FapiMessage& msg,
 
 std::vector<std::uint8_t> serialize_fapi(const FapiMessage& msg) {
   std::vector<std::uint8_t> out;
+  out.reserve(serialized_fapi_size(msg));
   serialize_fapi_into(msg, out);
   return out;
 }
 
 std::size_t serialized_fapi_size(const FapiMessage& msg) {
-  // thread_local: sizing calls race across island worker threads under
-  // the sharded runtime if the scratch is process-wide.
-  static thread_local std::vector<std::uint8_t> scratch;
-  serialize_fapi_into(msg, scratch);
-  return scratch.size();
+  return kHeaderBytes + std::visit(BodySizer{}, msg.body);
+}
+
+bool try_parse_fapi(std::span<const std::uint8_t> bytes, FapiMessage& out,
+                    const char** error) {
+  WireReader r{bytes};
+  const auto type_raw = r.u8();
+  out.ru = RuId{r.u8()};
+  out.slot = std::int64_t(r.u64());
+  if (r.ok() && type_raw > std::uint8_t(FapiMsgType::kErrorIndication)) {
+    r.fail("unknown message type");
+  }
+  if (r.ok()) {
+    out.body = read_body(FapiMsgType(type_raw), r);
+  }
+  // A datagram is exactly one message: trailing bytes mean the length
+  // fields inside disagree with the framing, i.e. corruption.
+  if (r.ok() && r.remaining() != 0) {
+    r.fail("trailing bytes after message");
+  }
+  if (!r.ok()) {
+    g_parse_errors.fetch_add(1, std::memory_order_relaxed);
+    if (error != nullptr) {
+      *error = r.error();
+    }
+    return false;
+  }
+  if (error != nullptr) {
+    *error = "";
+  }
+  return true;
 }
 
 FapiMessage parse_fapi(std::span<const std::uint8_t> bytes) {
-  ByteReader r{bytes};
-  const auto type = FapiMsgType(r.u8());
   FapiMessage msg;
-  msg.ru = RuId{r.u8()};
-  msg.slot = std::int64_t(r.u64());
-  msg.body = read_body(type, r);
-  if (!r.ok()) {
-    throw std::out_of_range{"parse_fapi: truncated message"};
+  const char* error = nullptr;
+  if (!try_parse_fapi(bytes, msg, &error)) {
+    throw std::runtime_error{std::string("parse_fapi: ") + error};
   }
   return msg;
+}
+
+std::uint64_t fapi_parse_errors() {
+  return g_parse_errors.load(std::memory_order_relaxed);
+}
+
+void reset_fapi_parse_errors() {
+  g_parse_errors.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace slingshot

@@ -136,7 +136,8 @@ struct UciIndication {
 // FAPI error codes (subset of SCF 222's table).
 inline constexpr std::uint16_t kFapiMsgOk = 0x0;
 inline constexpr std::uint16_t kFapiMsgInvalidState = 0x1;
-inline constexpr std::uint16_t kFapiMsgSlotErr = 0x2;  // late request
+inline constexpr std::uint16_t kFapiMsgSlotErr = 0x2;   // late request
+inline constexpr std::uint16_t kFapiMsgCorrupt = 0x3;   // unparseable bytes
 
 struct ErrorIndication {
   std::uint16_t code = 0;
@@ -164,15 +165,37 @@ struct FapiMessage {
 [[nodiscard]] FapiMessage make_null_dl_tti(RuId ru, std::int64_t slot);
 [[nodiscard]] FapiMessage make_null_ul_tti(RuId ru, std::int64_t slot);
 
-// Wire codec (used by Orion's inter-server UDP transport).
+// Wire codec (used by Orion's inter-server UDP transport, both the
+// simulated one and the real-process deployment mode). The format is
+// pinned explicitly little-endian (SCF 222 FAPI's byte order) via
+// fapi/wire.h, so bytes produced by one process parse identically in
+// any other.
 [[nodiscard]] std::vector<std::uint8_t> serialize_fapi(const FapiMessage& msg);
 // Allocation-free variant: clears and fills a caller-owned (e.g.
 // pooled) buffer.
 void serialize_fapi_into(const FapiMessage& msg,
                          std::vector<std::uint8_t>& out);
-// Wire size without materializing the serialized bytes anywhere the
-// caller has to free.
+// Wire size without materializing the serialized bytes anywhere —
+// computed arithmetically, no scratch buffer is retained.
 [[nodiscard]] std::size_t serialized_fapi_size(const FapiMessage& msg);
+
+// Checked parse: the only valid way to consume bytes that crossed a
+// process boundary. Returns false on any malformed input — truncation,
+// a length field exceeding the buffer, an unknown message type,
+// trailing garbage — without throwing, allocating proportionally to
+// attacker-controlled counts, or reading past the span. On failure
+// `out` is unspecified, `*error` (if non-null) names the violation, and
+// the process-wide parse-error counter (the `fapi.parse_errors` gauge)
+// increments.
+[[nodiscard]] bool try_parse_fapi(std::span<const std::uint8_t> bytes,
+                                  FapiMessage& out,
+                                  const char** error = nullptr);
+// Throwing wrapper kept for call sites that treat malformed input as a
+// programming error (tests, benches): std::runtime_error on failure.
 [[nodiscard]] FapiMessage parse_fapi(std::span<const std::uint8_t> bytes);
+
+// Process-wide count of failed try_parse_fapi calls.
+[[nodiscard]] std::uint64_t fapi_parse_errors();
+void reset_fapi_parse_errors();
 
 }  // namespace slingshot

@@ -1,0 +1,153 @@
+// Bounds-checked, endian-explicit wire primitives for the FAPI codec.
+//
+// The FAPI transport is the one wire format in this codebase that real
+// foreign processes produce and consume (the real-process deployment
+// mode sends it over actual UDP sockets), so its codec carries two
+// guarantees the simulator-internal formats never needed:
+//
+//  * Explicit byte order. Every multi-byte integer is little-endian on
+//    the wire — matching SCF 222 FAPI, which is LE throughout — rather
+//    than "whatever the host does". Cross-process and future
+//    cross-machine framing is therefore well-defined, and a mixed
+//    deployment of debug/release builds can never disagree about
+//    layout.
+//  * Total parsing. WireReader never throws and never reads past the
+//    span: any overrun latches a sticky failure with a reason, all
+//    subsequent reads return zero, and the caller observes one bool.
+//    Malformed input from a socket is a *value* (a parse error), not
+//    UB and not control flow.
+//
+// The simulator-internal formats (fronthaul O-RAN framing, switch
+// commands) keep using common/bits.h's network-byte-order
+// ByteWriter/ByteReader; they never leave the process.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace slingshot {
+
+// Little-endian appender. Mirrors ByteWriter's surface so codec code
+// reads the same, but the byte order is pinned LE.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(std::uint8_t(v));
+    out_.push_back(std::uint8_t(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(std::uint16_t(v));
+    u16(std::uint16_t(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(std::uint32_t(v));
+    u32(std::uint32_t(v >> 32));
+  }
+  void f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u32(bits);
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+// Little-endian, non-throwing reader. After any failed read, ok() is
+// false, error() names the first violation, and every subsequent read
+// returns zero / does nothing — so codec code can parse straight-line
+// and check once at the end (or early, before trusting a length field).
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (!take(1)) {
+      return 0;
+    }
+    return data_[pos_++];
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    if (!take(2)) {
+      return 0;
+    }
+    const auto lo = data_[pos_];
+    const auto hi = data_[pos_ + 1];
+    pos_ += 2;
+    return std::uint16_t(std::uint16_t(lo) | (std::uint16_t(hi) << 8));
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    return lo | (std::uint32_t(u16()) << 16);
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | (std::uint64_t(u32()) << 32);
+  }
+  [[nodiscard]] float f32() {
+    const auto bits = u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  // Copy n bytes into a caller-owned buffer; on overrun the buffer is
+  // cleared and the failure latched.
+  void bytes_into(std::size_t n, std::vector<std::uint8_t>& out) {
+    if (!take(n)) {
+      out.clear();
+      return;
+    }
+    out.assign(data_.begin() + long(pos_), data_.begin() + long(pos_ + n));
+    pos_ += n;
+  }
+
+  // Pre-flight check for length fields read off the wire: true iff n
+  // more bytes exist. Unlike the reads above it does NOT latch failure —
+  // use it to validate an element count before reserving memory for it
+  // (an oversized count must neither allocate nor poison the reader
+  // before the caller reports the error).
+  [[nodiscard]] bool can_read(std::size_t n) const {
+    return n <= data_.size() - pos_;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool ok() const { return error_ == nullptr; }
+  [[nodiscard]] const char* error() const {
+    return error_ == nullptr ? "" : error_;
+  }
+  // Latch a semantic failure spotted by the caller (bad count, unknown
+  // enum value); first reason wins.
+  void fail(const char* why) {
+    if (error_ == nullptr) {
+      error_ = why;
+    }
+  }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n) {
+    if (error_ != nullptr) {
+      return false;
+    }
+    if (n > data_.size() - pos_) {
+      error_ = "truncated buffer";
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  const char* error_ = nullptr;
+};
+
+}  // namespace slingshot

@@ -110,14 +110,19 @@ void write_uplane(ByteWriter& w, const UPlaneMsg& msg) {
     w.u8(s.bfp_mantissa_bits);
     w.u32(std::uint32_t(s.iq.size()));
     if (s.bfp_mantissa_bits > 0) {
-      // Reused scratch: BFP compression of every UL/DL section would
-      // otherwise allocate a fresh byte vector per section. thread_local:
-      // islands serialize concurrently under the sharded runtime, and a
-      // shared scratch lets one island's compressed IQ bytes land in
-      // another island's frame.
-      static thread_local std::vector<std::uint8_t> scratch;
+      // Pooled scratch: BFP compression of every UL/DL section would
+      // otherwise allocate a fresh byte vector per section. Acquired
+      // per call from the thread's BufferPools (islands serialize
+      // concurrently under the sharded runtime, and a shared scratch
+      // lets one island's compressed IQ bytes land in another island's
+      // frame) and released back, so the bytes stay visible to the
+      // retained-memory gauges and are freed by BufferPools::drain()
+      // when a long-lived transport thread exits — a bare
+      // function-local thread_local would park them forever.
+      auto scratch = BufferPools::instance().bytes.acquire();
       bfp_compress_into(s.iq, s.bfp_mantissa_bits, scratch);
       w.bytes(scratch);
+      BufferPools::instance().bytes.release(std::move(scratch));
     } else {
       for (const auto& sample : s.iq) {
         w.f32(sample.real());

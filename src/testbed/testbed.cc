@@ -662,7 +662,12 @@ void Testbed::attach_observability(obs::Observability& o) {
     return double(obs::sample_current_rss_bytes());
   });
   reg.gauge("mem.pool_retained_bytes")->bind([] {
-    return double(BufferPools::instance().total_retained_bytes());
+    // All live threads' freelists, not just the sampling thread's own
+    // (worker/transport threads park buffers too; see pool.h).
+    return double(BufferPools::global_retained_bytes());
+  });
+  reg.gauge("fapi.parse_errors")->bind([] {
+    return double(fapi_parse_errors());
   });
   if (l2_ != nullptr) {
     reg.gauge("l2.ul_tbs_granted")->bind([this] {

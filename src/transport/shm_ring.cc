@@ -1,0 +1,126 @@
+#include "transport/shm_ring.h"
+
+#include <sys/mman.h>
+
+#include <bit>
+#include <cstring>
+
+namespace slingshot {
+namespace {
+
+// Each record is a u32 length prefix followed by the payload bytes,
+// rounded up so prefixes stay 4-byte aligned in the ring.
+constexpr std::uint64_t kPrefixBytes = 4;
+
+std::uint64_t padded(std::uint64_t n) { return (n + 3) & ~std::uint64_t{3}; }
+
+}  // namespace
+
+ShmRing ShmRing::create(std::size_t capacity_bytes) {
+  std::size_t cap = std::bit_ceil(capacity_bytes < 64 ? 64 : capacity_bytes);
+  const std::size_t map_len = sizeof(Header) + cap;
+  void* mem = ::mmap(nullptr, map_len, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return {};
+  }
+  ShmRing ring;
+  ring.header_ = new (mem) Header{};
+  ring.header_->head.store(0, std::memory_order_relaxed);
+  ring.header_->tail.store(0, std::memory_order_relaxed);
+  ring.header_->capacity = cap;
+  ring.data_ = static_cast<std::uint8_t*>(mem) + sizeof(Header);
+  ring.map_len_ = map_len;
+  return ring;
+}
+
+void ShmRing::copy_in(std::uint64_t pos, std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) {
+    return;
+  }
+  const std::uint64_t cap = header_->capacity;
+  const std::uint64_t off = pos & (cap - 1);
+  const std::uint64_t first = std::min<std::uint64_t>(bytes.size(), cap - off);
+  std::memcpy(data_ + off, bytes.data(), first);
+  if (first < bytes.size()) {
+    std::memcpy(data_, bytes.data() + first, bytes.size() - first);
+  }
+}
+
+void ShmRing::copy_out(std::uint64_t pos, std::span<std::uint8_t> bytes) const {
+  if (bytes.empty()) {
+    return;
+  }
+  const std::uint64_t cap = header_->capacity;
+  const std::uint64_t off = pos & (cap - 1);
+  const std::uint64_t first = std::min<std::uint64_t>(bytes.size(), cap - off);
+  std::memcpy(bytes.data(), data_ + off, first);
+  if (first < bytes.size()) {
+    std::memcpy(bytes.data() + first, data_, bytes.size() - first);
+  }
+}
+
+bool ShmRing::push(std::span<const std::uint8_t> record) {
+  if (header_ == nullptr) {
+    return false;
+  }
+  const std::uint64_t need = kPrefixBytes + padded(record.size());
+  const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
+  const std::uint64_t head = header_->head.load(std::memory_order_acquire);
+  if (need > header_->capacity - (tail - head)) {
+    ++dropped_full_;
+    return false;
+  }
+  const std::uint32_t len = std::uint32_t(record.size());
+  std::uint8_t prefix[kPrefixBytes];
+  std::memcpy(prefix, &len, sizeof(len));
+  copy_in(tail, {prefix, kPrefixBytes});
+  copy_in(tail + kPrefixBytes, record);
+  // Release: the consumer must see the record bytes before the new tail.
+  header_->tail.store(tail + need, std::memory_order_release);
+  return true;
+}
+
+bool ShmRing::pop(std::vector<std::uint8_t>& out) {
+  out.clear();
+  if (header_ == nullptr) {
+    return false;
+  }
+  const std::uint64_t head = header_->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = header_->tail.load(std::memory_order_acquire);
+  if (tail == head) {
+    return false;
+  }
+  std::uint8_t prefix[kPrefixBytes];
+  copy_out(head, {prefix, kPrefixBytes});
+  std::uint32_t len = 0;
+  std::memcpy(&len, prefix, sizeof(len));
+  out.resize(len);
+  copy_out(head + kPrefixBytes, out);
+  header_->head.store(head + kPrefixBytes + padded(len),
+                      std::memory_order_release);
+  return true;
+}
+
+std::size_t ShmRing::used_bytes() const {
+  if (header_ == nullptr) {
+    return 0;
+  }
+  return std::size_t(header_->tail.load(std::memory_order_acquire) -
+                     header_->head.load(std::memory_order_acquire));
+}
+
+std::size_t ShmRing::free_bytes() const {
+  return header_ == nullptr ? 0 : capacity() - used_bytes();
+}
+
+void ShmRing::destroy() {
+  if (header_ != nullptr) {
+    ::munmap(static_cast<void*>(header_), map_len_);
+    header_ = nullptr;
+    data_ = nullptr;
+    map_len_ = 0;
+  }
+}
+
+}  // namespace slingshot

@@ -1,0 +1,81 @@
+// Shared-memory SPSC ring for IQ-heavy FAPI payloads (TX_DATA/RX_DATA).
+//
+// The paper couples each PHY to its Orion over shared memory (§2.2,
+// §6.1): control-sized FAPI rides the network transport, but data-plane
+// payloads stay off the sockets. This ring is that SHM path for the
+// real-process deployment mode: a single-producer/single-consumer byte
+// ring of length-prefixed records living in one MAP_SHARED|MAP_ANONYMOUS
+// mapping.
+//
+// Cross-process contract: the RealTestbed launcher creates every ring
+// *before* fork(), so all roles inherit the same physical pages; the
+// ShmRing object itself is a plain value handle (header pointer + data
+// pointer) that copies across fork intact. Exactly one process pushes
+// and one pops per ring. Head/tail are monotonically increasing 64-bit
+// counters with acquire/release ordering — the standard SPSC scheme, no
+// locks, safe for a reader whose peer is kill -9'd mid-record *write*
+// (the tail only advances after the record bytes are fully copied, so a
+// torn write is simply never observed).
+//
+// In --inproc mode the same class runs between threads of one process;
+// the mapping is still MAP_SHARED, which is harmless.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace slingshot {
+
+class ShmRing {
+ public:
+  ShmRing() = default;
+
+  // Create a ring with at least `capacity_bytes` of payload space
+  // (rounded up to a power of two). Returns an invalid handle on mmap
+  // failure. The creating process should eventually call destroy() on
+  // ONE handle after all users are done (children exiting just drop
+  // their page references).
+  [[nodiscard]] static ShmRing create(std::size_t capacity_bytes);
+
+  [[nodiscard]] bool valid() const { return header_ != nullptr; }
+
+  // Append one record. Returns false (nothing written) if the record
+  // would not fit in the free space — the producer's choice to drop or
+  // retry; the FAPI transport drops, mirroring §6.1 statelessness.
+  bool push(std::span<const std::uint8_t> record);
+
+  // Pop the oldest record into `out` (cleared first). Returns false if
+  // the ring is empty.
+  bool pop(std::vector<std::uint8_t>& out);
+
+  [[nodiscard]] std::size_t used_bytes() const;
+  [[nodiscard]] std::size_t free_bytes() const;
+  [[nodiscard]] std::size_t capacity() const {
+    return header_ == nullptr ? 0 : header_->capacity;
+  }
+  // Producer-side count of records dropped for lack of space.
+  [[nodiscard]] std::uint64_t dropped_full() const { return dropped_full_; }
+
+  // Unmap the pages. Call from the owning (launcher) process only,
+  // after every user is reaped; other handles become dangling.
+  void destroy();
+
+ private:
+  struct Header {
+    alignas(64) std::atomic<std::uint64_t> head;  // consumer position
+    alignas(64) std::atomic<std::uint64_t> tail;  // producer position
+    alignas(64) std::uint64_t capacity;           // power of two
+  };
+
+  void copy_in(std::uint64_t pos, std::span<const std::uint8_t> bytes);
+  void copy_out(std::uint64_t pos, std::span<std::uint8_t> bytes) const;
+
+  Header* header_ = nullptr;
+  std::uint8_t* data_ = nullptr;
+  std::size_t map_len_ = 0;
+  std::uint64_t dropped_full_ = 0;
+};
+
+}  // namespace slingshot

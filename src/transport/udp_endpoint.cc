@@ -1,0 +1,129 @@
+#include "transport/udp_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace slingshot {
+
+UdpEndpoint::~UdpEndpoint() { close(); }
+
+UdpEndpoint::UdpEndpoint(UdpEndpoint&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)),
+      sent_(other.sent_),
+      received_(other.received_),
+      send_errors_(other.send_errors_),
+      truncated_(other.truncated_) {}
+
+UdpEndpoint& UdpEndpoint::operator=(UdpEndpoint&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+    sent_ = other.sent_;
+    received_ = other.received_;
+    send_errors_ = other.send_errors_;
+    truncated_ = other.truncated_;
+  }
+  return *this;
+}
+
+bool UdpEndpoint::open_loopback() {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close();
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    close();
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+bool UdpEndpoint::send_to(std::uint16_t dst_port,
+                          std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) {
+    ++send_errors_;
+    return false;
+  }
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  dst.sin_port = htons(dst_port);
+  const auto n = ::sendto(fd_, bytes.data(), bytes.size(), 0,
+                          reinterpret_cast<const sockaddr*>(&dst),
+                          sizeof(dst));
+  if (n < 0 || std::size_t(n) != bytes.size()) {
+    ++send_errors_;
+    return false;
+  }
+  ++sent_;
+  return true;
+}
+
+int UdpEndpoint::recv(std::vector<std::uint8_t>& out, int timeout_ms,
+                      std::uint16_t* from_port) {
+  if (fd_ < 0) {
+    return -1;
+  }
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready == 0) {
+    return 0;  // timeout — the real-mode detector's signal
+  }
+  if (ready < 0) {
+    return -1;
+  }
+  out.resize(kMaxDatagram);
+  sockaddr_in from{};
+  socklen_t from_len = sizeof(from);
+  const auto n =
+      ::recvfrom(fd_, out.data(), out.size(), MSG_TRUNC,
+                 reinterpret_cast<sockaddr*>(&from), &from_len);
+  if (n < 0) {
+    out.clear();
+    return -1;
+  }
+  if (std::size_t(n) > kMaxDatagram) {
+    ++truncated_;
+    out.resize(kMaxDatagram);
+  } else {
+    out.resize(std::size_t(n));
+  }
+  if (from_port != nullptr) {
+    *from_port = ntohs(from.sin_port);
+  }
+  ++received_;
+  // A zero-length datagram is valid UDP; report it as received with a
+  // positive sentinel so callers can distinguish it from a timeout.
+  return n == 0 ? 1 : int(out.size());
+}
+
+void UdpEndpoint::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    port_ = 0;
+  }
+}
+
+}  // namespace slingshot

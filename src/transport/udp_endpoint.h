@@ -1,0 +1,80 @@
+// Real UDP socket endpoint for the real-process deployment mode.
+//
+// The paper's Orion relays FAPI between servers over a lean stateless
+// UDP-like transport (§6.1). The simulator models that with Nic/Link;
+// this class is the *actual* thing: a datagram socket bound to an
+// ephemeral loopback port, with poll()-based timed receive so Orion's
+// failure detector can run off real socket silence instead of simulated
+// timers.
+//
+// Fork-friendliness is part of the contract: the RealTestbed launcher
+// opens every endpoint before fork(), so each child inherits the bound
+// descriptors and no port handshake is needed — a role simply sends to
+// the ports recorded in its config. Only the owning role reads its
+// endpoint; closing a copy in another process does not disturb the
+// owner (separate descriptor tables).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace slingshot {
+
+class UdpEndpoint {
+ public:
+  // Largest datagram the transport carries (a TX_DATA burst fits well
+  // under this; IQ-heavy payloads travel the SHM ring instead).
+  static constexpr std::size_t kMaxDatagram = 65536;
+
+  UdpEndpoint() = default;
+  ~UdpEndpoint();
+  UdpEndpoint(UdpEndpoint&& other) noexcept;
+  UdpEndpoint& operator=(UdpEndpoint&& other) noexcept;
+  UdpEndpoint(const UdpEndpoint&) = delete;
+  UdpEndpoint& operator=(const UdpEndpoint&) = delete;
+
+  // Bind to 127.0.0.1 on an ephemeral port. Returns false (with errno
+  // intact) if the socket cannot be created or bound.
+  [[nodiscard]] bool open_loopback();
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  // Port this endpoint receives on (host order); 0 if not open.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // Send one datagram to 127.0.0.1:dst_port. Returns false on any send
+  // error (the transport is fire-and-forget, matching §6.1: no retries,
+  // loss is compensated by null injection upstream).
+  bool send_to(std::uint16_t dst_port, std::span<const std::uint8_t> bytes);
+
+  // Receive one datagram, waiting up to timeout_ms (0 = pure poll,
+  // return immediately). Returns:
+  //   > 0  — datagram received; `out` is resized to its length, and
+  //          *from_port (if non-null) is the sender's port.
+  //   0    — timeout: nothing arrived. This return value *is* the
+  //          failure detector's input in real mode.
+  //   < 0  — socket error.
+  // A datagram longer than kMaxDatagram is truncated by the kernel and
+  // counted in truncated_datagrams(); the caller sees the clipped bytes
+  // (which then fail the checked FAPI parse).
+  int recv(std::vector<std::uint8_t>& out, int timeout_ms,
+           std::uint16_t* from_port = nullptr);
+
+  void close();
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t datagrams_received() const { return received_; }
+  [[nodiscard]] std::uint64_t send_errors() const { return send_errors_; }
+  [[nodiscard]] std::uint64_t truncated_datagrams() const {
+    return truncated_;
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t send_errors_ = 0;
+  std::uint64_t truncated_ = 0;
+};
+
+}  // namespace slingshot

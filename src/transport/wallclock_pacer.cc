@@ -1,0 +1,44 @@
+#include "transport/wallclock_pacer.h"
+
+#include <time.h>
+
+namespace slingshot {
+namespace {
+
+constexpr std::int64_t kNsPerSec = 1'000'000'000;
+
+}  // namespace
+
+std::int64_t WallclockPacer::now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return std::int64_t(ts.tv_sec) * kNsPerSec + ts.tv_nsec;
+}
+
+std::int64_t WallclockPacer::wait_slot(std::uint64_t slot) {
+  const std::int64_t deadline =
+      cfg_.epoch_ns + std::int64_t(slot) * cfg_.tti_ns;
+  timespec ts{};
+  ts.tv_sec = deadline / kNsPerSec;
+  ts.tv_nsec = deadline % kNsPerSec;
+  // Absolute deadline: EINTR just means retry toward the same instant.
+  while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &ts, nullptr) != 0) {
+  }
+  const std::int64_t late = now_ns() - deadline;
+  if (late > cfg_.tti_ns) {
+    ++overruns_;
+  }
+  if (late > max_late_ns_) {
+    max_late_ns_ = late;
+  }
+  return late > 0 ? late : 0;
+}
+
+std::int64_t WallclockPacer::current_slot() const {
+  if (cfg_.tti_ns <= 0) {
+    return 0;
+  }
+  return (now_ns() - cfg_.epoch_ns) / cfg_.tti_ns;
+}
+
+}  // namespace slingshot

@@ -1,0 +1,51 @@
+// Wall-clock TTI pacer for the real-process deployment mode.
+//
+// The simulator advances virtual time event-by-event; real processes
+// instead march to CLOCK_MONOTONIC. Every role derives its slot cadence
+// from one shared epoch (captured by the launcher before fork), so
+// "slot n" means the same wall instant in every process and the FAPI
+// exchange lines up without any cross-process clock protocol.
+//
+// wait_slot(n) sleeps until epoch + n * tti, using absolute deadlines
+// (TIMER_ABSTIME) so repeated waits never accumulate drift. If the
+// deadline is already past the call returns immediately and counts an
+// overrun — the real-mode analogue of the simulator's deadline-miss
+// accounting.
+#pragma once
+
+#include <cstdint>
+
+namespace slingshot {
+
+class WallclockPacer {
+ public:
+  struct Config {
+    std::int64_t epoch_ns = 0;  // shared CLOCK_MONOTONIC origin
+    std::int64_t tti_ns = 500'000;
+  };
+
+  WallclockPacer() = default;
+  explicit WallclockPacer(Config cfg) : cfg_(cfg) {}
+
+  // Current CLOCK_MONOTONIC time in ns — use to capture the epoch.
+  [[nodiscard]] static std::int64_t now_ns();
+
+  // Sleep until the start of slot `slot` (epoch + slot * tti). Returns
+  // the lateness in ns (0 if we woke at/before the deadline's grace).
+  std::int64_t wait_slot(std::uint64_t slot);
+
+  // Slot index the wall clock is currently inside (>= 0 once past the
+  // epoch).
+  [[nodiscard]] std::int64_t current_slot() const;
+
+  [[nodiscard]] std::uint64_t overruns() const { return overruns_; }
+  [[nodiscard]] std::int64_t max_lateness_ns() const { return max_late_ns_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  std::uint64_t overruns_ = 0;
+  std::int64_t max_late_ns_ = 0;
+};
+
+}  // namespace slingshot

@@ -290,7 +290,7 @@ TEST(OrionPhySide, CorruptFapiDatagramDropped) {
   EXPECT_TRUE(f.phy1.messages.empty());
 }
 
-TEST(OrionL2Side, CorruptIndicationDropped) {
+TEST(OrionL2Side, CorruptIndicationSurfacesErrorIndication) {
   OrionFixture f;
   Packet junk;
   junk.eth.dst = MacAddr{0x10};
@@ -298,7 +298,13 @@ TEST(OrionL2Side, CorruptIndicationDropped) {
   junk.payload = {0x09};  // CRC.indication type byte then nothing
   f.phy1_nic->send(std::move(junk));
   f.sim.run_until(1_ms);
-  EXPECT_TRUE(f.l2.messages.empty());
+  // The corrupt bytes are not forwarded; the L2 instead receives one
+  // ERROR.indication flagging the unparseable datagram.
+  ASSERT_EQ(f.l2.messages.size(), 1U);
+  const auto& msg = f.l2.messages.front();
+  ASSERT_EQ(msg.type(), FapiMsgType::kErrorIndication);
+  EXPECT_EQ(std::get<ErrorIndication>(msg.body).code, kFapiMsgCorrupt);
+  EXPECT_EQ(f.orion_l2->stats().parse_errors, 1U);
 }
 
 TEST(OrionCostModel, ScalesWithMessageSize) {

@@ -1,0 +1,231 @@
+// Real-transport primitives: UDP loopback endpoints, the shared-memory
+// SPSC ring, and the wall-clock TTI pacer. These are the building
+// blocks of the real-process deployment mode (testbed/real_testbed.h);
+// everything here runs against the actual kernel — sockets, mmap,
+// clock_nanosleep — not the simulator.
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fapi/fapi.h"
+#include "transport/shm_ring.h"
+#include "transport/udp_endpoint.h"
+#include "transport/wallclock_pacer.h"
+
+namespace slingshot {
+namespace {
+
+TEST(UdpEndpoint, LoopbackEchoRoundTrip) {
+  UdpEndpoint a;
+  UdpEndpoint b;
+  ASSERT_TRUE(a.open_loopback());
+  ASSERT_TRUE(b.open_loopback());
+  ASSERT_NE(a.port(), 0);
+  ASSERT_NE(b.port(), 0);
+  ASSERT_NE(a.port(), b.port());
+
+  const std::vector<std::uint8_t> ping{1, 2, 3, 4, 5};
+  ASSERT_TRUE(a.send_to(b.port(), ping));
+  std::vector<std::uint8_t> got;
+  std::uint16_t from = 0;
+  ASSERT_GT(b.recv(got, 1000, &from), 0);
+  EXPECT_EQ(got, ping);
+  EXPECT_EQ(from, a.port());
+
+  // Echo back to the sender's port — the exact pattern Orion uses to
+  // identify peers (the port *is* the identity, no handshake).
+  ASSERT_TRUE(b.send_to(from, got));
+  std::vector<std::uint8_t> echoed;
+  ASSERT_GT(a.recv(echoed, 1000, nullptr), 0);
+  EXPECT_EQ(echoed, ping);
+  EXPECT_EQ(a.datagrams_sent(), 1U);
+  EXPECT_EQ(a.datagrams_received(), 1U);
+}
+
+TEST(UdpEndpoint, RecvTimeoutReturnsZero) {
+  UdpEndpoint a;
+  ASSERT_TRUE(a.open_loopback());
+  std::vector<std::uint8_t> got;
+  const auto before = WallclockPacer::now_ns();
+  EXPECT_EQ(a.recv(got, 20), 0);  // the failure detector's signal
+  EXPECT_GE(WallclockPacer::now_ns() - before, 15'000'000);
+}
+
+TEST(UdpEndpoint, ZeroLengthDatagramDistinctFromTimeout) {
+  UdpEndpoint a;
+  UdpEndpoint b;
+  ASSERT_TRUE(a.open_loopback());
+  ASSERT_TRUE(b.open_loopback());
+  ASSERT_TRUE(a.send_to(b.port(), std::span<const std::uint8_t>{}));
+  std::vector<std::uint8_t> got{9, 9};
+  EXPECT_GT(b.recv(got, 1000), 0);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(UdpEndpoint, ClosedEndpointReportsErrors) {
+  UdpEndpoint a;
+  EXPECT_FALSE(a.is_open());
+  std::vector<std::uint8_t> got;
+  EXPECT_LT(a.recv(got, 0), 0);
+  const std::vector<std::uint8_t> one{1};
+  EXPECT_FALSE(a.send_to(1234, one));
+  EXPECT_EQ(a.send_errors(), 1U);
+}
+
+TEST(UdpEndpoint, CarriesSerializedFapi) {
+  UdpEndpoint l2;
+  UdpEndpoint phy;
+  ASSERT_TRUE(l2.open_loopback());
+  ASSERT_TRUE(phy.open_loopback());
+  CrcIndication crc;
+  crc.entries.push_back(CrcEntry{UeId{7}, HarqId{1}, true, 18.5F});
+  const FapiMessage msg{RuId{1}, 42, std::move(crc)};
+  const auto bytes = serialize_fapi(msg);
+  ASSERT_TRUE(l2.send_to(phy.port(), bytes));
+  std::vector<std::uint8_t> got;
+  ASSERT_GT(phy.recv(got, 1000), 0);
+  FapiMessage parsed;
+  ASSERT_TRUE(try_parse_fapi(got, parsed));
+  EXPECT_EQ(parsed.type(), FapiMsgType::kCrcIndication);
+  EXPECT_EQ(parsed.slot, 42);
+  EXPECT_EQ(serialize_fapi(parsed), bytes);
+}
+
+TEST(ShmRing, PushPopRoundTrip) {
+  ShmRing ring = ShmRing::create(1024);
+  ASSERT_TRUE(ring.valid());
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(ring.pop(out));  // empty
+  const std::vector<std::uint8_t> a{1, 2, 3};
+  const std::vector<std::uint8_t> b{4, 5, 6, 7, 8};
+  EXPECT_TRUE(ring.push(a));
+  EXPECT_TRUE(ring.push(b));
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, a);
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, b);
+  EXPECT_FALSE(ring.pop(out));
+  ring.destroy();
+}
+
+TEST(ShmRing, EmptyRecordAndFullRingBehave) {
+  ShmRing ring = ShmRing::create(64);
+  ASSERT_TRUE(ring.valid());
+  EXPECT_TRUE(ring.push(std::span<const std::uint8_t>{}));  // zero-length record is legal
+  std::vector<std::uint8_t> out{9};
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_TRUE(out.empty());
+
+  // Fill until the producer is refused; the refusal is counted, not
+  // fatal (the transport drops, per §6.1 statelessness).
+  const std::vector<std::uint8_t> rec(16, 0xAA);
+  std::size_t pushed = 0;
+  while (ring.push(rec)) {
+    ++pushed;
+  }
+  EXPECT_GT(pushed, 0U);
+  EXPECT_EQ(ring.dropped_full(), 1U);
+  // Consuming one record frees space for exactly one more.
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_TRUE(ring.push(rec));
+  ring.destroy();
+}
+
+TEST(ShmRing, WrapAroundPreservesRecords) {
+  // A small ring cycled many times with varying record sizes: every
+  // record must come out intact across the wrap seam.
+  ShmRing ring = ShmRing::create(256);
+  ASSERT_TRUE(ring.valid());
+  std::vector<std::uint8_t> out;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    std::vector<std::uint8_t> rec(1 + (i % 60));
+    for (std::size_t j = 0; j < rec.size(); ++j) {
+      rec[j] = std::uint8_t(i + j);
+    }
+    ASSERT_TRUE(ring.push(rec)) << "iteration " << i;
+    ASSERT_TRUE(ring.pop(out)) << "iteration " << i;
+    ASSERT_EQ(out, rec) << "iteration " << i;
+  }
+  EXPECT_EQ(ring.used_bytes(), 0U);
+  ring.destroy();
+}
+
+TEST(ShmRing, CrossThreadSpscOrdering) {
+  // Producer and consumer on different threads, records tagged with a
+  // sequence number: SPSC acquire/release must deliver every record
+  // exactly once, in order, with intact bytes.
+  ShmRing ring = ShmRing::create(4096);
+  ASSERT_TRUE(ring.valid());
+  constexpr std::uint32_t kRecords = 20000;
+  std::atomic<bool> failed{false};
+
+  std::thread producer([&ring] {
+    for (std::uint32_t i = 0; i < kRecords;) {
+      std::vector<std::uint8_t> rec(4 + (i % 32), std::uint8_t(i));
+      std::memcpy(rec.data(), &i, sizeof(i));
+      if (ring.push(rec)) {
+        ++i;
+      }
+    }
+  });
+  std::thread consumer([&ring, &failed] {
+    std::vector<std::uint8_t> out;
+    for (std::uint32_t expect = 0; expect < kRecords;) {
+      if (!ring.pop(out)) {
+        continue;
+      }
+      std::uint32_t seq = 0;
+      if (out.size() < sizeof(seq)) {
+        failed.store(true);
+        return;
+      }
+      std::memcpy(&seq, out.data(), sizeof(seq));
+      if (seq != expect || out.size() != 4 + (expect % 32) ||
+          (out.size() > 4 && out.back() != std::uint8_t(expect))) {
+        failed.store(true);
+        return;
+      }
+      ++expect;
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(ring.used_bytes(), 0U);
+  ring.destroy();
+}
+
+TEST(WallclockPacer, WaitSlotHitsAbsoluteDeadlines) {
+  WallclockPacer::Config cfg;
+  cfg.epoch_ns = WallclockPacer::now_ns();
+  cfg.tti_ns = 2'000'000;  // 2 ms slots: coarse enough to be robust
+  WallclockPacer pacer{cfg};
+  for (std::uint64_t slot : {1ULL, 2ULL, 5ULL}) {
+    pacer.wait_slot(slot);
+    const std::int64_t now = WallclockPacer::now_ns();
+    EXPECT_GE(now, cfg.epoch_ns + std::int64_t(slot) * cfg.tti_ns);
+  }
+  EXPECT_GE(pacer.current_slot(), 5);
+  EXPECT_EQ(pacer.overruns(), 0U);
+}
+
+TEST(WallclockPacer, PastDeadlineReturnsImmediatelyAndCountsOverrun) {
+  WallclockPacer::Config cfg;
+  cfg.epoch_ns = WallclockPacer::now_ns() - 100'000'000;  // 100 ms ago
+  cfg.tti_ns = 1'000'000;
+  WallclockPacer pacer{cfg};
+  const auto before = WallclockPacer::now_ns();
+  const auto late = pacer.wait_slot(0);  // deadline long past
+  EXPECT_LT(WallclockPacer::now_ns() - before, 50'000'000);
+  EXPECT_GT(late, 0);
+  EXPECT_EQ(pacer.overruns(), 1U);
+  EXPECT_GE(pacer.max_lateness_ns(), late);
+}
+
+}  // namespace
+}  // namespace slingshot
