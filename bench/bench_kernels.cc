@@ -10,12 +10,16 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "bench_util.h"
 #include "common/crc.h"
 #include "common/rng.h"
 #include "fapi/fapi.h"
+#include "fronthaul/bfp.h"
 #include "fronthaul/oran.h"
 #include "phy/ldpc.h"
 #include "phy/modulation.h"
@@ -272,6 +276,66 @@ BENCHMARK(BM_SimdDemapSoft)
     ->Args({int(simd::Level::kAvx2), 8});
 
 // ---------------------------------------------------------------------
+// BFP fronthaul codec, per dispatch level. The kernel-pinned entry
+// points (fronthaul/bfp.h) run the exact production block loop with a
+// caller-chosen kernel table, so these rows isolate the ISA effect.
+// ---------------------------------------------------------------------
+
+std::vector<std::complex<float>> random_iq(std::size_t n, std::uint64_t seed) {
+  auto rng = RngRegistry{seed}.stream("iq");
+  std::vector<std::complex<float>> iq(n);
+  for (auto& s : iq) {
+    s = {float(rng.gaussian(0.0, 1.0)), float(rng.gaussian(0.0, 1.0))};
+  }
+  return iq;
+}
+
+// One 100 MHz OFDM symbol: 273 PRBs x 12 subcarriers.
+constexpr std::size_t kBfpBenchSamples = 3276;
+
+void BM_BfpCompress(benchmark::State& state) {
+  const auto& kernels = simd::kernels_for(simd::Level(state.range(0)));
+  const int m = int(state.range(1));
+  const auto iq = random_iq(kBfpBenchSamples, 91);
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    bfp_compress_into(iq, m, out, kernels);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * std::int64_t(kBfpBenchSamples));
+  state.SetLabel(simd_arg_name(state.range(0)));
+}
+BENCHMARK(BM_BfpCompress)
+    ->ArgNames({"level", "mantissa"})
+    ->Args({int(simd::Level::kScalar), 9})
+    ->Args({int(simd::Level::kSse2), 9})
+    ->Args({int(simd::Level::kAvx2), 9})
+    ->Args({int(simd::Level::kScalar), 8})
+    ->Args({int(simd::Level::kAvx2), 8})
+    ->Args({int(simd::Level::kAvx2), 14});
+
+void BM_BfpDecompress(benchmark::State& state) {
+  const auto& kernels = simd::kernels_for(simd::Level(state.range(0)));
+  const int m = int(state.range(1));
+  const auto bytes = bfp_compress(random_iq(kBfpBenchSamples, 92), m);
+  std::vector<std::complex<float>> iq;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bfp_try_decompress_into(bytes, kBfpBenchSamples, m, iq, kernels));
+  }
+  state.SetItemsProcessed(state.iterations() * std::int64_t(kBfpBenchSamples));
+  state.SetLabel(simd_arg_name(state.range(0)));
+}
+BENCHMARK(BM_BfpDecompress)
+    ->ArgNames({"level", "mantissa"})
+    ->Args({int(simd::Level::kScalar), 9})
+    ->Args({int(simd::Level::kSse2), 9})
+    ->Args({int(simd::Level::kAvx2), 9})
+    ->Args({int(simd::Level::kScalar), 8})
+    ->Args({int(simd::Level::kAvx2), 8})
+    ->Args({int(simd::Level::kAvx2), 14});
+
+// ---------------------------------------------------------------------
 // CRC: slicing-by-8 production path vs the bitwise reference oracle.
 // ---------------------------------------------------------------------
 
@@ -430,13 +494,119 @@ bool verify_crc_parity() {
   return ok;
 }
 
+// The whole BFP codec — exponent scan, quantize, word-level pack and
+// the inverse — must be bit-exact across every compiled-in kernel
+// table: identical wire bytes out of compress, identical floats out of
+// decompress. Widths cover byte-aligned and odd mantissas; counts cover
+// whole blocks, a partial final block, and symbol-sized streams.
+bool verify_bfp_parity() {
+  auto rng = RngRegistry{1213}.stream("parity");
+  bool ok = true;
+  const auto& scalar = simd::kernels_for(simd::Level::kScalar);
+  for (const int m : {2, 3, 5, 7, 8, 9, 12, 15, 16}) {
+    for (const std::size_t n :
+         {std::size_t{1}, std::size_t{11}, std::size_t{12}, std::size_t{36},
+          std::size_t{340}}) {
+      std::vector<std::complex<float>> iq(n);
+      for (auto& s : iq) {
+        switch (rng.next_u64() % 8) {
+          case 0: s = {0.0F, -0.0F}; break;  // silent-sample path
+          case 1:                             // tiny vs huge dynamic range
+            s = {float(rng.gaussian(0.0, 1e4)), float(rng.gaussian(0.0, 1e-3))};
+            break;
+          default:
+            s = {float(rng.gaussian(0.0, 1.0)), float(rng.gaussian(0.0, 1.0))};
+            break;
+        }
+      }
+      std::vector<std::uint8_t> want_bytes;
+      bfp_compress_into(iq, m, want_bytes, scalar);
+      std::vector<std::complex<float>> want_iq;
+      ok &= check(bfp_try_decompress_into(want_bytes, n, m, want_iq, scalar),
+                  "bfp scalar decompress rejected its own bytes");
+      for (const auto level : {simd::Level::kSse2, simd::Level::kAvx2}) {
+        if (!simd::level_supported(level)) {
+          continue;
+        }
+        const auto& kernels = simd::kernels_for(level);
+        std::vector<std::uint8_t> got_bytes;
+        bfp_compress_into(iq, m, got_bytes, kernels);
+        ok &= check(got_bytes == want_bytes,
+                    "bfp_compress bytes mismatch vs scalar");
+        std::vector<std::complex<float>> got_iq;
+        ok &= check(bfp_try_decompress_into(got_bytes, n, m, got_iq, kernels),
+                    "bfp decompress rejected valid bytes");
+        ok &= check(got_iq.size() == want_iq.size() &&
+                        (n == 0 ||
+                         std::memcmp(want_iq.data(), got_iq.data(),
+                                     n * sizeof(want_iq[0])) == 0),
+                    "bfp_decompress floats mismatch vs scalar");
+      }
+      // The runtime-dispatched production codec must match the pinned
+      // scalar composition too — ties the dispatch path into the gate.
+      ok &= check(bfp_compress(iq, m) == want_bytes,
+                  "dispatched bfp_compress != scalar composition");
+    }
+  }
+  return ok;
+}
+
 bool verify_kernel_parity() {
-  const bool ok =
-      verify_cn_minsum_parity() & verify_demap_parity() & verify_crc_parity();
+  const bool ok = verify_cn_minsum_parity() & verify_demap_parity() &
+                  verify_crc_parity() & verify_bfp_parity();
   std::printf("kernel parity gate: %s (active simd level: %s)\n",
               ok ? "PASS" : "FAIL",
               simd::level_name(simd::active_level()));
   return ok;
+}
+
+// --json <path>: append per-ISA BFP codec throughput rows in the flat
+// BENCH_*.json schema (bench_util.h), independent of google-benchmark's
+// own reporters, so the validate_bench_json gate and downstream sweep
+// tooling can key on samples_per_s / mantissa_bits / isa.
+void emit_bfp_json_rows(const std::string& path) {
+  using bench::JsonRow;
+  const auto iq = random_iq(kBfpBenchSamples, 93);
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::complex<float>> out;
+  const auto measure = [](auto&& fn) {
+    fn();  // warm caches and the output buffers
+    constexpr int kReps = 64;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
+      fn();
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    return double(kReps) * double(kBfpBenchSamples) / dt.count();
+  };
+  for (const auto level :
+       {simd::Level::kScalar, simd::Level::kSse2, simd::Level::kAvx2}) {
+    if (!simd::level_supported(level)) {
+      continue;
+    }
+    const auto& kernels = simd::kernels_for(level);
+    for (const int m : {8, 9, 14}) {
+      const double compress_per_s =
+          measure([&] { bfp_compress_into(iq, m, bytes, kernels); });
+      const double decompress_per_s = measure([&] {
+        benchmark::DoNotOptimize(bfp_try_decompress_into(
+            bytes, kBfpBenchSamples, m, out, kernels));
+      });
+      for (const auto& [direction, samples_per_s] :
+           {std::pair{"compress", compress_per_s},
+            std::pair{"decompress", decompress_per_s}}) {
+        JsonRow row{"bench_kernels_bfp"};
+        row.str("isa", simd::level_name(level))
+            .str("direction", direction)
+            .integer("mantissa_bits", m)
+            .integer("samples", std::int64_t(kBfpBenchSamples))
+            .num("samples_per_s", samples_per_s);
+        bench::append_bench_json(path, row);
+      }
+    }
+  }
+  std::printf("bfp throughput rows appended to %s\n", path.c_str());
 }
 
 }  // namespace
@@ -447,11 +617,27 @@ int main(int argc, char** argv) {
   if (!slingshot::verify_kernel_parity()) {
     return 1;
   }
+  // Peel off --json <path> (a bench_util.h extension) before handing the
+  // remaining flags to google-benchmark.
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) {
+        argv[j] = argv[j + 2];
+      }
+      argc -= 2;
+      break;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
+  if (!json_path.empty()) {
+    slingshot::emit_bfp_json_rows(json_path);
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -467,6 +467,7 @@ int main(int argc, char** argv) {
   int threads = 1;
   int shards = 0;     // 0 = classic single-testbed scenarios
   int bulk_ues = 0;   // --ues N: batched UEs riding each scenario cell
+  double min_events_per_s = 0.0;  // --min-events-per-s: CI sanity floor
   std::string json_path = "BENCH_perf.json";
   std::string obs_json_path = "BENCH_obs.json";
   for (int i = 1; i < argc; ++i) {
@@ -489,6 +490,9 @@ int main(int argc, char** argv) {
       if (bulk_ues < 0) {
         bulk_ues = 0;
       }
+    } else if (std::strcmp(argv[i], "--min-events-per-s") == 0 &&
+               i + 1 < argc) {
+      min_events_per_s = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-json") == 0 && i + 1 < argc) {
@@ -539,5 +543,26 @@ int main(int argc, char** argv) {
                                 : run_tab02(6'000_ms, bulk_ues, pool_ptr);
   report(short_mode ? "tab02_migration_short" : "tab02_migration", tab02,
          threads, bulk_ues, json_path);
-  return obs_ok ? 0 : 1;
+
+  // --min-events-per-s: a deliberately loose CI floor. It does not try
+  // to detect small regressions (wall-clock noise and sanitizer presets
+  // would make that flaky); it catches the catastrophic kind, e.g. an
+  // event loop gone accidentally quadratic.
+  bool rate_ok = true;
+  if (min_events_per_s > 0.0) {
+    for (const auto& [scenario, r] :
+         {std::pair{"fig10", &fig10}, std::pair{"tab02", &tab02}}) {
+      const double rate = double(r->events) / r->wall_s;
+      if (rate < min_events_per_s) {
+        std::printf("\nRATE FLOOR VIOLATION: %s ran at %.0f events/s "
+                    "(floor %.0f)\n",
+                    scenario, rate, min_events_per_s);
+        rate_ok = false;
+      }
+    }
+    if (rate_ok) {
+      std::printf("\nevents/s sanity floor (%.0f): PASS\n", min_events_per_s);
+    }
+  }
+  return obs_ok && rate_ok ? 0 : 1;
 }

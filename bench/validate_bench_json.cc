@@ -151,6 +151,43 @@ class Checker {
           return err("\"mode\" must be a string");
         }
       }
+      if (key == "samples_per_s" || key == "events_per_s") {
+        // Throughput rates (bench_kernels --json BFP rows, perf_e2e):
+        // a zero or negative rate means the timed region never ran, and
+        // null means the measurement was NaN — all meaningless rows.
+        const std::string raw = text_.substr(value_start, pos_ - value_start);
+        char* end = nullptr;
+        const double v = std::strtod(raw.c_str(), &end);
+        if (is_string || raw.empty() || raw == "null" ||
+            end != raw.c_str() + raw.size() || !(v > 0.0)) {
+          return err("\"" + key + "\" must be a positive number, got '" +
+                     raw + "'");
+        }
+      }
+      if (key == "mantissa_bits") {
+        // BFP mantissa width annotation: the codec only accepts widths
+        // in [2, 16] (fronthaul/bfp.h), so a row outside that range
+        // describes a run that cannot have happened.
+        const std::string raw = text_.substr(value_start, pos_ - value_start);
+        const bool is_digits =
+            !raw.empty() &&
+            raw.find_first_not_of("0123456789") == std::string::npos;
+        if (!is_digits || std::atoll(raw.c_str()) < 2 ||
+            std::atoll(raw.c_str()) > 16) {
+          return err("\"mantissa_bits\" must be an integer in [2, 16], "
+                     "got '" + raw + "'");
+        }
+      }
+      if (key == "isa") {
+        // Per-ISA kernel rows (bench_kernels --json): must name one of
+        // the compiled-in dispatch levels (phy/simd.h).
+        const std::string raw = text_.substr(value_start, pos_ - value_start);
+        if (!is_string || (raw != "\"scalar\"" && raw != "\"sse2\"" &&
+                           raw != "\"avx2\"")) {
+          return err("\"isa\" must be one of \"scalar\"/\"sse2\"/\"avx2\", "
+                     "got '" + raw + "'");
+        }
+      }
       if (key == "bytes_per_ue") {
         // SoA footprint (abl_ue_sweep): a non-negative finite number.
         const std::string raw = text_.substr(value_start, pos_ - value_start);
@@ -322,6 +359,10 @@ bool self_test() {
       .num("detection_ms", 2.504)
       .num("outage_ms", 0.0)
       .str("mode", "fork")
+      .num("samples_per_s", 1.25e9)
+      .num("events_per_s", 1.7e6)
+      .integer("mantissa_bits", 9)
+      .str("isa", "avx2")
       .boolean("flag", true);
   bool ok = slingshot::bench::append_bench_json(path.string(), row);
   // Append a second row to exercise the array-reopening path too.
@@ -347,6 +388,18 @@ bool self_test() {
            "[\n  {\"bench\": \"x\", \"outage_ms\": -0.5}\n]\n",
            "[\n  {\"bench\": \"x\", \"outage_ms\": \"3.1\"}\n]\n",
            "[\n  {\"bench\": \"x\", \"mode\": 2}\n]\n",
+           "[\n  {\"bench\": \"x\", \"samples_per_s\": 0}\n]\n",
+           "[\n  {\"bench\": \"x\", \"samples_per_s\": -1e6}\n]\n",
+           "[\n  {\"bench\": \"x\", \"samples_per_s\": null}\n]\n",
+           "[\n  {\"bench\": \"x\", \"samples_per_s\": \"1e6\"}\n]\n",
+           "[\n  {\"bench\": \"x\", \"events_per_s\": 0.0}\n]\n",
+           "[\n  {\"bench\": \"x\", \"events_per_s\": -3}\n]\n",
+           "[\n  {\"bench\": \"x\", \"mantissa_bits\": 1}\n]\n",
+           "[\n  {\"bench\": \"x\", \"mantissa_bits\": 17}\n]\n",
+           "[\n  {\"bench\": \"x\", \"mantissa_bits\": 8.5}\n]\n",
+           "[\n  {\"bench\": \"x\", \"mantissa_bits\": -9}\n]\n",
+           "[\n  {\"bench\": \"x\", \"isa\": \"mmx\"}\n]\n",
+           "[\n  {\"bench\": \"x\", \"isa\": 2}\n]\n",
        }) {
     const std::string text{bad};
     Checker checker{text};

@@ -1,6 +1,13 @@
 #include "common/crc.h"
 
 #include <array>
+#include <cstdlib>
+#include <string_view>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#define SLINGSHOT_CRC_CLMUL 1
+#endif
 
 namespace slingshot {
 namespace {
@@ -55,6 +62,120 @@ std::array<std::array<std::uint16_t, 256>, 8> make_crc16_slices() {
 const auto kCrc24Slices = make_crc24_slices();
 const auto kCrc16Slices = make_crc16_slices();
 
+#ifdef SLINGSHOT_CRC_CLMUL
+
+// Carry-less-multiply fast lane for crc24a. Transport blocks run to
+// tens of kilobytes, so even sliced table lookups dominate the decode
+// path; PCLMULQDQ folds 64 message bytes per iteration instead of 8.
+//
+// Exactness: the kernel never computes the CRC itself. It only folds
+// the consumed prefix down to a 64-bit polynomial C with
+// C = prefix (mod P) using the textbook identity
+//   A * x^N = Ah * (x^(N+64) mod P) + Al * (x^N mod P)   (mod P),
+// whose products stay below 2^128 (multipliers have degree <= 23).
+// The caller then feeds C's eight big-endian bytes through the same
+// table path as every other byte, so congruence mod P is the only
+// property the SIMD code must provide — the table remains the single
+// source of truth for the CRC register semantics, and the unit tests
+// pin this path against the bitwise oracle at every length.
+
+// x^n mod P for the fold multipliers (24-bit results).
+constexpr std::uint64_t xpow_mod_crc24(int n) {
+  std::uint32_t r = 1;
+  for (int i = 0; i < n; ++i) {
+    const bool carry = (r & 0x800000U) != 0;
+    r = (r << 1) & 0xFFFFFF;
+    if (carry) {
+      r ^= kCrc24Poly;
+    }
+  }
+  return r;
+}
+
+// First message byte -> most significant register byte: a
+// non-reflected CRC reads the message MSB-first.
+__attribute__((target("pclmul,ssse3"))) inline __m128i crc24_load_msb(
+    const std::uint8_t* q) {
+  const __m128i rev = _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                   13, 14, 15);
+  return _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(q)),
+                          rev);
+}
+
+__attribute__((target("pclmul,ssse3"))) inline __m128i crc24_fold_step(
+    __m128i acc, __m128i k, __m128i data) {
+  // k = {low: x^N mod P, high: x^(N+64) mod P}; advances acc by N bits.
+  return _mm_xor_si128(data,
+                       _mm_xor_si128(_mm_clmulepi64_si128(acc, k, 0x00),
+                                     _mm_clmulepi64_si128(acc, k, 0x11)));
+}
+
+// Folds the leading n & ~15 bytes (n >= 64) into a 64-bit polynomial
+// congruent to that prefix mod P. The tail and the final reduction stay
+// on the table path.
+__attribute__((target("pclmul,ssse3"))) std::uint64_t crc24_fold_clmul(
+    const std::uint8_t* p, std::size_t n) {
+  const __m128i k512 = _mm_set_epi64x(std::int64_t(xpow_mod_crc24(576)),
+                                      std::int64_t(xpow_mod_crc24(512)));
+  const __m128i k128 = _mm_set_epi64x(std::int64_t(xpow_mod_crc24(192)),
+                                      std::int64_t(xpow_mod_crc24(128)));
+  const __m128i k64 = _mm_cvtsi64_si128(std::int64_t(xpow_mod_crc24(64)));
+
+  // Four independent fold chains hide the PCLMULQDQ latency.
+  __m128i a0 = crc24_load_msb(p);
+  __m128i a1 = crc24_load_msb(p + 16);
+  __m128i a2 = crc24_load_msb(p + 32);
+  __m128i a3 = crc24_load_msb(p + 48);
+  p += 64;
+  n -= 64;
+  while (n >= 64) {
+    a0 = crc24_fold_step(a0, k512, crc24_load_msb(p));
+    a1 = crc24_fold_step(a1, k512, crc24_load_msb(p + 16));
+    a2 = crc24_fold_step(a2, k512, crc24_load_msb(p + 32));
+    a3 = crc24_fold_step(a3, k512, crc24_load_msb(p + 48));
+    p += 64;
+    n -= 64;
+  }
+  __m128i r = crc24_fold_step(a0, k128, a1);
+  r = crc24_fold_step(r, k128, a2);
+  r = crc24_fold_step(r, k128, a3);
+  while (n >= 16) {
+    r = crc24_fold_step(r, k128, crc24_load_msb(p));
+    p += 16;
+    n -= 16;
+  }
+  // 128 -> 87 -> 64 bits: twice fold the high qword by x^64 mod P.
+  // The high halves have degree <= 63 and <= 22, so both products fit.
+  __m128i b = _mm_xor_si128(_mm_clmulepi64_si128(r, k64, 0x01),
+                            _mm_move_epi64(r));
+  __m128i c = _mm_xor_si128(_mm_clmulepi64_si128(b, k64, 0x01),
+                            _mm_move_epi64(b));
+  return std::uint64_t(_mm_cvtsi128_si64(c));
+}
+
+bool crc24_clmul_enabled() {
+  static const bool enabled = [] {
+    if (!__builtin_cpu_supports("pclmul") ||
+        !__builtin_cpu_supports("ssse3")) {
+      return false;
+    }
+    // Honor the kernel-dispatch pin: at scalar/sse2 the rest of the
+    // datapath avoids post-SSE2 instructions, so the CRC does too (the
+    // result is identical either way; this keeps ISA-pinned runs
+    // honest about what they exercise).
+    if (const char* env = std::getenv("SLINGSHOT_SIMD")) {
+      const std::string_view v{env};
+      if (v == "scalar" || v == "sse2") {
+        return false;
+      }
+    }
+    return true;
+  }();
+  return enabled;
+}
+
+#endif  // SLINGSHOT_CRC_CLMUL
+
 }  // namespace
 
 std::uint32_t crc24a(std::span<const std::uint8_t> data) {
@@ -62,6 +183,22 @@ std::uint32_t crc24a(std::span<const std::uint8_t> data) {
   std::uint32_t crc = 0;
   const std::uint8_t* p = data.data();
   std::size_t n = data.size();
+#ifdef SLINGSHOT_CRC_CLMUL
+  if (n >= 128 && crc24_clmul_enabled()) {
+    // Fold the bulk of the message to a 64-bit congruent residual, then
+    // run the residual's big-endian bytes through the ordinary table
+    // register below — same semantics, 8 bytes standing in for the
+    // folded prefix.
+    const std::size_t folded = n & ~std::size_t(15);
+    const std::uint64_t residual = crc24_fold_clmul(p, folded);
+    for (int i = 56; i >= 0; i -= 8) {
+      const auto byte = std::uint8_t(residual >> i);
+      crc = ((crc << 8) ^ s[0][((crc >> 16) ^ byte) & 0xFF]) & 0xFFFFFF;
+    }
+    p += folded;
+    n -= folded;
+  }
+#endif
   // 8 bytes per step: XOR the 24-bit register into the leading three
   // message bytes, then the new register is the XOR of each byte's
   // independent contribution (byte i is followed by 7-i zero bytes).

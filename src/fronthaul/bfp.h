@@ -16,6 +16,10 @@
 
 namespace slingshot {
 
+namespace simd {
+struct Kernels;
+}  // namespace simd
+
 inline constexpr int kBfpBlockSamples = 12;  // one PRB of subcarriers
 
 // Compress to a byte stream: per block, [s8 exponent][24 x m-bit
@@ -35,8 +39,35 @@ void bfp_decompress_into(std::span<const std::uint8_t> bytes,
                          std::size_t n_samples, int mantissa_bits,
                          std::vector<std::complex<float>>& iq);
 
+// Total, non-throwing decode in the WireReader error style (fapi/wire.h):
+// validates mantissa_bits and that `bytes` holds a full
+// bfp_compressed_size(n_samples, mantissa_bits) stream up front, then
+// decodes without any per-read checks. Returns false (leaving `iq`
+// cleared) on a short or malformed input instead of raising an
+// exception on the fronthaul hot path; never reads out of bounds.
+// Trailing bytes beyond the compressed size are ignored, matching the
+// historical bit-reader behavior.
+[[nodiscard]] bool bfp_try_decompress_into(std::span<const std::uint8_t> bytes,
+                                           std::size_t n_samples,
+                                           int mantissa_bits,
+                                           std::vector<std::complex<float>>& iq);
+
 // Wire size of a compressed block stream (for bandwidth accounting).
 [[nodiscard]] std::size_t bfp_compressed_size(std::size_t n_samples,
                                               int mantissa_bits);
+
+// Kernel-pinned variants: identical algorithm and wire format, but the
+// SIMD kernel table is chosen by the caller instead of runtime dispatch.
+// Used by the bench_kernels parity gate and the per-ISA throughput rows
+// (any table from simd::kernels_for() must produce bit-identical bytes
+// and floats).
+void bfp_compress_into(std::span<const std::complex<float>> iq,
+                       int mantissa_bits, std::vector<std::uint8_t>& out,
+                       const simd::Kernels& kernels);
+[[nodiscard]] bool bfp_try_decompress_into(std::span<const std::uint8_t> bytes,
+                                           std::size_t n_samples,
+                                           int mantissa_bits,
+                                           std::vector<std::complex<float>>& iq,
+                                           const simd::Kernels& kernels);
 
 }  // namespace slingshot

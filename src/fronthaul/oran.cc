@@ -61,9 +61,27 @@ void write_cplane(ByteWriter& w, const CPlaneMsg& msg) {
   }
 }
 
+// Fixed wire size of each repeated element, used to reject a claimed
+// element count the buffer cannot possibly back. Without this bound a
+// noise packet whose count field reads 65535 costs O(count) section
+// constructions (ByteReader::next() saturates instead of throwing), so
+// parsing attacker-controlled bytes would be O(claimed) not O(len).
+constexpr std::size_t kDlAssignmentWireBytes = 9;   // u16+u8+u32+u8+u8
+constexpr std::size_t kUlGrantWireBytes = 17;       // u16+u64+u8+u32+u8+u8
+constexpr std::size_t kUciWireBytes = 4;            // u16+u8+u8
+constexpr std::size_t kUPlaneSectionWireBytes = 22;  // fixed fields only
+
+void require_backed(const ByteReader& r, std::size_t count,
+                    std::size_t min_elem_bytes) {
+  if (count * min_elem_bytes > r.remaining()) {
+    throw std::out_of_range{"parse_fronthaul: element count exceeds buffer"};
+  }
+}
+
 CPlaneMsg read_cplane(ByteReader& r) {
   CPlaneMsg msg;
   const auto n_dl = r.u16();
+  require_backed(r, n_dl, kDlAssignmentWireBytes);
   msg.dl_assignments.reserve(n_dl);
   for (std::uint16_t i = 0; i < n_dl; ++i) {
     DlAssignment a;
@@ -75,6 +93,7 @@ CPlaneMsg read_cplane(ByteReader& r) {
     msg.dl_assignments.push_back(a);
   }
   const auto n_ul = r.u16();
+  require_backed(r, n_ul, kUlGrantWireBytes);
   msg.ul_grants.reserve(n_ul);
   for (std::uint16_t i = 0; i < n_ul; ++i) {
     UlGrant g;
@@ -87,6 +106,7 @@ CPlaneMsg read_cplane(ByteReader& r) {
     msg.ul_grants.push_back(g);
   }
   const auto n_uci = r.u16();
+  require_backed(r, n_uci, kUciWireBytes);
   msg.uci.reserve(n_uci);
   for (std::uint16_t i = 0; i < n_uci; ++i) {
     UciFeedback u;
@@ -137,6 +157,7 @@ void write_uplane(ByteWriter& w, const UPlaneMsg& msg) {
 UPlaneMsg read_uplane(ByteReader& r) {
   UPlaneMsg msg;
   const auto n = r.u16();
+  require_backed(r, n, kUPlaneSectionWireBytes);
   msg.sections.reserve(n);
   for (std::uint16_t i = 0; i < n; ++i) {
     UPlaneSection s;
@@ -150,10 +171,20 @@ UPlaneMsg read_uplane(ByteReader& r) {
     const auto n_iq = r.u32();
     s.iq = BufferPools::instance().iq.acquire();
     if (s.bfp_mantissa_bits > 0) {
+      // Width sanity before the size formula sees wire-controlled input;
+      // the non-throwing decoder re-validates and bounds-checks, so a
+      // malformed section costs one branch, not an exception unwind.
+      if (s.bfp_mantissa_bits < 2 || s.bfp_mantissa_bits > 16) {
+        throw std::out_of_range{"parse_fronthaul: bad BFP mantissa width"};
+      }
       const auto compressed =
           r.view(bfp_compressed_size(n_iq, s.bfp_mantissa_bits));
-      bfp_decompress_into(compressed, n_iq, s.bfp_mantissa_bits, s.iq);
+      if (!bfp_try_decompress_into(compressed, n_iq, s.bfp_mantissa_bits,
+                                   s.iq)) {
+        throw std::out_of_range{"parse_fronthaul: truncated BFP section"};
+      }
     } else {
+      require_backed(r, n_iq, 8);  // two f32 per sample
       s.iq.reserve(n_iq);
       for (std::uint32_t k = 0; k < n_iq; ++k) {
         const float re = r.f32();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <type_traits>
 
 #if defined(__x86_64__) || defined(__i386__)
 #define SLINGSHOT_SIMD_X86 1
@@ -97,8 +98,119 @@ void ar1_update_scalar(float* x, std::size_t n, float mean, float rho,
   }
 }
 
-constexpr Kernels kScalarKernels{cn_minsum_scalar, demap_soft_scalar,
-                                 deadline_scan_scalar, ar1_update_scalar};
+float peak_abs_scalar(const float* x, std::size_t n) {
+  float peak = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) {
+    peak = std::max(peak, std::fabs(x[i]));
+  }
+  return peak;
+}
+
+void bfp_quantize_scalar(const float* x, std::size_t n, double inv_scale,
+                         std::int32_t max_m, std::int32_t* q) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // inv_scale is 2^-e, so the product equals double(x[i]) / 2^e
+    // exactly: both forms are a pure exponent shift.
+    const long v = std::lround(double(x[i]) * inv_scale);
+    q[i] = std::int32_t(std::clamp<long>(v, -long(max_m), long(max_m)));
+  }
+}
+
+void bfp_dequantize_scalar(const std::int32_t* q, std::size_t n, float scale,
+                           float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = float(q[i]) * scale;
+  }
+}
+
+// 64-bit word-level MSB-first packer: accumulate mantissas into a shift
+// register and flush whole bytes. The accumulator never exceeds
+// 7 + 16 bits, and the only per-element control flow is the byte flush
+// (at most two iterations) — no per-bit branches. Templated on the
+// width so every shift and the flush trip count are compile-time
+// constants; the public entry points dispatch once per call, which for
+// a PRB block amortizes over 24 mantissas.
+template <int M>
+std::size_t bfp_pack_words(const std::int32_t* q, std::size_t n,
+                           std::uint8_t* dst) {
+  constexpr auto kMask = std::uint32_t((1U << M) - 1U);
+  std::uint64_t acc = 0;
+  int bits = 0;
+  std::uint8_t* p = dst;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = (acc << M) | (std::uint32_t(q[i]) & kMask);
+    bits += M;
+    while (bits >= 8) {
+      bits -= 8;
+      *p++ = std::uint8_t(acc >> bits);
+    }
+  }
+  if (bits > 0) {
+    *p++ = std::uint8_t(acc << (8 - bits));
+  }
+  return std::size_t(p - dst);
+}
+
+template <int M>
+void bfp_unpack_words(const std::uint8_t* src, std::size_t n,
+                      std::int32_t* q) {
+  constexpr auto kMask = std::uint32_t((1U << M) - 1U);
+  constexpr int kShift = 32 - M;
+  std::uint64_t acc = 0;
+  int bits = 0;
+  const std::uint8_t* p = src;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (bits < M) {
+      acc = (acc << 8) | *p++;
+      bits += 8;
+    }
+    bits -= M;
+    const auto raw = std::uint32_t(acc >> bits) & kMask;
+    // Sign-extend the M-bit value (arithmetic shift; C++20 guarantees
+    // two's complement).
+    q[i] = std::int32_t(raw << kShift) >> kShift;
+  }
+}
+
+template <typename F>
+decltype(auto) with_bfp_width(int m, F&& f) {
+  switch (m) {
+    case 2: return f(std::integral_constant<int, 2>{});
+    case 3: return f(std::integral_constant<int, 3>{});
+    case 4: return f(std::integral_constant<int, 4>{});
+    case 5: return f(std::integral_constant<int, 5>{});
+    case 6: return f(std::integral_constant<int, 6>{});
+    case 7: return f(std::integral_constant<int, 7>{});
+    case 8: return f(std::integral_constant<int, 8>{});
+    case 9: return f(std::integral_constant<int, 9>{});
+    case 10: return f(std::integral_constant<int, 10>{});
+    case 11: return f(std::integral_constant<int, 11>{});
+    case 12: return f(std::integral_constant<int, 12>{});
+    case 13: return f(std::integral_constant<int, 13>{});
+    case 14: return f(std::integral_constant<int, 14>{});
+    case 15: return f(std::integral_constant<int, 15>{});
+    default: return f(std::integral_constant<int, 16>{});
+  }
+}
+
+std::size_t bfp_pack_scalar(const std::int32_t* q, std::size_t n, int m,
+                            std::uint8_t* dst) {
+  return with_bfp_width(m, [&](auto width) {
+    return bfp_pack_words<decltype(width)::value>(q, n, dst);
+  });
+}
+
+void bfp_unpack_scalar(const std::uint8_t* src, std::size_t n, int m,
+                       std::int32_t* q) {
+  with_bfp_width(m, [&](auto width) {
+    bfp_unpack_words<decltype(width)::value>(src, n, q);
+  });
+}
+
+constexpr Kernels kScalarKernels{
+    cn_minsum_scalar,  demap_soft_scalar,    deadline_scan_scalar,
+    ar1_update_scalar, peak_abs_scalar,      bfp_quantize_scalar,
+    bfp_dequantize_scalar, bfp_pack_scalar,  bfp_unpack_scalar};
 
 #if SLINGSHOT_SIMD_X86
 
@@ -298,8 +410,158 @@ void ar1_update_sse2(float* x, std::size_t n, float mean, float rho,
   }
 }
 
-constexpr Kernels kSse2Kernels{cn_minsum_sse2, demap_soft_sse2,
-                               deadline_scan_sse2, ar1_update_sse2};
+float peak_abs_sse2(const float* x, std::size_t n) {
+  const __m128 sign_mask = _mm_set1_ps(-0.0F);
+  __m128 acc = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm_max_ps(acc, _mm_andnot_ps(sign_mask, _mm_loadu_ps(x + i)));
+  }
+  alignas(16) float lanes[4];
+  _mm_store_ps(lanes, acc);
+  float peak = std::max(std::max(lanes[0], lanes[1]),
+                        std::max(lanes[2], lanes[3]));
+  for (; i < n; ++i) {
+    peak = std::max(peak, std::fabs(x[i]));
+  }
+  return peak;
+}
+
+// Quantize two double lanes: v' = v * inv_scale (exact: power-of-two
+// scale), round half-away-from-zero as trunc(v' + copysign(0.5, v')),
+// clamp to [-max_m, max_m] in the double domain (so the truncating
+// int conversion can never see an out-of-int32 value), and truncate.
+// trunc(fl(v' + 0.5)) == lround(v') for every float-derived v' that is
+// not clamped away: below the clamp bound |v'| < 2^16, where the
+// addition of 0.5 is exact in double (<= 25 significant bits), and
+// past it min/max pin the result to +/-max_m either way.
+inline __m128i bfp_quantize_pair_sse2(__m128d v, __m128d vinv, __m128d vhalf,
+                                      __m128d dsign, __m128d vmax,
+                                      __m128d vmin) {
+  v = _mm_mul_pd(v, vinv);
+  const __m128d bias = _mm_or_pd(vhalf, _mm_and_pd(v, dsign));
+  v = _mm_add_pd(v, bias);
+  v = _mm_min_pd(v, vmax);
+  v = _mm_max_pd(v, vmin);
+  return _mm_cvttpd_epi32(v);
+}
+
+void bfp_quantize_sse2(const float* x, std::size_t n, double inv_scale,
+                       std::int32_t max_m, std::int32_t* q) {
+  const __m128d vinv = _mm_set1_pd(inv_scale);
+  const __m128d vhalf = _mm_set1_pd(0.5);
+  const __m128d dsign = _mm_set1_pd(-0.0);
+  const __m128d vmax = _mm_set1_pd(double(max_m));
+  const __m128d vmin = _mm_set1_pd(-double(max_m));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 f = _mm_loadu_ps(x + i);
+    const __m128i lo = bfp_quantize_pair_sse2(_mm_cvtps_pd(f), vinv, vhalf,
+                                              dsign, vmax, vmin);
+    const __m128i hi = bfp_quantize_pair_sse2(
+        _mm_cvtps_pd(_mm_movehl_ps(f, f)), vinv, vhalf, dsign, vmax, vmin);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(q + i),
+                     _mm_unpacklo_epi64(lo, hi));
+  }
+  if (i < n) {
+    bfp_quantize_scalar(x + i, n - i, inv_scale, max_m, q + i);
+  }
+}
+
+void bfp_dequantize_sse2(const std::int32_t* q, std::size_t n, float scale,
+                         float* out) {
+  const __m128 vscale = _mm_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i));
+    _mm_storeu_ps(out + i, _mm_mul_ps(_mm_cvtepi32_ps(v), vscale));
+  }
+  for (; i < n; ++i) {
+    out[i] = float(q[i]) * scale;
+  }
+}
+
+// Byte-aligned mantissa widths pack/unpack vectorially; other widths
+// share the word-level scalar core. The saturating packs are inert:
+// the quantizer already clamped values into the m-bit range.
+std::size_t bfp_pack_sse2(const std::int32_t* q, std::size_t n, int m,
+                          std::uint8_t* dst) {
+  std::size_t i = 0;
+  if (m == 8) {
+    for (; i + 8 <= n; i += 8) {
+      const __m128i a =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i));
+      const __m128i b =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i + 4));
+      const __m128i w = _mm_packs_epi32(a, b);
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + i),
+                       _mm_packs_epi16(w, w));
+    }
+    for (; i < n; ++i) {
+      dst[i] = std::uint8_t(std::uint32_t(q[i]) & 0xFFU);
+    }
+    return n;
+  }
+  if (m == 16) {
+    for (; i + 4 <= n; i += 4) {
+      const __m128i a =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i));
+      __m128i w = _mm_packs_epi32(a, a);
+      // Big-endian within each 16-bit mantissa (MSB-first stream).
+      w = _mm_or_si128(_mm_slli_epi16(w, 8), _mm_srli_epi16(w, 8));
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + 2 * i), w);
+    }
+    for (; i < n; ++i) {
+      const auto v = std::uint32_t(q[i]);
+      dst[2 * i] = std::uint8_t(v >> 8);
+      dst[2 * i + 1] = std::uint8_t(v);
+    }
+    return 2 * n;
+  }
+  return bfp_pack_scalar(q, n, m, dst);
+}
+
+void bfp_unpack_sse2(const std::uint8_t* src, std::size_t n, int m,
+                     std::int32_t* q) {
+  std::size_t i = 0;
+  if (m == 8) {
+    for (; i + 8 <= n; i += 8) {
+      const __m128i b =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + i));
+      const __m128i w = _mm_srai_epi16(_mm_unpacklo_epi8(b, b), 8);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(q + i),
+                       _mm_srai_epi32(_mm_unpacklo_epi16(w, w), 16));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(q + i + 4),
+                       _mm_srai_epi32(_mm_unpackhi_epi16(w, w), 16));
+    }
+    for (; i < n; ++i) {
+      q[i] = std::int32_t(std::int8_t(src[i]));
+    }
+    return;
+  }
+  if (m == 16) {
+    for (; i + 4 <= n; i += 4) {
+      __m128i w =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + 2 * i));
+      w = _mm_or_si128(_mm_slli_epi16(w, 8), _mm_srli_epi16(w, 8));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(q + i),
+                       _mm_srai_epi32(_mm_unpacklo_epi16(w, w), 16));
+    }
+    for (; i < n; ++i) {
+      const auto hi = std::uint32_t(src[2 * i]);
+      const auto lo = std::uint32_t(src[2 * i + 1]);
+      q[i] = std::int32_t(std::int16_t((hi << 8) | lo));
+    }
+    return;
+  }
+  bfp_unpack_scalar(src, n, m, q);
+}
+
+constexpr Kernels kSse2Kernels{
+    cn_minsum_sse2,  demap_soft_sse2,    deadline_scan_sse2,
+    ar1_update_sse2, peak_abs_sse2,      bfp_quantize_sse2,
+    bfp_dequantize_sse2, bfp_pack_sse2,  bfp_unpack_sse2};
 
 // ---------------------------------------------------------------------
 // AVX2.
@@ -482,8 +744,156 @@ __attribute__((target("avx2"))) void ar1_update_avx2(float* x, std::size_t n,
   }
 }
 
-constexpr Kernels kAvx2Kernels{cn_minsum_avx2, demap_soft_avx2,
-                               deadline_scan_avx2, ar1_update_avx2};
+__attribute__((target("avx2"))) float peak_abs_avx2(const float* x,
+                                                    std::size_t n) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0F);
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_max_ps(acc,
+                        _mm256_andnot_ps(sign_mask, _mm256_loadu_ps(x + i)));
+  }
+  const __m128 folded = _mm_max_ps(_mm256_castps256_ps128(acc),
+                                   _mm256_extractf128_ps(acc, 1));
+  alignas(16) float lanes[4];
+  _mm_store_ps(lanes, folded);
+  float peak = std::max(std::max(lanes[0], lanes[1]),
+                        std::max(lanes[2], lanes[3]));
+  for (; i < n; ++i) {
+    peak = std::max(peak, std::fabs(x[i]));
+  }
+  return peak;
+}
+
+// Same exactness argument as the SSE2 pair helper: power-of-two scale,
+// exact +0.5 bias in double below the clamp bound, double-domain clamp
+// before the truncating conversion.
+__attribute__((target("avx2"))) inline __m128i bfp_quantize_quad_avx2(
+    __m256d v, __m256d vinv, __m256d vhalf, __m256d dsign, __m256d vmax,
+    __m256d vmin) {
+  v = _mm256_mul_pd(v, vinv);
+  const __m256d bias = _mm256_or_pd(vhalf, _mm256_and_pd(v, dsign));
+  v = _mm256_add_pd(v, bias);
+  v = _mm256_min_pd(v, vmax);
+  v = _mm256_max_pd(v, vmin);
+  return _mm256_cvttpd_epi32(v);
+}
+
+__attribute__((target("avx2"))) void bfp_quantize_avx2(
+    const float* x, std::size_t n, double inv_scale, std::int32_t max_m,
+    std::int32_t* q) {
+  const __m256d vinv = _mm256_set1_pd(inv_scale);
+  const __m256d vhalf = _mm256_set1_pd(0.5);
+  const __m256d dsign = _mm256_set1_pd(-0.0);
+  const __m256d vmax = _mm256_set1_pd(double(max_m));
+  const __m256d vmin = _mm256_set1_pd(-double(max_m));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 f = _mm256_loadu_ps(x + i);
+    const __m128i lo = bfp_quantize_quad_avx2(
+        _mm256_cvtps_pd(_mm256_castps256_ps128(f)), vinv, vhalf, dsign, vmax,
+        vmin);
+    const __m128i hi = bfp_quantize_quad_avx2(
+        _mm256_cvtps_pd(_mm256_extractf128_ps(f, 1)), vinv, vhalf, dsign,
+        vmax, vmin);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + i),
+                        _mm256_set_m128i(hi, lo));
+  }
+  if (i < n) {
+    bfp_quantize_scalar(x + i, n - i, inv_scale, max_m, q + i);
+  }
+}
+
+__attribute__((target("avx2"))) void bfp_dequantize_avx2(
+    const std::int32_t* q, std::size_t n, float scale, float* out) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + i));
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_cvtepi32_ps(v), vscale));
+  }
+  for (; i < n; ++i) {
+    out[i] = float(q[i]) * scale;
+  }
+}
+
+__attribute__((target("avx2"))) std::size_t bfp_pack_avx2(
+    const std::int32_t* q, std::size_t n, int m, std::uint8_t* dst) {
+  std::size_t i = 0;
+  if (m == 8) {
+    for (; i + 8 <= n; i += 8) {
+      const __m128i a =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i));
+      const __m128i b =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i + 4));
+      const __m128i w = _mm_packs_epi32(a, b);
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + i),
+                       _mm_packs_epi16(w, w));
+    }
+    for (; i < n; ++i) {
+      dst[i] = std::uint8_t(std::uint32_t(q[i]) & 0xFFU);
+    }
+    return n;
+  }
+  if (m == 16) {
+    for (; i + 8 <= n; i += 8) {
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + i));
+      // packs interleaves 128-bit halves; permute restores order.
+      __m128i w = _mm256_castsi256_si128(_mm256_permute4x64_epi64(
+          _mm256_packs_epi32(a, a), _MM_SHUFFLE(3, 1, 2, 0)));
+      w = _mm_or_si128(_mm_slli_epi16(w, 8), _mm_srli_epi16(w, 8));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 2 * i), w);
+    }
+    for (; i < n; ++i) {
+      const auto v = std::uint32_t(q[i]);
+      dst[2 * i] = std::uint8_t(v >> 8);
+      dst[2 * i + 1] = std::uint8_t(v);
+    }
+    return 2 * n;
+  }
+  return bfp_pack_scalar(q, n, m, dst);
+}
+
+__attribute__((target("avx2"))) void bfp_unpack_avx2(const std::uint8_t* src,
+                                                     std::size_t n, int m,
+                                                     std::int32_t* q) {
+  std::size_t i = 0;
+  if (m == 8) {
+    for (; i + 8 <= n; i += 8) {
+      const __m128i b =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + i),
+                          _mm256_cvtepi8_epi32(b));
+    }
+    for (; i < n; ++i) {
+      q[i] = std::int32_t(std::int8_t(src[i]));
+    }
+    return;
+  }
+  if (m == 16) {
+    for (; i + 8 <= n; i += 8) {
+      __m128i w =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 2 * i));
+      w = _mm_or_si128(_mm_slli_epi16(w, 8), _mm_srli_epi16(w, 8));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + i),
+                          _mm256_cvtepi16_epi32(w));
+    }
+    for (; i < n; ++i) {
+      const auto hi = std::uint32_t(src[2 * i]);
+      const auto lo = std::uint32_t(src[2 * i + 1]);
+      q[i] = std::int32_t(std::int16_t((hi << 8) | lo));
+    }
+    return;
+  }
+  bfp_unpack_scalar(src, n, m, q);
+}
+
+constexpr Kernels kAvx2Kernels{
+    cn_minsum_avx2,  demap_soft_avx2,    deadline_scan_avx2,
+    ar1_update_avx2, peak_abs_avx2,      bfp_quantize_avx2,
+    bfp_dequantize_avx2, bfp_pack_avx2,  bfp_unpack_avx2};
 
 #endif  // SLINGSHOT_SIMD_X86
 

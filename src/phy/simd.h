@@ -68,6 +68,45 @@ struct Kernels {
   // for the batch's per-lane SNR fading update.
   void (*ar1_update)(float* x, std::size_t n, float mean, float rho,
                      const float* innov);
+
+  // ---- BFP codec kernels (fronthaul/bfp.cc fast lane) ----
+  // These four cover one O-RAN BFP block: exponent scan, quantize,
+  // mantissa pack/unpack, dequantize. All are bit-exact vs scalar:
+  // abs/max are exact; the quantizer works in double where division
+  // and multiplication by a power of two are exact and emulates
+  // lround's half-away-from-zero via trunc(x + copysign(0.5, x)),
+  // which is provably identical for |x| small enough to survive the
+  // mantissa clamp; the dequantizer multiplies a <=16-bit integer by a
+  // power of two, which is exact in float.
+
+  // Max |x[i]| over n floats (0 for n == 0). The BFP shared-exponent
+  // scan over one block's 2*n real components.
+  float (*peak_abs)(const float* x, std::size_t n);
+
+  // q[i] = clamp(lround(double(x[i]) * inv_scale), -max_m, max_m).
+  // inv_scale must be a power of two (it is 2^-exponent).
+  void (*bfp_quantize)(const float* x, std::size_t n, double inv_scale,
+                       std::int32_t max_m, std::int32_t* q);
+
+  // out[i] = float(q[i]) * scale. scale is a power of two, so the
+  // product is exact whenever it is representable.
+  void (*bfp_dequantize)(const std::int32_t* q, std::size_t n, float scale,
+                         float* out);
+
+  // Pack n two's-complement mantissas (the low m bits of q[i],
+  // m in [2,16]) MSB-first into dst; returns the (n*m+7)/8 bytes
+  // written, zero-padding the final partial byte's low bits. Values
+  // must already be in [-(2^(m-1)-1), 2^(m-1)-1]. SIMD levels
+  // specialize the byte-aligned widths (m == 8, 16) and fall back to
+  // the shared 64-bit word-level core elsewhere — never to a per-bit
+  // loop.
+  std::size_t (*bfp_pack)(const std::int32_t* q, std::size_t n, int m,
+                          std::uint8_t* dst);
+
+  // Inverse of bfp_pack: sign-extend n m-bit mantissas from src (which
+  // must hold at least (n*m+7)/8 bytes) into q.
+  void (*bfp_unpack)(const std::uint8_t* src, std::size_t n, int m,
+                     std::int32_t* q);
 };
 
 // The active kernel set, chosen once on first call (thread-safe) from

@@ -1,0 +1,214 @@
+// Calendar queue for the discrete-event scheduler: a two-tier timing
+// wheel that replaces the binary heap's O(log n) comparator traffic
+// with O(1) bucketed inserts while preserving the heap's EXACT
+// (time, seq) total order — the golden-trace fingerprints pin that
+// contract, so this structure must be a drop-in reorder-free swap.
+//
+// Layout. Virtual time (non-negative nanoseconds) is quantized into
+// power-of-two buckets of width W = 2^log2_bucket_ns; a ring of
+// B = 2^log2_buckets vectors covers the sliding window
+// [cur, cur + B) of bucket numbers (bucket(t) = t >> log2_bucket_ns,
+// ring index = bucket & (B - 1)). With the defaults (W = 131.072 us,
+// about a quarter TTI; B = 256) the window spans ~33.6 ms, far beyond
+// the horizon the testbed schedules into; anything later goes to a
+// spill-over min-heap and migrates into the ring as the window slides.
+//
+// Ordering argument. Every ring vector holds entries of exactly one
+// bucket number (the window invariant: all ring entries lie in
+// [cur, cur + B), so ring indexes never alias two "laps" at once).
+// A bucket is kept unsorted while it is in the future — inserts are
+// plain O(1) appends — and is heapified by (time, seq) only when the
+// cursor enters it; pops then come out of that heap. Buckets are
+// visited in increasing bucket-number order and an earlier bucket
+// strictly precedes a later one in time, so the pop sequence is the
+// global (time, seq) ascending order, identical to the old
+// std::priority_queue. Two edge rules keep the invariant airtight:
+//  * overflow entries migrate into the ring the moment the advancing
+//    cursor brings them inside the window (they can never be the
+//    minimum while still outside it: any in-ring entry has a strictly
+//    smaller bucket number);
+//  * a push BEHIND the cursor (legal: after run_until() drains early,
+//    the clock jumps to the horizon but the cursor rests at the next
+//    pending bucket, and a fresh schedule may land in between) pulls
+//    the cursor back and spills the ring entries the narrowed window
+//    no longer covers back to the overflow heap. Pull-backs only
+//    happen between run segments, never while the loop is popping, so
+//    the O(B) respill scan stays off the hot path.
+//
+// Cancellation is untouched: the simulator's generation-checked lazy
+// cancellation never removes queue entries, so the calendar queue
+// needs no erase operation and the slab EventRecord machinery works
+// unchanged.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace slingshot {
+
+struct CalendarConfig {
+  int log2_bucket_ns = 17;  // 131.072 us buckets (~ TTI / 4)
+  int log2_buckets = 8;     // 256-bucket ring, ~33.6 ms window
+};
+
+// Entry must expose `.time` (non-negative Nanos) and `.seq`, with
+// operator> realizing the strict (time, seq) order.
+template <typename Entry>
+class CalendarQueue {
+ public:
+  CalendarQueue() { apply_config(CalendarConfig{}); }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] CalendarConfig config() const { return cfg_; }
+
+  // Reconfigure the bucket geometry. Valid at any time: pending
+  // entries are drained and re-filed under the new layout (the pop
+  // order is a pure function of (time, seq), so a rebuild cannot
+  // change it).
+  void set_config(CalendarConfig cfg) {
+    std::vector<Entry> pending;
+    pending.reserve(size_);
+    for (auto& bucket : buckets_) {
+      pending.insert(pending.end(), bucket.begin(), bucket.end());
+    }
+    while (!overflow_.empty()) {
+      pending.push_back(overflow_.top());
+      overflow_.pop();
+    }
+    apply_config(cfg);
+    for (const Entry& e : pending) {
+      push(e);
+    }
+  }
+
+  void push(const Entry& e) {
+    const std::uint64_t bn = bucket_of(e.time);
+    if (bn < cur_) {
+      pull_back(bn);
+    }
+    if (bn < cur_ + num_buckets()) {
+      auto& bucket = buckets_[bn & mask_];
+      bucket.push_back(e);
+      if (bn == cur_ && cur_heaped_) {
+        std::push_heap(bucket.begin(), bucket.end(), Greater{});
+      }
+      ++ring_size_;
+    } else {
+      overflow_.push(e);
+    }
+    ++size_;
+  }
+
+  // Smallest entry by (time, seq). Requires !empty().
+  [[nodiscard]] const Entry& top() {
+    advance_to_min();
+    return buckets_[cur_ & mask_].front();
+  }
+
+  void pop() {
+    advance_to_min();
+    auto& bucket = buckets_[cur_ & mask_];
+    std::pop_heap(bucket.begin(), bucket.end(), Greater{});
+    bucket.pop_back();
+    --ring_size_;
+    --size_;
+  }
+
+ private:
+  struct Greater {
+    bool operator()(const Entry& a, const Entry& b) const { return a > b; }
+  };
+
+  [[nodiscard]] std::uint64_t num_buckets() const { return mask_ + 1; }
+  [[nodiscard]] std::uint64_t bucket_of(Nanos t) const {
+    return std::uint64_t(t) >> log2_w_;
+  }
+
+  void apply_config(CalendarConfig cfg) {
+    cfg_ = cfg;
+    log2_w_ = cfg.log2_bucket_ns;
+    mask_ = (std::uint64_t(1) << cfg.log2_buckets) - 1;
+    buckets_.assign(std::size_t(mask_) + 1, {});
+    cur_ = 0;
+    cur_heaped_ = false;
+    ring_size_ = 0;
+    size_ = 0;
+  }
+
+  // Move the cursor to the bucket holding the global minimum,
+  // heapifying it on entry. Requires size_ > 0. Each empty bucket is
+  // skipped with one vector-empty check; when the ring is empty the
+  // cursor jumps straight to the earliest overflow bucket, so the scan
+  // is bounded by the window span, not by the gap to the next event.
+  void advance_to_min() {
+    for (;;) {
+      auto& bucket = buckets_[cur_ & mask_];
+      if (!bucket.empty()) {
+        if (!cur_heaped_) {
+          std::make_heap(bucket.begin(), bucket.end(), Greater{});
+          cur_heaped_ = true;
+        }
+        return;
+      }
+      cur_heaped_ = false;
+      if (ring_size_ == 0) {
+        cur_ = bucket_of(overflow_.top().time);
+      } else {
+        ++cur_;
+      }
+      migrate_overflow();
+    }
+  }
+
+  // Restore the overflow invariant (overflow entries lie at or beyond
+  // cur + B) after the cursor moved forward.
+  void migrate_overflow() {
+    const std::uint64_t horizon = cur_ + num_buckets();
+    while (!overflow_.empty() && bucket_of(overflow_.top().time) < horizon) {
+      const Entry& e = overflow_.top();
+      buckets_[bucket_of(e.time) & mask_].push_back(e);
+      ++ring_size_;
+      overflow_.pop();
+    }
+  }
+
+  // A push landed behind the cursor. Rewind the window to start at
+  // `bn` and respill every ring entry the narrowed window no longer
+  // covers (its ring index would otherwise alias a nearer bucket and
+  // could surface out of order). Each vector holds a single bucket
+  // number, so whole vectors spill or stay.
+  void pull_back(std::uint64_t bn) {
+    const std::uint64_t horizon = bn + num_buckets();
+    cur_ = bn;
+    cur_heaped_ = false;
+    if (ring_size_ > 0) {
+      for (auto& bucket : buckets_) {
+        if (!bucket.empty() && bucket_of(bucket.front().time) >= horizon) {
+          for (const Entry& e : bucket) {
+            overflow_.push(e);
+          }
+          ring_size_ -= bucket.size();
+          bucket.clear();
+        }
+      }
+    }
+  }
+
+  CalendarConfig cfg_{};
+  int log2_w_ = 17;
+  std::uint64_t mask_ = 255;
+  std::uint64_t cur_ = 0;      // bucket number the window starts at
+  bool cur_heaped_ = false;    // buckets_[cur_ & mask_] is a valid heap
+  std::size_t ring_size_ = 0;  // entries in the ring (excl. overflow)
+  std::size_t size_ = 0;
+  std::vector<std::vector<Entry>> buckets_;
+  std::priority_queue<Entry, std::vector<Entry>, Greater> overflow_;
+};
+
+}  // namespace slingshot

@@ -11,16 +11,18 @@
 // InlineCallback — no per-event std::function heap traffic — and
 // cancellation is a generation counter on the record rather than a
 // shared_ptr<bool> flag, so a fired event releases its resources
-// immediately no matter how many handle copies survive. The min-heap
-// orders strictly by (time, seq) exactly as before; the golden-trace
-// determinism test pins that contract.
+// immediately no matter how many handle copies survive. Events are
+// ordered by a calendar queue (sim/calendar_queue.h): O(1) bucketed
+// inserts on the TTI-quantized timeline instead of a binary heap's
+// O(log n) comparator traffic, popping in strictly the same (time, seq)
+// order as before; the golden-trace determinism test pins that
+// contract.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <new>
-#include <queue>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -28,6 +30,7 @@
 #include "common/rng.h"
 #include "common/threadpool.h"
 #include "common/time.h"
+#include "sim/calendar_queue.h"
 
 namespace slingshot {
 
@@ -271,6 +274,16 @@ class Simulator {
   // Stop the current run_until loop after the in-flight event returns.
   void stop() { stopped_ = true; }
 
+  // Calendar-queue bucket geometry (tests/tuning). Safe at any time —
+  // pending events are re-filed under the new layout — and provably
+  // order-neutral: the pop order is a pure function of (time, seq)
+  // regardless of geometry, which the golden-trace pins verify at
+  // several widths.
+  void set_calendar_config(CalendarConfig cfg) { queue_.set_config(cfg); }
+  [[nodiscard]] CalendarConfig calendar_config() const {
+    return queue_.config();
+  }
+
  private:
   friend class EventHandle;
 
@@ -292,7 +305,7 @@ class Simulator {
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint64_t generation;
-    // Min-heap by (time, seq).
+    // Strict (time, seq) order for the calendar queue's bucket heaps.
     bool operator>(const HeapEntry& other) const {
       return time != other.time ? time > other.time : seq > other.seq;
     }
@@ -319,8 +332,7 @@ class Simulator {
   std::uint64_t past_clamped_ = 0;
   std::uint64_t trace_hash_ = 1469598103934665603ULL;  // hash seed
   bool stopped_ = false;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-      queue_;
+  CalendarQueue<HeapEntry> queue_;
   std::vector<std::unique_ptr<EventRecord[]>> chunks_;
   std::vector<std::uint32_t> free_slots_;
   RngRegistry rng_;

@@ -37,10 +37,16 @@ UserEquipment::~UserEquipment() {
 }
 
 void UserEquipment::track_modem_release(EventHandle h) {
-  if (modem_release_tasks_.size() >= 64) {
+  if (modem_release_tasks_.size() >= modem_release_scan_at_) {
     std::erase_if(modem_release_tasks_, [](const EventHandle& t) {
       return t.state() == EventState::kExpired;
     });
+    // Re-arm at double the surviving count: if a prune reclaims little
+    // (deep modem pipeline), the next scan waits for proportionally more
+    // pushes, so prune work stays amortized O(1) per tracked handle
+    // instead of rescanning a full vector on nearly every delivery.
+    modem_release_scan_at_ =
+        std::max<std::size_t>(64, 2 * modem_release_tasks_.size());
   }
   modem_release_tasks_.push_back(h);
 }

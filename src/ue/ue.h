@@ -160,6 +160,7 @@ class UserEquipment {
   EventHandle supervision_task_;
   EventHandle reattach_task_;
   std::vector<EventHandle> modem_release_tasks_;
+  std::size_t modem_release_scan_at_ = 64;  // next prune threshold
 
   // UL grants keyed by target slot.
   std::map<std::int64_t, std::vector<UlGrant>> grants_;

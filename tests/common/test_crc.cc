@@ -134,6 +134,31 @@ TEST(Crc24, SlicingMatchesBitwiseOracleOnRandomLongInputs) {
   }
 }
 
+TEST(Crc24, FoldBoundariesMatchBitwiseOracle) {
+  // The carry-less-multiply fast lane engages at 128 bytes and consumes
+  // 64-byte strides plus 16-byte blocks; sweep every length across
+  // those boundaries, plus transport-block-sized inputs, so each
+  // (stride remainder, block remainder, byte tail) combination and the
+  // final 128->64 reduction are pinned against the bitwise oracle.
+  auto rng = RngRegistry{777}.stream("crc-fold");
+  std::vector<std::size_t> lengths;
+  for (std::size_t len = 64; len <= 288; ++len) {
+    lengths.push_back(len);
+  }
+  for (const std::size_t len :
+       {std::size_t{511}, std::size_t{512}, std::size_t{513},
+        std::size_t{4096}, std::size_t{18432}, std::size_t{18437}}) {
+    lengths.push_back(len);
+  }
+  for (const std::size_t len : lengths) {
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) {
+      b = std::uint8_t(rng.next_u64());
+    }
+    EXPECT_EQ(crc24a(data), crc24a_bitwise_ref(data)) << "len " << len;
+  }
+}
+
 TEST(Crc24, BitLevelMatchesBitwiseOracleAtNonByteLengths) {
   auto rng = RngRegistry{265}.stream("crc-bits");
   // Bit counts that are NOT multiples of 8 exercise the bit-tail path

@@ -1,0 +1,186 @@
+// Negative/fuzz corpus for the fronthaul U-plane path: BFP-compressed
+// IQ sections crossing the eCPRI framing. Compiled into the
+// test_wire_fuzz binary (asan ctest label) so the whole corpus runs
+// under AddressSanitizer in the asan-ubsan preset.
+//
+// Pinned properties:
+//   1. totality — no truncation, mutation, or noise input crashes or
+//      reads out of bounds; parse_fronthaul fails only by throwing
+//      std::out_of_range, and bfp_try_decompress_into never throws;
+//   2. strict framing — every strict prefix of a valid U-plane frame
+//      is rejected;
+//   3. the checked decoder is exact — on valid input it produces the
+//      same samples as the throwing codec, and on failure it leaves
+//      the output cleared.
+#include <complex>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fronthaul/bfp.h"
+#include "fronthaul/oran.h"
+
+namespace slingshot {
+namespace {
+
+struct Xorshift {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+};
+
+std::vector<std::complex<float>> make_iq(std::size_t n, std::uint64_t seed) {
+  Xorshift rng{seed + 0x9E3779B97F4A7C15ULL};
+  std::vector<std::complex<float>> iq;
+  iq.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mixed magnitudes, signs, and exact zeros (silent-block path).
+    const auto a = double(std::int32_t(rng.next())) / 65536.0;
+    const auto b = (i % 7 == 0) ? 0.0 : double(std::int32_t(rng.next())) / 8.0;
+    iq.emplace_back(float(a), float(b));
+  }
+  return iq;
+}
+
+FronthaulPacket make_uplane_packet(int mantissa_bits, std::size_t n_iq,
+                                   std::uint64_t seed) {
+  FronthaulPacket packet;
+  packet.header.direction = FhDirection::kUplink;
+  packet.header.plane = FhPlane::kUser;
+  packet.header.slot = {.frame = 7, .subframe = 3, .slot = 1};
+  packet.header.symbol = 4;
+  packet.header.ru = RuId{2};
+  UPlaneSection s;
+  s.ue = UeId{0x1234};
+  s.harq = HarqId{3};
+  s.new_data = true;
+  s.mcs = 11;
+  s.tb_bytes = 320;
+  s.codeword_bits = 648;
+  s.bfp_mantissa_bits = std::uint8_t(mantissa_bits);
+  s.iq = make_iq(n_iq, seed);
+  s.shadow_payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  packet.uplane.sections.push_back(std::move(s));
+  return packet;
+}
+
+// Width x sample-count grid: byte-aligned and odd mantissa widths,
+// whole blocks, a partial final block, and the empty section.
+const int kWidths[] = {2, 5, 8, 9, 12, 16};
+const std::size_t kCounts[] = {0, 1, 11, 12, 13, 36, 100};
+
+TEST(BfpFuzz, UPlaneRoundTripMatchesCodec) {
+  for (const int m : kWidths) {
+    for (const std::size_t n : kCounts) {
+      const auto packet = make_uplane_packet(m, n, std::uint64_t(m) * 1000 + n);
+      const auto bytes = serialize_fronthaul(packet);
+      const auto parsed = parse_fronthaul(bytes);
+      ASSERT_EQ(parsed.uplane.sections.size(), 1U) << "m=" << m << " n=" << n;
+      const auto& sec = parsed.uplane.sections[0];
+      // The parsed samples must equal an offline decompress of an
+      // offline compress — the wire carries exactly the codec's bytes.
+      const auto expected = bfp_decompress(
+          bfp_compress(packet.uplane.sections[0].iq, m), n, m);
+      ASSERT_EQ(sec.iq.size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(sec.iq[i], expected[i]) << "m=" << m << " sample " << i;
+      }
+    }
+  }
+}
+
+TEST(BfpFuzz, EveryStrictPrefixOfUPlaneFrameThrows) {
+  for (const int m : {2, 9, 16}) {
+    const auto bytes = serialize_fronthaul(make_uplane_packet(m, 36, 42));
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      EXPECT_THROW((void)parse_fronthaul({bytes.data(), len}),
+                   std::out_of_range)
+          << "m=" << m << " prefix " << len;
+    }
+  }
+}
+
+TEST(BfpFuzz, SingleByteMutationsNeverCrash) {
+  // Any byte flip may invalidate the mantissa width, the sample count,
+  // or the compressed payload; the parse may throw (std::out_of_range)
+  // or succeed with different samples, but must never crash or read out
+  // of bounds (asan enforces the latter).
+  const auto original = serialize_fronthaul(make_uplane_packet(9, 24, 7));
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    for (const std::uint8_t delta : {0x01, 0x80, 0xFF}) {
+      auto mutated = original;
+      mutated[i] = std::uint8_t(mutated[i] ^ delta);
+      try {
+        (void)parse_fronthaul(mutated);
+      } catch (const std::out_of_range&) {
+        // Rejected — fine.
+      }
+    }
+  }
+}
+
+TEST(BfpFuzz, TryDecompressBoundsContract) {
+  for (const int m : kWidths) {
+    for (const std::size_t n : kCounts) {
+      const auto iq = make_iq(n, std::uint64_t(m) * 77 + n);
+      auto bytes = bfp_compress(iq, m);
+      ASSERT_EQ(bytes.size(), bfp_compressed_size(n, m));
+      std::vector<std::complex<float>> out;
+      // Exact size: succeeds and matches the throwing decoder.
+      ASSERT_TRUE(bfp_try_decompress_into(bytes, n, m, out));
+      const auto expected = bfp_decompress(bytes, n, m);
+      EXPECT_EQ(out, expected);
+      // Trailing bytes are the caller's business: still succeeds.
+      bytes.push_back(0xAA);
+      ASSERT_TRUE(bfp_try_decompress_into(bytes, n, m, out));
+      EXPECT_EQ(out, expected);
+      bytes.pop_back();
+      // Any strict prefix: fails, never throws, leaves out cleared.
+      if (!bytes.empty()) {
+        out.assign(3, {1.0F, 1.0F});  // stale content must not survive
+        EXPECT_FALSE(bfp_try_decompress_into(
+            {bytes.data(), bytes.size() - 1}, n, m, out));
+        EXPECT_TRUE(out.empty());
+      }
+    }
+  }
+  // Invalid widths: rejected up front for any buffer.
+  const std::vector<std::uint8_t> buf(64, 0x55);
+  std::vector<std::complex<float>> out;
+  for (const int bad_m : {-1, 0, 1, 17, 255}) {
+    EXPECT_FALSE(bfp_try_decompress_into(buf, 12, bad_m, out));
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+TEST(BfpFuzz, DeterministicNoiseBuffersNeverCrash) {
+  Xorshift rng{0xC0FFEE0DDBA11ULL};
+  for (int len = 0; len < 160; ++len) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<std::uint8_t> bytes(std::size_t(len), 0);
+      for (auto& b : bytes) {
+        b = std::uint8_t(rng.next());
+      }
+      try {
+        (void)parse_fronthaul(bytes);
+      } catch (const std::out_of_range&) {
+        // The only sanctioned failure mode.
+      }
+      (void)peek_fronthaul_header(bytes);
+      // The checked BFP reader must be total on noise too.
+      std::vector<std::complex<float>> out;
+      const auto m = int(rng.next() % 20);
+      const auto n = std::size_t(rng.next() % 64);
+      (void)bfp_try_decompress_into(bytes, n, m, out);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slingshot

@@ -1,0 +1,275 @@
+// Calendar queue vs reference heap.
+//
+// The scheduler swap (binary heap -> calendar queue) is only legal if
+// the pop order is bit-identical: every golden-trace fingerprint hangs
+// off strict (time, seq) execution order. These tests drive the
+// CalendarQueue directly against a std::priority_queue oracle through
+// randomized schedules — same-time FIFO ties, window-edge and
+// far-overflow pushes, run_until-style horizon jumps that overshoot
+// the cursor and force the pull-back/respill path — across several
+// bucket geometries including deliberately hostile ones (a window
+// smaller than the event horizon, so everything churns through the
+// overflow heap). A Simulator-level sweep then adds cancellations and
+// past-time clamps and pins the (time, seq) trace hash across
+// geometries, and a sharded stress run (tsan-labeled) mixes
+// geometries across islands under the window barrier.
+#include "sim/calendar_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/sharded.h"
+#include "sim/simulator.h"
+
+namespace slingshot {
+namespace {
+
+struct Entry {
+  Nanos time;
+  std::uint64_t seq;
+  bool operator>(const Entry& other) const {
+    return time != other.time ? time > other.time : seq > other.seq;
+  }
+};
+
+struct Xorshift {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+using RefHeap =
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+
+void expect_same_top(CalendarQueue<Entry>& cq, const RefHeap& ref) {
+  ASSERT_FALSE(cq.empty());
+  ASSERT_EQ(cq.size(), ref.size());
+  EXPECT_EQ(cq.top().time, ref.top().time);
+  EXPECT_EQ(cq.top().seq, ref.top().seq);
+}
+
+TEST(CalendarQueueProperty, MatchesReferenceHeapUnderRandomSchedules) {
+  const CalendarConfig geometries[] = {
+      {17, 8},   // default: 131 us x 256
+      {12, 4},   // 4 us x 16: window << event horizon, constant overflow
+      {20, 6},   // 1 ms x 64
+      {10, 5},   // 1 us x 32: cursor scans many empty buckets
+      {24, 10},  // 16.8 ms x 1024: whole runs inside one bucket
+  };
+  for (const auto& cfg : geometries) {
+    SCOPED_TRACE(testing::Message() << "log2_w=" << cfg.log2_bucket_ns
+                                    << " log2_b=" << cfg.log2_buckets);
+    CalendarQueue<Entry> cq;
+    cq.set_config(cfg);
+    RefHeap ref;
+    Xorshift rng{0x9e3779b97f4a7c15ULL +
+                 std::uint64_t(cfg.log2_bucket_ns * 37 + cfg.log2_buckets)};
+    Nanos clock = 0;
+    std::uint64_t seq = 0;
+
+    for (int op = 0; op < 20000; ++op) {
+      const auto r = rng.below(100);
+      if (r < 55 || ref.empty()) {
+        // Offset profile: same-time ties, sub-bucket, in-window,
+        // window-edge, and far-overflow pushes.
+        Nanos offset = 0;
+        switch (rng.below(5)) {
+          case 0: offset = 0; break;
+          case 1: offset = Nanos(rng.below(1000)); break;
+          case 2: offset = Nanos(rng.below(1ULL << 18)); break;
+          case 3: offset = Nanos(rng.below(1ULL << 25)); break;
+          default: offset = Nanos(rng.below(200'000'000)); break;
+        }
+        const Entry e{clock + offset, seq++};
+        cq.push(e);
+        ref.push(e);
+      } else if (r < 85) {
+        expect_same_top(cq, ref);
+        clock = ref.top().time;
+        ref.pop();
+        cq.pop();
+      } else {
+        // run_until-style segment: drain everything at or before a
+        // horizon, then peek once (the cursor overshoots to the next
+        // pending bucket) and jump the clock to the horizon. The next
+        // pushes can then land BEHIND the cursor — the pull-back path.
+        const Nanos horizon = clock + Nanos(rng.below(3'000'000));
+        while (!ref.empty() && ref.top().time <= horizon) {
+          expect_same_top(cq, ref);
+          ref.pop();
+          cq.pop();
+        }
+        if (!cq.empty()) {
+          (void)cq.top();
+        }
+        clock = horizon;
+      }
+      ASSERT_EQ(cq.size(), ref.size());
+    }
+    while (!ref.empty()) {
+      expect_same_top(cq, ref);
+      ref.pop();
+      cq.pop();
+    }
+    EXPECT_TRUE(cq.empty());
+  }
+}
+
+TEST(CalendarQueueProperty, ReconfigureMidstreamPreservesOrder) {
+  CalendarQueue<Entry> cq;
+  RefHeap ref;
+  Xorshift rng{42};
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const Entry e{Nanos(rng.below(50'000'000)), seq++};
+    cq.push(e);
+    ref.push(e);
+  }
+  // Pop a prefix under the default geometry...
+  for (int i = 0; i < 1000; ++i) {
+    expect_same_top(cq, ref);
+    ref.pop();
+    cq.pop();
+  }
+  // ...rebuild live under a hostile one, and drain.
+  cq.set_config(CalendarConfig{11, 3});
+  while (!ref.empty()) {
+    expect_same_top(cq, ref);
+    ref.pop();
+    cq.pop();
+  }
+}
+
+// Simulator-level sweep: a chaotic self-feeding workload with one-shot
+// and periodic events, cancellations (including of already-pending
+// entries mid-queue) and deliberate past-time schedules (the clamp
+// path), run in segmented run_until windows so the cursor overshoots
+// every segment. Executed count, clamp count, and the (time, seq)
+// trace hash must be identical at every bucket geometry.
+struct SimFingerprint {
+  std::uint64_t executed;
+  std::uint64_t clamped;
+  std::uint64_t hash;
+  bool operator==(const SimFingerprint&) const = default;
+};
+
+SimFingerprint run_random_simulation(const CalendarConfig* cfg) {
+  Simulator sim{7};
+  if (cfg != nullptr) {
+    sim.set_calendar_config(*cfg);
+  }
+  Xorshift rng{0xabcdef1234567890ULL};
+  std::vector<EventHandle> handles;
+  int fired = 0;
+  sim.every(0, 777, [&] {
+    const auto r = rng.next();
+    handles.push_back(sim.at(sim.now() + Nanos(r % 50'000), [&] { ++fired; }));
+    if (r % 5 == 0) {
+      // Stale timestamp: must clamp to now() and fire in FIFO order.
+      (void)sim.at(sim.now() - Nanos(r % 1000 + 1), [&] { ++fired; });
+    }
+    if (r % 7 == 0) {
+      (void)sim.after(Nanos(r % 80'000'000), [&] { ++fired; });
+    }
+    if (!handles.empty() && r % 3 == 0) {
+      handles[r % handles.size()].cancel();
+    }
+    if (handles.size() > 4096) {
+      handles.erase(handles.begin(), handles.begin() + 2048);
+    }
+  });
+  for (Nanos t = 0; t <= 40'000'000; t += 1'000'000) {
+    sim.run_until(t);
+  }
+  EXPECT_GT(fired, 0);
+  EXPECT_GT(sim.past_schedules_clamped(), 0U);
+  return SimFingerprint{sim.executed_events(), sim.past_schedules_clamped(),
+                        sim.trace_hash()};
+}
+
+TEST(CalendarQueueProperty, SimulatorTraceInvariantAcrossGeometries) {
+  const SimFingerprint base = run_random_simulation(nullptr);
+  const CalendarConfig geometries[] = {{12, 4}, {20, 6}, {10, 5}, {24, 10}};
+  for (const auto& cfg : geometries) {
+    SCOPED_TRACE(testing::Message() << "log2_w=" << cfg.log2_bucket_ns
+                                    << " log2_b=" << cfg.log2_buckets);
+    EXPECT_TRUE(base == run_random_simulation(&cfg));
+  }
+}
+
+// Sharded stress (tsan label): islands run DIFFERENT bucket geometries
+// under the conservative window barrier with heavy cross-island
+// traffic and cancellations. Geometry cannot leak into ordering, so
+// per-island fingerprints must match the serial run at every shard
+// count — and no island may ever clamp (a conservative-window
+// violation would show up there first).
+TEST(CalendarQueueStress, ShardedBarrierWithMixedGeometries) {
+  constexpr int kIslands = 6;
+  const CalendarConfig geos[] = {{17, 8}, {12, 4}, {20, 6}, {10, 5}};
+  auto run = [&](int shards) {
+    std::vector<std::unique_ptr<Simulator>> sims;
+    ShardedSimulator engine{{/*window=*/500, shards}};
+    for (int i = 0; i < kIslands; ++i) {
+      sims.push_back(std::make_unique<Simulator>(std::uint64_t(i) + 99));
+      sims.back()->set_calendar_config(geos[i % 4]);
+      engine.add_island(sims.back().get());
+    }
+    std::vector<RngStream> rngs;
+    std::vector<std::uint64_t> sink(kIslands, 0);
+    std::vector<std::vector<EventHandle>> pending(kIslands);
+    for (int i = 0; i < kIslands; ++i) {
+      rngs.push_back(sims[std::size_t(i)]->rng().stream("stress"));
+    }
+    for (int i = 0; i < kIslands; ++i) {
+      Simulator& sim = *sims[std::size_t(i)];
+      sim.every(7 * (i + 1), 23, [&, i] {
+        const auto r = rngs[std::size_t(i)].next_u64();
+        sink[std::size_t(i)] ^= r;
+        auto& mine = pending[std::size_t(i)];
+        mine.push_back(sims[std::size_t(i)]->after(Nanos(r % 4000), [&, i] {
+          sink[std::size_t(i)] += 3;
+        }));
+        if (mine.size() > 64 && r % 2 == 0) {
+          mine[r % mine.size()].cancel();
+        }
+        if (mine.size() > 512) {
+          mine.erase(mine.begin(), mine.begin() + 256);
+        }
+      });
+      sim.every(50, 110, [&, i] {
+        const int dst = (i + 2) % kIslands;
+        engine.post_event(i, dst, 0, [&, dst] {
+          sims[std::size_t(dst)]->after(9, [&, dst] {
+            sink[std::size_t(dst)] ^= 0x5a5a5a5aULL;
+          });
+        });
+      });
+    }
+    engine.run_until(60'000);
+    std::vector<std::uint64_t> fp;
+    for (int i = 0; i < kIslands; ++i) {
+      fp.push_back(engine.island_trace_hash(i));
+      fp.push_back(engine.island_executed(i));
+      fp.push_back(sink[std::size_t(i)]);
+      EXPECT_EQ(sims[std::size_t(i)]->past_schedules_clamped(), 0U);
+    }
+    fp.push_back(engine.fingerprint());
+    fp.push_back(engine.events_delivered());
+    return fp;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+}
+
+}  // namespace
+}  // namespace slingshot

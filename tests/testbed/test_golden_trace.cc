@@ -33,13 +33,17 @@ struct GoldenRun {
   std::uint64_t flow_rx;
 };
 
-GoldenRun run_scenario(bool with_failover, obs::Observability* o = nullptr) {
+GoldenRun run_scenario(bool with_failover, obs::Observability* o = nullptr,
+                       const CalendarConfig* cal = nullptr) {
   Logger::instance().set_level(LogLevel::kError);
   TestbedConfig cfg;
   cfg.seed = 42;
   cfg.num_ues = 2;
   cfg.ue_mean_snr_db = {18.0, 7.0};  // UE 1 weak: exercises CRC failures
   Testbed tb{cfg};
+  if (cal != nullptr) {
+    tb.sim().set_calendar_config(*cal);
+  }
   if (o != nullptr) {
     tb.attach_observability(*o);
   }
@@ -94,6 +98,31 @@ TEST(GoldenTrace, SteadyStateMatchesSeedImplementation) {
   EXPECT_EQ(r.b_ul_crc_fail, 0);
   EXPECT_EQ(r.flow_tx, 166ULL);
   EXPECT_EQ(r.flow_rx, 162ULL);
+}
+
+// The calendar-queue scheduler must be a reorder-free swap for the
+// binary heap at ANY bucket geometry: the full failover scenario is
+// pinned to the same event count and (time, seq) trace hash under
+// hostile bucket widths (a window smaller than the scheduling horizon
+// forces constant overflow churn; a near-TTI-wide bucket packs whole
+// slots into one heap).
+TEST(GoldenTrace, FailoverInvariantAcrossCalendarGeometries) {
+  const CalendarConfig geometries[] = {
+      {12, 4},   // 4 us x 16: everything spills through overflow
+      {20, 6},   // 1 ms x 64
+      {10, 5},   // 1 us x 32: long empty-bucket scans
+      {24, 10},  // 16.8 ms x 1024: multi-slot buckets
+  };
+  for (const auto& cal : geometries) {
+    SCOPED_TRACE(testing::Message() << "log2_w=" << cal.log2_bucket_ns
+                                    << " log2_b=" << cal.log2_buckets);
+    const GoldenRun r =
+        run_scenario(/*with_failover=*/true, nullptr, &cal);
+    EXPECT_EQ(r.executed, 105137ULL);
+    EXPECT_EQ(r.trace_hash, 0xa72f2ee07b06d292ULL);
+    EXPECT_EQ(r.b_ul_crc_ok, 195);
+    EXPECT_EQ(r.flow_rx, 160ULL);
+  }
 }
 
 TEST(GoldenTrace, FailoverMatchesSeedImplementation) {
