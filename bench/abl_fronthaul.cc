@@ -1,0 +1,301 @@
+// Ablation: fronthaul fabric under stress — detector false positives
+// vs. background congestion, and FRER-style redundant streams head-to-
+// head against Slingshot failover under single-link faults.
+//
+// Part (a): the §5.2.2 in-switch detector relies on DL eCPRI heartbeat
+// gaps staying under T = 450 µs. On a constrained fabric (10 GbE,
+// finite egress queues) background cross-traffic erodes that margin:
+// this sweep measures the false-positive rate across congestion loads.
+//
+// Part (b): 802.1CB replication (plane A + plane B, elimination at the
+// RU/PHY edge) vs. detect-and-migrate failover, under the same
+// single-link kill and single-link loss faults. FRER must ride through
+// with zero outage TTIs and zero duplicates delivered, at a measured
+// bandwidth premium; failover pays an outage gap instead.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_util.h"
+#include "testbed/testbed.h"
+
+namespace slingshot {
+namespace {
+
+// FNV-1a over (origin, tx timestamp, payload): two eCPRI frames hashing
+// equal past the eliminator are the same frame delivered twice.
+std::uint64_t frame_fingerprint(const Packet& p) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(p.eth.src.bits());
+  mix(std::uint64_t(p.created_at));
+  for (std::uint8_t b : p.payload) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------- (a)
+struct FpPoint {
+  std::uint64_t false_positives = 0;
+  double rate = 0.0;  // per detector window per watched PHY
+  std::uint64_t cross_frames = 0;
+  std::uint64_t overflow_drops = 0;
+};
+
+FpPoint run_fp_point(double load, Nanos horizon) {
+  TestbedConfig cfg;
+  cfg.seed = 41;
+  cfg.num_ues = 1;
+  cfg.ue_mean_snr_db = {20.0};
+  // Constrained fabric: 10 GbE with 256 KiB egress buffers, so a burst
+  // of cross-traffic actually queues (up to ~210 us of serialization)
+  // instead of vanishing into an infinite-bandwidth abstraction.
+  cfg.link.bandwidth_bps = 10e9;
+  cfg.link.max_queue_bytes = 256 * 1024;
+  cfg.fabric.cross_traffic_load = load;
+  // gPTP-grade sync error rides along: bounded offsets must not add FPs.
+  cfg.fabric.sync.max_abs_offset = 1'000;
+  cfg.fabric.sync.drift_ppm = 50.0;
+  Testbed tb{cfg};
+  tb.start();
+  tb.run_until(horizon);
+
+  FpPoint r;
+  r.false_positives = tb.mbox().stats().failures_detected;
+  r.cross_frames = tb.cross_traffic_frames();
+  r.overflow_drops =
+      tb.phy_link(0).dropped_overflow() + tb.phy_link(1).dropped_overflow();
+  // One detection opportunity per watched PHY per detector timeout; the
+  // default testbed feeds (and therefore watches) both PHYs.
+  const double windows =
+      2.0 * double(horizon) / double(cfg.mbox.detector_timeout);
+  r.rate = windows > 0.0 ? double(r.false_positives) / windows : 0.0;
+  if (r.rate > 1.0) {
+    r.rate = 1.0;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------- (b)
+struct HeadToHead {
+  std::uint64_t outage_ttis = 0;
+  std::uint64_t duplicates_delivered = 0;  // past elimination: must be 0
+  std::uint64_t duplicates_eliminated = 0;
+  std::uint64_t faulted_plane_drops = 0;  // frames the fault destroyed
+  double bytes_total = 0.0;               // all fronthaul links, both planes
+  Nanos detection = 0;                    // failover notification, 0 = none
+};
+
+enum class Fault { kKill, kLoss };
+
+HeadToHead run_head_to_head(bool frer, Fault fault, Nanos fault_at,
+                            Nanos horizon) {
+  TestbedConfig cfg;
+  cfg.seed = 7;
+  cfg.num_ues = 1;
+  cfg.fabric.frer = frer;
+  // FRER rides through faults by replication alone; the failover arm
+  // keeps the §5.2.2 detector as its only recovery mechanism.
+  cfg.fabric.arm_detector = !frer;
+  Testbed tb{cfg};
+
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t duplicates_delivered = 0;
+  tb.ru_nic().set_rx_interceptor([&](Packet& p) {
+    if (p.eth.ethertype == EtherType::kEcpri &&
+        !seen.insert(frame_fingerprint(p)).second) {
+      ++duplicates_delivered;
+    }
+    return true;
+  });
+
+  tb.start();
+  tb.run_until(fault_at);
+  const auto dropped_before = tb.ru().stats().dropped_ttis;
+  if (fault == Fault::kKill) {
+    tb.phy_link(0).set_down(true);  // cable pull on PHY-A's plane-A link
+  } else {
+    tb.phy_link(0).set_loss_probability(0.5);  // flaky plane-A optics
+  }
+  tb.run_until(horizon);
+
+  HeadToHead r;
+  r.outage_ttis = tb.ru().stats().dropped_ttis - dropped_before;
+  r.duplicates_delivered = duplicates_delivered;
+  r.duplicates_eliminated = tb.frer_totals().duplicates_eliminated;
+  r.faulted_plane_drops =
+      tb.phy_link(0).dropped_down() + tb.phy_link(0).dropped_loss();
+  r.detection = tb.last_failover_notification();
+  auto add = [&r](const Link* l) {
+    if (l != nullptr) {
+      r.bytes_total += double(l->bytes_delivered());
+    }
+  };
+  add(&tb.ru_link(0));
+  add(&tb.phy_link(0));
+  add(&tb.phy_link(1));
+  add(tb.ru_link_b(0));
+  add(tb.phy_link_b(0));
+  add(tb.phy_link_b(1));
+  return r;
+}
+
+}  // namespace
+}  // namespace slingshot
+
+int main(int argc, char** argv) {
+  using namespace slingshot;
+  using namespace slingshot::bench;
+  bool short_mode = false;
+  std::string json_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      short_mode = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  print_banner("Ablation",
+               short_mode ? "fronthaul fabric stress (short smoke mode)"
+                          : "fronthaul fabric stress");
+  bool all_ok = true;
+
+  // --- (a) detector false-positive rate vs. congestion load ----------
+  print_note("(a) healthy run on a 10 GbE fabric with 256 KiB egress "
+             "queues and gPTP sync error; any detection is a false "
+             "positive");
+  const Nanos fp_horizon = short_mode ? 400_ms : 2'000_ms;
+  const std::vector<double> loads =
+      short_mode ? std::vector<double>{0.0, 0.5, 0.8}
+                 : std::vector<double>{0.0, 0.25, 0.5, 0.8};
+  print_row({"load", "cross frames", "q drops", "false pos", "fp rate"}, 14);
+  for (const double load : loads) {
+    const auto r = run_fp_point(load, fp_horizon);
+    print_row({fmt(load), std::to_string(r.cross_frames),
+               std::to_string(r.overflow_drops),
+               std::to_string(r.false_positives), fmt(r.rate, 4)},
+              14);
+    // An uncongested fabric must never cry wolf.
+    if (load == 0.0 && r.false_positives != 0) {
+      std::printf("FAIL: %llu false positives with zero cross-traffic\n",
+                  (unsigned long long)(r.false_positives));
+      all_ok = false;
+    }
+    JsonRow row{"abl_fronthaul"};
+    row.str("section", "fp_sweep")
+        .boolean("short_mode", short_mode)
+        .num("load", load)
+        .num("sim_s", double(fp_horizon) * 1e-9)
+        .integer("cross_frames", (long long)(r.cross_frames))
+        .integer("queue_overflow_drops", (long long)(r.overflow_drops))
+        .integer("false_positives", (long long)(r.false_positives))
+        .num("false_positive_rate", r.rate);
+    append_bench_json(json_path, row);
+  }
+
+  // --- (b) FRER vs. failover under single-link faults ----------------
+  print_note("(b) single-link kill/loss on PHY-A's plane-A link at "
+             "t_fault; outage = RU TTIs dropped after the fault");
+  const Nanos fault_at = short_mode ? 150_ms : 250_ms;
+  const Nanos h2h_horizon = short_mode ? 300_ms : 450_ms;
+  print_row({"scheme", "fault", "outage", "dup out", "dup elim",
+             "plane drops", "detect (us)"},
+            13);
+  struct Arm {
+    const char* scheme;
+    bool frer;
+    Fault fault;
+    const char* fault_name;
+  };
+  const Arm arms[] = {{"failover", false, Fault::kKill, "kill"},
+                      {"frer", true, Fault::kKill, "kill"},
+                      {"failover", false, Fault::kLoss, "loss"},
+                      {"frer", true, Fault::kLoss, "loss"}};
+  double bytes_frer_kill = 0.0;
+  double bytes_failover_kill = 0.0;
+  for (const auto& arm : arms) {
+    const auto r = run_head_to_head(arm.frer, arm.fault, fault_at,
+                                    h2h_horizon);
+    print_row({arm.scheme, arm.fault_name, std::to_string(r.outage_ttis),
+               std::to_string(r.duplicates_delivered),
+               std::to_string(r.duplicates_eliminated),
+               std::to_string(r.faulted_plane_drops),
+               r.detection > 0 ? fmt(to_micros(r.detection - fault_at), 0)
+                               : "none"},
+              13);
+    if (arm.frer) {
+      // Replication must ride through the fault invisibly: no outage,
+      // no duplicate leaks past elimination, both planes were live.
+      if (r.outage_ttis != 0 || r.duplicates_delivered != 0 ||
+          r.duplicates_eliminated == 0 || r.detection != 0) {
+        std::printf("FAIL: frer/%s outage=%llu dup_out=%llu dup_elim=%llu\n",
+                    arm.fault_name, (unsigned long long)(r.outage_ttis),
+                    (unsigned long long)(r.duplicates_delivered),
+                    (unsigned long long)(r.duplicates_eliminated));
+        all_ok = false;
+      }
+      if (r.faulted_plane_drops == 0) {
+        std::printf("FAIL: frer/%s fault never destroyed a frame\n",
+                    arm.fault_name);
+        all_ok = false;
+      }
+    } else if (arm.fault == Fault::kKill) {
+      // A dead link must trip the §5.2.2 detector in the failover arm.
+      if (r.detection <= fault_at) {
+        std::printf("FAIL: failover/kill never detected the dead link\n");
+        all_ok = false;
+      }
+    }
+    if (arm.fault == Fault::kKill) {
+      (arm.frer ? bytes_frer_kill : bytes_failover_kill) = r.bytes_total;
+    }
+    JsonRow row{"abl_fronthaul"};
+    row.str("section", "head_to_head")
+        .boolean("short_mode", short_mode)
+        .str("scheme", arm.scheme)
+        .str("fault", arm.fault_name)
+        .integer("outage_ttis", (long long)(r.outage_ttis))
+        .integer("duplicates_delivered", (long long)(r.duplicates_delivered))
+        .integer("frer_duplicates_eliminated",
+                 (long long)(r.duplicates_eliminated))
+        .integer("faulted_plane_drops", (long long)(r.faulted_plane_drops))
+        .num("fronthaul_bytes", r.bytes_total)
+        .num("detection_us",
+             r.detection > fault_at ? to_micros(r.detection - fault_at) : 0.0);
+    append_bench_json(json_path, row);
+  }
+
+  // Redundancy is not free: the price of zero-outage is carrying every
+  // protected frame twice. Report it against the failover baseline.
+  const double overhead =
+      bytes_failover_kill > 0.0 ? bytes_frer_kill / bytes_failover_kill : 0.0;
+  std::printf("\nFRER fronthaul bandwidth overhead vs failover: %.2fx\n",
+              overhead);
+  if (overhead < 1.0) {
+    std::printf("FAIL: replication cannot carry fewer bytes than failover\n");
+    all_ok = false;
+  }
+  JsonRow summary{"abl_fronthaul"};
+  summary.str("section", "summary")
+      .boolean("short_mode", short_mode)
+      .num("bandwidth_overhead", overhead);
+  append_bench_json(json_path, summary);
+
+  std::printf(
+      "\nCongestion erodes the heartbeat margin the detector leans on;\n"
+      "FRER trades ~%.1fx fronthaul bandwidth for riding through any\n"
+      "single-plane fault with zero outage and zero duplicate leaks,\n"
+      "where failover pays a detection + migration gap instead.\n",
+      overhead);
+  std::printf("verdict: %s\n", all_ok ? "ok" : "FAIL");
+  return all_ok ? 0 : 1;
+}

@@ -188,6 +188,42 @@ class Checker {
                      "got '" + raw + "'");
         }
       }
+      if (key == "false_positive_rate") {
+        // Detector FP rate (abl_fronthaul): detections per opportunity,
+        // so a valid row carries a finite number in [0, 1].
+        const std::string raw = text_.substr(value_start, pos_ - value_start);
+        char* end = nullptr;
+        const double v = std::strtod(raw.c_str(), &end);
+        if (is_string || raw.empty() || raw == "null" ||
+            end != raw.c_str() + raw.size() || !(v >= 0.0) || !(v <= 1.0)) {
+          return err("\"false_positive_rate\" must be a number in [0, 1], "
+                     "got '" + raw + "'");
+        }
+      }
+      if (key == "outage_ttis" || key == "frer_duplicates_eliminated") {
+        // Fabric head-to-head counters (abl_fronthaul): non-negative
+        // integer TTI / frame counts.
+        const std::string raw = text_.substr(value_start, pos_ - value_start);
+        const bool is_digits =
+            !raw.empty() &&
+            raw.find_first_not_of("0123456789") == std::string::npos;
+        if (!is_digits) {
+          return err("\"" + key + "\" must be a non-negative integer, got '" +
+                     raw + "'");
+        }
+      }
+      if (key == "bandwidth_overhead") {
+        // FRER bandwidth premium (abl_fronthaul): a non-negative finite
+        // number (bytes ratio vs. the failover baseline).
+        const std::string raw = text_.substr(value_start, pos_ - value_start);
+        char* end = nullptr;
+        const double v = std::strtod(raw.c_str(), &end);
+        if (is_string || raw.empty() || raw == "null" ||
+            end != raw.c_str() + raw.size() || !(v >= 0.0)) {
+          return err("\"bandwidth_overhead\" must be a non-negative number, "
+                     "got '" + raw + "'");
+        }
+      }
       if (key == "bytes_per_ue") {
         // SoA footprint (abl_ue_sweep): a non-negative finite number.
         const std::string raw = text_.substr(value_start, pos_ - value_start);
@@ -356,6 +392,10 @@ bool self_test() {
       .integer("ues", 100000)
       .integer("failover_dropped_ttis", 2)
       .num("bytes_per_ue", 42.0)
+      .num("false_positive_rate", 0.25)
+      .integer("outage_ttis", 0)
+      .integer("frer_duplicates_eliminated", 1234)
+      .num("bandwidth_overhead", 1.87)
       .num("detection_ms", 2.504)
       .num("outage_ms", 0.0)
       .str("mode", "fork")
@@ -400,6 +440,17 @@ bool self_test() {
            "[\n  {\"bench\": \"x\", \"mantissa_bits\": -9}\n]\n",
            "[\n  {\"bench\": \"x\", \"isa\": \"mmx\"}\n]\n",
            "[\n  {\"bench\": \"x\", \"isa\": 2}\n]\n",
+           "[\n  {\"bench\": \"x\", \"false_positive_rate\": -0.1}\n]\n",
+           "[\n  {\"bench\": \"x\", \"false_positive_rate\": 1.5}\n]\n",
+           "[\n  {\"bench\": \"x\", \"false_positive_rate\": null}\n]\n",
+           "[\n  {\"bench\": \"x\", \"false_positive_rate\": \"0.1\"}\n]\n",
+           "[\n  {\"bench\": \"x\", \"outage_ttis\": -1}\n]\n",
+           "[\n  {\"bench\": \"x\", \"outage_ttis\": 2.5}\n]\n",
+           "[\n  {\"bench\": \"x\", \"frer_duplicates_eliminated\": -7}\n]\n",
+           "[\n  {\"bench\": \"x\", \"frer_duplicates_eliminated\": "
+           "\"12\"}\n]\n",
+           "[\n  {\"bench\": \"x\", \"bandwidth_overhead\": -2.0}\n]\n",
+           "[\n  {\"bench\": \"x\", \"bandwidth_overhead\": null}\n]\n",
        }) {
     const std::string text{bad};
     Checker checker{text};

@@ -4,6 +4,7 @@
 
 #include "common/bits.h"
 #include "common/log.h"
+#include "net/frer.h"
 #include "obs/obs.h"
 
 namespace slingshot {
@@ -159,7 +160,23 @@ void FronthaulMiddlebox::maybe_execute_migration(RuId ru,
 
 PipelineVerdict FronthaulMiddlebox::process(Packet& packet, int /*port*/,
                                             PipelineContext& ctx) {
-  switch (packet.eth.ethertype) {
+  // FRER transparency: an R-TAG frame (802.1CB) is classified by its
+  // encapsulated EtherType and its fronthaul header sits past the tag.
+  // The tag itself is carried through untouched — sequence recovery
+  // belongs to the elimination point in front of the listener, not the
+  // middlebox.
+  EtherType type = packet.eth.ethertype;
+  std::span<const std::uint8_t> fh_bytes{packet.payload};
+  if (type == EtherType::kRTag) {
+    const auto tag = rtag_peek(packet);
+    if (!tag.has_value()) {
+      ++stats_.unknown_dropped;
+      return PipelineVerdict::kHandled;
+    }
+    type = tag->inner;
+    fh_bytes = fh_bytes.subspan(kRtagWireSize);
+  }
+  switch (type) {
     case EtherType::kSlingshotCmd: {
       // Orion -> middlebox commands: absorbed in the data plane.
       if (packet.payload.empty()) {
@@ -220,7 +237,7 @@ PipelineVerdict FronthaulMiddlebox::process(Packet& packet, int /*port*/,
       return PipelineVerdict::kDefaultForward;  // FAPI/user-plane traffic
   }
 
-  const auto header = peek_fronthaul_header(packet.payload);
+  const auto header = peek_fronthaul_header(fh_bytes);
   if (!header.has_value()) {
     ++stats_.unknown_dropped;
     return PipelineVerdict::kHandled;

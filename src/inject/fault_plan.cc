@@ -28,6 +28,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "delay_failure_notify";
     case FaultKind::kDelayFapiInd:
       return "delay_fapi_ind";
+    case FaultKind::kDownLink:
+      return "down_link";
   }
   return "?";
 }

@@ -34,6 +34,9 @@ enum class FaultKind : std::uint8_t {
   kDelayFailureNotify,  // delay the next `count` notifications by `duration`
   kDelayFapiInd,        // delay the next `count` FAPI indications from
                         // `site` (a PHY-side Orion) by `duration`
+  kDownLink,            // pull the site's plane-A fabric cable at `at`;
+                        // `duration` > 0 plugs it back in that much
+                        // later (0 = stays down)
 };
 
 // Where a fault applies. For packet faults this names the NIC whose

@@ -159,6 +159,19 @@ Nic* FaultInjector::site_nic(FaultSite site) {
   return nullptr;
 }
 
+Link* FaultInjector::site_link(FaultSite site) {
+  switch (site) {
+    case FaultSite::kPhyA:
+      return &tb_.phy_link(0);
+    case FaultSite::kPhyB:
+      return &tb_.phy_link(1);
+    case FaultSite::kRu:
+      return &tb_.ru_link(0);
+    default:
+      return nullptr;
+  }
+}
+
 void FaultInjector::arm(const FaultPlan& plan) {
   for (const auto& event : plan.events) {
     scheduled_.push_back(tb_.sim().at(event.at, [this, event] {
@@ -238,6 +251,19 @@ void FaultInjector::apply(const FaultEvent& event) {
       Nic* nic = site_nic(event.site);
       delay_ind_src_ = nic != nullptr ? nic->mac()
                                       : tb_.orion_a_nic().mac();
+      break;
+    }
+    case FaultKind::kDownLink: {
+      Link* link = site_link(event.site);
+      if (link == nullptr) {
+        break;
+      }
+      link->set_down(true);
+      if (event.duration > 0) {
+        scheduled_.push_back(
+            tb_.sim().at(tb_.sim().now() + event.duration,
+                         [link] { link->set_down(false); }));
+      }
       break;
     }
   }

@@ -51,6 +51,7 @@ class FaultInjector {
  private:
   void apply(const FaultEvent& event);
   [[nodiscard]] Nic* site_nic(FaultSite site);
+  [[nodiscard]] Link* site_link(FaultSite site);
 
   Testbed& tb_;
   std::vector<EventHandle> scheduled_;

@@ -1,0 +1,57 @@
+#include "net/cross_traffic.h"
+
+#include <algorithm>
+
+namespace slingshot {
+
+CrossTrafficInjector::CrossTrafficInjector(Simulator& sim, Nic& nic,
+                                           CrossTrafficConfig config,
+                                           RngStream rng)
+    : sim_(sim), nic_(nic), config_(config), rng_(std::move(rng)) {
+  if (config_.load <= 0.0 || config_.link_bandwidth_bps <= 0.0) {
+    return;
+  }
+  // Mean burst payload on the wire / (load * rate) = mean gap between
+  // burst starts that realizes the target long-run load.
+  const double wire_bytes = double(config_.frame_bytes) + 18.0;  // hdr + FCS
+  const double burst_bits =
+      wire_bytes * 8.0 * double(std::max<std::uint32_t>(1, config_.mean_burst_frames));
+  mean_gap_ns_ =
+      burst_bits / (config_.load * config_.link_bandwidth_bps) * 1e9;
+}
+
+void CrossTrafficInjector::start() {
+  if (started_ || mean_gap_ns_ <= 0.0) {
+    return;
+  }
+  started_ = true;
+  schedule_next_burst();
+}
+
+void CrossTrafficInjector::schedule_next_burst() {
+  const auto gap = Nanos(std::max(1.0, rng_.exponential(mean_gap_ns_)));
+  sim_.after(gap, [this] {
+    emit_burst();
+    schedule_next_burst();
+  });
+}
+
+void CrossTrafficInjector::emit_burst() {
+  // Geometric burst length around the configured mean: long bursts are
+  // what stall the serialization queue past the detector's margin.
+  const int frames = 1 + int(rng_.exponential(
+                             double(std::max<std::uint32_t>(1,
+                                        config_.mean_burst_frames)) -
+                             1.0));
+  for (int i = 0; i < frames; ++i) {
+    Packet p;
+    p.eth.dst = config_.sink;
+    p.eth.ethertype = EtherType::kUserPlane;
+    p.payload.assign(config_.frame_bytes, 0x5A);
+    ++frames_;
+    bytes_ += p.wire_size();
+    nic_.send(std::move(p));
+  }
+}
+
+}  // namespace slingshot

@@ -1,0 +1,59 @@
+// Background cross-traffic injector: bursty on-off best-effort frames
+// sharing a station's egress link with the fronthaul.
+//
+// A real O-RAN transport segment is not a dedicated wire — the fabric
+// carries management, midhaul, and tenant traffic on the same ports.
+// Each injector emits bursts of back-to-back frames from one NIC toward
+// a sink station; the frames queue behind (and ahead of) fronthaul
+// frames in the link's serialization queue, producing exactly the
+// congestion jitter the failure detector must tolerate (§5.2.2 picks
+// its timeout above the worst-case heartbeat gap — cross-traffic is
+// what widens that gap). Burst starts are a Poisson process whose rate
+// is derived from the target long-run load.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "net/nic.h"
+#include "sim/simulator.h"
+
+namespace slingshot {
+
+struct CrossTrafficConfig {
+  // Long-run average offered load as a fraction of the link rate.
+  // 0 disables the injector entirely (no events scheduled).
+  double load = 0.0;
+  double link_bandwidth_bps = 100e9;  // rate of the shared link
+  std::uint32_t frame_bytes = 1500;   // payload per background frame
+  std::uint32_t mean_burst_frames = 64;  // geometric mean burst length
+  MacAddr sink;  // L2 destination (any wired station; rx side ignores)
+};
+
+class CrossTrafficInjector {
+ public:
+  CrossTrafficInjector(Simulator& sim, Nic& nic, CrossTrafficConfig config,
+                       RngStream rng);
+
+  // Begin injecting (schedules the first burst). Idempotent-safe to
+  // call once; no-op when load <= 0.
+  void start();
+
+  [[nodiscard]] std::uint64_t frames_injected() const { return frames_; }
+  [[nodiscard]] std::uint64_t bytes_injected() const { return bytes_; }
+
+ private:
+  void schedule_next_burst();
+  void emit_burst();
+
+  Simulator& sim_;
+  Nic& nic_;
+  CrossTrafficConfig config_;
+  RngStream rng_;
+  double mean_gap_ns_ = 0.0;  // between burst starts
+  bool started_ = false;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace slingshot

@@ -1,0 +1,123 @@
+#include "net/frer.h"
+
+namespace slingshot {
+
+void rtag_encapsulate(Packet& packet, std::uint16_t seq) {
+  const auto inner = std::uint16_t(packet.eth.ethertype);
+  const std::uint8_t tag[kRtagWireSize] = {
+      0,
+      0,
+      std::uint8_t(seq >> 8),
+      std::uint8_t(seq & 0xFF),
+      std::uint8_t(inner >> 8),
+      std::uint8_t(inner & 0xFF),
+  };
+  packet.payload.insert(packet.payload.begin(), tag, tag + kRtagWireSize);
+  packet.eth.ethertype = EtherType::kRTag;
+}
+
+std::optional<RtagView> rtag_peek(const Packet& packet) {
+  if (packet.eth.ethertype != EtherType::kRTag ||
+      packet.payload.size() < kRtagWireSize) {
+    return std::nullopt;
+  }
+  RtagView view;
+  view.seq = std::uint16_t((packet.payload[2] << 8) | packet.payload[3]);
+  view.inner =
+      EtherType(std::uint16_t((packet.payload[4] << 8) | packet.payload[5]));
+  return view;
+}
+
+bool rtag_decapsulate(Packet& packet) {
+  const auto view = rtag_peek(packet);
+  if (!view.has_value()) {
+    return false;
+  }
+  packet.eth.ethertype = view->inner;
+  packet.payload.erase(packet.payload.begin(),
+                       packet.payload.begin() + kRtagWireSize);
+  return true;
+}
+
+FrerReplicator::FrerReplicator(Nic& nic, Link& plane_a, Link& plane_b)
+    : plane_a_(plane_a), plane_b_(plane_b) {
+  nic.set_tx_override([this](Packet&& p) { on_tx(std::move(p)); });
+}
+
+void FrerReplicator::on_tx(Packet&& packet) {
+  if (packet.eth.ethertype != EtherType::kEcpri) {
+    // Unprotected traffic rides plane A only, untagged.
+    ++passthrough_;
+    plane_a_.send_from_a(std::move(packet));
+    return;
+  }
+  rtag_encapsulate(packet, next_seq_);
+  ++next_seq_;  // u16 wraps; the eliminator's delta math is wrap-aware
+  Packet copy = packet;
+  ++frames_replicated_;
+  bytes_replicated_ += copy.wire_size();
+  plane_a_.send_from_a(std::move(packet));
+  plane_b_.send_from_a(std::move(copy));
+}
+
+void FrerEliminator::handle_frame(Packet&& packet) {
+  if (packet.eth.ethertype != EtherType::kRTag) {
+    // Untagged traffic (notifications, unprotected types) is not
+    // subject to sequence recovery.
+    ++stats_.untagged_passed;
+    out_.handle_frame(std::move(packet));
+    return;
+  }
+  if (!rtag_peek(packet).has_value()) {
+    ++stats_.rogue_discarded;  // truncated tag: never forward
+    return;
+  }
+  const std::uint16_t seq = rtag_peek(packet)->seq;
+  const Nanos now = sim_.now();
+  auto [it, fresh] = streams_.try_emplace(packet.eth.src.bits());
+  StreamState& st = it->second;
+
+  auto accept = [&](Packet&& p) {
+    st.last_accept = now;
+    ++stats_.passed;
+    rtag_decapsulate(p);
+    out_.handle_frame(std::move(p));
+  };
+
+  if (fresh || now - st.last_accept > config_.reset_timeout) {
+    // First frame of the stream, or the recovery state went stale
+    // (talker rebooted / both planes silent): take the frame and
+    // restart the window at it.
+    if (!fresh) {
+      ++stats_.recovery_resets;
+    }
+    st.highest = seq;
+    st.history = 1;
+    accept(std::move(packet));
+    return;
+  }
+
+  // Wrap-aware distance from the newest accepted sequence number.
+  const auto delta = std::int16_t(std::uint16_t(seq - st.highest));
+  if (delta > 0) {
+    // Future frame: advance the window. A jump past the window depth
+    // (after a long single-plane outage) simply restarts the history.
+    st.highest = seq;
+    st.history = delta < 64 ? (st.history << delta) | 1 : 1;
+    accept(std::move(packet));
+    return;
+  }
+  const int age = -int(delta);
+  if (age >= std::min(config_.history_window, 64)) {
+    ++stats_.stale_discarded;  // too old to vouch for: reject
+    return;
+  }
+  if ((st.history >> age) & 1) {
+    ++stats_.duplicates_eliminated;  // other plane's copy already passed
+    return;
+  }
+  st.history |= std::uint64_t(1) << age;  // out-of-order first copy
+  accept(std::move(packet));
+}
+
+}  // namespace slingshot

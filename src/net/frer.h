@@ -1,0 +1,125 @@
+// FRER-style frame replication and elimination (IEEE 802.1CB).
+//
+// An alternative resilience mechanism to Slingshot's detect-and-migrate
+// failover: every protected (eCPRI) frame is tagged with an R-TAG
+// sequence number at the talker's NIC and sent over two disjoint switch
+// planes; a sequence-recovery function in front of each listener passes
+// the first copy of each sequence number and eliminates the rest. A
+// single link or plane failure then loses nothing — at the steady cost
+// of ~2x fronthaul bandwidth (the tradeoff bench/abl_fronthaul
+// measures against failover).
+//
+// R-TAG wire format (after the Ethernet header, EtherType kRTag):
+//   [0..1] reserved (zero)    [2..3] sequence number (network order)
+//   [4..5] encapsulated EtherType (network order)
+// followed by the original payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/link.h"
+#include "net/nic.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace slingshot {
+
+inline constexpr std::size_t kRtagWireSize = 6;
+
+// In-place encapsulation: prepends the R-TAG to the payload and
+// reclassifies the frame as kRTag.
+void rtag_encapsulate(Packet& packet, std::uint16_t seq);
+
+struct RtagView {
+  std::uint16_t seq = 0;
+  EtherType inner = EtherType::kControl;
+};
+// Reads the tag without modifying the frame; nullopt if the frame is
+// not kRTag or the payload is too short to hold a tag.
+[[nodiscard]] std::optional<RtagView> rtag_peek(const Packet& packet);
+
+// Strips the tag and restores the encapsulated EtherType. Returns false
+// (frame untouched) on a malformed tag.
+bool rtag_decapsulate(Packet& packet);
+
+// ---------------------------------------------------------------------
+// Replication point: installed as a NIC tx override. Protected frames
+// (eCPRI) are sequence-tagged and sent over both planes; everything
+// else passes through on plane A untagged.
+class FrerReplicator {
+ public:
+  FrerReplicator(Nic& nic, Link& plane_a, Link& plane_b);
+
+  [[nodiscard]] std::uint64_t frames_replicated() const {
+    return frames_replicated_;
+  }
+  // Wire bytes of the *extra* (plane B) copies — the redundancy
+  // bandwidth overhead attributable to this talker.
+  [[nodiscard]] std::uint64_t bytes_replicated() const {
+    return bytes_replicated_;
+  }
+  [[nodiscard]] std::uint64_t frames_passed_through() const {
+    return passthrough_;
+  }
+  [[nodiscard]] std::uint16_t next_seq() const { return next_seq_; }
+
+ private:
+  void on_tx(Packet&& packet);
+
+  Link& plane_a_;
+  Link& plane_b_;
+  std::uint16_t next_seq_ = 0;
+  std::uint64_t frames_replicated_ = 0;
+  std::uint64_t bytes_replicated_ = 0;
+  std::uint64_t passthrough_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Elimination point: a FrameSink interposed between both planes' links
+// and the listener's NIC. Runs 802.1CB-style per-stream (per source
+// MAC) sequence recovery with a sliding history window.
+struct FrerEliminatorConfig {
+  // History window depth in sequence numbers (<= 64: one bitmask word,
+  // like a shallow hardware recovery function).
+  int history_window = 64;
+  // No accepted frame on a stream for this long -> the recovery state
+  // is considered stale and resets on the next frame (802.1CB's
+  // SequenceRecoveryReset), so a rebooted talker is accepted.
+  Nanos reset_timeout = 50'000'000;
+};
+
+struct FrerEliminatorStats {
+  std::uint64_t passed = 0;                 // first copies forwarded
+  std::uint64_t duplicates_eliminated = 0;  // second-plane copies
+  std::uint64_t stale_discarded = 0;        // behind the history window
+  std::uint64_t rogue_discarded = 0;        // malformed / truncated tag
+  std::uint64_t recovery_resets = 0;        // timeout-triggered resets
+  std::uint64_t untagged_passed = 0;        // non-R-TAG passthrough
+};
+
+class FrerEliminator final : public FrameSink {
+ public:
+  FrerEliminator(Simulator& sim, FrerEliminatorConfig config, FrameSink& out)
+      : sim_(sim), config_(config), out_(out) {}
+
+  void handle_frame(Packet&& packet) override;
+
+  [[nodiscard]] const FrerEliminatorStats& stats() const { return stats_; }
+
+ private:
+  struct StreamState {
+    std::uint16_t highest = 0;   // newest accepted sequence number
+    std::uint64_t history = 0;   // bit k set: seq (highest - k) seen
+    Nanos last_accept = 0;
+  };
+
+  Simulator& sim_;
+  FrerEliminatorConfig config_;
+  FrameSink& out_;
+  std::unordered_map<std::uint64_t, StreamState> streams_;  // by src MAC
+  FrerEliminatorStats stats_;
+};
+
+}  // namespace slingshot

@@ -13,10 +13,26 @@
 
 namespace slingshot {
 
+// How serialization time is computed from frame size and rate.
+enum class TxTimeModel : std::uint8_t {
+  // llround(bits / bw * 1e9): rounds *down* for small frames at high
+  // rates, so back-to-back sends drift and can overlap on the wire.
+  // Kept as the default because the golden traces are pinned to it.
+  kLegacyRound,
+  // Integer picoseconds with ceil rounding: queued frames never overlap
+  // and no drift accumulates across a burst.
+  kPicoCeil,
+};
+
 struct LinkConfig {
   double bandwidth_bps = 100e9;  // 100 GbE by default, as in the testbed
   Nanos propagation_delay = 1'000;  // 1 µs intra-rack fiber + transceivers
   double loss_probability = 0.0;    // rare in provisioned vRAN datacenters
+  TxTimeModel tx_time_model = TxTimeModel::kLegacyRound;
+  // Finite per-direction egress buffer, as bytes of not-yet-serialized
+  // backlog; a frame arriving to a full queue is tail-dropped. 0 keeps
+  // the legacy unbounded queue.
+  std::uint64_t max_queue_bytes = 0;
 };
 
 class Link {
@@ -37,14 +53,31 @@ class Link {
   // Split drop causes. frames_dropped() stays the sum so existing
   // callers keep seeing the aggregate.
   [[nodiscard]] std::uint64_t frames_dropped() const {
-    return dropped_no_receiver_ + dropped_loss_ + dropped_fault_;
+    return dropped_no_receiver_ + dropped_loss_ + dropped_fault_ +
+           dropped_overflow_ + dropped_down_;
   }
   [[nodiscard]] std::uint64_t dropped_no_receiver() const {
     return dropped_no_receiver_;
   }
   [[nodiscard]] std::uint64_t dropped_loss() const { return dropped_loss_; }
   [[nodiscard]] std::uint64_t dropped_fault() const { return dropped_fault_; }
+  [[nodiscard]] std::uint64_t dropped_overflow() const {
+    return dropped_overflow_;
+  }
+  [[nodiscard]] std::uint64_t dropped_down() const { return dropped_down_; }
+  // Counted when the receiver is actually handed the frame — a frame
+  // still serializing or propagating is in flight, not delivered.
   [[nodiscard]] std::uint64_t frames_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t bytes_delivered() const {
+    return delivered_bytes_;
+  }
+  [[nodiscard]] std::uint64_t frames_in_flight() const { return in_flight_; }
+
+  // Fault controls: a downed link (cable pull / port kill) drops every
+  // subsequent send; frames already on the wire still arrive.
+  void set_down(bool down) { down_ = down; }
+  [[nodiscard]] bool is_down() const { return down_; }
+  void set_loss_probability(double p) { config_.loss_probability = p; }
 
   // Fault-injection hook (src/inject): sees every frame before it is
   // serialized onto the wire, may mutate it; returning false drops it
@@ -54,6 +87,7 @@ class Link {
 
  private:
   void send(Packet&& packet, bool a_to_b);
+  void schedule_delivery(FrameSink* receiver, Packet&& packet, Nanos arrival);
 
   Simulator& sim_;
   LinkConfig config_;
@@ -61,12 +95,21 @@ class Link {
   FaultHook fault_hook_;
   FrameSink* side_a_ = nullptr;
   FrameSink* side_b_ = nullptr;
+  bool down_ = false;
   Nanos busy_until_ab_ = 0;
   Nanos busy_until_ba_ = 0;
+  // kPicoCeil keeps the wire occupancy in integer picoseconds so the
+  // sub-ns remainder of one frame is charged to the next.
+  std::int64_t busy_ps_ab_ = 0;
+  std::int64_t busy_ps_ba_ = 0;
   std::uint64_t dropped_no_receiver_ = 0;
   std::uint64_t dropped_loss_ = 0;
   std::uint64_t dropped_fault_ = 0;
+  std::uint64_t dropped_overflow_ = 0;
+  std::uint64_t dropped_down_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t in_flight_ = 0;
 };
 
 }  // namespace slingshot

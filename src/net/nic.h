@@ -34,20 +34,36 @@ class Nic final : public FrameSink {
   void set_tx_interceptor(PacketInterceptor f) { tx_intercept_ = std::move(f); }
   void set_rx_interceptor(PacketInterceptor f) { rx_intercept_ = std::move(f); }
 
+  // Replaces the default "hand to the attached link" egress with a
+  // custom path (the FRER replication point installs itself here). Runs
+  // after MAC stamping, timestamping, interception, and tx counting; a
+  // null function restores the default.
+  using TxOverride = std::function<void(Packet&&)>;
+  void set_tx_override(TxOverride f) { tx_override_ = std::move(f); }
+
+  // Host local-clock transform for tx timestamps (the gPTP sync-error
+  // model): created_at becomes f(true_time). Null = perfect clock.
+  using ClockTransform = std::function<Nanos(Nanos)>;
+  void set_clock(ClockTransform f) { clock_ = std::move(f); }
+
   [[nodiscard]] MacAddr mac() const { return mac_; }
 
   void send(Packet&& packet) {
-    if (link_ == nullptr) {
+    if (link_ == nullptr && !tx_override_) {
       return;
     }
     packet.eth.src = mac_;
-    packet.created_at = sim_->now();
+    packet.created_at = clock_ ? clock_(sim_->now()) : sim_->now();
     if (tx_intercept_ && !tx_intercept_(packet)) {
       ++tx_injected_drops_;
       return;
     }
     ++tx_frames_;
     tx_bytes_ += packet.wire_size();
+    if (tx_override_) {
+      tx_override_(std::move(packet));
+      return;
+    }
     link_->send_from_a(std::move(packet));
   }
 
@@ -92,6 +108,8 @@ class Nic final : public FrameSink {
   std::function<void(Packet&&)> rx_;
   PacketInterceptor tx_intercept_;
   PacketInterceptor rx_intercept_;
+  TxOverride tx_override_;
+  ClockTransform clock_;
   std::uint64_t tx_frames_ = 0;
   std::uint64_t rx_frames_ = 0;
   std::uint64_t tx_bytes_ = 0;

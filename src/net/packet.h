@@ -24,6 +24,7 @@ enum class EtherType : std::uint16_t {
   kFailureNotify = 0x88B7,  // switch -> Orion failure notifications
   kUserPlane = 0x88B8,      // app-server <-> L2 user traffic
   kControl = 0x88B9,        // misc control (PTP-like, mgmt)
+  kRTag = 0xF1C1,           // IEEE 802.1CB redundancy tag (FRER)
 };
 
 struct EthernetHeader {

@@ -1,0 +1,68 @@
+#include "net/timesync.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slingshot {
+namespace {
+
+double clamp_offset(double offset_ns, Nanos max_abs) {
+  const double bound = double(max_abs);
+  return std::clamp(offset_ns, -bound, bound);
+}
+
+}  // namespace
+
+TimeSyncNode::TimeSyncNode(TimeSyncConfig config, RngStream rng)
+    : config_(config), rng_(std::move(rng)) {
+  if (config_.drift_ppm != 0.0) {
+    drift_ppm_ = rng_.uniform(-config_.drift_ppm, config_.drift_ppm);
+  }
+}
+
+void TimeSyncNode::advance(Nanos t) {
+  if (config_.max_abs_offset <= 0) {
+    return;  // perfect sync: offset pinned at zero
+  }
+  const Nanos interval = std::max<Nanos>(1, config_.sync_interval);
+  while (last_sync_ + interval <= t) {
+    last_sync_ += interval;
+    // Free-run for one interval at the node's frequency error...
+    offset_ns_ += drift_ppm_ * 1e-6 * double(interval);
+    // ...then the servo pulls most of it out, leaving a residual plus
+    // the sync measurement's own noise (a fraction of the bound).
+    const double noise =
+        rng_.gaussian(0.0, double(config_.max_abs_offset) / 16.0);
+    offset_ns_ = clamp_offset(offset_ns_ * 0.1 + noise,
+                              config_.max_abs_offset);
+  }
+}
+
+Nanos TimeSyncNode::offset_at(Nanos t) {
+  if (config_.max_abs_offset <= 0) {
+    return 0;
+  }
+  advance(t);
+  const double raw =
+      offset_ns_ + drift_ppm_ * 1e-6 * double(t - last_sync_);
+  const auto offset =
+      Nanos(std::llround(clamp_offset(raw, config_.max_abs_offset)));
+  max_seen_ = std::max<Nanos>(max_seen_, offset >= 0 ? offset : -offset);
+  return offset;
+}
+
+Nanos TimeSyncNode::local_time(Nanos t) { return t + offset_at(t); }
+
+Nanos TimeSyncNode::perturb_period(Nanos nominal_period) {
+  if (drift_ppm_ == 0.0) {
+    return nominal_period;
+  }
+  // A fast oscillator (positive ppm) counts the nominal period off in
+  // *less* true time, so the timer fires early.
+  period_err_accum_ -= drift_ppm_ * 1e-6 * double(nominal_period);
+  const auto shift = std::int64_t(std::llround(period_err_accum_));
+  period_err_accum_ -= double(shift);
+  return std::max<Nanos>(1, nominal_period + shift);
+}
+
+}  // namespace slingshot

@@ -1,0 +1,68 @@
+// gPTP-style per-node time-sync error model (802.1AS).
+//
+// Each fabric node (switch, PHY/RU hosts) free-runs on a local
+// oscillator with a fixed frequency error (ppm, sampled per node) and
+// is servoed back toward the grandmaster every sync interval with a
+// residual measurement error. The resulting clock offset is a bounded
+// sawtooth-plus-noise: it grows at the drift rate between syncs and is
+// pulled toward zero (but not exactly to zero) at each sync, clamped to
+// max_abs_offset.
+//
+// Where it bites the failure detector (§5.2.2): the switch's packet
+// generator ticks on the switch's *local* clock, so its tick train —
+// the detector's only notion of elapsed time — stretches or compresses
+// by the switch's frequency error (see
+// ProgrammableSwitch::set_tick_perturbation). NIC timestamps
+// (Packet::created_at) are likewise read on the host's local clock.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace slingshot {
+
+struct TimeSyncConfig {
+  // Clamp on |local - true| offset. 0 = perfectly synchronized fabric
+  // (the model is inert: offsets are identically zero).
+  Nanos max_abs_offset = 0;
+  // Magnitude of the per-node oscillator frequency error; the actual
+  // error is sampled uniformly in [-drift_ppm, +drift_ppm] per node.
+  double drift_ppm = 0.0;
+  // gPTP default sync interval (8 messages/s).
+  Nanos sync_interval = 125'000'000;
+};
+
+class TimeSyncNode {
+ public:
+  TimeSyncNode(TimeSyncConfig config, RngStream rng);
+
+  // The node's local clock reading at true time `t` (monotone in t for
+  // realistic drift rates). Lazily advances the servo.
+  [[nodiscard]] Nanos local_time(Nanos t);
+  // local_time(t) - t.
+  [[nodiscard]] Nanos offset_at(Nanos t);
+  // Largest |offset| observed by any query so far.
+  [[nodiscard]] Nanos max_abs_offset_seen() const { return max_seen_; }
+  [[nodiscard]] double drift_ppm_actual() const { return drift_ppm_; }
+
+  // Map one nominal timer period onto this node's local clock: a node
+  // whose oscillator runs fast fires its periodic timer early in true
+  // time (and vice versa). Sub-ns drift per period is accumulated so a
+  // long tick train carries the exact frequency error.
+  [[nodiscard]] Nanos perturb_period(Nanos nominal_period);
+
+ private:
+  void advance(Nanos t);
+
+  TimeSyncConfig config_;
+  RngStream rng_;
+  double drift_ppm_ = 0.0;      // this node's sampled frequency error
+  Nanos last_sync_ = 0;
+  double offset_ns_ = 0.0;      // offset at last_sync_
+  double period_err_accum_ = 0.0;
+  Nanos max_seen_ = 0;
+};
+
+}  // namespace slingshot

@@ -1,5 +1,6 @@
 #include "switchsim/pswitch.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace slingshot {
@@ -38,21 +39,39 @@ void ProgrammableSwitch::add_l2_route(const MacAddr& mac, int port) {
 
 void ProgrammableSwitch::start_packet_generator(Nanos period) {
   stop_packet_generator();
-  generator_ = sim_.every(sim_.now() + period, period, [this] {
-    if (program_ == nullptr) {
-      return;
-    }
-    ++gen_count_;
-    if (obs_gen_ != nullptr) {
-      obs_gen_->inc();
-    }
-    Packet tick;
-    tick.eth.ethertype = EtherType::kControl;
-    tick.created_at = sim_.now();
-    tick.id = next_packet_id_++;
-    PipelineContext ctx{*this, sim_.now()};
-    program_->on_generator_packet(tick, ctx);
+  gen_period_ = period;
+  if (tick_perturb_) {
+    // Each interval is re-sampled through the clock-error model, so the
+    // tick train carries the switch oscillator's frequency error.
+    schedule_perturbed_tick();
+    return;
+  }
+  generator_ = sim_.every(sim_.now() + period, period,
+                          [this] { generator_tick(); });
+}
+
+void ProgrammableSwitch::schedule_perturbed_tick() {
+  const Nanos interval = std::max<Nanos>(1, tick_perturb_(gen_period_));
+  generator_ = sim_.at(sim_.now() + interval, [this] {
+    generator_tick();
+    schedule_perturbed_tick();
   });
+}
+
+void ProgrammableSwitch::generator_tick() {
+  if (program_ == nullptr) {
+    return;
+  }
+  ++gen_count_;
+  if (obs_gen_ != nullptr) {
+    obs_gen_->inc();
+  }
+  Packet tick;
+  tick.eth.ethertype = EtherType::kControl;
+  tick.created_at = sim_.now();
+  tick.id = next_packet_id_++;
+  PipelineContext ctx{*this, sim_.now()};
+  program_->on_generator_packet(tick, ctx);
 }
 
 void ProgrammableSwitch::stop_packet_generator() {
@@ -67,9 +86,16 @@ void ProgrammableSwitch::emit_on_port(int port, Packet&& packet) {
   if (notify_tap_ && packet.eth.ethertype == notify_type_) {
     notify_tap_(packet, sim_.now());
   }
-  Link* link = port_links_.at(std::size_t(port));
+  // An out-of-range or unwired egress port is a counted drop (a
+  // misconfigured program or L2 table must be observable, not UB).
+  if (port < 0 || port >= num_ports_) {
+    ++unwired_emits_;
+    return;
+  }
+  Link* link = port_links_[std::size_t(port)];
   if (link == nullptr) {
-    return;  // unwired port: frame silently dropped
+    ++unwired_emits_;
+    return;
   }
   link->send_from_b(std::move(packet));
 }

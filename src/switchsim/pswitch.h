@@ -89,6 +89,16 @@ class ProgrammableSwitch {
 
   void set_ingress_tap(IngressTap tap) { tap_ = std::move(tap); }
 
+  // Clock-error hook for the packet generator (the gPTP sync-error
+  // model): when set, every tick interval is the nominal period passed
+  // through `f` — the period as counted on the switch's drifting local
+  // oscillator. Must be set before start_packet_generator; null keeps
+  // the ideal fixed-period generator.
+  using TickPerturbation = std::function<Nanos(Nanos nominal_period)>;
+  void set_tick_perturbation(TickPerturbation f) {
+    tick_perturb_ = std::move(f);
+  }
+
   // Observes frames the switch *emits* with the given EtherType —
   // regardless of egress port or whether the port is wired. Lets a
   // fleet-level watcher (the shard coordinator) see switch-originated
@@ -111,6 +121,11 @@ class ProgrammableSwitch {
   [[nodiscard]] int num_ports() const { return num_ports_; }
   [[nodiscard]] std::uint64_t frames_processed() const { return processed_; }
   [[nodiscard]] std::uint64_t generator_packets() const { return gen_count_; }
+  // Emissions aimed at an out-of-range or unwired port: a silently
+  // misconfigured egress is a counted, observable drop, never UB.
+  [[nodiscard]] std::uint64_t emits_to_unwired_port() const {
+    return unwired_emits_;
+  }
 
   // Internal use by PipelineContext and port sinks.
   void emit_on_port(int port, Packet&& packet);
@@ -118,6 +133,9 @@ class ProgrammableSwitch {
   void ingress(Packet&& packet, int port);
 
  private:
+  void generator_tick();
+  void schedule_perturbed_tick();
+
   struct PortSink final : FrameSink {
     ProgrammableSwitch* owner = nullptr;
     int port = -1;
@@ -134,11 +152,14 @@ class ProgrammableSwitch {
   std::unordered_map<MacAddr, int> l2_table_;
   std::shared_ptr<DataplaneProgram> program_;
   EventHandle generator_;
+  Nanos gen_period_ = 0;
+  TickPerturbation tick_perturb_;
   IngressTap tap_;
   EtherType notify_type_ = EtherType::kControl;
   NotificationTap notify_tap_;
   std::uint64_t processed_ = 0;
   std::uint64_t gen_count_ = 0;
+  std::uint64_t unwired_emits_ = 0;
   obs::Counter* obs_frames_ = nullptr;
   obs::Counter* obs_gen_ = nullptr;
   std::uint64_t next_packet_id_ = 1;

@@ -176,9 +176,15 @@ void Testbed::build_fabric() {
     switch_->add_l2_route(MacAddr{mac}, port);
     return nics_.back().get();
   };
+  // Fault plans pull specific cables, so remember which link serves
+  // which RU/PHY station (links_ itself is ordered by port plan).
+  auto last_link = [&]() { return links_.back().get(); };
   ru_nics_.push_back(add_station(0, ru_mac_for(0)));
+  ru_links_.push_back(last_link());
   phy_nics_.push_back(add_station(1, phy_mac_for(0)));
+  phy_links_.push_back(last_link());
   phy_nics_.push_back(add_station(2, phy_mac_for(1)));
+  phy_links_.push_back(last_link());
   orion_phy_nics_.push_back(add_station(3, orion_mac_for(0)));
   orion_phy_nics_.push_back(add_station(4, orion_mac_for(1)));
   orion_l2_nic_ = add_station(5, kOrionL2Mac);
@@ -188,9 +194,11 @@ void Testbed::build_fabric() {
   baseline_ctl_nic_ = add_station(9, kBaselineCtlMac);
   for (int c = 1; c < num_cells; ++c) {
     ru_nics_.push_back(add_station(10 + (c - 1), ru_mac_for(c)));
+    ru_links_.push_back(last_link());
   }
   for (int p = 2; p < num_phys_; ++p) {
     phy_nics_.push_back(add_station(extra_base + 2 * (p - 2), phy_mac_for(p)));
+    phy_links_.push_back(last_link());
     orion_phy_nics_.push_back(
         add_station(extra_base + 2 * (p - 2) + 1, orion_mac_for(p)));
   }
@@ -211,6 +219,108 @@ void Testbed::build_fabric() {
   }
   mbox_->set_dl_source_filter(config_.dl_source_filter);
   switch_->install_program(mbox_);
+
+  if (config_.fabric.frer) {
+    build_fabric_plane_b();
+  }
+
+  // gPTP-style clock-error model: node 0 is the switch (its drifting
+  // oscillator stretches the packet generator's tick train — the
+  // failure detector's only clock); RU/PHY hosts get their own nodes
+  // for NIC timestamps. With the default config no node is created and
+  // every clock is ideal.
+  const auto& sync_cfg = config_.fabric.sync;
+  if (sync_cfg.max_abs_offset > 0 || sync_cfg.drift_ppm != 0.0) {
+    auto make_node = [&](std::uint64_t idx) -> TimeSyncNode* {
+      sync_nodes_.push_back(std::make_unique<TimeSyncNode>(
+          sync_cfg, sim_.rng().stream("tsync", idx)));
+      return sync_nodes_.back().get();
+    };
+    TimeSyncNode* sw = make_node(0);
+    switch_->set_tick_perturbation(
+        [sw](Nanos period) { return sw->perturb_period(period); });
+    std::uint64_t idx = 1;
+    for (Nic* nic : ru_nics_) {
+      TimeSyncNode* n = make_node(idx++);
+      nic->set_clock([n](Nanos t) { return n->local_time(t); });
+    }
+    for (Nic* nic : phy_nics_) {
+      TimeSyncNode* n = make_node(idx++);
+      nic->set_clock([n](Nanos t) { return n->local_time(t); });
+    }
+  }
+
+  // Background cross-traffic: one injector per PHY server egress (the
+  // direction heartbeats share), aimed at a station whose rx side
+  // ignores best-effort frames.
+  if (config_.fabric.cross_traffic_load > 0.0) {
+    CrossTrafficConfig cc;
+    cc.load = config_.fabric.cross_traffic_load;
+    cc.link_bandwidth_bps = config_.link.bandwidth_bps;
+    cc.frame_bytes = config_.fabric.cross_frame_bytes;
+    cc.mean_burst_frames = config_.fabric.cross_burst_frames;
+    cc.sink = MacAddr{kBaselineCtlMac};
+    for (std::size_t p = 0; p < phy_nics_.size(); ++p) {
+      injectors_.push_back(std::make_unique<CrossTrafficInjector>(
+          sim_, *phy_nics_[p], cc, sim_.rng().stream("xtraffic", p)));
+    }
+  }
+}
+
+void Testbed::build_fabric_plane_b() {
+  const int num_cells = int(plan_.size());
+  switch_b_ = std::make_unique<ProgrammableSwitch>(sim_, switch_->num_ports());
+
+  // Plane B runs its own middlebox instance for forwarding (UL
+  // redirection to the bound PHY, DL source filtering) but never arms
+  // watches or a generator: detection stays a plane-A concern.
+  auto mbox_cfg = config_.mbox;
+  mbox_cfg.slots = config_.slots;
+  mbox_b_ = std::make_shared<FronthaulMiddlebox>(sim_, mbox_cfg);
+  for (int p = 0; p < num_phys_; ++p) {
+    mbox_b_->register_phy(phy_id(p), MacAddr{phy_mac_for(p)});
+  }
+  for (int c = 0; c < num_cells; ++c) {
+    mbox_b_->register_ru(ru_id(c), MacAddr{ru_mac_for(c)});
+    mbox_b_->bind_ru_to_phy(ru_id(c), phy_id(primary_phy_index(c)));
+  }
+  mbox_b_->set_dl_source_filter(config_.dl_source_filter);
+  switch_b_->install_program(mbox_b_);
+
+  // Interpose a sequence-recovery point between both planes' links and
+  // each protected station's NIC, then install the replication point as
+  // the NIC's tx path. Orion/L2/app stations stay plane-A-only: FRER
+  // protects the fronthaul streams, not the control plane.
+  auto protect = [&](int port, std::uint64_t mac, Nic* nic,
+                     Link* plane_a) -> Link* {
+    links_b_.push_back(std::make_unique<Link>(
+        sim_, config_.link,
+        sim_.rng().stream("link.loss.b", std::uint64_t(port))));
+    Link* plane_b = links_b_.back().get();
+    switch_b_->attach_link(port, *plane_b);
+    switch_b_->add_l2_route(MacAddr{mac}, port);
+    eliminators_.push_back(std::make_unique<FrerEliminator>(
+        sim_, config_.fabric.frer_elim, *nic));
+    FrerEliminator* elim = eliminators_.back().get();
+    plane_a->attach_a(elim);
+    plane_b->attach_a(elim);
+    replicators_.push_back(
+        std::make_unique<FrerReplicator>(*nic, *plane_a, *plane_b));
+    return plane_b;
+  };
+  const int extra_base = 10 + std::max(0, num_cells - 1);
+  for (int c = 0; c < num_cells; ++c) {
+    const int port = c == 0 ? 0 : 10 + (c - 1);
+    ru_links_b_.push_back(protect(port, ru_mac_for(c),
+                                  ru_nics_[std::size_t(c)],
+                                  ru_links_[std::size_t(c)]));
+  }
+  for (int p = 0; p < num_phys_; ++p) {
+    const int port = p == 0 ? 1 : p == 1 ? 2 : extra_base + 2 * (p - 2);
+    phy_links_b_.push_back(protect(port, phy_mac_for(p),
+                                   phy_nics_[std::size_t(p)],
+                                   phy_links_[std::size_t(p)]));
+  }
 }
 
 void Testbed::build_vran() {
@@ -464,11 +574,15 @@ void Testbed::start() {
   // Idle pool members (not yet backing any cell) get no FAPI feed and
   // hence no heartbeats; arming their detector would fire a false
   // failure. Orion arms a member's watch when it assigns it.
+  for (auto& injector : injectors_) {
+    injector->start();
+  }
   switch_->start_packet_generator(mbox_->generator_period());
   const MacAddr notify_mac = config_.mode == TestbedMode::kSlingshot
                                  ? MacAddr{kOrionL2Mac}
                                  : MacAddr{kBaselineCtlMac};
-  if (config_.mode != TestbedMode::kCoupledNoOrion) {
+  if (config_.mode != TestbedMode::kCoupledNoOrion &&
+      config_.fabric.arm_detector) {
     sim_.after(5_ms, [this, notify_mac] {
       for (int p = 0; p < num_phys_; ++p) {
         const PhyId id = phy_id(p);
@@ -574,6 +688,47 @@ void Testbed::revive_dead_phy_as_standby() {
 
 DatagramPipe& Testbed::server_pipe(int i) {
   return app_server_->pipe_for(ues_.at(std::size_t(i))->id());
+}
+
+Testbed::FrerTotals Testbed::frer_totals() const {
+  FrerTotals t;
+  for (const auto& r : replicators_) {
+    t.frames_replicated += r->frames_replicated();
+    t.bytes_replicated += r->bytes_replicated();
+  }
+  for (const auto& e : eliminators_) {
+    const auto& s = e->stats();
+    t.passed += s.passed;
+    t.duplicates_eliminated += s.duplicates_eliminated;
+    t.stale_discarded += s.stale_discarded;
+    t.rogue_discarded += s.rogue_discarded;
+    t.recovery_resets += s.recovery_resets;
+  }
+  return t;
+}
+
+std::uint64_t Testbed::cross_traffic_frames() const {
+  std::uint64_t n = 0;
+  for (const auto& injector : injectors_) {
+    n += injector->frames_injected();
+  }
+  return n;
+}
+
+std::uint64_t Testbed::cross_traffic_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& injector : injectors_) {
+    n += injector->bytes_injected();
+  }
+  return n;
+}
+
+Nanos Testbed::sync_max_abs_offset_seen() const {
+  Nanos worst = 0;
+  for (const auto& node : sync_nodes_) {
+    worst = std::max(worst, node->max_abs_offset_seen());
+  }
+  return worst;
 }
 
 obs::ObservabilityConfig Testbed::obs_config() const {
@@ -711,6 +866,75 @@ void Testbed::attach_observability(obs::Observability& o) {
     }
     return double(n);
   });
+  // Fabric-layer counters (tail drops on finite queues, cable pulls,
+  // in-flight census) summed over both planes' links.
+  reg.gauge("net.dropped_overflow")->bind([this] {
+    std::uint64_t n = 0;
+    for (const auto& link : links_) {
+      n += link->dropped_overflow();
+    }
+    for (const auto& link : links_b_) {
+      n += link->dropped_overflow();
+    }
+    return double(n);
+  });
+  reg.gauge("net.dropped_down")->bind([this] {
+    std::uint64_t n = 0;
+    for (const auto& link : links_) {
+      n += link->dropped_down();
+    }
+    for (const auto& link : links_b_) {
+      n += link->dropped_down();
+    }
+    return double(n);
+  });
+  reg.gauge("net.frames_in_flight")->bind([this] {
+    std::uint64_t n = 0;
+    for (const auto& link : links_) {
+      n += link->frames_in_flight();
+    }
+    for (const auto& link : links_b_) {
+      n += link->frames_in_flight();
+    }
+    return double(n);
+  });
+  reg.gauge("switch.unwired_emits")->bind([this] {
+    return double(switch_->emits_to_unwired_port() +
+                  (switch_b_ ? switch_b_->emits_to_unwired_port() : 0));
+  });
+  if (!injectors_.empty()) {
+    reg.gauge("fabric.cross_frames_injected")->bind([this] {
+      return double(cross_traffic_frames());
+    });
+  }
+  if (!sync_nodes_.empty()) {
+    reg.gauge("fabric.sync_max_abs_offset_ns")->bind([this] {
+      return double(sync_max_abs_offset_seen());
+    });
+  }
+  if (config_.fabric.frer) {
+    reg.gauge("frer.passed")->bind([this] {
+      return double(frer_totals().passed);
+    });
+    reg.gauge("frer.duplicates_eliminated")->bind([this] {
+      return double(frer_totals().duplicates_eliminated);
+    });
+    reg.gauge("frer.stale_discarded")->bind([this] {
+      return double(frer_totals().stale_discarded);
+    });
+    reg.gauge("frer.rogue_discarded")->bind([this] {
+      return double(frer_totals().rogue_discarded);
+    });
+    reg.gauge("frer.recovery_resets")->bind([this] {
+      return double(frer_totals().recovery_resets);
+    });
+    reg.gauge("frer.frames_replicated")->bind([this] {
+      return double(frer_totals().frames_replicated);
+    });
+    reg.gauge("frer.bytes_replicated")->bind([this] {
+      return double(frer_totals().bytes_replicated);
+    });
+  }
   if (orion_l2_ != nullptr) {
     reg.gauge("orion.failure_notifications")->bind([this] {
       return double(orion_l2_->stats().failure_notifications);

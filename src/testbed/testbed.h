@@ -34,7 +34,10 @@
 #include "core/orion.h"
 #include "fapi/channel.h"
 #include "l2/l2.h"
+#include "net/cross_traffic.h"
+#include "net/frer.h"
 #include "net/nic.h"
+#include "net/timesync.h"
 #include "phy/phy.h"
 #include "ru/ru.h"
 #include "sim/simulator.h"
@@ -61,6 +64,30 @@ struct CellSpec {
   // (src/ue/ue_batch.h) alongside the individually-modeled tracer UEs
   // above. 0 = no batch.
   int bulk_ues = 0;
+};
+
+// Realistic-fabric layer (tentpole of the fronthaul-fabric PR). Every
+// default is inert: with this struct untouched the testbed's event
+// sequence is bit-identical to the ideal fabric (pinned by the golden
+// traces). Link-level knobs (finite queues, tx-time model, bandwidth)
+// live in TestbedConfig::link.
+struct FabricConfig {
+  // Background cross-traffic: long-run offered load (fraction of link
+  // rate) injected on every PHY server's egress link. 0 = off.
+  double cross_traffic_load = 0.0;
+  std::uint32_t cross_frame_bytes = 1500;
+  std::uint32_t cross_burst_frames = 64;
+  // gPTP-style per-node clock error (switch tick train + NIC
+  // timestamps). Default = perfectly synchronized.
+  TimeSyncConfig sync{};
+  // FRER-style redundant streams (802.1CB): replicate eCPRI over a
+  // second, disjoint switch plane and eliminate duplicates in front of
+  // each RU/PHY.
+  bool frer = false;
+  FrerEliminatorConfig frer_elim{};
+  // Arm the in-switch failure detector in start(). FRER runs disable it
+  // to measure pure replication (no failover) resilience.
+  bool arm_detector = true;
 };
 
 struct TestbedConfig {
@@ -109,6 +136,7 @@ struct TestbedConfig {
   Nanos orion_cmd_extra_delay = 0;   // ablation: control-plane remap
   bool dl_source_filter = true;      // ablation: naive no-filter design
   LinkConfig link{};
+  FabricConfig fabric{};
 };
 
 class Testbed {
@@ -190,6 +218,44 @@ class Testbed {
     return batches_.at(std::size_t(cell)).get();
   }
   [[nodiscard]] ProgrammableSwitch& fabric() { return *switch_; }
+  // FRER plane-B switch; null unless config.fabric.frer.
+  [[nodiscard]] ProgrammableSwitch* fabric_b() { return switch_b_.get(); }
+
+  // ---- Fabric link access (fault plans: cable pulls, lossy links) ----
+  // Plane-A link between a station and the switch.
+  [[nodiscard]] Link& ru_link(int cell) {
+    return *ru_links_.at(std::size_t(cell));
+  }
+  [[nodiscard]] Link& phy_link(int index) {
+    return *phy_links_.at(std::size_t(index));
+  }
+  // Plane-B counterparts; null unless config.fabric.frer.
+  [[nodiscard]] Link* ru_link_b(int cell) {
+    return cell < int(ru_links_b_.size()) ? ru_links_b_[std::size_t(cell)]
+                                          : nullptr;
+  }
+  [[nodiscard]] Link* phy_link_b(int index) {
+    return index < int(phy_links_b_.size()) ? phy_links_b_[std::size_t(index)]
+                                            : nullptr;
+  }
+
+  // Aggregate FRER replication/elimination counters over every
+  // protected station (all-zero when FRER is off).
+  struct FrerTotals {
+    std::uint64_t frames_replicated = 0;
+    std::uint64_t bytes_replicated = 0;
+    std::uint64_t passed = 0;
+    std::uint64_t duplicates_eliminated = 0;
+    std::uint64_t stale_discarded = 0;
+    std::uint64_t rogue_discarded = 0;
+    std::uint64_t recovery_resets = 0;
+  };
+  [[nodiscard]] FrerTotals frer_totals() const;
+  [[nodiscard]] std::uint64_t cross_traffic_frames() const;
+  [[nodiscard]] std::uint64_t cross_traffic_bytes() const;
+  // Worst clock offset any fabric node has exhibited so far (0 with a
+  // perfectly synchronized fabric).
+  [[nodiscard]] Nanos sync_max_abs_offset_seen() const;
 
   // ---- Fault-injection and invariant-checker access (src/inject) ----
   // NIC handles for installing packet interceptors. Valid after
@@ -258,6 +324,7 @@ class Testbed {
   };
 
   void build_fabric();
+  void build_fabric_plane_b();
   void build_vran();
   void wire_slingshot();
   void wire_coupled();
@@ -281,6 +348,18 @@ class Testbed {
   std::unique_ptr<ProgrammableSwitch> switch_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<Link*> ru_links_;   // plane-A link per cell
+  std::vector<Link*> phy_links_;  // plane-A link per PHY index
+  // Realistic-fabric layer (empty/null at default FabricConfig).
+  std::unique_ptr<ProgrammableSwitch> switch_b_;  // FRER plane B
+  std::shared_ptr<FronthaulMiddlebox> mbox_b_;
+  std::vector<std::unique_ptr<Link>> links_b_;
+  std::vector<Link*> ru_links_b_;
+  std::vector<Link*> phy_links_b_;
+  std::vector<std::unique_ptr<FrerEliminator>> eliminators_;
+  std::vector<std::unique_ptr<FrerReplicator>> replicators_;
+  std::vector<std::unique_ptr<TimeSyncNode>> sync_nodes_;
+  std::vector<std::unique_ptr<CrossTrafficInjector>> injectors_;
   std::vector<Nic*> ru_nics_;
   std::vector<Nic*> phy_nics_;
   std::vector<Nic*> orion_phy_nics_;

@@ -1,0 +1,95 @@
+#include "net/cross_traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/link.h"
+
+namespace slingshot {
+namespace {
+
+struct Counter final : FrameSink {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  void handle_frame(Packet&& p) override {
+    ++frames;
+    bytes += p.wire_size();
+  }
+};
+
+TEST(CrossTraffic, ZeroLoadSchedulesNothing) {
+  Simulator sim;
+  Link link{sim, {}, sim.rng().stream("loss")};
+  Nic nic{sim, MacAddr{0xAA}};
+  nic.attach(link);
+  Counter rx;
+  link.attach_b(&rx);
+
+  CrossTrafficConfig cfg;  // load defaults to 0
+  CrossTrafficInjector injector{sim, nic, cfg, sim.rng().stream("xt")};
+  injector.start();
+  const auto before = sim.pending_events();
+  sim.run_until(100_ms);
+  EXPECT_EQ(injector.frames_injected(), 0U);
+  EXPECT_EQ(rx.frames, 0U);
+  EXPECT_LE(sim.pending_events(), before);
+}
+
+TEST(CrossTraffic, RealizesConfiguredLoadApproximately) {
+  Simulator sim;
+  LinkConfig link_cfg;
+  link_cfg.bandwidth_bps = 10e9;
+  Link link{sim, link_cfg, sim.rng().stream("loss")};
+  Nic nic{sim, MacAddr{0xAA}};
+  nic.attach(link);
+  Counter rx;
+  link.attach_b(&rx);
+
+  CrossTrafficConfig cfg;
+  cfg.load = 0.3;
+  cfg.link_bandwidth_bps = link_cfg.bandwidth_bps;
+  CrossTrafficInjector injector{sim, nic, cfg, sim.rng().stream("xt")};
+  injector.start();
+  const Nanos horizon = 200_ms;
+  sim.run_until(horizon);
+
+  // Offered bits over the horizon vs. the 0.3 target; Poisson burst
+  // starts + geometric burst lengths put the tolerance at ~20%.
+  const double offered =
+      double(injector.bytes_injected()) * 8.0 /
+      (cfg.link_bandwidth_bps * double(horizon) * 1e-9);
+  EXPECT_NEAR(offered, 0.3, 0.06);
+  EXPECT_GT(injector.frames_injected(), 100U);
+}
+
+TEST(CrossTraffic, FramesAreBestEffortUserPlane) {
+  Simulator sim;
+  Link link{sim, {}, sim.rng().stream("loss")};
+  Nic nic{sim, MacAddr{0xAA}};
+  nic.attach(link);
+  std::vector<Packet> got;
+  struct Sink final : FrameSink {
+    std::vector<Packet>* out;
+    void handle_frame(Packet&& p) override { out->push_back(std::move(p)); }
+  } rx;
+  rx.out = &got;
+  link.attach_b(&rx);
+
+  CrossTrafficConfig cfg;
+  cfg.load = 0.5;
+  cfg.sink = MacAddr{0x3C01};
+  cfg.frame_bytes = 700;
+  CrossTrafficInjector injector{sim, nic, cfg, sim.rng().stream("xt")};
+  injector.start();
+  sim.run_until(1_ms);
+  ASSERT_FALSE(got.empty());
+  for (const auto& p : got) {
+    EXPECT_EQ(p.eth.ethertype, EtherType::kUserPlane);
+    EXPECT_EQ(p.eth.dst, MacAddr{0x3C01});
+    EXPECT_EQ(p.payload.size(), 700U);
+  }
+}
+
+}  // namespace
+}  // namespace slingshot

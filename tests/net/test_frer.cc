@@ -1,0 +1,239 @@
+#include "net/frer.h"
+
+#include <gtest/gtest.h>
+
+#include "net/link.h"
+#include "net/nic.h"
+
+namespace slingshot {
+namespace {
+
+struct Collector final : FrameSink {
+  std::vector<Packet> frames;
+  void handle_frame(Packet&& p) override { frames.push_back(std::move(p)); }
+};
+
+Packet make_ecpri(std::uint64_t src, std::size_t payload_size = 32) {
+  Packet p;
+  p.eth.src = MacAddr{src};
+  p.eth.dst = MacAddr{0x2};
+  p.eth.ethertype = EtherType::kEcpri;
+  p.payload.assign(payload_size, 0xCD);
+  return p;
+}
+
+Packet make_tagged(std::uint64_t src, std::uint16_t seq) {
+  Packet p = make_ecpri(src);
+  rtag_encapsulate(p, seq);
+  return p;
+}
+
+TEST(Rtag, CodecRoundTrip) {
+  Packet p = make_ecpri(0xAA, 10);
+  const auto original = p.payload;
+  rtag_encapsulate(p, 0xBEEF);
+  EXPECT_EQ(p.eth.ethertype, EtherType::kRTag);
+  EXPECT_EQ(p.payload.size(), original.size() + kRtagWireSize);
+
+  const auto view = rtag_peek(p);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->seq, 0xBEEF);
+  EXPECT_EQ(view->inner, EtherType::kEcpri);
+
+  ASSERT_TRUE(rtag_decapsulate(p));
+  EXPECT_EQ(p.eth.ethertype, EtherType::kEcpri);
+  EXPECT_EQ(p.payload, original);
+}
+
+TEST(Rtag, PeekRejectsUntaggedAndTruncated) {
+  Packet plain = make_ecpri(0xAA);
+  EXPECT_FALSE(rtag_peek(plain).has_value());
+
+  Packet truncated;
+  truncated.eth.ethertype = EtherType::kRTag;
+  truncated.payload = {0, 0, 1};  // shorter than a tag
+  EXPECT_FALSE(rtag_peek(truncated).has_value());
+  EXPECT_FALSE(rtag_decapsulate(truncated));
+  EXPECT_EQ(truncated.payload.size(), 3U);  // untouched on failure
+}
+
+TEST(FrerReplicator, TagsAndDuplicatesEcpriAcrossBothPlanes) {
+  Simulator sim;
+  LinkConfig cfg;
+  Link plane_a{sim, cfg, sim.rng().stream("a")};
+  Link plane_b{sim, cfg, sim.rng().stream("b")};
+  Collector rx_a;
+  Collector rx_b;
+  plane_a.attach_b(&rx_a);
+  plane_b.attach_b(&rx_b);
+  Nic nic{sim, MacAddr{0xAA}};
+  nic.attach(plane_a);
+  FrerReplicator rep{nic, plane_a, plane_b};
+
+  nic.send(make_ecpri(0));
+  nic.send(make_ecpri(0));
+  Packet other;
+  other.eth.dst = MacAddr{0x2};
+  other.eth.ethertype = EtherType::kUserPlane;
+  nic.send(std::move(other));
+  sim.run_until(1_ms);
+
+  // Two eCPRI frames on each plane, tagged with consecutive sequence
+  // numbers; the unprotected frame rides plane A only, untagged.
+  ASSERT_EQ(rx_a.frames.size(), 3U);
+  ASSERT_EQ(rx_b.frames.size(), 2U);
+  EXPECT_EQ(rx_a.frames[0].eth.ethertype, EtherType::kRTag);
+  EXPECT_EQ(rtag_peek(rx_a.frames[0])->seq, 0);
+  EXPECT_EQ(rtag_peek(rx_a.frames[1])->seq, 1);
+  EXPECT_EQ(rtag_peek(rx_b.frames[0])->seq, 0);
+  EXPECT_EQ(rtag_peek(rx_b.frames[1])->seq, 1);
+  EXPECT_EQ(rx_a.frames[2].eth.ethertype, EtherType::kUserPlane);
+  EXPECT_EQ(rep.frames_replicated(), 2U);
+  EXPECT_EQ(rep.frames_passed_through(), 1U);
+  EXPECT_GT(rep.bytes_replicated(), 0U);
+}
+
+TEST(FrerEliminator, PassesFirstCopyEliminatesSecond) {
+  Simulator sim;
+  Collector out;
+  FrerEliminator elim{sim, {}, out};
+
+  for (std::uint16_t seq = 0; seq < 5; ++seq) {
+    elim.handle_frame(make_tagged(0xAA, seq));  // plane A copy
+    elim.handle_frame(make_tagged(0xAA, seq));  // plane B copy
+  }
+  EXPECT_EQ(out.frames.size(), 5U);
+  EXPECT_EQ(elim.stats().passed, 5U);
+  EXPECT_EQ(elim.stats().duplicates_eliminated, 5U);
+  // Forwarded frames are decapsulated back to the inner type.
+  EXPECT_EQ(out.frames[0].eth.ethertype, EtherType::kEcpri);
+}
+
+TEST(FrerEliminator, AcceptsOutOfOrderFirstCopies) {
+  Simulator sim;
+  Collector out;
+  FrerEliminator elim{sim, {}, out};
+
+  elim.handle_frame(make_tagged(0xAA, 0));
+  elim.handle_frame(make_tagged(0xAA, 2));  // seq 1 still missing
+  elim.handle_frame(make_tagged(0xAA, 1));  // late first copy: pass
+  elim.handle_frame(make_tagged(0xAA, 1));  // its duplicate: eliminate
+  EXPECT_EQ(elim.stats().passed, 3U);
+  EXPECT_EQ(elim.stats().duplicates_eliminated, 1U);
+}
+
+TEST(FrerEliminator, RejectsStaleBehindHistoryWindow) {
+  Simulator sim;
+  Collector out;
+  FrerEliminator elim{sim, {}, out};
+
+  elim.handle_frame(make_tagged(0xAA, 100));
+  elim.handle_frame(make_tagged(0xAA, 100 - 64));  // window depth is 64
+  EXPECT_EQ(elim.stats().passed, 1U);
+  EXPECT_EQ(elim.stats().stale_discarded, 1U);
+}
+
+TEST(FrerEliminator, SequenceNumberWrapIsSeamless) {
+  Simulator sim;
+  Collector out;
+  FrerEliminator elim{sim, {}, out};
+
+  for (std::uint16_t seq : {65534, 65535, 0, 1}) {
+    elim.handle_frame(make_tagged(0xAA, seq));
+  }
+  EXPECT_EQ(elim.stats().passed, 4U);
+  // A wrapped-around duplicate is still recognized.
+  elim.handle_frame(make_tagged(0xAA, 65535));
+  EXPECT_EQ(elim.stats().duplicates_eliminated, 1U);
+  EXPECT_EQ(elim.stats().stale_discarded, 0U);
+}
+
+TEST(FrerEliminator, StreamsAreIndependentPerTalker) {
+  Simulator sim;
+  Collector out;
+  FrerEliminator elim{sim, {}, out};
+
+  elim.handle_frame(make_tagged(0xAA, 7));
+  elim.handle_frame(make_tagged(0xBB, 7));  // same seq, other talker
+  EXPECT_EQ(elim.stats().passed, 2U);
+  EXPECT_EQ(elim.stats().duplicates_eliminated, 0U);
+}
+
+TEST(FrerEliminator, ResetTimeoutAcceptsRebootedTalker) {
+  Simulator sim;
+  FrerEliminatorConfig cfg;
+  cfg.reset_timeout = 1'000'000;  // 1 ms
+  Collector out;
+  FrerEliminator elim{sim, cfg, out};
+
+  elim.handle_frame(make_tagged(0xAA, 500));
+  // Long silence, then a sequence number that would otherwise be
+  // hopelessly stale (a rebooted talker restarting at 3).
+  sim.at(2'000'000, [&] { elim.handle_frame(make_tagged(0xAA, 3)); });
+  sim.run_until(3'000'000);
+  EXPECT_EQ(elim.stats().passed, 2U);
+  EXPECT_EQ(elim.stats().recovery_resets, 1U);
+  EXPECT_EQ(elim.stats().stale_discarded, 0U);
+}
+
+TEST(FrerEliminator, TruncatedTagIsRogueDiscard) {
+  Simulator sim;
+  Collector out;
+  FrerEliminator elim{sim, {}, out};
+
+  Packet rogue;
+  rogue.eth.src = MacAddr{0xAA};
+  rogue.eth.ethertype = EtherType::kRTag;
+  rogue.payload = {0, 0};
+  elim.handle_frame(std::move(rogue));
+  EXPECT_EQ(elim.stats().rogue_discarded, 1U);
+  EXPECT_TRUE(out.frames.empty());
+}
+
+TEST(FrerEliminator, UntaggedTrafficBypassesRecovery) {
+  Simulator sim;
+  Collector out;
+  FrerEliminator elim{sim, {}, out};
+
+  Packet p;
+  p.eth.src = MacAddr{0xAA};
+  p.eth.ethertype = EtherType::kControl;
+  elim.handle_frame(std::move(p));
+  elim.handle_frame(make_ecpri(0xAA));
+  EXPECT_EQ(elim.stats().untagged_passed, 2U);
+  EXPECT_EQ(out.frames.size(), 2U);
+}
+
+TEST(Frer, SingleLinkLossLosesNothingEndToEnd) {
+  // Talker -> two lossy-in-different-ways planes -> eliminator. Kill
+  // plane A outright mid-stream: every frame still arrives exactly once.
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.propagation_delay = 1'000;
+  Link plane_a{sim, cfg, sim.rng().stream("a")};
+  Link plane_b{sim, cfg, sim.rng().stream("b")};
+  Nic talker{sim, MacAddr{0xAA}};
+  talker.attach(plane_a);
+  FrerReplicator rep{talker, plane_a, plane_b};
+  Collector out;
+  FrerEliminator elim{sim, {}, out};
+  plane_a.attach_b(&elim);
+  plane_b.attach_b(&elim);
+
+  for (int i = 0; i < 100; ++i) {
+    sim.at(Nanos(i) * 10'000, [&, i] {
+      if (i == 50) {
+        plane_a.set_down(true);  // cable pull mid-stream
+      }
+      talker.send(make_ecpri(0));
+    });
+  }
+  sim.run_until(10_ms);
+  EXPECT_EQ(out.frames.size(), 100U);
+  EXPECT_EQ(elim.stats().passed, 100U);
+  EXPECT_EQ(elim.stats().duplicates_eliminated, 50U);  // while A lived
+  EXPECT_EQ(plane_a.dropped_down(), 50U);
+}
+
+}  // namespace
+}  // namespace slingshot

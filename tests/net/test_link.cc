@@ -176,6 +176,156 @@ TEST(Link, HookDropsDoNotPerturbTheLossRng) {
   EXPECT_EQ(run(false), run(true));
 }
 
+TEST(Link, DeliveredCountsAtHandOffNotAtSchedule) {
+  // Regression: delivered_ used to be bumped when the delivery event was
+  // *scheduled*, so a frame still serializing or propagating was already
+  // "delivered" and could never be distinguished from one handed to the
+  // receiver.
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e9;  // 118 B -> 944 ns on the wire
+  cfg.propagation_delay = 10'000;
+  Link link{sim, cfg, sim.rng().stream("loss")};
+  Collector rx;
+  rx.sim = &sim;
+  link.attach_b(&rx);
+
+  link.send_from_a(make_test_packet(100));
+  EXPECT_EQ(link.frames_delivered(), 0U);
+  EXPECT_EQ(link.frames_in_flight(), 1U);
+  sim.run_until(5'000);  // mid-propagation
+  EXPECT_EQ(link.frames_delivered(), 0U);
+  EXPECT_EQ(link.frames_in_flight(), 1U);
+  sim.run_until(1_s);
+  EXPECT_EQ(link.frames_delivered(), 1U);
+  EXPECT_EQ(link.frames_in_flight(), 0U);
+  EXPECT_EQ(link.bytes_delivered(), 118U);
+}
+
+TEST(Link, TxTimeModelPinsLegacyDriftAndPicoCeil) {
+  auto arrivals = [](TxTimeModel model) {
+    Simulator sim;
+    LinkConfig cfg;
+    cfg.bandwidth_bps = 100e9;  // 118 B -> 9.44 ns exactly
+    cfg.propagation_delay = 0;
+    cfg.tx_time_model = model;
+    Link link{sim, cfg, sim.rng().stream("loss")};
+    Collector rx;
+    rx.sim = &sim;
+    link.attach_b(&rx);
+    for (int i = 0; i < 100; ++i) {
+      link.send_from_a(make_test_packet(100));
+    }
+    sim.run_until(1_ms);
+    return rx.times;
+  };
+  const auto legacy = arrivals(TxTimeModel::kLegacyRound);
+  const auto pico = arrivals(TxTimeModel::kPicoCeil);
+  ASSERT_EQ(legacy.size(), 100U);
+  ASSERT_EQ(pico.size(), 100U);
+  // Legacy llround drops the 0.44 ns remainder of every frame: the
+  // 100-frame burst compresses to 900 ns — each frame overlapping the
+  // previous one's true wire occupancy. Pico-ceil charges the remainder
+  // to the next frame, so the burst ends at ceil(100 * 9.44) = 944 ns
+  // and no frame starts before its predecessor finished.
+  EXPECT_EQ(legacy.front(), 9);
+  EXPECT_EQ(legacy.back(), 900);
+  EXPECT_EQ(pico.front(), 10);
+  EXPECT_EQ(pico.back(), 944);
+  for (std::size_t i = 1; i < pico.size(); ++i) {
+    EXPECT_GE(pico[i] - pico[i - 1], 9);
+  }
+}
+
+TEST(Link, FiniteQueueTailDropsAndRecovers) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e9;        // 1018 B -> 8144 ns per frame
+  cfg.propagation_delay = 0;
+  cfg.max_queue_bytes = 2'000;    // two frames of backlog
+  Link link{sim, cfg, sim.rng().stream("loss")};
+  Collector rx;
+  rx.sim = &sim;
+  link.attach_b(&rx);
+
+  for (int i = 0; i < 10; ++i) {
+    link.send_from_a(make_test_packet(1000));
+  }
+  EXPECT_EQ(link.dropped_overflow(), 8U);
+  sim.run_until(1_s);
+  EXPECT_EQ(rx.frames.size(), 2U);
+  // Queue drained: the link accepts traffic again (tail drop, not a
+  // latched failure).
+  link.send_from_a(make_test_packet(1000));
+  sim.run_until(2_s);
+  EXPECT_EQ(rx.frames.size(), 3U);
+  EXPECT_EQ(link.dropped_overflow(), 8U);
+}
+
+TEST(Link, UnboundedByDefault) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.propagation_delay = 0;
+  Link link{sim, cfg, sim.rng().stream("loss")};
+  Collector rx;
+  rx.sim = &sim;
+  link.attach_b(&rx);
+  for (int i = 0; i < 1000; ++i) {
+    link.send_from_a(make_test_packet(1000));
+  }
+  sim.run_until(10_s);
+  EXPECT_EQ(rx.frames.size(), 1000U);
+  EXPECT_EQ(link.dropped_overflow(), 0U);
+}
+
+TEST(Link, DownedLinkDropsNewSendsButDeliversInFlight) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.propagation_delay = 1'000;
+  Link link{sim, cfg, sim.rng().stream("loss")};
+  Collector rx;
+  rx.sim = &sim;
+  link.attach_b(&rx);
+
+  link.send_from_a(make_test_packet(100));  // on the wire before the pull
+  link.set_down(true);
+  link.send_from_a(make_test_packet(100));
+  EXPECT_EQ(link.dropped_down(), 1U);
+  sim.run_until(1_s);
+  EXPECT_EQ(rx.frames.size(), 1U);
+  link.set_down(false);
+  link.send_from_a(make_test_packet(100));
+  sim.run_until(2_s);
+  EXPECT_EQ(rx.frames.size(), 2U);
+  EXPECT_EQ(link.frames_dropped(), 1U);
+}
+
+TEST(Link, BurstPreservesOrderAndSerializationGaps) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e9;  // 218 B -> 1744 ns per frame
+  cfg.propagation_delay = 500;
+  Link link{sim, cfg, sim.rng().stream("loss")};
+  Collector rx;
+  rx.sim = &sim;
+  link.attach_b(&rx);
+
+  for (int i = 0; i < 32; ++i) {
+    Packet p = make_test_packet(200);
+    p.payload[0] = std::uint8_t(i);
+    link.send_from_a(std::move(p));
+  }
+  sim.run_until(1_s);
+  ASSERT_EQ(rx.frames.size(), 32U);
+  for (std::size_t i = 0; i < rx.frames.size(); ++i) {
+    EXPECT_EQ(rx.frames[i].payload[0], std::uint8_t(i));
+    if (i > 0) {
+      EXPECT_EQ(rx.times[i] - rx.times[i - 1], 1'744);
+    }
+  }
+}
+
 TEST(Nic, SendStampsSourceAndCounts) {
   Simulator sim;
   Link link{sim, {}, sim.rng().stream("loss")};

@@ -1,0 +1,93 @@
+#include "net/timesync.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/simulator.h"
+
+namespace slingshot {
+namespace {
+
+TEST(TimeSync, DefaultConfigIsInert) {
+  Simulator sim;
+  TimeSyncNode node{{}, sim.rng().stream("tsync")};
+  for (Nanos t : {Nanos(0), Nanos(1'000'000), Nanos(1'000'000'000)}) {
+    EXPECT_EQ(node.offset_at(t), 0);
+    EXPECT_EQ(node.local_time(t), t);
+    EXPECT_EQ(node.perturb_period(9'000), 9'000);
+  }
+  EXPECT_EQ(node.max_abs_offset_seen(), 0);
+}
+
+TEST(TimeSync, OffsetStaysWithinConfiguredBound) {
+  Simulator sim;
+  TimeSyncConfig cfg;
+  cfg.max_abs_offset = 1'000;  // +/- 1 us
+  cfg.drift_ppm = 50.0;
+  TimeSyncNode node{cfg, sim.rng().stream("tsync")};
+  Nanos worst = 0;
+  for (Nanos t = 0; t < 10'000'000'000; t += 7'000'000) {
+    const Nanos off = node.offset_at(t);
+    worst = std::max<Nanos>(worst, std::abs(off));
+    EXPECT_LE(std::abs(off), cfg.max_abs_offset);
+  }
+  EXPECT_GT(worst, 0);  // the model actually produces error
+  EXPECT_EQ(node.max_abs_offset_seen(), worst);
+}
+
+TEST(TimeSync, DriftIsSampledPerNode) {
+  Simulator sim;
+  TimeSyncConfig cfg;
+  cfg.max_abs_offset = 1'000;
+  cfg.drift_ppm = 50.0;
+  TimeSyncNode n0{cfg, sim.rng().stream("tsync", 0)};
+  TimeSyncNode n1{cfg, sim.rng().stream("tsync", 1)};
+  EXPECT_NE(n0.drift_ppm_actual(), n1.drift_ppm_actual());
+  EXPECT_LE(std::abs(n0.drift_ppm_actual()), cfg.drift_ppm);
+  EXPECT_LE(std::abs(n1.drift_ppm_actual()), cfg.drift_ppm);
+}
+
+TEST(TimeSync, PerturbedPeriodsCarryTheExactFrequencyError) {
+  // Summing N perturbed periods must equal N nominal periods scaled by
+  // the node's frequency error to sub-ns precision: the per-period
+  // remainder may not be lost, or a long tick train decouples from the
+  // oscillator model.
+  Simulator sim;
+  TimeSyncConfig cfg;
+  cfg.max_abs_offset = 1'000;
+  cfg.drift_ppm = 40.0;
+  TimeSyncNode node{cfg, sim.rng().stream("tsync")};
+  const Nanos nominal = 9'000;
+  const int n = 100'000;
+  std::int64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += node.perturb_period(nominal);
+  }
+  const double expected =
+      double(nominal) * n * (1.0 - node.drift_ppm_actual() * 1e-6);
+  EXPECT_NEAR(double(total), expected, 2.0);
+  // A fast oscillator (positive ppm) fires early: total < nominal * n.
+  if (node.drift_ppm_actual() > 0) {
+    EXPECT_LT(total, std::int64_t(nominal) * n);
+  } else {
+    EXPECT_GT(total, std::int64_t(nominal) * n);
+  }
+}
+
+TEST(TimeSync, LocalTimeIsMonotone) {
+  Simulator sim;
+  TimeSyncConfig cfg;
+  cfg.max_abs_offset = 500;
+  cfg.drift_ppm = 100.0;
+  TimeSyncNode node{cfg, sim.rng().stream("tsync")};
+  Nanos prev = node.local_time(0);
+  for (Nanos t = 10'000; t < 2'000'000'000; t += 10'000'000) {
+    const Nanos cur = node.local_time(t);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace slingshot

@@ -139,6 +139,87 @@ TEST(ProgrammableSwitch, IngressTapSeesFrames) {
   EXPECT_EQ(tapped, 1);
 }
 
+struct EmitOnPortProgram final : DataplaneProgram {
+  int port = 0;
+  PipelineVerdict process(Packet& p, int, PipelineContext& ctx) override {
+    ctx.emit(port, std::move(p));
+    return PipelineVerdict::kHandled;
+  }
+  void on_generator_packet(Packet&, PipelineContext&) override {}
+};
+
+TEST(ProgrammableSwitch, EmitToOutOfRangePortIsCountedDrop) {
+  // Regression: emitting on a port beyond the switch radix used to
+  // throw (vector::at) from inside the pipeline; it must be a counted
+  // drop — a misprogrammed egress is a dataplane event, not UB.
+  Fixture f;
+  auto& a = f.add_station(0, 0xA);
+  auto program = std::make_shared<EmitOnPortProgram>();
+  program->port = 99;
+  f.sw.install_program(program);
+  Packet p;
+  p.eth.dst = MacAddr{0xB};
+  a.send(std::move(p));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(f.sw.emits_to_unwired_port(), 1U);
+
+  program->port = -3;
+  Packet q;
+  q.eth.dst = MacAddr{0xB};
+  a.send(std::move(q));
+  f.sim.run_until(2_ms);
+  EXPECT_EQ(f.sw.emits_to_unwired_port(), 2U);
+}
+
+TEST(ProgrammableSwitch, EmitToUnwiredPortIsCountedDrop) {
+  Fixture f;
+  auto& a = f.add_station(0, 0xA);
+  // Port 5 is within the radix but has no link attached.
+  f.sw.add_l2_route(MacAddr{0xE}, 5);
+  Packet p;
+  p.eth.dst = MacAddr{0xE};
+  a.send(std::move(p));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(f.sw.emits_to_unwired_port(), 1U);
+  EXPECT_EQ(f.sw.frames_processed(), 1U);
+}
+
+TEST(ProgrammableSwitch, NotificationTapNullFunctionDetaches) {
+  Fixture f;
+  auto& a = f.add_station(0, 0xA);
+  f.add_station(1, 0xB);
+  int tapped = 0;
+  f.sw.set_notification_tap(EtherType::kUserPlane,
+                            [&](const Packet&, Nanos) { ++tapped; });
+  Packet p;
+  p.eth.dst = MacAddr{0xB};
+  p.eth.ethertype = EtherType::kUserPlane;
+  a.send(std::move(p));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(tapped, 1);
+
+  f.sw.set_notification_tap(EtherType::kUserPlane, nullptr);
+  Packet q;
+  q.eth.dst = MacAddr{0xB};
+  q.eth.ethertype = EtherType::kUserPlane;
+  a.send(std::move(q));
+  f.sim.run_until(2_ms);
+  EXPECT_EQ(tapped, 1);  // detached: no further callbacks
+}
+
+TEST(ProgrammableSwitch, TickPerturbationStretchesGeneratorTrain) {
+  Fixture f;
+  auto program = std::make_shared<DropAllProgram>();
+  f.sw.install_program(program);
+  // A +11% "slow oscillator" perturbation: 9 us nominal -> 10 us real.
+  f.sw.set_tick_perturbation([](Nanos nominal) {
+    return nominal + nominal / 9;
+  });
+  f.sw.start_packet_generator(9_us);
+  f.sim.run_until(90_us);
+  EXPECT_EQ(program->generator_ticks, 9);  // 10 with an ideal clock
+}
+
 TEST(MatchActionTable, BootstrapInsertIsImmediate) {
   Simulator sim;
   MatchActionTable<int, int> table{sim, sim.rng().stream("cp")};
